@@ -1,0 +1,90 @@
+// Shared helpers for the figure/table benches: scale control, aligned
+// table printing, and the stage-1 + gold plumbing every workload repeats.
+//
+// EXPLAIN3D_SCALE=<float> multiplies the default workload sizes (1.0
+// keeps every bench laptop-fast; the EXPERIMENTS.md runs used 1.0).
+
+#ifndef EXPLAIN3D_BENCH_BENCH_COMMON_H_
+#define EXPLAIN3D_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "eval/experiment.h"
+
+namespace explain3d {
+namespace bench {
+
+inline double Scale() {
+  const char* s = std::getenv("EXPLAIN3D_SCALE");
+  if (s == nullptr) return 1.0;
+  double v = std::atof(s);
+  return v > 0 ? v : 1.0;
+}
+
+inline size_t Scaled(size_t base) {
+  return static_cast<size_t>(static_cast<double>(base) * Scale());
+}
+
+/// Fixed-width table printer.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {
+    for (const auto& h : headers_) widths_.push_back(h.size());
+  }
+
+  void AddRow(std::vector<std::string> cells) {
+    for (size_t i = 0; i < cells.size() && i < widths_.size(); ++i) {
+      widths_[i] = std::max(widths_[i], cells[i].size());
+    }
+    rows_.push_back(std::move(cells));
+  }
+
+  void Print() const {
+    PrintRow(headers_);
+    std::string sep;
+    for (size_t w : widths_) sep += std::string(w + 2, '-');
+    std::printf("%s\n", sep.c_str());
+    for (const auto& row : rows_) PrintRow(row);
+  }
+
+ private:
+  void PrintRow(const std::vector<std::string>& row) const {
+    for (size_t i = 0; i < row.size(); ++i) {
+      std::printf("%-*s", static_cast<int>(widths_[i] + 2), row[i].c_str());
+    }
+    std::printf("\n");
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<size_t> widths_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double v, const char* fmt = "%.3f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+/// Runs stage 1 + 2 and bails out loudly on failure (benches should never
+/// silently skip an experiment).
+inline PipelineResult MustRun(const PipelineInput& input,
+                              const Explain3DConfig& config) {
+  Result<PipelineResult> r = RunExplain3D(input, config);
+  if (!r.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 r.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(r).value();
+}
+
+}  // namespace bench
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_BENCH_BENCH_COMMON_H_

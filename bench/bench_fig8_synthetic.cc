@@ -1,0 +1,227 @@
+// Figure 8 (a–c): smart-partitioning efficiency on synthetic data, plus
+// the Section-5.3 accuracy claim (E10).
+//
+//   8a: solve time vs number of tuples n     (d=0.2, v=1K)
+//   8b: solve time vs difference ratio d     (n=1K, v=1K)
+//   8c: solve time vs vocabulary size v      (n=1K, d=0.2)
+//
+// Methods: NoOpt (no partitioning, one monolithic problem), Batch-100,
+// Batch-1000 (smart partitioning with k = ceil(|T1|+|T2| / batch)).
+// Expected shapes: NoOpt grows super-linearly in n and explodes for
+// small v; batch variants grow ~linearly; lower d costs more (more
+// surviving tuples); Batch-100 beats Batch-1000 at v=100 and the methods
+// converge at large v. As in the paper, the initial mapping keeps the
+// crude low-probability matches (they drive the MILP cost and make the
+// θl edge-weight adjustment meaningful) while bucket calibration keeps
+// them improbable enough that accuracy stays near-perfect.
+
+#include <map>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "core/milp_encoder.h"
+#include "datagen/synthetic.h"
+#include "milp/branch_and_bound.h"
+
+namespace explain3d {
+namespace bench {
+namespace {
+
+struct Method {
+  const char* name;
+  size_t batch;       // 0 = NoOpt
+  bool decompose;     // NoOpt solves one monolithic problem
+};
+
+const Method kMethods[] = {
+    {"NoOpt", 0, false},
+    {"Batch-100", 100, true},
+    {"Batch-1000", 1000, true},
+};
+
+struct CellResult {
+  double solve_seconds = 0;
+  double expl_f1 = 0;
+  double evid_f1 = 0;
+  bool ran = false;
+};
+
+CellResult RunCell(const SyntheticOptions& gen, const Method& method) {
+  SyntheticDataset data = GenerateSynthetic(gen).value();
+  PipelineInput input;
+  input.db1 = &data.db1;
+  input.db2 = &data.db2;
+  input.sql1 = data.sql1;
+  input.sql2 = data.sql2;
+  input.attr_matches = data.attr_matches;
+  input.mapping_options.min_probability = 1e-4;  // keep crude matches
+  input.calibration_oracle =
+      MakeRowEntityOracle(data.row_entities1, data.row_entities2);
+
+  Explain3DConfig config;
+  config.batch_size = method.batch;
+  config.decompose_components = method.decompose;
+  PipelineResult pipe = MustRun(input, config);
+
+  std::vector<int64_t> e1 = CanonicalEntities(pipe.t1, data.row_entities1);
+  std::vector<int64_t> e2 = CanonicalEntities(pipe.t2, data.row_entities2);
+  GoldStandard gold = DeriveGoldFromEntities(pipe.t1, pipe.t2, e1, e2);
+  AccuracyReport acc = Evaluate(pipe.core.explanations, gold);
+
+  CellResult out;
+  out.solve_seconds = pipe.core.stats.solve_seconds +
+                      pipe.core.stats.partition.partition_seconds +
+                      pipe.core.stats.partition.prepartition_seconds;
+  out.expl_f1 = acc.explanation.f1;
+  out.evid_f1 = acc.evidence.f1;
+  out.ran = true;
+  return out;
+}
+
+void Sweep(const char* figure, const char* xlabel,
+           const std::vector<SyntheticOptions>& cells,
+           const std::vector<std::string>& xs, size_t noopt_cap_tuples) {
+  std::printf("\n=== Figure %s: solve time vs %s ===\n", figure, xlabel);
+  TablePrinter time({xlabel, "NoOpt (sec)", "Batch-100 (sec)",
+                     "Batch-1000 (sec)"});
+  TablePrinter acc({xlabel, "NoOpt F1(expl/evid)", "Batch-100 F1",
+                    "Batch-1000 F1"});
+  for (size_t i = 0; i < cells.size(); ++i) {
+    std::vector<std::string> trow = {xs[i]};
+    std::vector<std::string> arow = {xs[i]};
+    for (const Method& method : kMethods) {
+      if (method.batch == 0 && cells[i].n * 2 > noopt_cap_tuples) {
+        trow.push_back("(skipped)");
+        arow.push_back("-");
+        continue;
+      }
+      CellResult r = RunCell(cells[i], method);
+      trow.push_back(Fmt(r.solve_seconds, "%.3f"));
+      arow.push_back(Fmt(r.expl_f1) + "/" + Fmt(r.evid_f1));
+    }
+    time.AddRow(trow);
+    acc.AddRow(arow);
+  }
+  time.Print();
+  std::printf("\naccuracy (Section 5.3: near-perfect for all methods)\n");
+  acc.Print();
+}
+
+// The paper's NoOpt curve measures ONE monolithic Section-3.2 MILP given
+// to CPLEX. Our hybrid engine's assignment branch & bound does not
+// degrade the same way, so the literal basic algorithm is measured
+// separately here: the whole problem encoded as one MILP and handed to
+// the branch & bound + simplex, until it stops being tractable — the
+// same qualitative blow-up (and the same motivation for partitioning).
+void Figure8aMonolithicMilp() {
+  std::printf("\n=== Figure 8a inset: basic algorithm as one monolithic "
+              "MILP (Section 3.2 literal) ===\n");
+  TablePrinter table({"num_tuple (n)", "MILP rows", "MILP vars",
+                      "solve (sec)", "status"});
+  for (size_t n : {25, 50, 100, 200}) {
+    SyntheticOptions gen;
+    gen.n = Scaled(n);
+    gen.d = 0.2;
+    gen.v = 1000;
+    SyntheticDataset data = GenerateSynthetic(gen).value();
+    PipelineInput input;
+    input.db1 = &data.db1;
+    input.db2 = &data.db2;
+    input.sql1 = data.sql1;
+    input.sql2 = data.sql2;
+    input.attr_matches = data.attr_matches;
+    input.mapping_options.min_probability = 1e-4;
+    input.calibration_oracle =
+        MakeRowEntityOracle(data.row_entities1, data.row_entities2);
+    Explain3DConfig config;
+    PipelineResult pipe = MustRun(input, config);
+
+    SubProblem whole;
+    for (size_t i = 0; i < pipe.t1.size(); ++i) whole.t1_ids.push_back(i);
+    for (size_t j = 0; j < pipe.t2.size(); ++j) whole.t2_ids.push_back(j);
+    for (size_t k = 0; k < pipe.initial_mapping.size(); ++k) {
+      whole.match_ids.push_back(k);
+    }
+    ProbabilityModel prob(config);
+    MilpEncoder encoder(pipe.t1, pipe.t2, pipe.initial_mapping,
+                        input.attr_matches.front(), prob);
+    EncodedMilp enc = encoder.Encode(whole);
+    if (enc.model.num_constraints() > 2500) {
+      table.AddRow({std::to_string(gen.n),
+                    std::to_string(enc.model.num_constraints()),
+                    std::to_string(enc.model.num_variables()), "-",
+                    "intractable (dense basis inverse)"});
+      continue;
+    }
+    milp::MilpOptions mopts;
+    mopts.time_limit_seconds = 60;
+    Timer timer;
+    milp::MilpSolver solver(enc.model, mopts);
+    milp::Solution sol = solver.Solve();
+    table.AddRow({std::to_string(gen.n),
+                  std::to_string(enc.model.num_constraints()),
+                  std::to_string(enc.model.num_variables()),
+                  Fmt(timer.Seconds(), "%.2f"),
+                  milp::SolveStatusName(sol.status)});
+  }
+  table.Print();
+}
+
+void Figure8a() {
+  std::vector<SyntheticOptions> cells;
+  std::vector<std::string> xs;
+  for (size_t n : {100, 300, 1000, 3000, 6000}) {
+    SyntheticOptions o;
+    o.n = Scaled(n);
+    o.d = 0.2;
+    o.v = 1000;
+    cells.push_back(o);
+    xs.push_back(std::to_string(o.n));
+  }
+  // NoOpt solves one monolithic problem; past ~8K tuples the node caps
+  // dominate, so the sweep skips it there (the paper's NoOpt curve is
+  // likewise cut off by its growth).
+  Sweep("8a", "num_tuple (n)", cells, xs, Scaled(7000));
+}
+
+void Figure8b() {
+  std::vector<SyntheticOptions> cells;
+  std::vector<std::string> xs;
+  for (double d : {0.1, 0.2, 0.3, 0.4, 0.5}) {
+    SyntheticOptions o;
+    o.n = Scaled(1000);
+    o.d = d;
+    o.v = 1000;
+    cells.push_back(o);
+    xs.push_back(Fmt(d, "%.1f"));
+  }
+  Sweep("8b", "difference ratio (d)", cells, xs, Scaled(8000));
+}
+
+void Figure8c() {
+  std::vector<SyntheticOptions> cells;
+  std::vector<std::string> xs;
+  for (size_t v : {100, 300, 1000, 3000, 10000}) {
+    SyntheticOptions o;
+    o.n = Scaled(1000);
+    o.d = 0.2;
+    o.v = v;
+    cells.push_back(o);
+    xs.push_back(std::to_string(v));
+  }
+  Sweep("8c", "vocabulary size (v)", cells, xs, Scaled(8000));
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace explain3d
+
+int main() {
+  std::printf("Figure 8: synthetic efficiency sweeps (scale=%.2f)\n",
+              explain3d::bench::Scale());
+  explain3d::bench::Figure8a();
+  explain3d::bench::Figure8aMonolithicMilp();
+  explain3d::bench::Figure8b();
+  explain3d::bench::Figure8c();
+  return 0;
+}

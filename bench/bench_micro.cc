@@ -1,0 +1,235 @@
+// Microbenchmarks (google-benchmark): the building blocks whose costs
+// drive the figure-level results — similarity, calibration, blocking,
+// LP/MILP solving, the EXP-3D encoders, and the graph partitioner.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/exact_solver.h"
+#include "core/milp_encoder.h"
+#include "core/partitioning.h"
+#include "matching/blocking.h"
+#include "matching/mapping_generator.h"
+#include "matching/similarity.h"
+#include "milp/branch_and_bound.h"
+#include "partition/partitioner.h"
+#include "provenance/canonical.h"
+
+namespace explain3d {
+namespace {
+
+// --- fixtures -------------------------------------------------------------
+
+CanonicalRelation RandomRelation(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  CanonicalRelation rel;
+  rel.key_attrs = {"k"};
+  rel.agg = AggFunc::kSum;
+  for (size_t i = 0; i < n; ++i) {
+    CanonicalTuple t;
+    std::string key;
+    for (int w = 0; w < 5; ++w) {
+      key += "w" + std::to_string(rng.Index(500)) + " ";
+    }
+    t.key = {Value(key)};
+    t.impact = static_cast<double>(rng.UniformInt(1, 10));
+    t.prov_rows = {i};
+    rel.tuples.push_back(std::move(t));
+  }
+  return rel;
+}
+
+TupleMapping RandomMapping(size_t n1, size_t n2, size_t edges,
+                           uint64_t seed) {
+  Rng rng(seed);
+  TupleMapping mapping;
+  for (size_t k = 0; k < edges; ++k) {
+    mapping.emplace_back(rng.Index(n1), rng.Index(n2),
+                         rng.UniformDouble(0.06, 0.98));
+  }
+  SortMapping(&mapping);
+  mapping.erase(std::unique(mapping.begin(), mapping.end(),
+                            [](const TupleMatch& a, const TupleMatch& b) {
+                              return a.t1 == b.t1 && a.t2 == b.t2;
+                            }),
+                mapping.end());
+  return mapping;
+}
+
+// --- similarity -----------------------------------------------------------
+
+void BM_JaccardSimilarity(benchmark::State& state) {
+  std::string a = "department of computer and information sciences";
+  std::string b = "college of information and computer science";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JaccardSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_JaccardSimilarity);
+
+void BM_JaroSimilarity(benchmark::State& state) {
+  std::string a = "foodservice systems administration";
+  std::string b = "food business management";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JaroSimilarity(a, b));
+  }
+}
+BENCHMARK(BM_JaroSimilarity);
+
+void BM_Levenshtein(benchmark::State& state) {
+  std::string a = "turfgrass management";
+  std::string b = "turf grass managment";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(NormalizedLevenshtein(a, b));
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+// --- blocking + mapping generation ----------------------------------------
+
+void BM_Blocking(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  CanonicalRelation t1 = RandomRelation(n, 1);
+  CanonicalRelation t2 = RandomRelation(n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateCandidates(t1, t2));
+  }
+  state.SetComplexityN(static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Blocking)->Arg(200)->Arg(1000)->Arg(4000)->Complexity();
+
+void BM_InitialMapping(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  CanonicalRelation t1 = RandomRelation(n, 3);
+  CanonicalRelation t2 = RandomRelation(n, 4);
+  MappingGenOptions opts;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GenerateInitialMapping(t1, t2, GoldPairs{}, opts));
+  }
+}
+BENCHMARK(BM_InitialMapping)->Arg(500)->Arg(2000);
+
+// --- LP / MILP solver -------------------------------------------------------
+
+void BM_SimplexDense(benchmark::State& state) {
+  // Random feasible LP with m rows, 2m variables.
+  size_t m = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  milp::Model model;
+  for (size_t j = 0; j < 2 * m; ++j) {
+    model.AddContinuous("x" + std::to_string(j), 0, 10,
+                        rng.UniformDouble(-1, 1));
+  }
+  for (size_t r = 0; r < m; ++r) {
+    milp::LinExpr e;
+    for (size_t j = 0; j < 2 * m; ++j) {
+      if (rng.Bernoulli(0.2)) e.Add(j, rng.UniformDouble(-2, 2));
+    }
+    model.AddConstraint(e, milp::Relation::kLe,
+                        rng.UniformDouble(5, 50));
+  }
+  milp::SimplexSolver solver(model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver.Solve());
+  }
+  state.SetComplexityN(static_cast<int64_t>(m));
+}
+BENCHMARK(BM_SimplexDense)->Arg(20)->Arg(60)->Arg(150)->Complexity();
+
+void BM_MilpKnapsack(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(11);
+  milp::Model model;
+  milp::LinExpr weight;
+  for (size_t j = 0; j < n; ++j) {
+    milp::VarId v = model.AddBinary(
+        "b" + std::to_string(j),
+        static_cast<double>(rng.UniformInt(1, 30)));
+    weight.Add(v, static_cast<double>(rng.UniformInt(1, 12)));
+  }
+  model.AddConstraint(weight, milp::Relation::kLe,
+                      static_cast<double>(3 * n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(milp::MilpSolver(model).Solve());
+  }
+}
+BENCHMARK(BM_MilpKnapsack)->Arg(12)->Arg(24);
+
+// --- EXP-3D engines ---------------------------------------------------------
+
+struct Exp3dInstance {
+  CanonicalRelation t1, t2;
+  TupleMapping mapping;
+  AttributeMatch attr =
+      AttributeMatch::Single("k", "k", SemanticRelation::kEquivalent);
+  SubProblem whole;
+};
+
+Exp3dInstance MakeInstance(size_t n, size_t edges) {
+  Exp3dInstance inst;
+  inst.t1 = RandomRelation(n, 21);
+  inst.t2 = RandomRelation(n, 22);
+  inst.mapping = RandomMapping(n, n, edges, 23);
+  for (size_t i = 0; i < n; ++i) {
+    inst.whole.t1_ids.push_back(i);
+    inst.whole.t2_ids.push_back(i);
+  }
+  for (size_t k = 0; k < inst.mapping.size(); ++k) {
+    inst.whole.match_ids.push_back(k);
+  }
+  return inst;
+}
+
+void BM_MilpEncodeAndSolve(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Exp3dInstance inst = MakeInstance(n, n * 2);
+  ProbabilityModel prob((Explain3DConfig()));
+  MilpEncoder encoder(inst.t1, inst.t2, inst.mapping, inst.attr, prob);
+  for (auto _ : state) {
+    EncodedMilp enc = encoder.Encode(inst.whole);
+    benchmark::DoNotOptimize(milp::MilpSolver(enc.model).Solve());
+  }
+}
+BENCHMARK(BM_MilpEncodeAndSolve)->Arg(6)->Arg(12);
+
+void BM_AssignmentBnb(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Exp3dInstance inst = MakeInstance(n, n * 3);
+  ProbabilityModel prob((Explain3DConfig()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SolveComponentExact(
+        inst.t1, inst.t2, inst.mapping, inst.attr, prob, inst.whole));
+  }
+}
+BENCHMARK(BM_AssignmentBnb)->Arg(20)->Arg(100)->Arg(400);
+
+// --- partitioning ------------------------------------------------------------
+
+void BM_GraphPartitioner(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  TupleMapping mapping = RandomMapping(n, n, n * 4, 31);
+  Graph g = BuildMatchGraph(n, n, mapping, true, 0.1, 0.9, 100);
+  PartitionOptions opts;
+  opts.num_parts = std::max<size_t>(2, 2 * n / 1000);
+  opts.max_part_weight = 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PartitionGraph(g, opts));
+  }
+}
+BENCHMARK(BM_GraphPartitioner)->Arg(2000)->Arg(8000);
+
+void BM_PrePartition(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  TupleMapping mapping = RandomMapping(n, n, n * 4, 37);
+  Explain3DConfig config;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(PrePartition(n, n, mapping, config, 1000));
+  }
+}
+BENCHMARK(BM_PrePartition)->Arg(2000)->Arg(8000);
+
+}  // namespace
+}  // namespace explain3d
+
+BENCHMARK_MAIN();

@@ -1,0 +1,88 @@
+// Quickstart: the paper's running example (Figures 1 and 3).
+//
+// Two tiny datasets answer "how many undergraduate programs does
+// University A offer?" with different results (7 vs 6). explain3d finds
+// why: Computer Science is counted twice in D1 (B.S. and B.A.) but
+// appears once in D2.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "relational/csv.h"
+
+using namespace explain3d;
+
+int main() {
+  // D1: one row per (program, degree) — loaded from CSV text to show the
+  // CSV API; header cells carry optional :int/:real/:str type suffixes.
+  Table d1 = ParseCsv("D1",
+                      "Program:str,Degree:str\n"
+                      "Accounting,B.S.\n"
+                      "CS,B.A.\n"
+                      "CS,B.S.\n"
+                      "ECE,B.S.\n"
+                      "EE,B.S.\n"
+                      "Management,B.A.\n"
+                      "Design,B.A.\n")
+                 .value();
+  Table d2 = ParseCsv("D2",
+                      "Univ:str,Major:str\n"
+                      "A,Accounting\n"
+                      "A,CSE\n"
+                      "A,ECE\n"
+                      "A,EE\n"
+                      "A,Management\n"
+                      "A,Design\n"
+                      "B,Art\n")
+                 .value();
+
+  Database db1("university_site");
+  db1.PutTable(std::move(d1));
+  Database db2("state_records");
+  db2.PutTable(std::move(d2));
+
+  PipelineInput input;
+  input.db1 = &db1;
+  input.db2 = &db2;
+  input.sql1 = "SELECT COUNT(Program) FROM D1";
+  input.sql2 = "SELECT COUNT(Major) FROM D2 WHERE Univ = 'A'";
+  // M_attr: Program and Major are semantically equivalent (Def. 2.1);
+  // schema matching provides this in a real deployment.
+  input.attr_matches = {
+      AttributeMatch::Single("Program", "Major",
+                             SemanticRelation::kEquivalent)};
+  // Tiny datasets: compare all pairs with character-level Jaro similarity
+  // so abbreviation pairs like CS ~ CSE surface as candidates (record
+  // linkage would provide these matches in a real deployment).
+  input.mapping_options.use_blocking = false;
+  input.mapping_options.metric = StringMetric::kJaro;
+
+  Result<PipelineResult> result = RunExplain3D(input, Explain3DConfig());
+  if (!result.ok()) {
+    std::fprintf(stderr, "explain3d failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const PipelineResult& r = result.value();
+
+  std::printf("Q1(D1) = %s, Q2(D2) = %s\n",
+              r.answer1.ToDisplayString().c_str(),
+              r.answer2.ToDisplayString().c_str());
+  std::printf("\nCanonical relation T1 (|P1|=%zu rows consolidated to "
+              "%zu tuples):\n",
+              r.p1.size(), r.t1.size());
+  for (const CanonicalTuple& t : r.t1.tuples) {
+    std::printf("  %-12s impact %g\n", t.KeyString().c_str(), t.impact);
+  }
+
+  std::printf("\n%s", r.core.explanations.ToString(r.t1, r.t2).c_str());
+  std::printf("\nEvidence mapping M*:\n");
+  for (const TupleMatch& m : r.core.explanations.evidence) {
+    std::printf("  %-12s <-> %-12s (p=%.2f)\n",
+                r.t1.tuples[m.t1].KeyString().c_str(),
+                r.t2.tuples[m.t2].KeyString().c_str(), m.p);
+  }
+  return 0;
+}

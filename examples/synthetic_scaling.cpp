@@ -1,0 +1,64 @@
+// Synthetic scaling example: the Section-4 smart-partitioning optimizer
+// in action. Generates a 2×2000-tuple synthetic pair and solves it with
+// and without partitioning, printing sub-problem statistics.
+//
+// Build & run:  ./build/examples/synthetic_scaling
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "datagen/synthetic.h"
+#include "eval/gold.h"
+#include "eval/metrics.h"
+
+using namespace explain3d;
+
+int main() {
+  SyntheticOptions gen;
+  gen.n = 2000;
+  gen.d = 0.2;
+  gen.v = 500;
+  SyntheticDataset data = GenerateSynthetic(gen).value();
+
+  for (size_t batch : {size_t{0}, size_t{500}}) {
+    PipelineInput input;
+    input.db1 = &data.db1;
+    input.db2 = &data.db2;
+    input.sql1 = data.sql1;
+    input.sql2 = data.sql2;
+    input.attr_matches = data.attr_matches;
+    input.mapping_options.min_probability = 1e-4;
+    input.calibration_oracle =
+        MakeRowEntityOracle(data.row_entities1, data.row_entities2);
+
+    Explain3DConfig config;
+    config.batch_size = batch;
+    Result<PipelineResult> result = RunExplain3D(input, config);
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    const PipelineResult& r = result.value();
+    std::vector<int64_t> e1 = CanonicalEntities(r.t1, data.row_entities1);
+    std::vector<int64_t> e2 = CanonicalEntities(r.t2, data.row_entities2);
+    GoldStandard gold = DeriveGoldFromEntities(r.t1, r.t2, e1, e2);
+    AccuracyReport acc = Evaluate(r.core.explanations, gold);
+
+    std::printf("batch=%zu (%s)\n", batch,
+                batch == 0 ? "connected components only"
+                           : "smart partitioning, Algorithm 3");
+    std::printf("  sub-problems: %zu  (milp: %zu, assignment B&B: %zu)\n",
+                r.core.stats.num_subproblems, r.core.stats.milp_solved,
+                r.core.stats.exact_solved);
+    std::printf("  cut matches: %zu of %zu\n",
+                r.core.stats.partition.cut_matches,
+                r.initial_mapping.size());
+    std::printf("  stage-2 time: %.3fs (partitioning %.3fs)\n",
+                r.core.stats.solve_seconds,
+                r.core.stats.partition.partition_seconds +
+                    r.core.stats.partition.prepartition_seconds);
+    std::printf("  accuracy: explanations F1=%.3f, evidence F1=%.3f\n\n",
+                acc.explanation.f1, acc.evidence.f1);
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "baselines/baseline.h"
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace explain3d {
+
+ExplanationSet DeriveExplanationsFromEvidence(const CanonicalRelation& t1,
+                                              const CanonicalRelation& t2,
+                                              const TupleMapping& evidence) {
+  ExplanationSet out;
+  out.evidence = evidence;
+
+  std::vector<size_t> deg1(t1.size(), 0), deg2(t2.size(), 0);
+  size_t n = t1.size() + t2.size();
+  std::vector<size_t> parent(n);
+  for (size_t i = 0; i < n; ++i) parent[i] = i;
+  auto find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (const TupleMatch& m : evidence) {
+    ++deg1[m.t1];
+    ++deg2[m.t2];
+    size_t ra = find(m.t1), rb = find(t1.size() + m.t2);
+    if (ra != rb) parent[ra] = rb;
+  }
+
+  for (size_t i = 0; i < t1.size(); ++i) {
+    if (deg1[i] == 0) out.delta.push_back({Side::kLeft, i});
+  }
+  for (size_t j = 0; j < t2.size(); ++j) {
+    if (deg2[j] == 0) out.delta.push_back({Side::kRight, j});
+  }
+
+  // Component impact balances; one value fix per imbalanced component,
+  // placed on a side-2 member (mirrors explain3d's canonical decode).
+  struct Balance {
+    double sum1 = 0, sum2 = 0;
+    size_t fix2 = static_cast<size_t>(-1);
+  };
+  std::map<size_t, Balance> comps;
+  for (size_t i = 0; i < t1.size(); ++i) {
+    if (deg1[i] > 0) comps[find(i)].sum1 += t1.tuples[i].impact;
+  }
+  for (size_t j = 0; j < t2.size(); ++j) {
+    if (deg2[j] > 0) {
+      Balance& b = comps[find(t1.size() + j)];
+      b.sum2 += t2.tuples[j].impact;
+      if (b.fix2 == static_cast<size_t>(-1)) b.fix2 = j;
+    }
+  }
+  for (const auto& [root, b] : comps) {
+    (void)root;
+    if (!ImpactsDiffer(b.sum1, b.sum2)) continue;
+    if (b.fix2 == static_cast<size_t>(-1)) continue;  // one-sided component
+    double old_impact = t2.tuples[b.fix2].impact;
+    out.value_changes.push_back(
+        {Side::kRight, b.fix2, old_impact, old_impact + (b.sum1 - b.sum2)});
+  }
+  out.Normalize();
+  return out;
+}
+
+}  // namespace explain3d

@@ -1,0 +1,27 @@
+// Shared plumbing of the comparison algorithms (Section 5.1.3).
+//
+// RSWOOSH, THRESHOLD and GREEDY all end the same way: given a refined
+// (deterministic) evidence mapping, tuples without a match become
+// provenance-based explanations and connected components with unequal
+// impacts yield value-based explanations. DeriveExplanationsFromEvidence
+// implements that shared step.
+
+#ifndef EXPLAIN3D_BASELINES_BASELINE_H_
+#define EXPLAIN3D_BASELINES_BASELINE_H_
+
+#include "core/explanation.h"
+#include "matching/tuple_mapping.h"
+#include "provenance/canonical.h"
+
+namespace explain3d {
+
+/// Derives (Δ, δ | evidence) from a fixed evidence mapping: unmatched
+/// tuples → Δ; evidence components whose side impacts disagree → one
+/// value-based explanation on a side-2 tuple of the component.
+ExplanationSet DeriveExplanationsFromEvidence(const CanonicalRelation& t1,
+                                              const CanonicalRelation& t2,
+                                              const TupleMapping& evidence);
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_BASELINES_BASELINE_H_

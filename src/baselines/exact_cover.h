@@ -1,0 +1,28 @@
+// EXACTCOVER baseline (Section 5.1.3): the integer-programming adaptation
+// of the Exact Cover problem used in the paper's NP-completeness proof.
+//
+// Side-1 canonical tuples are elements; side-2 tuples are sets; an
+// element belongs to a set when an initial tuple match connects them.
+// The decision problem becomes an optimization: pick sets such that each
+// element is covered at most once and the number of covered elements
+// plus selected sets is maximized. The baseline ignores impacts and
+// match probabilities, which is why it performs poorly.
+
+#ifndef EXPLAIN3D_BASELINES_EXACT_COVER_H_
+#define EXPLAIN3D_BASELINES_EXACT_COVER_H_
+
+#include "baselines/baseline.h"
+#include "common/status.h"
+
+namespace explain3d {
+
+/// Solves the exact-cover adaptation (per connected component, through
+/// the MILP solver) and derives explanations from the resulting
+/// element→set assignment.
+Result<ExplanationSet> ExactCoverBaseline(const CanonicalRelation& t1,
+                                          const CanonicalRelation& t2,
+                                          const TupleMapping& mapping);
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_BASELINES_EXACT_COVER_H_

@@ -1,0 +1,116 @@
+#include "baselines/formalexp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace explain3d {
+
+namespace {
+
+/// A candidate predicate: one attribute pinned to one value.
+struct Predicate {
+  size_t column;
+  Value value;
+  double covered_impact = 0;
+  std::vector<size_t> covered_rows;
+};
+
+/// Enumerates (attr = value) predicates over the provenance relation,
+/// skipping near-key attributes.
+std::vector<Predicate> EnumeratePredicates(const ProvenanceRelation& prov,
+                                           size_t max_cardinality) {
+  std::vector<Predicate> out;
+  const Table& t = prov.table;
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    std::map<Value, Predicate> by_value;
+    bool usable = true;
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      const Value& v = t.row(r)[c];
+      Predicate& p = by_value[v];
+      p.column = c;
+      p.value = v;
+      p.covered_impact += prov.impact[r];
+      p.covered_rows.push_back(r);
+      if (by_value.size() > max_cardinality) {
+        usable = false;
+        break;
+      }
+    }
+    if (!usable || by_value.size() <= 1) continue;
+    for (auto& [v, p] : by_value) {
+      (void)v;
+      out.push_back(std::move(p));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<ExplanationSet> FormalExpBaseline(const CanonicalRelation& t1,
+                                         const CanonicalRelation& t2,
+                                         const ProvenanceRelation& p1,
+                                         const ProvenanceRelation& p2,
+                                         const FormalExpOptions& opts) {
+  double r1 = p1.TotalImpact();
+  double r2 = p2.TotalImpact();
+  double diff = std::abs(r1 - r2);
+
+  // Intervention effect of deleting `covered_impact` from the high side:
+  // the residual disagreement after the intervention.
+  struct Scored {
+    double effect;
+    Side side;
+    const Predicate* pred;
+  };
+  std::vector<Predicate> preds1 =
+      EnumeratePredicates(p1, opts.max_attr_cardinality);
+  std::vector<Predicate> preds2 =
+      EnumeratePredicates(p2, opts.max_attr_cardinality);
+  std::vector<Scored> scored;
+  for (const Predicate& p : preds1) {
+    double after = std::abs((r1 - p.covered_impact) - r2);
+    scored.push_back({diff - after, Side::kLeft, &p});
+  }
+  for (const Predicate& p : preds2) {
+    double after = std::abs(r1 - (r2 - p.covered_impact));
+    scored.push_back({diff - after, Side::kRight, &p});
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const Scored& a, const Scored& b) {
+                     if (a.effect != b.effect) return a.effect > b.effect;
+                     return a.pred->covered_rows.size() <
+                            b.pred->covered_rows.size();
+                   });
+
+  // Top-k predicates; covered provenance rows map to canonical tuples.
+  std::set<size_t> prov_rows1, prov_rows2;
+  for (size_t k = 0; k < scored.size() && k < opts.top_k; ++k) {
+    if (scored[k].effect <= 0) break;  // interventions must help
+    auto& rows =
+        scored[k].side == Side::kLeft ? prov_rows1 : prov_rows2;
+    for (size_t r : scored[k].pred->covered_rows) rows.insert(r);
+  }
+
+  ExplanationSet out;
+  auto map_to_canonical = [](const CanonicalRelation& rel,
+                             const std::set<size_t>& rows, Side side,
+                             std::vector<ProvExplanation>* delta) {
+    for (size_t c = 0; c < rel.size(); ++c) {
+      for (size_t pr : rel.tuples[c].prov_rows) {
+        if (rows.count(pr)) {
+          delta->push_back({side, c});
+          break;
+        }
+      }
+    }
+  };
+  map_to_canonical(t1, prov_rows1, Side::kLeft, &out.delta);
+  map_to_canonical(t2, prov_rows2, Side::kRight, &out.delta);
+  out.Normalize();
+  return out;
+}
+
+}  // namespace explain3d

@@ -1,0 +1,41 @@
+// FORMALEXP baseline: a single-dataset explanation framework in the
+// style of Roy & Suciu (SIGMOD 2014), adapted to the disjoint-dataset
+// setting exactly as Section 5.1.3 describes.
+//
+// The adaptation compares the two results and asks, per dataset, "why is
+// this result high (resp. low)?". Candidate explanations are conjunctive
+// predicates (attr = value) over the provenance relation; a predicate's
+// score is its intervention effect — how much deleting the tuples it
+// covers moves the query result toward the other query's result. The
+// top-k predicates are returned and the tuples they cover become
+// provenance-based explanations. The method produces no evidence mapping
+// and no value-based explanations, which caps its achievable recall.
+
+#ifndef EXPLAIN3D_BASELINES_FORMALEXP_H_
+#define EXPLAIN3D_BASELINES_FORMALEXP_H_
+
+#include "baselines/baseline.h"
+#include "common/status.h"
+#include "provenance/provenance.h"
+
+namespace explain3d {
+
+/// FORMALEXP options; the paper evaluates top_k = 15.
+struct FormalExpOptions {
+  size_t top_k = 15;
+  /// Attributes with more distinct values than this do not form
+  /// predicates (they would name individual tuples, not patterns).
+  size_t max_attr_cardinality = 256;
+};
+
+/// Runs the adapted FORMALEXP on both provenance relations and maps the
+/// covered provenance tuples to canonical-tuple explanations.
+Result<ExplanationSet> FormalExpBaseline(const CanonicalRelation& t1,
+                                         const CanonicalRelation& t2,
+                                         const ProvenanceRelation& p1,
+                                         const ProvenanceRelation& p2,
+                                         const FormalExpOptions& opts);
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_BASELINES_FORMALEXP_H_

@@ -1,0 +1,28 @@
+// GREEDY baseline (Section 5.1.3): explain3d's objective function built
+// greedily instead of by constrained optimization.
+//
+// Matches are visited in decreasing probability; a match joins the
+// evidence when it (a) respects the valid-mapping cardinality of the
+// attribute match and (b) improves the Section-3.1 objective value under
+// the derived explanations. Greedy reaches local maxima — exactly the
+// failure mode the paper's evaluation shows.
+
+#ifndef EXPLAIN3D_BASELINES_GREEDY_H_
+#define EXPLAIN3D_BASELINES_GREEDY_H_
+
+#include "baselines/baseline.h"
+#include "core/probability_model.h"
+#include "matching/attribute_match.h"
+
+namespace explain3d {
+
+/// Runs the greedy evidence construction and derives explanations.
+ExplanationSet GreedyBaseline(const CanonicalRelation& t1,
+                              const CanonicalRelation& t2,
+                              const TupleMapping& mapping,
+                              const AttributeMatch& attr,
+                              const ProbabilityModel& prob);
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_BASELINES_GREEDY_H_

@@ -1,0 +1,97 @@
+#include "baselines/rswoosh.h"
+
+#include <algorithm>
+#include <list>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "matching/similarity.h"
+
+namespace explain3d {
+
+namespace {
+
+/// A (possibly merged) record: token set plus the canonical tuples it
+/// subsumes from each side.
+struct SwooshRecord {
+  std::vector<std::string> tokens;  // sorted unique
+  std::vector<size_t> members1;
+  std::vector<size_t> members2;
+};
+
+std::vector<std::string> KeyTokens(const CanonicalTuple& t) {
+  std::vector<std::string> toks;
+  for (const Value& v : t.key) {
+    std::vector<std::string> part = TokenizeWords(v.ToDisplayString());
+    toks.insert(toks.end(), part.begin(), part.end());
+  }
+  std::sort(toks.begin(), toks.end());
+  toks.erase(std::unique(toks.begin(), toks.end()), toks.end());
+  return toks;
+}
+
+SwooshRecord Merge(const SwooshRecord& a, const SwooshRecord& b) {
+  SwooshRecord m;
+  std::set_union(a.tokens.begin(), a.tokens.end(), b.tokens.begin(),
+                 b.tokens.end(), std::back_inserter(m.tokens));
+  m.members1 = a.members1;
+  m.members1.insert(m.members1.end(), b.members1.begin(), b.members1.end());
+  m.members2 = a.members2;
+  m.members2.insert(m.members2.end(), b.members2.begin(), b.members2.end());
+  return m;
+}
+
+}  // namespace
+
+ExplanationSet RSwooshBaseline(const CanonicalRelation& t1,
+                               const CanonicalRelation& t2,
+                               double jaccard_threshold) {
+  // Input queue I and resolved set R of the R-Swoosh algorithm.
+  std::list<SwooshRecord> input;
+  for (size_t i = 0; i < t1.size(); ++i) {
+    SwooshRecord r;
+    r.tokens = KeyTokens(t1.tuples[i]);
+    r.members1 = {i};
+    input.push_back(std::move(r));
+  }
+  for (size_t j = 0; j < t2.size(); ++j) {
+    SwooshRecord r;
+    r.tokens = KeyTokens(t2.tuples[j]);
+    r.members2 = {j};
+    input.push_back(std::move(r));
+  }
+
+  std::list<SwooshRecord> resolved;
+  while (!input.empty()) {
+    SwooshRecord current = std::move(input.front());
+    input.pop_front();
+    bool merged = false;
+    for (auto it = resolved.begin(); it != resolved.end(); ++it) {
+      if (JaccardOfTokenSets(current.tokens, it->tokens) >=
+          jaccard_threshold) {
+        SwooshRecord m = Merge(current, *it);
+        resolved.erase(it);
+        input.push_back(std::move(m));  // re-resolve the merge result
+        merged = true;
+        break;
+      }
+    }
+    if (!merged) resolved.push_back(std::move(current));
+  }
+
+  // Cross-dataset pairs inside each cluster form the evidence; R-Swoosh
+  // matches are deterministic, so p is clamped just below 1.
+  TupleMapping evidence;
+  for (const SwooshRecord& r : resolved) {
+    for (size_t i : r.members1) {
+      for (size_t j : r.members2) {
+        evidence.emplace_back(i, j, 0.99);
+      }
+    }
+  }
+  SortMapping(&evidence);
+  return DeriveExplanationsFromEvidence(t1, t2, evidence);
+}
+
+}  // namespace explain3d

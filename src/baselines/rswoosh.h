@@ -1,0 +1,27 @@
+// RSWOOSH baseline: the R-Swoosh generic entity-resolution algorithm
+// (Benjelloun et al., VLDB Journal 2009) applied across the two canonical
+// relations.
+//
+// R-Swoosh maintains a set of resolved records; each incoming record is
+// matched against them, and matching records merge (here: union of token
+// sets and member lists) until a fixpoint. Matches are deterministic
+// (token Jaccard ≥ threshold, default 0.75 per Section 5.1.3), so every
+// derived cross-dataset pair enters the evidence with probability
+// clamped just below 1.
+
+#ifndef EXPLAIN3D_BASELINES_RSWOOSH_H_
+#define EXPLAIN3D_BASELINES_RSWOOSH_H_
+
+#include "baselines/baseline.h"
+
+namespace explain3d {
+
+/// Runs R-Swoosh over the union of both canonical relations and derives
+/// explanations from the cross-dataset pairs of each merged cluster.
+ExplanationSet RSwooshBaseline(const CanonicalRelation& t1,
+                               const CanonicalRelation& t2,
+                               double jaccard_threshold = 0.75);
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_BASELINES_RSWOOSH_H_

@@ -1,0 +1,16 @@
+#include "baselines/threshold.h"
+
+namespace explain3d {
+
+ExplanationSet ThresholdBaseline(const CanonicalRelation& t1,
+                                 const CanonicalRelation& t2,
+                                 const TupleMapping& mapping,
+                                 double threshold) {
+  TupleMapping evidence;
+  for (const TupleMatch& m : mapping) {
+    if (m.p >= threshold) evidence.push_back(m);
+  }
+  return DeriveExplanationsFromEvidence(t1, t2, evidence);
+}
+
+}  // namespace explain3d

@@ -1,0 +1,21 @@
+// THRESHOLD baseline (Section 5.1.3): keep initial matches with p ≥ θ as
+// the evidence mapping, then derive explanations like RSWOOSH does. The
+// paper evaluates θ = 0.9 ("THRESHOLD-0.9").
+
+#ifndef EXPLAIN3D_BASELINES_THRESHOLD_H_
+#define EXPLAIN3D_BASELINES_THRESHOLD_H_
+
+#include "baselines/baseline.h"
+
+namespace explain3d {
+
+/// Refines `mapping` by the fixed probability threshold and derives
+/// explanations from the surviving matches.
+ExplanationSet ThresholdBaseline(const CanonicalRelation& t1,
+                                 const CanonicalRelation& t2,
+                                 const TupleMapping& mapping,
+                                 double threshold = 0.9);
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_BASELINES_THRESHOLD_H_

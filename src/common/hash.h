@@ -1,0 +1,28 @@
+// Hash combinators for composite keys (row group-by keys, pair hashing).
+
+#ifndef EXPLAIN3D_COMMON_HASH_H_
+#define EXPLAIN3D_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace explain3d {
+
+/// Mixes `v` into seed `h` (boost::hash_combine style, 64-bit constants).
+inline size_t HashCombine(size_t h, size_t v) {
+  return h ^ (v + 0x9e3779b97f4a7c15ULL + (h << 12) + (h >> 4));
+}
+
+/// Hash for std::pair keys in unordered containers.
+struct PairHash {
+  template <typename A, typename B>
+  size_t operator()(const std::pair<A, B>& p) const {
+    return HashCombine(std::hash<A>{}(p.first), std::hash<B>{}(p.second));
+  }
+};
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_COMMON_HASH_H_

@@ -1,0 +1,71 @@
+// Minimal leveled logging and checked assertions.
+//
+// E3D_CHECK aborts on internal invariant violations (programming errors);
+// recoverable failures use Status (status.h).
+
+#ifndef EXPLAIN3D_COMMON_LOGGING_H_
+#define EXPLAIN3D_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace explain3d {
+
+/// Log severity, lowest to highest.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Default: kWarn so
+/// library users are not spammed. Benchmarks raise it to kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Stream-style log line; flushes to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Aborting variant used by E3D_CHECK.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* expr);
+  [[noreturn]] ~FatalLogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define E3D_LOG(level)                                               \
+  if (::explain3d::LogLevel::level >= ::explain3d::GetLogLevel())    \
+  ::explain3d::internal::LogMessage(::explain3d::LogLevel::level,    \
+                                    __FILE__, __LINE__)              \
+      .stream()
+
+/// Aborts with a message when `cond` is false. For internal invariants only.
+#define E3D_CHECK(cond)                                                   \
+  if (!(cond))                                                            \
+  ::explain3d::internal::FatalLogMessage(__FILE__, __LINE__, #cond).stream()
+
+#define E3D_CHECK_EQ(a, b) E3D_CHECK((a) == (b))
+#define E3D_CHECK_NE(a, b) E3D_CHECK((a) != (b))
+#define E3D_CHECK_LT(a, b) E3D_CHECK((a) < (b))
+#define E3D_CHECK_LE(a, b) E3D_CHECK((a) <= (b))
+#define E3D_CHECK_GT(a, b) E3D_CHECK((a) > (b))
+#define E3D_CHECK_GE(a, b) E3D_CHECK((a) >= (b))
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_COMMON_LOGGING_H_

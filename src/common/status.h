@@ -1,0 +1,152 @@
+// Status / Result<T> error-handling primitives.
+//
+// Following the RocksDB/Arrow idiom, fallible operations at public API
+// boundaries return a Status (or a Result<T> carrying a value), never throw.
+// Internal invariant violations use E3D_CHECK-style assertions (logging.h).
+
+#ifndef EXPLAIN3D_COMMON_STATUS_H_
+#define EXPLAIN3D_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace explain3d {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< Caller passed a malformed or out-of-domain input.
+  kNotFound,          ///< A named entity (table, column, file) does not exist.
+  kAlreadyExists,     ///< Attempt to create an entity that already exists.
+  kOutOfRange,        ///< Index or numeric value outside the valid range.
+  kUnsupported,       ///< Feature outside the supported query/model fragment.
+  kParseError,        ///< SQL or CSV text could not be parsed.
+  kInfeasible,        ///< Optimization model has no feasible solution.
+  kUnbounded,         ///< Optimization model has unbounded objective.
+  kResourceExhausted, ///< Iteration/size limit hit before completion.
+  kInternal,          ///< Bug: an internal invariant failed.
+  kIOError,           ///< Filesystem failure.
+};
+
+/// Human-readable name of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Result of a fallible operation: a code plus a free-form message.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy (the
+/// message is empty in the OK case).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status Unbounded(std::string msg) {
+    return Status(StatusCode::kUnbounded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Either a value of type T or a non-OK Status.
+///
+/// Usage:
+///   Result<Table> r = LoadCsv(path);
+///   if (!r.ok()) return r.status();
+///   Table t = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs an OK result holding `value`.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT: implicit by design
+  /// Constructs a failed result. `status` must not be OK.
+  Result(Status status) : repr_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// The failure status, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  /// The held value. Must only be called when ok().
+  const T& value() const& { return std::get<T>(repr_); }
+  T& value() & { return std::get<T>(repr_); }
+  T&& value() && { return std::get<T>(std::move(repr_)); }
+
+  /// Value or a fallback when failed.
+  T value_or(T fallback) const {
+    if (ok()) return value();
+    return fallback;
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates a non-OK Status from an expression, RocksDB-style.
+#define E3D_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::explain3d::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Assigns the value of a Result expression or propagates its Status.
+#define E3D_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto E3D_CONCAT_(_res_, __LINE__) = (expr);    \
+  if (!E3D_CONCAT_(_res_, __LINE__).ok())        \
+    return E3D_CONCAT_(_res_, __LINE__).status();\
+  lhs = std::move(E3D_CONCAT_(_res_, __LINE__)).value()
+
+#define E3D_CONCAT_INNER_(a, b) a##b
+#define E3D_CONCAT_(a, b) E3D_CONCAT_INNER_(a, b)
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_COMMON_STATUS_H_

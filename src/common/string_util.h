@@ -1,0 +1,39 @@
+// String helpers shared across modules: tokenization for record-linkage
+// similarity, case folding, join/split for CSV and display.
+
+#ifndef EXPLAIN3D_COMMON_STRING_UTIL_H_
+#define EXPLAIN3D_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace explain3d {
+
+/// ASCII lower-casing (workloads are ASCII; no locale dependence).
+std::string ToLower(const std::string& s);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string Trim(const std::string& s);
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Tokenizes for record-linkage similarity: lower-cases, then splits on any
+/// non-alphanumeric run. "Equine Mgmt. (B.S.)" -> {"equine","mgmt","b","s"}.
+std::vector<std::string> TokenizeWords(const std::string& s);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(const std::string& s, const std::string& prefix);
+bool EndsWith(const std::string& s, const std::string& suffix);
+
+/// printf-style formatting into std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_COMMON_STRING_UTIL_H_

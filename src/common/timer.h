@@ -1,0 +1,30 @@
+// Wall-clock stopwatch used by the experiment harness.
+
+#ifndef EXPLAIN3D_COMMON_TIMER_H_
+#define EXPLAIN3D_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace explain3d {
+
+/// Starts on construction; Seconds()/Millis() read elapsed wall time.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_COMMON_TIMER_H_

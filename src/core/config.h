@@ -1,0 +1,52 @@
+// Configuration knobs of the explain3d framework.
+
+#ifndef EXPLAIN3D_CORE_CONFIG_H_
+#define EXPLAIN3D_CORE_CONFIG_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace explain3d {
+
+/// All tunables of the 3-stage pipeline and the Section-4 optimizer.
+/// Defaults follow the paper where it states values (θl=0.1, θh=0.9,
+/// R=100); α and β are the a-priori probabilities of Section 3.1,
+/// α,β ∈ (0.5, 1].
+struct Explain3DConfig {
+  // --- probability model (Section 3.1) ---
+  double alpha = 0.9;  ///< prior P(tuple covered by both datasets)
+  double beta = 0.9;   ///< prior P(tuple impact is correct)
+
+  // --- smart partitioning (Section 4) ---
+  /// Batch size (max tuples per partition, Lmax). 0 disables graph
+  /// partitioning: the solver still decomposes into connected components
+  /// (the "NoOpt" configuration of Section 5.3 — the paper's basic
+  /// algorithm modulo solver-presolve-equivalent decomposition).
+  size_t batch_size = 1000;
+  double theta_low = 0.1;   ///< θl: low-probability edge threshold
+  double theta_high = 0.9;  ///< θh: high-probability edge threshold
+  double reward = 100.0;    ///< R: weight reward/penalty factor
+  bool use_pre_partitioning = true;  ///< Algorithm 2 on/off (ablation)
+  /// Decompose each sub-problem into maximal connected components before
+  /// solving (lossless, Section 4's opening observation; equivalent to an
+  /// industrial solver's block presolve). The Figure-8 "NoOpt" runs turn
+  /// this off to solve one monolithic problem, as the paper's basic
+  /// algorithm does.
+  bool decompose_components = true;
+  uint64_t seed = 1;
+
+  // --- MILP solving (Section 3.2) ---
+  /// Components whose encoded model stays under this many constraints are
+  /// solved through the faithful Section-3.2 MILP encoding; larger
+  /// components fall back to the structure-exploiting exact branch &
+  /// bound (see DESIGN.md substitutions — both are exact).
+  size_t milp_max_constraints = 250;
+  double milp_time_limit_seconds = 1.0;
+  size_t milp_max_nodes = 50000;
+  /// Node limit of the specialized component solver.
+  size_t exact_max_nodes = 4000000;
+};
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_CORE_CONFIG_H_

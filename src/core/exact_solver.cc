@@ -1,0 +1,261 @@
+#include "core/exact_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace explain3d {
+
+namespace {
+
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+
+/// One assignment option of an A-side tuple.
+struct Option {
+  bool remove = false;
+  size_t b_local = 0;     // target group when !remove
+  size_t match_id = 0;    // global match index when !remove
+  double delta = 0;       // immediate score delta (A term + edge gain)
+};
+
+struct Instance {
+  // A = assigning (degree-capped) side; B = group side.
+  bool swapped = false;    // true when A is the paper's side 2
+  bool in_cap = false;     // B in-degree capped at 1 (≡ / strict 1-1)
+  std::vector<size_t> a_global, b_global;
+  std::vector<double> a_impact, b_impact;
+  std::vector<std::vector<Option>> options;        // per A tuple, sorted
+  std::vector<std::vector<size_t>> a_neighbors;    // per A tuple: B locals
+  double const_edges = 0;  // Σ log(1-p) over the sub-problem's matches
+};
+
+class AssignmentBnb {
+ public:
+  AssignmentBnb(const Instance& inst, const ProbabilityModel& prob,
+                size_t max_nodes)
+      : inst_(inst), prob_(prob), max_nodes_(max_nodes) {}
+
+  void Run() {
+    size_t na = inst_.a_global.size();
+    size_t nb = inst_.b_global.size();
+    b_sum_.assign(nb, 0.0);
+    b_count_.assign(nb, 0);
+    remaining_adj_.assign(nb, 0);
+    for (const auto& neigh : inst_.a_neighbors) {
+      for (size_t j : neigh) ++remaining_adj_[j];
+    }
+    // B tuples with no incident edges are finalized (removed) up front.
+    double score = 0;
+    unfinalized_ = 0;
+    for (size_t j = 0; j < nb; ++j) {
+      if (remaining_adj_[j] == 0) {
+        score += prob_.a;
+      } else {
+        ++unfinalized_;
+      }
+    }
+    // Static optimistic suffix for the A side.
+    suffix_opt_.assign(na + 1, 0.0);
+    for (size_t k = na; k-- > 0;) {
+      double best = prob_.a;
+      for (const Option& o : inst_.options[k]) {
+        best = std::max(best, o.delta);
+      }
+      suffix_opt_[k] = suffix_opt_[k + 1] + best;
+    }
+    choice_.assign(na, nullptr);
+    best_choice_.assign(na, nullptr);
+    best_score_ = kNegInf;
+    Dfs(0, score);
+  }
+
+  double best_score() const { return best_score_; }
+  const std::vector<const Option*>& best_choice() const {
+    return best_choice_;
+  }
+  bool proven_optimal() const { return nodes_ < max_nodes_; }
+  size_t nodes() const { return nodes_; }
+
+ private:
+  double GroupTerm(size_t j) const {
+    if (b_count_[j] == 0) return prob_.a;
+    return ImpactsDiffer(b_sum_[j], inst_.b_impact[j]) ? prob_.b
+                                                        : prob_.c;
+  }
+
+  void Dfs(size_t k, double score) {
+    if (nodes_ >= max_nodes_ && best_score_ > kNegInf) return;
+    if (k == inst_.a_global.size()) {
+      if (score > best_score_ + 1e-12) {
+        best_score_ = score;
+        best_choice_ = choice_;
+      }
+      return;
+    }
+    // Admissible bound: best static option per remaining A tuple plus the
+    // optimistic "kept, unchanged" term for every unfinalized group.
+    double bound =
+        score + suffix_opt_[k] + prob_.c * static_cast<double>(unfinalized_);
+    if (bound <= best_score_ + 1e-12) return;
+
+    for (const Option& o : inst_.options[k]) {
+      if (!o.remove && inst_.in_cap && b_count_[o.b_local] > 0) continue;
+      ++nodes_;
+      double next = score + o.delta;
+      if (!o.remove) {
+        b_sum_[o.b_local] += inst_.a_impact[k];
+        ++b_count_[o.b_local];
+      }
+      // Groups losing their last undecided neighbor finalize now.
+      size_t finalized_here = 0;
+      double finalized_score = 0;
+      for (size_t j : inst_.a_neighbors[k]) {
+        if (--remaining_adj_[j] == 0) {
+          ++finalized_here;
+          finalized_score += GroupTerm(j);
+        }
+      }
+      unfinalized_ -= finalized_here;
+      choice_[k] = &o;
+
+      Dfs(k + 1, next + finalized_score);
+
+      choice_[k] = nullptr;
+      unfinalized_ += finalized_here;
+      for (size_t j : inst_.a_neighbors[k]) ++remaining_adj_[j];
+      if (!o.remove) {
+        b_sum_[o.b_local] -= inst_.a_impact[k];
+        --b_count_[o.b_local];
+      }
+      if (nodes_ >= max_nodes_ && best_score_ > kNegInf) return;
+    }
+  }
+
+  const Instance& inst_;
+  const ProbabilityModel& prob_;
+  size_t max_nodes_;
+  size_t nodes_ = 0;
+
+  std::vector<double> b_sum_;
+  std::vector<size_t> b_count_;
+  std::vector<size_t> remaining_adj_;
+  std::vector<double> suffix_opt_;
+  std::vector<const Option*> choice_;
+  std::vector<const Option*> best_choice_;
+  size_t unfinalized_ = 0;
+  double best_score_ = kNegInf;
+};
+
+}  // namespace
+
+Result<ExactSolveResult> SolveComponentExact(
+    const CanonicalRelation& t1, const CanonicalRelation& t2,
+    const TupleMapping& mapping, const AttributeMatch& attr,
+    const ProbabilityModel& prob, const SubProblem& sub, size_t max_nodes) {
+  auto strict = [](AggFunc f) {
+    return f == AggFunc::kAvg || f == AggFunc::kMax || f == AggFunc::kMin;
+  };
+  bool strict11 = strict(t1.agg) || strict(t2.agg);
+  bool cap1 = attr.Side1DegreeCapped() || strict11;
+  bool cap2 = attr.Side2DegreeCapped() || strict11;
+  if (!cap1 && !cap2) {
+    return Status::InvalidArgument(
+        "many-to-many attribute matches admit no valid mapping");
+  }
+
+  Instance inst;
+  inst.swapped = !cap1;             // A must be the degree-capped side
+  inst.in_cap = cap1 && cap2;       // ≡ / strict: groups take one member
+
+  const std::vector<size_t>& a_ids = inst.swapped ? sub.t2_ids : sub.t1_ids;
+  const std::vector<size_t>& b_ids = inst.swapped ? sub.t1_ids : sub.t2_ids;
+  const CanonicalRelation& a_rel = inst.swapped ? t2 : t1;
+  const CanonicalRelation& b_rel = inst.swapped ? t1 : t2;
+
+  inst.a_global = a_ids;
+  inst.b_global = b_ids;
+  for (size_t g : a_ids) inst.a_impact.push_back(a_rel.tuples[g].impact);
+  for (size_t g : b_ids) inst.b_impact.push_back(b_rel.tuples[g].impact);
+
+  std::unordered_map<size_t, size_t> a_local, b_local;
+  for (size_t k = 0; k < a_ids.size(); ++k) a_local.emplace(a_ids[k], k);
+  for (size_t k = 0; k < b_ids.size(); ++k) b_local.emplace(b_ids[k], k);
+
+  inst.options.resize(a_ids.size());
+  inst.a_neighbors.resize(a_ids.size());
+  for (size_t mid : sub.match_ids) {
+    const TupleMatch& m = mapping[mid];
+    size_t ga = inst.swapped ? m.t2 : m.t1;
+    size_t gb = inst.swapped ? m.t1 : m.t2;
+    auto ita = a_local.find(ga);
+    auto itb = b_local.find(gb);
+    if (ita == a_local.end() || itb == b_local.end()) {
+      return Status::InvalidArgument(
+          "sub-problem match references tuples outside the sub-problem");
+    }
+    double gain = std::log(m.p) - std::log(1.0 - m.p);
+    inst.const_edges += std::log(1.0 - m.p);
+    Option o;
+    o.remove = false;
+    o.b_local = itb->second;
+    o.match_id = mid;
+    o.delta = prob.c + gain;
+    inst.options[ita->second].push_back(o);
+    inst.a_neighbors[ita->second].push_back(itb->second);
+  }
+  for (size_t k = 0; k < a_ids.size(); ++k) {
+    Option removal;
+    removal.remove = true;
+    removal.delta = prob.a;
+    inst.options[k].push_back(removal);
+    std::stable_sort(inst.options[k].begin(), inst.options[k].end(),
+                     [](const Option& x, const Option& y) {
+                       return x.delta > y.delta;
+                     });
+    // Deduplicate neighbor list (parallel matches to the same group).
+    auto& neigh = inst.a_neighbors[k];
+    std::sort(neigh.begin(), neigh.end());
+    neigh.erase(std::unique(neigh.begin(), neigh.end()), neigh.end());
+  }
+
+  AssignmentBnb bnb(inst, prob, max_nodes);
+  bnb.Run();
+
+  ExactSolveResult result;
+  result.nodes = bnb.nodes();
+  result.proven_optimal = bnb.proven_optimal();
+  result.objective = bnb.best_score() + inst.const_edges;
+
+  Side a_side = inst.swapped ? Side::kRight : Side::kLeft;
+  Side b_side = inst.swapped ? Side::kLeft : Side::kRight;
+
+  std::vector<double> b_sum(b_ids.size(), 0.0);
+  std::vector<size_t> b_count(b_ids.size(), 0);
+  const auto& choice = bnb.best_choice();
+  for (size_t k = 0; k < a_ids.size(); ++k) {
+    const Option* o = choice[k];
+    E3D_CHECK(o != nullptr) << "branch & bound left an unassigned tuple";
+    if (o->remove) {
+      result.explanations.delta.push_back({a_side, a_ids[k]});
+    } else {
+      b_sum[o->b_local] += inst.a_impact[k];
+      ++b_count[o->b_local];
+      result.explanations.evidence.push_back(mapping[o->match_id]);
+    }
+  }
+  for (size_t j = 0; j < b_ids.size(); ++j) {
+    if (b_count[j] == 0) {
+      result.explanations.delta.push_back({b_side, b_ids[j]});
+    } else if (ImpactsDiffer(b_sum[j], inst.b_impact[j])) {
+      result.explanations.value_changes.push_back(
+          {b_side, b_ids[j], inst.b_impact[j], b_sum[j]});
+    }
+  }
+  result.explanations.Normalize();
+  return result;
+}
+
+}  // namespace explain3d

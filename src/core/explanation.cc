@@ -1,0 +1,54 @@
+#include "core/explanation.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace explain3d {
+
+bool ImpactsDiffer(double a, double b) {
+  double scale = std::max({1.0, std::abs(a), std::abs(b)});
+  return std::abs(a - b) > 1e-6 * scale;
+}
+
+void ExplanationSet::Normalize() {
+  std::sort(delta.begin(), delta.end());
+  delta.erase(std::unique(delta.begin(), delta.end()), delta.end());
+  std::sort(value_changes.begin(), value_changes.end());
+  value_changes.erase(
+      std::unique(value_changes.begin(), value_changes.end()),
+      value_changes.end());
+  SortMapping(&evidence);
+}
+
+std::string ExplanationSet::ToString(const CanonicalRelation& t1,
+                                     const CanonicalRelation& t2,
+                                     size_t max_items) const {
+  auto key_of = [&](Side side, size_t idx) {
+    const CanonicalRelation& rel = side == Side::kLeft ? t1 : t2;
+    return rel.tuples[idx].KeyString();
+  };
+  std::string s = StrFormat(
+      "Explanations (|Δ|=%zu, |δ|=%zu, |M*|=%zu, logPr=%.3f)\n",
+      delta.size(), value_changes.size(), evidence.size(), log_probability);
+  size_t shown = 0;
+  for (const ProvExplanation& e : delta) {
+    if (shown++ >= max_items) break;
+    s += StrFormat("  [prov ] %s tuple '%s' has no counterpart\n",
+                   SideName(e.side), key_of(e.side, e.tuple).c_str());
+  }
+  for (const ValueExplanation& e : value_changes) {
+    if (shown++ >= max_items) break;
+    s += StrFormat("  [value] %s tuple '%s': impact %g should be %g\n",
+                   SideName(e.side), key_of(e.side, e.tuple).c_str(),
+                   e.old_impact, e.new_impact);
+  }
+  size_t total = delta.size() + value_changes.size();
+  if (total > shown) {
+    s += StrFormat("  ... (%zu more)\n", total - shown);
+  }
+  return s;
+}
+
+}  // namespace explain3d

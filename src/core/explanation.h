@@ -1,0 +1,83 @@
+// Explanations and evidence mappings (Definition 2.5).
+//
+// A provenance-based explanation flags a canonical tuple that has no
+// counterpart in the other dataset (Δ). A value-based explanation flags a
+// wrong impact, t.I ↦ t.I* (δ). The evidence mapping M* ⊆ M_tuple grounds
+// the explanations; together they form E = (Δ, δ | M*).
+
+#ifndef EXPLAIN3D_CORE_EXPLANATION_H_
+#define EXPLAIN3D_CORE_EXPLANATION_H_
+
+#include <string>
+#include <vector>
+
+#include "matching/tuple_mapping.h"
+#include "provenance/canonical.h"
+
+namespace explain3d {
+
+/// Which query/dataset a tuple-level explanation refers to.
+enum class Side { kLeft = 0, kRight = 1 };
+
+/// Whether two impacts meaningfully differ. Relative tolerance so that
+/// monetary-scale impacts (IMDb gross, ~1e8) ignore solver round-off
+/// while unit impacts keep near-exact semantics.
+bool ImpactsDiffer(double a, double b);
+
+inline const char* SideName(Side s) {
+  return s == Side::kLeft ? "D1" : "D2";
+}
+
+/// Provenance-based explanation: canonical tuple `tuple` of `side` has no
+/// match in the other dataset.
+struct ProvExplanation {
+  Side side = Side::kLeft;
+  size_t tuple = 0;  ///< index into that side's canonical relation
+
+  bool operator==(const ProvExplanation& o) const {
+    return side == o.side && tuple == o.tuple;
+  }
+  bool operator<(const ProvExplanation& o) const {
+    if (side != o.side) return side < o.side;
+    return tuple < o.tuple;
+  }
+};
+
+/// Value-based explanation: tuple's impact should be new_impact.
+struct ValueExplanation {
+  Side side = Side::kLeft;
+  size_t tuple = 0;
+  double old_impact = 0;
+  double new_impact = 0;
+
+  bool operator==(const ValueExplanation& o) const {
+    return side == o.side && tuple == o.tuple;
+  }
+  bool operator<(const ValueExplanation& o) const {
+    if (side != o.side) return side < o.side;
+    return tuple < o.tuple;
+  }
+};
+
+/// E = (Δ, δ | M*): the full output of stage 2.
+struct ExplanationSet {
+  std::vector<ProvExplanation> delta;          ///< Δ
+  std::vector<ValueExplanation> value_changes;  ///< δ
+  TupleMapping evidence;                        ///< M* ⊆ M_tuple
+  /// log Pr(E | T1, T2, M_tuple) under the paper's scoring (Eq. 6).
+  double log_probability = 0;
+
+  size_t size() const { return delta.size() + value_changes.size(); }
+
+  /// Canonical ordering for deterministic output and comparison.
+  void Normalize();
+
+  /// Human-readable report referencing the canonical tuples.
+  std::string ToString(const CanonicalRelation& t1,
+                       const CanonicalRelation& t2,
+                       size_t max_items = 30) const;
+};
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_CORE_EXPLANATION_H_

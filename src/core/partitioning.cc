@@ -1,0 +1,184 @@
+#include "core/partitioning.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "partition/partitioner.h"
+
+namespace explain3d {
+
+double AdjustEdgeWeight(double p, double theta_low, double theta_high,
+                        double reward) {
+  if (p >= theta_high) return p * reward;
+  if (p <= theta_low) return p / reward;
+  return p;
+}
+
+Graph BuildMatchGraph(size_t n1, size_t n2, const TupleMapping& mapping,
+                      bool adjust, double theta_low, double theta_high,
+                      double reward) {
+  Graph g(n1 + n2);
+  for (const TupleMatch& m : mapping) {
+    double w = adjust ? AdjustEdgeWeight(m.p, theta_low, theta_high, reward)
+                      : m.p;
+    g.AddEdge(m.t1, n1 + m.t2, w);
+  }
+  return g;
+}
+
+std::vector<SubProblem> ComponentSubproblems(size_t n1, size_t n2,
+                                             const TupleMapping& mapping) {
+  Graph g = BuildMatchGraph(n1, n2, mapping, /*adjust=*/false, 0, 1, 1);
+  std::vector<int> comp;
+  size_t count = ConnectedComponents(g, &comp);
+  std::vector<SubProblem> subs(count);
+  for (size_t u = 0; u < n1; ++u) {
+    subs[comp[u]].t1_ids.push_back(u);
+  }
+  for (size_t v = 0; v < n2; ++v) {
+    subs[comp[n1 + v]].t2_ids.push_back(v);
+  }
+  for (size_t k = 0; k < mapping.size(); ++k) {
+    subs[comp[mapping[k].t1]].match_ids.push_back(k);
+  }
+  return subs;
+}
+
+PrePartitionResult PrePartition(size_t n1, size_t n2,
+                                const TupleMapping& mapping,
+                                const Explain3DConfig& config,
+                                size_t max_cluster_tuples) {
+  size_t n = n1 + n2;
+  PrePartitionResult out;
+  out.tuple_cluster.assign(n, static_cast<size_t>(-1));
+
+  // Adjacency restricted to high-probability matches.
+  std::vector<std::vector<size_t>> high_adj(n);
+  for (const TupleMatch& m : mapping) {
+    if (m.p >= config.theta_high) {
+      high_adj[m.t1].push_back(n1 + m.t2);
+      high_adj[n1 + m.t2].push_back(m.t1);
+    }
+  }
+
+  // Lines 2-7: grow clusters along high-probability matches (DFS), capped
+  // so clusters remain placeable under the balance constraint.
+  size_t cluster = 0;
+  std::deque<size_t> stack;
+  for (size_t s = 0; s < n; ++s) {
+    if (out.tuple_cluster[s] != static_cast<size_t>(-1)) continue;
+    size_t size = 0;
+    stack.push_back(s);
+    out.tuple_cluster[s] = cluster;
+    while (!stack.empty()) {
+      size_t u = stack.back();
+      stack.pop_back();
+      ++size;
+      if (size >= max_cluster_tuples) break;
+      for (size_t v : high_adj[u]) {
+        if (out.tuple_cluster[v] == static_cast<size_t>(-1)) {
+          out.tuple_cluster[v] = cluster;
+          stack.push_back(v);
+        }
+      }
+    }
+    stack.clear();
+    ++cluster;
+  }
+  out.num_clusters = cluster;
+
+  // Lines 8-10: cluster graph with adjusted inter-cluster edge weights;
+  // node weight = number of merged tuples.
+  Graph cg(cluster);
+  for (size_t u = 0; u < cluster; ++u) cg.set_node_weight(u, 0.0);
+  for (size_t u = 0; u < n; ++u) {
+    size_t c = out.tuple_cluster[u];
+    cg.set_node_weight(c, cg.node_weight(c) + 1.0);
+  }
+  for (const TupleMatch& m : mapping) {
+    size_t cu = out.tuple_cluster[m.t1];
+    size_t cv = out.tuple_cluster[n1 + m.t2];
+    if (cu == cv) continue;
+    cg.AddEdge(cu, cv,
+               AdjustEdgeWeight(m.p, config.theta_low, config.theta_high,
+                                config.reward));
+  }
+  out.cluster_graph = std::move(cg);
+  return out;
+}
+
+Result<std::vector<SubProblem>> SmartPartition(
+    size_t n1, size_t n2, const TupleMapping& mapping,
+    const Explain3DConfig& config, SmartPartitionStats* stats) {
+  size_t n = n1 + n2;
+  size_t batch = config.batch_size;
+  SmartPartitionStats local;
+  if (stats == nullptr) stats = &local;
+
+  if (batch == 0 || batch >= n) {
+    // Partitioning disabled or unnecessary: lossless components.
+    stats->num_parts = 1;
+    return ComponentSubproblems(n1, n2, mapping);
+  }
+
+  size_t k = (n + batch - 1) / batch;
+
+  Timer prep_timer;
+  std::vector<size_t> tuple_cluster;
+  Graph to_partition;
+  if (config.use_pre_partitioning) {
+    PrePartitionResult pre = PrePartition(n1, n2, mapping, config, batch);
+    stats->num_clusters = pre.num_clusters;
+    tuple_cluster = std::move(pre.tuple_cluster);
+    to_partition = std::move(pre.cluster_graph);
+  } else {
+    // Ablation: partition the raw tuple graph with adjusted weights.
+    stats->num_clusters = n;
+    tuple_cluster.resize(n);
+    for (size_t u = 0; u < n; ++u) tuple_cluster[u] = u;
+    to_partition =
+        BuildMatchGraph(n1, n2, mapping, /*adjust=*/true, config.theta_low,
+                        config.theta_high, config.reward);
+  }
+  stats->prepartition_seconds = prep_timer.Seconds();
+
+  Timer part_timer;
+  PartitionOptions popts;
+  popts.num_parts = k;
+  popts.max_part_weight = static_cast<double>(batch);
+  popts.seed = config.seed;
+  E3D_ASSIGN_OR_RETURN(PartitionResult part,
+                       PartitionGraph(to_partition, popts));
+  stats->partition_seconds = part_timer.Seconds();
+  stats->num_parts = k;
+  stats->edge_cut_weight = part.edge_cut;
+
+  // Project parts back to tuples and split matches.
+  std::vector<SubProblem> subs(k);
+  std::vector<int> tuple_part(n);
+  for (size_t u = 0; u < n; ++u) {
+    tuple_part[u] = part.assignment[tuple_cluster[u]];
+  }
+  for (size_t u = 0; u < n1; ++u) {
+    subs[tuple_part[u]].t1_ids.push_back(u);
+  }
+  for (size_t v = 0; v < n2; ++v) {
+    subs[tuple_part[n1 + v]].t2_ids.push_back(v);
+  }
+  for (size_t idx = 0; idx < mapping.size(); ++idx) {
+    const TupleMatch& m = mapping[idx];
+    int pu = tuple_part[m.t1];
+    int pv = tuple_part[n1 + m.t2];
+    if (pu == pv) {
+      subs[pu].match_ids.push_back(idx);
+    } else {
+      ++stats->cut_matches;
+    }
+  }
+  return subs;
+}
+
+}  // namespace explain3d

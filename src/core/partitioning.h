@@ -1,0 +1,84 @@
+// The smart-partitioning optimizer of Section 4.
+//
+// Stage 2's MILP does not scale to large bipartite match graphs; this
+// module splits an EXP-3D instance into bounded-size sub-problems:
+//
+//   * edge-weight adjustment: w = p·R when p ≥ θh, p/R when p ≤ θl,
+//     else p — so the graph partitioner avoids cutting high-probability
+//     matches (whose loss hurts the objective most);
+//   * pre-partitioning (Algorithm 2): tuples connected by θh-probability
+//     matches merge into cluster nodes, shrinking the graph the
+//     partitioner must handle (the paper reports ~200× partitioning
+//     speedups at 10K tuples);
+//   * smart partitioning (Algorithm 3): partition the (pre-partitioned)
+//     graph with the multilevel GPP solver under the Lmax balance cap and
+//     project the parts back to tuples.
+//
+// Matches cut by the partition belong to no sub-problem: they are
+// excluded from the evidence, which is the optimizer's only
+// (empirically negligible) source of accuracy loss.
+
+#ifndef EXPLAIN3D_CORE_PARTITIONING_H_
+#define EXPLAIN3D_CORE_PARTITIONING_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/config.h"
+#include "core/subproblem.h"
+#include "matching/tuple_mapping.h"
+#include "partition/graph.h"
+
+namespace explain3d {
+
+/// Section 4's edge-weight adjustment.
+double AdjustEdgeWeight(double p, double theta_low, double theta_high,
+                        double reward);
+
+/// Builds the bipartite match graph: nodes [0, n1) are T1 tuples, nodes
+/// [n1, n1+n2) are T2 tuples; edges carry (optionally adjusted) weights.
+Graph BuildMatchGraph(size_t n1, size_t n2, const TupleMapping& mapping,
+                      bool adjust, double theta_low, double theta_high,
+                      double reward);
+
+/// Maximal-connected-component decomposition (the optimization the paper
+/// builds on; lossless). Isolated tuples form singleton sub-problems.
+std::vector<SubProblem> ComponentSubproblems(size_t n1, size_t n2,
+                                             const TupleMapping& mapping);
+
+/// Result of Algorithm 2: the coarse cluster graph and tuple→cluster map.
+struct PrePartitionResult {
+  Graph cluster_graph;               ///< node weight = tuples per cluster
+  std::vector<size_t> tuple_cluster;  ///< size n1+n2
+  size_t num_clusters = 0;
+};
+
+/// Algorithm 2: merges tuples connected by matches with p ≥ θh (capped at
+/// `max_cluster_tuples` per cluster so clusters stay placeable under
+/// Lmax) and accumulates adjusted edge weights between clusters.
+PrePartitionResult PrePartition(size_t n1, size_t n2,
+                                const TupleMapping& mapping,
+                                const Explain3DConfig& config,
+                                size_t max_cluster_tuples);
+
+/// Statistics reported by SmartPartition (Figure 8 / E9 benches).
+struct SmartPartitionStats {
+  size_t num_parts = 0;
+  size_t num_clusters = 0;       ///< after pre-partitioning
+  double edge_cut_weight = 0;    ///< adjusted-weight cut
+  size_t cut_matches = 0;        ///< matches dropped by the partition
+  double partition_seconds = 0;  ///< GPP time (excludes pre-partitioning)
+  double prepartition_seconds = 0;
+};
+
+/// Algorithm 3: pre-partition, run the multilevel partitioner with
+/// k = ceil((n1+n2)/batch) and Lmax = batch, then project parts back to
+/// tuple-level sub-problems. With batch ≥ n1+n2 this degenerates to the
+/// component decomposition.
+Result<std::vector<SubProblem>> SmartPartition(
+    size_t n1, size_t n2, const TupleMapping& mapping,
+    const Explain3DConfig& config, SmartPartitionStats* stats);
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_CORE_PARTITIONING_H_

@@ -1,0 +1,68 @@
+#include "core/pipeline.h"
+
+#include "common/timer.h"
+#include "provenance/canonical.h"
+#include "relational/executor.h"
+#include "relational/parser.h"
+
+namespace explain3d {
+
+Result<PipelineResult> RunExplain3D(const PipelineInput& input,
+                                    const Explain3DConfig& config) {
+  if (input.db1 == nullptr || input.db2 == nullptr) {
+    return Status::InvalidArgument("both databases must be provided");
+  }
+  if (!AreComparable(input.attr_matches)) {
+    return Status::InvalidArgument(
+        "queries are not comparable: M_attr is empty (Definition 2.2); "
+        "explanations would require external information");
+  }
+
+  PipelineResult out;
+  Timer total_timer;
+  Timer stage1_timer;
+
+  // --- Stage 1: provenance, canonicalization, initial mapping -----------
+  E3D_ASSIGN_OR_RETURN(SelectStmtPtr stmt1, ParseSql(input.sql1));
+  E3D_ASSIGN_OR_RETURN(SelectStmtPtr stmt2, ParseSql(input.sql2));
+
+  Executor exec1(input.db1);
+  Executor exec2(input.db2);
+  E3D_ASSIGN_OR_RETURN(out.answer1, exec1.ExecuteScalar(*stmt1));
+  E3D_ASSIGN_OR_RETURN(out.answer2, exec2.ExecuteScalar(*stmt2));
+
+  E3D_ASSIGN_OR_RETURN(out.p1, DeriveProvenance(*input.db1, *stmt1));
+  E3D_ASSIGN_OR_RETURN(out.p2, DeriveProvenance(*input.db2, *stmt2));
+
+  const AttributeMatch& attr = input.attr_matches.front();
+  E3D_RETURN_IF_ERROR(
+      attr.ValidateAgainst(out.p1.table.schema(), out.p2.table.schema()));
+
+  E3D_ASSIGN_OR_RETURN(out.t1, Canonicalize(out.p1, attr.attrs1));
+  E3D_ASSIGN_OR_RETURN(out.t2, Canonicalize(out.p2, attr.attrs2));
+
+  GoldPairs calibration =
+      input.calibration_oracle
+          ? input.calibration_oracle(out.t1, out.t2, out.p1.table,
+                                     out.p2.table)
+          : input.calibration_gold;
+  E3D_ASSIGN_OR_RETURN(
+      out.initial_mapping,
+      GenerateInitialMapping(out.t1, out.t2, calibration,
+                             input.mapping_options));
+  out.stage1_seconds = stage1_timer.Seconds();
+
+  // --- Stage 2: optimal explanations -------------------------------------
+  Explain3DSolver solver(config);
+  Explain3DInput core_input;
+  core_input.t1 = &out.t1;
+  core_input.t2 = &out.t2;
+  core_input.attr = attr;
+  core_input.mapping = out.initial_mapping;
+  E3D_ASSIGN_OR_RETURN(out.core, solver.Solve(core_input));
+
+  out.total_seconds = total_timer.Seconds();
+  return out;
+}
+
+}  // namespace explain3d

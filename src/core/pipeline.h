@@ -1,0 +1,75 @@
+// End-to-end explain3d facade: the full 3-stage pipeline over two
+// databases and two SQL queries.
+//
+//   stage 1: execute queries, derive provenance (Def. 2.3), canonicalize
+//            (Def. 3.1), and build the initial probabilistic tuple
+//            mapping (blocking + similarity + calibration, Sec. 5.1.2);
+//   stage 2: optimal explanations via Explain3DSolver (Sec. 3.2 + 4);
+//   stage 3: summarization lives in src/summarize and is applied by the
+//            caller (it needs workload-specific pattern attributes).
+//
+// This is the API the examples and benchmarks use.
+
+#ifndef EXPLAIN3D_CORE_PIPELINE_H_
+#define EXPLAIN3D_CORE_PIPELINE_H_
+
+#include <functional>
+#include <string>
+
+#include "common/status.h"
+#include "core/solver.h"
+#include "matching/attribute_match.h"
+#include "matching/mapping_generator.h"
+#include "provenance/provenance.h"
+#include "relational/database.h"
+
+namespace explain3d {
+
+/// Everything stage 1 needs.
+struct PipelineInput {
+  const Database* db1 = nullptr;
+  const Database* db2 = nullptr;
+  std::string sql1;
+  std::string sql2;
+  /// M_attr (Definition 2.1); input to the framework, typically from a
+  /// schema matcher. Must be non-empty (Definition 2.2 comparability).
+  AttributeMatches attr_matches;
+  MappingGenOptions mapping_options;
+  /// Optional gold evidence pairs for the similarity calibrator.
+  GoldPairs calibration_gold;
+  /// Alternative to calibration_gold: called with the derived canonical
+  /// relations and provenance tables to produce the labeled pairs
+  /// (generators key their gold on canonical tuples, which only exist
+  /// after stage 1 runs). Takes precedence over calibration_gold.
+  /// eval/gold.h provides factory helpers.
+  std::function<GoldPairs(const CanonicalRelation&, const CanonicalRelation&,
+                          const Table&, const Table&)>
+      calibration_oracle;
+};
+
+/// Signature of PipelineInput::calibration_oracle.
+using CalibrationOracle =
+    std::function<GoldPairs(const CanonicalRelation&,
+                            const CanonicalRelation&, const Table&,
+                            const Table&)>;
+
+/// Everything the pipeline produced, kept for inspection and stage 3.
+struct PipelineResult {
+  Value answer1, answer2;  ///< the disagreeing query results
+  ProvenanceRelation p1, p2;
+  CanonicalRelation t1, t2;
+  TupleMapping initial_mapping;
+  Explain3DResult core;
+
+  double stage1_seconds = 0;
+  double total_seconds = 0;
+};
+
+/// Runs stages 1 and 2. Fails with InvalidArgument when the queries are
+/// not comparable (empty M_attr) and propagates parse/execution errors.
+Result<PipelineResult> RunExplain3D(const PipelineInput& input,
+                                    const Explain3DConfig& config);
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_CORE_PIPELINE_H_

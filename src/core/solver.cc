@@ -1,0 +1,169 @@
+#include "core/solver.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/exact_solver.h"
+#include "core/milp_encoder.h"
+#include "milp/branch_and_bound.h"
+
+namespace explain3d {
+
+namespace {
+
+/// Splits one sub-problem into its connected components (indices stay
+/// global). Matches of `sub` are grouped by the component of their T1
+/// endpoint.
+std::vector<SubProblem> SplitIntoComponents(const SubProblem& sub,
+                                            const TupleMapping& mapping,
+                                            size_t n1, size_t n2) {
+  // Union-find over the tuples present in the sub-problem.
+  std::vector<size_t> parent(n1 + n2);
+  for (size_t i = 0; i < parent.size(); ++i) parent[i] = i;
+  auto find = [&](size_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (size_t mid : sub.match_ids) {
+    const TupleMatch& m = mapping[mid];
+    size_t ra = find(m.t1), rb = find(n1 + m.t2);
+    if (ra != rb) parent[ra] = rb;
+  }
+  std::unordered_map<size_t, size_t> root_to_comp;
+  std::vector<SubProblem> out;
+  auto comp_of = [&](size_t node) {
+    size_t root = find(node);
+    auto it = root_to_comp.find(root);
+    if (it != root_to_comp.end()) return it->second;
+    root_to_comp.emplace(root, out.size());
+    out.emplace_back();
+    return out.size() - 1;
+  };
+  for (size_t g : sub.t1_ids) out[comp_of(g)].t1_ids.push_back(g);
+  for (size_t g : sub.t2_ids) out[comp_of(n1 + g)].t2_ids.push_back(g);
+  for (size_t mid : sub.match_ids) {
+    out[comp_of(mapping[mid].t1)].match_ids.push_back(mid);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Explain3DResult> Explain3DSolver::Solve(
+    const Explain3DInput& input) const {
+  if (input.t1 == nullptr || input.t2 == nullptr) {
+    return Status::InvalidArgument("canonical relations must be provided");
+  }
+  const CanonicalRelation& t1 = *input.t1;
+  const CanonicalRelation& t2 = *input.t2;
+  for (const TupleMatch& m : input.mapping) {
+    if (m.t1 >= t1.size() || m.t2 >= t2.size()) {
+      return Status::InvalidArgument("mapping references missing tuples");
+    }
+    if (!(m.p > 0.0 && m.p < 1.0)) {
+      return Status::InvalidArgument(
+          "match probabilities must lie strictly inside (0, 1); clamp "
+          "with PruneAndClamp first");
+    }
+  }
+
+  Explain3DResult result;
+  Timer total_timer;
+
+  // Section 4: bounded-size sub-problems.
+  E3D_ASSIGN_OR_RETURN(
+      std::vector<SubProblem> parts,
+      SmartPartition(t1.size(), t2.size(), input.mapping, config_,
+                     &result.stats.partition));
+
+  MilpEncoder encoder(t1, t2, input.mapping, input.attr, prob_);
+
+  Timer solve_timer;
+  for (const SubProblem& part : parts) {
+    if (part.num_tuples() == 0) continue;
+    std::vector<SubProblem> units;
+    if (config_.decompose_components) {
+      units = SplitIntoComponents(part, input.mapping, t1.size(), t2.size());
+    } else {
+      units.push_back(part);
+    }
+    for (const SubProblem& unit : units) {
+      ++result.stats.num_subproblems;
+      if (unit.match_ids.empty()) {
+        // No candidate matches: every tuple is a provenance explanation.
+        for (size_t g : unit.t1_ids) {
+          result.explanations.delta.push_back({Side::kLeft, g});
+        }
+        for (size_t g : unit.t2_ids) {
+          result.explanations.delta.push_back({Side::kRight, g});
+        }
+        continue;
+      }
+
+      size_t est = EstimateMilpConstraints(unit, encoder.side1_capped(),
+                                           encoder.side2_capped());
+      bool solved = false;
+      if (est <= config_.milp_max_constraints) {
+        EncodedMilp enc = encoder.Encode(unit);
+        milp::MilpOptions mopts;
+        mopts.time_limit_seconds = config_.milp_time_limit_seconds;
+        mopts.max_nodes = config_.milp_max_nodes;
+        milp::MilpSolver milp_solver(enc.model, mopts);
+        milp::Solution sol = milp_solver.Solve();
+        result.stats.total_nodes += milp_solver.stats().nodes;
+        if (sol.status == milp::SolveStatus::kOptimal) {
+          ExplanationSet part_expl = encoder.Decode(unit, enc, sol.values);
+          result.explanations.delta.insert(result.explanations.delta.end(),
+                                           part_expl.delta.begin(),
+                                           part_expl.delta.end());
+          result.explanations.value_changes.insert(
+              result.explanations.value_changes.end(),
+              part_expl.value_changes.begin(),
+              part_expl.value_changes.end());
+          result.explanations.evidence.insert(
+              result.explanations.evidence.end(),
+              part_expl.evidence.begin(), part_expl.evidence.end());
+          ++result.stats.milp_solved;
+          solved = true;
+        } else {
+          E3D_LOG(kWarn) << "MILP sub-problem returned "
+                         << milp::SolveStatusName(sol.status)
+                         << "; falling back to the assignment solver";
+        }
+      }
+      if (!solved) {
+        E3D_ASSIGN_OR_RETURN(
+            ExactSolveResult exact,
+            SolveComponentExact(t1, t2, input.mapping, input.attr, prob_,
+                                unit, config_.exact_max_nodes));
+        result.stats.total_nodes += exact.nodes;
+        result.stats.all_optimal &= exact.proven_optimal;
+        result.explanations.delta.insert(result.explanations.delta.end(),
+                                         exact.explanations.delta.begin(),
+                                         exact.explanations.delta.end());
+        result.explanations.value_changes.insert(
+            result.explanations.value_changes.end(),
+            exact.explanations.value_changes.begin(),
+            exact.explanations.value_changes.end());
+        result.explanations.evidence.insert(
+            result.explanations.evidence.end(),
+            exact.explanations.evidence.begin(),
+            exact.explanations.evidence.end());
+        ++result.stats.exact_solved;
+      }
+    }
+  }
+  result.stats.solve_seconds = solve_timer.Seconds();
+
+  result.explanations.Normalize();
+  result.explanations.log_probability =
+      prob_.Score(t1, t2, input.mapping, result.explanations);
+  return result;
+}
+
+}  // namespace explain3d

@@ -1,0 +1,74 @@
+// Stage 2 driver: the optimal-explanation solver.
+//
+// Pipeline per Solve() call:
+//   1. smart partitioning (Section 4) — or plain connected components
+//      when batch_size is 0/large enough;
+//   2. optional per-part component decomposition (lossless);
+//   3. each sub-problem solved exactly: the faithful Section-3.2 MILP
+//      encoding + branch & bound for component-sized models, the
+//      structure-exploiting assignment branch & bound (exact_solver.h)
+//      beyond that — both return the same optima (cross-checked in
+//      tests);
+//   4. merge, normalize, and score the explanation set with the
+//      Section-3.1 probability model.
+
+#ifndef EXPLAIN3D_CORE_SOLVER_H_
+#define EXPLAIN3D_CORE_SOLVER_H_
+
+#include "common/status.h"
+#include "core/config.h"
+#include "core/explanation.h"
+#include "core/partitioning.h"
+#include "core/probability_model.h"
+#include "matching/attribute_match.h"
+#include "matching/tuple_mapping.h"
+#include "provenance/canonical.h"
+
+namespace explain3d {
+
+/// Input of the optimal-explanation problem (EXP-3D, Problem 1).
+struct Explain3DInput {
+  const CanonicalRelation* t1 = nullptr;
+  const CanonicalRelation* t2 = nullptr;
+  AttributeMatch attr;
+  TupleMapping mapping;  ///< initial probabilistic tuple mapping
+};
+
+/// Solve diagnostics (Figure 7c / Figure 8 report solve_seconds).
+struct Explain3DStats {
+  SmartPartitionStats partition;
+  size_t num_subproblems = 0;
+  size_t milp_solved = 0;   ///< sub-problems through the MILP encoding
+  size_t exact_solved = 0;  ///< sub-problems through assignment B&B
+  size_t total_nodes = 0;   ///< branch & bound nodes across sub-problems
+  double solve_seconds = 0;  ///< stage-2 optimization time
+  bool all_optimal = true;   ///< false if any sub-problem hit a limit
+};
+
+/// Stage-2 output.
+struct Explain3DResult {
+  ExplanationSet explanations;
+  Explain3DStats stats;
+};
+
+/// The solver. Thread-compatible: Solve is const and carries no state
+/// between calls.
+class Explain3DSolver {
+ public:
+  explicit Explain3DSolver(Explain3DConfig config = Explain3DConfig())
+      : config_(config), prob_(config) {}
+
+  const Explain3DConfig& config() const { return config_; }
+  const ProbabilityModel& probability_model() const { return prob_; }
+
+  /// Solves EXP-3D for the given canonical relations and initial mapping.
+  Result<Explain3DResult> Solve(const Explain3DInput& input) const;
+
+ private:
+  Explain3DConfig config_;
+  ProbabilityModel prob_;
+};
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_CORE_SOLVER_H_

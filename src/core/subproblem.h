@@ -1,0 +1,29 @@
+// Sub-problem: the unit of work stage 2 solves independently.
+//
+// A sub-problem references a subset of each canonical relation and the
+// tuple matches whose endpoints both fall inside it. Connected-component
+// decomposition and smart partitioning (partitioning.h) both produce
+// sub-problems; matches cut by the partitioner belong to no sub-problem
+// and are excluded from the evidence (they contribute log(1−p) to the
+// objective).
+
+#ifndef EXPLAIN3D_CORE_SUBPROBLEM_H_
+#define EXPLAIN3D_CORE_SUBPROBLEM_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace explain3d {
+
+/// Index sets of one sub-problem (global canonical/mapping indices).
+struct SubProblem {
+  std::vector<size_t> t1_ids;
+  std::vector<size_t> t2_ids;
+  std::vector<size_t> match_ids;
+
+  size_t num_tuples() const { return t1_ids.size() + t2_ids.size(); }
+};
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_CORE_SUBPROBLEM_H_

@@ -1,0 +1,241 @@
+#include "datagen/academic.h"
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace explain3d {
+
+namespace {
+
+// Real-world subject stems; qualifier combinations expand them into the
+// major catalogs. Shared tokens across related names reproduce the
+// fuzzy-matching difficulty the paper reports on this data.
+const char* kSubjects[] = {
+    "Accounting", "Anthropology", "Architecture", "Art History",
+    "Astronomy", "Biochemistry", "Biology", "Botany", "Chemical Engineering",
+    "Chemistry", "Civil Engineering", "Classics", "Communication",
+    "Computer Engineering", "Computer Science", "Dance", "Economics",
+    "Education", "Electrical Engineering", "English", "Entomology",
+    "Environmental Science", "Finance", "Food Science", "Forestry",
+    "Geography", "Geology", "German", "History", "Horticulture",
+    "Hospitality Management", "Industrial Engineering", "Italian",
+    "Japanese", "Journalism", "Kinesiology", "Landscape Architecture",
+    "Linguistics", "Management", "Marketing", "Mathematics",
+    "Mechanical Engineering", "Microbiology", "Music", "Nursing",
+    "Nutrition", "Philosophy", "Physics", "Political Science",
+    "Psychology", "Public Health", "Social Work", "Sociology", "Spanish",
+    "Statistics", "Theater", "Turfgrass Management", "Urban Planning",
+    "Wildlife Conservation", "Zoology",
+};
+const char* kQualifiers[] = {
+    "Applied", "Environmental", "Clinical", "Computational",
+    "Comparative", "Industrial", "Quantitative", "Global",
+};
+const char* kSynonyms[][2] = {
+    {"Management", "Administration"},
+    {"Science", "Studies"},
+    {"Engineering", "Technology"},
+    {"Theater", "Drama"},
+};
+const char* kBachelorDegrees[] = {"B.S.", "B.A.", "B.F.A.", "B.B.A."};
+const char* kSchools[] = {
+    "College of Natural Sciences", "College of Engineering",
+    "School of Management", "College of Humanities",
+    "College of Social Sciences", "School of Public Health",
+};
+const char* kCampuses[] = {"Columbus", "Newark", "Lima", "Marion"};
+const char* kCities[] = {"Amherst",  "Columbus", "Boston", "Chicago",
+                         "Seattle",  "Austin",   "Denver", "Atlanta"};
+
+/// NCES-side rename: abbreviate, drop a token, or swap a synonym.
+std::string ProgramVariant(const std::string& major, Rng* rng) {
+  int kind = static_cast<int>(rng->Index(4));
+  std::vector<std::string> words = Split(major, ' ');
+  switch (kind) {
+    case 0:
+      return major;  // identical
+    case 1: {        // synonym swap
+      for (auto& w : words) {
+        for (const auto& syn : kSynonyms) {
+          if (w == syn[0]) {
+            w = syn[1];
+            return Join(words, " ");
+          }
+        }
+      }
+      return major;
+    }
+    case 2: {  // drop a qualifier word when there is one
+      if (words.size() >= 3) {
+        words.erase(words.begin());
+        return Join(words, " ");
+      }
+      return major;
+    }
+    default: {  // add the NCES-style suffix
+      return major + " Programs";
+    }
+  }
+}
+
+}  // namespace
+
+Result<AcademicDataset> GenerateAcademic(const AcademicOptions& opts) {
+  bool umass = opts.univ == AcademicUniversity::kUMass;
+  Rng rng(opts.seed + (umass ? 0 : 1000));
+
+  AcademicDataset out;
+  out.univ_name = umass ? "UMass-Amherst" : "OSU";
+
+  // Figure-4 profile targets.
+  size_t target_programs = umass ? 81 : 153;     // NCES |P|
+  size_t shared_programs = umass ? 70 : 135;     // programs with majors
+  size_t univ_only_groups = umass ? 20 : 50;     // majors NCES lacks
+  double multi_major_rate = umass ? 0.12 : 0.15; // programs w/ 2 majors
+  double multi_degree_rate = umass ? 0.18 : 0.3; // majors w/ 2 degrees
+  double wrong_count_rate = 0.15;                // bach_degr mismatches
+
+  // Build the catalog of candidate major names.
+  std::vector<std::string> catalog;
+  for (const char* s : kSubjects) catalog.push_back(s);
+  for (const char* q : kQualifiers) {
+    for (const char* s : kSubjects) {
+      catalog.push_back(std::string(q) + " " + s);
+    }
+  }
+  rng.Shuffle(&catalog);
+
+  // University-side Major table.
+  Schema major_schema;
+  major_schema.AddColumn(Column("Major", DataType::kString));
+  major_schema.AddColumn(Column("Degree", DataType::kString));
+  if (!umass) major_schema.AddColumn(Column("Campus", DataType::kString));
+  major_schema.AddColumn(Column("School", DataType::kString));
+  Table major_table("Major", major_schema);
+
+  // NCES-side tables.
+  Schema school_schema;
+  school_schema.AddColumn(Column("ID", DataType::kInt64));
+  school_schema.AddColumn(Column("Univ_name", DataType::kString));
+  school_schema.AddColumn(Column("City", DataType::kString));
+  school_schema.AddColumn(Column("Url", DataType::kString));
+  Table school_table("School", school_schema);
+  Schema stats_schema;
+  stats_schema.AddColumn(Column("ID", DataType::kInt64));
+  stats_schema.AddColumn(Column("Program", DataType::kString));
+  stats_schema.AddColumn(Column("bach_degr", DataType::kInt64));
+  Table stats_table("Stats", stats_schema);
+
+  int64_t univ_id = 1;
+  size_t next_name = 0;
+  int64_t entity = 0;
+
+  auto add_major_rows = [&](const std::string& name, size_t degrees,
+                            bool associate) {
+    for (size_t d = 0; d < degrees; ++d) {
+      Row row;
+      row.push_back(Value(name));
+      row.push_back(Value(associate
+                              ? std::string("Associate degree")
+                              : std::string(kBachelorDegrees[d % 4])));
+      if (!umass) {
+        row.push_back(Value(std::string(kCampuses[rng.Index(4)])));
+      }
+      row.push_back(Value(std::string(kSchools[rng.Index(6)])));
+      major_table.AppendUnchecked(std::move(row));
+    }
+  };
+
+  // Shared program groups: one NCES program ↔ 1-2 university majors.
+  for (size_t g = 0; g < shared_programs && next_name < catalog.size();
+       ++g) {
+    size_t majors_in_group = rng.Bernoulli(multi_major_rate) ? 2 : 1;
+    size_t true_bachelors = 0;
+    std::string group_base = catalog[next_name];
+    std::vector<std::string> group_majors;
+    for (size_t m = 0; m < majors_in_group && next_name < catalog.size();
+         ++m) {
+      std::string name = catalog[next_name++];
+      if (m > 0) name = group_base + " " + name;  // related sub-major
+      size_t degrees = rng.Bernoulli(multi_degree_rate) ? 2 : 1;
+      add_major_rows(name, degrees, /*associate=*/false);
+      out.entity_by_major[name] = entity;
+      group_majors.push_back(name);
+      true_bachelors += degrees;
+    }
+    // NCES program row: renamed variant; bach_degr is the true degree
+    // count except for injected statistics errors (the paper's CS case:
+    // a double-counted major recorded as one program).
+    std::string program = ProgramVariant(group_base, &rng);
+    int64_t recorded = static_cast<int64_t>(true_bachelors);
+    if (rng.Bernoulli(wrong_count_rate) || true_bachelors > 1) {
+      if (true_bachelors > 1 && rng.Bernoulli(0.7)) {
+        recorded = static_cast<int64_t>(true_bachelors - 1);
+      } else if (rng.Bernoulli(0.5)) {
+        recorded = recorded + 1;
+      }
+    }
+    stats_table.AppendUnchecked(
+        {Value(univ_id), Value(program), Value(recorded)});
+    out.entity_by_program[program] = entity;
+    ++entity;
+  }
+
+  // University-only majors (about half associate-degree programs — the
+  // dominant pattern stage 3 should summarize).
+  for (size_t g = 0; g < univ_only_groups && next_name < catalog.size();
+       ++g) {
+    std::string name = catalog[next_name++];
+    bool associate = g < univ_only_groups * 6 / 10;
+    add_major_rows(name, 1, associate);
+    out.entity_by_major[name] = entity++;
+  }
+
+  // NCES-only programs.
+  for (size_t g = shared_programs;
+       g < target_programs && next_name < catalog.size(); ++g) {
+    std::string program = catalog[next_name++] + " Certificate";
+    stats_table.AppendUnchecked(
+        {Value(univ_id), Value(program), Value(int64_t{1})});
+    out.entity_by_program[program] = entity++;
+  }
+
+  // School table: the target university plus filler rows (the NCES dump
+  // is huge; only one row survives the selection).
+  school_table.AppendUnchecked({Value(univ_id), Value(out.univ_name),
+                                Value(std::string("Amherst")),
+                                Value(std::string("www.example.edu"))});
+  for (size_t s = 1; s < opts.school_rows; ++s) {
+    school_table.AppendUnchecked(
+        {Value(static_cast<int64_t>(s + 1)),
+         Value("University " + std::to_string(s)),
+         Value(std::string(kCities[rng.Index(8)])),
+         Value("www.u" + std::to_string(s) + ".edu")});
+    // Filler stats rows for other schools (excluded by the join filter).
+    if (s < opts.school_rows / 4) {
+      stats_table.AppendUnchecked(
+          {Value(static_cast<int64_t>(s + 1)),
+           Value(catalog[(next_name + s) % catalog.size()]),
+           Value(static_cast<int64_t>(rng.UniformInt(1, 5)))});
+    }
+  }
+
+  out.db_univ = Database(out.univ_name);
+  out.db_univ.PutTable(std::move(major_table));
+  out.db_nces = Database("NCES");
+  out.db_nces.PutTable(std::move(school_table));
+  out.db_nces.PutTable(std::move(stats_table));
+
+  out.sql_univ = "SELECT COUNT(Major) FROM Major";
+  out.sql_nces = StrFormat(
+      "SELECT SUM(bach_degr) FROM School, Stats "
+      "WHERE Univ_name = '%s' AND School.ID = Stats.ID",
+      out.univ_name.c_str());
+  out.attr_matches = {AttributeMatch::Single(
+      "Major", "Program", SemanticRelation::kLessGeneral)};
+  return out;
+}
+
+}  // namespace explain3d

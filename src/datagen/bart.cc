@@ -1,0 +1,116 @@
+#include "datagen/bart.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace explain3d {
+
+namespace {
+
+Value CorruptString(const std::string& s, Rng* rng) {
+  if (s.empty()) return Value(std::string("x"));
+  std::string out = s;
+  switch (rng->Index(4)) {
+    case 0: {  // swap adjacent characters
+      if (out.size() >= 2) {
+        size_t i = rng->Index(out.size() - 1);
+        std::swap(out[i], out[i + 1]);
+      }
+      break;
+    }
+    case 1: {  // drop a character
+      out.erase(rng->Index(out.size()), 1);
+      break;
+    }
+    case 2: {  // duplicate a character
+      size_t i = rng->Index(out.size());
+      out.insert(out.begin() + i, out[i]);
+      break;
+    }
+    default: {  // drop a whole token
+      std::vector<std::string> words = Split(out, ' ');
+      if (words.size() > 1) {
+        words.erase(words.begin() + rng->Index(words.size()));
+        out = Join(words, " ");
+      } else {
+        out += "s";
+      }
+      break;
+    }
+  }
+  if (out == s) out += "x";
+  return Value(out);
+}
+
+Value CorruptInt(int64_t v, Rng* rng) {
+  int64_t delta = rng->UniformInt(1, std::max<int64_t>(2, std::abs(v) / 5));
+  return Value(rng->Bernoulli(0.5) ? v + delta : v - delta);
+}
+
+Value CorruptDouble(double v, Rng* rng) {
+  double scale = rng->UniformDouble(0.7, 1.3);
+  double out = v * scale;
+  if (out == v) out = v + 1.0;
+  return Value(out);
+}
+
+}  // namespace
+
+Result<std::vector<BartError>> InjectErrors(Database* db,
+                                            const BartOptions& opts) {
+  if (opts.error_rate < 0 || opts.error_rate > 1) {
+    return Status::InvalidArgument("error_rate must be in [0,1]");
+  }
+  Rng rng(opts.seed);
+  std::vector<BartError> log;
+
+  for (const std::string& table_name : db->TableNames()) {
+    E3D_ASSIGN_OR_RETURN(Table * table, db->GetMutableTable(table_name));
+    // Resolve excluded columns for this table.
+    std::vector<bool> excluded(table->num_columns(), false);
+    for (const std::string& col : opts.exclude_columns) {
+      Result<size_t> idx = table->schema().Resolve(col);
+      if (idx.ok()) excluded[idx.value()] = true;
+    }
+    for (size_t r = 0; r < table->num_rows(); ++r) {
+      for (size_t c = 0; c < table->num_columns(); ++c) {
+        if (excluded[c]) continue;
+        if (!rng.Bernoulli(opts.error_rate)) continue;
+        const Value& before = table->row(r)[c];
+        if (before.is_null()) continue;
+        Value after;
+        if (rng.Bernoulli(opts.null_fraction)) {
+          after = Value::Null();
+        } else {
+          switch (before.type()) {
+            case DataType::kString:
+              after = CorruptString(before.AsString(), &rng);
+              break;
+            case DataType::kInt64:
+              after = CorruptInt(before.AsInt64(), &rng);
+              break;
+            case DataType::kDouble:
+              after = CorruptDouble(before.AsDouble(), &rng);
+              break;
+            default:
+              continue;
+          }
+        }
+        BartError err;
+        err.table = table_name;
+        err.row = r;
+        err.column = c;
+        err.before = before;
+        err.after = after;
+        log.push_back(err);
+        table->mutable_row(r)[c] = after;
+      }
+    }
+  }
+  return log;
+}
+
+}  // namespace explain3d

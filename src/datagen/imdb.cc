@@ -1,0 +1,428 @@
+#include "datagen/imdb.h"
+
+#include <cmath>
+#include <set>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace explain3d {
+
+namespace {
+
+const char* kTitleWords[] = {
+    "Midnight", "Return",  "Shadow",  "Garden",  "Winter",  "Crimson",
+    "Silent",   "Echo",    "Harbor",  "Vanished", "Golden", "Iron",
+    "Paper",    "Falling", "Hidden",  "Last",    "Broken",  "Electric",
+    "Distant",  "Violet",  "Savage",  "Gentle",  "Burning", "Frozen",
+    "Hollow",   "Scarlet", "Twisted", "Lonely",  "Rising",  "Forgotten",
+};
+const char* kNouns[] = {
+    "River",  "Empire",  "Promise", "Letter", "Highway", "Dream",
+    "Winter", "Horizon", "Station", "Mirror", "Country", "Island",
+    "Voyage", "Secret",  "Symphony", "Affair", "Crossing", "Legacy",
+};
+const char* kFirstNames[] = {
+    "James", "Mary",    "Robert", "Patricia", "John",   "Jennifer",
+    "Michael", "Linda", "David",  "Elizabeth", "William", "Barbara",
+    "Richard", "Susan", "Joseph", "Jessica",  "Thomas",  "Sarah",
+    "Carlos",  "Sofia", "Henri",  "Amelie",   "Kenji",   "Yuki",
+};
+const char* kLastNames[] = {
+    "Smith",   "Johnson",  "Williams", "Brown",    "Jones",   "Garcia",
+    "Miller",  "Davis",    "Rodriguez", "Martinez", "Anderson", "Taylor",
+    "Thomas",  "Hernandez", "Moore",   "Martin",   "Jackson",  "Thompson",
+    "Nakamura", "Dubois",  "Rossi",    "Novak",    "Kowalski", "Larsen",
+};
+const std::vector<std::string> kGenres = {
+    "Comedy", "Drama",  "Action",   "Thriller", "Horror",  "Romance",
+    "Sci-Fi", "Western", "Documentary", "Animation", "Crime", "Short",
+};
+const char* kCountries[] = {
+    "USA",   "UK",     "France", "Germany", "Italy", "Japan",
+    "Canada", "Spain", "Mexico", "India",   "Brazil", "Sweden",
+};
+
+struct MovieRec {
+  int64_t id;
+  std::string title;
+  int64_t year;
+  std::vector<std::string> genres;
+  std::vector<std::string> countries;
+  int64_t runtime;
+  double gross;
+  double budget;
+};
+
+struct PersonRec {
+  int64_t id;
+  std::string first, last, gender, dob;
+  bool is_actor, is_director;
+};
+
+}  // namespace
+
+const std::vector<std::string>& ImdbGenres() { return kGenres; }
+
+Result<ImdbDataset> GenerateImdb(const ImdbOptions& opts) {
+  if (opts.year_min > opts.year_max) {
+    return Status::InvalidArgument("year_min must not exceed year_max");
+  }
+  Rng rng(opts.seed);
+
+  // --- Corpus -------------------------------------------------------------
+  std::vector<MovieRec> movies;
+  std::unordered_set<std::string> title_year_seen;
+  movies.reserve(opts.num_movies);
+  for (size_t i = 0; i < opts.num_movies; ++i) {
+    MovieRec m;
+    m.id = static_cast<int64_t>(i + 1);
+    m.year = rng.UniformInt(opts.year_min, opts.year_max);
+    do {
+      m.title = std::string(kTitleWords[rng.Index(30)]) + " " +
+                kNouns[rng.Index(18)];
+      if (rng.Bernoulli(0.35)) {
+        m.title += " " + std::string(kNouns[rng.Index(18)]);
+      }
+    } while (!title_year_seen
+                  .insert(m.title + "|" + std::to_string(m.year))
+                  .second);
+    size_t ngenre = 1 + rng.Index(3);
+    std::vector<size_t> gidx =
+        rng.SampleWithoutReplacement(kGenres.size(), ngenre);
+    for (size_t g : gidx) m.genres.push_back(kGenres[g]);
+    size_t ncountry = 1 + rng.Index(2);
+    std::vector<size_t> cidx = rng.SampleWithoutReplacement(12, ncountry);
+    for (size_t c : cidx) m.countries.push_back(kCountries[c]);
+    m.runtime = rng.Bernoulli(0.15) ? rng.UniformInt(8, 44)   // shorts
+                                    : rng.UniformInt(60, 220);
+    m.gross = std::floor(rng.UniformDouble(0.1, 300.0) * 100) / 100 * 1e6;
+    m.budget = std::floor(rng.UniformDouble(0.05, 150.0) * 100) / 100 * 1e6;
+    movies.push_back(std::move(m));
+  }
+
+  std::vector<PersonRec> persons;
+  std::set<std::string> person_seen;
+  persons.reserve(opts.num_persons);
+  for (size_t i = 0; i < opts.num_persons; ++i) {
+    PersonRec p;
+    p.id = static_cast<int64_t>(i + 1);
+    do {
+      p.first = kFirstNames[rng.Index(24)];
+      p.last = kLastNames[rng.Index(24)];
+      p.dob = StrFormat("%d-%02d-%02d",
+                        static_cast<int>(rng.UniformInt(1920, 1985)),
+                        static_cast<int>(rng.UniformInt(1, 12)),
+                        static_cast<int>(rng.UniformInt(1, 28)));
+    } while (!person_seen.insert(p.first + p.last + p.dob).second);
+    p.gender = rng.Bernoulli(0.45) ? "F" : "M";
+    p.is_director = rng.Bernoulli(0.2);
+    p.is_actor = !p.is_director || rng.Bernoulli(0.3);
+    persons.push_back(std::move(p));
+  }
+  std::vector<size_t> actor_ids, director_ids;
+  for (size_t i = 0; i < persons.size(); ++i) {
+    if (persons[i].is_actor) actor_ids.push_back(i);
+    if (persons[i].is_director) director_ids.push_back(i);
+  }
+
+  // Cast and direction links.
+  struct Link {
+    int64_t movie, person;
+  };
+  std::vector<Link> acts, directs;
+  for (const MovieRec& m : movies) {
+    size_t nact = 2 + rng.Index(5);
+    std::vector<size_t> chosen =
+        rng.SampleWithoutReplacement(actor_ids.size(),
+                                     std::min(nact, actor_ids.size()));
+    for (size_t a : chosen) {
+      acts.push_back({m.id, persons[actor_ids[a]].id});
+    }
+    size_t ndir = 1 + (rng.Bernoulli(0.15) ? 1 : 0);
+    std::vector<size_t> dchosen = rng.SampleWithoutReplacement(
+        director_ids.size(), std::min(ndir, director_ids.size()));
+    for (size_t d : dchosen) {
+      directs.push_back({m.id, persons[director_ids[d]].id});
+    }
+  }
+
+  // --- View 1 -------------------------------------------------------------
+  ImdbDataset out;
+  out.view1 = Database("IMDb1");
+  out.view2 = Database("IMDb2");
+  {
+    Schema ms;
+    ms.AddColumn(Column("movie_id", DataType::kInt64));
+    ms.AddColumn(Column("title", DataType::kString));
+    ms.AddColumn(Column("release_year", DataType::kInt64));
+    ms.AddColumn(Column("genre", DataType::kString));
+    ms.AddColumn(Column("country", DataType::kString));
+    ms.AddColumn(Column("runtimes", DataType::kInt64));
+    ms.AddColumn(Column("gross", DataType::kDouble));
+    ms.AddColumn(Column("budget", DataType::kDouble));
+    Table movie1("Movie", ms);
+    std::unordered_set<int64_t> lost_movies;
+    for (const MovieRec& m : movies) {
+      if (rng.Bernoulli(opts.view1_movie_loss)) {
+        lost_movies.insert(m.id);
+        continue;  // migration loss
+      }
+      movie1.AppendUnchecked({Value(m.id), Value(m.title), Value(m.year),
+                              Value(m.genres[0]), Value(m.countries[0]),
+                              Value(m.runtime), Value(m.gross),
+                              Value(m.budget)});
+    }
+    Schema ps;
+    ps.AddColumn(Column("actor_id", DataType::kInt64));
+    ps.AddColumn(Column("firstname", DataType::kString));
+    ps.AddColumn(Column("lastname", DataType::kString));
+    ps.AddColumn(Column("gender", DataType::kString));
+    ps.AddColumn(Column("dob", DataType::kString));
+    Table actor1("Actor", ps);
+    Schema ds;
+    ds.AddColumn(Column("director_id", DataType::kInt64));
+    ds.AddColumn(Column("firstname", DataType::kString));
+    ds.AddColumn(Column("lastname", DataType::kString));
+    ds.AddColumn(Column("gender", DataType::kString));
+    ds.AddColumn(Column("dob", DataType::kString));
+    Table director1("Director", ds);
+    for (const PersonRec& p : persons) {
+      if (p.is_actor) {
+        actor1.AppendUnchecked({Value(p.id), Value(p.first), Value(p.last),
+                                Value(p.gender), Value(p.dob)});
+      }
+      if (p.is_director) {
+        director1.AppendUnchecked({Value(p.id), Value(p.first),
+                                   Value(p.last), Value(p.gender),
+                                   Value(p.dob)});
+      }
+    }
+    Schema mas;
+    mas.AddColumn(Column("movie_id", DataType::kInt64));
+    mas.AddColumn(Column("actor_id", DataType::kInt64));
+    Table movie_actor("MovieActor", mas);
+    for (const Link& l : acts) {
+      if (lost_movies.count(l.movie)) continue;
+      if (rng.Bernoulli(opts.view1_link_loss)) continue;
+      movie_actor.AppendUnchecked({Value(l.movie), Value(l.person)});
+    }
+    Schema mds;
+    mds.AddColumn(Column("movie_id", DataType::kInt64));
+    mds.AddColumn(Column("director_id", DataType::kInt64));
+    Table movie_director("MovieDirector", mds);
+    for (const Link& l : directs) {
+      if (lost_movies.count(l.movie)) continue;
+      if (rng.Bernoulli(opts.view1_link_loss)) continue;
+      movie_director.AppendUnchecked({Value(l.movie), Value(l.person)});
+    }
+    out.view1.PutTable(std::move(movie1));
+    out.view1.PutTable(std::move(actor1));
+    out.view1.PutTable(std::move(director1));
+    out.view1.PutTable(std::move(movie_actor));
+    out.view1.PutTable(std::move(movie_director));
+  }
+
+  // --- View 2 -------------------------------------------------------------
+  {
+    Schema ms;
+    ms.AddColumn(Column("m_id", DataType::kInt64));
+    ms.AddColumn(Column("title", DataType::kString));
+    ms.AddColumn(Column("release_year", DataType::kInt64));
+    Table movie2("Movie", ms);
+    Schema is;
+    is.AddColumn(Column("m_id", DataType::kInt64));
+    is.AddColumn(Column("info_type", DataType::kString));
+    is.AddColumn(Column("info", DataType::kString));
+    Table info2("MovieInfo", is);
+    for (const MovieRec& m : movies) {
+      movie2.AppendUnchecked({Value(m.id), Value(m.title), Value(m.year)});
+      for (const std::string& g : m.genres) {
+        info2.AppendUnchecked(
+            {Value(m.id), Value(std::string("genre")), Value(g)});
+      }
+      for (const std::string& c : m.countries) {
+        info2.AppendUnchecked(
+            {Value(m.id), Value(std::string("country")), Value(c)});
+      }
+      info2.AppendUnchecked(
+          {Value(m.id), Value(std::string("runtimes")), Value(m.runtime)});
+      info2.AppendUnchecked(
+          {Value(m.id), Value(std::string("gross")), Value(m.gross)});
+      info2.AppendUnchecked(
+          {Value(m.id), Value(std::string("budget")), Value(m.budget)});
+    }
+    Schema ps;
+    ps.AddColumn(Column("p_id", DataType::kInt64));
+    ps.AddColumn(Column("name", DataType::kString));
+    ps.AddColumn(Column("gender", DataType::kString));
+    ps.AddColumn(Column("dob", DataType::kString));
+    Table person2("Person", ps);
+    for (const PersonRec& p : persons) {
+      person2.AppendUnchecked({Value(p.id), Value(p.first + " " + p.last),
+                               Value(p.gender), Value(p.dob)});
+    }
+    Schema mps;
+    mps.AddColumn(Column("m_id", DataType::kInt64));
+    mps.AddColumn(Column("p_id", DataType::kInt64));
+    mps.AddColumn(Column("role", DataType::kString));
+    Table movie_person("MoviePerson", mps);
+    for (const Link& l : acts) {
+      movie_person.AppendUnchecked(
+          {Value(l.movie), Value(l.person), Value(std::string("actor"))});
+    }
+    for (const Link& l : directs) {
+      movie_person.AppendUnchecked({Value(l.movie), Value(l.person),
+                                    Value(std::string("director"))});
+    }
+    out.view2.PutTable(std::move(movie2));
+    out.view2.PutTable(std::move(info2));
+    out.view2.PutTable(std::move(person2));
+    out.view2.PutTable(std::move(movie_person));
+  }
+
+  // --- BART errors on both views (ids and join keys excluded) -----------
+  BartOptions bart;
+  bart.error_rate = opts.error_rate;
+  bart.seed = opts.seed ^ 0xbadc0ffee;
+  bart.exclude_columns = {"movie_id", "actor_id", "director_id",
+                          "m_id",     "p_id",     "info_type",
+                          "role",     "release_year"};
+  E3D_ASSIGN_OR_RETURN(out.errors1, InjectErrors(&out.view1, bart));
+  bart.seed ^= 0x5eed;
+  E3D_ASSIGN_OR_RETURN(out.errors2, InjectErrors(&out.view2, bart));
+  return out;
+}
+
+std::vector<ImdbQueryPair> ImdbTemplates(int year, const std::string& genre) {
+  std::string y = std::to_string(year);
+  std::vector<ImdbQueryPair> out;
+
+  AttributeMatch movie_key = AttributeMatch(
+      {"Movie.title", "Movie.release_year"},
+      {"Movie.title", "Movie.release_year"}, SemanticRelation::kEquivalent);
+  AttributeMatch actor_key = AttributeMatch(
+      {"firstname", "lastname", "dob"}, {"name", "dob"},
+      SemanticRelation::kEquivalent);
+
+  auto add = [&](const std::string& name, const std::string& desc,
+                 std::string sql1, std::string sql2, AttributeMatch key,
+                 std::string e1, std::string e2) {
+    ImdbQueryPair q;
+    q.name = name;
+    q.description = desc;
+    q.sql1 = std::move(sql1);
+    q.sql2 = std::move(sql2);
+    q.attr_matches = {std::move(key)};
+    q.entity_col1 = std::move(e1);
+    q.entity_col2 = std::move(e2);
+    out.push_back(std::move(q));
+  };
+
+  // Q1: actors cast in short movies released in <year>.
+  add("Q1", "actors in short movies of " + y,
+      "SELECT firstname, lastname FROM Actor "
+      "JOIN MovieActor ON Actor.actor_id = MovieActor.actor_id "
+      "JOIN Movie ON MovieActor.movie_id = Movie.movie_id "
+      "WHERE release_year = " + y + " AND runtimes < 45",
+      "SELECT name FROM Person "
+      "JOIN MoviePerson ON Person.p_id = MoviePerson.p_id "
+      "JOIN Movie ON MoviePerson.m_id = Movie.m_id "
+      "JOIN MovieInfo ON Movie.m_id = MovieInfo.m_id "
+      "WHERE role = 'actor' AND release_year = " + y +
+      " AND info_type = 'runtimes' AND info < 45",
+      actor_key, "Actor.actor_id", "Person.p_id");
+
+  // Q2: movies directed by someone born in <year - 30>.
+  std::string dy = std::to_string(year - 30);
+  add("Q2", "movies directed by someone born in " + dy,
+      "SELECT title, release_year FROM Movie "
+      "JOIN MovieDirector ON Movie.movie_id = MovieDirector.movie_id "
+      "JOIN Director ON MovieDirector.director_id = Director.director_id "
+      "WHERE dob LIKE '" + dy + "%'",
+      "SELECT title, release_year FROM Movie "
+      "JOIN MoviePerson ON Movie.m_id = MoviePerson.m_id "
+      "JOIN Person ON MoviePerson.p_id = Person.p_id "
+      "WHERE role = 'director' AND dob LIKE '" + dy + "%'",
+      movie_key, "Movie.movie_id", "Movie.m_id");
+
+  // Q3: number of comedy movies released in <year>.
+  add("Q3", "number of comedies in " + y,
+      "SELECT COUNT(title) FROM Movie WHERE release_year = " + y +
+          " AND genre = 'Comedy'",
+      "SELECT COUNT(title) FROM Movie "
+      "JOIN MovieInfo ON Movie.m_id = MovieInfo.m_id "
+      "WHERE release_year = " + y +
+      " AND info_type = 'genre' AND info = 'Comedy'",
+      movie_key, "Movie.movie_id", "Movie.m_id");
+
+  // Q4: number of movies released in the US in <year>.
+  add("Q4", "number of US movies in " + y,
+      "SELECT COUNT(title) FROM Movie WHERE release_year = " + y +
+          " AND country = 'USA'",
+      "SELECT COUNT(title) FROM Movie "
+      "JOIN MovieInfo ON Movie.m_id = MovieInfo.m_id "
+      "WHERE release_year = " + y +
+      " AND info_type = 'country' AND info = 'USA'",
+      movie_key, "Movie.movie_id", "Movie.m_id");
+
+  // Q5: total gross for movies released in <year>.
+  add("Q5", "total gross in " + y,
+      "SELECT SUM(gross) FROM Movie WHERE release_year = " + y,
+      "SELECT SUM(info) FROM Movie "
+      "JOIN MovieInfo ON Movie.m_id = MovieInfo.m_id "
+      "WHERE release_year = " + y + " AND info_type = 'gross'",
+      movie_key, "Movie.movie_id", "Movie.m_id");
+
+  // Q6: maximum gross in <year>.
+  add("Q6", "maximum gross in " + y,
+      "SELECT MAX(gross) FROM Movie WHERE release_year = " + y,
+      "SELECT MAX(info) FROM Movie "
+      "JOIN MovieInfo ON Movie.m_id = MovieInfo.m_id "
+      "WHERE release_year = " + y + " AND info_type = 'gross'",
+      movie_key, "Movie.movie_id", "Movie.m_id");
+
+  // Q7: the longest movie released in <year>.
+  add("Q7", "longest movie of " + y,
+      "SELECT MAX(runtimes) FROM Movie WHERE release_year = " + y,
+      "SELECT MAX(info) FROM Movie "
+      "JOIN MovieInfo ON Movie.m_id = MovieInfo.m_id "
+      "WHERE release_year = " + y + " AND info_type = 'runtimes'",
+      movie_key, "Movie.movie_id", "Movie.m_id");
+
+  // Q8: average gross in <year>.
+  add("Q8", "average gross in " + y,
+      "SELECT AVG(gross) FROM Movie WHERE release_year = " + y,
+      "SELECT AVG(info) FROM Movie "
+      "JOIN MovieInfo ON Movie.m_id = MovieInfo.m_id "
+      "WHERE release_year = " + y + " AND info_type = 'gross'",
+      movie_key, "Movie.movie_id", "Movie.m_id");
+
+  // Q9: average runtime in <year>.
+  add("Q9", "average runtime in " + y,
+      "SELECT AVG(runtimes) FROM Movie WHERE release_year = " + y,
+      "SELECT AVG(info) FROM Movie "
+      "JOIN MovieInfo ON Movie.m_id = MovieInfo.m_id "
+      "WHERE release_year = " + y + " AND info_type = 'runtimes'",
+      movie_key, "Movie.movie_id", "Movie.m_id");
+
+  // Q10: actresses who have not starred in any <genre> movies.
+  add("Q10", "actresses with no " + genre + " credits",
+      "SELECT firstname, lastname FROM Actor WHERE gender = 'F' AND "
+      "actor_id NOT IN (SELECT MovieActor.actor_id FROM MovieActor "
+      "JOIN Movie ON MovieActor.movie_id = Movie.movie_id "
+      "WHERE genre = '" + genre + "')",
+      "SELECT name FROM Person WHERE gender = 'F' AND "
+      "p_id IN (SELECT MoviePerson.p_id FROM MoviePerson WHERE "
+      "role = 'actor') AND "
+      "p_id NOT IN (SELECT MoviePerson.p_id FROM MoviePerson "
+      "JOIN MovieInfo ON MoviePerson.m_id = MovieInfo.m_id "
+      "WHERE role = 'actor' AND info_type = 'genre' AND info = '" +
+          genre + "')",
+      actor_key, "Actor.actor_id", "Person.p_id");
+
+  return out;
+}
+
+}  // namespace explain3d

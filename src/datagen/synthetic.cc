@@ -1,0 +1,107 @@
+#include "datagen/synthetic.h"
+
+#include <set>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace explain3d {
+
+namespace {
+
+/// Deterministic pseudo-word: "w<k>" spelled with letter digits so words
+/// tokenize as single alphanumeric tokens and never collide.
+std::string VocabWord(size_t k) { return "w" + std::to_string(k); }
+
+}  // namespace
+
+Result<SyntheticDataset> GenerateSynthetic(const SyntheticOptions& opts) {
+  if (opts.v <= opts.words_per_phrase) {
+    return Status::InvalidArgument("vocabulary must exceed phrase length");
+  }
+  if (opts.d < 0 || opts.d > 1) {
+    return Status::InvalidArgument("difference ratio must be in [0,1]");
+  }
+  Rng rng(opts.seed);
+
+  // (1) entities with unique phrases.
+  std::vector<std::string> phrase(opts.n);
+  std::vector<int64_t> val(opts.n);
+  std::unordered_set<std::string> used;
+  for (size_t e = 0; e < opts.n; ++e) {
+    std::string ph;
+    do {
+      std::vector<std::string> words;
+      for (size_t w = 0; w < opts.words_per_phrase; ++w) {
+        words.push_back(VocabWord(rng.Index(opts.v)));
+      }
+      ph = Join(words, " ");
+    } while (!used.insert(ph).second);
+    phrase[e] = ph;
+    val[e] = rng.UniformInt(1, 10);
+  }
+
+  // (2) drop d% of the 2n tuple instances.
+  size_t total_instances = 2 * opts.n;
+  size_t to_drop =
+      static_cast<size_t>(opts.d * static_cast<double>(total_instances));
+  std::vector<size_t> drop_sample =
+      rng.SampleWithoutReplacement(total_instances, to_drop);
+  std::vector<bool> dropped(total_instances, false);
+  for (size_t s : drop_sample) dropped[s] = true;
+
+  // (3) corrupt d% of the surviving instances (val flips to a different
+  // random value).
+  std::vector<size_t> survivors;
+  for (size_t s = 0; s < total_instances; ++s) {
+    if (!dropped[s]) survivors.push_back(s);
+  }
+  size_t to_corrupt =
+      static_cast<size_t>(opts.d * static_cast<double>(survivors.size()));
+  std::vector<size_t> corrupt_sample =
+      rng.SampleWithoutReplacement(survivors.size(), to_corrupt);
+  std::vector<bool> corrupted(total_instances, false);
+  for (size_t s : corrupt_sample) corrupted[survivors[s]] = true;
+
+  // Materialize the two tables.
+  SyntheticDataset out;
+  Schema schema;
+  schema.AddColumn(Column("id", DataType::kInt64));
+  schema.AddColumn(Column("match_attr", DataType::kString));
+  schema.AddColumn(Column("val", DataType::kInt64));
+  Table table1("Table", schema), table2("Table", schema);
+  for (size_t e = 0; e < opts.n; ++e) {
+    for (int side = 0; side < 2; ++side) {
+      size_t instance = e * 2 + side;
+      if (dropped[instance]) continue;
+      int64_t v = val[e];
+      if (corrupted[instance]) {
+        int64_t nv;
+        do {
+          nv = rng.UniformInt(1, 10);
+        } while (nv == v);
+        v = nv;
+      }
+      Row row = {Value(static_cast<int64_t>(e)), Value(phrase[e]), Value(v)};
+      if (side == 0) {
+        table1.AppendUnchecked(std::move(row));
+        out.row_entities1.push_back(static_cast<int64_t>(e));
+      } else {
+        table2.AppendUnchecked(std::move(row));
+        out.row_entities2.push_back(static_cast<int64_t>(e));
+      }
+    }
+  }
+  out.db1 = Database("synthetic1");
+  out.db2 = Database("synthetic2");
+  out.db1.PutTable(std::move(table1));
+  out.db2.PutTable(std::move(table2));
+  out.sql1 = "SELECT SUM(val) FROM Table";
+  out.sql2 = "SELECT SUM(val) FROM Table";
+  out.attr_matches = {AttributeMatch::Single(
+      "match_attr", "match_attr", SemanticRelation::kEquivalent)};
+  return out;
+}
+
+}  // namespace explain3d

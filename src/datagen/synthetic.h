@@ -1,0 +1,55 @@
+// Synthetic data generator (Section 5.3).
+//
+// Both datasets share schema Table(id, match_attr, val) and query
+// "SELECT SUM(val) FROM Table". Generation:
+//  (1) create n entities with a match_attr phrase of `words_per_phrase`
+//      random words from a v-word vocabulary and val ∈ [1, 10]; add each
+//      entity's tuple to both datasets;
+//  (2) drop d% of the 2n tuple instances uniformly;
+//  (3) corrupt the val attribute of d% of the surviving instances.
+// Dropped and corrupted instances are the gold explanations; the identity
+// pairing of surviving instances is the gold evidence.
+//
+// Phrases are kept unique across entities (collisions are astronomically
+// unlikely at the paper's settings anyway) so canonical tuples correspond
+// 1:1 to entities and the gold standard is exact.
+
+#ifndef EXPLAIN3D_DATAGEN_SYNTHETIC_H_
+#define EXPLAIN3D_DATAGEN_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "eval/gold.h"
+#include "matching/attribute_match.h"
+#include "relational/database.h"
+
+namespace explain3d {
+
+/// Generator parameters (defaults match the paper's fixed settings).
+struct SyntheticOptions {
+  size_t n = 1000;          ///< number of entities
+  double d = 0.2;           ///< difference ratio
+  size_t v = 1000;          ///< vocabulary size (must be > 5)
+  size_t words_per_phrase = 5;
+  uint64_t seed = 42;
+};
+
+/// A generated dataset pair plus everything the evaluation needs.
+struct SyntheticDataset {
+  Database db1, db2;
+  std::string sql1, sql2;
+  AttributeMatches attr_matches;
+  /// Entity id of each table row, per side (row order = table order; this
+  /// is also the provenance row order for the SUM query).
+  std::vector<int64_t> row_entities1, row_entities2;
+};
+
+/// Generates a dataset pair.
+Result<SyntheticDataset> GenerateSynthetic(const SyntheticOptions& opts);
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_DATAGEN_SYNTHETIC_H_

@@ -1,0 +1,111 @@
+#include "eval/experiment.h"
+
+#include "baselines/exact_cover.h"
+#include "baselines/formalexp.h"
+#include "baselines/greedy.h"
+#include "baselines/rswoosh.h"
+#include "baselines/threshold.h"
+#include "common/timer.h"
+
+namespace explain3d {
+
+const char* AlgorithmName(Algorithm a) {
+  switch (a) {
+    case Algorithm::kExplain3D:
+      return "Exp3D";
+    case Algorithm::kExplain3DNoOpt:
+      return "Exp3D-NoOpt";
+    case Algorithm::kGreedy:
+      return "Greedy";
+    case Algorithm::kThreshold09:
+      return "Threshold-0.9";
+    case Algorithm::kRSwoosh:
+      return "Rswoosh";
+    case Algorithm::kExactCover:
+      return "ExactCover";
+    case Algorithm::kFormalExpTop15:
+      return "FormalExp-Top15";
+  }
+  return "?";
+}
+
+std::vector<Algorithm> AllAlgorithms() {
+  return {Algorithm::kExplain3D,   Algorithm::kGreedy,
+          Algorithm::kThreshold09, Algorithm::kRSwoosh,
+          Algorithm::kExactCover,  Algorithm::kFormalExpTop15};
+}
+
+Result<ExperimentResult> RunAlgorithm(Algorithm algorithm,
+                                      const PipelineResult& pipe,
+                                      const AttributeMatch& attr,
+                                      const GoldStandard& gold,
+                                      const Explain3DConfig& config) {
+  ExperimentResult out;
+  out.algorithm = algorithm;
+  Timer timer;
+  switch (algorithm) {
+    case Algorithm::kExplain3D:
+    case Algorithm::kExplain3DNoOpt: {
+      Explain3DConfig cfg = config;
+      if (algorithm == Algorithm::kExplain3DNoOpt) {
+        cfg.batch_size = 0;
+        cfg.decompose_components = false;
+      }
+      Explain3DSolver solver(cfg);
+      Explain3DInput input;
+      input.t1 = &pipe.t1;
+      input.t2 = &pipe.t2;
+      input.attr = attr;
+      input.mapping = pipe.initial_mapping;
+      E3D_ASSIGN_OR_RETURN(Explain3DResult r, solver.Solve(input));
+      out.explanations = std::move(r.explanations);
+      out.optimal = r.stats.all_optimal;
+      break;
+    }
+    case Algorithm::kGreedy: {
+      ProbabilityModel prob(config);
+      out.explanations = GreedyBaseline(pipe.t1, pipe.t2,
+                                        pipe.initial_mapping, attr, prob);
+      break;
+    }
+    case Algorithm::kThreshold09:
+      out.explanations =
+          ThresholdBaseline(pipe.t1, pipe.t2, pipe.initial_mapping, 0.9);
+      break;
+    case Algorithm::kRSwoosh:
+      out.explanations = RSwooshBaseline(pipe.t1, pipe.t2, 0.75);
+      break;
+    case Algorithm::kExactCover: {
+      E3D_ASSIGN_OR_RETURN(
+          out.explanations,
+          ExactCoverBaseline(pipe.t1, pipe.t2, pipe.initial_mapping));
+      break;
+    }
+    case Algorithm::kFormalExpTop15: {
+      FormalExpOptions fopts;
+      fopts.top_k = 15;
+      E3D_ASSIGN_OR_RETURN(
+          out.explanations,
+          FormalExpBaseline(pipe.t1, pipe.t2, pipe.p1, pipe.p2, fopts));
+      break;
+    }
+  }
+  out.algorithm_seconds = timer.Seconds();
+  out.total_seconds = out.algorithm_seconds + pipe.stage1_seconds;
+  out.accuracy = Evaluate(out.explanations, gold);
+  return out;
+}
+
+Result<GoldStandard> GoldFromEntityColumns(const PipelineResult& pipe,
+                                           const std::string& entity_col1,
+                                           const std::string& entity_col2) {
+  E3D_ASSIGN_OR_RETURN(
+      std::vector<int64_t> e1,
+      EntitiesFromColumn(pipe.t1, pipe.p1.table, entity_col1));
+  E3D_ASSIGN_OR_RETURN(
+      std::vector<int64_t> e2,
+      EntitiesFromColumn(pipe.t2, pipe.p2.table, entity_col2));
+  return DeriveGoldFromEntities(pipe.t1, pipe.t2, e1, e2);
+}
+
+}  // namespace explain3d

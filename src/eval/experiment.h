@@ -1,0 +1,59 @@
+// Experiment harness: runs every algorithm of Section 5.1.3 on prepared
+// stage-1 artifacts and reports Section-5.1.4 metrics plus timings.
+
+#ifndef EXPLAIN3D_EVAL_EXPERIMENT_H_
+#define EXPLAIN3D_EVAL_EXPERIMENT_H_
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "eval/gold.h"
+#include "eval/metrics.h"
+
+namespace explain3d {
+
+/// The evaluated algorithms (Section 5.1.3).
+enum class Algorithm {
+  kExplain3D,       ///< full system with smart partitioning
+  kExplain3DNoOpt,  ///< basic algorithm, no partitioning optimization
+  kGreedy,
+  kThreshold09,
+  kRSwoosh,
+  kExactCover,
+  kFormalExpTop15,
+};
+
+const char* AlgorithmName(Algorithm a);
+
+/// All algorithms in the paper's figure order.
+std::vector<Algorithm> AllAlgorithms();
+
+/// Result of one algorithm run.
+struct ExperimentResult {
+  Algorithm algorithm = Algorithm::kExplain3D;
+  AccuracyReport accuracy;
+  double algorithm_seconds = 0;  ///< excludes shared stage-1 time
+  double total_seconds = 0;      ///< algorithm + shared stage-1 time
+  ExplanationSet explanations;
+  bool optimal = true;
+};
+
+/// Runs `algorithm` against the stage-1 artifacts in `pipe` and scores it
+/// against `gold`. `config` parameterizes explain3d variants (batch size,
+/// α, β, ...).
+Result<ExperimentResult> RunAlgorithm(Algorithm algorithm,
+                                      const PipelineResult& pipe,
+                                      const AttributeMatch& attr,
+                                      const GoldStandard& gold,
+                                      const Explain3DConfig& config);
+
+/// Convenience: gold standard of a pipeline run whose provenance carries
+/// entity-id columns (IMDb) — see eval/gold.h.
+Result<GoldStandard> GoldFromEntityColumns(const PipelineResult& pipe,
+                                           const std::string& entity_col1,
+                                           const std::string& entity_col2);
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_EVAL_EXPERIMENT_H_

@@ -1,0 +1,173 @@
+#include "eval/gold.h"
+
+#include <cmath>
+#include <map>
+
+namespace explain3d {
+
+std::vector<int64_t> CanonicalEntities(
+    const CanonicalRelation& rel,
+    const std::vector<int64_t>& prov_row_entities) {
+  std::vector<int64_t> out(rel.size(), -1);
+  for (size_t c = 0; c < rel.size(); ++c) {
+    int64_t entity = -1;
+    bool consistent = true;
+    for (size_t pr : rel.tuples[c].prov_rows) {
+      if (pr >= prov_row_entities.size()) continue;
+      int64_t e = prov_row_entities[pr];
+      if (entity == -1) {
+        entity = e;
+      } else if (e != -1 && e != entity) {
+        consistent = false;
+        break;
+      }
+    }
+    out[c] = consistent ? entity : -1;
+  }
+  return out;
+}
+
+GoldStandard DeriveGoldFromEntities(const CanonicalRelation& t1,
+                                    const CanonicalRelation& t2,
+                                    const std::vector<int64_t>& entities1,
+                                    const std::vector<int64_t>& entities2) {
+  GoldStandard gold;
+  struct Group {
+    std::vector<size_t> left, right;
+  };
+  std::map<int64_t, Group> groups;
+  for (size_t i = 0; i < t1.size(); ++i) {
+    if (entities1[i] >= 0) {
+      groups[entities1[i]].left.push_back(i);
+    } else {
+      gold.explanations.delta.push_back({Side::kLeft, i});
+    }
+  }
+  for (size_t j = 0; j < t2.size(); ++j) {
+    if (entities2[j] >= 0) {
+      groups[entities2[j]].right.push_back(j);
+    } else {
+      gold.explanations.delta.push_back({Side::kRight, j});
+    }
+  }
+
+  for (const auto& [entity, g] : groups) {
+    (void)entity;
+    if (g.left.empty()) {
+      for (size_t j : g.right) {
+        gold.explanations.delta.push_back({Side::kRight, j});
+      }
+      continue;
+    }
+    if (g.right.empty()) {
+      for (size_t i : g.left) {
+        gold.explanations.delta.push_back({Side::kLeft, i});
+      }
+      continue;
+    }
+    double sum1 = 0, sum2 = 0;
+    for (size_t i : g.left) {
+      sum1 += t1.tuples[i].impact;
+      for (size_t j : g.right) {
+        gold.explanations.evidence.emplace_back(i, j, 1.0);
+        gold.evidence_pairs.emplace(i, j);
+      }
+    }
+    for (size_t j : g.right) sum2 += t2.tuples[j].impact;
+    if (ImpactsDiffer(sum1, sum2)) {
+      size_t j = g.right.front();
+      gold.explanations.value_changes.push_back(
+          {Side::kRight, j, t2.tuples[j].impact,
+           t2.tuples[j].impact + (sum1 - sum2)});
+    }
+  }
+  gold.explanations.Normalize();
+  return gold;
+}
+
+std::vector<int64_t> EntitiesFromKeyMap(
+    const CanonicalRelation& rel,
+    const std::map<std::string, int64_t>& by_key) {
+  std::vector<int64_t> out(rel.size(), -1);
+  for (size_t c = 0; c < rel.size(); ++c) {
+    auto it = by_key.find(rel.tuples[c].KeyString());
+    if (it != by_key.end()) out[c] = it->second;
+  }
+  return out;
+}
+
+namespace {
+GoldPairs PairsFromEntities(const std::vector<int64_t>& e1,
+                            const std::vector<int64_t>& e2) {
+  std::map<int64_t, std::vector<size_t>> left;
+  for (size_t i = 0; i < e1.size(); ++i) {
+    if (e1[i] >= 0) left[e1[i]].push_back(i);
+  }
+  GoldPairs pairs;
+  for (size_t j = 0; j < e2.size(); ++j) {
+    if (e2[j] < 0) continue;
+    auto it = left.find(e2[j]);
+    if (it == left.end()) continue;
+    for (size_t i : it->second) pairs.emplace(i, j);
+  }
+  return pairs;
+}
+}  // namespace
+
+CalibrationOracle MakeRowEntityOracle(std::vector<int64_t> rows1,
+                                      std::vector<int64_t> rows2) {
+  return [rows1 = std::move(rows1), rows2 = std::move(rows2)](
+             const CanonicalRelation& t1, const CanonicalRelation& t2,
+             const Table&, const Table&) {
+    return PairsFromEntities(CanonicalEntities(t1, rows1),
+                             CanonicalEntities(t2, rows2));
+  };
+}
+
+CalibrationOracle MakeKeyMapOracle(std::map<std::string, int64_t> by_key1,
+                                   std::map<std::string, int64_t> by_key2) {
+  return [m1 = std::move(by_key1), m2 = std::move(by_key2)](
+             const CanonicalRelation& t1, const CanonicalRelation& t2,
+             const Table&, const Table&) {
+    return PairsFromEntities(EntitiesFromKeyMap(t1, m1),
+                             EntitiesFromKeyMap(t2, m2));
+  };
+}
+
+CalibrationOracle MakeEntityColumnOracle(std::string column1,
+                                         std::string column2) {
+  return [c1 = std::move(column1), c2 = std::move(column2)](
+             const CanonicalRelation& t1, const CanonicalRelation& t2,
+             const Table& prov1, const Table& prov2) {
+    Result<std::vector<int64_t>> e1 = EntitiesFromColumn(t1, prov1, c1);
+    Result<std::vector<int64_t>> e2 = EntitiesFromColumn(t2, prov2, c2);
+    if (!e1.ok() || !e2.ok()) return GoldPairs{};
+    return PairsFromEntities(e1.value(), e2.value());
+  };
+}
+
+Result<std::vector<int64_t>> EntitiesFromColumn(const CanonicalRelation& rel,
+                                                const Table& prov,
+                                                const std::string& column) {
+  E3D_ASSIGN_OR_RETURN(size_t col, prov.schema().Resolve(column));
+  std::vector<int64_t> out(rel.size(), -1);
+  for (size_t c = 0; c < rel.size(); ++c) {
+    int64_t entity = -1;
+    bool consistent = true;
+    for (size_t pr : rel.tuples[c].prov_rows) {
+      const Value& v = prov.row(pr)[col];
+      if (!v.is_numeric()) continue;
+      int64_t e = static_cast<int64_t>(v.AsDouble());
+      if (entity == -1) {
+        entity = e;
+      } else if (e != entity) {
+        consistent = false;
+        break;
+      }
+    }
+    out[c] = consistent ? entity : -1;
+  }
+  return out;
+}
+
+}  // namespace explain3d

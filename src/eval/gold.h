@@ -1,0 +1,82 @@
+// Gold standards for the evaluation (Section 5.1.1).
+//
+// Generators know the true lineage: every canonical tuple descends from a
+// generated entity. Pairing equal entity ids across the two canonical
+// relations yields the optimal evidence mapping; entities present on only
+// one side yield gold provenance-based explanations; entity groups whose
+// impacts disagree yield gold value-based explanations. This mirrors how
+// the paper derives its gold standards ("the optimal evidence mapping can
+// be easily acquired through the mapping between the views and the
+// original dataset").
+
+#ifndef EXPLAIN3D_EVAL_GOLD_H_
+#define EXPLAIN3D_EVAL_GOLD_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/explanation.h"
+#include "core/pipeline.h"
+#include "matching/mapping_generator.h"
+#include "provenance/canonical.h"
+
+namespace explain3d {
+
+/// The true reconciliation of one query pair.
+struct GoldStandard {
+  ExplanationSet explanations;  ///< gold Δ, δ and evidence (p = 1)
+  GoldPairs evidence_pairs;     ///< evidence as a set, for calibration
+};
+
+/// Entity id of each canonical tuple, derived from per-provenance-row
+/// entity ids (a canonical tuple inherits the entity of its merged rows;
+/// conflicting rows yield -1 = unknown).
+std::vector<int64_t> CanonicalEntities(
+    const CanonicalRelation& rel,
+    const std::vector<int64_t>& prov_row_entities);
+
+/// Builds the gold standard by joining the two sides on entity id.
+/// Entities may group several side-1 tuples with one side-2 tuple
+/// (containment matches); impact disagreement within a group produces a
+/// gold value-based explanation on the side-2 member (metrics treat
+/// either side of a gold pair as correct, see metrics.h).
+GoldStandard DeriveGoldFromEntities(const CanonicalRelation& t1,
+                                    const CanonicalRelation& t2,
+                                    const std::vector<int64_t>& entities1,
+                                    const std::vector<int64_t>& entities2);
+
+/// Entity per canonical tuple looked up from its key string (generators
+/// that key entities by name, e.g. the academic pair). Unknown keys → -1.
+std::vector<int64_t> EntitiesFromKeyMap(
+    const CanonicalRelation& rel,
+    const std::map<std::string, int64_t>& by_key);
+
+/// Entity per canonical tuple read from an id column of the provenance
+/// relation (generators whose provenance carries entity ids, e.g. IMDb
+/// movie/person ids). Conflicting ids within one canonical tuple → -1.
+Result<std::vector<int64_t>> EntitiesFromColumn(const CanonicalRelation& rel,
+                                                const Table& prov,
+                                                const std::string& column);
+
+// --- Calibration-oracle factories (PipelineInput::calibration_oracle) ---
+
+/// Oracle pairing canonical tuples via per-provenance-row entity ids
+/// (synthetic generator). Vectors are captured by value.
+CalibrationOracle MakeRowEntityOracle(std::vector<int64_t> rows1,
+                                      std::vector<int64_t> rows2);
+
+/// Oracle pairing canonical tuples via key-string → entity maps
+/// (academic generator).
+CalibrationOracle MakeKeyMapOracle(std::map<std::string, int64_t> by_key1,
+                                   std::map<std::string, int64_t> by_key2);
+
+/// Oracle pairing canonical tuples via an entity-id column of each
+/// provenance relation (IMDb generator).
+CalibrationOracle MakeEntityColumnOracle(std::string column1,
+                                         std::string column2);
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_EVAL_GOLD_H_

@@ -1,0 +1,97 @@
+#include "eval/metrics.h"
+
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace explain3d {
+
+std::string Prf::ToString() const {
+  return StrFormat("P=%.3f R=%.3f F1=%.3f (pred=%zu gold=%zu ok=%zu)",
+                   precision, recall, f1, predicted, gold, correct);
+}
+
+Prf MakePrf(size_t correct, size_t predicted, size_t gold) {
+  Prf prf;
+  prf.correct = correct;
+  prf.predicted = predicted;
+  prf.gold = gold;
+  prf.precision = predicted == 0
+                      ? (gold == 0 ? 1.0 : 0.0)
+                      : static_cast<double>(correct) / predicted;
+  prf.recall = gold == 0 ? 1.0 : static_cast<double>(correct) / gold;
+  prf.f1 = (prf.precision + prf.recall) == 0
+               ? 0.0
+               : 2 * prf.precision * prf.recall /
+                     (prf.precision + prf.recall);
+  return prf;
+}
+
+Prf ExplanationAccuracy(const ExplanationSet& predicted,
+                        const GoldStandard& gold) {
+  using Key = std::pair<int, size_t>;
+  auto key_of = [](Side s, size_t t) {
+    return Key{s == Side::kLeft ? 0 : 1, t};
+  };
+
+  std::set<Key> gold_delta;
+  for (const ProvExplanation& e : gold.explanations.delta) {
+    gold_delta.insert(key_of(e.side, e.tuple));
+  }
+  // Gold value explanations are matchable at the flagged tuple or any of
+  // its gold-evidence partners (side attribution is unidentifiable).
+  std::map<Key, size_t> gold_value_alias;  // alias key -> gold index
+  std::vector<bool> gold_value_used(gold.explanations.value_changes.size(),
+                                    false);
+  for (size_t g = 0; g < gold.explanations.value_changes.size(); ++g) {
+    const ValueExplanation& e = gold.explanations.value_changes[g];
+    gold_value_alias.emplace(key_of(e.side, e.tuple), g);
+    for (const TupleMatch& m : gold.explanations.evidence) {
+      if (e.side == Side::kRight && m.t2 == e.tuple) {
+        gold_value_alias.emplace(key_of(Side::kLeft, m.t1), g);
+      }
+      if (e.side == Side::kLeft && m.t1 == e.tuple) {
+        gold_value_alias.emplace(key_of(Side::kRight, m.t2), g);
+      }
+    }
+  }
+
+  size_t correct = 0;
+  for (const ProvExplanation& e : predicted.delta) {
+    if (gold_delta.count(key_of(e.side, e.tuple))) ++correct;
+  }
+  for (const ValueExplanation& e : predicted.value_changes) {
+    auto it = gold_value_alias.find(key_of(e.side, e.tuple));
+    if (it != gold_value_alias.end() && !gold_value_used[it->second]) {
+      gold_value_used[it->second] = true;
+      ++correct;
+    }
+  }
+  size_t predicted_total =
+      predicted.delta.size() + predicted.value_changes.size();
+  size_t gold_total = gold.explanations.delta.size() +
+                      gold.explanations.value_changes.size();
+  return MakePrf(correct, predicted_total, gold_total);
+}
+
+Prf EvidenceAccuracy(const TupleMapping& predicted_evidence,
+                     const GoldStandard& gold) {
+  size_t correct = 0;
+  std::set<std::pair<size_t, size_t>> seen;
+  for (const TupleMatch& m : predicted_evidence) {
+    if (!seen.insert({m.t1, m.t2}).second) continue;  // dedupe
+    if (gold.evidence_pairs.count({m.t1, m.t2})) ++correct;
+  }
+  return MakePrf(correct, seen.size(), gold.evidence_pairs.size());
+}
+
+AccuracyReport Evaluate(const ExplanationSet& predicted,
+                        const GoldStandard& gold) {
+  AccuracyReport r;
+  r.explanation = ExplanationAccuracy(predicted, gold);
+  r.evidence = EvidenceAccuracy(predicted.evidence, gold);
+  return r;
+}
+
+}  // namespace explain3d

@@ -1,0 +1,41 @@
+#include "matching/attribute_match.h"
+
+#include "common/string_util.h"
+
+namespace explain3d {
+
+const char* SemanticRelationSymbol(SemanticRelation r) {
+  switch (r) {
+    case SemanticRelation::kEquivalent:
+      return "=";
+    case SemanticRelation::kLessGeneral:
+      return "<=";
+    case SemanticRelation::kMoreGeneral:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string AttributeMatch::ToString() const {
+  return "(" + Join(attrs1, ", ") + ") " + SemanticRelationSymbol(relation) +
+         " (" + Join(attrs2, ", ") + ")";
+}
+
+Status AttributeMatch::ValidateAgainst(const Schema& schema1,
+                                       const Schema& schema2) const {
+  if (attrs1.empty() || attrs2.empty()) {
+    return Status::InvalidArgument(
+        "attribute match must name attributes on both sides");
+  }
+  for (const std::string& a : attrs1) {
+    E3D_ASSIGN_OR_RETURN(size_t idx, schema1.Resolve(a));
+    (void)idx;
+  }
+  for (const std::string& a : attrs2) {
+    E3D_ASSIGN_OR_RETURN(size_t idx, schema2.Resolve(a));
+    (void)idx;
+  }
+  return Status::OK();
+}
+
+}  // namespace explain3d

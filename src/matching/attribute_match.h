@@ -1,0 +1,74 @@
+// Attribute matches M_attr (Definition 2.1) and query comparability
+// (Definition 2.2).
+//
+// An attribute match relates a set of categorical attributes in Q1's
+// provenance to a set in Q2's with a semantic relation φ ∈ {≡, ⊑, ⊒}:
+//   ≡  one-to-one     (program ≡ major)
+//   ⊑  many-to-one    (program ⊑ college: many programs per college)
+//   ⊒  one-to-many
+// Attribute matches are an *input* of explain3d (derived offline by schema
+// matching); this module only models and validates them.
+
+#ifndef EXPLAIN3D_MATCHING_ATTRIBUTE_MATCH_H_
+#define EXPLAIN3D_MATCHING_ATTRIBUTE_MATCH_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/schema.h"
+
+namespace explain3d {
+
+/// Semantic relation φ between two attribute sets.
+enum class SemanticRelation {
+  kEquivalent,   ///< Ai ≡ Aj : one-to-one tuple mapping
+  kLessGeneral,  ///< Ai ⊑ Aj : many-to-one (many Ai tuples per Aj tuple)
+  kMoreGeneral,  ///< Ai ⊒ Aj : one-to-many
+};
+
+const char* SemanticRelationSymbol(SemanticRelation r);
+
+/// One attribute match (Ai φ Aj).
+struct AttributeMatch {
+  std::vector<std::string> attrs1;  ///< attributes in Q1's provenance
+  std::vector<std::string> attrs2;  ///< attributes in Q2's provenance
+  SemanticRelation relation = SemanticRelation::kEquivalent;
+
+  AttributeMatch() = default;
+  AttributeMatch(std::vector<std::string> a1, std::vector<std::string> a2,
+                 SemanticRelation rel)
+      : attrs1(std::move(a1)), attrs2(std::move(a2)), relation(rel) {}
+
+  /// Convenience for the common single-attribute case.
+  static AttributeMatch Single(std::string a1, std::string a2,
+                               SemanticRelation rel) {
+    return AttributeMatch({std::move(a1)}, {std::move(a2)}, rel);
+  }
+
+  /// Whether the side-1 tuples must have mapping degree <= 1 (Def. 3.2).
+  bool Side1DegreeCapped() const {
+    return relation != SemanticRelation::kMoreGeneral;
+  }
+  /// Whether the side-2 tuples must have mapping degree <= 1.
+  bool Side2DegreeCapped() const {
+    return relation != SemanticRelation::kLessGeneral;
+  }
+
+  /// "(program) ⊑ (college)".
+  std::string ToString() const;
+
+  /// Validates that every attribute resolves in the corresponding schema.
+  Status ValidateAgainst(const Schema& schema1, const Schema& schema2) const;
+};
+
+using AttributeMatches = std::vector<AttributeMatch>;
+
+/// Definition 2.2: queries are comparable iff M_attr is non-empty.
+inline bool AreComparable(const AttributeMatches& matches) {
+  return !matches.empty();
+}
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_MATCHING_ATTRIBUTE_MATCH_H_

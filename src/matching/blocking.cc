@@ -1,0 +1,85 @@
+#include "matching/blocking.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace explain3d {
+
+CandidatePairs AllPairs(size_t n1, size_t n2) {
+  CandidatePairs out;
+  out.reserve(n1 * n2);
+  for (size_t i = 0; i < n1; ++i) {
+    for (size_t j = 0; j < n2; ++j) out.emplace_back(i, j);
+  }
+  return out;
+}
+
+CandidatePairs GenerateCandidates(const CanonicalRelation& t1,
+                                  const CanonicalRelation& t2) {
+  CandidatePairs out;
+
+  // Token and numeric-bucket inverted indexes over ALL key attributes of
+  // T2 (keys may have different arity on the two sides).
+  std::unordered_map<std::string, std::vector<size_t>> token_index;
+  std::unordered_map<int64_t, std::vector<size_t>> bucket_index;
+  for (size_t j = 0; j < t2.size(); ++j) {
+    std::vector<std::string> toks;
+    for (const Value& v : t2.tuples[j].key) {
+      if (v.type() == DataType::kString) {
+        for (const std::string& tok : TokenizeWords(v.AsString())) {
+          toks.push_back(tok);
+        }
+      } else if (v.is_numeric()) {
+        bucket_index[static_cast<int64_t>(std::floor(v.AsDouble()))]
+            .push_back(j);
+      }
+    }
+    std::sort(toks.begin(), toks.end());
+    toks.erase(std::unique(toks.begin(), toks.end()), toks.end());
+    for (const std::string& tok : toks) token_index[tok].push_back(j);
+  }
+
+  // Stop-token cutoff: tokens hitting a large fraction of T2 (genders,
+  // degree types, the word "of") would create quadratic candidate sets
+  // without carrying matching signal.
+  size_t df_cutoff =
+      std::max<size_t>(50, t2.size() / 10 + 1);
+
+  std::vector<size_t> hits;
+  for (size_t i = 0; i < t1.size(); ++i) {
+    hits.clear();
+    std::vector<std::string> toks;
+    for (const Value& v : t1.tuples[i].key) {
+      if (v.type() == DataType::kString) {
+        for (const std::string& tok : TokenizeWords(v.AsString())) {
+          toks.push_back(tok);
+        }
+      } else if (v.is_numeric()) {
+        int64_t b = static_cast<int64_t>(std::floor(v.AsDouble()));
+        for (int64_t nb = b - 1; nb <= b + 1; ++nb) {
+          auto it = bucket_index.find(nb);
+          if (it == bucket_index.end()) continue;
+          hits.insert(hits.end(), it->second.begin(), it->second.end());
+        }
+      }
+    }
+    std::sort(toks.begin(), toks.end());
+    toks.erase(std::unique(toks.begin(), toks.end()), toks.end());
+    for (const std::string& tok : toks) {
+      auto it = token_index.find(tok);
+      if (it == token_index.end()) continue;
+      if (it->second.size() > df_cutoff) continue;  // stop token
+      hits.insert(hits.end(), it->second.begin(), it->second.end());
+    }
+    std::sort(hits.begin(), hits.end());
+    hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
+    for (size_t j : hits) out.emplace_back(i, j);
+  }
+  return out;
+}
+
+}  // namespace explain3d

@@ -1,0 +1,37 @@
+// Blocking: candidate-pair generation for tuple-mapping construction.
+//
+// All-pairs similarity is quadratic; a token inverted index restricts
+// comparisons to pairs that share at least one token on some string key
+// attribute (pairs sharing no token have Jaccard 0 and could never survive
+// calibration). Numeric-only keys fall back to value-bucket blocking.
+
+#ifndef EXPLAIN3D_MATCHING_BLOCKING_H_
+#define EXPLAIN3D_MATCHING_BLOCKING_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "provenance/canonical.h"
+
+namespace explain3d {
+
+/// Candidate pairs (index into T1, index into T2).
+using CandidatePairs = std::vector<std::pair<size_t, size_t>>;
+
+/// Generates candidate pairs between two canonical relations.
+///
+/// String key attributes feed a token inverted index; numeric key
+/// attributes feed an exact-value + neighboring-bucket index (bucket width
+/// 1.0, so integers within distance 1 are candidates). A pair becomes a
+/// candidate when any key attribute produces a collision. Output is
+/// deduplicated and sorted.
+CandidatePairs GenerateCandidates(const CanonicalRelation& t1,
+                                  const CanonicalRelation& t2);
+
+/// All n*m pairs (small inputs and tests).
+CandidatePairs AllPairs(size_t n1, size_t n2);
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_MATCHING_BLOCKING_H_

@@ -1,0 +1,59 @@
+#include "matching/mapping_generator.h"
+
+#include "common/rng.h"
+
+namespace explain3d {
+
+Result<TupleMapping> GenerateInitialMapping(const CanonicalRelation& t1,
+                                            const CanonicalRelation& t2,
+                                            const GoldPairs& gold,
+                                            const MappingGenOptions& opts) {
+  CandidatePairs pairs = opts.use_blocking
+                             ? GenerateCandidates(t1, t2)
+                             : AllPairs(t1.size(), t2.size());
+
+  // Pairwise combined similarity (KeySimilarity also handles attribute
+  // sets of different arity, e.g. (firstname, lastname) vs (name)).
+  std::vector<double> sim(pairs.size());
+  for (size_t k = 0; k < pairs.size(); ++k) {
+    const auto& [i, j] = pairs[k];
+    sim[k] = KeySimilarity(t1.tuples[i].key, t2.tuples[j].key, opts.metric);
+  }
+
+  TupleMapping mapping;
+  mapping.reserve(pairs.size());
+
+  if (gold.empty()) {
+    // No labels: similarity doubles as probability.
+    for (size_t k = 0; k < pairs.size(); ++k) {
+      mapping.emplace_back(pairs[k].first, pairs[k].second, sim[k]);
+    }
+  } else {
+    // Calibrate on a labeled sample, then score every candidate.
+    SimilarityCalibrator calib(opts.calibration_buckets);
+    Rng rng(opts.seed);
+    for (size_t k = 0; k < pairs.size(); ++k) {
+      if (!rng.Bernoulli(opts.label_fraction)) continue;
+      bool is_true = gold.count(pairs[k]) > 0;
+      calib.AddSample(sim[k], is_true);
+    }
+    if (calib.num_samples() == 0) {
+      // Degenerate sample draw; label everything instead.
+      for (size_t k = 0; k < pairs.size(); ++k) {
+        calib.AddSample(sim[k], gold.count(pairs[k]) > 0);
+      }
+    }
+    E3D_RETURN_IF_ERROR(calib.Fit());
+    for (size_t k = 0; k < pairs.size(); ++k) {
+      mapping.emplace_back(pairs[k].first, pairs[k].second,
+                           calib.Probability(sim[k]));
+    }
+  }
+
+  mapping = PruneAndClamp(mapping, opts.min_probability,
+                          opts.max_probability);
+  SortMapping(&mapping);
+  return mapping;
+}
+
+}  // namespace explain3d

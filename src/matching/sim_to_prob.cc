@@ -1,0 +1,92 @@
+#include "matching/sim_to_prob.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace explain3d {
+
+SimilarityCalibrator::SimilarityCalibrator(size_t num_buckets)
+    : num_buckets_(num_buckets),
+      true_count_(num_buckets, 0.0),
+      total_count_(num_buckets, 0.0) {
+  E3D_CHECK_GT(num_buckets, 0u);
+}
+
+size_t SimilarityCalibrator::BucketOf(double similarity) const {
+  double s = std::clamp(similarity, 0.0, 1.0);
+  size_t b = static_cast<size_t>(s * static_cast<double>(num_buckets_));
+  return std::min(b, num_buckets_ - 1);
+}
+
+void SimilarityCalibrator::AddSample(double similarity,
+                                     bool is_true_match) {
+  size_t b = BucketOf(similarity);
+  total_count_[b] += 1.0;
+  if (is_true_match) true_count_[b] += 1.0;
+  ++num_samples_;
+}
+
+Status SimilarityCalibrator::Fit() {
+  if (num_samples_ == 0) {
+    return Status::InvalidArgument(
+        "cannot calibrate without labeled samples");
+  }
+  prob_.assign(num_buckets_, -1.0);
+  // Laplace-smoothed per-bucket estimates.
+  for (size_t b = 0; b < num_buckets_; ++b) {
+    if (total_count_[b] > 0) {
+      prob_[b] = (true_count_[b] + 0.5) / (total_count_[b] + 1.0);
+    }
+  }
+  // Empty buckets inherit the nearest fitted neighbor (ties: lower side).
+  for (size_t b = 0; b < num_buckets_; ++b) {
+    if (prob_[b] >= 0) continue;
+    double best = -1;
+    size_t best_dist = num_buckets_ + 1;
+    for (size_t o = 0; o < num_buckets_; ++o) {
+      if (prob_[o] < 0) continue;
+      size_t dist = b > o ? b - o : o - b;
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = prob_[o];
+      }
+    }
+    prob_[b] = best;
+  }
+  // Pool adjacent violators: weighted isotonic regression so probability
+  // is non-decreasing in similarity.
+  struct Block {
+    double weight;
+    double value;
+    size_t span;
+  };
+  std::vector<Block> blocks;
+  for (size_t b = 0; b < num_buckets_; ++b) {
+    double w = std::max(total_count_[b], 1e-3);
+    blocks.push_back({w, prob_[b], 1});
+    while (blocks.size() >= 2 &&
+           blocks[blocks.size() - 2].value > blocks.back().value) {
+      Block top = blocks.back();
+      blocks.pop_back();
+      Block& prev = blocks.back();
+      prev.value = (prev.value * prev.weight + top.value * top.weight) /
+                   (prev.weight + top.weight);
+      prev.weight += top.weight;
+      prev.span += top.span;
+    }
+  }
+  size_t b = 0;
+  for (const Block& blk : blocks) {
+    for (size_t k = 0; k < blk.span; ++k) prob_[b++] = blk.value;
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+double SimilarityCalibrator::Probability(double similarity) const {
+  E3D_CHECK(fitted_) << "Fit() must be called before Probability()";
+  return prob_[BucketOf(similarity)];
+}
+
+}  // namespace explain3d

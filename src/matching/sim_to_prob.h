@@ -1,0 +1,58 @@
+// Similarity-to-probability calibration (Section 5.1.2).
+//
+// The paper's two-step method: (1) divide tuple matches into k continuous
+// buckets over their similarity values; (2) per bucket, estimate the match
+// probability as the fraction of true matches among the labeled samples
+// that fall into it. Labels come from a gold-standard sample (or manual
+// labeling in a deployment).
+//
+// This implementation adds two standard robustness touches: Laplace
+// smoothing so probabilities stay inside (0,1), and pooling of adjacent
+// violators so the fitted curve is monotone in similarity.
+
+#ifndef EXPLAIN3D_MATCHING_SIM_TO_PROB_H_
+#define EXPLAIN3D_MATCHING_SIM_TO_PROB_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace explain3d {
+
+/// Bucketed isotonic similarity→probability calibrator.
+class SimilarityCalibrator {
+ public:
+  /// `num_buckets` uniform buckets over similarity range [0, 1].
+  explicit SimilarityCalibrator(size_t num_buckets = 50);
+
+  /// Adds one labeled pair: its similarity and whether it is a true match.
+  void AddSample(double similarity, bool is_true_match);
+
+  size_t num_samples() const { return num_samples_; }
+
+  /// Fits bucket probabilities. Buckets with no samples inherit the
+  /// nearest fitted neighbor; the curve is then made monotone by pooling
+  /// adjacent violators. Fails when no samples were added.
+  Status Fit();
+
+  /// Probability for a similarity value. Must be called after Fit().
+  double Probability(double similarity) const;
+
+  /// Fitted per-bucket probabilities (diagnostics / tests).
+  const std::vector<double>& bucket_probabilities() const { return prob_; }
+
+ private:
+  size_t BucketOf(double similarity) const;
+
+  size_t num_buckets_;
+  size_t num_samples_ = 0;
+  std::vector<double> true_count_;
+  std::vector<double> total_count_;
+  std::vector<double> prob_;
+  bool fitted_ = false;
+};
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_MATCHING_SIM_TO_PROB_H_

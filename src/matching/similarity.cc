@@ -1,0 +1,151 @@
+#include "matching/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace explain3d {
+
+namespace {
+std::vector<std::string> SortedUniqueTokens(const std::string& s) {
+  std::vector<std::string> toks = TokenizeWords(s);
+  std::sort(toks.begin(), toks.end());
+  toks.erase(std::unique(toks.begin(), toks.end()), toks.end());
+  return toks;
+}
+}  // namespace
+
+double JaccardSimilarity(const std::string& a, const std::string& b) {
+  return JaccardOfTokenSets(SortedUniqueTokens(a), SortedUniqueTokens(b));
+}
+
+double JaccardOfTokenSets(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  // Merge-intersect over sorted unique vectors.
+  size_t i = 0, j = 0, inter = 0;
+  while (i < a.size() && j < b.size()) {
+    int c = a[i].compare(b[j]);
+    if (c == 0) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (c < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t uni = a.size() + b.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double NumericSimilarity(double a, double b) {
+  double d = a - b;
+  return 1.0 / (1.0 + d * d);
+}
+
+double JaroSimilarity(const std::string& a, const std::string& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  int la = static_cast<int>(a.size());
+  int lb = static_cast<int>(b.size());
+  int window = std::max(la, lb) / 2 - 1;
+  if (window < 0) window = 0;
+  std::vector<bool> amatch(la, false), bmatch(lb, false);
+  int matches = 0;
+  for (int i = 0; i < la; ++i) {
+    int lo = std::max(0, i - window);
+    int hi = std::min(lb - 1, i + window);
+    for (int j = lo; j <= hi; ++j) {
+      if (!bmatch[j] && a[i] == b[j]) {
+        amatch[i] = bmatch[j] = true;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+  // Count transpositions among matched characters.
+  int t = 0, k = 0;
+  for (int i = 0; i < la; ++i) {
+    if (!amatch[i]) continue;
+    while (!bmatch[k]) ++k;
+    if (a[i] != b[k]) ++t;
+    ++k;
+  }
+  double m = matches;
+  return (m / la + m / lb + (m - t / 2.0) / m) / 3.0;
+}
+
+double NormalizedLevenshtein(const std::string& a, const std::string& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t la = a.size(), lb = b.size();
+  // Single-row DP.
+  std::vector<size_t> prev(lb + 1), cur(lb + 1);
+  for (size_t j = 0; j <= lb; ++j) prev[j] = j;
+  for (size_t i = 1; i <= la; ++i) {
+    cur[0] = i;
+    for (size_t j = 1; j <= lb; ++j) {
+      size_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost});
+    }
+    std::swap(prev, cur);
+  }
+  double dist = static_cast<double>(prev[lb]);
+  return 1.0 - dist / static_cast<double>(std::max(la, lb));
+}
+
+double ValueSimilarity(const Value& a, const Value& b, StringMetric metric) {
+  if (a.is_null() && b.is_null()) return 1.0;
+  if (a.is_null() || b.is_null()) return 0.0;
+  if (a.is_numeric() && b.is_numeric()) {
+    return NumericSimilarity(a.AsDouble(), b.AsDouble());
+  }
+  if (a.type() == DataType::kString && b.type() == DataType::kString) {
+    switch (metric) {
+      case StringMetric::kJaccard:
+        return JaccardSimilarity(a.AsString(), b.AsString());
+      case StringMetric::kJaro:
+        return JaroSimilarity(ToLower(a.AsString()), ToLower(b.AsString()));
+      case StringMetric::kLevenshtein:
+        return NormalizedLevenshtein(ToLower(a.AsString()),
+                                     ToLower(b.AsString()));
+    }
+  }
+  return 0.0;  // mixed types never match
+}
+
+double RowSimilarity(const Row& a, const Row& b, StringMetric metric) {
+  E3D_CHECK_EQ(a.size(), b.size());
+  if (a.empty()) return 0.0;
+  double total = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    total += ValueSimilarity(a[i], b[i], metric);
+  }
+  return total / static_cast<double>(a.size());
+}
+
+namespace {
+std::vector<std::string> KeyTokenBag(const Row& key) {
+  std::vector<std::string> toks;
+  for (const Value& v : key) {
+    if (v.is_null()) continue;
+    std::vector<std::string> part = TokenizeWords(v.ToDisplayString());
+    toks.insert(toks.end(), part.begin(), part.end());
+  }
+  std::sort(toks.begin(), toks.end());
+  toks.erase(std::unique(toks.begin(), toks.end()), toks.end());
+  return toks;
+}
+}  // namespace
+
+double KeySimilarity(const Row& a, const Row& b, StringMetric metric) {
+  if (a.size() == b.size()) return RowSimilarity(a, b, metric);
+  return JaccardOfTokenSets(KeyTokenBag(a), KeyTokenBag(b));
+}
+
+}  // namespace explain3d

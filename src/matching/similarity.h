@@ -1,0 +1,63 @@
+// Similarity functions used to generate initial tuple mappings
+// (Section 5.1.2) and by the RSwoosh baseline.
+//
+//   * token-wise Jaccard for strings:   |tok(a) ∩ tok(b)| / |tok(a) ∪ tok(b)|
+//   * normalized Euclidean for numbers: 1 / (1 + (a-b)^2)
+//   * Jaro similarity (footnote 13 comparison)
+//   * normalized Levenshtein (extra metric for ablations)
+//
+// Mixed-attribute similarity is the mean over the matched attributes.
+
+#ifndef EXPLAIN3D_MATCHING_SIMILARITY_H_
+#define EXPLAIN3D_MATCHING_SIMILARITY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "relational/schema.h"
+
+namespace explain3d {
+
+/// Token-wise Jaccard similarity over TokenizeWords token *sets*.
+/// Returns 1 when both token sets are empty.
+double JaccardSimilarity(const std::string& a, const std::string& b);
+
+/// Jaccard over pre-tokenized, sorted-unique token vectors (hot path for
+/// blocking-based mapping generation).
+double JaccardOfTokenSets(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b);
+
+/// 1 / (1 + (a-b)^2), the paper's normalized Euclidean similarity.
+double NumericSimilarity(double a, double b);
+
+/// Jaro similarity in [0,1].
+double JaroSimilarity(const std::string& a, const std::string& b);
+
+/// 1 - lev(a,b)/max(|a|,|b|); 1 for two empty strings.
+double NormalizedLevenshtein(const std::string& a, const std::string& b);
+
+/// Which string metric a ValueSimilarity call uses.
+enum class StringMetric { kJaccard, kJaro, kLevenshtein };
+
+/// Similarity of two Values: numeric pairs use NumericSimilarity, string
+/// pairs the chosen metric, NULLs similarity 0 (unless both NULL: 1), and
+/// mixed types 0.
+double ValueSimilarity(const Value& a, const Value& b,
+                       StringMetric metric = StringMetric::kJaccard);
+
+/// Mean ValueSimilarity across index-aligned key attributes (the paper's
+/// combined similarity sim(ti,tj)). Keys must have equal arity.
+double RowSimilarity(const Row& a, const Row& b,
+                     StringMetric metric = StringMetric::kJaccard);
+
+/// Similarity between keys of possibly different arity (e.g. IMDb's
+/// (firstname, lastname, dob) vs (name, dob)): equal-arity keys use
+/// RowSimilarity; otherwise each key is flattened into one token bag
+/// (numbers render as tokens) and compared with token Jaccard.
+double KeySimilarity(const Row& a, const Row& b,
+                     StringMetric metric = StringMetric::kJaccard);
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_MATCHING_SIMILARITY_H_

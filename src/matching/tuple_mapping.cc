@@ -1,0 +1,29 @@
+#include "matching/tuple_mapping.h"
+
+#include <algorithm>
+
+namespace explain3d {
+
+void SortMapping(TupleMapping* mapping) {
+  std::sort(mapping->begin(), mapping->end(),
+            [](const TupleMatch& a, const TupleMatch& b) {
+              if (a.t1 != b.t1) return a.t1 < b.t1;
+              if (a.t2 != b.t2) return a.t2 < b.t2;
+              return a.p > b.p;
+            });
+}
+
+TupleMapping PruneAndClamp(const TupleMapping& mapping, double min_p,
+                           double max_p) {
+  TupleMapping out;
+  out.reserve(mapping.size());
+  for (const TupleMatch& m : mapping) {
+    if (m.p < min_p) continue;
+    TupleMatch clamped = m;
+    if (clamped.p > max_p) clamped.p = max_p;
+    out.push_back(clamped);
+  }
+  return out;
+}
+
+}  // namespace explain3d

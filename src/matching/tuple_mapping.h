@@ -1,0 +1,42 @@
+// Tuple mappings M_tuple (Definition 2.4): probabilistic matches between
+// canonical tuples of the two query sides.
+
+#ifndef EXPLAIN3D_MATCHING_TUPLE_MAPPING_H_
+#define EXPLAIN3D_MATCHING_TUPLE_MAPPING_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace explain3d {
+
+/// One probabilistic tuple match (t_i, t_j, p): indices into the two
+/// canonical relations plus the probability that the tuples refer to the
+/// same (or containment-associated) entity.
+struct TupleMatch {
+  size_t t1 = 0;     ///< index into canonical relation T1
+  size_t t2 = 0;     ///< index into canonical relation T2
+  double p = 0.0;    ///< match probability in (0, 1]
+
+  TupleMatch() = default;
+  TupleMatch(size_t a, size_t b, double prob) : t1(a), t2(b), p(prob) {}
+
+  bool operator==(const TupleMatch& o) const {
+    return t1 == o.t1 && t2 == o.t2 && p == o.p;
+  }
+};
+
+/// The (initial or refined) tuple mapping.
+using TupleMapping = std::vector<TupleMatch>;
+
+/// Sorts matches by (t1, t2) for deterministic processing and display.
+void SortMapping(TupleMapping* mapping);
+
+/// Drops matches with p < min_p (pruning noise from calibration) and
+/// clamps the rest into [min_p, max_p] so log(p) and log(1-p) stay finite.
+TupleMapping PruneAndClamp(const TupleMapping& mapping, double min_p,
+                           double max_p);
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_MATCHING_TUPLE_MAPPING_H_

@@ -1,0 +1,209 @@
+#include "milp/branch_and_bound.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <queue>
+
+#include "common/timer.h"
+
+namespace explain3d {
+namespace milp {
+
+namespace {
+
+struct Node {
+  std::vector<double> lower;
+  std::vector<double> upper;
+  double bound = kInfinity;  // LP bound of the parent (optimistic)
+  size_t depth = 0;
+};
+
+struct NodeOrder {
+  // Best-bound first; deeper nodes win ties (dives to incumbents faster).
+  bool operator()(const std::shared_ptr<Node>& a,
+                  const std::shared_ptr<Node>& b) const {
+    if (a->bound != b->bound) return a->bound < b->bound;
+    return a->depth < b->depth;
+  }
+};
+
+}  // namespace
+
+MilpSolver::MilpSolver(const Model& model, MilpOptions opts)
+    : model_(model), opts_(opts) {}
+
+Solution MilpSolver::Solve() { return Run(nullptr); }
+
+Solution MilpSolver::SolveWithWarmStart(
+    const std::vector<double>& warm_start) {
+  return Run(&warm_start);
+}
+
+Solution MilpSolver::Run(const std::vector<double>* warm_start) {
+  Timer timer;
+  stats_ = MilpStats();
+  Solution best;
+  best.status = SolveStatus::kLimit;
+  best.objective = -kInfinity;
+
+  if (warm_start != nullptr && model_.IsFeasible(*warm_start)) {
+    best.status = SolveStatus::kFeasible;
+    best.values = *warm_start;
+    best.objective = model_.ObjectiveValue(*warm_start);
+  }
+
+  SimplexSolver lp(model_, opts_.lp);
+  size_t n = model_.num_variables();
+
+  auto root = std::make_shared<Node>();
+  root->lower.resize(n);
+  root->upper.resize(n);
+  for (size_t j = 0; j < n; ++j) {
+    root->lower[j] = model_.variable(j).lower;
+    root->upper[j] = model_.variable(j).upper;
+  }
+  root->bound = kInfinity;
+
+  std::priority_queue<std::shared_ptr<Node>,
+                      std::vector<std::shared_ptr<Node>>, NodeOrder>
+      open;
+  open.push(root);
+
+  bool any_limit_hit = false;
+  bool root_node = true;
+
+  while (!open.empty()) {
+    if (stats_.nodes >= opts_.max_nodes ||
+        timer.Seconds() > opts_.time_limit_seconds) {
+      any_limit_hit = true;
+      break;
+    }
+    std::shared_ptr<Node> node = open.top();
+    open.pop();
+    if (node->bound <= best.objective + opts_.absolute_gap) {
+      continue;  // cannot beat the incumbent
+    }
+    ++stats_.nodes;
+
+    LpResult relax = lp.Solve(&node->lower, &node->upper);
+    stats_.lp_iterations += relax.iterations;
+
+    if (relax.status == SolveStatus::kInfeasible) {
+      root_node = false;
+      continue;
+    }
+    if (relax.status == SolveStatus::kUnbounded) {
+      if (root_node) {
+        best.status = SolveStatus::kUnbounded;
+        stats_.seconds = timer.Seconds();
+        return best;
+      }
+      // A bounded parent cannot spawn an unbounded child on a restricted
+      // box unless numerics failed; treat as a limit hit.
+      any_limit_hit = true;
+      root_node = false;
+      continue;
+    }
+    if (relax.status == SolveStatus::kLimit) {
+      any_limit_hit = true;
+      root_node = false;
+      continue;
+    }
+
+    if (relax.objective <= best.objective + opts_.absolute_gap) {
+      root_node = false;
+      continue;
+    }
+
+    // Find the most fractional integer variable.
+    size_t branch_var = n;
+    double best_frac = opts_.int_tol;
+    for (size_t j = 0; j < n; ++j) {
+      if (!model_.variable(j).is_integer) continue;
+      double v = relax.values[j];
+      double frac = std::abs(v - std::round(v));
+      if (frac > best_frac) {
+        best_frac = frac;
+        branch_var = j;
+      }
+    }
+
+    if (branch_var == n) {
+      // Integral (continuous vars free): candidate incumbent.
+      std::vector<double> candidate = relax.values;
+      for (size_t j = 0; j < n; ++j) {
+        if (model_.variable(j).is_integer) {
+          candidate[j] = std::round(candidate[j]);
+        }
+      }
+      if (relax.objective > best.objective &&
+          model_.IsFeasible(candidate, 1e-5)) {
+        best.values = candidate;
+        best.objective = model_.ObjectiveValue(candidate);
+        best.status = SolveStatus::kFeasible;
+      }
+      root_node = false;
+      continue;
+    }
+
+    if (root_node) {
+      // Rounding heuristic for an initial incumbent.
+      std::vector<double> rounded = relax.values;
+      for (size_t j = 0; j < n; ++j) {
+        if (model_.variable(j).is_integer) {
+          rounded[j] = std::clamp(std::round(rounded[j]),
+                                  node->lower[j], node->upper[j]);
+        }
+      }
+      if (model_.IsFeasible(rounded, 1e-6)) {
+        double obj = model_.ObjectiveValue(rounded);
+        if (obj > best.objective) {
+          best.values = rounded;
+          best.objective = obj;
+          best.status = SolveStatus::kFeasible;
+        }
+      }
+      root_node = false;
+    }
+
+    double v = relax.values[branch_var];
+    auto down = std::make_shared<Node>();
+    down->lower = node->lower;
+    down->upper = node->upper;
+    down->upper[branch_var] = std::floor(v);
+    down->bound = relax.objective;
+    down->depth = node->depth + 1;
+    if (down->lower[branch_var] <= down->upper[branch_var]) {
+      open.push(std::move(down));
+    }
+
+    auto up = std::make_shared<Node>();
+    up->lower = node->lower;
+    up->upper = node->upper;
+    up->lower[branch_var] = std::ceil(v);
+    up->bound = relax.objective;
+    up->depth = node->depth + 1;
+    if (up->lower[branch_var] <= up->upper[branch_var]) {
+      open.push(std::move(up));
+    }
+  }
+
+  stats_.best_bound =
+      open.empty() ? best.objective : std::max(best.objective,
+                                               open.top()->bound);
+  stats_.seconds = timer.Seconds();
+
+  if (best.has_solution()) {
+    best.status = (any_limit_hit || !open.empty()) ? SolveStatus::kFeasible
+                                                   : SolveStatus::kOptimal;
+  } else {
+    best.status =
+        any_limit_hit || !open.empty() ? SolveStatus::kLimit
+                                       : SolveStatus::kInfeasible;
+  }
+  return best;
+}
+
+}  // namespace milp
+}  // namespace explain3d

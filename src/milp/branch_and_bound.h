@@ -1,0 +1,62 @@
+// Branch & bound MILP solver on top of the bounded-variable simplex.
+//
+// Best-bound search with most-fractional branching, a root rounding
+// heuristic, optional warm starts, and node/time limits. Small models
+// solve to proven optimality; limit hits return the best incumbent with
+// kFeasible status.
+
+#ifndef EXPLAIN3D_MILP_BRANCH_AND_BOUND_H_
+#define EXPLAIN3D_MILP_BRANCH_AND_BOUND_H_
+
+#include <vector>
+
+#include "milp/model.h"
+#include "milp/simplex.h"
+
+namespace explain3d {
+namespace milp {
+
+/// MILP solve options.
+struct MilpOptions {
+  LpOptions lp;
+  size_t max_nodes = 500000;       ///< branch-and-bound node limit
+  double time_limit_seconds = 120;  ///< wall-clock limit
+  double int_tol = 1e-6;           ///< integrality tolerance
+  /// Prune nodes whose LP bound improves the incumbent by less than this.
+  double absolute_gap = 1e-9;
+};
+
+/// Statistics of one MILP solve.
+struct MilpStats {
+  size_t nodes = 0;
+  size_t lp_iterations = 0;
+  double best_bound = kInfinity;
+  double seconds = 0;
+};
+
+/// Branch & bound solver.
+class MilpSolver {
+ public:
+  explicit MilpSolver(const Model& model, MilpOptions opts = MilpOptions());
+
+  /// Solves from scratch.
+  Solution Solve();
+
+  /// Solves with an initial incumbent (checked for feasibility; ignored
+  /// when infeasible).
+  Solution SolveWithWarmStart(const std::vector<double>& warm_start);
+
+  const MilpStats& stats() const { return stats_; }
+
+ private:
+  Solution Run(const std::vector<double>* warm_start);
+
+  const Model& model_;
+  MilpOptions opts_;
+  MilpStats stats_;
+};
+
+}  // namespace milp
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_MILP_BRANCH_AND_BOUND_H_

@@ -1,0 +1,107 @@
+#include "milp/brute_force.h"
+
+#include <cmath>
+#include <vector>
+
+#include "milp/simplex.h"
+
+namespace explain3d {
+namespace milp {
+
+Result<Solution> BruteForceSolve(const Model& model,
+                                 size_t enumeration_limit) {
+  size_t n = model.num_variables();
+  std::vector<size_t> int_vars;
+  std::vector<int64_t> lo, hi;
+  double combos = 1;
+  bool has_continuous = false;
+  for (size_t j = 0; j < n; ++j) {
+    const Variable& v = model.variable(j);
+    if (!v.is_integer) {
+      has_continuous = true;
+      continue;
+    }
+    if (!std::isfinite(v.lower) || !std::isfinite(v.upper)) {
+      return Status::InvalidArgument(
+          "brute force requires bounded integer domains: " + v.name);
+    }
+    int_vars.push_back(j);
+    lo.push_back(static_cast<int64_t>(std::ceil(v.lower - 1e-9)));
+    hi.push_back(static_cast<int64_t>(std::floor(v.upper + 1e-9)));
+    if (hi.back() < lo.back()) {
+      Solution s;
+      s.status = SolveStatus::kInfeasible;
+      return s;
+    }
+    combos *= static_cast<double>(hi.back() - lo.back() + 1);
+    if (combos > static_cast<double>(enumeration_limit)) {
+      return Status::ResourceExhausted(
+          "integer domain product exceeds enumeration limit");
+    }
+  }
+
+  Solution best;
+  best.status = SolveStatus::kInfeasible;
+  best.objective = -kInfinity;
+
+  std::vector<int64_t> assign(int_vars.size());
+  for (size_t k = 0; k < int_vars.size(); ++k) assign[k] = lo[k];
+
+  SimplexSolver lp(model, LpOptions());
+
+  bool done = int_vars.empty() && false;  // at least one pass always runs
+  (void)done;
+  for (;;) {
+    if (has_continuous) {
+      // Fix integer variables via bound overrides; optimize the rest.
+      std::vector<double> lower(n), upper(n);
+      for (size_t j = 0; j < n; ++j) {
+        lower[j] = model.variable(j).lower;
+        upper[j] = model.variable(j).upper;
+      }
+      for (size_t k = 0; k < int_vars.size(); ++k) {
+        lower[int_vars[k]] = static_cast<double>(assign[k]);
+        upper[int_vars[k]] = static_cast<double>(assign[k]);
+      }
+      LpResult r = lp.Solve(&lower, &upper);
+      if (r.status == SolveStatus::kUnbounded) {
+        Solution s;
+        s.status = SolveStatus::kUnbounded;
+        return s;
+      }
+      if (r.status == SolveStatus::kOptimal &&
+          r.objective > best.objective) {
+        best.objective = r.objective;
+        best.values = r.values;
+        best.status = SolveStatus::kOptimal;
+      }
+    } else {
+      std::vector<double> x(n, 0.0);
+      for (size_t k = 0; k < int_vars.size(); ++k) {
+        x[int_vars[k]] = static_cast<double>(assign[k]);
+      }
+      if (model.IsFeasible(x)) {
+        double obj = model.ObjectiveValue(x);
+        if (obj > best.objective) {
+          best.objective = obj;
+          best.values = x;
+          best.status = SolveStatus::kOptimal;
+        }
+      }
+    }
+    // Advance the odometer.
+    size_t k = 0;
+    for (; k < int_vars.size(); ++k) {
+      if (assign[k] < hi[k]) {
+        ++assign[k];
+        for (size_t r = 0; r < k; ++r) assign[r] = lo[r];
+        break;
+      }
+    }
+    if (k == int_vars.size()) break;
+  }
+  return best;
+}
+
+}  // namespace milp
+}  // namespace explain3d

@@ -1,0 +1,26 @@
+// Exhaustive reference solver for small MILP models.
+//
+// Enumerates every integer assignment in the (finite, bounded) integer
+// domain product; continuous variables are optimized by the simplex with
+// the integers fixed. Exponential by construction — it exists to
+// cross-check MilpSolver in property tests, never for production solves.
+
+#ifndef EXPLAIN3D_MILP_BRUTE_FORCE_H_
+#define EXPLAIN3D_MILP_BRUTE_FORCE_H_
+
+#include "common/status.h"
+#include "milp/model.h"
+
+namespace explain3d {
+namespace milp {
+
+/// Solves `model` by enumeration. Fails with ResourceExhausted when the
+/// integer domain product exceeds `enumeration_limit`, and with
+/// InvalidArgument when an integer variable has an unbounded domain.
+Result<Solution> BruteForceSolve(const Model& model,
+                                 size_t enumeration_limit = 2000000);
+
+}  // namespace milp
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_MILP_BRUTE_FORCE_H_

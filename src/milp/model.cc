@@ -1,0 +1,149 @@
+#include "milp/model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace explain3d {
+namespace milp {
+
+double LinExpr::Evaluate(const std::vector<double>& x) const {
+  double v = constant_;
+  for (const auto& [var, coeff] : terms_) v += coeff * x[var];
+  return v;
+}
+
+VarId Model::AddContinuous(const std::string& name, double lower,
+                           double upper, double objective) {
+  Variable v;
+  v.name = name;
+  v.lower = lower;
+  v.upper = upper;
+  v.is_integer = false;
+  v.objective = objective;
+  variables_.push_back(std::move(v));
+  return variables_.size() - 1;
+}
+
+VarId Model::AddInteger(const std::string& name, double lower, double upper,
+                        double objective) {
+  VarId id = AddContinuous(name, lower, upper, objective);
+  variables_[id].is_integer = true;
+  return id;
+}
+
+VarId Model::AddBinary(const std::string& name, double objective) {
+  return AddInteger(name, 0.0, 1.0, objective);
+}
+
+void Model::AddConstraint(const LinExpr& expr, Relation relation, double rhs,
+                          const std::string& name) {
+  Constraint c;
+  c.name = name;
+  c.relation = relation;
+  c.rhs = rhs - expr.constant();
+  c.terms.assign(expr.terms().begin(), expr.terms().end());
+  constraints_.push_back(std::move(c));
+}
+
+size_t Model::num_integer_variables() const {
+  size_t n = 0;
+  for (const Variable& v : variables_) {
+    if (v.is_integer) ++n;
+  }
+  return n;
+}
+
+double Model::ObjectiveValue(const std::vector<double>& x) const {
+  double obj = objective_constant_;
+  for (size_t i = 0; i < variables_.size(); ++i) {
+    obj += variables_[i].objective * x[i];
+  }
+  return obj;
+}
+
+bool Model::IsFeasible(const std::vector<double>& x, double tol) const {
+  if (x.size() != variables_.size()) return false;
+  for (size_t i = 0; i < variables_.size(); ++i) {
+    const Variable& v = variables_[i];
+    if (x[i] < v.lower - tol || x[i] > v.upper + tol) return false;
+    if (v.is_integer && std::abs(x[i] - std::round(x[i])) > tol) {
+      return false;
+    }
+  }
+  for (const Constraint& c : constraints_) {
+    double lhs = 0;
+    for (const auto& [var, coeff] : c.terms) lhs += coeff * x[var];
+    switch (c.relation) {
+      case Relation::kLe:
+        if (lhs > c.rhs + tol) return false;
+        break;
+      case Relation::kGe:
+        if (lhs < c.rhs - tol) return false;
+        break;
+      case Relation::kEq:
+        if (std::abs(lhs - c.rhs) > tol) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+std::string Model::ToString() const {
+  std::string s = "maximize ";
+  bool first = true;
+  for (size_t i = 0; i < variables_.size(); ++i) {
+    if (variables_[i].objective == 0) continue;
+    if (!first) s += " + ";
+    s += StrFormat("%g*%s", variables_[i].objective,
+                   variables_[i].name.c_str());
+    first = false;
+  }
+  s += StrFormat(" + %g\nsubject to\n", objective_constant_);
+  for (const Constraint& c : constraints_) {
+    s += "  ";
+    for (size_t k = 0; k < c.terms.size(); ++k) {
+      if (k > 0) s += " + ";
+      s += StrFormat("%g*%s", c.terms[k].second,
+                     variables_[c.terms[k].first].name.c_str());
+    }
+    switch (c.relation) {
+      case Relation::kLe:
+        s += " <= ";
+        break;
+      case Relation::kGe:
+        s += " >= ";
+        break;
+      case Relation::kEq:
+        s += " = ";
+        break;
+    }
+    s += StrFormat("%g\n", c.rhs);
+  }
+  s += "bounds\n";
+  for (const Variable& v : variables_) {
+    s += StrFormat("  %g <= %s <= %g%s\n", v.lower, v.name.c_str(), v.upper,
+                   v.is_integer ? " (int)" : "");
+  }
+  return s;
+}
+
+const char* SolveStatusName(SolveStatus s) {
+  switch (s) {
+    case SolveStatus::kOptimal:
+      return "optimal";
+    case SolveStatus::kFeasible:
+      return "feasible";
+    case SolveStatus::kInfeasible:
+      return "infeasible";
+    case SolveStatus::kUnbounded:
+      return "unbounded";
+    case SolveStatus::kLimit:
+      return "limit";
+  }
+  return "?";
+}
+
+}  // namespace milp
+}  // namespace explain3d

@@ -1,0 +1,416 @@
+#include "milp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace explain3d {
+namespace milp {
+
+namespace {
+
+enum class VarStatus { kBasic, kAtLower, kAtUpper, kFreeZero };
+
+/// Mutable state of one simplex run over the shared matrix.
+struct Tableau {
+  // Variable layout: [0, n) structural, [n, n+m) slacks,
+  // [n+m, n+m+n_art) artificials.
+  size_t n = 0;      // structural count
+  size_t m = 0;      // rows
+  size_t total = 0;  // all columns incl. slacks + artificials
+
+  std::vector<double> lower, upper;     // per variable
+  std::vector<double> value;            // current value per variable
+  std::vector<VarStatus> status;        // per variable
+  std::vector<size_t> basis;            // row -> basic variable
+  std::vector<size_t> basic_row;        // variable -> row (or SIZE_MAX)
+  std::vector<double> binv;             // dense m*m, row-major
+  std::vector<std::vector<std::pair<size_t, double>>> art_cols;
+  std::vector<size_t> art_vars;         // artificial variable ids
+
+  double& Binv(size_t i, size_t j) { return binv[i * m + j]; }
+  double BinvAt(size_t i, size_t j) const { return binv[i * m + j]; }
+};
+
+constexpr size_t kNoRow = static_cast<size_t>(-1);
+
+}  // namespace
+
+SimplexSolver::SimplexSolver(const Model& model, LpOptions opts)
+    : model_(model), opts_(opts) {
+  size_t n = model.num_variables();
+  size_t m = model.num_constraints();
+  columns_.resize(n);
+  rhs_.resize(m);
+  slack_lower_.resize(m);
+  slack_upper_.resize(m);
+  for (size_t r = 0; r < m; ++r) {
+    const Constraint& c = model.constraint(r);
+    rhs_[r] = c.rhs;
+    for (const auto& [var, coeff] : c.terms) {
+      columns_[var].emplace_back(r, coeff);
+    }
+    switch (c.relation) {
+      case Relation::kLe:
+        slack_lower_[r] = 0.0;
+        slack_upper_[r] = kInfinity;
+        break;
+      case Relation::kGe:
+        slack_lower_[r] = -kInfinity;
+        slack_upper_[r] = 0.0;
+        break;
+      case Relation::kEq:
+        slack_lower_[r] = 0.0;
+        slack_upper_[r] = 0.0;
+        break;
+    }
+  }
+}
+
+namespace {
+
+/// Column access helper: structural columns come from the solver, slack
+/// column i is the single entry (i, 1), artificial columns live in the
+/// tableau.
+class ColumnView {
+ public:
+  ColumnView(const std::vector<std::vector<std::pair<size_t, double>>>* cols,
+             const Tableau* t)
+      : cols_(cols), t_(t) {}
+
+  /// Applies fn(row, coeff) over column `var`.
+  template <typename Fn>
+  void ForEach(size_t var, Fn&& fn) const {
+    if (var < t_->n) {
+      for (const auto& [r, a] : (*cols_)[var]) fn(r, a);
+    } else if (var < t_->n + t_->m) {
+      fn(var - t_->n, 1.0);
+    } else {
+      for (const auto& [r, a] : t_->art_cols[var - t_->n - t_->m]) fn(r, a);
+    }
+  }
+
+ private:
+  const std::vector<std::vector<std::pair<size_t, double>>>* cols_;
+  const Tableau* t_;
+};
+
+/// One phase of the bounded-variable simplex, minimizing cost'value.
+/// Returns kOptimal, kUnbounded, or kLimit.
+SolveStatus RunSimplex(Tableau* t, const std::vector<double>& cost,
+                       const ColumnView& view, const LpOptions& opts,
+                       size_t* iterations_out) {
+  size_t m = t->m;
+  double tol = opts.tol;
+  std::vector<double> y(m), w(m);
+  size_t degenerate_streak = 0;
+  size_t iters = 0;
+
+  for (; iters < opts.max_iterations; ++iters) {
+    // Duals: y = (B^-1)^T c_B.
+    for (size_t i = 0; i < m; ++i) y[i] = 0.0;
+    for (size_t k = 0; k < m; ++k) {
+      double cb = cost[t->basis[k]];
+      if (cb == 0.0) continue;
+      for (size_t i = 0; i < m; ++i) y[i] += cb * t->BinvAt(k, i);
+    }
+
+    // Pricing: find entering variable.
+    bool use_bland = degenerate_streak >= opts.bland_trigger;
+    size_t enter = t->total;
+    int enter_dir = 0;
+    double best_score = tol;
+    for (size_t j = 0; j < t->total; ++j) {
+      VarStatus st = t->status[j];
+      if (st == VarStatus::kBasic) continue;
+      // Skip fixed variables.
+      if (t->lower[j] == t->upper[j]) continue;
+      double d = cost[j];
+      view.ForEach(j, [&](size_t r, double a) { d -= y[r] * a; });
+      int dir = 0;
+      double score = 0;
+      if (st == VarStatus::kAtLower && d < -tol) {
+        dir = +1;
+        score = -d;
+      } else if (st == VarStatus::kAtUpper && d > tol) {
+        dir = -1;
+        score = d;
+      } else if (st == VarStatus::kFreeZero && std::abs(d) > tol) {
+        dir = d < 0 ? +1 : -1;
+        score = std::abs(d);
+      }
+      if (dir == 0) continue;
+      if (use_bland) {
+        enter = j;
+        enter_dir = dir;
+        break;
+      }
+      if (score > best_score) {
+        best_score = score;
+        enter = j;
+        enter_dir = dir;
+      }
+    }
+    if (enter == t->total) {
+      *iterations_out += iters;
+      return SolveStatus::kOptimal;
+    }
+
+    // Direction: w = B^-1 * A_enter.
+    for (size_t i = 0; i < m; ++i) w[i] = 0.0;
+    view.ForEach(enter, [&](size_t r, double a) {
+      for (size_t i = 0; i < m; ++i) w[i] += t->BinvAt(i, r) * a;
+    });
+
+    // Ratio test. Entering moves t_step >= 0 in direction enter_dir;
+    // basic k changes at rate delta_k = -enter_dir * w[k].
+    double t_step = kInfinity;
+    // Entering variable's own range.
+    double own_range = t->upper[enter] - t->lower[enter];
+    bool flip_limits = false;
+    if (std::isfinite(own_range)) {
+      t_step = own_range;
+      flip_limits = true;
+    }
+    size_t leave_row = kNoRow;
+    int leave_to_upper = 0;
+    for (size_t k = 0; k < m; ++k) {
+      double delta = -static_cast<double>(enter_dir) * w[k];
+      if (std::abs(delta) <= tol) continue;
+      size_t bvar = t->basis[k];
+      double ratio;
+      int to_upper;
+      if (delta < 0) {
+        if (!std::isfinite(t->lower[bvar])) continue;
+        ratio = (t->value[bvar] - t->lower[bvar]) / (-delta);
+        to_upper = 0;
+      } else {
+        if (!std::isfinite(t->upper[bvar])) continue;
+        ratio = (t->upper[bvar] - t->value[bvar]) / delta;
+        to_upper = 1;
+      }
+      if (ratio < -tol) ratio = 0;  // numerical guard
+      if (ratio < t_step - tol ||
+          (ratio < t_step + tol && leave_row != kNoRow &&
+           t->basis[k] < t->basis[leave_row])) {
+        t_step = std::max(ratio, 0.0);
+        leave_row = k;
+        leave_to_upper = to_upper;
+        flip_limits = false;
+      }
+    }
+
+    if (!std::isfinite(t_step)) {
+      *iterations_out += iters;
+      return SolveStatus::kUnbounded;
+    }
+    if (t_step <= tol) {
+      ++degenerate_streak;
+    } else {
+      degenerate_streak = 0;
+    }
+
+    // Apply the step.
+    double signed_step = static_cast<double>(enter_dir) * t_step;
+    for (size_t k = 0; k < m; ++k) {
+      t->value[t->basis[k]] -= signed_step * w[k];
+    }
+    t->value[enter] += signed_step;
+
+    if (flip_limits || leave_row == kNoRow) {
+      // Bound flip: entering variable crosses to its other bound.
+      t->status[enter] = enter_dir > 0 ? VarStatus::kAtUpper
+                                       : VarStatus::kAtLower;
+      t->value[enter] =
+          enter_dir > 0 ? t->upper[enter] : t->lower[enter];
+      continue;
+    }
+
+    // Pivot: basis[leave_row] exits to a bound, enter becomes basic.
+    size_t leave_var = t->basis[leave_row];
+    t->status[leave_var] =
+        leave_to_upper ? VarStatus::kAtUpper : VarStatus::kAtLower;
+    t->value[leave_var] =
+        leave_to_upper ? t->upper[leave_var] : t->lower[leave_var];
+    t->basic_row[leave_var] = kNoRow;
+
+    t->status[enter] = VarStatus::kBasic;
+    t->basis[leave_row] = enter;
+    t->basic_row[enter] = leave_row;
+
+    // Gauss-Jordan update of B^-1.
+    double pivot = w[leave_row];
+    E3D_CHECK(std::abs(pivot) > 1e-12) << "singular pivot in simplex";
+    double* prow = &t->binv[leave_row * m];
+    for (size_t j = 0; j < m; ++j) prow[j] /= pivot;
+    for (size_t i = 0; i < m; ++i) {
+      if (i == leave_row) continue;
+      double f = w[i];
+      if (std::abs(f) <= 1e-14) continue;
+      double* irow = &t->binv[i * m];
+      for (size_t j = 0; j < m; ++j) irow[j] -= f * prow[j];
+    }
+  }
+  *iterations_out += iters;
+  return SolveStatus::kLimit;
+}
+
+}  // namespace
+
+LpResult SimplexSolver::Solve(
+    const std::vector<double>* lower_override,
+    const std::vector<double>* upper_override) const {
+  size_t n = model_.num_variables();
+  size_t m = model_.num_constraints();
+  LpResult result;
+
+  Tableau t;
+  t.n = n;
+  t.m = m;
+  t.total = n + m;  // artificials appended below
+  t.lower.resize(n + m);
+  t.upper.resize(n + m);
+  for (size_t j = 0; j < n; ++j) {
+    t.lower[j] =
+        lower_override ? (*lower_override)[j] : model_.variable(j).lower;
+    t.upper[j] =
+        upper_override ? (*upper_override)[j] : model_.variable(j).upper;
+    if (t.lower[j] > t.upper[j] + opts_.tol) {
+      result.status = SolveStatus::kInfeasible;
+      return result;
+    }
+  }
+  for (size_t r = 0; r < m; ++r) {
+    t.lower[n + r] = slack_lower_[r];
+    t.upper[n + r] = slack_upper_[r];
+  }
+
+  t.value.assign(n + m, 0.0);
+  t.status.assign(n + m, VarStatus::kAtLower);
+  t.basic_row.assign(n + m, kNoRow);
+
+  // Nonbasic structurals start at the finite bound nearest zero.
+  for (size_t j = 0; j < n; ++j) {
+    double lo = t.lower[j], hi = t.upper[j];
+    if (std::isfinite(lo) && std::isfinite(hi)) {
+      if (std::abs(lo) <= std::abs(hi)) {
+        t.status[j] = VarStatus::kAtLower;
+        t.value[j] = lo;
+      } else {
+        t.status[j] = VarStatus::kAtUpper;
+        t.value[j] = hi;
+      }
+    } else if (std::isfinite(lo)) {
+      t.status[j] = VarStatus::kAtLower;
+      t.value[j] = lo;
+    } else if (std::isfinite(hi)) {
+      t.status[j] = VarStatus::kAtUpper;
+      t.value[j] = hi;
+    } else {
+      t.status[j] = VarStatus::kFreeZero;
+      t.value[j] = 0.0;
+    }
+  }
+
+  // Initial basis: the slacks; basic values from the row residuals.
+  t.basis.resize(m);
+  t.binv.assign(m * m, 0.0);
+  std::vector<double> residual(rhs_);
+  for (size_t j = 0; j < n; ++j) {
+    if (t.value[j] == 0.0) continue;
+    for (const auto& [r, a] : columns_[j]) residual[r] -= a * t.value[j];
+  }
+  // Rows whose slack cannot absorb the residual get an artificial.
+  for (size_t r = 0; r < m; ++r) {
+    double v = residual[r];
+    size_t slack = n + r;
+    if (v >= t.lower[slack] - opts_.tol && v <= t.upper[slack] + opts_.tol) {
+      t.basis[r] = slack;
+      t.basic_row[slack] = r;
+      t.status[slack] = VarStatus::kBasic;
+      t.value[slack] = v;
+      t.Binv(r, r) = 1.0;
+      continue;
+    }
+    // Slack parks at the bound nearest the residual; the artificial
+    // carries the (nonnegative) violation.
+    double parked = std::isfinite(t.upper[slack]) && v > t.upper[slack]
+                        ? t.upper[slack]
+                        : t.lower[slack];
+    t.status[slack] = parked == t.upper[slack] && std::isfinite(parked) &&
+                              t.upper[slack] != t.lower[slack]
+                          ? VarStatus::kAtUpper
+                          : VarStatus::kAtLower;
+    if (!std::isfinite(parked)) parked = 0.0;
+    t.value[slack] = parked;
+    double art_value = v - parked;
+    double coeff = art_value >= 0 ? 1.0 : -1.0;
+    size_t art_id = t.total + t.art_cols.size() - t.art_cols.size();
+    (void)art_id;
+    t.art_cols.push_back({{r, coeff}});
+    size_t var = n + m + t.art_cols.size() - 1;
+    t.art_vars.push_back(var);
+    t.lower.push_back(0.0);
+    t.upper.push_back(kInfinity);
+    t.value.push_back(std::abs(art_value));
+    t.status.push_back(VarStatus::kBasic);
+    t.basic_row.push_back(r);
+    t.basis[r] = var;
+    // Binv row: artificial column is coeff * e_r, so B^-1 row r is
+    // (1/coeff) e_r.
+    t.Binv(r, r) = 1.0 / coeff;
+  }
+  t.total = n + m + t.art_cols.size();
+
+  ColumnView view(&columns_, &t);
+
+  // Phase 1: minimize the sum of artificials.
+  if (!t.art_cols.empty()) {
+    std::vector<double> cost(t.total, 0.0);
+    for (size_t var : t.art_vars) cost[var] = 1.0;
+    SolveStatus st = RunSimplex(&t, cost, view, opts_, &result.iterations);
+    if (st == SolveStatus::kLimit) {
+      result.status = SolveStatus::kLimit;
+      return result;
+    }
+    double infeas = 0;
+    for (size_t var : t.art_vars) infeas += t.value[var];
+    if (infeas > 1e-6) {
+      result.status = SolveStatus::kInfeasible;
+      return result;
+    }
+    // Pin artificials at zero for phase 2.
+    for (size_t var : t.art_vars) {
+      t.upper[var] = 0.0;
+      t.value[var] = std::max(0.0, std::min(t.value[var], 0.0));
+    }
+  }
+
+  // Phase 2: minimize the negated model objective.
+  {
+    std::vector<double> cost(t.total, 0.0);
+    for (size_t j = 0; j < n; ++j) cost[j] = -model_.variable(j).objective;
+    SolveStatus st = RunSimplex(&t, cost, view, opts_, &result.iterations);
+    if (st == SolveStatus::kUnbounded) {
+      result.status = SolveStatus::kUnbounded;
+      return result;
+    }
+    if (st == SolveStatus::kLimit) {
+      result.status = SolveStatus::kLimit;
+      return result;
+    }
+  }
+
+  result.status = SolveStatus::kOptimal;
+  result.values.assign(t.value.begin(), t.value.begin() + n);
+  // Clamp tiny numerical drift back into the bounds.
+  for (size_t j = 0; j < n; ++j) {
+    result.values[j] = std::clamp(result.values[j], t.lower[j], t.upper[j]);
+  }
+  result.objective = model_.ObjectiveValue(result.values);
+  return result;
+}
+
+}  // namespace milp
+}  // namespace explain3d

@@ -1,0 +1,64 @@
+// Bounded-variable two-phase primal simplex (the LP engine under branch
+// & bound).
+//
+// Internal computational form: every constraint row r gets a slack s_r,
+//     Σ_j a_rj x_j + s_r = b_r
+// with slack bounds encoding the relation (≤ → s∈[0,∞), ≥ → s∈(−∞,0],
+// = → s∈[0,0]). Phase 1 adds artificials for rows whose initial slack
+// value violates its bounds and minimizes their sum; phase 2 optimizes
+// the real objective. The basis inverse is kept dense and updated by
+// Gauss–Jordan pivots; Dantzig pricing with a Bland's-rule fallback
+// guards against cycling. Suited to the component-sized models the
+// explain3d encoder emits (tens to a few thousand rows).
+
+#ifndef EXPLAIN3D_MILP_SIMPLEX_H_
+#define EXPLAIN3D_MILP_SIMPLEX_H_
+
+#include <vector>
+
+#include "milp/model.h"
+
+namespace explain3d {
+namespace milp {
+
+/// LP solve options.
+struct LpOptions {
+  double tol = 1e-7;             ///< feasibility / pricing tolerance
+  size_t max_iterations = 200000;  ///< per phase
+  /// Consecutive degenerate pivots before switching to Bland's rule.
+  size_t bland_trigger = 50;
+};
+
+/// LP relaxation result. `values` covers the model's structural variables.
+struct LpResult {
+  SolveStatus status = SolveStatus::kLimit;
+  std::vector<double> values;
+  double objective = -kInfinity;  ///< model objective (maximize)
+  size_t iterations = 0;
+};
+
+/// Reusable LP solver over one model; bound overrides make repeated
+/// branch-and-bound solves cheap (the constraint matrix is shared).
+class SimplexSolver {
+ public:
+  explicit SimplexSolver(const Model& model, LpOptions opts = LpOptions());
+
+  /// Solves the LP relaxation (integrality dropped). When overrides are
+  /// given they replace the model's variable bounds (size = #variables).
+  LpResult Solve(const std::vector<double>* lower_override = nullptr,
+                 const std::vector<double>* upper_override = nullptr) const;
+
+ private:
+  const Model& model_;
+  LpOptions opts_;
+  // Sparse columns of the structural variables: (row, coeff) pairs.
+  std::vector<std::vector<std::pair<size_t, double>>> columns_;
+  std::vector<double> rhs_;
+  std::vector<double> slack_lower_;
+  std::vector<double> slack_upper_;
+};
+
+}  // namespace milp
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_MILP_SIMPLEX_H_

@@ -1,0 +1,77 @@
+#include "partition/graph.h"
+
+#include <deque>
+
+#include "common/logging.h"
+
+namespace explain3d {
+
+size_t Graph::AddNode(double weight) {
+  node_weight_.push_back(weight);
+  adj_.emplace_back();
+  return adj_.size() - 1;
+}
+
+void Graph::AddEdge(size_t u, size_t v, double weight) {
+  E3D_CHECK_LT(u, adj_.size());
+  E3D_CHECK_LT(v, adj_.size());
+  if (u == v) return;
+  // Accumulate onto an existing parallel edge if present.
+  for (auto& [n, w] : adj_[u]) {
+    if (n == v) {
+      w += weight;
+      for (auto& [n2, w2] : adj_[v]) {
+        if (n2 == u) {
+          w2 += weight;
+          return;
+        }
+      }
+      return;
+    }
+  }
+  adj_[u].emplace_back(v, weight);
+  adj_[v].emplace_back(u, weight);
+  ++num_edges_;
+}
+
+double Graph::total_node_weight() const {
+  double total = 0;
+  for (double w : node_weight_) total += w;
+  return total;
+}
+
+double Graph::EdgeCutWeight(const std::vector<int>& part) const {
+  double cut = 0;
+  for (size_t u = 0; u < adj_.size(); ++u) {
+    for (const auto& [v, w] : adj_[u]) {
+      if (u < v && part[u] != part[v]) cut += w;
+    }
+  }
+  return cut;
+}
+
+size_t ConnectedComponents(const Graph& g, std::vector<int>* component) {
+  component->assign(g.num_nodes(), -1);
+  size_t count = 0;
+  std::deque<size_t> queue;
+  for (size_t s = 0; s < g.num_nodes(); ++s) {
+    if ((*component)[s] >= 0) continue;
+    (*component)[s] = static_cast<int>(count);
+    queue.push_back(s);
+    while (!queue.empty()) {
+      size_t u = queue.front();
+      queue.pop_front();
+      for (const auto& [v, w] : g.neighbors(u)) {
+        (void)w;
+        if ((*component)[v] < 0) {
+          (*component)[v] = static_cast<int>(count);
+          queue.push_back(v);
+        }
+      }
+    }
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace explain3d

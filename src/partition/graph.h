@@ -1,0 +1,56 @@
+// Weighted undirected graph used by the partitioning optimizer.
+//
+// Nodes carry weights (tuple counts after pre-partitioning merges); edges
+// carry the adjusted tuple-match weights of Section 4. Parallel edges are
+// accumulated into one.
+
+#ifndef EXPLAIN3D_PARTITION_GRAPH_H_
+#define EXPLAIN3D_PARTITION_GRAPH_H_
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace explain3d {
+
+/// Adjacency-list weighted graph.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(size_t num_nodes)
+      : node_weight_(num_nodes, 1.0), adj_(num_nodes) {}
+
+  size_t num_nodes() const { return adj_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  /// Appends a node with the given weight; returns its id.
+  size_t AddNode(double weight = 1.0);
+
+  /// Adds (or accumulates onto) an undirected edge u-v. Self-loops are
+  /// ignored.
+  void AddEdge(size_t u, size_t v, double weight);
+
+  double node_weight(size_t u) const { return node_weight_[u]; }
+  void set_node_weight(size_t u, double w) { node_weight_[u] = w; }
+  double total_node_weight() const;
+
+  const std::vector<std::pair<size_t, double>>& neighbors(size_t u) const {
+    return adj_[u];
+  }
+
+  /// Sum of weights of edges whose endpoints lie in different parts.
+  double EdgeCutWeight(const std::vector<int>& part) const;
+
+ private:
+  std::vector<double> node_weight_;
+  std::vector<std::vector<std::pair<size_t, double>>> adj_;
+  size_t num_edges_ = 0;
+};
+
+/// Labels each node with its connected-component id (0-based, dense);
+/// returns the number of components.
+size_t ConnectedComponents(const Graph& g, std::vector<int>* component);
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_PARTITION_GRAPH_H_

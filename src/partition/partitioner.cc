@@ -1,0 +1,233 @@
+#include "partition/partitioner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace explain3d {
+
+namespace {
+
+/// One coarsening level: the coarse graph plus the fine→coarse map.
+struct Level {
+  Graph graph;
+  std::vector<size_t> fine_to_coarse;  // indexed by finer-level node
+};
+
+/// Heavy-edge matching coarsening step. Returns false when the graph
+/// stopped shrinking meaningfully.
+bool CoarsenOnce(const Graph& fine, double max_node_weight, Rng* rng,
+                 Level* out) {
+  size_t n = fine.num_nodes();
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  rng->Shuffle(&order);
+
+  constexpr size_t kUnmatched = static_cast<size_t>(-1);
+  std::vector<size_t> match(n, kUnmatched);
+  size_t coarse_count = 0;
+  std::vector<size_t> coarse_id(n, kUnmatched);
+
+  for (size_t u : order) {
+    if (coarse_id[u] != kUnmatched) continue;
+    // Pick the heaviest incident edge to an unmatched neighbor that fits
+    // the node-weight cap.
+    size_t best = kUnmatched;
+    double best_w = -1;
+    for (const auto& [v, w] : fine.neighbors(u)) {
+      if (coarse_id[v] != kUnmatched) continue;
+      if (fine.node_weight(u) + fine.node_weight(v) > max_node_weight) {
+        continue;
+      }
+      if (w > best_w) {
+        best_w = w;
+        best = v;
+      }
+    }
+    coarse_id[u] = coarse_count;
+    if (best != kUnmatched) {
+      coarse_id[best] = coarse_count;
+      match[u] = best;
+      match[best] = u;
+    }
+    ++coarse_count;
+  }
+
+  if (coarse_count > n * 95 / 100) return false;  // diminishing returns
+
+  Graph coarse(coarse_count);
+  for (size_t u = 0; u < n; ++u) {
+    coarse.set_node_weight(coarse_id[u], 0.0);
+  }
+  for (size_t u = 0; u < n; ++u) {
+    coarse.set_node_weight(
+        coarse_id[u], coarse.node_weight(coarse_id[u]) + fine.node_weight(u));
+  }
+  for (size_t u = 0; u < n; ++u) {
+    for (const auto& [v, w] : fine.neighbors(u)) {
+      if (u < v && coarse_id[u] != coarse_id[v]) {
+        coarse.AddEdge(coarse_id[u], coarse_id[v], w);
+      }
+    }
+  }
+  out->graph = std::move(coarse);
+  out->fine_to_coarse = std::move(coarse_id);
+  return true;
+}
+
+/// Greedy region-growing initial partition with the balance cap.
+std::vector<int> InitialPartition(const Graph& g, size_t k, double cap,
+                                  Rng* rng) {
+  size_t n = g.num_nodes();
+  std::vector<int> part(n, -1);
+  std::vector<double> load(k, 0.0);
+
+  // Process nodes heaviest-first so big merged clusters land while parts
+  // still have room.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  rng->Shuffle(&order);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return g.node_weight(a) > g.node_weight(b);
+  });
+
+  for (size_t u : order) {
+    // Gain of each part = connecting edge weight.
+    std::vector<double> gain(k, 0.0);
+    for (const auto& [v, w] : g.neighbors(u)) {
+      if (part[v] >= 0) gain[part[v]] += w;
+    }
+    int best = -1;
+    double best_score = -1;
+    for (size_t p = 0; p < k; ++p) {
+      if (load[p] + g.node_weight(u) > cap) continue;
+      // Prefer connectivity; break ties toward the lighter part.
+      double score = gain[p] * 1e6 - load[p];
+      if (best == -1 || score > best_score) {
+        best = static_cast<int>(p);
+        best_score = score;
+      }
+    }
+    if (best == -1) {
+      // No part fits (oversized node or everything full): least loaded.
+      best = static_cast<int>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+      if (g.node_weight(u) > cap) {
+        E3D_LOG(kWarn) << "node weight " << g.node_weight(u)
+                       << " exceeds Lmax " << cap
+                       << "; balance constraint unsatisfiable for it";
+      }
+    }
+    part[u] = best;
+    load[best] += g.node_weight(u);
+  }
+  return part;
+}
+
+/// Greedy boundary refinement (FM-style positive-gain moves).
+void Refine(const Graph& g, size_t k, double cap, size_t passes,
+            std::vector<int>* part) {
+  size_t n = g.num_nodes();
+  std::vector<double> load(k, 0.0);
+  for (size_t u = 0; u < n; ++u) load[(*part)[u]] += g.node_weight(u);
+
+  for (size_t pass = 0; pass < passes; ++pass) {
+    bool moved = false;
+    for (size_t u = 0; u < n; ++u) {
+      int from = (*part)[u];
+      // Connectivity to each part.
+      std::vector<double> conn(k, 0.0);
+      bool boundary = false;
+      for (const auto& [v, w] : g.neighbors(u)) {
+        conn[(*part)[v]] += w;
+        if ((*part)[v] != from) boundary = true;
+      }
+      if (!boundary) continue;
+      int best = from;
+      double best_gain = 0;
+      for (size_t p = 0; p < k; ++p) {
+        if (static_cast<int>(p) == from) continue;
+        if (load[p] + g.node_weight(u) > cap) continue;
+        double gain = conn[p] - conn[from];
+        if (gain > best_gain + 1e-12) {
+          best_gain = gain;
+          best = static_cast<int>(p);
+        }
+      }
+      if (best != from) {
+        load[from] -= g.node_weight(u);
+        load[best] += g.node_weight(u);
+        (*part)[u] = best;
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+}
+
+}  // namespace
+
+Result<PartitionResult> PartitionGraph(const Graph& g,
+                                       const PartitionOptions& opts) {
+  if (opts.num_parts == 0) {
+    return Status::InvalidArgument("num_parts must be positive");
+  }
+  size_t k = opts.num_parts;
+  double total = g.total_node_weight();
+  double cap = opts.max_part_weight > 0
+                   ? opts.max_part_weight
+                   : std::ceil(total / static_cast<double>(k)) * 1.05;
+
+  PartitionResult result;
+  result.num_parts = k;
+  if (g.num_nodes() == 0) {
+    result.part_weight.assign(k, 0.0);
+    return result;
+  }
+  if (k == 1) {
+    result.assignment.assign(g.num_nodes(), 0);
+    result.part_weight = {total};
+    result.edge_cut = 0;
+    return result;
+  }
+
+  Rng rng(opts.seed);
+
+  // Coarsening phase.
+  std::vector<Level> levels;
+  const Graph* current = &g;
+  while (current->num_nodes() > std::max(opts.coarsen_stop, k * 2)) {
+    Level level;
+    if (!CoarsenOnce(*current, cap, &rng, &level)) break;
+    levels.push_back(std::move(level));
+    current = &levels.back().graph;
+  }
+
+  // Initial partition on the coarsest graph.
+  std::vector<int> part = InitialPartition(*current, k, cap, &rng);
+  Refine(*current, k, cap, opts.refine_passes, &part);
+
+  // Uncoarsening with refinement.
+  for (size_t li = levels.size(); li-- > 0;) {
+    const std::vector<size_t>& map = levels[li].fine_to_coarse;
+    std::vector<int> finer(map.size());
+    for (size_t u = 0; u < map.size(); ++u) finer[u] = part[map[u]];
+    const Graph& fine_graph = li == 0 ? g : levels[li - 1].graph;
+    part = std::move(finer);
+    Refine(fine_graph, k, cap, opts.refine_passes, &part);
+  }
+
+  result.assignment = std::move(part);
+  result.edge_cut = g.EdgeCutWeight(result.assignment);
+  result.part_weight.assign(k, 0.0);
+  for (size_t u = 0; u < g.num_nodes(); ++u) {
+    result.part_weight[result.assignment[u]] += g.node_weight(u);
+  }
+  return result;
+}
+
+}  // namespace explain3d

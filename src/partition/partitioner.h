@@ -1,0 +1,49 @@
+// Multilevel graph partitioner (Problem 2): minimize the weighted edge
+// cut of a k-way partition subject to a maximum part weight Lmax.
+//
+// Classic three-phase scheme in the METIS family:
+//   1. coarsen by heavy-edge matching until the graph is small,
+//   2. greedy region-growing initial partition on the coarse graph,
+//   3. uncoarsen with boundary Kernighan–Lin/FM refinement at each level.
+//
+// Nodes heavier than Lmax (possible after aggressive pre-partitioning
+// merges) are placed alone in a part; the balance constraint is then
+// unsatisfiable for that node and a warning is logged.
+
+#ifndef EXPLAIN3D_PARTITION_PARTITIONER_H_
+#define EXPLAIN3D_PARTITION_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "partition/graph.h"
+
+namespace explain3d {
+
+/// Partitioner knobs.
+struct PartitionOptions {
+  size_t num_parts = 2;          ///< k
+  double max_part_weight = 0;    ///< Lmax; 0 → ceil(total/k) * 1.05
+  size_t coarsen_stop = 128;     ///< stop coarsening at this many nodes
+  size_t refine_passes = 6;      ///< boundary refinement passes per level
+  uint64_t seed = 1;
+};
+
+/// Result of a partitioning run.
+struct PartitionResult {
+  std::vector<int> assignment;  ///< node -> part id in [0, num_parts)
+  double edge_cut = 0;          ///< weight of cut edges
+  size_t num_parts = 0;
+  std::vector<double> part_weight;
+};
+
+/// Partitions `g` into at most `opts.num_parts` parts under the balance
+/// constraint. The graph may be disconnected; empty parts are possible
+/// when k exceeds what the balance constraint needs.
+Result<PartitionResult> PartitionGraph(const Graph& g,
+                                       const PartitionOptions& opts);
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_PARTITION_PARTITIONER_H_

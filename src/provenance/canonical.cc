@@ -1,0 +1,92 @@
+#include "provenance/canonical.h"
+
+#include <map>
+
+namespace explain3d {
+
+namespace {
+bool RowLess(const Row& a, const Row& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c < 0;
+  }
+  return a.size() < b.size();
+}
+}  // namespace
+
+std::string CanonicalTuple::KeyString() const {
+  std::string s;
+  for (size_t i = 0; i < key.size(); ++i) {
+    if (i > 0) s += "|";
+    s += key[i].ToDisplayString();
+  }
+  return s;
+}
+
+double CanonicalRelation::TotalImpact() const {
+  double total = 0;
+  for (const CanonicalTuple& t : tuples) total += t.impact;
+  return total;
+}
+
+Result<CanonicalRelation> Canonicalize(
+    const ProvenanceRelation& prov,
+    const std::vector<std::string>& match_attrs) {
+  if (match_attrs.empty()) {
+    return Status::InvalidArgument(
+        "canonicalization requires at least one matching attribute "
+        "(the queries would not be comparable, Definition 2.2)");
+  }
+  std::vector<size_t> key_cols;
+  key_cols.reserve(match_attrs.size());
+  for (const std::string& attr : match_attrs) {
+    E3D_ASSIGN_OR_RETURN(size_t idx, prov.table.schema().Resolve(attr));
+    key_cols.push_back(idx);
+  }
+
+  CanonicalRelation out;
+  out.key_attrs = match_attrs;
+  out.agg = prov.agg;
+  out.integral_impacts = prov.integral_impacts;
+
+  bool one_to_one = prov.agg == AggFunc::kAvg || prov.agg == AggFunc::kMax ||
+                    prov.agg == AggFunc::kMin;
+  if (one_to_one) {
+    // Strict mapping aggregates: no consolidation (Definition 3.1).
+    out.tuples.reserve(prov.size());
+    for (size_t i = 0; i < prov.size(); ++i) {
+      CanonicalTuple t;
+      t.key.reserve(key_cols.size());
+      for (size_t c : key_cols) t.key.push_back(prov.table.row(i)[c]);
+      t.impact = prov.impact[i];
+      t.prov_rows = {i};
+      out.tuples.push_back(std::move(t));
+    }
+    return out;
+  }
+
+  // Group by key, sum impacts. std::map keeps the output deterministic.
+  std::map<Row, size_t, decltype(&RowLess)> index(&RowLess);
+  for (size_t i = 0; i < prov.size(); ++i) {
+    Row key;
+    key.reserve(key_cols.size());
+    for (size_t c : key_cols) key.push_back(prov.table.row(i)[c]);
+    auto it = index.find(key);
+    if (it == index.end()) {
+      CanonicalTuple t;
+      t.key = key;
+      t.impact = prov.impact[i];
+      t.prov_rows = {i};
+      index.emplace(std::move(key), out.tuples.size());
+      out.tuples.push_back(std::move(t));
+    } else {
+      CanonicalTuple& t = out.tuples[it->second];
+      t.impact += prov.impact[i];
+      t.prov_rows.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace explain3d

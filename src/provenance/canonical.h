@@ -1,0 +1,59 @@
+// Canonical relations (Definition 3.1).
+//
+// Canonicalization consolidates provenance tuples that are indistinguishable
+// with respect to the attribute matches: it groups P by the matching
+// attributes and sums impacts,
+//
+//     T = π_{A,I}( AG_SUM(I)(P) )
+//
+// For queries that require a strict one-to-one mapping (AVG/MAX/MIN),
+// canonicalization leaves the provenance relation unchanged (one canonical
+// tuple per provenance tuple).
+//
+// Each canonical tuple remembers which provenance rows it merged, so
+// explanations derived over T can be reported back in terms of the original
+// data (stage 3 summarization needs the full-width tuples).
+
+#ifndef EXPLAIN3D_PROVENANCE_CANONICAL_H_
+#define EXPLAIN3D_PROVENANCE_CANONICAL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "provenance/provenance.h"
+
+namespace explain3d {
+
+/// One canonical tuple: the matching-attribute key, the consolidated
+/// impact, and back-pointers into the provenance relation.
+struct CanonicalTuple {
+  Row key;                         ///< values of the matching attributes
+  double impact = 0;               ///< summed impact
+  std::vector<size_t> prov_rows;   ///< merged provenance row indices
+
+  /// Key rendered as "v1|v2|..." (display and debugging).
+  std::string KeyString() const;
+};
+
+/// Canonical relation T of one query side.
+struct CanonicalRelation {
+  std::vector<std::string> key_attrs;  ///< matching attribute names
+  std::vector<CanonicalTuple> tuples;
+  AggFunc agg = AggFunc::kNone;
+  bool integral_impacts = true;
+
+  size_t size() const { return tuples.size(); }
+  double TotalImpact() const;
+};
+
+/// Canonicalizes provenance relation `prov` over `match_attrs` (the side's
+/// attributes from M_attr; resolved against the provenance schema).
+/// AVG/MAX/MIN skip consolidation per Definition 3.1.
+Result<CanonicalRelation> Canonicalize(
+    const ProvenanceRelation& prov,
+    const std::vector<std::string>& match_attrs);
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_PROVENANCE_CANONICAL_H_

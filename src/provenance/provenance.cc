@@ -1,0 +1,72 @@
+#include "provenance/provenance.h"
+
+#include <cmath>
+
+#include "relational/executor.h"
+#include "relational/parser.h"
+
+namespace explain3d {
+
+double ProvenanceRelation::TotalImpact() const {
+  double total = 0;
+  for (double i : impact) total += i;
+  return total;
+}
+
+Result<ProvenanceRelation> DeriveProvenance(const Database& db,
+                                            const SelectStmt& stmt) {
+  Executor exec(&db);
+  E3D_ASSIGN_OR_RETURN(Table filtered, exec.EvaluateFromWhere(stmt));
+
+  ProvenanceRelation prov;
+  prov.agg = AggFunc::kNone;
+
+  const SelectItem* agg_item = nullptr;
+  if (stmt.HasAggregate()) {
+    agg_item = stmt.SoleAggregate();
+    if (agg_item == nullptr) {
+      return Status::Unsupported(
+          "provenance requires exactly one aggregate item");
+    }
+    if (!stmt.group_by.empty()) {
+      return Status::Unsupported(
+          "provenance over GROUP BY queries is not supported; compare "
+          "per-group scalars instead");
+    }
+    prov.agg = agg_item->agg;
+  }
+
+  prov.impact.reserve(filtered.num_rows());
+  if (agg_item == nullptr || agg_item->star ||
+      prov.agg == AggFunc::kCount) {
+    // Unit impacts; COUNT(A) zeroes tuples whose A is NULL.
+    ExprEvaluator eval(&db, &filtered.schema());
+    for (const Row& row : filtered.rows()) {
+      double impact = 1.0;
+      if (agg_item != nullptr && !agg_item->star) {
+        E3D_ASSIGN_OR_RETURN(Value v, eval.Eval(*agg_item->expr, row));
+        if (v.is_null()) impact = 0.0;
+      }
+      prov.impact.push_back(impact);
+    }
+  } else {
+    // SUM/AVG/MAX/MIN: impact is the aggregated attribute's value.
+    ExprEvaluator eval(&db, &filtered.schema());
+    for (const Row& row : filtered.rows()) {
+      E3D_ASSIGN_OR_RETURN(Value v, eval.Eval(*agg_item->expr, row));
+      double impact = v.ToDoubleOr(0.0);
+      prov.impact.push_back(impact);
+      if (impact != std::floor(impact)) prov.integral_impacts = false;
+    }
+  }
+  prov.table = std::move(filtered);
+  return prov;
+}
+
+Result<ProvenanceRelation> DeriveProvenanceSql(const Database& db,
+                                               const std::string& sql) {
+  E3D_ASSIGN_OR_RETURN(SelectStmtPtr stmt, ParseSql(sql));
+  return DeriveProvenance(db, *stmt);
+}
+
+}  // namespace explain3d

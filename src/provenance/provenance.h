@@ -1,0 +1,57 @@
+// Provenance relations (Definition 2.3).
+//
+// Given Q = π_o σ_C(X), the provenance relation P(A1,...,Ak, I) holds every
+// tuple of σ_C(X) extended with its *impact* I — the tuple's statistical
+// contribution to the query result:
+//
+//   * non-aggregate queries and COUNT(*):    I = 1
+//   * COUNT(A):                              I = 1 (0 when A is NULL)
+//   * SUM(A)/AVG(A)/MAX(A)/MIN(A):           I = value of A
+//
+// The relation σ_C(X) is exactly what Executor::EvaluateFromWhere returns,
+// so provenance works for any supported query shape (joins, subqueries,
+// comma-joins) without extra lineage machinery.
+
+#ifndef EXPLAIN3D_PROVENANCE_PROVENANCE_H_
+#define EXPLAIN3D_PROVENANCE_PROVENANCE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/database.h"
+#include "relational/query.h"
+
+namespace explain3d {
+
+/// The provenance relation of one query: the filtered pre-aggregation
+/// relation plus a parallel impact vector.
+struct ProvenanceRelation {
+  Table table;                 ///< σ_C(X); schema carries qualified names.
+  std::vector<double> impact;  ///< impact[i] belongs to table.row(i).
+  AggFunc agg = AggFunc::kNone;  ///< aggregate of the originating query.
+  bool integral_impacts = true;  ///< all impacts are whole numbers.
+
+  size_t size() const { return table.num_rows(); }
+
+  /// Sum of all impacts; for SUM/COUNT queries this equals the query
+  /// result (checked by tests as the core provenance invariant).
+  double TotalImpact() const;
+};
+
+/// Derives the provenance relation of `stmt` against `db`.
+///
+/// Restrictions (per the paper's query fragment): if the query aggregates,
+/// it must have exactly one aggregate item and no GROUP BY — the
+/// disagreement being explained is over a single scalar. Non-aggregate
+/// queries get unit impacts.
+Result<ProvenanceRelation> DeriveProvenance(const Database& db,
+                                            const SelectStmt& stmt);
+
+/// Convenience: parse `sql`, then derive provenance.
+Result<ProvenanceRelation> DeriveProvenanceSql(const Database& db,
+                                               const std::string& sql);
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_PROVENANCE_PROVENANCE_H_

@@ -1,0 +1,62 @@
+#include "relational/database.h"
+
+#include "common/string_util.h"
+
+namespace explain3d {
+
+std::string Database::Key(const std::string& name) { return ToLower(name); }
+
+Status Database::AddTable(Table table) {
+  std::string key = Key(table.name());
+  if (key.empty()) {
+    return Status::InvalidArgument("table must have a name");
+  }
+  if (tables_.count(key)) {
+    return Status::AlreadyExists("table '" + table.name() + "' exists");
+  }
+  tables_.emplace(std::move(key), std::move(table));
+  return Status::OK();
+}
+
+void Database::PutTable(Table table) {
+  tables_[Key(table.name())] = std::move(table);
+}
+
+Result<const Table*> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(Key(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "' in database '" +
+                            name_ + "'");
+  }
+  return &it->second;
+}
+
+Result<Table*> Database::GetMutableTable(const std::string& name) {
+  auto it = tables_.find(Key(name));
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "' in database '" +
+                            name_ + "'");
+  }
+  return &it->second;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> out;
+  out.reserve(tables_.size());
+  for (const auto& [key, table] : tables_) {
+    (void)key;
+    out.push_back(table.name());
+  }
+  return out;
+}
+
+size_t Database::TotalRows() const {
+  size_t n = 0;
+  for (const auto& [key, table] : tables_) {
+    (void)key;
+    n += table.num_rows();
+  }
+  return n;
+}
+
+}  // namespace explain3d

@@ -1,0 +1,51 @@
+// Database: a named catalog of tables.
+
+#ifndef EXPLAIN3D_RELATIONAL_DATABASE_H_
+#define EXPLAIN3D_RELATIONAL_DATABASE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/table.h"
+
+namespace explain3d {
+
+/// Owns a set of tables keyed by (case-insensitive) name.
+class Database {
+ public:
+  Database() = default;
+  explicit Database(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds a table; fails with AlreadyExists on a duplicate name.
+  Status AddTable(Table table);
+
+  /// Replaces or inserts a table.
+  void PutTable(Table table);
+
+  /// Looks up a table by name (case-insensitive).
+  Result<const Table*> GetTable(const std::string& name) const;
+  Result<Table*> GetMutableTable(const std::string& name);
+
+  bool HasTable(const std::string& name) const {
+    return GetTable(name).ok();
+  }
+
+  std::vector<std::string> TableNames() const;
+
+  /// Total row count across all tables (dataset size N in Figure 4).
+  size_t TotalRows() const;
+
+ private:
+  static std::string Key(const std::string& name);
+
+  std::string name_;
+  std::map<std::string, Table> tables_;  // key: lower-cased name
+};
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_RELATIONAL_DATABASE_H_

@@ -1,0 +1,572 @@
+#include "relational/executor.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "relational/parser.h"
+#include "relational/planner.h"
+
+namespace explain3d {
+
+namespace {
+
+struct RowKeyHash {
+  size_t operator()(const Row& r) const {
+    size_t h = 0x2545f4914f6cdd1dULL;
+    for (const Value& v : r) h = HashCombine(h, v.Hash());
+    return h;
+  }
+};
+
+struct RowKeyEq {
+  bool operator()(const Row& a, const Row& b) const {
+    if (a.size() != b.size()) return false;
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (a[i].Compare(b[i]) != 0) return false;
+    }
+    return true;
+  }
+};
+
+bool RowLess(const Row& a, const Row& b) {
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c < 0;
+  }
+  return a.size() < b.size();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ExprEvaluator
+// ---------------------------------------------------------------------------
+
+ExprEvaluator::ExprEvaluator(const Database* db, const Schema* schema)
+    : db_(db), schema_(schema) {}
+
+Result<size_t> ExprEvaluator::ResolveCached(const std::string& name) {
+  auto it = resolve_cache_.find(name);
+  if (it != resolve_cache_.end()) return it->second;
+  E3D_ASSIGN_OR_RETURN(size_t idx, schema_->Resolve(name));
+  resolve_cache_.emplace(name, idx);
+  return idx;
+}
+
+Result<const std::unordered_set<Value, ValueHash>*>
+ExprEvaluator::SubqueryValueSet(const SelectStmt& stmt) {
+  auto it = subquery_cache_.find(&stmt);
+  if (it != subquery_cache_.end()) return &it->second;
+  Executor exec(db_);
+  E3D_ASSIGN_OR_RETURN(Table result, exec.Execute(stmt));
+  if (result.num_columns() < 1) {
+    return Status::InvalidArgument("IN subquery produces no columns");
+  }
+  std::unordered_set<Value, ValueHash> values;
+  for (const Row& row : result.rows()) {
+    if (!row[0].is_null()) values.insert(row[0]);
+  }
+  auto [pos, inserted] = subquery_cache_.emplace(&stmt, std::move(values));
+  (void)inserted;
+  return &pos->second;
+}
+
+Result<bool> ExprEvaluator::EvalBool(const Expr& e, const Row& row) {
+  E3D_ASSIGN_OR_RETURN(Value v, Eval(e, row));
+  if (v.is_null()) return false;
+  if (v.is_numeric()) return v.AsDouble() != 0.0;
+  return !v.AsString().empty();
+}
+
+Result<Value> ExprEvaluator::Eval(const Expr& e, const Row& row) {
+  switch (e.kind()) {
+    case Expr::Kind::kLiteral:
+      return e.literal();
+
+    case Expr::Kind::kColumn: {
+      E3D_ASSIGN_OR_RETURN(size_t idx, ResolveCached(e.column_name()));
+      return row[idx];
+    }
+
+    case Expr::Kind::kBinary: {
+      BinaryOp op = e.binary_op();
+      if (op == BinaryOp::kAnd) {
+        E3D_ASSIGN_OR_RETURN(bool l, EvalBool(*e.lhs(), row));
+        if (!l) return Value(int64_t{0});
+        E3D_ASSIGN_OR_RETURN(bool r, EvalBool(*e.rhs(), row));
+        return Value(int64_t{r ? 1 : 0});
+      }
+      if (op == BinaryOp::kOr) {
+        E3D_ASSIGN_OR_RETURN(bool l, EvalBool(*e.lhs(), row));
+        if (l) return Value(int64_t{1});
+        E3D_ASSIGN_OR_RETURN(bool r, EvalBool(*e.rhs(), row));
+        return Value(int64_t{r ? 1 : 0});
+      }
+      E3D_ASSIGN_OR_RETURN(Value l, Eval(*e.lhs(), row));
+      E3D_ASSIGN_OR_RETURN(Value r, Eval(*e.rhs(), row));
+      switch (op) {
+        case BinaryOp::kEq:
+        case BinaryOp::kNe:
+        case BinaryOp::kLt:
+        case BinaryOp::kLe:
+        case BinaryOp::kGt:
+        case BinaryOp::kGe: {
+          if (l.is_null() || r.is_null()) return Value::Null();
+          int c = l.Compare(r);
+          bool result = false;
+          switch (op) {
+            case BinaryOp::kEq: result = c == 0; break;
+            case BinaryOp::kNe: result = c != 0; break;
+            case BinaryOp::kLt: result = c < 0; break;
+            case BinaryOp::kLe: result = c <= 0; break;
+            case BinaryOp::kGt: result = c > 0; break;
+            default: result = c >= 0; break;
+          }
+          return Value(int64_t{result ? 1 : 0});
+        }
+        case BinaryOp::kLike: {
+          if (l.is_null() || r.is_null()) return Value::Null();
+          if (l.type() != DataType::kString ||
+              r.type() != DataType::kString) {
+            return Value(int64_t{0});
+          }
+          return Value(
+              int64_t{SqlLikeMatch(l.AsString(), r.AsString()) ? 1 : 0});
+        }
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv: {
+          if (l.is_null() || r.is_null()) return Value::Null();
+          if (!l.is_numeric() || !r.is_numeric()) {
+            return Status::InvalidArgument(
+                "arithmetic on non-numeric values: " + e.ToString());
+          }
+          bool both_int = l.type() == DataType::kInt64 &&
+                          r.type() == DataType::kInt64 &&
+                          op != BinaryOp::kDiv;
+          if (both_int) {
+            int64_t a = l.AsInt64(), b = r.AsInt64();
+            switch (op) {
+              case BinaryOp::kAdd: return Value(a + b);
+              case BinaryOp::kSub: return Value(a - b);
+              default: return Value(a * b);
+            }
+          }
+          double a = l.AsDouble(), b = r.AsDouble();
+          switch (op) {
+            case BinaryOp::kAdd: return Value(a + b);
+            case BinaryOp::kSub: return Value(a - b);
+            case BinaryOp::kMul: return Value(a * b);
+            default:
+              if (b == 0.0) return Value::Null();
+              return Value(a / b);
+          }
+        }
+        default:
+          return Status::Internal("unhandled binary op");
+      }
+    }
+
+    case Expr::Kind::kUnary: {
+      if (e.unary_op() == UnaryOp::kNot) {
+        E3D_ASSIGN_OR_RETURN(bool b, EvalBool(*e.lhs(), row));
+        return Value(int64_t{b ? 0 : 1});
+      }
+      E3D_ASSIGN_OR_RETURN(Value v, Eval(*e.lhs(), row));
+      if (v.is_null()) return Value::Null();
+      if (v.type() == DataType::kInt64) return Value(-v.AsInt64());
+      if (v.type() == DataType::kDouble) return Value(-v.AsDouble());
+      return Status::InvalidArgument("negation of non-numeric value");
+    }
+
+    case Expr::Kind::kInList: {
+      E3D_ASSIGN_OR_RETURN(Value v, Eval(*e.lhs(), row));
+      if (v.is_null()) return Value::Null();
+      bool found = false;
+      for (const Value& item : e.in_list()) {
+        if (v.Compare(item) == 0) {
+          found = true;
+          break;
+        }
+      }
+      bool result = e.negated() ? !found : found;
+      return Value(int64_t{result ? 1 : 0});
+    }
+
+    case Expr::Kind::kInSubquery: {
+      E3D_ASSIGN_OR_RETURN(Value v, Eval(*e.lhs(), row));
+      if (v.is_null()) return Value::Null();
+      E3D_ASSIGN_OR_RETURN(const auto* set, SubqueryValueSet(*e.subquery()));
+      bool found = set->count(v) > 0;
+      bool result = e.negated() ? !found : found;
+      return Value(int64_t{result ? 1 : 0});
+    }
+
+    case Expr::Kind::kExists: {
+      E3D_ASSIGN_OR_RETURN(const auto* set, SubqueryValueSet(*e.subquery()));
+      // Non-null first-column values stand in for row existence; the
+      // supported fragment never selects all-NULL columns in EXISTS.
+      bool exists = !set->empty();
+      bool result = e.negated() ? !exists : exists;
+      return Value(int64_t{result ? 1 : 0});
+    }
+
+    case Expr::Kind::kIsNull: {
+      E3D_ASSIGN_OR_RETURN(Value v, Eval(*e.lhs(), row));
+      bool isnull = v.is_null();
+      bool result = e.negated() ? !isnull : isnull;
+      return Value(int64_t{result ? 1 : 0});
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+Result<Table> Executor::ExecuteSql(const std::string& sql) const {
+  E3D_ASSIGN_OR_RETURN(SelectStmtPtr stmt, ParseSql(sql));
+  return Execute(*stmt);
+}
+
+Result<Table> Executor::EvalTableRef(const TableRef& ref) const {
+  switch (ref.kind) {
+    case TableRef::Kind::kBase: {
+      E3D_ASSIGN_OR_RETURN(const Table* src, db_->GetTable(ref.table_name));
+      Table out(ref.QualifierName(),
+                src->schema().Qualified(ref.QualifierName()));
+      for (const Row& row : src->rows()) out.AppendUnchecked(row);
+      return out;
+    }
+    case TableRef::Kind::kSubquery: {
+      E3D_ASSIGN_OR_RETURN(Table inner, Execute(*ref.subquery));
+      Table out(ref.alias, inner.schema().Qualified(ref.alias));
+      for (const Row& row : inner.rows()) out.AppendUnchecked(row);
+      return out;
+    }
+    case TableRef::Kind::kJoin:
+      return EvalJoin(ref);
+  }
+  return Status::Internal("unhandled TableRef kind");
+}
+
+Result<Table> Executor::EvalJoin(const TableRef& ref) const {
+  E3D_ASSIGN_OR_RETURN(Table left, EvalTableRef(*ref.left));
+  E3D_ASSIGN_OR_RETURN(Table right, EvalTableRef(*ref.right));
+
+  Schema joined;
+  for (const Column& c : left.schema().columns()) joined.AddColumn(c);
+  for (const Column& c : right.schema().columns()) joined.AddColumn(c);
+  Table out("", joined);
+
+  // Partition the ON condition into hashable equi-conjuncts and residuals.
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(ref.condition, &conjuncts);
+  std::vector<std::pair<size_t, size_t>> equi;  // (left col, right col)
+  std::vector<ExprPtr> residual;
+  for (const ExprPtr& c : conjuncts) {
+    bool is_equi = false;
+    if (c->kind() == Expr::Kind::kBinary &&
+        c->binary_op() == BinaryOp::kEq &&
+        c->lhs()->kind() == Expr::Kind::kColumn &&
+        c->rhs()->kind() == Expr::Kind::kColumn) {
+      Result<size_t> ll = left.schema().Resolve(c->lhs()->column_name());
+      Result<size_t> rr = right.schema().Resolve(c->rhs()->column_name());
+      if (ll.ok() && rr.ok()) {
+        equi.emplace_back(ll.value(), rr.value());
+        is_equi = true;
+      } else {
+        Result<size_t> lr = left.schema().Resolve(c->rhs()->column_name());
+        Result<size_t> rl = right.schema().Resolve(c->lhs()->column_name());
+        if (lr.ok() && rl.ok()) {
+          equi.emplace_back(lr.value(), rl.value());
+          is_equi = true;
+        }
+      }
+    }
+    if (!is_equi) residual.push_back(c);
+  }
+
+  ExprPtr residual_cond = CombineConjuncts(residual);
+  ExprEvaluator joined_eval(db_, &out.schema());
+
+  auto emit = [&](const Row& l, const Row& r) -> Result<Value> {
+    Row combined;
+    combined.reserve(l.size() + r.size());
+    combined.insert(combined.end(), l.begin(), l.end());
+    combined.insert(combined.end(), r.begin(), r.end());
+    if (residual_cond) {
+      E3D_ASSIGN_OR_RETURN(bool keep,
+                           joined_eval.EvalBool(*residual_cond, combined));
+      if (!keep) return Value(int64_t{0});
+    }
+    out.AppendUnchecked(std::move(combined));
+    return Value(int64_t{1});
+  };
+
+  if (!equi.empty()) {
+    // Hash join keyed on the right-side columns of every equi conjunct.
+    std::unordered_map<Row, std::vector<size_t>, RowKeyHash, RowKeyEq> built;
+    built.reserve(right.num_rows() * 2);
+    for (size_t i = 0; i < right.num_rows(); ++i) {
+      Row key;
+      key.reserve(equi.size());
+      bool has_null = false;
+      for (const auto& [lc, rc] : equi) {
+        (void)lc;
+        const Value& v = right.row(i)[rc];
+        if (v.is_null()) has_null = true;
+        key.push_back(v);
+      }
+      if (has_null) continue;  // NULL keys never match in SQL joins
+      built[std::move(key)].push_back(i);
+    }
+    for (size_t i = 0; i < left.num_rows(); ++i) {
+      Row key;
+      key.reserve(equi.size());
+      bool has_null = false;
+      for (const auto& [lc, rc] : equi) {
+        (void)rc;
+        const Value& v = left.row(i)[lc];
+        if (v.is_null()) has_null = true;
+        key.push_back(v);
+      }
+      if (has_null) continue;
+      auto it = built.find(key);
+      if (it == built.end()) continue;
+      for (size_t j : it->second) {
+        E3D_ASSIGN_OR_RETURN(Value ignored, emit(left.row(i), right.row(j)));
+        (void)ignored;
+      }
+    }
+    return out;
+  }
+
+  // Nested-loop fallback (cross join or non-equi condition).
+  for (size_t i = 0; i < left.num_rows(); ++i) {
+    for (size_t j = 0; j < right.num_rows(); ++j) {
+      E3D_ASSIGN_OR_RETURN(Value ignored, emit(left.row(i), right.row(j)));
+      (void)ignored;
+    }
+  }
+  return out;
+}
+
+Result<Table> Executor::EvaluateFromWhere(const SelectStmt& stmt) const {
+  if (!stmt.from) {
+    return Status::InvalidArgument("statement has no FROM clause");
+  }
+  E3D_ASSIGN_OR_RETURN(SelectStmtPtr optimized,
+                       PushDownPredicates(*db_, stmt));
+  E3D_ASSIGN_OR_RETURN(Table input, EvalTableRef(*optimized->from));
+  if (!optimized->where) {
+    input.set_name("provenance");
+    return input;
+  }
+  Table out("provenance", input.schema());
+  ExprEvaluator eval(db_, &input.schema());
+  for (const Row& row : input.rows()) {
+    E3D_ASSIGN_OR_RETURN(bool keep, eval.EvalBool(*optimized->where, row));
+    if (keep) out.AppendUnchecked(row);
+  }
+  return out;
+}
+
+Result<Table> Executor::Aggregate(const SelectStmt& stmt,
+                                  const Table& input) const {
+  // Resolve GROUP BY columns.
+  std::vector<size_t> group_cols;
+  for (const std::string& name : stmt.group_by) {
+    E3D_ASSIGN_OR_RETURN(size_t idx, input.schema().Resolve(name));
+    group_cols.push_back(idx);
+  }
+
+  // Group rows. A single implicit group when GROUP BY is absent.
+  std::map<Row, std::vector<size_t>, decltype(&RowLess)> groups(&RowLess);
+  for (size_t i = 0; i < input.num_rows(); ++i) {
+    Row key;
+    key.reserve(group_cols.size());
+    for (size_t c : group_cols) key.push_back(input.row(i)[c]);
+    groups[std::move(key)].push_back(i);
+  }
+  if (groups.empty() && stmt.group_by.empty()) {
+    groups[{}] = {};  // aggregates over an empty relation yield one row
+  }
+
+  // Output schema.
+  Schema out_schema;
+  for (const SelectItem& item : stmt.items) {
+    DataType type = DataType::kString;
+    switch (item.agg) {
+      case AggFunc::kCount:
+        type = DataType::kInt64;
+        break;
+      case AggFunc::kAvg:
+        type = DataType::kDouble;
+        break;
+      case AggFunc::kSum:
+      case AggFunc::kMax:
+      case AggFunc::kMin:
+        type = DataType::kDouble;
+        break;
+      case AggFunc::kNone:
+        if (item.expr->kind() == Expr::Kind::kColumn) {
+          Result<size_t> idx =
+              input.schema().Resolve(item.expr->column_name());
+          if (idx.ok()) type = input.schema().column(idx.value()).type;
+        }
+        break;
+    }
+    out_schema.AddColumn(Column(item.OutputName(), type));
+  }
+
+  Table out("", out_schema);
+  ExprEvaluator eval(db_, &input.schema());
+
+  for (const auto& [key, row_ids] : groups) {
+    (void)key;
+    Row out_row;
+    for (const SelectItem& item : stmt.items) {
+      if (item.agg == AggFunc::kNone) {
+        // Plain item in an aggregate query: evaluated on the group's first
+        // row; the supported fragment requires it to be a GROUP BY column.
+        if (row_ids.empty()) {
+          out_row.push_back(Value::Null());
+        } else {
+          E3D_ASSIGN_OR_RETURN(Value v,
+                               eval.Eval(*item.expr, input.row(row_ids[0])));
+          out_row.push_back(std::move(v));
+        }
+        continue;
+      }
+      // Gather input values for the aggregate.
+      int64_t count = 0;
+      bool all_int = true;
+      int64_t sum_int = 0;
+      double sum_dbl = 0;
+      Value best;  // for MAX/MIN
+      for (size_t rid : row_ids) {
+        Value v;
+        if (item.star) {
+          v = Value(int64_t{1});
+        } else {
+          E3D_ASSIGN_OR_RETURN(v, eval.Eval(*item.expr, input.row(rid)));
+        }
+        if (v.is_null()) continue;
+        ++count;
+        if (item.agg == AggFunc::kMax) {
+          if (best.is_null() || v.Compare(best) > 0) best = v;
+          continue;
+        }
+        if (item.agg == AggFunc::kMin) {
+          if (best.is_null() || v.Compare(best) < 0) best = v;
+          continue;
+        }
+        if (item.agg == AggFunc::kSum || item.agg == AggFunc::kAvg) {
+          if (!v.is_numeric()) {
+            return Status::InvalidArgument("SUM/AVG over non-numeric column");
+          }
+          if (v.type() == DataType::kInt64) {
+            sum_int += v.AsInt64();
+          } else {
+            all_int = false;
+          }
+          sum_dbl += v.AsDouble();
+        }
+      }
+      switch (item.agg) {
+        case AggFunc::kCount:
+          out_row.push_back(Value(count));
+          break;
+        case AggFunc::kSum:
+          if (count == 0) {
+            out_row.push_back(Value::Null());
+          } else if (all_int) {
+            out_row.push_back(Value(sum_int));
+          } else {
+            out_row.push_back(Value(sum_dbl));
+          }
+          break;
+        case AggFunc::kAvg:
+          out_row.push_back(count == 0
+                                ? Value::Null()
+                                : Value(sum_dbl / static_cast<double>(count)));
+          break;
+        case AggFunc::kMax:
+        case AggFunc::kMin:
+          out_row.push_back(best);
+          break;
+        case AggFunc::kNone:
+          break;  // handled above
+      }
+    }
+    out.AppendUnchecked(std::move(out_row));
+  }
+  return out;
+}
+
+Result<Table> Executor::Project(const SelectStmt& stmt,
+                                const Table& input) const {
+  Schema out_schema;
+  for (const SelectItem& item : stmt.items) {
+    DataType type = DataType::kString;
+    if (item.expr->kind() == Expr::Kind::kColumn) {
+      Result<size_t> idx = input.schema().Resolve(item.expr->column_name());
+      if (idx.ok()) type = input.schema().column(idx.value()).type;
+    }
+    out_schema.AddColumn(Column(item.OutputName(), type));
+  }
+  Table out("", out_schema);
+  ExprEvaluator eval(db_, &input.schema());
+  for (const Row& row : input.rows()) {
+    Row out_row;
+    out_row.reserve(stmt.items.size());
+    for (const SelectItem& item : stmt.items) {
+      E3D_ASSIGN_OR_RETURN(Value v, eval.Eval(*item.expr, row));
+      out_row.push_back(std::move(v));
+    }
+    out.AppendUnchecked(std::move(out_row));
+  }
+  if (stmt.distinct) {
+    std::vector<Row> rows = out.rows();
+    std::sort(rows.begin(), rows.end(), RowLess);
+    rows.erase(std::unique(rows.begin(), rows.end(),
+                           [](const Row& a, const Row& b) {
+                             return !RowLess(a, b) && !RowLess(b, a);
+                           }),
+               rows.end());
+    Table deduped("", out.schema());
+    for (Row& r : rows) deduped.AppendUnchecked(std::move(r));
+    return deduped;
+  }
+  return out;
+}
+
+Result<Table> Executor::Execute(const SelectStmt& stmt) const {
+  E3D_ASSIGN_OR_RETURN(Table filtered, EvaluateFromWhere(stmt));
+  if (stmt.HasAggregate() || !stmt.group_by.empty()) {
+    return Aggregate(stmt, filtered);
+  }
+  return Project(stmt, filtered);
+}
+
+Result<Value> Executor::ExecuteScalar(const SelectStmt& stmt) const {
+  E3D_ASSIGN_OR_RETURN(Table result, Execute(stmt));
+  if (result.num_rows() == 0 || result.num_columns() == 0) {
+    return Value::Null();
+  }
+  return result.row(0)[0];
+}
+
+Result<Value> Executor::ExecuteScalarSql(const std::string& sql) const {
+  E3D_ASSIGN_OR_RETURN(SelectStmtPtr stmt, ParseSql(sql));
+  return ExecuteScalar(*stmt);
+}
+
+}  // namespace explain3d

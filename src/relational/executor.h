@@ -1,0 +1,94 @@
+// Query executor: materializing evaluator for the supported SQL fragment.
+//
+// Evaluation strategy:
+//  * FROM tree is evaluated bottom-up into materialized relations with
+//    qualified schemas ("Alias.column").
+//  * Equality join conditions run as hash joins; residual conditions and
+//    non-equality joins fall back to nested loops.
+//  * WHERE conjuncts are pushed down onto cross joins before evaluation
+//    (planner.h), so comma-join + WHERE queries do not materialize
+//    cartesian products.
+//  * Aggregation (SUM/COUNT/AVG/MAX/MIN) with optional GROUP BY runs over
+//    the filtered FROM result; this filtered relation is also exactly the
+//    provenance relation input of Definition 2.3, exposed via
+//    EvaluateFromWhere().
+//
+// Subqueries in IN/EXISTS must be uncorrelated; they are evaluated once
+// and cached per Executor instance.
+
+#ifndef EXPLAIN3D_RELATIONAL_EXECUTOR_H_
+#define EXPLAIN3D_RELATIONAL_EXECUTOR_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/status.h"
+#include "relational/database.h"
+#include "relational/query.h"
+
+namespace explain3d {
+
+/// Evaluates expressions against rows of one relation, with database access
+/// for subqueries. Resolution results and subquery materializations are
+/// cached across rows.
+class ExprEvaluator {
+ public:
+  ExprEvaluator(const Database* db, const Schema* schema);
+
+  /// Evaluates `e` on `row`. Boolean results are int64 0/1; SQL NULL
+  /// propagates through comparisons and arithmetic.
+  Result<Value> Eval(const Expr& e, const Row& row);
+
+  /// Truthiness for WHERE/ON filtering: NULL and non-true are false.
+  Result<bool> EvalBool(const Expr& e, const Row& row);
+
+ private:
+  Result<size_t> ResolveCached(const std::string& name);
+  Result<const std::unordered_set<Value, ValueHash>*> SubqueryValueSet(
+      const SelectStmt& stmt);
+
+  const Database* db_;
+  const Schema* schema_;
+  std::unordered_map<std::string, size_t> resolve_cache_;
+  // Keyed by statement identity; Executor keeps ASTs alive.
+  std::unordered_map<const SelectStmt*,
+                     std::unordered_set<Value, ValueHash>>
+      subquery_cache_;
+};
+
+/// Executes SELECT statements against a Database.
+class Executor {
+ public:
+  explicit Executor(const Database* db) : db_(db) {}
+
+  /// Full evaluation: FROM → WHERE → GROUP/aggregate → projection
+  /// (→ DISTINCT).
+  Result<Table> Execute(const SelectStmt& stmt) const;
+
+  /// Parses and executes.
+  Result<Table> ExecuteSql(const std::string& sql) const;
+
+  /// Evaluates only σ_C(X): the FROM relation filtered by WHERE, before
+  /// projection/aggregation. This is the provenance-relation input of
+  /// Definition 2.3. The result schema carries qualified column names.
+  Result<Table> EvaluateFromWhere(const SelectStmt& stmt) const;
+
+  /// Single scalar result of an aggregate query (first column of the first
+  /// row); NULL when the query yields no rows.
+  Result<Value> ExecuteScalar(const SelectStmt& stmt) const;
+  Result<Value> ExecuteScalarSql(const std::string& sql) const;
+
+ private:
+  Result<Table> EvalTableRef(const TableRef& ref) const;
+  Result<Table> EvalJoin(const TableRef& ref) const;
+  Result<Table> Aggregate(const SelectStmt& stmt, const Table& input) const;
+  Result<Table> Project(const SelectStmt& stmt, const Table& input) const;
+
+  const Database* db_;
+};
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_RELATIONAL_EXECUTOR_H_

@@ -1,0 +1,190 @@
+#include "relational/expression.h"
+
+#include <cctype>
+
+#include "relational/query.h"
+
+namespace explain3d {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNe:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kOr:
+      return "OR";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kLike:
+      return "LIKE";
+  }
+  return "?";
+}
+
+ExprPtr Expr::Literal(Value v) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kLiteral;
+  e->literal_ = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Column(std::string name) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kColumn;
+  e->column_name_ = std::move(name);
+  return e;
+}
+
+ExprPtr Expr::Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kBinary;
+  e->binary_op_ = op;
+  e->lhs_ = std::move(lhs);
+  e->rhs_ = std::move(rhs);
+  return e;
+}
+
+ExprPtr Expr::Unary(UnaryOp op, ExprPtr operand) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kUnary;
+  e->unary_op_ = op;
+  e->lhs_ = std::move(operand);
+  return e;
+}
+
+ExprPtr Expr::InList(ExprPtr operand, std::vector<Value> list, bool negated) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kInList;
+  e->lhs_ = std::move(operand);
+  e->in_list_ = std::move(list);
+  e->negated_ = negated;
+  return e;
+}
+
+ExprPtr Expr::InSubquery(ExprPtr operand,
+                         std::shared_ptr<const SelectStmt> subquery,
+                         bool negated) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kInSubquery;
+  e->lhs_ = std::move(operand);
+  e->subquery_ = std::move(subquery);
+  e->negated_ = negated;
+  return e;
+}
+
+ExprPtr Expr::Exists(std::shared_ptr<const SelectStmt> subquery,
+                     bool negated) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kExists;
+  e->subquery_ = std::move(subquery);
+  e->negated_ = negated;
+  return e;
+}
+
+ExprPtr Expr::IsNull(ExprPtr operand, bool negated) {
+  auto e = std::shared_ptr<Expr>(new Expr());
+  e->kind_ = Kind::kIsNull;
+  e->lhs_ = std::move(operand);
+  e->negated_ = negated;
+  return e;
+}
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case Kind::kLiteral:
+      return literal_.ToString();
+    case Kind::kColumn:
+      return column_name_;
+    case Kind::kBinary:
+      return "(" + lhs_->ToString() + " " + BinaryOpName(binary_op_) + " " +
+             rhs_->ToString() + ")";
+    case Kind::kUnary:
+      return unary_op_ == UnaryOp::kNot ? "NOT (" + lhs_->ToString() + ")"
+                                        : "-(" + lhs_->ToString() + ")";
+    case Kind::kInList: {
+      std::string s = lhs_->ToString();
+      s += negated_ ? " NOT IN (" : " IN (";
+      for (size_t i = 0; i < in_list_.size(); ++i) {
+        if (i > 0) s += ", ";
+        s += in_list_[i].ToString();
+      }
+      return s + ")";
+    }
+    case Kind::kInSubquery:
+      return lhs_->ToString() + (negated_ ? " NOT IN (" : " IN (") +
+             subquery_->ToSql() + ")";
+    case Kind::kExists:
+      return std::string(negated_ ? "NOT " : "") + "EXISTS (" +
+             subquery_->ToSql() + ")";
+    case Kind::kIsNull:
+      return lhs_->ToString() + (negated_ ? " IS NOT NULL" : " IS NULL");
+  }
+  return "?";
+}
+
+void Expr::CollectColumns(std::vector<std::string>* out) const {
+  switch (kind_) {
+    case Kind::kColumn:
+      out->push_back(column_name_);
+      return;
+    case Kind::kBinary:
+      lhs_->CollectColumns(out);
+      rhs_->CollectColumns(out);
+      return;
+    case Kind::kUnary:
+    case Kind::kInList:
+    case Kind::kInSubquery:
+    case Kind::kIsNull:
+      if (lhs_) lhs_->CollectColumns(out);
+      return;
+    case Kind::kLiteral:
+    case Kind::kExists:
+      return;
+  }
+}
+
+bool SqlLikeMatch(const std::string& text, const std::string& pattern) {
+  // Iterative wildcard match with backtracking on the last '%'.
+  size_t t = 0, p = 0;
+  size_t star_p = std::string::npos, star_t = 0;
+  auto eq = [](char a, char b) {
+    return std::tolower(static_cast<unsigned char>(a)) ==
+           std::tolower(static_cast<unsigned char>(b));
+  };
+  while (t < text.size()) {
+    if (p < pattern.size() &&
+        (pattern[p] == '_' || eq(pattern[p], text[t]))) {
+      ++t;
+      ++p;
+    } else if (p < pattern.size() && pattern[p] == '%') {
+      star_p = p++;
+      star_t = t;
+    } else if (star_p != std::string::npos) {
+      p = star_p + 1;
+      t = ++star_t;
+    } else {
+      return false;
+    }
+  }
+  while (p < pattern.size() && pattern[p] == '%') ++p;
+  return p == pattern.size();
+}
+
+}  // namespace explain3d

@@ -1,0 +1,132 @@
+// Scalar expression AST for the SQL subset.
+//
+// Expressions cover the paper's condition language C in Q = π_o σ_C(X):
+// comparisons, boolean connectives, arithmetic, LIKE, IS NULL, IN over a
+// literal list or an (uncorrelated) subquery, and EXISTS. Evaluation lives
+// in the executor (executor.h) because subqueries need database access.
+
+#ifndef EXPLAIN3D_RELATIONAL_EXPRESSION_H_
+#define EXPLAIN3D_RELATIONAL_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace explain3d {
+
+struct SelectStmt;  // query.h
+
+/// Binary operator tag.
+enum class BinaryOp {
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kLike,
+};
+
+/// Unary operator tag.
+enum class UnaryOp { kNot, kNeg };
+
+const char* BinaryOpName(BinaryOp op);
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Immutable expression node. Construct via the static factories; shared
+/// ownership lets query rewrites reuse subtrees.
+class Expr {
+ public:
+  enum class Kind {
+    kLiteral,
+    kColumn,
+    kBinary,
+    kUnary,
+    kInList,
+    kInSubquery,
+    kExists,
+    kIsNull,
+  };
+
+  static ExprPtr Literal(Value v);
+  static ExprPtr Column(std::string name);
+  static ExprPtr Binary(BinaryOp op, ExprPtr lhs, ExprPtr rhs);
+  static ExprPtr Unary(UnaryOp op, ExprPtr operand);
+  /// `operand IN (v1, v2, ...)`; `negated` for NOT IN.
+  static ExprPtr InList(ExprPtr operand, std::vector<Value> list,
+                        bool negated);
+  /// `operand IN (SELECT ...)`; the subquery must be uncorrelated and
+  /// produce a single column.
+  static ExprPtr InSubquery(ExprPtr operand,
+                            std::shared_ptr<const SelectStmt> subquery,
+                            bool negated);
+  /// `EXISTS (SELECT ...)`, uncorrelated.
+  static ExprPtr Exists(std::shared_ptr<const SelectStmt> subquery,
+                        bool negated);
+  /// `operand IS [NOT] NULL`.
+  static ExprPtr IsNull(ExprPtr operand, bool negated);
+
+  // Convenience builders used heavily by generators and tests.
+  static ExprPtr Eq(ExprPtr l, ExprPtr r) {
+    return Binary(BinaryOp::kEq, std::move(l), std::move(r));
+  }
+  static ExprPtr ColEqVal(const std::string& col, Value v) {
+    return Eq(Column(col), Literal(std::move(v)));
+  }
+  static ExprPtr And(ExprPtr l, ExprPtr r) {
+    return Binary(BinaryOp::kAnd, std::move(l), std::move(r));
+  }
+
+  Kind kind() const { return kind_; }
+  const Value& literal() const { return literal_; }
+  const std::string& column_name() const { return column_name_; }
+  BinaryOp binary_op() const { return binary_op_; }
+  UnaryOp unary_op() const { return unary_op_; }
+  const ExprPtr& lhs() const { return lhs_; }
+  const ExprPtr& rhs() const { return rhs_; }
+  const std::vector<Value>& in_list() const { return in_list_; }
+  const std::shared_ptr<const SelectStmt>& subquery() const {
+    return subquery_;
+  }
+  bool negated() const { return negated_; }
+
+  /// SQL-ish rendering for debugging and query display.
+  std::string ToString() const;
+
+  /// Collects the names of all columns referenced by this expression tree
+  /// (subqueries excluded; they reference their own scope).
+  void CollectColumns(std::vector<std::string>* out) const;
+
+ private:
+  Expr() = default;
+
+  Kind kind_ = Kind::kLiteral;
+  Value literal_;
+  std::string column_name_;
+  BinaryOp binary_op_ = BinaryOp::kEq;
+  UnaryOp unary_op_ = UnaryOp::kNot;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+  std::vector<Value> in_list_;
+  std::shared_ptr<const SelectStmt> subquery_;
+  bool negated_ = false;
+};
+
+/// True when `text` matches the SQL LIKE `pattern` ('%' = any run,
+/// '_' = any single char). Matching is case-insensitive, mirroring the
+/// collation most engines use for LIKE on ASCII data.
+bool SqlLikeMatch(const std::string& text, const std::string& pattern);
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_RELATIONAL_EXPRESSION_H_

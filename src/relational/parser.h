@@ -1,0 +1,45 @@
+// Recursive-descent parser for the supported SQL fragment.
+//
+// Grammar (keywords case-insensitive):
+//
+//   select    := SELECT [DISTINCT] item (',' item)*
+//                FROM table_ref [WHERE expr] [GROUP BY ident (',' ident)*]
+//   item      := agg '(' ('*' | expr) ')' [AS ident] | expr [AS ident]
+//   agg       := COUNT | SUM | AVG | MAX | MIN
+//   table_ref := primary ((JOIN primary ON expr) | (',' primary))*
+//   primary   := ident [ident] | '(' select ')' [ident]
+//   expr      := or_expr
+//   or_expr   := and_expr (OR and_expr)*
+//   and_expr  := not_expr (AND not_expr)*
+//   not_expr  := NOT not_expr | predicate
+//   predicate := additive [cmp additive | [NOT] LIKE additive
+//                | [NOT] IN '(' (select | literal-list) ')'
+//                | IS [NOT] NULL]
+//              | [NOT] EXISTS '(' select ')'
+//   additive  := multiplicative (('+'|'-') multiplicative)*
+//   multiplicative := unary (('*'|'/') unary)*
+//   unary     := '-' unary | atom
+//   atom      := literal | ident['.'ident] | '(' expr ')'
+
+#ifndef EXPLAIN3D_RELATIONAL_PARSER_H_
+#define EXPLAIN3D_RELATIONAL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "relational/query.h"
+
+namespace explain3d {
+
+/// Parses `sql` into a SelectStmt. Returns ParseError with a position-
+/// annotated message on malformed input and Unsupported for SQL outside
+/// the fragment.
+Result<SelectStmtPtr> ParseSql(const std::string& sql);
+
+/// Parses a standalone scalar/boolean expression (used by tests and by the
+/// summarizer to render patterns back into predicates).
+Result<ExprPtr> ParseExpression(const std::string& text);
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_RELATIONAL_PARSER_H_

@@ -1,0 +1,137 @@
+#include "relational/planner.h"
+
+#include <unordered_map>
+
+namespace explain3d {
+
+namespace {
+
+/// Derives the (name-only) output schema of a FROM node. Types are not
+/// needed for pushdown decisions, so subquery items default to kString.
+class SchemaDeriver {
+ public:
+  explicit SchemaDeriver(const Database& db) : db_(db) {}
+
+  Result<Schema> Derive(const TableRef& ref) {
+    auto it = cache_.find(&ref);
+    if (it != cache_.end()) return it->second;
+    Schema schema;
+    switch (ref.kind) {
+      case TableRef::Kind::kBase: {
+        E3D_ASSIGN_OR_RETURN(const Table* t, db_.GetTable(ref.table_name));
+        schema = t->schema().Qualified(ref.QualifierName());
+        break;
+      }
+      case TableRef::Kind::kSubquery: {
+        for (const SelectItem& item : ref.subquery->items) {
+          schema.AddColumn(
+              Column(ref.alias + "." + item.OutputName(), DataType::kString));
+        }
+        break;
+      }
+      case TableRef::Kind::kJoin: {
+        E3D_ASSIGN_OR_RETURN(Schema left, Derive(*ref.left));
+        E3D_ASSIGN_OR_RETURN(Schema right, Derive(*ref.right));
+        for (const Column& c : left.columns()) schema.AddColumn(c);
+        for (const Column& c : right.columns()) schema.AddColumn(c);
+        break;
+      }
+    }
+    cache_.emplace(&ref, schema);
+    return schema;
+  }
+
+ private:
+  const Database& db_;
+  std::unordered_map<const TableRef*, Schema> cache_;
+};
+
+bool Covers(const Schema& schema, const ExprPtr& conjunct) {
+  std::vector<std::string> cols;
+  conjunct->CollectColumns(&cols);
+  for (const std::string& c : cols) {
+    if (!schema.Has(c)) return false;
+  }
+  return true;
+}
+
+/// Rewrites `ref` bottom-up, consuming from `pending` every conjunct whose
+/// columns the (sub)tree covers; consumed conjuncts are attached to the
+/// nearest enclosing join condition.
+Result<std::shared_ptr<const TableRef>> PushInto(
+    const std::shared_ptr<const TableRef>& ref,
+    std::vector<ExprPtr>* pending, SchemaDeriver* deriver) {
+  if (ref->kind != TableRef::Kind::kJoin) return ref;
+
+  E3D_ASSIGN_OR_RETURN(std::shared_ptr<const TableRef> left,
+                       PushInto(ref->left, pending, deriver));
+  E3D_ASSIGN_OR_RETURN(std::shared_ptr<const TableRef> right,
+                       PushInto(ref->right, pending, deriver));
+
+  E3D_ASSIGN_OR_RETURN(Schema here, deriver->Derive(*ref));
+  std::vector<ExprPtr> attach;
+  std::vector<ExprPtr> still_pending;
+  for (ExprPtr& c : *pending) {
+    if (Covers(here, c)) {
+      attach.push_back(std::move(c));
+    } else {
+      still_pending.push_back(std::move(c));
+    }
+  }
+  *pending = std::move(still_pending);
+
+  ExprPtr condition = ref->condition;
+  if (!attach.empty()) {
+    ExprPtr extra = CombineConjuncts(attach);
+    condition = condition ? Expr::And(condition, extra) : extra;
+  }
+  return TableRef::Join(left, right, condition);
+}
+
+}  // namespace
+
+void SplitConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out) {
+  if (!expr) return;
+  if (expr->kind() == Expr::Kind::kBinary &&
+      expr->binary_op() == BinaryOp::kAnd) {
+    SplitConjuncts(expr->lhs(), out);
+    SplitConjuncts(expr->rhs(), out);
+    return;
+  }
+  out->push_back(expr);
+}
+
+ExprPtr CombineConjuncts(const std::vector<ExprPtr>& conjuncts) {
+  ExprPtr combined;
+  for (const ExprPtr& c : conjuncts) {
+    combined = combined ? Expr::And(combined, c) : c;
+  }
+  return combined;
+}
+
+Result<SelectStmtPtr> PushDownPredicates(const Database& db,
+                                         const SelectStmt& stmt) {
+  if (!stmt.from || stmt.from->kind != TableRef::Kind::kJoin ||
+      !stmt.where) {
+    return SelectStmtPtr(std::make_shared<SelectStmt>(stmt));
+  }
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(stmt.where, &conjuncts);
+
+  SchemaDeriver deriver(db);
+  std::vector<ExprPtr> pending = conjuncts;
+  Result<std::shared_ptr<const TableRef>> pushed =
+      PushInto(stmt.from, &pending, &deriver);
+  if (!pushed.ok()) {
+    // Schema derivation failed (e.g., missing table); leave the statement
+    // untouched and let execution surface the error.
+    return SelectStmtPtr(std::make_shared<SelectStmt>(stmt));
+  }
+
+  auto out = std::make_shared<SelectStmt>(stmt);
+  out->from = pushed.value();
+  out->where = CombineConjuncts(pending);
+  return SelectStmtPtr(out);
+}
+
+}  // namespace explain3d

@@ -1,0 +1,37 @@
+// Light query planner: conjunct splitting and predicate pushdown.
+//
+// The workloads use comma-joins with join predicates in WHERE
+// ("FROM School, Stats WHERE School.ID = Stats.ID AND ..."); evaluating
+// the raw AST would materialize a cartesian product. PushDownPredicates
+// rewrites the statement so each WHERE conjunct is attached to the
+// shallowest FROM node whose schema covers its column references, turning
+// cross joins into conditioned (hash-joinable) joins. The rewrite never
+// changes the filtered-relation semantics, so provenance derivation can
+// run on the optimized plan.
+
+#ifndef EXPLAIN3D_RELATIONAL_PLANNER_H_
+#define EXPLAIN3D_RELATIONAL_PLANNER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "relational/database.h"
+#include "relational/query.h"
+
+namespace explain3d {
+
+/// Splits an expression into its top-level AND conjuncts.
+void SplitConjuncts(const ExprPtr& expr, std::vector<ExprPtr>* out);
+
+/// AND-combines conjuncts; returns null for an empty list.
+ExprPtr CombineConjuncts(const std::vector<ExprPtr>& conjuncts);
+
+/// Returns a semantically equivalent statement with WHERE conjuncts pushed
+/// into the FROM tree where possible. Requires the database to resolve
+/// which relation covers which column.
+Result<SelectStmtPtr> PushDownPredicates(const Database& db,
+                                         const SelectStmt& stmt);
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_RELATIONAL_PLANNER_H_

@@ -1,0 +1,144 @@
+#include "relational/query.h"
+
+namespace explain3d {
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kNone:
+      return "";
+    case AggFunc::kCount:
+      return "COUNT";
+    case AggFunc::kSum:
+      return "SUM";
+    case AggFunc::kAvg:
+      return "AVG";
+    case AggFunc::kMax:
+      return "MAX";
+    case AggFunc::kMin:
+      return "MIN";
+  }
+  return "?";
+}
+
+std::string SelectItem::OutputName() const {
+  if (!alias.empty()) return alias;
+  if (star) return "count";
+  if (agg != AggFunc::kNone) {
+    std::string inner = expr ? expr->ToString() : "*";
+    std::string name = AggFuncName(agg);
+    name += "(";
+    name += inner;
+    name += ")";
+    return name;
+  }
+  if (expr->kind() == Expr::Kind::kColumn) return expr->column_name();
+  return expr->ToString();
+}
+
+std::string SelectItem::ToSql() const {
+  std::string s;
+  if (agg != AggFunc::kNone) {
+    s = AggFuncName(agg);
+    s += "(";
+    s += star ? "*" : expr->ToString();
+    s += ")";
+  } else {
+    s = expr->ToString();
+  }
+  if (!alias.empty()) s += " AS " + alias;
+  return s;
+}
+
+std::shared_ptr<const TableRef> TableRef::Base(std::string name,
+                                               std::string alias) {
+  auto t = std::make_shared<TableRef>();
+  t->kind = Kind::kBase;
+  t->table_name = std::move(name);
+  t->alias = std::move(alias);
+  return t;
+}
+
+std::shared_ptr<const TableRef> TableRef::Subquery(
+    std::shared_ptr<const SelectStmt> stmt, std::string alias) {
+  auto t = std::make_shared<TableRef>();
+  t->kind = Kind::kSubquery;
+  t->subquery = std::move(stmt);
+  t->alias = std::move(alias);
+  return t;
+}
+
+std::shared_ptr<const TableRef> TableRef::Join(
+    std::shared_ptr<const TableRef> left,
+    std::shared_ptr<const TableRef> right, ExprPtr condition) {
+  auto t = std::make_shared<TableRef>();
+  t->kind = Kind::kJoin;
+  t->left = std::move(left);
+  t->right = std::move(right);
+  t->condition = std::move(condition);
+  return t;
+}
+
+const std::string& TableRef::QualifierName() const {
+  static const std::string kEmpty;
+  if (!alias.empty()) return alias;
+  if (kind == Kind::kBase) return table_name;
+  return kEmpty;
+}
+
+std::string TableRef::ToSql() const {
+  switch (kind) {
+    case Kind::kBase:
+      return alias.empty() ? table_name : table_name + " " + alias;
+    case Kind::kSubquery:
+      return "(" + subquery->ToSql() + ") " + alias;
+    case Kind::kJoin: {
+      std::string s = left->ToSql();
+      if (condition) {
+        s += " JOIN " + right->ToSql() + " ON " + condition->ToString();
+      } else {
+        s += ", " + right->ToSql();
+      }
+      return s;
+    }
+  }
+  return "?";
+}
+
+bool SelectStmt::HasAggregate() const {
+  for (const SelectItem& item : items) {
+    if (item.is_aggregate()) return true;
+  }
+  return false;
+}
+
+const SelectItem* SelectStmt::SoleAggregate() const {
+  const SelectItem* agg = nullptr;
+  for (const SelectItem& item : items) {
+    if (item.is_aggregate()) {
+      if (agg != nullptr) return nullptr;  // more than one aggregate
+      agg = &item;
+    }
+  }
+  return agg;
+}
+
+std::string SelectStmt::ToSql() const {
+  std::string s = "SELECT ";
+  if (distinct) s += "DISTINCT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += items[i].ToSql();
+  }
+  if (from) s += " FROM " + from->ToSql();
+  if (where) s += " WHERE " + where->ToString();
+  if (!group_by.empty()) {
+    s += " GROUP BY ";
+    for (size_t i = 0; i < group_by.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += group_by[i];
+    }
+  }
+  return s;
+}
+
+}  // namespace explain3d

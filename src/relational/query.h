@@ -1,0 +1,94 @@
+// Query AST for the supported SQL fragment (paper Section 2.1):
+//
+//   Q = π_o σ_C (X)
+//
+// where X is a base table, a join tree, or a subquery; C is any condition
+// without UDFs; o is a set of attributes or one of the five SQL aggregates
+// (SUM, COUNT, AVG, MAX, MIN). GROUP BY and DISTINCT are also supported,
+// which covers all 10 IMDb query templates and the academic queries.
+
+#ifndef EXPLAIN3D_RELATIONAL_QUERY_H_
+#define EXPLAIN3D_RELATIONAL_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relational/expression.h"
+
+namespace explain3d {
+
+/// Aggregate function of a select item; kNone for a plain expression.
+enum class AggFunc { kNone = 0, kCount, kSum, kAvg, kMax, kMin };
+
+const char* AggFuncName(AggFunc f);
+
+/// One item in the SELECT clause: `expr`, `agg(expr)`, or `COUNT(*)`.
+struct SelectItem {
+  AggFunc agg = AggFunc::kNone;
+  ExprPtr expr;        ///< null only for COUNT(*)
+  bool star = false;   ///< COUNT(*)
+  std::string alias;   ///< optional output column name
+
+  bool is_aggregate() const { return agg != AggFunc::kNone; }
+  /// Output column name: alias if set, else a derived name.
+  std::string OutputName() const;
+  std::string ToSql() const;
+};
+
+struct SelectStmt;
+
+/// FROM-clause element: base table, parenthesized subquery, or join.
+struct TableRef {
+  enum class Kind { kBase, kSubquery, kJoin };
+
+  Kind kind = Kind::kBase;
+
+  // kBase
+  std::string table_name;
+  // kBase / kSubquery
+  std::string alias;
+  std::shared_ptr<const SelectStmt> subquery;
+  // kJoin: INNER JOIN with an ON condition; `condition` may be null for a
+  // cross join (comma-join), in which case WHERE carries the predicate.
+  std::shared_ptr<const TableRef> left;
+  std::shared_ptr<const TableRef> right;
+  ExprPtr condition;
+
+  static std::shared_ptr<const TableRef> Base(std::string name,
+                                              std::string alias = "");
+  static std::shared_ptr<const TableRef> Subquery(
+      std::shared_ptr<const SelectStmt> stmt, std::string alias);
+  static std::shared_ptr<const TableRef> Join(
+      std::shared_ptr<const TableRef> left,
+      std::shared_ptr<const TableRef> right, ExprPtr condition);
+
+  /// Name the result relation is qualified by (alias or table name; empty
+  /// for joins).
+  const std::string& QualifierName() const;
+
+  std::string ToSql() const;
+};
+
+/// SELECT statement.
+struct SelectStmt {
+  bool distinct = false;
+  std::vector<SelectItem> items;
+  std::shared_ptr<const TableRef> from;
+  ExprPtr where;                       ///< may be null
+  std::vector<std::string> group_by;   ///< column names; may be empty
+
+  /// True when any select item aggregates.
+  bool HasAggregate() const;
+  /// The single aggregate item, if the statement has exactly one aggregate
+  /// and no plain items outside GROUP BY; used by provenance derivation.
+  const SelectItem* SoleAggregate() const;
+
+  std::string ToSql() const;
+};
+
+using SelectStmtPtr = std::shared_ptr<const SelectStmt>;
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_RELATIONAL_QUERY_H_

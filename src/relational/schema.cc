@@ -1,0 +1,68 @@
+#include "relational/schema.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace explain3d {
+
+namespace {
+// Case-insensitive ASCII equality.
+bool IEquals(const std::string& a, const std::string& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string BaseName(const std::string& name) {
+  size_t pos = name.rfind('.');
+  return pos == std::string::npos ? name : name.substr(pos + 1);
+}
+}  // namespace
+
+Result<size_t> Schema::Resolve(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (IEquals(columns_[i].name, name)) return i;
+  }
+  // Unqualified suffix match.
+  size_t found = columns_.size();
+  int matches = 0;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (IEquals(BaseName(columns_[i].name), name)) {
+      found = i;
+      ++matches;
+    }
+  }
+  if (matches == 1) return found;
+  if (matches > 1) {
+    return Status::InvalidArgument("ambiguous column reference: " + name);
+  }
+  return Status::NotFound("no column named '" + name + "' in schema [" +
+                          ToString() + "]");
+}
+
+Schema Schema::Qualified(const std::string& qualifier) const {
+  Schema out;
+  for (const Column& c : columns_) {
+    out.AddColumn(Column(qualifier + "." + BaseName(c.name), c.type));
+  }
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::string s;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += columns_[i].name;
+    s += ":";
+    s += DataTypeName(columns_[i].type);
+  }
+  return s;
+}
+
+}  // namespace explain3d

@@ -1,0 +1,77 @@
+// Schema: ordered, typed, named columns of a relation.
+//
+// Column names may be qualified ("Movie.title"); resolution accepts an
+// unqualified suffix when it is unambiguous, which is what lets one WHERE
+// expression run against both a base table and a join result.
+
+#ifndef EXPLAIN3D_RELATIONAL_SCHEMA_H_
+#define EXPLAIN3D_RELATIONAL_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace explain3d {
+
+/// A single column: name plus declared type.
+struct Column {
+  std::string name;
+  DataType type = DataType::kString;
+
+  Column() = default;
+  Column(std::string n, DataType t) : name(std::move(n)), type(t) {}
+
+  bool operator==(const Column& o) const {
+    return name == o.name && type == o.type;
+  }
+};
+
+/// Ordered list of columns with name-based lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns)
+      : columns_(std::move(columns)) {}
+
+  /// Appends a column. Duplicate names are allowed only for join results
+  /// where qualification disambiguates; AddColumn does not enforce this.
+  void AddColumn(Column c) { columns_.push_back(std::move(c)); }
+
+  size_t num_columns() const { return columns_.size(); }
+  const Column& column(size_t i) const { return columns_[i]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Resolves `name` to a column index.
+  ///
+  /// Matching rules, in order:
+  ///  1. exact (case-insensitive) match of the full column name;
+  ///  2. unqualified match: `name` equals the segment after the last '.'
+  ///     of exactly one column.
+  /// Returns NotFound when nothing matches and InvalidArgument when the
+  /// unqualified match is ambiguous.
+  Result<size_t> Resolve(const std::string& name) const;
+
+  /// True when `name` resolves.
+  bool Has(const std::string& name) const { return Resolve(name).ok(); }
+
+  /// Schema with every column renamed to "<qualifier>.<base-name>", where
+  /// base-name strips any previous qualifier.
+  Schema Qualified(const std::string& qualifier) const;
+
+  /// "name:TYPE, name:TYPE, ..." for debugging.
+  std::string ToString() const;
+
+  bool operator==(const Schema& o) const { return columns_ == o.columns_; }
+
+ private:
+  std::vector<Column> columns_;
+};
+
+/// A row is a vector of Values, positionally aligned with a Schema.
+using Row = std::vector<Value>;
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_RELATIONAL_SCHEMA_H_

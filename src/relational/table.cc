@@ -1,0 +1,67 @@
+#include "relational/table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace explain3d {
+
+Status Table::Append(Row row) {
+  if (row.size() != schema_.num_columns()) {
+    return Status::InvalidArgument(StrFormat(
+        "row arity %zu does not match schema arity %zu in table '%s'",
+        row.size(), schema_.num_columns(), name_.c_str()));
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+const Value& Table::Get(size_t row, const std::string& column) const {
+  Result<size_t> idx = schema_.Resolve(column);
+  E3D_CHECK(idx.ok()) << "Table::Get: " << idx.status().ToString();
+  return rows_[row][idx.value()];
+}
+
+void Table::Set(size_t row, const std::string& column, Value v) {
+  Result<size_t> idx = schema_.Resolve(column);
+  E3D_CHECK(idx.ok()) << "Table::Set: " << idx.status().ToString();
+  rows_[row][idx.value()] = std::move(v);
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  size_t ncol = schema_.num_columns();
+  std::vector<size_t> width(ncol);
+  std::vector<std::vector<std::string>> cells;
+  std::vector<std::string> header(ncol);
+  for (size_t c = 0; c < ncol; ++c) {
+    header[c] = schema_.column(c).name;
+    width[c] = header[c].size();
+  }
+  size_t shown = std::min(max_rows, rows_.size());
+  for (size_t r = 0; r < shown; ++r) {
+    std::vector<std::string> line(ncol);
+    for (size_t c = 0; c < ncol; ++c) {
+      line[c] = rows_[r][c].ToDisplayString();
+      width[c] = std::max(width[c], line[c].size());
+    }
+    cells.push_back(std::move(line));
+  }
+  std::string out = name_.empty() ? "(result)" : name_;
+  out += " [" + std::to_string(rows_.size()) + " rows]\n";
+  auto emit = [&](const std::vector<std::string>& line) {
+    for (size_t c = 0; c < ncol; ++c) {
+      out += line[c];
+      out.append(width[c] - line[c].size() + 2, ' ');
+    }
+    out += "\n";
+  };
+  emit(header);
+  for (const auto& line : cells) emit(line);
+  if (shown < rows_.size()) {
+    out += "... (" + std::to_string(rows_.size() - shown) + " more)\n";
+  }
+  return out;
+}
+
+}  // namespace explain3d

@@ -1,0 +1,55 @@
+// Table: a named, materialized relation (schema + row store).
+
+#ifndef EXPLAIN3D_RELATIONAL_TABLE_H_
+#define EXPLAIN3D_RELATIONAL_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "relational/schema.h"
+
+namespace explain3d {
+
+/// In-memory relation. Rows are stored densely; row indices are stable
+/// (nothing in the engine deletes in place), so a row id can serve as a
+/// provenance token.
+class Table {
+ public:
+  Table() = default;
+  Table(std::string name, Schema schema)
+      : name_(std::move(name)), schema_(std::move(schema)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return rows_.size(); }
+  size_t num_columns() const { return schema_.num_columns(); }
+
+  /// Appends a row after checking arity (not types; cells are dynamic).
+  Status Append(Row row);
+  /// Appends without the arity check (hot path for the executor).
+  void AppendUnchecked(Row row) { rows_.push_back(std::move(row)); }
+
+  const Row& row(size_t i) const { return rows_[i]; }
+  Row& mutable_row(size_t i) { return rows_[i]; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Cell accessor by row index and column name; E3D_CHECK-fails on a bad
+  /// column name (use schema().Resolve for fallible lookup).
+  const Value& Get(size_t row, const std::string& column) const;
+  void Set(size_t row, const std::string& column, Value v);
+
+  /// Pretty-prints up to `max_rows` rows as an aligned text table.
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_RELATIONAL_TABLE_H_

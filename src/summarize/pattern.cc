@@ -1,0 +1,65 @@
+#include "summarize/pattern.h"
+
+#include "common/logging.h"
+
+namespace explain3d {
+
+size_t Pattern::Specificity() const {
+  size_t s = 0;
+  for (const Value& v : cells_) {
+    if (!v.is_null()) ++s;
+  }
+  return s;
+}
+
+bool Pattern::Matches(const Row& row) const {
+  E3D_CHECK_LE(cells_.size(), row.size());
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].is_null()) continue;
+    if (cells_[i].Compare(row[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool Pattern::Generalizes(const Pattern& other) const {
+  if (cells_.size() != other.cells_.size()) return false;
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].is_null()) continue;
+    if (other.cells_[i].is_null()) return false;
+    if (cells_[i].Compare(other.cells_[i]) != 0) return false;
+  }
+  return true;
+}
+
+std::string Pattern::ToString(const std::vector<std::string>& attrs) const {
+  std::string s;
+  bool first = true;
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].is_null()) continue;
+    if (!first) s += " AND ";
+    s += (i < attrs.size() ? attrs[i] : "attr" + std::to_string(i));
+    s += "=" + cells_[i].ToString();
+    first = false;
+  }
+  if (first) s = "*";
+  return s;
+}
+
+bool Pattern::operator==(const Pattern& o) const {
+  if (cells_.size() != o.cells_.size()) return false;
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    if (cells_[i].Compare(o.cells_[i]) != 0) return false;
+  }
+  return true;
+}
+
+bool Pattern::operator<(const Pattern& o) const {
+  size_t n = std::min(cells_.size(), o.cells_.size());
+  for (size_t i = 0; i < n; ++i) {
+    int c = cells_[i].Compare(o.cells_[i]);
+    if (c != 0) return c < 0;
+  }
+  return cells_.size() < o.cells_.size();
+}
+
+}  // namespace explain3d

@@ -1,0 +1,57 @@
+// Patterns: conjunctive attribute=value templates with wildcards.
+//
+// A pattern spans a fixed attribute list; each cell is either a concrete
+// Value or a wildcard (SQL-NULL cell). Patterns are the vocabulary of the
+// stage-3 summarizer (Data-X-Ray / Data-Auditor style): e.g. with
+// attributes (Degree, School), the pattern (Degree='Associate', *) covers
+// every tuple whose Degree is 'Associate'.
+
+#ifndef EXPLAIN3D_SUMMARIZE_PATTERN_H_
+#define EXPLAIN3D_SUMMARIZE_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+
+namespace explain3d {
+
+/// One conjunctive pattern over a fixed attribute list.
+class Pattern {
+ public:
+  Pattern() = default;
+  /// `cells[i]` constrains attribute i; NULL cells are wildcards.
+  explicit Pattern(std::vector<Value> cells) : cells_(std::move(cells)) {}
+
+  /// All-wildcard pattern of the given arity.
+  static Pattern Wildcard(size_t arity) {
+    return Pattern(std::vector<Value>(arity));
+  }
+
+  const std::vector<Value>& cells() const { return cells_; }
+  size_t arity() const { return cells_.size(); }
+
+  /// Number of concrete (non-wildcard) cells.
+  size_t Specificity() const;
+
+  /// True when every concrete cell equals the row's value. `row` must be
+  /// index-aligned with the pattern's attribute list.
+  bool Matches(const Row& row) const;
+
+  /// True when this pattern's matches are a superset of `other`'s
+  /// (cell-wise: wildcard generalizes everything).
+  bool Generalizes(const Pattern& other) const;
+
+  /// "Degree='Associate' AND School=*".
+  std::string ToString(const std::vector<std::string>& attrs) const;
+
+  bool operator==(const Pattern& o) const;
+  bool operator<(const Pattern& o) const;
+
+ private:
+  std::vector<Value> cells_;
+};
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_SUMMARIZE_PATTERN_H_

@@ -1,0 +1,178 @@
+#include "summarize/summarizer.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/logging.h"
+
+namespace explain3d {
+
+namespace {
+
+/// Candidate pattern with precomputed coverage.
+struct Candidate {
+  Pattern pattern;
+  std::vector<size_t> target_rows;     // indices into the target list
+  size_t false_positives = 0;
+};
+
+}  // namespace
+
+Result<PatternSummary> SummarizeTargets(const Table& data,
+                                        const std::vector<std::string>& attrs,
+                                        const std::vector<bool>& is_target,
+                                        const SummarizerOptions& opts) {
+  if (is_target.size() != data.num_rows()) {
+    return Status::InvalidArgument(
+        "is_target must align with the table rows");
+  }
+  std::vector<size_t> cols;
+  for (const std::string& a : attrs) {
+    E3D_ASSIGN_OR_RETURN(size_t idx, data.schema().Resolve(a));
+    cols.push_back(idx);
+  }
+
+  // Project the working rows onto the pattern attributes.
+  std::vector<Row> proj(data.num_rows());
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    proj[r].reserve(cols.size());
+    for (size_t c : cols) proj[r].push_back(data.row(r)[c]);
+  }
+  std::vector<size_t> targets;
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    if (is_target[r]) targets.push_back(r);
+  }
+
+  PatternSummary out;
+  out.num_targets = targets.size();
+  if (targets.empty()) return out;
+
+  // Attributes whose cardinality is too high are excluded from patterns
+  // (they would only produce one-tuple "summaries").
+  std::vector<bool> usable(cols.size(), true);
+  for (size_t a = 0; a < cols.size(); ++a) {
+    std::set<Value> distinct;
+    for (size_t r = 0; r < data.num_rows(); ++r) {
+      distinct.insert(proj[r][a]);
+      if (distinct.size() > opts.max_attr_cardinality) {
+        usable[a] = false;
+        break;
+      }
+    }
+  }
+
+  // Candidate enumeration: every ≤max_pattern_attrs subset of usable
+  // attributes instantiated with each target tuple's values.
+  std::map<Pattern, Candidate> candidates;
+  auto consider = [&](Pattern p) {
+    if (p.Specificity() == 0) return;
+    if (candidates.count(p)) return;
+    Candidate cand;
+    cand.pattern = p;
+    for (size_t t = 0; t < targets.size(); ++t) {
+      if (p.Matches(proj[targets[t]])) cand.target_rows.push_back(t);
+    }
+    for (size_t r = 0; r < data.num_rows(); ++r) {
+      if (!is_target[r] && p.Matches(proj[r])) ++cand.false_positives;
+    }
+    candidates.emplace(std::move(p), std::move(cand));
+  };
+  for (size_t t : targets) {
+    for (size_t a = 0; a < cols.size(); ++a) {
+      if (!usable[a]) continue;
+      std::vector<Value> cells(cols.size());
+      cells[a] = proj[t][a];
+      consider(Pattern(cells));
+      if (opts.max_pattern_attrs >= 2) {
+        for (size_t b = a + 1; b < cols.size(); ++b) {
+          if (!usable[b]) continue;
+          std::vector<Value> cells2(cols.size());
+          cells2[a] = proj[t][a];
+          cells2[b] = proj[t][b];
+          consider(Pattern(cells2));
+        }
+      }
+    }
+  }
+
+  // Greedy cost-based cover: take the pattern with the best benefit/cost
+  // ratio while it beats reporting the remaining targets raw.
+  std::vector<bool> covered(targets.size(), false);
+  size_t remaining = targets.size();
+  double total_cost = 0;
+  while (remaining > 0) {
+    const Candidate* best = nullptr;
+    double best_ratio = 0;
+    size_t best_new = 0;
+    for (const auto& [key, cand] : candidates) {
+      (void)key;
+      size_t new_cov = 0;
+      for (size_t t : cand.target_rows) {
+        if (!covered[t]) ++new_cov;
+      }
+      if (new_cov == 0) continue;
+      double cost = opts.pattern_cost +
+                    opts.false_positive_cost *
+                        static_cast<double>(cand.false_positives);
+      double ratio = static_cast<double>(new_cov) / cost;
+      if (best == nullptr || ratio > best_ratio) {
+        best = &cand;
+        best_ratio = ratio;
+        best_new = new_cov;
+      }
+    }
+    if (best == nullptr) break;
+    double pattern_cost = opts.pattern_cost +
+                          opts.false_positive_cost *
+                              static_cast<double>(best->false_positives);
+    double raw_cost = opts.missed_cost * static_cast<double>(best_new);
+    if (pattern_cost >= raw_cost) break;  // raw listing is cheaper
+    SummaryPattern sp;
+    sp.pattern = best->pattern;
+    sp.description = best->pattern.ToString(attrs);
+    sp.covered_targets = best_new;
+    sp.false_positives = best->false_positives;
+    out.patterns.push_back(std::move(sp));
+    total_cost += pattern_cost;
+    for (size_t t : best->target_rows) {
+      if (!covered[t]) {
+        covered[t] = true;
+        --remaining;
+      }
+    }
+  }
+  out.covered = targets.size() - remaining;
+  out.missed = remaining;
+  out.cost = total_cost + opts.missed_cost * static_cast<double>(remaining);
+  return out;
+}
+
+Result<ExplanationSummary> SummarizeExplanations(
+    const ExplanationSet& explanations, const CanonicalRelation& t1,
+    const CanonicalRelation& t2, const Table& prov1, const Table& prov2,
+    const std::vector<std::string>& attrs1,
+    const std::vector<std::string>& attrs2, const SummarizerOptions& opts) {
+  std::vector<bool> target1(prov1.num_rows(), false);
+  std::vector<bool> target2(prov2.num_rows(), false);
+  auto mark = [&](Side side, size_t canon_idx) {
+    const CanonicalRelation& rel = side == Side::kLeft ? t1 : t2;
+    std::vector<bool>& target = side == Side::kLeft ? target1 : target2;
+    for (size_t prow : rel.tuples[canon_idx].prov_rows) {
+      if (prow < target.size()) target[prow] = true;
+    }
+  };
+  for (const ProvExplanation& e : explanations.delta) mark(e.side, e.tuple);
+  for (const ValueExplanation& e : explanations.value_changes) {
+    mark(e.side, e.tuple);
+  }
+
+  ExplanationSummary out;
+  E3D_ASSIGN_OR_RETURN(out.side1,
+                       SummarizeTargets(prov1, attrs1, target1, opts));
+  E3D_ASSIGN_OR_RETURN(out.side2,
+                       SummarizeTargets(prov2, attrs2, target2, opts));
+  return out;
+}
+
+}  // namespace explain3d

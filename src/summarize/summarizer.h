@@ -1,0 +1,78 @@
+// Stage 3: explanation summarization (Section 3.3).
+//
+// Tuples flagged by stage-2 explanations become "targets"; a Data-X-Ray /
+// Data-Auditor style cost-based greedy cover then finds the common
+// patterns describing them. The cost model balances pattern count,
+// false-positive coverage, and missed targets — picking, e.g.,
+// Degree='Associate degree' over 40 individual tuples when associate
+// programs dominate the mismatches.
+
+#ifndef EXPLAIN3D_SUMMARIZE_SUMMARIZER_H_
+#define EXPLAIN3D_SUMMARIZE_SUMMARIZER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/explanation.h"
+#include "relational/table.h"
+#include "summarize/pattern.h"
+
+namespace explain3d {
+
+/// Cost model and search limits of the pattern cover.
+struct SummarizerOptions {
+  double pattern_cost = 1.0;          ///< fixed cost per emitted pattern
+  double false_positive_cost = 0.75;  ///< covering a non-target tuple
+  double missed_cost = 1.0;          ///< leaving a target uncovered
+  size_t max_pattern_attrs = 2;      ///< conjunction size cap
+  /// Attributes with more distinct values than this are skipped when
+  /// enumerating candidate cells (near-key attributes summarize nothing).
+  size_t max_attr_cardinality = 64;
+};
+
+/// One emitted pattern with its coverage statistics.
+struct SummaryPattern {
+  Pattern pattern;
+  std::string description;   ///< rendered with attribute names
+  size_t covered_targets = 0;
+  size_t false_positives = 0;
+};
+
+/// The summary of one side's target set.
+struct PatternSummary {
+  std::vector<SummaryPattern> patterns;
+  size_t num_targets = 0;
+  size_t covered = 0;   ///< targets covered by at least one pattern
+  size_t missed = 0;    ///< targets no pattern covers (reported raw)
+  double cost = 0;
+
+  size_t size() const { return patterns.size() + missed; }  ///< |E_S| share
+};
+
+/// Summarizes a target subset of `data` (over the given attribute
+/// columns). `is_target` is index-aligned with data's rows.
+Result<PatternSummary> SummarizeTargets(const Table& data,
+                                        const std::vector<std::string>& attrs,
+                                        const std::vector<bool>& is_target,
+                                        const SummarizerOptions& opts);
+
+/// Stage-3 driver: summarizes a stage-2 explanation set against the two
+/// provenance relations (explanations reference canonical tuples; their
+/// merged provenance rows become the targets). Returns one summary per
+/// side; |E_S| of Figure 4 is the sum of their sizes.
+struct ExplanationSummary {
+  PatternSummary side1;
+  PatternSummary side2;
+  size_t TotalSize() const { return side1.size() + side2.size(); }
+};
+
+Result<ExplanationSummary> SummarizeExplanations(
+    const ExplanationSet& explanations, const CanonicalRelation& t1,
+    const CanonicalRelation& t2, const Table& prov1, const Table& prov2,
+    const std::vector<std::string>& attrs1,
+    const std::vector<std::string>& attrs2, const SummarizerOptions& opts);
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_SUMMARIZE_SUMMARIZER_H_

@@ -1,0 +1,160 @@
+// Baseline-algorithm tests: each method's characteristic behavior on
+// controlled instances.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "baselines/exact_cover.h"
+#include "baselines/formalexp.h"
+#include "baselines/greedy.h"
+#include "baselines/rswoosh.h"
+#include "baselines/threshold.h"
+#include "core/config.h"
+
+namespace explain3d {
+namespace {
+
+CanonicalRelation MakeRel(const std::vector<std::string>& keys,
+                          const std::vector<double>& impacts) {
+  CanonicalRelation rel;
+  rel.key_attrs = {"k"};
+  for (size_t i = 0; i < keys.size(); ++i) {
+    CanonicalTuple t;
+    t.key = {Value(keys[i])};
+    t.impact = impacts[i];
+    t.prov_rows = {i};
+    rel.tuples.push_back(std::move(t));
+  }
+  return rel;
+}
+
+TEST(ThresholdTest, KeepsOnlyConfidentMatches) {
+  CanonicalRelation t1 = MakeRel({"a", "b"}, {1, 1});
+  CanonicalRelation t2 = MakeRel({"a", "b"}, {1, 2});
+  TupleMapping mapping = {{0, 0, 0.95}, {1, 1, 0.6}};
+  ExplanationSet e = ThresholdBaseline(t1, t2, mapping, 0.9);
+  ASSERT_EQ(e.evidence.size(), 1u);           // only the 0.95 match
+  EXPECT_EQ(e.delta.size(), 2u);              // b and b' unmatched
+  EXPECT_TRUE(e.value_changes.empty());
+}
+
+TEST(ThresholdTest, FlagsImpactMismatches) {
+  CanonicalRelation t1 = MakeRel({"a"}, {2});
+  CanonicalRelation t2 = MakeRel({"a"}, {5});
+  TupleMapping mapping = {{0, 0, 0.95}};
+  ExplanationSet e = ThresholdBaseline(t1, t2, mapping, 0.9);
+  ASSERT_EQ(e.value_changes.size(), 1u);
+  EXPECT_EQ(e.value_changes[0].side, Side::kRight);
+  EXPECT_DOUBLE_EQ(e.value_changes[0].new_impact, 2.0);
+}
+
+TEST(RSwooshTest, MergesBySimilarityAcrossDatasets) {
+  CanonicalRelation t1 =
+      MakeRel({"computer science major", "fine arts major"}, {1, 1});
+  CanonicalRelation t2 =
+      MakeRel({"computer science major", "quantum basket weaving"}, {1, 1});
+  ExplanationSet e = RSwooshBaseline(t1, t2, 0.75);
+  ASSERT_EQ(e.evidence.size(), 1u);
+  EXPECT_EQ(e.evidence[0].t1, 0u);
+  EXPECT_EQ(e.evidence[0].t2, 0u);
+  EXPECT_EQ(e.delta.size(), 2u);
+}
+
+TEST(RSwooshTest, TransitiveMerging) {
+  // a~b and b~c should land in one cluster even though a~c is weaker.
+  CanonicalRelation t1 = MakeRel({"alpha beta gamma delta"}, {1});
+  CanonicalRelation t2 = MakeRel({"alpha beta gamma epsilon"}, {1});
+  ExplanationSet e = RSwooshBaseline(t1, t2, 0.6);
+  EXPECT_EQ(e.evidence.size(), 1u);
+}
+
+TEST(GreedyTest, TakesLocallyBestMatchFirst) {
+  // The Section-5.2 counterexample: greedy grabs (A,B',0.9) first and
+  // blocks the complete matching that explain3d finds.
+  CanonicalRelation t1 = MakeRel({"A", "B"}, {1, 1});
+  CanonicalRelation t2 = MakeRel({"A'", "B'"}, {1, 1});
+  TupleMapping mapping = {
+      {0, 0, 0.8}, {1, 1, 0.8}, {0, 1, 0.9}, {1, 0, 0.5}};
+  ProbabilityModel prob((Explain3DConfig()));
+  AttributeMatch attr =
+      AttributeMatch::Single("k", "k", SemanticRelation::kEquivalent);
+  ExplanationSet e = GreedyBaseline(t1, t2, mapping, attr, prob);
+  bool has_cross = false;
+  for (const TupleMatch& m : e.evidence) {
+    if (m.t1 == 0 && m.t2 == 1) has_cross = true;
+  }
+  EXPECT_TRUE(has_cross) << "greedy should take (A,B') first";
+}
+
+TEST(GreedyTest, RespectsValidMappingCardinality) {
+  CanonicalRelation t1 = MakeRel({"x", "y"}, {1, 1});
+  CanonicalRelation t2 = MakeRel({"z"}, {2});
+  TupleMapping mapping = {{0, 0, 0.9}, {1, 0, 0.85}};
+  ProbabilityModel prob((Explain3DConfig()));
+  // ≡ caps both sides: only one of the two matches may enter.
+  AttributeMatch eq =
+      AttributeMatch::Single("k", "k", SemanticRelation::kEquivalent);
+  EXPECT_LE(GreedyBaseline(t1, t2, mapping, eq, prob).evidence.size(), 1u);
+  // ⊑ allows many-to-one: both can enter (and balance the impact 2).
+  AttributeMatch le =
+      AttributeMatch::Single("k", "k", SemanticRelation::kLessGeneral);
+  ExplanationSet e = GreedyBaseline(t1, t2, mapping, le, prob);
+  EXPECT_EQ(e.evidence.size(), 2u);
+  EXPECT_TRUE(e.value_changes.empty());
+}
+
+TEST(ExactCoverTest, CoversElementsAtMostOnce) {
+  CanonicalRelation t1 = MakeRel({"e1", "e2", "e3"}, {1, 1, 1});
+  CanonicalRelation t2 = MakeRel({"s12", "s23"}, {2, 2});
+  TupleMapping mapping = {
+      {0, 0, 0.5}, {1, 0, 0.5}, {1, 1, 0.5}, {2, 1, 0.5}};
+  ExplanationSet e = ExactCoverBaseline(t1, t2, mapping).value();
+  // Both sets selected would double-cover e2; the IP must avoid that.
+  std::map<size_t, int> cover_count;
+  for (const TupleMatch& m : e.evidence) ++cover_count[m.t1];
+  for (const auto& [elem, cnt] : cover_count) {
+    EXPECT_LE(cnt, 1) << "element " << elem;
+  }
+}
+
+TEST(FormalExpTest, FindsHighImpactPredicates) {
+  // Provenance with a 'cat' attribute; category 'x' is responsible for
+  // the entire surplus on side 1.
+  Database db("d");
+  Schema s;
+  s.AddColumn(Column("cat", DataType::kString));
+  s.AddColumn(Column("v", DataType::kInt64));
+  Table big("T", s);
+  big.AppendUnchecked({"x", 10});
+  big.AppendUnchecked({"x", 10});
+  big.AppendUnchecked({"y", 5});
+  Table small = big;
+  small.set_name("T");
+
+  ProvenanceRelation p1;
+  p1.table = big;
+  p1.impact = {10, 10, 5};
+  p1.agg = AggFunc::kSum;
+  ProvenanceRelation p2;
+  p2.table = small;
+  p2.impact = {0, 0, 5};  // side 2 lacks the 'x' mass
+  p2.agg = AggFunc::kSum;
+
+  CanonicalRelation t1 = MakeRel({"x", "x2", "y"}, {10, 10, 5});
+  CanonicalRelation t2 = MakeRel({"x", "x2", "y"}, {0, 0, 5});
+  FormalExpOptions opts;
+  opts.top_k = 1;
+  ExplanationSet e = FormalExpBaseline(t1, t2, p1, p2, opts).value();
+  // The top predicate must be cat='x' on side 1, covering two canonical
+  // tuples.
+  ASSERT_FALSE(e.delta.empty());
+  for (const ProvExplanation& pe : e.delta) {
+    EXPECT_EQ(pe.side, Side::kLeft);
+    EXPECT_LT(pe.tuple, 2u);
+  }
+  EXPECT_TRUE(e.evidence.empty());  // FORMALEXP produces no evidence
+}
+
+}  // namespace
+}  // namespace explain3d

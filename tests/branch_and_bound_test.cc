@@ -1,0 +1,154 @@
+// MILP solver tests: knapsack instances with known optima, mixed
+// integer/continuous models, and a randomized property sweep against the
+// brute-force reference solver.
+
+#include "milp/branch_and_bound.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "milp/brute_force.h"
+#include "milp/model.h"
+
+namespace explain3d {
+namespace milp {
+namespace {
+
+TEST(BranchAndBoundTest, SmallKnapsack) {
+  // values {10, 13, 7}, weights {3, 4, 2}, capacity 6 -> take b and c: 20.
+  Model m;
+  VarId a = m.AddBinary("a", 10);
+  VarId b = m.AddBinary("b", 13);
+  VarId c = m.AddBinary("c", 7);
+  m.AddConstraint(LinExpr().Add(a, 3).Add(b, 4).Add(c, 2), Relation::kLe, 6);
+  Solution s = MilpSolver(m).Solve();
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 20.0, 1e-6);
+  EXPECT_NEAR(s.values[a], 0.0, 1e-6);
+  EXPECT_NEAR(s.values[b], 1.0, 1e-6);
+  EXPECT_NEAR(s.values[c], 1.0, 1e-6);
+}
+
+TEST(BranchAndBoundTest, IntegerRoundingMatters) {
+  // LP relaxation gives x = 3.5; integer optimum is 3.
+  Model m;
+  VarId x = m.AddInteger("x", 0, 10, 1);
+  m.AddConstraint(LinExpr().Add(x, 2), Relation::kLe, 7);
+  Solution s = MilpSolver(m).Solve();
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-6);
+}
+
+TEST(BranchAndBoundTest, MixedIntegerContinuous) {
+  // max 4i + 3c  s.t. i + c <= 5.5, i integer in [0,5], c in [0,2].
+  // -> i = 5 (since 4 > 3 per unit), c = 0.5, obj = 21.5.
+  Model m;
+  VarId i = m.AddInteger("i", 0, 5, 4);
+  VarId c = m.AddContinuous("c", 0, 2, 3);
+  m.AddConstraint(LinExpr().Add(i, 1).Add(c, 1), Relation::kLe, 5.5);
+  Solution s = MilpSolver(m).Solve();
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 21.5, 1e-6);
+}
+
+TEST(BranchAndBoundTest, InfeasibleIntegerModel) {
+  // 2x = 3 has no integer solution.
+  Model m;
+  VarId x = m.AddInteger("x", 0, 10, 1);
+  m.AddConstraint(LinExpr().Add(x, 2), Relation::kEq, 3);
+  Solution s = MilpSolver(m).Solve();
+  EXPECT_EQ(s.status, SolveStatus::kInfeasible);
+}
+
+TEST(BranchAndBoundTest, EqualityPartition) {
+  // Exactly one of three binaries, maximize weights {2, 9, 4} -> 9.
+  Model m;
+  VarId a = m.AddBinary("a", 2);
+  VarId b = m.AddBinary("b", 9);
+  VarId c = m.AddBinary("c", 4);
+  m.AddConstraint(LinExpr().Add(a, 1).Add(b, 1).Add(c, 1), Relation::kEq, 1);
+  Solution s = MilpSolver(m).Solve();
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 9.0, 1e-6);
+  EXPECT_NEAR(s.values[b], 1.0, 1e-6);
+}
+
+TEST(BranchAndBoundTest, WarmStartAccepted) {
+  Model m;
+  VarId a = m.AddBinary("a", 1);
+  VarId b = m.AddBinary("b", 1);
+  m.AddConstraint(LinExpr().Add(a, 1).Add(b, 1), Relation::kLe, 1);
+  std::vector<double> warm = {1.0, 0.0};
+  Solution s = MilpSolver(m).SolveWithWarmStart(warm);
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 1.0, 1e-6);
+}
+
+TEST(BranchAndBoundTest, ObjectiveConstantCarried) {
+  Model m;
+  VarId a = m.AddBinary("a", 5);
+  m.AddObjectiveConstant(-3.5);
+  Solution s = MilpSolver(m).Solve();
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, 1.5, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: random small MILPs agree with brute-force enumeration.
+// ---------------------------------------------------------------------------
+
+class RandomMilpAgreement : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomMilpAgreement, MatchesBruteForce) {
+  Rng rng(GetParam());
+  Model m;
+  size_t n_int = 2 + rng.Index(4);    // 2..5 integer variables
+  size_t n_cont = rng.Index(3);       // 0..2 continuous variables
+  for (size_t j = 0; j < n_int; ++j) {
+    double obj = static_cast<double>(rng.UniformInt(-5, 5));
+    m.AddInteger("i" + std::to_string(j), 0,
+                 static_cast<double>(rng.UniformInt(1, 3)), obj);
+  }
+  for (size_t j = 0; j < n_cont; ++j) {
+    double obj = static_cast<double>(rng.UniformInt(-4, 4));
+    m.AddContinuous("c" + std::to_string(j), 0, 5, obj);
+  }
+  size_t n_rows = 1 + rng.Index(5);
+  for (size_t r = 0; r < n_rows; ++r) {
+    LinExpr e;
+    double max_lhs = 0;
+    for (size_t j = 0; j < m.num_variables(); ++j) {
+      double coeff = static_cast<double>(rng.UniformInt(-3, 3));
+      e.Add(j, coeff);
+      if (coeff > 0) max_lhs += coeff * m.variable(j).upper;
+    }
+    Relation rel = static_cast<Relation>(rng.Index(3));
+    // Keep the rhs in a plausible range so a fair share of instances are
+    // feasible and a fair share are not.
+    double rhs = static_cast<double>(
+        rng.UniformInt(-4, static_cast<int64_t>(max_lhs) + 2));
+    m.AddConstraint(e, rel, rhs);
+  }
+
+  Result<Solution> reference = BruteForceSolve(m);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  Solution solved = MilpSolver(m).Solve();
+  if (reference.value().status == SolveStatus::kInfeasible) {
+    EXPECT_EQ(solved.status, SolveStatus::kInfeasible)
+        << "solver found a solution to an infeasible model:\n"
+        << m.ToString();
+  } else {
+    ASSERT_EQ(solved.status, SolveStatus::kOptimal) << m.ToString();
+    EXPECT_NEAR(solved.objective, reference.value().objective, 1e-5)
+        << m.ToString();
+    EXPECT_TRUE(m.IsFeasible(solved.values, 1e-5));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomMilpAgreement,
+                         ::testing::Range(uint64_t{1}, uint64_t{81}));
+
+}  // namespace
+}  // namespace milp
+}  // namespace explain3d

@@ -1,0 +1,133 @@
+// Common-runtime tests: Status/Result, string utilities, RNG statistics,
+// metrics, and gold derivation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "eval/gold.h"
+#include "eval/metrics.h"
+
+namespace explain3d {
+namespace {
+
+TEST(StatusTest, CodesAndMessages) {
+  EXPECT_TRUE(Status::OK().ok());
+  Status s = Status::NotFound("thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.ToString(), "NotFound: thing");
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  Result<int> ok(7);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 7);
+  Result<int> err(Status::InvalidArgument("bad"));
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.value_or(-1), -1);
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StringUtilTest, TokenizeWords) {
+  EXPECT_EQ(TokenizeWords("Equine Mgmt. (B.S.)"),
+            (std::vector<std::string>{"equine", "mgmt", "b", "s"}));
+  EXPECT_TRUE(TokenizeWords("  --  ").empty());
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Join({"a", "b"}, ", "), "a, b");
+  EXPECT_EQ(Split("a,,b", ',').size(), 3u);
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+}
+
+TEST(RngTest, DeterministicAndRoughlyUniform) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+  Rng rng(7);
+  double sum = 0;
+  const int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.UniformDouble();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.02);
+  int lo = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    int64_t v = rng.UniformInt(1, 10);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 10);
+    if (v <= 5) ++lo;
+  }
+  EXPECT_NEAR(static_cast<double>(lo) / kDraws, 0.5, 0.03);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(3);
+  std::vector<size_t> s = rng.SampleWithoutReplacement(50, 20);
+  std::sort(s.begin(), s.end());
+  EXPECT_EQ(std::unique(s.begin(), s.end()), s.end());
+  EXPECT_EQ(s.size(), 20u);
+}
+
+TEST(MetricsTest, PrfEdgeCases) {
+  Prf p = MakePrf(0, 0, 0);
+  EXPECT_DOUBLE_EQ(p.precision, 1.0);  // vacuous truth
+  EXPECT_DOUBLE_EQ(p.recall, 1.0);
+  p = MakePrf(2, 4, 8);
+  EXPECT_DOUBLE_EQ(p.precision, 0.5);
+  EXPECT_DOUBLE_EQ(p.recall, 0.25);
+  EXPECT_NEAR(p.f1, 2 * 0.5 * 0.25 / 0.75, 1e-12);
+}
+
+CanonicalRelation TinyRel(size_t n) {
+  CanonicalRelation rel;
+  rel.key_attrs = {"k"};
+  for (size_t i = 0; i < n; ++i) {
+    CanonicalTuple t;
+    t.key = {Value("k" + std::to_string(i))};
+    t.impact = 1;
+    t.prov_rows = {i};
+    rel.tuples.push_back(std::move(t));
+  }
+  return rel;
+}
+
+TEST(MetricsTest, ValueExplanationSideAliasing) {
+  // Gold fixes the right-side tuple of pair (0,0); a prediction on the
+  // LEFT side of the same pair counts as correct, but only once.
+  CanonicalRelation t1 = TinyRel(2), t2 = TinyRel(2);
+  GoldStandard gold;
+  gold.explanations.evidence = {{0, 0, 1.0}};
+  gold.evidence_pairs = {{0, 0}};
+  gold.explanations.value_changes = {{Side::kRight, 0, 1, 2}};
+
+  ExplanationSet pred;
+  pred.value_changes = {{Side::kLeft, 0, 2, 1}};
+  Prf acc = ExplanationAccuracy(pred, gold);
+  EXPECT_EQ(acc.correct, 1u);
+
+  ExplanationSet both;
+  both.value_changes = {{Side::kLeft, 0, 2, 1}, {Side::kRight, 0, 1, 2}};
+  acc = ExplanationAccuracy(both, gold);
+  EXPECT_EQ(acc.correct, 1u);  // one gold item, consumed once
+  EXPECT_EQ(acc.predicted, 2u);
+}
+
+TEST(GoldTest, DeriveFromEntitiesGroups) {
+  CanonicalRelation t1 = TinyRel(3);  // impacts 1,1,1
+  CanonicalRelation t2 = TinyRel(2);  // impacts 1,1
+  // Entities: t1[0], t1[1] both map to entity 5 (containment group with
+  // t2[0]); t1[2] unmatched; t2[1] entity 9 unmatched.
+  std::vector<int64_t> e1 = {5, 5, 7};
+  std::vector<int64_t> e2 = {5, 9};
+  GoldStandard gold = DeriveGoldFromEntities(t1, t2, e1, e2);
+  EXPECT_EQ(gold.evidence_pairs.size(), 2u);  // (0,0) and (1,0)
+  EXPECT_EQ(gold.explanations.delta.size(), 2u);  // t1[2], t2[1]
+  // Group impact: 1+1 vs 1 -> value explanation on t2[0].
+  ASSERT_EQ(gold.explanations.value_changes.size(), 1u);
+  EXPECT_DOUBLE_EQ(gold.explanations.value_changes[0].new_impact, 2.0);
+}
+
+}  // namespace
+}  // namespace explain3d

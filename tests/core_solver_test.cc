@@ -1,0 +1,270 @@
+// Stage-2 solver tests built around the paper's running example
+// (Figures 1 and 3) plus randomized cross-checks between the two exact
+// engines (Section-3.2 MILP encoding vs assignment branch & bound).
+
+#include "core/solver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/exact_solver.h"
+#include "core/milp_encoder.h"
+#include "core/partitioning.h"
+#include "milp/branch_and_bound.h"
+
+namespace explain3d {
+namespace {
+
+CanonicalRelation MakeRelation(const std::vector<std::string>& keys,
+                               const std::vector<double>& impacts,
+                               AggFunc agg = AggFunc::kCount) {
+  CanonicalRelation rel;
+  rel.key_attrs = {"k"};
+  rel.agg = agg;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    CanonicalTuple t;
+    t.key = {Value(keys[i])};
+    t.impact = impacts[i];
+    t.prov_rows = {i};
+    rel.tuples.push_back(std::move(t));
+    if (impacts[i] != std::floor(impacts[i])) rel.integral_impacts = false;
+  }
+  return rel;
+}
+
+// Figure 3: canonical relations of Q1 (7 programs -> 6 tuples, CS has
+// impact 2) and Q2 (6 majors, all impact 1).
+struct RunningExample {
+  CanonicalRelation t1 = MakeRelation(
+      {"Accounting", "CS", "ECE", "EE", "Management", "Design"},
+      {1, 2, 1, 1, 1, 1});
+  CanonicalRelation t2 = MakeRelation(
+      {"Accounting", "CSE", "ECE", "EE", "Management", "Design"},
+      {1, 1, 1, 1, 1, 1});
+  AttributeMatch attr = AttributeMatch::Single(
+      "k", "k", SemanticRelation::kEquivalent);
+  TupleMapping mapping = {
+      {0, 0, 0.95}, {1, 1, 0.9}, {2, 2, 0.95},
+      {3, 3, 0.95}, {4, 4, 0.95}, {5, 5, 0.95},
+  };
+};
+
+TEST(Explain3DSolverTest, RunningExampleQ1VsQ2) {
+  RunningExample ex;
+  Explain3DConfig config;
+  Explain3DSolver solver(config);
+  Explain3DInput input{&ex.t1, &ex.t2, ex.attr, ex.mapping};
+  Result<Explain3DResult> r = solver.Solve(input);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const ExplanationSet& e = r.value().explanations;
+
+  // The paper's analysis: all six tuples map 1-1; the only discrepancy is
+  // CS counted twice in Q1 vs once in Q2 -> one value-based explanation,
+  // no provenance-based explanations, full six-match evidence.
+  EXPECT_TRUE(e.delta.empty());
+  ASSERT_EQ(e.value_changes.size(), 1u);
+  EXPECT_EQ(e.value_changes[0].tuple, 1u);  // CS / CSE pair
+  EXPECT_EQ(e.evidence.size(), 6u);
+  EXPECT_TRUE(r.value().stats.all_optimal);
+
+  // The result is complete per Definition 3.4.
+  EXPECT_TRUE(CheckCompleteness(ex.t1, ex.t2, ex.attr, e).ok());
+}
+
+TEST(Explain3DSolverTest, RunningExampleQ2VsQ3Containment) {
+  // Q2 majors (many side) vs Q3 colleges (one side), program ⊑ college.
+  // Design is missing from D3; CS college lists 1 bachelor instead of 1
+  // CSE major... here impacts: business=2 (Accounting+Management),
+  // engineering=2 (ECE+EE), cs=1 (CSE). All consistent except Design.
+  CanonicalRelation majors = MakeRelation(
+      {"Accounting", "CSE", "ECE", "EE", "Management", "Design"},
+      {1, 1, 1, 1, 1, 1});
+  CanonicalRelation colleges = MakeRelation(
+      {"Business", "Engineering", "Computer Science"}, {2, 2, 1},
+      AggFunc::kSum);
+  AttributeMatch attr =
+      AttributeMatch::Single("k", "k", SemanticRelation::kLessGeneral);
+  TupleMapping mapping = {
+      {0, 0, 0.8},  // Accounting -> Business
+      {4, 0, 0.8},  // Management -> Business
+      {2, 1, 0.8},  // ECE -> Engineering
+      {3, 1, 0.8},  // EE -> Engineering
+      {1, 2, 0.6},  // CSE -> Computer Science
+      {1, 1, 0.4},  // CSE -> Engineering (wrong alternative)
+  };
+  Explain3DSolver solver;
+  Explain3DInput input{&majors, &colleges, attr, mapping};
+  Result<Explain3DResult> r = solver.Solve(input);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const ExplanationSet& e = r.value().explanations;
+
+  // Optimal: CSE maps to the CS college (Section 2.3's argument), and the
+  // only explanation is that Design has no counterpart.
+  ASSERT_EQ(e.delta.size(), 1u);
+  EXPECT_EQ(e.delta[0].side, Side::kLeft);
+  EXPECT_EQ(e.delta[0].tuple, 5u);  // Design
+  EXPECT_TRUE(e.value_changes.empty());
+  bool cse_to_cs = false;
+  for (const TupleMatch& m : e.evidence) {
+    if (m.t1 == 1 && m.t2 == 2) cse_to_cs = true;
+  }
+  EXPECT_TRUE(cse_to_cs);
+  EXPECT_TRUE(CheckCompleteness(majors, colleges, attr, e).ok());
+}
+
+TEST(Explain3DSolverTest, MissingTupleBothSides) {
+  CanonicalRelation t1 = MakeRelation({"a", "b", "x"}, {1, 1, 1});
+  CanonicalRelation t2 = MakeRelation({"a", "b", "y"}, {1, 1, 1});
+  AttributeMatch attr =
+      AttributeMatch::Single("k", "k", SemanticRelation::kEquivalent);
+  TupleMapping mapping = {{0, 0, 0.9}, {1, 1, 0.9}};
+  Explain3DSolver solver;
+  Result<Explain3DResult> r = solver.Solve({&t1, &t2, attr, mapping});
+  ASSERT_TRUE(r.ok());
+  // x and y are unmatched -> two provenance explanations.
+  EXPECT_EQ(r.value().explanations.delta.size(), 2u);
+  EXPECT_EQ(r.value().explanations.evidence.size(), 2u);
+}
+
+TEST(Explain3DSolverTest, PrefersConsistentMatchingOverHighProbability) {
+  // The record-linkage counterexample of Section 5.2: matches
+  // (A,A',0.8),(B,B',0.8),(A,B',0.9),(B,A',0.5). Record linkage picks
+  // (A,B'); explain3d picks the complete matching {(A,A'),(B,B')}.
+  CanonicalRelation t1 = MakeRelation({"A", "B"}, {1, 1});
+  CanonicalRelation t2 = MakeRelation({"A'", "B'"}, {1, 1});
+  AttributeMatch attr =
+      AttributeMatch::Single("k", "k", SemanticRelation::kEquivalent);
+  TupleMapping mapping = {
+      {0, 0, 0.8}, {1, 1, 0.8}, {0, 1, 0.9}, {1, 0, 0.5}};
+  Explain3DSolver solver;
+  Result<Explain3DResult> r = solver.Solve({&t1, &t2, attr, mapping});
+  ASSERT_TRUE(r.ok());
+  const ExplanationSet& e = r.value().explanations;
+  EXPECT_TRUE(e.delta.empty());
+  ASSERT_EQ(e.evidence.size(), 2u);
+  EXPECT_EQ(e.evidence[0].t1, 0u);
+  EXPECT_EQ(e.evidence[0].t2, 0u);
+  EXPECT_EQ(e.evidence[1].t1, 1u);
+  EXPECT_EQ(e.evidence[1].t2, 1u);
+}
+
+TEST(Explain3DSolverTest, RejectsOutOfRangeProbabilities) {
+  CanonicalRelation t1 = MakeRelation({"a"}, {1});
+  CanonicalRelation t2 = MakeRelation({"a"}, {1});
+  AttributeMatch attr =
+      AttributeMatch::Single("k", "k", SemanticRelation::kEquivalent);
+  TupleMapping mapping = {{0, 0, 1.0}};  // p = 1.0 -> log(1-p) = -inf
+  Explain3DSolver solver;
+  Result<Explain3DResult> r = solver.Solve({&t1, &t2, attr, mapping});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Explain3DSolverTest, ScoreMatchesReportedObjective) {
+  RunningExample ex;
+  Explain3DSolver solver;
+  Result<Explain3DResult> r =
+      solver.Solve({&ex.t1, &ex.t2, ex.attr, ex.mapping});
+  ASSERT_TRUE(r.ok());
+  ProbabilityModel prob((Explain3DConfig()));
+  double rescored =
+      prob.Score(ex.t1, ex.t2, ex.mapping, r.value().explanations);
+  EXPECT_NEAR(rescored, r.value().explanations.log_probability, 1e-9);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-check: the Section-3.2 MILP and the assignment B&B agree.
+// ---------------------------------------------------------------------------
+
+struct RandomInstance {
+  CanonicalRelation t1, t2;
+  AttributeMatch attr;
+  TupleMapping mapping;
+};
+
+RandomInstance MakeRandomInstance(uint64_t seed) {
+  Rng rng(seed);
+  RandomInstance inst;
+  size_t n1 = 2 + rng.Index(4);
+  size_t n2 = 2 + rng.Index(4);
+  std::vector<std::string> k1, k2;
+  std::vector<double> i1, i2;
+  for (size_t i = 0; i < n1; ++i) {
+    k1.push_back("L" + std::to_string(i));
+    i1.push_back(static_cast<double>(rng.UniformInt(1, 4)));
+  }
+  for (size_t j = 0; j < n2; ++j) {
+    k2.push_back("R" + std::to_string(j));
+    i2.push_back(static_cast<double>(rng.UniformInt(1, 4)));
+  }
+  inst.t1 = MakeRelation(k1, i1);
+  inst.t2 = MakeRelation(k2, i2);
+  SemanticRelation rel =
+      static_cast<SemanticRelation>(rng.Index(3));
+  inst.attr = AttributeMatch::Single("k", "k", rel);
+  for (size_t i = 0; i < n1; ++i) {
+    for (size_t j = 0; j < n2; ++j) {
+      if (rng.Bernoulli(0.45)) {
+        double p = rng.UniformDouble(0.1, 0.95);
+        inst.mapping.emplace_back(i, j, p);
+      }
+    }
+  }
+  return inst;
+}
+
+class EngineAgreement : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EngineAgreement, MilpAndAssignmentBnbMatch) {
+  RandomInstance inst = MakeRandomInstance(GetParam());
+  ProbabilityModel prob((Explain3DConfig()));
+
+  SubProblem whole;
+  for (size_t i = 0; i < inst.t1.size(); ++i) whole.t1_ids.push_back(i);
+  for (size_t j = 0; j < inst.t2.size(); ++j) whole.t2_ids.push_back(j);
+  for (size_t k = 0; k < inst.mapping.size(); ++k) {
+    whole.match_ids.push_back(k);
+  }
+
+  // Engine 1: the faithful MILP encoding.
+  MilpEncoder encoder(inst.t1, inst.t2, inst.mapping, inst.attr, prob);
+  EncodedMilp enc = encoder.Encode(whole);
+  milp::Solution milp_sol = milp::MilpSolver(enc.model).Solve();
+  ASSERT_EQ(milp_sol.status, milp::SolveStatus::kOptimal)
+      << "seed " << GetParam();
+
+  // Engine 2: assignment branch & bound.
+  Result<ExactSolveResult> exact = SolveComponentExact(
+      inst.t1, inst.t2, inst.mapping, inst.attr, prob, whole);
+  ASSERT_TRUE(exact.ok()) << exact.status().ToString();
+  ASSERT_TRUE(exact.value().proven_optimal);
+
+  EXPECT_NEAR(milp_sol.objective, exact.value().objective, 1e-5)
+      << "seed " << GetParam();
+
+  // Both solutions must be complete, and scoring the decoded explanation
+  // sets must reproduce the engines' objectives.
+  ExplanationSet from_milp = encoder.Decode(whole, enc, milp_sol.values);
+  EXPECT_TRUE(
+      CheckCompleteness(inst.t1, inst.t2, inst.attr, from_milp).ok())
+      << "seed " << GetParam();
+  EXPECT_TRUE(CheckCompleteness(inst.t1, inst.t2, inst.attr,
+                                exact.value().explanations)
+                  .ok())
+      << "seed " << GetParam();
+  double milp_rescored =
+      prob.Score(inst.t1, inst.t2, inst.mapping, from_milp);
+  EXPECT_NEAR(milp_rescored, milp_sol.objective, 1e-5)
+      << "seed " << GetParam();
+  double exact_rescored = prob.Score(inst.t1, inst.t2, inst.mapping,
+                                     exact.value().explanations);
+  EXPECT_NEAR(exact_rescored, exact.value().objective, 1e-5)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineAgreement,
+                         ::testing::Range(uint64_t{100}, uint64_t{160}));
+
+}  // namespace
+}  // namespace explain3d

@@ -1,0 +1,160 @@
+// Matching-layer tests: similarity metrics (with property sweeps),
+// calibration, blocking, and mapping generation.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "matching/blocking.h"
+#include "matching/mapping_generator.h"
+#include "matching/sim_to_prob.h"
+#include "matching/similarity.h"
+
+namespace explain3d {
+namespace {
+
+TEST(SimilarityTest, JaccardKnownValues) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity("a b c", "a b c"), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity("a b", "c d"), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity("a b c", "b c d"), 0.5);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity("", ""), 1.0);
+  // Tokenization folds case and punctuation.
+  EXPECT_DOUBLE_EQ(JaccardSimilarity("Computer-Science!", "computer science"),
+                   1.0);
+}
+
+TEST(SimilarityTest, NumericSimilarity) {
+  EXPECT_DOUBLE_EQ(NumericSimilarity(5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(NumericSimilarity(5, 6), 0.5);
+  EXPECT_GT(NumericSimilarity(5, 6), NumericSimilarity(5, 8));
+}
+
+TEST(SimilarityTest, JaroKnownValues) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+  EXPECT_NEAR(JaroSimilarity("martha", "marhta"), 0.944, 1e-3);
+  EXPECT_NEAR(JaroSimilarity("dixon", "dicksonx"), 0.767, 1e-3);
+}
+
+TEST(SimilarityTest, LevenshteinKnownValues) {
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("kitten", "kitten"), 1.0);
+  EXPECT_NEAR(NormalizedLevenshtein("kitten", "sitting"), 1.0 - 3.0 / 7,
+              1e-9);
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("", ""), 1.0);
+}
+
+class SimilarityProperties : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SimilarityProperties, BoundedSymmetricReflexive) {
+  Rng rng(GetParam());
+  auto random_string = [&] {
+    std::string s;
+    size_t len = rng.Index(12);
+    for (size_t i = 0; i < len; ++i) {
+      s += static_cast<char>('a' + rng.Index(6));
+      if (rng.Bernoulli(0.2)) s += ' ';
+    }
+    return s;
+  };
+  std::string a = random_string(), b = random_string();
+  for (auto metric : {StringMetric::kJaccard, StringMetric::kJaro,
+                      StringMetric::kLevenshtein}) {
+    double ab = ValueSimilarity(Value(a), Value(b), metric);
+    double ba = ValueSimilarity(Value(b), Value(a), metric);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+    EXPECT_NEAR(ab, ba, 1e-12);
+    EXPECT_DOUBLE_EQ(ValueSimilarity(Value(a), Value(a), metric), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimilarityProperties,
+                         ::testing::Range(uint64_t{1}, uint64_t{25}));
+
+TEST(CalibratorTest, LearnsBucketProbabilities) {
+  SimilarityCalibrator calib(10);
+  // High-similarity samples are mostly true, low mostly false.
+  for (int i = 0; i < 100; ++i) {
+    calib.AddSample(0.95, i % 10 != 0);  // 90% true
+    calib.AddSample(0.15, i % 10 == 0);  // 10% true
+  }
+  ASSERT_TRUE(calib.Fit().ok());
+  EXPECT_GT(calib.Probability(0.95), 0.8);
+  EXPECT_LT(calib.Probability(0.15), 0.2);
+}
+
+TEST(CalibratorTest, MonotoneAfterPooling) {
+  Rng rng(3);
+  SimilarityCalibrator calib(50);
+  for (int i = 0; i < 5000; ++i) {
+    double s = rng.UniformDouble();
+    calib.AddSample(s, rng.Bernoulli(s));  // noisy but increasing truth
+  }
+  ASSERT_TRUE(calib.Fit().ok());
+  const auto& probs = calib.bucket_probabilities();
+  for (size_t b = 1; b < probs.size(); ++b) {
+    EXPECT_GE(probs[b], probs[b - 1] - 1e-12) << "bucket " << b;
+  }
+}
+
+TEST(CalibratorTest, FailsWithoutSamples) {
+  SimilarityCalibrator calib(10);
+  EXPECT_FALSE(calib.Fit().ok());
+}
+
+CanonicalRelation StringRelation(const std::vector<std::string>& keys) {
+  CanonicalRelation rel;
+  rel.key_attrs = {"k"};
+  for (size_t i = 0; i < keys.size(); ++i) {
+    CanonicalTuple t;
+    t.key = {Value(keys[i])};
+    t.impact = 1;
+    t.prov_rows = {i};
+    rel.tuples.push_back(std::move(t));
+  }
+  return rel;
+}
+
+TEST(BlockingTest, FindsTokenSharingPairsOnly) {
+  CanonicalRelation t1 = StringRelation({"alpha beta", "gamma delta"});
+  CanonicalRelation t2 =
+      StringRelation({"beta epsilon", "zeta eta", "delta gamma"});
+  CandidatePairs pairs = GenerateCandidates(t1, t2);
+  // alpha-beta shares with beta-epsilon; gamma-delta with delta-gamma.
+  EXPECT_EQ(pairs.size(), 2u);
+  CandidatePairs all = AllPairs(2, 3);
+  EXPECT_EQ(all.size(), 6u);
+}
+
+TEST(MappingGeneratorTest, CalibrationSeparatesTrueFromFalse) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < 60; ++i) {
+    keys.push_back("item common" + std::to_string(i) + " word" +
+                   std::to_string(i));
+  }
+  CanonicalRelation t1 = StringRelation(keys);
+  CanonicalRelation t2 = StringRelation(keys);  // identical -> diagonal gold
+  GoldPairs gold;
+  for (size_t i = 0; i < keys.size(); ++i) gold.emplace(i, i);
+  MappingGenOptions opts;
+  opts.min_probability = 0.0001;
+  TupleMapping mapping = GenerateInitialMapping(t1, t2, gold, opts).value();
+  ASSERT_FALSE(mapping.empty());
+  for (const TupleMatch& m : mapping) {
+    if (m.t1 == m.t2) {
+      EXPECT_GT(m.p, 0.8) << m.t1;
+    } else {
+      EXPECT_LT(m.p, 0.2) << m.t1 << "," << m.t2;
+    }
+  }
+}
+
+TEST(MappingGeneratorTest, PruneAndClampBounds) {
+  TupleMapping mapping = {{0, 0, 0.999999}, {1, 1, 0.02}, {2, 2, 0.5}};
+  TupleMapping out = PruneAndClamp(mapping, 0.05, 0.99);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].p, 0.99);
+  EXPECT_DOUBLE_EQ(out[1].p, 0.5);
+}
+
+}  // namespace
+}  // namespace explain3d

@@ -1,0 +1,150 @@
+// LP solver unit tests: textbook instances, bound handling, degeneracy,
+// infeasibility/unboundedness detection.
+
+#include "milp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include "milp/model.h"
+
+namespace explain3d {
+namespace milp {
+namespace {
+
+TEST(SimplexTest, TwoVariableTextbook) {
+  // max 3x + 2y  s.t. x + y <= 4, x <= 2, x,y >= 0  -> x=2, y=2, obj 10.
+  Model m;
+  VarId x = m.AddContinuous("x", 0, kInfinity, 3);
+  VarId y = m.AddContinuous("y", 0, kInfinity, 2);
+  m.AddConstraint(LinExpr().Add(x, 1).Add(y, 1), Relation::kLe, 4);
+  m.AddConstraint(LinExpr().Add(x, 1), Relation::kLe, 2);
+  LpResult r = SimplexSolver(m).Solve();
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 10.0, 1e-7);
+  EXPECT_NEAR(r.values[x], 2.0, 1e-7);
+  EXPECT_NEAR(r.values[y], 2.0, 1e-7);
+}
+
+TEST(SimplexTest, EqualityConstraint) {
+  // max x + y  s.t. x + 2y = 3, 0 <= x,y <= 2 -> x=2, y=0.5, obj 2.5.
+  Model m;
+  VarId x = m.AddContinuous("x", 0, 2, 1);
+  VarId y = m.AddContinuous("y", 0, 2, 1);
+  m.AddConstraint(LinExpr().Add(x, 1).Add(y, 2), Relation::kEq, 3);
+  LpResult r = SimplexSolver(m).Solve();
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 2.5, 1e-7);
+}
+
+TEST(SimplexTest, GreaterEqualNeedsPhase1) {
+  // min x + y (max -x - y) s.t. x + y >= 3, x,y in [0, 5] -> obj -3.
+  Model m;
+  VarId x = m.AddContinuous("x", 0, 5, -1);
+  VarId y = m.AddContinuous("y", 0, 5, -1);
+  m.AddConstraint(LinExpr().Add(x, 1).Add(y, 1), Relation::kGe, 3);
+  LpResult r = SimplexSolver(m).Solve();
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -3.0, 1e-7);
+}
+
+TEST(SimplexTest, InfeasibleDetected) {
+  Model m;
+  VarId x = m.AddContinuous("x", 0, 1, 1);
+  m.AddConstraint(LinExpr().Add(x, 1), Relation::kGe, 2);
+  LpResult r = SimplexSolver(m).Solve();
+  EXPECT_EQ(r.status, SolveStatus::kInfeasible);
+}
+
+TEST(SimplexTest, ContradictoryEqualitiesInfeasible) {
+  Model m;
+  VarId x = m.AddContinuous("x", -10, 10, 1);
+  m.AddConstraint(LinExpr().Add(x, 1), Relation::kEq, 1);
+  m.AddConstraint(LinExpr().Add(x, 1), Relation::kEq, 2);
+  LpResult r = SimplexSolver(m).Solve();
+  EXPECT_EQ(r.status, SolveStatus::kInfeasible);
+}
+
+TEST(SimplexTest, UnboundedDetected) {
+  Model m;
+  VarId x = m.AddContinuous("x", 0, kInfinity, 1);
+  VarId y = m.AddContinuous("y", 0, kInfinity, 0);
+  m.AddConstraint(LinExpr().Add(x, 1).Add(y, -1), Relation::kLe, 1);
+  LpResult r = SimplexSolver(m).Solve();
+  EXPECT_EQ(r.status, SolveStatus::kUnbounded);
+}
+
+TEST(SimplexTest, NegativeLowerBounds) {
+  // max x with x in [-5, -2] -> -2.
+  Model m;
+  VarId x = m.AddContinuous("x", -5, -2, 1);
+  m.AddConstraint(LinExpr().Add(x, 1), Relation::kLe, 10);
+  LpResult r = SimplexSolver(m).Solve();
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, -2.0, 1e-7);
+}
+
+TEST(SimplexTest, FreeVariable) {
+  // max -x^+ style: max -x s.t. x >= -7 handled via free var + constraint.
+  Model m;
+  VarId x = m.AddContinuous("x", -kInfinity, kInfinity, -1);
+  m.AddConstraint(LinExpr().Add(x, 1), Relation::kGe, -7);
+  LpResult r = SimplexSolver(m).Solve();
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 7.0, 1e-7);
+  EXPECT_NEAR(r.values[x], -7.0, 1e-7);
+}
+
+TEST(SimplexTest, DegenerateProblemTerminates) {
+  // Multiple redundant constraints through the same vertex.
+  Model m;
+  VarId x = m.AddContinuous("x", 0, kInfinity, 1);
+  VarId y = m.AddContinuous("y", 0, kInfinity, 1);
+  m.AddConstraint(LinExpr().Add(x, 1).Add(y, 1), Relation::kLe, 2);
+  m.AddConstraint(LinExpr().Add(x, 2).Add(y, 2), Relation::kLe, 4);
+  m.AddConstraint(LinExpr().Add(x, 1), Relation::kLe, 2);
+  m.AddConstraint(LinExpr().Add(y, 1), Relation::kLe, 2);
+  LpResult r = SimplexSolver(m).Solve();
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 2.0, 1e-7);
+}
+
+TEST(SimplexTest, BoundOverridesRestrictSolution) {
+  Model m;
+  VarId x = m.AddContinuous("x", 0, 10, 1);
+  m.AddConstraint(LinExpr().Add(x, 1), Relation::kLe, 8);
+  SimplexSolver solver(m);
+  LpResult r1 = solver.Solve();
+  ASSERT_EQ(r1.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r1.objective, 8.0, 1e-7);
+
+  std::vector<double> lo = {0.0}, hi = {3.0};
+  LpResult r2 = solver.Solve(&lo, &hi);
+  ASSERT_EQ(r2.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(r2.objective, 3.0, 1e-7);
+}
+
+TEST(SimplexTest, CrossingBoundOverridesInfeasible) {
+  Model m;
+  VarId x = m.AddContinuous("x", 0, 10, 1);
+  m.AddConstraint(LinExpr().Add(x, 1), Relation::kLe, 8);
+  SimplexSolver solver(m);
+  std::vector<double> lo = {5.0}, hi = {4.0};
+  EXPECT_EQ(solver.Solve(&lo, &hi).status, SolveStatus::kInfeasible);
+}
+
+TEST(SimplexTest, SolutionSatisfiesModel) {
+  Model m;
+  VarId a = m.AddContinuous("a", 0, 4, 5);
+  VarId b = m.AddContinuous("b", 1, 6, -2);
+  VarId c = m.AddContinuous("c", 0, kInfinity, 1);
+  m.AddConstraint(LinExpr().Add(a, 2).Add(b, 1).Add(c, 1), Relation::kLe, 9);
+  m.AddConstraint(LinExpr().Add(a, 1).Add(c, -1), Relation::kGe, -1);
+  m.AddConstraint(LinExpr().Add(b, 1).Add(c, 2), Relation::kEq, 5);
+  LpResult r = SimplexSolver(m).Solve();
+  ASSERT_EQ(r.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(m.IsFeasible(r.values, 1e-6));
+}
+
+}  // namespace
+}  // namespace milp
+}  // namespace explain3d
