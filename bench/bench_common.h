@@ -29,6 +29,43 @@ inline size_t Scaled(size_t base) {
   return static_cast<size_t>(static_cast<double>(base) * Scale());
 }
 
+inline std::string Fmt(double v, const char* fmt = "%.3f") {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+inline std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Appends one JSON line to BENCH_<bench>.json (or the file named by the
+/// EXPLAIN3D_BENCH_JSON environment variable). One line per figure keeps
+/// the perf trajectory machine-readable across PRs: each run appends, and
+/// diffs show the numbers moving.
+inline void AppendBenchJson(const std::string& bench,
+                            const std::string& json_line) {
+  const char* override_path = std::getenv("EXPLAIN3D_BENCH_JSON");
+  std::string path =
+      override_path != nullptr ? override_path : "BENCH_" + bench + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "a");
+  if (f == nullptr) return;  // benches never fail on unwritable cwd
+  std::fprintf(f, "%s\n", json_line.c_str());
+  std::fclose(f);
+}
+
 /// Fixed-width table printer.
 class TablePrinter {
  public:
@@ -52,6 +89,30 @@ class TablePrinter {
     for (const auto& row : rows_) PrintRow(row);
   }
 
+  /// The whole table as one JSON line:
+  ///   {"figure":"8a","scale":1.0,"headers":[...],"rows":[[...],...]}
+  std::string ToJson(const std::string& figure) const {
+    std::string out = "{\"figure\":\"" + JsonEscape(figure) + "\"";
+    out += ",\"scale\":" + Fmt(Scale(), "%.3g");
+    out += ",\"headers\":[";
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      if (i > 0) out += ",";
+      out += "\"" + JsonEscape(headers_[i]) + "\"";
+    }
+    out += "],\"rows\":[";
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      if (r > 0) out += ",";
+      out += "[";
+      for (size_t i = 0; i < rows_[r].size(); ++i) {
+        if (i > 0) out += ",";
+        out += "\"" + JsonEscape(rows_[r][i]) + "\"";
+      }
+      out += "]";
+    }
+    out += "]}";
+    return out;
+  }
+
  private:
   void PrintRow(const std::vector<std::string>& row) const {
     for (size_t i = 0; i < row.size(); ++i) {
@@ -64,12 +125,6 @@ class TablePrinter {
   std::vector<size_t> widths_;
   std::vector<std::vector<std::string>> rows_;
 };
-
-inline std::string Fmt(double v, const char* fmt = "%.3f") {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), fmt, v);
-  return buf;
-}
 
 /// Runs stage 1 + 2 and bails out loudly on failure (benches should never
 /// silently skip an experiment).

@@ -65,6 +65,7 @@ void Academic() {
   }
   std::printf("\n=== Figure 4 (top): Academic dataset statistics ===\n");
   table.Print();
+  AppendBenchJson("fig4", table.ToJson("4-academic"));
 }
 
 void Imdb() {
@@ -89,6 +90,7 @@ void Imdb() {
   }
   std::printf("\n=== Figure 4 (bottom): IMDb dataset statistics ===\n");
   table.Print();
+  AppendBenchJson("fig4", table.ToJson("4-imdb"));
 }
 
 }  // namespace

@@ -66,14 +66,16 @@ void RunPair(AcademicUniversity univ) {
                 Fmt(res.accuracy.evidence.f1)});
     time.AddRow({AlgorithmName(alg), Fmt(res.total_seconds)});
   }
+  bool umass = univ == AcademicUniversity::kUMass;
   std::printf("\nFigure 6%s: accuracy (explanations | evidence)\n",
-              univ == AcademicUniversity::kUMass ? "a/6b" : "d/6e");
+              umass ? "a/6b" : "d/6e");
   acc.Print();
   std::printf("\nFigure 6%s: total execution time "
               "(includes %.3fs shared stage-1 mapping generation)\n",
-              univ == AcademicUniversity::kUMass ? "c" : "f",
-              pipe.stage1_seconds);
+              umass ? "c" : "f", pipe.stage1_seconds);
   time.Print();
+  AppendBenchJson("fig6", acc.ToJson(umass ? "6ab-accuracy" : "6de-accuracy"));
+  AppendBenchJson("fig6", time.ToJson(umass ? "6c-time" : "6f-time"));
 }
 
 }  // namespace

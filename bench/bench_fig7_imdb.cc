@@ -88,6 +88,7 @@ void Figure7ab() {
                 Fmt(t.secs / n)});
   }
   acc.Print();
+  AppendBenchJson("fig7", acc.ToJson("7ab-accuracy"));
 }
 
 void Figure7c() {
@@ -136,6 +137,7 @@ void Figure7c() {
     table.AddRow(row);
   }
   table.Print();
+  AppendBenchJson("fig7", table.ToJson("7c-time"));
   std::printf("(times include the shared stage-1 mapping generation, "
               "which dominates — matching Section 5.2's >98%% note)\n");
 }

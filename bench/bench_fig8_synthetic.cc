@@ -105,6 +105,8 @@ void Sweep(const char* figure, const char* xlabel,
   time.Print();
   std::printf("\naccuracy (Section 5.3: near-perfect for all methods)\n");
   acc.Print();
+  AppendBenchJson("fig8", time.ToJson(std::string(figure) + "-time"));
+  AppendBenchJson("fig8", acc.ToJson(std::string(figure) + "-accuracy"));
 }
 
 // The paper's NoOpt curve measures ONE monolithic Section-3.2 MILP given
@@ -165,6 +167,48 @@ void Figure8aMonolithicMilp() {
                   milp::SolveStatusName(sol.status)});
   }
   table.Print();
+  AppendBenchJson("fig8", table.ToJson("8a-monolithic-milp"));
+}
+
+// Threads scaling of the parallel sub-problem solve loop at the sweep's
+// largest size. Sub-problems are independent (Section 4), so stage-2 time
+// should drop near-linearly until the core count or the largest single
+// component bounds it; outputs are bit-identical for every thread count
+// (asserted in solver_parallel_test).
+void Figure8dThreads() {
+  std::printf("\n=== Figure 8d: solver threads scaling "
+              "(Batch-1000, n=%zu) ===\n", Scaled(6000));
+  SyntheticOptions gen;
+  gen.n = Scaled(6000);
+  gen.d = 0.2;
+  gen.v = 1000;
+  SyntheticDataset data = GenerateSynthetic(gen).value();
+  PipelineInput input;
+  input.db1 = &data.db1;
+  input.db2 = &data.db2;
+  input.sql1 = data.sql1;
+  input.sql2 = data.sql2;
+  input.attr_matches = data.attr_matches;
+  input.mapping_options.min_probability = 1e-4;
+  input.calibration_oracle =
+      MakeRowEntityOracle(data.row_entities1, data.row_entities2);
+
+  TablePrinter table({"num_threads", "solve (sec)", "speedup vs 1",
+                      "stage1 (sec)"});
+  double base = 0;
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+    Explain3DConfig config;
+    config.batch_size = 1000;
+    config.num_threads = threads;
+    PipelineResult pipe = MustRun(input, config);
+    double secs = pipe.core.stats.solve_seconds;
+    if (threads == 1) base = secs;
+    table.AddRow({std::to_string(threads), Fmt(secs),
+                  Fmt(secs > 0 ? base / secs : 1.0, "%.2f"),
+                  Fmt(pipe.stage1_seconds)});
+  }
+  table.Print();
+  AppendBenchJson("fig8", table.ToJson("8d-threads"));
 }
 
 void Figure8a() {
@@ -223,5 +267,6 @@ int main() {
   explain3d::bench::Figure8aMonolithicMilp();
   explain3d::bench::Figure8b();
   explain3d::bench::Figure8c();
+  explain3d::bench::Figure8dThreads();
   return 0;
 }

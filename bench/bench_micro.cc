@@ -5,12 +5,14 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.h"
+#include "common/string_util.h"
 #include "core/exact_solver.h"
 #include "core/milp_encoder.h"
 #include "core/partitioning.h"
 #include "matching/blocking.h"
 #include "matching/mapping_generator.h"
 #include "matching/similarity.h"
+#include "matching/token_interning.h"
 #include "milp/branch_and_bound.h"
 #include "partition/partitioner.h"
 #include "provenance/canonical.h"
@@ -84,6 +86,90 @@ void BM_Levenshtein(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Levenshtein);
+
+// --- token interning --------------------------------------------------------
+
+void BM_TokenDictionaryIntern(benchmark::State& state) {
+  // Zipf-ish token stream: a small hot vocabulary plus a long tail.
+  Rng rng(5);
+  std::vector<std::string> stream;
+  for (int i = 0; i < 4096; ++i) {
+    size_t id = rng.Bernoulli(0.8) ? rng.Index(64) : rng.Index(4096);
+    stream.push_back("tok" + std::to_string(id));
+  }
+  for (auto _ : state) {
+    TokenDictionary dict;
+    for (const std::string& tok : stream) {
+      benchmark::DoNotOptimize(dict.Intern(tok));
+    }
+  }
+}
+BENCHMARK(BM_TokenDictionaryIntern);
+
+void BM_JaccardTokenIds(benchmark::State& state) {
+  // The interned counterpart of BM_JaccardSimilarity: id sets are cached,
+  // so per-pair work is one uint32 merge-intersection.
+  TokenDictionary dict;
+  std::string a = "department of computer and information sciences";
+  std::string b = "college of information and computer science";
+  auto intern = [&](const std::string& s) {
+    TokenIdSet ids;
+    for (const std::string& tok : TokenizeWords(s)) {
+      ids.push_back(dict.Intern(tok));
+    }
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    return ids;
+  };
+  TokenIdSet ia = intern(a), ib = intern(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(JaccardOfTokenIds(ia, ib));
+  }
+}
+BENCHMARK(BM_JaccardTokenIds);
+
+// Candidate scoring: the matching stage's hot loop — one combined key
+// similarity per blocking candidate. The "Strings" variant re-tokenizes
+// and string-compares per pair (the pre-interning pipeline); "Interned"
+// tokenizes each tuple once up front and scores over cached token-id sets
+// (includes the interning cost, amortized over the candidate set).
+
+void BM_CandidateScoringStrings(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  CanonicalRelation t1 = RandomRelation(n, 41);
+  CanonicalRelation t2 = RandomRelation(n, 42);
+  CandidatePairs pairs = GenerateCandidates(t1, t2);
+  for (auto _ : state) {
+    double total = 0;
+    for (const auto& [i, j] : pairs) {
+      total += KeySimilarity(t1.tuples[i].key, t2.tuples[j].key,
+                             StringMetric::kJaccard);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pairs.size()));
+}
+BENCHMARK(BM_CandidateScoringStrings)->Arg(500)->Arg(2000);
+
+void BM_CandidateScoringInterned(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  CanonicalRelation t1 = RandomRelation(n, 41);
+  CanonicalRelation t2 = RandomRelation(n, 42);
+  CandidatePairs pairs = GenerateCandidates(t1, t2);
+  for (auto _ : state) {
+    TokenDictionary dict;
+    InternedRelation i1(t1, &dict), i2(t2, &dict);
+    double total = 0;
+    for (const auto& [i, j] : pairs) {
+      total += InternedKeySimilarity(i1, i, i2, j);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pairs.size()));
+}
+BENCHMARK(BM_CandidateScoringInterned)->Arg(500)->Arg(2000);
 
 // --- blocking + mapping generation ----------------------------------------
 

@@ -53,6 +53,7 @@ void Run(size_t n) {
   }
   std::printf("\n=== pre-partitioning ablation, %zu tuples ===\n", 2 * n);
   table.Print();
+  AppendBenchJson("prepartition", table.ToJson("prepartition-ablation"));
 }
 
 }  // namespace

@@ -1,0 +1,134 @@
+// A small fixed-size thread pool (plain shared queue, no work stealing).
+//
+// Stage 2 solves its sub-problems independently; the pool lets the solver
+// run them concurrently while the caller keeps results indexed so the
+// merged output is bit-identical to a serial run. ParallelFor is the
+// only pattern the codebase needs: run fn(i) for i in [0, n) on up to
+// num_threads workers, claiming indices from an atomic counter.
+
+#ifndef EXPLAIN3D_COMMON_THREAD_POOL_H_
+#define EXPLAIN3D_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace explain3d {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads) {
+    if (num_threads == 0) num_threads = 1;
+    workers_.reserve(num_threads);
+    for (size_t i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue and joins all workers.
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.push(std::move(task));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until every submitted task has finished running.
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+  }
+
+  /// hardware_concurrency, never 0.
+  static size_t DefaultThreads() {
+    unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : static_cast<size_t>(hc);
+  }
+
+ private:
+  void WorkerLoop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) {
+          if (stop_) return;
+          continue;
+        }
+        task = std::move(queue_.front());
+        queue_.pop();
+        ++running_;
+      }
+      task();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        --running_;
+        if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t running_ = 0;
+  bool stop_ = false;
+};
+
+/// Runs fn(i) for every i in [0, n). With num_threads <= 1 (or n <= 1) the
+/// calls happen inline on the caller's thread — byte-for-byte the serial
+/// behavior. Otherwise min(num_threads, n) workers claim indices from an
+/// atomic counter; fn must only touch per-index state (callers keep
+/// results in a pre-sized vector slot per index so merge order stays
+/// deterministic).
+inline void ParallelFor(size_t num_threads, size_t n,
+                        const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (num_threads <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  size_t workers = num_threads < n ? num_threads : n;
+  std::atomic<size_t> next{0};
+  ThreadPool pool(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    pool.Submit([&] {
+      for (;;) {
+        size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        fn(i);
+      }
+    });
+  }
+  pool.Wait();
+}
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_COMMON_THREAD_POOL_H_

@@ -45,6 +45,14 @@ struct Explain3DConfig {
   size_t milp_max_nodes = 50000;
   /// Node limit of the specialized component solver.
   size_t exact_max_nodes = 4000000;
+
+  // --- parallelism ---
+  /// Worker threads for the per-sub-problem solve loop. Sub-problems are
+  /// independent, so they are solved concurrently and merged in
+  /// deterministic sub-problem order — output is bit-identical to a
+  /// serial run. 0 = hardware_concurrency, 1 = solve serially on the
+  /// calling thread.
+  size_t num_threads = 0;
 };
 
 }  // namespace explain3d

@@ -1,9 +1,13 @@
 #include "core/solver.h"
 
 #include <algorithm>
+#include <atomic>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/exact_solver.h"
 #include "core/milp_encoder.h"
@@ -52,6 +56,80 @@ std::vector<SubProblem> SplitIntoComponents(const SubProblem& sub,
   return out;
 }
 
+/// What one independent unit solve produces; merged in unit order so the
+/// combined result does not depend on scheduling.
+struct UnitOutcome {
+  Status status = Status::OK();
+  ExplanationSet explanations;
+  size_t total_nodes = 0;
+  size_t milp_solved = 0;
+  size_t exact_solved = 0;
+  bool all_optimal = true;
+};
+
+void AppendExplanations(ExplanationSet* into, const ExplanationSet& from) {
+  into->delta.insert(into->delta.end(), from.delta.begin(), from.delta.end());
+  into->value_changes.insert(into->value_changes.end(),
+                             from.value_changes.begin(),
+                             from.value_changes.end());
+  into->evidence.insert(into->evidence.end(), from.evidence.begin(),
+                        from.evidence.end());
+}
+
+/// Solves one unit (a connected component or an undecomposed part).
+/// Thread-safe: only reads the shared inputs and writes its own outcome.
+UnitOutcome SolveUnit(const SubProblem& unit, const CanonicalRelation& t1,
+                      const CanonicalRelation& t2,
+                      const Explain3DInput& input, const MilpEncoder& encoder,
+                      const ProbabilityModel& prob,
+                      const Explain3DConfig& config) {
+  UnitOutcome out;
+  if (unit.match_ids.empty()) {
+    // No candidate matches: every tuple is a provenance explanation.
+    for (size_t g : unit.t1_ids) {
+      out.explanations.delta.push_back({Side::kLeft, g});
+    }
+    for (size_t g : unit.t2_ids) {
+      out.explanations.delta.push_back({Side::kRight, g});
+    }
+    return out;
+  }
+
+  size_t est = EstimateMilpConstraints(unit, encoder.side1_capped(),
+                                       encoder.side2_capped());
+  if (est <= config.milp_max_constraints) {
+    EncodedMilp enc = encoder.Encode(unit);
+    milp::MilpOptions mopts;
+    mopts.time_limit_seconds = config.milp_time_limit_seconds;
+    mopts.max_nodes = config.milp_max_nodes;
+    milp::MilpSolver milp_solver(enc.model, mopts);
+    milp::Solution sol = milp_solver.Solve();
+    out.total_nodes += milp_solver.stats().nodes;
+    if (sol.status == milp::SolveStatus::kOptimal) {
+      AppendExplanations(&out.explanations,
+                         encoder.Decode(unit, enc, sol.values));
+      ++out.milp_solved;
+      return out;
+    }
+    E3D_LOG(kWarn) << "MILP sub-problem returned "
+                   << milp::SolveStatusName(sol.status)
+                   << "; falling back to the assignment solver";
+  }
+
+  Result<ExactSolveResult> exact =
+      SolveComponentExact(t1, t2, input.mapping, input.attr, prob, unit,
+                          config.exact_max_nodes);
+  if (!exact.ok()) {
+    out.status = exact.status();
+    return out;
+  }
+  out.total_nodes += exact.value().nodes;
+  out.all_optimal = exact.value().proven_optimal;
+  AppendExplanations(&out.explanations, exact.value().explanations);
+  ++out.exact_solved;
+  return out;
+}
+
 }  // namespace
 
 Result<Explain3DResult> Explain3DSolver::Solve(
@@ -84,79 +162,48 @@ Result<Explain3DResult> Explain3DSolver::Solve(
   MilpEncoder encoder(t1, t2, input.mapping, input.attr, prob_);
 
   Timer solve_timer;
-  for (const SubProblem& part : parts) {
-    if (part.num_tuples() == 0) continue;
-    std::vector<SubProblem> units;
-    if (config_.decompose_components) {
-      units = SplitIntoComponents(part, input.mapping, t1.size(), t2.size());
-    } else {
-      units.push_back(part);
-    }
-    for (const SubProblem& unit : units) {
-      ++result.stats.num_subproblems;
-      if (unit.match_ids.empty()) {
-        // No candidate matches: every tuple is a provenance explanation.
-        for (size_t g : unit.t1_ids) {
-          result.explanations.delta.push_back({Side::kLeft, g});
-        }
-        for (size_t g : unit.t2_ids) {
-          result.explanations.delta.push_back({Side::kRight, g});
-        }
-        continue;
-      }
 
-      size_t est = EstimateMilpConstraints(unit, encoder.side1_capped(),
-                                           encoder.side2_capped());
-      bool solved = false;
-      if (est <= config_.milp_max_constraints) {
-        EncodedMilp enc = encoder.Encode(unit);
-        milp::MilpOptions mopts;
-        mopts.time_limit_seconds = config_.milp_time_limit_seconds;
-        mopts.max_nodes = config_.milp_max_nodes;
-        milp::MilpSolver milp_solver(enc.model, mopts);
-        milp::Solution sol = milp_solver.Solve();
-        result.stats.total_nodes += milp_solver.stats().nodes;
-        if (sol.status == milp::SolveStatus::kOptimal) {
-          ExplanationSet part_expl = encoder.Decode(unit, enc, sol.values);
-          result.explanations.delta.insert(result.explanations.delta.end(),
-                                           part_expl.delta.begin(),
-                                           part_expl.delta.end());
-          result.explanations.value_changes.insert(
-              result.explanations.value_changes.end(),
-              part_expl.value_changes.begin(),
-              part_expl.value_changes.end());
-          result.explanations.evidence.insert(
-              result.explanations.evidence.end(),
-              part_expl.evidence.begin(), part_expl.evidence.end());
-          ++result.stats.milp_solved;
-          solved = true;
-        } else {
-          E3D_LOG(kWarn) << "MILP sub-problem returned "
-                         << milp::SolveStatusName(sol.status)
-                         << "; falling back to the assignment solver";
-        }
-      }
-      if (!solved) {
-        E3D_ASSIGN_OR_RETURN(
-            ExactSolveResult exact,
-            SolveComponentExact(t1, t2, input.mapping, input.attr, prob_,
-                                unit, config_.exact_max_nodes));
-        result.stats.total_nodes += exact.nodes;
-        result.stats.all_optimal &= exact.proven_optimal;
-        result.explanations.delta.insert(result.explanations.delta.end(),
-                                         exact.explanations.delta.begin(),
-                                         exact.explanations.delta.end());
-        result.explanations.value_changes.insert(
-            result.explanations.value_changes.end(),
-            exact.explanations.value_changes.begin(),
-            exact.explanations.value_changes.end());
-        result.explanations.evidence.insert(
-            result.explanations.evidence.end(),
-            exact.explanations.evidence.begin(),
-            exact.explanations.evidence.end());
-        ++result.stats.exact_solved;
-      }
+  // Flatten partitions into the independent units stage 2 actually solves
+  // (per-part connected components when decomposition is on).
+  std::vector<SubProblem> units;
+  for (SubProblem& part : parts) {
+    if (part.num_tuples() == 0) continue;
+    if (config_.decompose_components) {
+      std::vector<SubProblem> split =
+          SplitIntoComponents(part, input.mapping, t1.size(), t2.size());
+      for (SubProblem& unit : split) units.push_back(std::move(unit));
+    } else {
+      units.push_back(std::move(part));
     }
+  }
+  result.stats.num_subproblems = units.size();
+
+  // Solve every unit independently — concurrently when configured — into
+  // an outcome slot per unit, then merge in unit order. The merged result
+  // is bit-identical for any thread count.
+  size_t threads =
+      config_.num_threads == 0 ? ThreadPool::DefaultThreads()
+                               : config_.num_threads;
+  std::vector<UnitOutcome> outcomes(units.size());
+  std::atomic<bool> failed{false};
+  ParallelFor(threads, units.size(), [&](size_t i) {
+    // Once any unit fails the whole Solve returns its error, so skip the
+    // remaining units instead of burning minutes on a doomed call (the
+    // serial loop bailed out on the first error too).
+    if (failed.load(std::memory_order_relaxed)) return;
+    outcomes[i] = SolveUnit(units[i], t1, t2, input, encoder, prob_, config_);
+    if (!outcomes[i].status.ok()) {
+      failed.store(true, std::memory_order_relaxed);
+    }
+  });
+
+  for (const UnitOutcome& out : outcomes) {
+    if (!out.status.ok()) return out.status;
+    AppendExplanations(&result.explanations, out.explanations);
+    result.stats.total_nodes += out.total_nodes;
+    result.stats.milp_solved += out.milp_solved;
+    result.stats.exact_solved += out.exact_solved;
+    result.stats.all_optimal &= out.all_optimal;
   }
   result.stats.solve_seconds = solve_timer.Seconds();
 

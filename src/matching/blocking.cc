@@ -5,60 +5,77 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/logging.h"
 #include "common/string_util.h"
+#include "matching/token_interning.h"
 
 namespace explain3d {
 
 CandidatePairs AllPairs(size_t n1, size_t n2) {
   CandidatePairs out;
-  out.reserve(n1 * n2);
+  // Cap the up-front reservation: n1 * n2 can overflow size_t or request
+  // an absurd allocation long before a single pair is produced. AllPairs
+  // stays quadratic by design (tests / small inputs only — see header);
+  // large inputs simply grow the vector geometrically past the cap.
+  constexpr size_t kReserveCap = size_t{1} << 20;
+  size_t want = (n2 != 0 && n1 > kReserveCap / n2) ? kReserveCap : n1 * n2;
+  out.reserve(want);
   for (size_t i = 0; i < n1; ++i) {
     for (size_t j = 0; j < n2; ++j) out.emplace_back(i, j);
   }
   return out;
 }
 
-CandidatePairs GenerateCandidates(const CanonicalRelation& t1,
-                                  const CanonicalRelation& t2) {
+namespace {
+
+/// Sorted-unique union of a tuple's per-attribute token-id sets (a token
+/// appearing in several attributes of one key must post once).
+TokenIdSet KeyTokenIds(const InternedKey& ik) {
+  TokenIdSet ids;
+  for (const TokenIdSet& attr : ik.attr_tokens) {
+    ids.insert(ids.end(), attr.begin(), attr.end());
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+}  // namespace
+
+CandidatePairs GenerateCandidates(const InternedRelation& t1,
+                                  const InternedRelation& t2) {
+  // Ids only align within one dictionary; a mismatch would index the
+  // postings vector out of bounds.
+  E3D_CHECK(&t1.dict() == &t2.dict());
   CandidatePairs out;
 
-  // Token and numeric-bucket inverted indexes over ALL key attributes of
-  // T2 (keys may have different arity on the two sides).
-  std::unordered_map<std::string, std::vector<size_t>> token_index;
+  // Token-id and numeric-bucket inverted indexes over ALL key attributes
+  // of T2 (keys may have different arity on the two sides). Postings are
+  // indexed by dense token id — no string hashing on lookups.
+  std::vector<std::vector<size_t>> postings(t1.dict().size());
   std::unordered_map<int64_t, std::vector<size_t>> bucket_index;
   for (size_t j = 0; j < t2.size(); ++j) {
-    std::vector<std::string> toks;
-    for (const Value& v : t2.tuples[j].key) {
-      if (v.type() == DataType::kString) {
-        for (const std::string& tok : TokenizeWords(v.AsString())) {
-          toks.push_back(tok);
-        }
-      } else if (v.is_numeric()) {
+    for (const Value& v : t2.relation().tuples[j].key) {
+      if (v.is_numeric()) {
         bucket_index[static_cast<int64_t>(std::floor(v.AsDouble()))]
             .push_back(j);
       }
     }
-    std::sort(toks.begin(), toks.end());
-    toks.erase(std::unique(toks.begin(), toks.end()), toks.end());
-    for (const std::string& tok : toks) token_index[tok].push_back(j);
+    for (uint32_t id : KeyTokenIds(t2.key(j))) {
+      postings[id].push_back(j);
+    }
   }
 
   // Stop-token cutoff: tokens hitting a large fraction of T2 (genders,
   // degree types, the word "of") would create quadratic candidate sets
   // without carrying matching signal.
-  size_t df_cutoff =
-      std::max<size_t>(50, t2.size() / 10 + 1);
+  size_t df_cutoff = std::max<size_t>(50, t2.size() / 10 + 1);
 
   std::vector<size_t> hits;
   for (size_t i = 0; i < t1.size(); ++i) {
     hits.clear();
-    std::vector<std::string> toks;
-    for (const Value& v : t1.tuples[i].key) {
-      if (v.type() == DataType::kString) {
-        for (const std::string& tok : TokenizeWords(v.AsString())) {
-          toks.push_back(tok);
-        }
-      } else if (v.is_numeric()) {
+    for (const Value& v : t1.relation().tuples[i].key) {
+      if (v.is_numeric()) {
         int64_t b = static_cast<int64_t>(std::floor(v.AsDouble()));
         for (int64_t nb = b - 1; nb <= b + 1; ++nb) {
           auto it = bucket_index.find(nb);
@@ -67,19 +84,26 @@ CandidatePairs GenerateCandidates(const CanonicalRelation& t1,
         }
       }
     }
-    std::sort(toks.begin(), toks.end());
-    toks.erase(std::unique(toks.begin(), toks.end()), toks.end());
-    for (const std::string& tok : toks) {
-      auto it = token_index.find(tok);
-      if (it == token_index.end()) continue;
-      if (it->second.size() > df_cutoff) continue;  // stop token
-      hits.insert(hits.end(), it->second.begin(), it->second.end());
+    for (uint32_t id : KeyTokenIds(t1.key(i))) {
+      const std::vector<size_t>& posting = postings[id];
+      if (posting.empty()) continue;
+      if (posting.size() > df_cutoff) continue;  // stop token
+      hits.insert(hits.end(), posting.begin(), posting.end());
     }
     std::sort(hits.begin(), hits.end());
     hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
     for (size_t j : hits) out.emplace_back(i, j);
   }
   return out;
+}
+
+CandidatePairs GenerateCandidates(const CanonicalRelation& t1,
+                                  const CanonicalRelation& t2) {
+  TokenDictionary dict;
+  // Blocking never reads the whole-key bags.
+  InternedRelation i1(t1, &dict, /*with_bags=*/false);
+  InternedRelation i2(t2, &dict, /*with_bags=*/false);
+  return GenerateCandidates(i1, i2);
 }
 
 }  // namespace explain3d

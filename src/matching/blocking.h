@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "matching/token_interning.h"
 #include "provenance/canonical.h"
 
 namespace explain3d {
@@ -26,10 +27,19 @@ using CandidatePairs = std::vector<std::pair<size_t, size_t>>;
 /// 1.0, so integers within distance 1 are candidates). A pair becomes a
 /// candidate when any key attribute produces a collision. Output is
 /// deduplicated and sorted.
+///
+/// The InternedRelation overload is the fast path: it reuses the token-id
+/// sets cached at interning time (both relations must share one
+/// TokenDictionary) and produces exactly the same pairs. The
+/// CanonicalRelation overload interns into a throwaway dictionary.
+CandidatePairs GenerateCandidates(const InternedRelation& t1,
+                                  const InternedRelation& t2);
 CandidatePairs GenerateCandidates(const CanonicalRelation& t1,
                                   const CanonicalRelation& t2);
 
-/// All n*m pairs (small inputs and tests).
+/// All n*m pairs. Quadratic by construction — meant for tests and small
+/// inputs only; the up-front reserve is capped so absurd n1*n2 requests
+/// cannot demand the full allocation before any pair exists.
 CandidatePairs AllPairs(size_t n1, size_t n2);
 
 }  // namespace explain3d

@@ -1,6 +1,7 @@
 #include "matching/mapping_generator.h"
 
 #include "common/rng.h"
+#include "matching/token_interning.h"
 
 namespace explain3d {
 
@@ -8,16 +9,40 @@ Result<TupleMapping> GenerateInitialMapping(const CanonicalRelation& t1,
                                             const CanonicalRelation& t2,
                                             const GoldPairs& gold,
                                             const MappingGenOptions& opts) {
+  // Tokenize every tuple key exactly once; blocking and candidate scoring
+  // both run over the cached sorted token-id sets. Whole-key token bags
+  // are only needed when some pair can hit KeySimilarity's
+  // different-arity fallback.
+  auto uniform_arity = [](const CanonicalRelation& rel, size_t* arity) {
+    for (const CanonicalTuple& t : rel.tuples) {
+      if (&t == &rel.tuples.front()) *arity = t.key.size();
+      else if (t.key.size() != *arity) return false;
+    }
+    return true;
+  };
+  size_t arity1 = 0, arity2 = 0;
+  bool need_bags = t1.size() > 0 && t2.size() > 0 &&
+                   !(uniform_arity(t1, &arity1) && uniform_arity(t2, &arity2) &&
+                     arity1 == arity2);
+  TokenDictionary dict;
+  InternedRelation interned1(t1, &dict, need_bags);
+  InternedRelation interned2(t2, &dict, need_bags);
+
   CandidatePairs pairs = opts.use_blocking
-                             ? GenerateCandidates(t1, t2)
+                             ? GenerateCandidates(interned1, interned2)
                              : AllPairs(t1.size(), t2.size());
 
   // Pairwise combined similarity (KeySimilarity also handles attribute
-  // sets of different arity, e.g. (firstname, lastname) vs (name)).
+  // sets of different arity, e.g. (firstname, lastname) vs (name)). The
+  // Jaccard metric runs entirely on interned token ids; the character
+  // metrics (Jaro, Levenshtein) still need the strings.
   std::vector<double> sim(pairs.size());
   for (size_t k = 0; k < pairs.size(); ++k) {
     const auto& [i, j] = pairs[k];
-    sim[k] = KeySimilarity(t1.tuples[i].key, t2.tuples[j].key, opts.metric);
+    sim[k] = opts.metric == StringMetric::kJaccard
+                 ? InternedKeySimilarity(interned1, i, interned2, j)
+                 : KeySimilarity(t1.tuples[i].key, t2.tuples[j].key,
+                                 opts.metric);
   }
 
   TupleMapping mapping;

@@ -43,6 +43,25 @@ double JaccardOfTokenSets(const std::vector<std::string>& a,
   return static_cast<double>(inter) / static_cast<double>(uni);
 }
 
+double JaccardOfTokenIds(const TokenIdSet& a, const TokenIdSet& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  size_t i = 0, j = 0, inter = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t uni = a.size() + b.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
 double NumericSimilarity(double a, double b) {
   double d = a - b;
   return 1.0 / (1.0 + d * d);
@@ -81,9 +100,17 @@ double JaroSimilarity(const std::string& a, const std::string& b) {
   return (m / la + m / lb + (m - t / 2.0) / m) / 3.0;
 }
 
-double NormalizedLevenshtein(const std::string& a, const std::string& b) {
-  if (a.empty() && b.empty()) return 1.0;
+double NormalizedLevenshtein(const std::string& a, const std::string& b,
+                             double min_sim) {
+  if (a == b) return 1.0;  // also covers two empty strings
   size_t la = a.size(), lb = b.size();
+  // dist >= |la - lb|, so similarity <= 1 - |la-lb|/max(la,lb). When that
+  // bound already fails the caller's threshold, return it without the DP.
+  size_t len_diff = la > lb ? la - lb : lb - la;
+  double sim_cap =
+      1.0 - static_cast<double>(len_diff) /
+                static_cast<double>(std::max(la, lb));
+  if (sim_cap < min_sim) return sim_cap;
   // Single-row DP.
   std::vector<size_t> prev(lb + 1), cur(lb + 1);
   for (size_t j = 0; j <= lb; ++j) prev[j] = j;

@@ -11,6 +11,7 @@
 #ifndef EXPLAIN3D_MATCHING_SIMILARITY_H_
 #define EXPLAIN3D_MATCHING_SIMILARITY_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -23,10 +24,17 @@ namespace explain3d {
 /// Returns 1 when both token sets are empty.
 double JaccardSimilarity(const std::string& a, const std::string& b);
 
-/// Jaccard over pre-tokenized, sorted-unique token vectors (hot path for
-/// blocking-based mapping generation).
+/// Jaccard over pre-tokenized, sorted-unique token vectors.
 double JaccardOfTokenSets(const std::vector<std::string>& a,
                           const std::vector<std::string>& b);
+
+/// Sorted-unique interned token ids (matching/token_interning.h).
+using TokenIdSet = std::vector<uint32_t>;
+
+/// Jaccard over interned sorted-unique token-id sets: a uint32
+/// merge-intersection, the hot path of blocking-based mapping generation.
+/// Equals JaccardOfTokenSets on the corresponding string sets exactly.
+double JaccardOfTokenIds(const TokenIdSet& a, const TokenIdSet& b);
 
 /// 1 / (1 + (a-b)^2), the paper's normalized Euclidean similarity.
 double NumericSimilarity(double a, double b);
@@ -35,7 +43,13 @@ double NumericSimilarity(double a, double b);
 double JaroSimilarity(const std::string& a, const std::string& b);
 
 /// 1 - lev(a,b)/max(|a|,|b|); 1 for two empty strings.
-double NormalizedLevenshtein(const std::string& a, const std::string& b);
+///
+/// `min_sim` lets threshold-based callers skip the O(|a|·|b|) DP: when the
+/// length difference alone proves the similarity is below min_sim, the
+/// length-based upper bound (which is < min_sim) is returned instead of
+/// the exact value. Identical strings short-circuit to 1 without the DP.
+double NormalizedLevenshtein(const std::string& a, const std::string& b,
+                             double min_sim = 0.0);
 
 /// Which string metric a ValueSimilarity call uses.
 enum class StringMetric { kJaccard, kJaro, kLevenshtein };

@@ -1,0 +1,90 @@
+#include "matching/token_interning.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace explain3d {
+
+uint32_t TokenDictionary::Intern(const std::string& token) {
+  auto it = ids_.find(token);
+  if (it != ids_.end()) return it->second;
+  uint32_t id = static_cast<uint32_t>(tokens_.size());
+  ids_.emplace(token, id);
+  tokens_.push_back(token);
+  return id;
+}
+
+uint32_t TokenDictionary::Find(const std::string& token) const {
+  auto it = ids_.find(token);
+  return it == ids_.end() ? kMissing : it->second;
+}
+
+namespace {
+
+void SortUnique(TokenIdSet* ids) {
+  std::sort(ids->begin(), ids->end());
+  ids->erase(std::unique(ids->begin(), ids->end()), ids->end());
+}
+
+}  // namespace
+
+InternedRelation::InternedRelation(const CanonicalRelation& rel,
+                                   TokenDictionary* dict, bool with_bags)
+    : rel_(&rel), dict_(dict), with_bags_(with_bags) {
+  keys_.resize(rel.tuples.size());
+  for (size_t i = 0; i < rel.tuples.size(); ++i) {
+    const Row& key = rel.tuples[i].key;
+    InternedKey& ik = keys_[i];
+    ik.attr_tokens.resize(key.size());
+    for (size_t a = 0; a < key.size(); ++a) {
+      const Value& v = key[a];
+      if (v.type() == DataType::kString) {
+        for (const std::string& tok : TokenizeWords(v.AsString())) {
+          ik.attr_tokens[a].push_back(dict->Intern(tok));
+        }
+        SortUnique(&ik.attr_tokens[a]);
+      }
+      if (with_bags && !v.is_null()) {
+        for (const std::string& tok : TokenizeWords(v.ToDisplayString())) {
+          ik.bag.push_back(dict->Intern(tok));
+        }
+      }
+    }
+    SortUnique(&ik.bag);
+  }
+}
+
+double InternedKeySimilarity(const InternedRelation& r1, size_t i,
+                             const InternedRelation& r2, size_t j) {
+  E3D_CHECK(&r1.dict() == &r2.dict());
+  const Row& a = r1.relation().tuples[i].key;
+  const Row& b = r2.relation().tuples[j].key;
+  if (a.size() != b.size()) {
+    E3D_CHECK(r1.has_bags() && r2.has_bags())
+        << "different-arity keys need InternedRelation(with_bags=true)";
+    return JaccardOfTokenIds(r1.key(i).bag, r2.key(j).bag);
+  }
+  if (a.empty()) return 0.0;
+  double total = 0;
+  for (size_t k = 0; k < a.size(); ++k) {
+    const Value& va = a[k];
+    const Value& vb = b[k];
+    if (va.is_null() && vb.is_null()) {
+      total += 1.0;
+    } else if (va.is_null() || vb.is_null()) {
+      // similarity 0
+    } else if (va.is_numeric() && vb.is_numeric()) {
+      total += NumericSimilarity(va.AsDouble(), vb.AsDouble());
+    } else if (va.type() == DataType::kString &&
+               vb.type() == DataType::kString) {
+      total += JaccardOfTokenIds(r1.key(i).attr_tokens[k],
+                                 r2.key(j).attr_tokens[k]);
+    }
+    // mixed types: similarity 0
+  }
+  return total / static_cast<double>(a.size());
+}
+
+}  // namespace explain3d

@@ -1,0 +1,98 @@
+// Token interning for the matching pipeline.
+//
+// Blocking and candidate scoring both operate on the word tokens of the
+// canonical keys. Tokenizing, sorting, and string-comparing per candidate
+// pair makes the matching stage O(candidates × tokenization). Interning
+// maps every distinct token to a dense uint32 id ONCE per relation; each
+// tuple caches its sorted-unique token-id sets, so pair scoring becomes a
+// uint32 merge-intersection (JaccardOfTokenIds, similarity.h) and blocking
+// posts token ids instead of strings.
+//
+// Both relations of a comparison must intern into the SAME TokenDictionary
+// or ids do not align. Jaccard over id sets equals Jaccard over the string
+// sets exactly (set cardinalities are independent of element encoding), so
+// the interned path is bit-identical to the string path.
+
+#ifndef EXPLAIN3D_MATCHING_TOKEN_INTERNING_H_
+#define EXPLAIN3D_MATCHING_TOKEN_INTERNING_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "matching/similarity.h"
+#include "provenance/canonical.h"
+
+namespace explain3d {
+
+/// Interns tokens to dense ids in first-seen order.
+class TokenDictionary {
+ public:
+  /// Sentinel returned by Find for unknown tokens.
+  static constexpr uint32_t kMissing = 0xFFFFFFFFu;
+
+  /// Returns the id of `token`, inserting it if new.
+  uint32_t Intern(const std::string& token);
+
+  /// Returns the id of `token`, or kMissing when it was never interned.
+  uint32_t Find(const std::string& token) const;
+
+  /// Number of distinct tokens interned so far (ids are [0, size())).
+  size_t size() const { return tokens_.size(); }
+
+  /// Reverse lookup; id must be < size().
+  const std::string& token(uint32_t id) const { return tokens_[id]; }
+
+ private:
+  std::unordered_map<std::string, uint32_t> ids_;
+  std::vector<std::string> tokens_;
+};
+
+/// Cached tokenization of one canonical tuple's key.
+struct InternedKey {
+  /// Per key attribute: sorted-unique ids of TokenizeWords(value) for
+  /// string attributes; empty for numeric/NULL attributes.
+  std::vector<TokenIdSet> attr_tokens;
+  /// Whole-key token bag (every non-NULL value rendered to display text,
+  /// tokenized, interned, sorted-unique) — the different-arity fallback of
+  /// KeySimilarity.
+  TokenIdSet bag;
+};
+
+/// A canonical relation plus its per-tuple interned keys, computed once.
+/// Holds a reference to the relation — keep the relation alive.
+///
+/// `with_bags` controls whether the whole-key token bags are built. Only
+/// the different-arity fallback of InternedKeySimilarity reads them;
+/// blocking-only users and equal-arity comparisons should pass false to
+/// skip that second tokenization pass (and keep numeric display tokens
+/// out of the dictionary).
+class InternedRelation {
+ public:
+  InternedRelation(const CanonicalRelation& rel, TokenDictionary* dict,
+                   bool with_bags = true);
+
+  const CanonicalRelation& relation() const { return *rel_; }
+  const TokenDictionary& dict() const { return *dict_; }
+  bool has_bags() const { return with_bags_; }
+  size_t size() const { return keys_.size(); }
+  const InternedKey& key(size_t i) const { return keys_[i]; }
+
+ private:
+  const CanonicalRelation* rel_;
+  const TokenDictionary* dict_;
+  bool with_bags_;
+  std::vector<InternedKey> keys_;
+};
+
+/// KeySimilarity(t1.key, t2.key, StringMetric::kJaccard) computed over the
+/// cached token-id sets — same value, no per-pair tokenization. Numeric /
+/// NULL / mixed attributes follow ValueSimilarity exactly.
+double InternedKeySimilarity(const InternedRelation& r1, size_t i,
+                             const InternedRelation& r2, size_t j);
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_MATCHING_TOKEN_INTERNING_H_

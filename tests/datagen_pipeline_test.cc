@@ -160,7 +160,7 @@ TEST(ImdbPipelineTest, TemplatesRunAndScoreReasonably) {
   // A representative template subset keeps the test fast; the bench runs
   // all ten.
   std::vector<ImdbQueryPair> all = ImdbTemplates(1990, "Comedy");
-  for (const std::string& name : {"Q3", "Q5"}) {
+  for (const char* name : {"Q3", "Q5"}) {
     const ImdbQueryPair* q = nullptr;
     for (const auto& t : all) {
       if (t.name == name) q = &t;

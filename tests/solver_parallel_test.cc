@@ -1,0 +1,113 @@
+// Concurrency regression tests: the parallel sub-problem solve loop must
+// be bit-identical to the serial one (outcomes are merged in deterministic
+// sub-problem order), and the ThreadPool primitives must behave.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/pipeline.h"
+#include "datagen/synthetic.h"
+#include "eval/gold.h"
+
+namespace explain3d {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  for (size_t threads : {size_t{1}, size_t{2}, size_t{4}}) {
+    std::vector<std::atomic<int>> counts(257);
+    for (auto& c : counts) c = 0;
+    ParallelFor(threads, counts.size(),
+                [&](size_t i) { counts[i].fetch_add(1); });
+    for (size_t i = 0; i < counts.size(); ++i) {
+      EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, SubmitAndWaitRunsAllTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPoolTest, ParallelForHandlesEmptyAndTiny) {
+  int calls = 0;
+  ParallelFor(4, 0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  ParallelFor(4, 1, [&](size_t i) { calls += static_cast<int>(i) + 1; });
+  EXPECT_EQ(calls, 1);  // n == 1 runs inline
+}
+
+// Runs the full pipeline on a synthetic dataset with the given thread
+// count and returns the stage-2 result.
+Explain3DResult RunSynthetic(uint64_t seed, size_t num_threads,
+                             size_t batch_size) {
+  SyntheticOptions gen;
+  gen.n = 150;
+  gen.d = 0.25;
+  gen.v = 200;
+  gen.seed = seed;
+  SyntheticDataset data = GenerateSynthetic(gen).value();
+
+  PipelineInput input;
+  input.db1 = &data.db1;
+  input.db2 = &data.db2;
+  input.sql1 = data.sql1;
+  input.sql2 = data.sql2;
+  input.attr_matches = data.attr_matches;
+  input.mapping_options.min_probability = 1e-4;  // keep crude matches
+  input.calibration_oracle =
+      MakeRowEntityOracle(data.row_entities1, data.row_entities2);
+
+  Explain3DConfig config;
+  config.batch_size = batch_size;
+  config.num_threads = num_threads;
+  Result<PipelineResult> r = RunExplain3D(input, config);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value().core;
+}
+
+void ExpectIdentical(const Explain3DResult& serial,
+                     const Explain3DResult& parallel) {
+  const ExplanationSet& a = serial.explanations;
+  const ExplanationSet& b = parallel.explanations;
+  // Both results are Normalize()d by Solve; equality must be exact.
+  EXPECT_EQ(a.delta, b.delta);
+  ASSERT_EQ(a.value_changes.size(), b.value_changes.size());
+  for (size_t i = 0; i < a.value_changes.size(); ++i) {
+    EXPECT_EQ(a.value_changes[i], b.value_changes[i]);
+    EXPECT_EQ(a.value_changes[i].old_impact, b.value_changes[i].old_impact);
+    EXPECT_EQ(a.value_changes[i].new_impact, b.value_changes[i].new_impact);
+  }
+  EXPECT_EQ(a.evidence, b.evidence);
+  EXPECT_EQ(a.log_probability, b.log_probability);  // bitwise, not NEAR
+  EXPECT_EQ(serial.stats.num_subproblems, parallel.stats.num_subproblems);
+  EXPECT_EQ(serial.stats.milp_solved, parallel.stats.milp_solved);
+  EXPECT_EQ(serial.stats.exact_solved, parallel.stats.exact_solved);
+  EXPECT_EQ(serial.stats.total_nodes, parallel.stats.total_nodes);
+}
+
+TEST(SolverParallelTest, FourThreadsBitIdenticalToSerialAcrossSeeds) {
+  for (uint64_t seed : {11u, 42u, 1234u}) {
+    Explain3DResult serial = RunSynthetic(seed, 1, 100);
+    Explain3DResult parallel = RunSynthetic(seed, 4, 100);
+    ExpectIdentical(serial, parallel);
+  }
+}
+
+TEST(SolverParallelTest, AutoThreadsBitIdenticalToSerial) {
+  // num_threads = 0 resolves to hardware_concurrency.
+  Explain3DResult serial = RunSynthetic(7, 1, 1000);
+  Explain3DResult parallel = RunSynthetic(7, 0, 1000);
+  ExpectIdentical(serial, parallel);
+}
+
+}  // namespace
+}  // namespace explain3d

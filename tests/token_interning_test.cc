@@ -1,0 +1,193 @@
+// Token-interning tests: TokenDictionary behavior, the id-based Jaccard
+// fast path against the string-based reference, interned key similarity
+// against KeySimilarity, interned blocking against the string path, and
+// the NormalizedLevenshtein early exits.
+
+#include "matching/token_interning.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "matching/blocking.h"
+#include "matching/similarity.h"
+
+namespace explain3d {
+namespace {
+
+TEST(TokenDictionaryTest, InternsAndDeduplicates) {
+  TokenDictionary dict;
+  uint32_t a = dict.Intern("alpha");
+  uint32_t b = dict.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.Intern("alpha"), a);  // stable on re-intern
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.token(a), "alpha");
+  EXPECT_EQ(dict.token(b), "beta");
+  EXPECT_EQ(dict.Find("alpha"), a);
+  EXPECT_EQ(dict.Find("gamma"), TokenDictionary::kMissing);
+}
+
+TEST(TokenDictionaryTest, IdsAreDenseFirstSeenOrder) {
+  TokenDictionary dict;
+  for (uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(dict.Intern("tok" + std::to_string(i)), i);
+  }
+  EXPECT_EQ(dict.size(), 100u);
+}
+
+// Builds the sorted-unique string token set and its interned counterpart.
+std::vector<std::string> SortedTokens(const std::string& s) {
+  std::vector<std::string> toks = TokenizeWords(s);
+  std::sort(toks.begin(), toks.end());
+  toks.erase(std::unique(toks.begin(), toks.end()), toks.end());
+  return toks;
+}
+
+TokenIdSet InternTokens(const std::string& s, TokenDictionary* dict) {
+  TokenIdSet ids;
+  for (const std::string& tok : TokenizeWords(s)) {
+    ids.push_back(dict->Intern(tok));
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+TEST(JaccardOfTokenIdsTest, MatchesStringJaccardOnRandomPhrases) {
+  Rng rng(99);
+  for (int trial = 0; trial < 500; ++trial) {
+    // Random phrases over a small vocabulary force overlaps of all sizes.
+    auto phrase = [&] {
+      std::string s;
+      size_t len = rng.Index(8);
+      for (size_t w = 0; w < len; ++w) {
+        s += "w" + std::to_string(rng.Index(12)) + " ";
+      }
+      return s;
+    };
+    std::string a = phrase(), b = phrase();
+    TokenDictionary dict;
+    TokenIdSet ia = InternTokens(a, &dict);
+    TokenIdSet ib = InternTokens(b, &dict);
+    EXPECT_DOUBLE_EQ(JaccardOfTokenIds(ia, ib),
+                     JaccardOfTokenSets(SortedTokens(a), SortedTokens(b)))
+        << "a=\"" << a << "\" b=\"" << b << "\"";
+  }
+}
+
+TEST(JaccardOfTokenIdsTest, EmptySetEdgeCases) {
+  TokenIdSet empty, one = {3};
+  EXPECT_DOUBLE_EQ(JaccardOfTokenIds(empty, empty), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardOfTokenIds(empty, one), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardOfTokenIds(one, empty), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardOfTokenIds(one, one), 1.0);
+}
+
+// Random canonical relation with string, numeric, and NULL key values.
+CanonicalRelation RandomKeyedRelation(size_t n, size_t arity, uint64_t seed) {
+  Rng rng(seed);
+  CanonicalRelation rel;
+  for (size_t a = 0; a < arity; ++a) {
+    rel.key_attrs.push_back("k" + std::to_string(a));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    CanonicalTuple t;
+    for (size_t a = 0; a < arity; ++a) {
+      double roll = rng.UniformDouble();
+      if (roll < 0.1) {
+        t.key.push_back(Value::Null());
+      } else if (roll < 0.3) {
+        t.key.push_back(Value(static_cast<int64_t>(rng.Index(20))));
+      } else {
+        std::string s;
+        for (int w = 0; w < 3; ++w) {
+          s += "w" + std::to_string(rng.Index(40)) + " ";
+        }
+        t.key.push_back(Value(s));
+      }
+    }
+    t.impact = 1;
+    t.prov_rows = {i};
+    rel.tuples.push_back(std::move(t));
+  }
+  return rel;
+}
+
+TEST(InternedKeySimilarityTest, MatchesKeySimilarityEqualArity) {
+  CanonicalRelation t1 = RandomKeyedRelation(40, 3, 7);
+  CanonicalRelation t2 = RandomKeyedRelation(40, 3, 8);
+  TokenDictionary dict;
+  InternedRelation i1(t1, &dict), i2(t2, &dict);
+  for (size_t i = 0; i < t1.size(); ++i) {
+    for (size_t j = 0; j < t2.size(); ++j) {
+      EXPECT_DOUBLE_EQ(InternedKeySimilarity(i1, i, i2, j),
+                       KeySimilarity(t1.tuples[i].key, t2.tuples[j].key,
+                                     StringMetric::kJaccard))
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST(InternedKeySimilarityTest, MatchesKeySimilarityDifferentArity) {
+  // Different arities exercise the whole-key token-bag fallback, which
+  // renders numerics to display tokens.
+  CanonicalRelation t1 = RandomKeyedRelation(30, 2, 9);
+  CanonicalRelation t2 = RandomKeyedRelation(30, 3, 10);
+  TokenDictionary dict;
+  InternedRelation i1(t1, &dict), i2(t2, &dict);
+  for (size_t i = 0; i < t1.size(); ++i) {
+    for (size_t j = 0; j < t2.size(); ++j) {
+      EXPECT_DOUBLE_EQ(InternedKeySimilarity(i1, i, i2, j),
+                       KeySimilarity(t1.tuples[i].key, t2.tuples[j].key,
+                                     StringMetric::kJaccard));
+    }
+  }
+}
+
+TEST(BlockingInternedTest, InternedAndStringPathsAgree) {
+  CanonicalRelation t1 = RandomKeyedRelation(60, 2, 11);
+  CanonicalRelation t2 = RandomKeyedRelation(60, 2, 12);
+  // Blocking never reads the bags; candidates must agree regardless.
+  TokenDictionary bagless;
+  InternedRelation b1(t1, &bagless, /*with_bags=*/false);
+  InternedRelation b2(t2, &bagless, /*with_bags=*/false);
+  EXPECT_EQ(GenerateCandidates(b1, b2), GenerateCandidates(t1, t2));
+  TokenDictionary bagged;
+  InternedRelation i1(t1, &bagged), i2(t2, &bagged);
+  EXPECT_EQ(GenerateCandidates(i1, i2), GenerateCandidates(t1, t2));
+}
+
+TEST(NormalizedLevenshteinTest, IdenticalStringsSkipDp) {
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("same string", "same string"), 1.0);
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("", ""), 1.0);
+}
+
+TEST(NormalizedLevenshteinTest, MinSimEarlyExitReturnsUpperBound) {
+  // |a|=2, |b|=10: similarity can be at most 1 - 8/10 = 0.2. With a 0.5
+  // threshold the DP is skipped and the bound comes back; without a
+  // threshold the exact value does. Both are below the threshold, so a
+  // thresholding caller makes the same keep/drop decision either way.
+  std::string a = "ab", b = "abcdefghij";
+  double exact = NormalizedLevenshtein(a, b);
+  double bounded = NormalizedLevenshtein(a, b, 0.5);
+  EXPECT_DOUBLE_EQ(bounded, 0.2);
+  EXPECT_LE(exact, bounded);
+  EXPECT_LT(bounded, 0.5);
+  // When the length bound passes the threshold, the exact value returns.
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("kitten", "sitting", 0.2),
+                   NormalizedLevenshtein("kitten", "sitting"));
+}
+
+TEST(AllPairsTest, GeneratesEveryPair) {
+  CandidatePairs pairs = AllPairs(3, 2);
+  ASSERT_EQ(pairs.size(), 6u);
+  EXPECT_EQ(pairs.front(), std::make_pair(size_t{0}, size_t{0}));
+  EXPECT_EQ(pairs.back(), std::make_pair(size_t{2}, size_t{1}));
+}
+
+}  // namespace
+}  // namespace explain3d
