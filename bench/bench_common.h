@@ -66,6 +66,21 @@ inline void AppendBenchJson(const std::string& bench,
   std::fclose(f);
 }
 
+/// Per-stage timing of one pipeline run as a JSON line (Section 5.2
+/// reports per-stage times; stage 1 dominates end-to-end >98%).
+///   {"figure":"6c-stages","scale":1.0,"stage1_seconds":...,
+///    "stage2_seconds":...,"total_seconds":...}
+inline std::string StageTimesJson(const std::string& figure,
+                                  const PipelineResult& pipe) {
+  std::string out = "{\"figure\":\"" + JsonEscape(figure) + "\"";
+  out += ",\"scale\":" + Fmt(Scale(), "%.3g");
+  out += ",\"stage1_seconds\":" + Fmt(pipe.stage1_seconds, "%.6f");
+  out += ",\"stage2_seconds\":" + Fmt(pipe.stage2_seconds, "%.6f");
+  out += ",\"total_seconds\":" + Fmt(pipe.total_seconds, "%.6f");
+  out += "}";
+  return out;
+}
+
 /// Fixed-width table printer.
 class TablePrinter {
  public:

@@ -121,6 +121,9 @@ void Figure7c() {
 
     Explain3DConfig config;
     PipelineResult pipe = MustRun(input, config);
+    AppendBenchJson("fig7", StageTimesJson(
+                                "7c-stages-span" + std::to_string(span),
+                                pipe));
     Result<GoldStandard> gold =
         GoldFromEntityColumns(pipe, "Movie.movie_id", "Movie.m_id");
     if (!gold.ok()) continue;

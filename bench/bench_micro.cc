@@ -7,8 +7,12 @@
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "core/exact_solver.h"
+#include "core/matching_context.h"
 #include "core/milp_encoder.h"
 #include "core/partitioning.h"
+#include "core/pipeline.h"
+#include "datagen/synthetic.h"
+#include "eval/gold.h"
 #include "matching/blocking.h"
 #include "matching/mapping_generator.h"
 #include "matching/similarity.h"
@@ -171,6 +175,52 @@ void BM_CandidateScoringInterned(benchmark::State& state) {
 }
 BENCHMARK(BM_CandidateScoringInterned)->Arg(500)->Arg(2000);
 
+// Parallel candidate scoring: the same hot loop as "Interned", fanned out
+// over the shared pipeline pool (args: n, threads). Per-pair work is one
+// uint32 merge-intersection written to a private slot, so throughput
+// should scale near-linearly with threads on a multicore machine and show
+// no overhead at threads=1 (the serial inline path).
+void BM_CandidateScoringParallel(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t threads = static_cast<size_t>(state.range(1));
+  CanonicalRelation t1 = RandomRelation(n, 41);
+  CanonicalRelation t2 = RandomRelation(n, 42);
+  TokenDictionary dict;
+  InternedRelation i1(t1, &dict), i2(t2, &dict);
+  CandidatePairs pairs = GenerateCandidates(i1, i2);
+  for (auto _ : state) {
+    std::vector<double> sim =
+        ScoreCandidates(i1, i2, pairs, StringMetric::kJaccard, threads);
+    benchmark::DoNotOptimize(sim.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pairs.size()));
+}
+BENCHMARK(BM_CandidateScoringParallel)
+    ->Args({2000, 1})
+    ->Args({2000, 2})
+    ->Args({2000, 4});
+
+// Parallel InternedRelation construction (args: n, threads): phase 1
+// tokenizes per tuple on the pool, phase 2 interns serially, so the
+// dictionary stays deterministic while the tokenization scales.
+void BM_InternedRelationBuild(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t threads = static_cast<size_t>(state.range(1));
+  CanonicalRelation rel = RandomRelation(n, 43);
+  for (auto _ : state) {
+    TokenDictionary dict;
+    InternedRelation interned(rel, &dict, /*with_bags=*/true, threads);
+    benchmark::DoNotOptimize(interned.size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_InternedRelationBuild)
+    ->Args({4000, 1})
+    ->Args({4000, 2})
+    ->Args({4000, 4});
+
 // --- blocking + mapping generation ----------------------------------------
 
 void BM_Blocking(benchmark::State& state) {
@@ -184,17 +234,92 @@ void BM_Blocking(benchmark::State& state) {
 }
 BENCHMARK(BM_Blocking)->Arg(200)->Arg(1000)->Arg(4000)->Complexity();
 
+// Blocking with parallel postings construction and probing (args: n,
+// threads); candidates are bit-identical for every thread count.
+void BM_BlockingParallel(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  size_t threads = static_cast<size_t>(state.range(1));
+  CanonicalRelation t1 = RandomRelation(n, 1);
+  CanonicalRelation t2 = RandomRelation(n, 2);
+  TokenDictionary dict;
+  InternedRelation i1(t1, &dict, /*with_bags=*/false, threads);
+  InternedRelation i2(t2, &dict, /*with_bags=*/false, threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateCandidates(i1, i2, threads));
+  }
+}
+BENCHMARK(BM_BlockingParallel)
+    ->Args({4000, 1})
+    ->Args({4000, 2})
+    ->Args({4000, 4});
+
 void BM_InitialMapping(benchmark::State& state) {
   size_t n = static_cast<size_t>(state.range(0));
   CanonicalRelation t1 = RandomRelation(n, 3);
   CanonicalRelation t2 = RandomRelation(n, 4);
   MappingGenOptions opts;
+  opts.num_threads = 1;  // the serial baseline; see BM_InitialMappingParallel
   for (auto _ : state) {
     benchmark::DoNotOptimize(
         GenerateInitialMapping(t1, t2, GoldPairs{}, opts));
   }
 }
 BENCHMARK(BM_InitialMapping)->Arg(500)->Arg(2000);
+
+// Full stage-1 mapping generation fanned out over the shared pool (args:
+// n, threads): interning, blocking, and scoring all parallel.
+void BM_InitialMappingParallel(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  CanonicalRelation t1 = RandomRelation(n, 3);
+  CanonicalRelation t2 = RandomRelation(n, 4);
+  MappingGenOptions opts;
+  opts.num_threads = static_cast<size_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GenerateInitialMapping(t1, t2, GoldPairs{}, opts));
+  }
+}
+BENCHMARK(BM_InitialMappingParallel)
+    ->Args({2000, 1})
+    ->Args({2000, 2})
+    ->Args({2000, 4});
+
+// Warm vs cold MatchingContext on the end-to-end pipeline: a warm context
+// skips execution, provenance, canonicalization, interning, and blocking,
+// leaving only scoring + calibration + stage 2 — the repeated
+// interactive-query serving path.
+void BM_PipelineStage1(benchmark::State& state) {
+  bool warm = state.range(0) != 0;
+  SyntheticOptions gen;
+  gen.n = 500;
+  gen.d = 0.25;
+  gen.v = 300;
+  SyntheticDataset data = GenerateSynthetic(gen).value();
+  PipelineInput input;
+  input.db1 = &data.db1;
+  input.db2 = &data.db2;
+  input.sql1 = data.sql1;
+  input.sql2 = data.sql2;
+  input.attr_matches = data.attr_matches;
+  input.mapping_options.min_probability = 1e-4;
+  input.calibration_oracle =
+      MakeRowEntityOracle(data.row_entities1, data.row_entities2);
+  Explain3DConfig config;
+  MatchingContext context;
+  if (warm) {
+    input.matching_context = &context;
+    benchmark::DoNotOptimize(RunExplain3D(input, config).ok());  // fill
+  }
+  for (auto _ : state) {
+    Result<PipelineResult> r = RunExplain3D(input, config);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_PipelineStage1)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgNames({"warm"})
+    ->Unit(benchmark::kMillisecond);
 
 // --- LP / MILP solver -------------------------------------------------------
 

@@ -1,18 +1,24 @@
-// A small fixed-size thread pool (plain shared queue, no work stealing).
+// A small fixed-size thread pool (plain shared queue, no work stealing),
+// plus the process-wide SharedPool every ParallelFor call site uses.
 //
-// Stage 2 solves its sub-problems independently; the pool lets the solver
-// run them concurrently while the caller keeps results indexed so the
-// merged output is bit-identical to a serial run. ParallelFor is the
-// only pattern the codebase needs: run fn(i) for i in [0, n) on up to
-// num_threads workers, claiming indices from an atomic counter.
+// Stage 1 (interning, blocking, candidate scoring) and stage 2 (the
+// sub-problem solve loop) are all embarrassingly parallel per index;
+// ParallelFor is the only pattern the codebase needs: run fn(i) for i in
+// [0, n) on up to num_threads workers. Workers live in one shared pool —
+// spawning a pool per call costs a thread-create/join round trip per
+// ParallelFor, which matters once the pipeline serves many small
+// interactive requests.
 
 #ifndef EXPLAIN3D_COMMON_THREAD_POOL_H_
 #define EXPLAIN3D_COMMON_THREAD_POOL_H_
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdlib>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -26,7 +32,7 @@ class ThreadPool {
   /// Spawns `num_threads` workers (at least 1).
   explicit ThreadPool(size_t num_threads) {
     if (num_threads == 0) num_threads = 1;
-    workers_.reserve(num_threads);
+    std::lock_guard<std::mutex> lock(mu_);
     for (size_t i = 0; i < num_threads; ++i) {
       workers_.emplace_back([this] { WorkerLoop(); });
     }
@@ -45,7 +51,20 @@ class ThreadPool {
     for (std::thread& w : workers_) w.join();
   }
 
-  size_t num_threads() const { return workers_.size(); }
+  size_t num_threads() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return workers_.size();
+  }
+
+  /// Grows the pool to at least `n` workers (never shrinks). Thread-safe
+  /// against Submit/Wait and other EnsureWorkers calls; must not race the
+  /// destructor.
+  void EnsureWorkers(size_t n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    while (workers_.size() < n) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
 
   /// Enqueues a task. Tasks must not throw.
   void Submit(std::function<void()> task) {
@@ -56,7 +75,9 @@ class ThreadPool {
     cv_.notify_one();
   }
 
-  /// Blocks until every submitted task has finished running.
+  /// Blocks until every submitted task has finished running. Note this is
+  /// pool-global: with several concurrent submitters it waits for all of
+  /// them (batch-scoped completion is what ParallelFor tracks itself).
   void Wait() {
     std::unique_lock<std::mutex> lock(mu_);
     idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
@@ -92,7 +113,7 @@ class ThreadPool {
     }
   }
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;
   std::queue<std::function<void()>> queue_;
@@ -101,12 +122,47 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+/// The process-wide pool shared by solver and matcher. Created lazily with
+/// hardware_concurrency workers and grown (never shrunk) to satisfy the
+/// largest `min_threads` ever requested, so an explicit num_threads above
+/// the core count (tests pin 4 on 1-core machines) still gets its workers.
+/// Intentionally leaked: joining workers during static destruction would
+/// race other static teardown, and the OS reclaims the threads anyway.
+inline ThreadPool& SharedPool(size_t min_threads = 0) {
+  static ThreadPool* pool = new ThreadPool(ThreadPool::DefaultThreads());
+  if (min_threads > 0) pool->EnsureWorkers(min_threads);
+  return *pool;
+}
+
+/// Resolves a configured thread count: explicit values pass through; 0
+/// ("auto") honors the EXPLAIN3D_NUM_THREADS environment override (CI pins
+/// it to exercise the parallel paths on default-configured runs) and falls
+/// back to hardware_concurrency. Results are bit-identical for every
+/// resolution, so the override can never change outputs.
+inline size_t ResolveThreads(size_t configured) {
+  if (configured != 0) return configured;
+  static const size_t env_threads = [] {
+    const char* s = std::getenv("EXPLAIN3D_NUM_THREADS");
+    if (s == nullptr) return size_t{0};
+    long v = std::atol(s);
+    return v > 0 ? static_cast<size_t>(v) : size_t{0};
+  }();
+  return env_threads != 0 ? env_threads : ThreadPool::DefaultThreads();
+}
+
 /// Runs fn(i) for every i in [0, n). With num_threads <= 1 (or n <= 1) the
 /// calls happen inline on the caller's thread — byte-for-byte the serial
-/// behavior. Otherwise min(num_threads, n) workers claim indices from an
-/// atomic counter; fn must only touch per-index state (callers keep
-/// results in a pre-sized vector slot per index so merge order stays
-/// deterministic).
+/// behavior. Otherwise up to min(num_threads, n) claimers (the caller plus
+/// helper tasks on the SharedPool) grab index chunks from an atomic
+/// counter; fn must only touch per-index state (callers keep results in a
+/// pre-sized vector slot per index so merge order stays deterministic).
+///
+/// Deadlock- and starvation-free by construction: the caller claims chunks
+/// itself, and completion is tracked per index, so the batch finishes even
+/// when the pool is saturated and no helper ever runs (e.g. a nested
+/// ParallelFor issued from inside a pool task). Helper state lives on the
+/// heap; a straggler task that drains after the batch completed sees no
+/// work left and returns without touching the (dead) caller frame.
 inline void ParallelFor(size_t num_threads, size_t n,
                         const std::function<void(size_t)>& fn) {
   if (n == 0) return;
@@ -114,19 +170,49 @@ inline void ParallelFor(size_t num_threads, size_t n,
     for (size_t i = 0; i < n; ++i) fn(i);
     return;
   }
-  size_t workers = num_threads < n ? num_threads : n;
-  std::atomic<size_t> next{0};
-  ThreadPool pool(workers);
-  for (size_t w = 0; w < workers; ++w) {
-    pool.Submit([&] {
-      for (;;) {
-        size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
-        fn(i);
+  size_t claimers = std::min(num_threads, n);
+
+  struct Batch {
+    std::atomic<size_t> next{0};
+    size_t n = 0;
+    size_t chunk = 1;
+    const std::function<void(size_t)>* fn = nullptr;
+    std::mutex mu;
+    std::condition_variable done_cv;
+    size_t completed = 0;
+  };
+  auto batch = std::make_shared<Batch>();
+  batch->n = n;
+  // Chunked claiming amortizes the counter + completion bookkeeping over
+  // cheap per-index bodies (candidate scoring runs millions of indices).
+  batch->chunk = std::max<size_t>(1, n / (claimers * 8));
+  batch->fn = &fn;
+
+  auto run = [](Batch* b) {
+    for (;;) {
+      size_t begin = b->next.fetch_add(b->chunk, std::memory_order_relaxed);
+      if (begin >= b->n) return;
+      size_t end = std::min(begin + b->chunk, b->n);
+      // fn is only dereferenced while some index in [begin, end) is
+      // claimed-but-incomplete, which keeps the caller (and its fn) alive.
+      for (size_t i = begin; i < end; ++i) (*b->fn)(i);
+      bool last;
+      {
+        std::lock_guard<std::mutex> lock(b->mu);
+        b->completed += end - begin;
+        last = b->completed == b->n;
       }
-    });
+      if (last) b->done_cv.notify_all();
+    }
+  };
+
+  ThreadPool& pool = SharedPool(claimers);
+  for (size_t w = 1; w < claimers; ++w) {
+    pool.Submit([batch, run] { run(batch.get()); });
   }
-  pool.Wait();
+  run(batch.get());  // the caller is claimer 0 — guaranteed progress
+  std::unique_lock<std::mutex> lock(batch->mu);
+  batch->done_cv.wait(lock, [&] { return batch->completed == batch->n; });
 }
 
 }  // namespace explain3d

@@ -47,11 +47,14 @@ struct Explain3DConfig {
   size_t exact_max_nodes = 4000000;
 
   // --- parallelism ---
-  /// Worker threads for the per-sub-problem solve loop. Sub-problems are
-  /// independent, so they are solved concurrently and merged in
-  /// deterministic sub-problem order — output is bit-identical to a
-  /// serial run. 0 = hardware_concurrency, 1 = solve serially on the
-  /// calling thread.
+  /// Worker threads for BOTH pipeline stages, run on the process-wide
+  /// shared pool: stage 1's interning / blocking / candidate scoring
+  /// (each per-tuple and per-pair unit is independent) and stage 2's
+  /// per-sub-problem solve loop (merged in deterministic sub-problem
+  /// order). Output is bit-identical to a serial run for every value.
+  /// 0 = auto: hardware_concurrency, or the EXPLAIN3D_NUM_THREADS
+  /// environment override when set (CI uses it to exercise the parallel
+  /// paths). 1 = run serially on the calling thread.
   size_t num_threads = 0;
 };
 

@@ -1,0 +1,48 @@
+#include "core/matching_context.h"
+
+#include <utility>
+
+namespace explain3d {
+
+Result<MatchingContext::ArtifactsPtr> MatchingContext::GetOrBuild(
+    const std::string& key, const Builder& build) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++hits_;
+      return it->second;
+    }
+    ++misses_;
+  }
+  // Build outside the lock so a slow stage 1 never blocks lookups of
+  // other dataset pairs.
+  E3D_ASSIGN_OR_RETURN(ArtifactsPtr built, build());
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = cache_.emplace(key, std::move(built));
+  // When two calls raced the build, the first insert wins and both return
+  // the same artifacts (they are deterministic anyway).
+  return it->second;
+}
+
+void MatchingContext::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+}
+
+size_t MatchingContext::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
+size_t MatchingContext::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+size_t MatchingContext::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace explain3d

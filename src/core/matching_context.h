@@ -1,0 +1,83 @@
+// Cross-call cache of stage-1 artifacts for interactive serving.
+//
+// Repeated RunExplain3D calls on the same (databases, queries, attribute
+// match) triple — the interactive pattern behind Section 5.2's heavy
+// workloads — redo query execution, provenance derivation,
+// canonicalization, token interning, and blocking from scratch on every
+// call, even though none of that depends on the mapping or solver options.
+// A MatchingContext memoizes those artifacts; the pipeline reuses them
+// when the caller passes a context in PipelineInput, leaving only
+// candidate scoring + calibration (and stage 2) as per-call work.
+//
+// The cache key uses the Database POINTERS plus the query/attribute text,
+// not a content digest: it assumes every cached database stays ALIVE and
+// UNMODIFIED for the context's lifetime. Call Clear() after mutating a
+// database — and before destroying one, since a new Database allocated at
+// a recycled address would otherwise collide with the dead entry's key
+// and be served stale artifacts. When lifetimes are not under your
+// control, use one context per database pair instead.
+//
+// Thread-safe: concurrent pipelines may share one context. Entries are
+// immutable once built and handed out as shared_ptrs, so a Clear() or
+// rebuild never invalidates artifacts an in-flight call still reads.
+
+#ifndef EXPLAIN3D_CORE_MATCHING_CONTEXT_H_
+#define EXPLAIN3D_CORE_MATCHING_CONTEXT_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/value.h"
+#include "matching/blocking.h"
+#include "matching/token_interning.h"
+#include "provenance/provenance.h"
+
+namespace explain3d {
+
+/// Everything stage 1 derives from (db1, db2, sql1, sql2, attr) alone.
+/// Built in place on the heap and never moved afterwards: i1/i2 hold
+/// references to t1/t2/dict, so the owning Stage1Artifacts object must
+/// stay put for their whole lifetime.
+struct Stage1Artifacts {
+  Value answer1, answer2;  ///< the disagreeing query results
+  ProvenanceRelation p1, p2;
+  CanonicalRelation t1, t2;
+  TokenDictionary dict;
+  std::unique_ptr<InternedRelation> i1, i2;
+  /// Blocking candidates over (i1, i2); all pairs when blocking is off.
+  CandidatePairs candidates;
+};
+
+class MatchingContext {
+ public:
+  using ArtifactsPtr = std::shared_ptr<const Stage1Artifacts>;
+  using Builder = std::function<Result<ArtifactsPtr>()>;
+
+  /// Returns the cached artifacts for `key`, invoking `build` on a miss.
+  /// The build runs outside the lock (concurrent misses on one key may
+  /// build twice; the first insert wins and every caller gets that one).
+  Result<ArtifactsPtr> GetOrBuild(const std::string& key,
+                                  const Builder& build);
+
+  /// Drops every cached entry (in-flight shared_ptrs stay valid).
+  void Clear();
+
+  size_t size() const;
+  /// Lifetime lookup counters (diagnostics; tests assert reuse).
+  size_t hits() const;
+  size_t misses() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, ArtifactsPtr> cache_;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_CORE_MATCHING_CONTEXT_H_

@@ -1,11 +1,80 @@
 #include "core/pipeline.h"
 
+#include <memory>
+#include <utility>
+
+#include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "provenance/canonical.h"
 #include "relational/executor.h"
 #include "relational/parser.h"
 
 namespace explain3d {
+
+namespace {
+
+/// Cache key of the stage-1 front end: database identities plus every
+/// input the artifacts depend on (queries, attribute match, blocking
+/// on/off). Thread count is deliberately excluded — artifacts are
+/// bit-identical for every value, so resolutions must share entries.
+std::string Stage1CacheKey(const PipelineInput& input) {
+  const AttributeMatch& attr = input.attr_matches.front();
+  std::string key =
+      StrFormat("db1=%p|db2=%p|", static_cast<const void*>(input.db1),
+                static_cast<const void*>(input.db2));
+  // Length-prefix the free-text components: a raw '|' join would let two
+  // different (sql1, sql2, attr) tuples concatenate to the same key when
+  // the texts themselves contain the delimiter.
+  for (const std::string& part :
+       {input.sql1, input.sql2, attr.ToString()}) {
+    key += std::to_string(part.size()) + ":" + part + "|";
+  }
+  key += input.mapping_options.use_blocking ? "blocking" : "allpairs";
+  return key;
+}
+
+/// Runs the cacheable stage-1 front end: execute, derive provenance,
+/// canonicalize, intern, and block. Everything downstream (calibration,
+/// scoring, stage 2) depends on per-call options and stays live.
+Result<std::shared_ptr<Stage1Artifacts>> BuildStage1Artifacts(
+    const PipelineInput& input, size_t num_threads) {
+  // Built in place and never moved: i1/i2 reference t1/t2/dict inside the
+  // same heap object (see Stage1Artifacts).
+  auto art = std::make_shared<Stage1Artifacts>();
+
+  E3D_ASSIGN_OR_RETURN(SelectStmtPtr stmt1, ParseSql(input.sql1));
+  E3D_ASSIGN_OR_RETURN(SelectStmtPtr stmt2, ParseSql(input.sql2));
+
+  Executor exec1(input.db1);
+  Executor exec2(input.db2);
+  E3D_ASSIGN_OR_RETURN(art->answer1, exec1.ExecuteScalar(*stmt1));
+  E3D_ASSIGN_OR_RETURN(art->answer2, exec2.ExecuteScalar(*stmt2));
+
+  E3D_ASSIGN_OR_RETURN(art->p1, DeriveProvenance(*input.db1, *stmt1));
+  E3D_ASSIGN_OR_RETURN(art->p2, DeriveProvenance(*input.db2, *stmt2));
+
+  const AttributeMatch& attr = input.attr_matches.front();
+  E3D_RETURN_IF_ERROR(
+      attr.ValidateAgainst(art->p1.table.schema(), art->p2.table.schema()));
+
+  E3D_ASSIGN_OR_RETURN(art->t1, Canonicalize(art->p1, attr.attrs1));
+  E3D_ASSIGN_OR_RETURN(art->t2, Canonicalize(art->p2, attr.attrs2));
+
+  bool need_bags = NeedsKeyBags(art->t1, art->t2);
+  art->i1 = std::make_unique<InternedRelation>(art->t1, &art->dict,
+                                               need_bags, num_threads);
+  art->i2 = std::make_unique<InternedRelation>(art->t2, &art->dict,
+                                               need_bags, num_threads);
+
+  art->candidates =
+      input.mapping_options.use_blocking
+          ? GenerateCandidates(*art->i1, *art->i2, num_threads)
+          : AllPairs(art->t1.size(), art->t2.size());
+  return art;
+}
+
+}  // namespace
 
 Result<PipelineResult> RunExplain3D(const PipelineInput& input,
                                     const Explain3DConfig& config) {
@@ -23,36 +92,62 @@ Result<PipelineResult> RunExplain3D(const PipelineInput& input,
   Timer stage1_timer;
 
   // --- Stage 1: provenance, canonicalization, initial mapping -----------
-  E3D_ASSIGN_OR_RETURN(SelectStmtPtr stmt1, ParseSql(input.sql1));
-  E3D_ASSIGN_OR_RETURN(SelectStmtPtr stmt2, ParseSql(input.sql2));
+  // One num_threads knob drives both stages: the config value flows into
+  // the matcher here (outputs stay bit-identical across thread counts).
+  size_t threads = ResolveThreads(config.num_threads);
 
-  Executor exec1(input.db1);
-  Executor exec2(input.db2);
-  E3D_ASSIGN_OR_RETURN(out.answer1, exec1.ExecuteScalar(*stmt1));
-  E3D_ASSIGN_OR_RETURN(out.answer2, exec2.ExecuteScalar(*stmt2));
-
-  E3D_ASSIGN_OR_RETURN(out.p1, DeriveProvenance(*input.db1, *stmt1));
-  E3D_ASSIGN_OR_RETURN(out.p2, DeriveProvenance(*input.db2, *stmt2));
+  MatchingContext::ArtifactsPtr art;
+  std::shared_ptr<Stage1Artifacts> exclusive;  // uncached: steal, don't copy
+  if (input.matching_context != nullptr) {
+    E3D_ASSIGN_OR_RETURN(
+        art, input.matching_context->GetOrBuild(
+                 Stage1CacheKey(input),
+                 [&]() -> Result<MatchingContext::ArtifactsPtr> {
+                   E3D_ASSIGN_OR_RETURN(std::shared_ptr<Stage1Artifacts> b,
+                                        BuildStage1Artifacts(input, threads));
+                   return MatchingContext::ArtifactsPtr(std::move(b));
+                 }));
+  } else {
+    E3D_ASSIGN_OR_RETURN(exclusive, BuildStage1Artifacts(input, threads));
+    art = exclusive;
+  }
 
   const AttributeMatch& attr = input.attr_matches.front();
-  E3D_RETURN_IF_ERROR(
-      attr.ValidateAgainst(out.p1.table.schema(), out.p2.table.schema()));
-
-  E3D_ASSIGN_OR_RETURN(out.t1, Canonicalize(out.p1, attr.attrs1));
-  E3D_ASSIGN_OR_RETURN(out.t2, Canonicalize(out.p2, attr.attrs2));
-
   GoldPairs calibration =
       input.calibration_oracle
-          ? input.calibration_oracle(out.t1, out.t2, out.p1.table,
-                                     out.p2.table)
+          ? input.calibration_oracle(art->t1, art->t2, art->p1.table,
+                                     art->p2.table)
           : input.calibration_gold;
+  MappingGenOptions mapping_options = input.mapping_options;
+  mapping_options.num_threads = threads;
   E3D_ASSIGN_OR_RETURN(
       out.initial_mapping,
-      GenerateInitialMapping(out.t1, out.t2, calibration,
-                             input.mapping_options));
+      GenerateInitialMapping(*art->i1, *art->i2, art->candidates,
+                             calibration, mapping_options));
+
+  // Marshal the stage-1 artifacts into the result. An uncached run owns
+  // them exclusively and moves (this point is past the last i1/i2 use, so
+  // hollowing out t1/t2 is safe); a cached run copies, leaving the shared
+  // entry intact for the next call.
+  if (exclusive != nullptr) {
+    out.answer1 = std::move(exclusive->answer1);
+    out.answer2 = std::move(exclusive->answer2);
+    out.p1 = std::move(exclusive->p1);
+    out.p2 = std::move(exclusive->p2);
+    out.t1 = std::move(exclusive->t1);
+    out.t2 = std::move(exclusive->t2);
+  } else {
+    out.answer1 = art->answer1;
+    out.answer2 = art->answer2;
+    out.p1 = art->p1;
+    out.p2 = art->p2;
+    out.t1 = art->t1;
+    out.t2 = art->t2;
+  }
   out.stage1_seconds = stage1_timer.Seconds();
 
   // --- Stage 2: optimal explanations -------------------------------------
+  Timer stage2_timer;
   Explain3DSolver solver(config);
   Explain3DInput core_input;
   core_input.t1 = &out.t1;
@@ -60,6 +155,7 @@ Result<PipelineResult> RunExplain3D(const PipelineInput& input,
   core_input.attr = attr;
   core_input.mapping = out.initial_mapping;
   E3D_ASSIGN_OR_RETURN(out.core, solver.Solve(core_input));
+  out.stage2_seconds = stage2_timer.Seconds();
 
   out.total_seconds = total_timer.Seconds();
   return out;

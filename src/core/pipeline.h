@@ -17,6 +17,7 @@
 #include <string>
 
 #include "common/status.h"
+#include "core/matching_context.h"
 #include "core/solver.h"
 #include "matching/attribute_match.h"
 #include "matching/mapping_generator.h"
@@ -45,6 +46,13 @@ struct PipelineInput {
   std::function<GoldPairs(const CanonicalRelation&, const CanonicalRelation&,
                           const Table&, const Table&)>
       calibration_oracle;
+  /// Optional stage-1 artifact cache. When set, query execution,
+  /// provenance, canonicalization, interning, and blocking are built once
+  /// per (db1, db2, sql1, sql2, attr) and reused across RunExplain3D
+  /// calls — the repeated-interactive-query fast path. The context must
+  /// outlive the call; see core/matching_context.h for the immutability
+  /// contract.
+  MatchingContext* matching_context = nullptr;
 };
 
 /// Signature of PipelineInput::calibration_oracle.
@@ -61,7 +69,9 @@ struct PipelineResult {
   TupleMapping initial_mapping;
   Explain3DResult core;
 
-  double stage1_seconds = 0;
+  double stage1_seconds = 0;  ///< provenance + canonicalize + mapping
+  double stage2_seconds = 0;  ///< Explain3DSolver::Solve (Section 5.2
+                              ///< reports per-stage times)
   double total_seconds = 0;
 };
 

@@ -181,9 +181,7 @@ Result<Explain3DResult> Explain3DSolver::Solve(
   // Solve every unit independently — concurrently when configured — into
   // an outcome slot per unit, then merge in unit order. The merged result
   // is bit-identical for any thread count.
-  size_t threads =
-      config_.num_threads == 0 ? ThreadPool::DefaultThreads()
-                               : config_.num_threads;
+  size_t threads = ResolveThreads(config_.num_threads);
   std::vector<UnitOutcome> outcomes(units.size());
   std::atomic<bool> failed{false};
   ParallelFor(threads, units.size(), [&](size_t i) {

@@ -7,6 +7,8 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "matching/similarity.h"
 #include "matching/token_interning.h"
 
 namespace explain3d {
@@ -43,25 +45,36 @@ TokenIdSet KeyTokenIds(const InternedKey& ik) {
 }  // namespace
 
 CandidatePairs GenerateCandidates(const InternedRelation& t1,
-                                  const InternedRelation& t2) {
+                                  const InternedRelation& t2,
+                                  size_t num_threads) {
   // Ids only align within one dictionary; a mismatch would index the
   // postings vector out of bounds.
   E3D_CHECK(&t1.dict() == &t2.dict());
-  CandidatePairs out;
 
   // Token-id and numeric-bucket inverted indexes over ALL key attributes
   // of T2 (keys may have different arity on the two sides). Postings are
-  // indexed by dense token id — no string hashing on lookups.
+  // indexed by dense token id — no string hashing on lookups. The
+  // per-tuple token-set unions are computed in parallel; the scatter into
+  // postings stays serial in j order so every posting list is ascending
+  // and identical for any thread count.
+  std::vector<TokenIdSet> key_ids2(t2.size());
+  ParallelFor(num_threads, t2.size(),
+              [&](size_t j) { key_ids2[j] = KeyTokenIds(t2.key(j)); });
   std::vector<std::vector<size_t>> postings(t1.dict().size());
   std::unordered_map<int64_t, std::vector<size_t>> bucket_index;
   for (size_t j = 0; j < t2.size(); ++j) {
     for (const Value& v : t2.relation().tuples[j].key) {
-      if (v.is_numeric()) {
-        bucket_index[static_cast<int64_t>(std::floor(v.AsDouble()))]
-            .push_back(j);
+      // CoerceNumeric, not is_numeric: a numeric-looking string ("123")
+      // must land in the same bucket as the number 123, or type drift
+      // between the databases hides the pair from blocking entirely and
+      // the ValueSimilarity coercion never gets to score it. Such
+      // strings still post their tokens too.
+      double num;
+      if (CoerceNumeric(v, &num)) {
+        bucket_index[static_cast<int64_t>(std::floor(num))].push_back(j);
       }
     }
-    for (uint32_t id : KeyTokenIds(t2.key(j))) {
+    for (uint32_t id : key_ids2[j]) {
       postings[id].push_back(j);
     }
   }
@@ -71,12 +84,15 @@ CandidatePairs GenerateCandidates(const InternedRelation& t1,
   // without carrying matching signal.
   size_t df_cutoff = std::max<size_t>(50, t2.size() / 10 + 1);
 
-  std::vector<size_t> hits;
-  for (size_t i = 0; i < t1.size(); ++i) {
-    hits.clear();
+  // Probe per T1 tuple into a per-tuple slot, then flatten in i order —
+  // the same sorted, deduplicated output as a serial probe loop.
+  std::vector<std::vector<size_t>> cand(t1.size());
+  ParallelFor(num_threads, t1.size(), [&](size_t i) {
+    std::vector<size_t>& hits = cand[i];
     for (const Value& v : t1.relation().tuples[i].key) {
-      if (v.is_numeric()) {
-        int64_t b = static_cast<int64_t>(std::floor(v.AsDouble()));
+      double num;
+      if (CoerceNumeric(v, &num)) {
+        int64_t b = static_cast<int64_t>(std::floor(num));
         for (int64_t nb = b - 1; nb <= b + 1; ++nb) {
           auto it = bucket_index.find(nb);
           if (it == bucket_index.end()) continue;
@@ -84,26 +100,57 @@ CandidatePairs GenerateCandidates(const InternedRelation& t1,
         }
       }
     }
-    for (uint32_t id : KeyTokenIds(t1.key(i))) {
+    TokenIdSet ids = KeyTokenIds(t1.key(i));
+    for (uint32_t id : ids) {
       const std::vector<size_t>& posting = postings[id];
       if (posting.empty()) continue;
       if (posting.size() > df_cutoff) continue;  // stop token
       hits.insert(hits.end(), posting.begin(), posting.end());
     }
+    if (hits.empty()) {
+      // Every token was a stop token (or absent from T2) and no numeric
+      // bucket collided. Skipping the tuple entirely would drop it from
+      // the mapping — a recall bug the explanation semantics cannot
+      // tolerate (an unmatched tuple is evidence, a missing one is
+      // silent). Fall back to the lowest-document-frequency token's
+      // posting (first in sorted id order on ties), the cheapest signal
+      // the index still has for this tuple. The copy is capped at
+      // df_cutoff entries: a constant placeholder key ("unknown" on both
+      // sides) would otherwise hand every such tuple a ~|T2| posting and
+      // reintroduce the quadratic blowup the cutoff exists to prevent.
+      const std::vector<size_t>* best = nullptr;
+      for (uint32_t id : ids) {
+        const std::vector<size_t>& posting = postings[id];
+        if (posting.empty()) continue;
+        if (best == nullptr || posting.size() < best->size()) best = &posting;
+      }
+      if (best != nullptr) {
+        size_t take = std::min(best->size(), df_cutoff);
+        hits.assign(best->begin(), best->begin() + take);
+      }
+    }
     std::sort(hits.begin(), hits.end());
     hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
-    for (size_t j : hits) out.emplace_back(i, j);
+  });
+
+  size_t total = 0;
+  for (const std::vector<size_t>& hits : cand) total += hits.size();
+  CandidatePairs out;
+  out.reserve(total);
+  for (size_t i = 0; i < cand.size(); ++i) {
+    for (size_t j : cand[i]) out.emplace_back(i, j);
   }
   return out;
 }
 
 CandidatePairs GenerateCandidates(const CanonicalRelation& t1,
-                                  const CanonicalRelation& t2) {
+                                  const CanonicalRelation& t2,
+                                  size_t num_threads) {
   TokenDictionary dict;
   // Blocking never reads the whole-key bags.
-  InternedRelation i1(t1, &dict, /*with_bags=*/false);
-  InternedRelation i2(t2, &dict, /*with_bags=*/false);
-  return GenerateCandidates(i1, i2);
+  InternedRelation i1(t1, &dict, /*with_bags=*/false, num_threads);
+  InternedRelation i2(t2, &dict, /*with_bags=*/false, num_threads);
+  return GenerateCandidates(i1, i2, num_threads);
 }
 
 }  // namespace explain3d

@@ -23,19 +23,33 @@ using CandidatePairs = std::vector<std::pair<size_t, size_t>>;
 /// Generates candidate pairs between two canonical relations.
 ///
 /// String key attributes feed a token inverted index; numeric key
-/// attributes feed an exact-value + neighboring-bucket index (bucket width
-/// 1.0, so integers within distance 1 are candidates). A pair becomes a
-/// candidate when any key attribute produces a collision. Output is
-/// deduplicated and sorted.
+/// attributes — including numeric-looking strings, via CoerceNumeric, so
+/// type drift between the databases (123 vs "123") still collides — feed
+/// an exact-value + neighboring-bucket index (bucket width 1.0, so
+/// integers within distance 1 are candidates). A pair becomes a candidate
+/// when any key attribute produces a collision. Tokens whose document
+/// frequency in T2 exceeds a cutoff are treated as stop tokens and
+/// skipped — but a tuple whose every token is a stop token falls back to
+/// the lowest-document-frequency token's posting (capped at the cutoff),
+/// so tuples that DO share signal with T2 never silently vanish from the
+/// mapping (disagreement explanations cannot tolerate dropped tuples).
+/// Tuples sharing no token and no bucket with T2 still get no candidates:
+/// every pair they could form has similarity 0 and would be pruned from
+/// the mapping anyway. Output is deduplicated and sorted.
 ///
 /// The InternedRelation overload is the fast path: it reuses the token-id
 /// sets cached at interning time (both relations must share one
 /// TokenDictionary) and produces exactly the same pairs. The
 /// CanonicalRelation overload interns into a throwaway dictionary.
+///
+/// `num_threads` parallelizes index construction and probing on the
+/// shared pool; the candidate set is bit-identical for any thread count.
 CandidatePairs GenerateCandidates(const InternedRelation& t1,
-                                  const InternedRelation& t2);
+                                  const InternedRelation& t2,
+                                  size_t num_threads = 1);
 CandidatePairs GenerateCandidates(const CanonicalRelation& t1,
-                                  const CanonicalRelation& t2);
+                                  const CanonicalRelation& t2,
+                                  size_t num_threads = 1);
 
 /// All n*m pairs. Quadratic by construction — meant for tests and small
 /// inputs only; the up-front reserve is capped so absurd n1*n2 requests

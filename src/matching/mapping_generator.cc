@@ -1,49 +1,40 @@
 #include "matching/mapping_generator.h"
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "matching/token_interning.h"
 
 namespace explain3d {
 
-Result<TupleMapping> GenerateInitialMapping(const CanonicalRelation& t1,
-                                            const CanonicalRelation& t2,
+std::vector<double> ScoreCandidates(const InternedRelation& i1,
+                                    const InternedRelation& i2,
+                                    const CandidatePairs& pairs,
+                                    StringMetric metric, size_t num_threads) {
+  // Each pair's similarity is independent; slot k only writes sim[k], so
+  // the scores are bit-identical for any thread count.
+  const CanonicalRelation& t1 = i1.relation();
+  const CanonicalRelation& t2 = i2.relation();
+  std::vector<double> sim(pairs.size());
+  ParallelFor(ResolveThreads(num_threads), pairs.size(), [&](size_t k) {
+    const auto& [i, j] = pairs[k];
+    sim[k] = metric == StringMetric::kJaccard
+                 ? InternedKeySimilarity(i1, i, i2, j)
+                 : KeySimilarity(t1.tuples[i].key, t2.tuples[j].key, metric);
+  });
+  return sim;
+}
+
+Result<TupleMapping> GenerateInitialMapping(const InternedRelation& i1,
+                                            const InternedRelation& i2,
+                                            const CandidatePairs& pairs,
                                             const GoldPairs& gold,
                                             const MappingGenOptions& opts) {
-  // Tokenize every tuple key exactly once; blocking and candidate scoring
-  // both run over the cached sorted token-id sets. Whole-key token bags
-  // are only needed when some pair can hit KeySimilarity's
-  // different-arity fallback.
-  auto uniform_arity = [](const CanonicalRelation& rel, size_t* arity) {
-    for (const CanonicalTuple& t : rel.tuples) {
-      if (&t == &rel.tuples.front()) *arity = t.key.size();
-      else if (t.key.size() != *arity) return false;
-    }
-    return true;
-  };
-  size_t arity1 = 0, arity2 = 0;
-  bool need_bags = t1.size() > 0 && t2.size() > 0 &&
-                   !(uniform_arity(t1, &arity1) && uniform_arity(t2, &arity2) &&
-                     arity1 == arity2);
-  TokenDictionary dict;
-  InternedRelation interned1(t1, &dict, need_bags);
-  InternedRelation interned2(t2, &dict, need_bags);
-
-  CandidatePairs pairs = opts.use_blocking
-                             ? GenerateCandidates(interned1, interned2)
-                             : AllPairs(t1.size(), t2.size());
-
   // Pairwise combined similarity (KeySimilarity also handles attribute
   // sets of different arity, e.g. (firstname, lastname) vs (name)). The
   // Jaccard metric runs entirely on interned token ids; the character
   // metrics (Jaro, Levenshtein) still need the strings.
-  std::vector<double> sim(pairs.size());
-  for (size_t k = 0; k < pairs.size(); ++k) {
-    const auto& [i, j] = pairs[k];
-    sim[k] = opts.metric == StringMetric::kJaccard
-                 ? InternedKeySimilarity(interned1, i, interned2, j)
-                 : KeySimilarity(t1.tuples[i].key, t2.tuples[j].key,
-                                 opts.metric);
-  }
+  std::vector<double> sim =
+      ScoreCandidates(i1, i2, pairs, opts.metric, opts.num_threads);
 
   TupleMapping mapping;
   mapping.reserve(pairs.size());
@@ -54,7 +45,9 @@ Result<TupleMapping> GenerateInitialMapping(const CanonicalRelation& t1,
       mapping.emplace_back(pairs[k].first, pairs[k].second, sim[k]);
     }
   } else {
-    // Calibrate on a labeled sample, then score every candidate.
+    // Calibrate on a labeled sample, then score every candidate. The
+    // sample draw consumes Rng in pair order, so it stays serial (and
+    // identical for any thread count).
     SimilarityCalibrator calib(opts.calibration_buckets);
     Rng rng(opts.seed);
     for (size_t k = 0; k < pairs.size(); ++k) {
@@ -79,6 +72,27 @@ Result<TupleMapping> GenerateInitialMapping(const CanonicalRelation& t1,
                           opts.max_probability);
   SortMapping(&mapping);
   return mapping;
+}
+
+Result<TupleMapping> GenerateInitialMapping(const CanonicalRelation& t1,
+                                            const CanonicalRelation& t2,
+                                            const GoldPairs& gold,
+                                            const MappingGenOptions& opts) {
+  // Tokenize every tuple key exactly once; blocking and candidate scoring
+  // both run over the cached sorted token-id sets. Whole-key token bags
+  // are only needed when some pair can hit KeySimilarity's
+  // different-arity fallback.
+  size_t threads = ResolveThreads(opts.num_threads);
+  bool need_bags = NeedsKeyBags(t1, t2);
+  TokenDictionary dict;
+  InternedRelation interned1(t1, &dict, need_bags, threads);
+  InternedRelation interned2(t2, &dict, need_bags, threads);
+
+  CandidatePairs pairs =
+      opts.use_blocking ? GenerateCandidates(interned1, interned2, threads)
+                        : AllPairs(t1.size(), t2.size());
+
+  return GenerateInitialMapping(interned1, interned2, pairs, gold, opts);
 }
 
 }  // namespace explain3d

@@ -37,16 +37,42 @@ struct MappingGenOptions {
   /// Use blocking (token/bucket index) instead of all pairs.
   bool use_blocking = true;
   uint64_t seed = 17;
+  /// Worker threads for stage-1 interning, blocking, and candidate
+  /// scoring (run on the process-wide shared pool). 0 = auto
+  /// (hardware_concurrency, or the EXPLAIN3D_NUM_THREADS override),
+  /// 1 = serial. The mapping is bit-identical for every value.
+  size_t num_threads = 0;
 };
 
 /// Gold evidence pairs, as (index into T1, index into T2).
 using GoldPairs = std::set<std::pair<size_t, size_t>>;
+
+/// Scores every candidate pair with the combined key similarity
+/// (InternedKeySimilarity for kJaccard — no per-pair tokenization —
+/// KeySimilarity over the raw keys for the character metrics), in
+/// parallel over `num_threads`. Slot k of the result scores pairs[k];
+/// values are bit-identical for every thread count.
+std::vector<double> ScoreCandidates(const InternedRelation& i1,
+                                    const InternedRelation& i2,
+                                    const CandidatePairs& pairs,
+                                    StringMetric metric, size_t num_threads);
 
 /// Generates the initial probabilistic tuple mapping between two canonical
 /// relations. `gold` supplies labels for calibration; when empty, raw
 /// similarity is used as the probability (still pruned/clamped).
 Result<TupleMapping> GenerateInitialMapping(const CanonicalRelation& t1,
                                             const CanonicalRelation& t2,
+                                            const GoldPairs& gold,
+                                            const MappingGenOptions& opts);
+
+/// Same, over prebuilt stage-1 artifacts (interned relations sharing one
+/// dictionary, plus the candidate set) — the path MatchingContext-cached
+/// pipelines take so interning and blocking run once per dataset pair
+/// instead of once per call. `opts.use_blocking` is ignored: `pairs` IS
+/// the candidate set.
+Result<TupleMapping> GenerateInitialMapping(const InternedRelation& i1,
+                                            const InternedRelation& i2,
+                                            const CandidatePairs& pairs,
                                             const GoldPairs& gold,
                                             const MappingGenOptions& opts);
 

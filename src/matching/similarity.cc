@@ -1,7 +1,11 @@
 #include "matching/similarity.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <charconv>
 #include <cmath>
+#include <cstdlib>
+#include <system_error>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -126,6 +130,37 @@ double NormalizedLevenshtein(const std::string& a, const std::string& b,
   return 1.0 - dist / static_cast<double>(std::max(la, lb));
 }
 
+bool CoerceNumeric(const Value& v, double* out) {
+  if (v.is_numeric()) {
+    *out = v.AsDouble();
+    return true;
+  }
+  if (v.type() != DataType::kString) return false;
+  std::string trimmed = Trim(v.AsString());
+  if (trimmed.empty()) return false;
+  // from_chars, not strtod: strtod honors LC_NUMERIC, so an embedding
+  // application's setlocale() would change which strings coerce (and
+  // therefore the mapping). Reject partial parses ("5x") and non-finite
+  // spellings ("inf", "nan"): only text that IS a number compares
+  // numerically.
+  double d = 0;
+  const char* begin = trimmed.data();
+  const char* end = trimmed.data() + trimmed.size();
+#if defined(__cpp_lib_to_chars) && __cpp_lib_to_chars >= 201611L
+  auto [ptr, ec] = std::from_chars(begin, end, d);
+  if (ec != std::errc{} || ptr != end || !std::isfinite(d)) return false;
+#else
+  // Toolchains without floating-point from_chars (libstdc++ < GCC 11,
+  // older libc++) fall back to strtod and accept the locale caveat.
+  errno = 0;
+  char* parse_end = nullptr;
+  d = std::strtod(begin, &parse_end);
+  if (errno != 0 || parse_end != end || !std::isfinite(d)) return false;
+#endif
+  *out = d;
+  return true;
+}
+
 double ValueSimilarity(const Value& a, const Value& b, StringMetric metric) {
   if (a.is_null() && b.is_null()) return 1.0;
   if (a.is_null() || b.is_null()) return 0.0;
@@ -143,7 +178,13 @@ double ValueSimilarity(const Value& a, const Value& b, StringMetric metric) {
                                      ToLower(b.AsString()));
     }
   }
-  return 0.0;  // mixed types never match
+  // Mixed numeric-vs-string: type drift between the two databases (123 in
+  // one, "123" in the other) must not zero out true matches.
+  double x, y;
+  if (CoerceNumeric(a, &x) && CoerceNumeric(b, &y)) {
+    return NumericSimilarity(x, y);
+  }
+  return 0.0;
 }
 
 double RowSimilarity(const Row& a, const Row& b, StringMetric metric) {

@@ -54,9 +54,16 @@ double NormalizedLevenshtein(const std::string& a, const std::string& b,
 /// Which string metric a ValueSimilarity call uses.
 enum class StringMetric { kJaccard, kJaro, kLevenshtein };
 
+/// If `v` is numeric — or a string whose trimmed text parses fully as a
+/// finite number ("123", " 4.5 ") — stores the numeric value and returns
+/// true. Lets numeric-vs-string pairs with type drift between the two
+/// databases (123 vs "123") match instead of scoring 0.
+bool CoerceNumeric(const Value& v, double* out);
+
 /// Similarity of two Values: numeric pairs use NumericSimilarity, string
-/// pairs the chosen metric, NULLs similarity 0 (unless both NULL: 1), and
-/// mixed types 0.
+/// pairs the chosen metric, NULLs similarity 0 (unless both NULL: 1).
+/// Mixed numeric-vs-string pairs coerce the string side (CoerceNumeric)
+/// and compare numerically when it is numeric-looking; otherwise 0.
 double ValueSimilarity(const Value& a, const Value& b,
                        StringMetric metric = StringMetric::kJaccard);
 

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace explain3d {
 
@@ -31,23 +32,78 @@ void SortUnique(TokenIdSet* ids) {
 }  // namespace
 
 InternedRelation::InternedRelation(const CanonicalRelation& rel,
-                                   TokenDictionary* dict, bool with_bags)
+                                   TokenDictionary* dict, bool with_bags,
+                                   size_t num_threads)
     : rel_(&rel), dict_(dict), with_bags_(with_bags) {
-  keys_.resize(rel.tuples.size());
-  for (size_t i = 0; i < rel.tuples.size(); ++i) {
+  size_t n = rel.tuples.size();
+  keys_.resize(n);
+
+  if (num_threads <= 1 || n <= 1) {
+    // Serial: tokenize and intern in one streaming pass — the two-phase
+    // scheme below produces the identical dictionary but materializes
+    // every token string for the whole relation at once, a transient
+    // memory cost only worth paying when the tokenize phase actually
+    // fans out.
+    for (size_t i = 0; i < n; ++i) {
+      const Row& key = rel.tuples[i].key;
+      InternedKey& ik = keys_[i];
+      ik.attr_tokens.resize(key.size());
+      for (size_t a = 0; a < key.size(); ++a) {
+        const Value& v = key[a];
+        if (v.type() == DataType::kString) {
+          for (const std::string& tok : TokenizeWords(v.AsString())) {
+            ik.attr_tokens[a].push_back(dict->Intern(tok));
+          }
+          SortUnique(&ik.attr_tokens[a]);
+        }
+        if (with_bags && !v.is_null()) {
+          for (const std::string& tok : TokenizeWords(v.ToDisplayString())) {
+            ik.bag.push_back(dict->Intern(tok));
+          }
+        }
+      }
+      SortUnique(&ik.bag);
+    }
+    return;
+  }
+
+  // Phase 1 (parallel): tokenize every tuple key — the per-value scans and
+  // string splits are the expensive part and are independent per tuple.
+  struct RawTokens {
+    std::vector<std::vector<std::string>> attr;  // string attributes
+    std::vector<std::vector<std::string>> bag;   // display-text tokens
+  };
+  std::vector<RawTokens> raw(n);
+  ParallelFor(num_threads, n, [&](size_t i) {
     const Row& key = rel.tuples[i].key;
-    InternedKey& ik = keys_[i];
-    ik.attr_tokens.resize(key.size());
+    RawTokens& r = raw[i];
+    r.attr.resize(key.size());
+    if (with_bags) r.bag.resize(key.size());
     for (size_t a = 0; a < key.size(); ++a) {
       const Value& v = key[a];
       if (v.type() == DataType::kString) {
-        for (const std::string& tok : TokenizeWords(v.AsString())) {
-          ik.attr_tokens[a].push_back(dict->Intern(tok));
-        }
-        SortUnique(&ik.attr_tokens[a]);
+        r.attr[a] = TokenizeWords(v.AsString());
       }
       if (with_bags && !v.is_null()) {
-        for (const std::string& tok : TokenizeWords(v.ToDisplayString())) {
+        r.bag[a] = TokenizeWords(v.ToDisplayString());
+      }
+    }
+  });
+
+  // Phase 2 (serial): intern in tuple/attribute order — exactly the order
+  // a serial build uses, so first-seen ids are deterministic and the
+  // dictionary is bit-identical for any thread count.
+  for (size_t i = 0; i < n; ++i) {
+    const RawTokens& r = raw[i];
+    InternedKey& ik = keys_[i];
+    ik.attr_tokens.resize(r.attr.size());
+    for (size_t a = 0; a < r.attr.size(); ++a) {
+      for (const std::string& tok : r.attr[a]) {
+        ik.attr_tokens[a].push_back(dict->Intern(tok));
+      }
+      SortUnique(&ik.attr_tokens[a]);
+      if (with_bags) {
+        for (const std::string& tok : r.bag[a]) {
           ik.bag.push_back(dict->Intern(tok));
         }
       }
@@ -81,10 +137,30 @@ double InternedKeySimilarity(const InternedRelation& r1, size_t i,
                vb.type() == DataType::kString) {
       total += JaccardOfTokenIds(r1.key(i).attr_tokens[k],
                                  r2.key(j).attr_tokens[k]);
+    } else {
+      // Mixed numeric-vs-string: mirror ValueSimilarity's type-drift
+      // coercion (123 vs "123" must not zero out).
+      double x, y;
+      if (CoerceNumeric(va, &x) && CoerceNumeric(vb, &y)) {
+        total += NumericSimilarity(x, y);
+      }
     }
-    // mixed types: similarity 0
   }
   return total / static_cast<double>(a.size());
+}
+
+bool NeedsKeyBags(const CanonicalRelation& t1, const CanonicalRelation& t2) {
+  if (t1.tuples.empty() || t2.tuples.empty()) return false;
+  auto uniform_arity = [](const CanonicalRelation& rel, size_t* arity) {
+    for (const CanonicalTuple& t : rel.tuples) {
+      if (&t == &rel.tuples.front()) *arity = t.key.size();
+      else if (t.key.size() != *arity) return false;
+    }
+    return true;
+  };
+  size_t arity1 = 0, arity2 = 0;
+  return !(uniform_arity(t1, &arity1) && uniform_arity(t2, &arity2) &&
+           arity1 == arity2);
 }
 
 }  // namespace explain3d

@@ -69,10 +69,16 @@ struct InternedKey {
 /// blocking-only users and equal-arity comparisons should pass false to
 /// skip that second tokenization pass (and keep numeric display tokens
 /// out of the dictionary).
+///
+/// `num_threads` parallelizes the construction in two phases: per-tuple
+/// tokenization runs on the shared pool, then the tokens are interned
+/// serially in tuple order — TokenDictionary ids keep the exact
+/// first-seen order of a serial build, so the dictionary (and every
+/// downstream posting list) is bit-identical for any thread count.
 class InternedRelation {
  public:
   InternedRelation(const CanonicalRelation& rel, TokenDictionary* dict,
-                   bool with_bags = true);
+                   bool with_bags = true, size_t num_threads = 1);
 
   const CanonicalRelation& relation() const { return *rel_; }
   const TokenDictionary& dict() const { return *dict_; }
@@ -89,9 +95,16 @@ class InternedRelation {
 
 /// KeySimilarity(t1.key, t2.key, StringMetric::kJaccard) computed over the
 /// cached token-id sets — same value, no per-pair tokenization. Numeric /
-/// NULL / mixed attributes follow ValueSimilarity exactly.
+/// NULL / mixed attributes follow ValueSimilarity exactly (including the
+/// CoerceNumeric handling of numeric-vs-string type drift).
 double InternedKeySimilarity(const InternedRelation& r1, size_t i,
                              const InternedRelation& r2, size_t j);
+
+/// True when some pair of tuples from the two relations could hit
+/// KeySimilarity's different-arity token-bag fallback, i.e. the key
+/// arities are not uniformly equal across both relations. Callers that
+/// get false can build InternedRelations with with_bags=false.
+bool NeedsKeyBags(const CanonicalRelation& t1, const CanonicalRelation& t2);
 
 }  // namespace explain3d
 

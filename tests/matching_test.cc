@@ -42,6 +42,39 @@ TEST(SimilarityTest, LevenshteinKnownValues) {
   EXPECT_DOUBLE_EQ(NormalizedLevenshtein("", ""), 1.0);
 }
 
+TEST(SimilarityTest, NumericStringCoercion) {
+  // Type drift between the two databases (123 in one, "123" in the
+  // other) must compare numerically instead of bailing out at 0.
+  EXPECT_DOUBLE_EQ(ValueSimilarity(Value(123), Value("123")), 1.0);
+  EXPECT_DOUBLE_EQ(ValueSimilarity(Value("123"), Value(123)), 1.0);
+  EXPECT_DOUBLE_EQ(ValueSimilarity(Value(123.0), Value(" 123.0 ")), 1.0);
+  EXPECT_DOUBLE_EQ(ValueSimilarity(Value(5), Value("6")), 0.5);
+  // Non-numeric text keeps the mixed-type bailout.
+  EXPECT_DOUBLE_EQ(ValueSimilarity(Value(5), Value("5x")), 0.0);
+  EXPECT_DOUBLE_EQ(ValueSimilarity(Value(5), Value("")), 0.0);
+  EXPECT_DOUBLE_EQ(ValueSimilarity(Value(5), Value("nan")), 0.0);
+  // String-vs-string pairs still use the string metric, numeric-looking
+  // or not ("123" vs "124" share no token: Jaccard 0, not 0.5).
+  EXPECT_DOUBLE_EQ(ValueSimilarity(Value("123"), Value("124")), 0.0);
+  EXPECT_DOUBLE_EQ(ValueSimilarity(Value("123"), Value("123")), 1.0);
+}
+
+TEST(SimilarityTest, CoerceNumericParsing) {
+  double out = 0;
+  EXPECT_TRUE(CoerceNumeric(Value(42), &out));
+  EXPECT_DOUBLE_EQ(out, 42.0);
+  EXPECT_TRUE(CoerceNumeric(Value(2.5), &out));
+  EXPECT_DOUBLE_EQ(out, 2.5);
+  EXPECT_TRUE(CoerceNumeric(Value("-7.25"), &out));
+  EXPECT_DOUBLE_EQ(out, -7.25);
+  EXPECT_TRUE(CoerceNumeric(Value("  1e3"), &out));
+  EXPECT_DOUBLE_EQ(out, 1000.0);
+  EXPECT_FALSE(CoerceNumeric(Value::Null(), &out));
+  EXPECT_FALSE(CoerceNumeric(Value("abc"), &out));
+  EXPECT_FALSE(CoerceNumeric(Value("12 34"), &out));
+  EXPECT_FALSE(CoerceNumeric(Value("inf"), &out));
+}
+
 class SimilarityProperties : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(SimilarityProperties, BoundedSymmetricReflexive) {

@@ -148,6 +148,29 @@ TEST(InternedKeySimilarityTest, MatchesKeySimilarityDifferentArity) {
   }
 }
 
+TEST(InternedKeySimilarityTest, MirrorsNumericStringCoercion) {
+  // One side stores the id as a number, the other as digits-in-a-string:
+  // both paths must coerce identically (the interned path has no token
+  // set for the numeric side, so this exercises its mixed-type branch).
+  CanonicalRelation t1, t2;
+  t1.key_attrs = t2.key_attrs = {"id", "name"};
+  CanonicalTuple a, b;
+  a.key = {Value(123), Value("alpha beta")};
+  a.impact = 1;
+  a.prov_rows = {0};
+  b.key = {Value("123"), Value("alpha beta")};
+  b.impact = 1;
+  b.prov_rows = {0};
+  t1.tuples.push_back(a);
+  t2.tuples.push_back(b);
+  TokenDictionary dict;
+  InternedRelation i1(t1, &dict), i2(t2, &dict);
+  EXPECT_DOUBLE_EQ(InternedKeySimilarity(i1, 0, i2, 0), 1.0);
+  EXPECT_DOUBLE_EQ(InternedKeySimilarity(i1, 0, i2, 0),
+                   KeySimilarity(t1.tuples[0].key, t2.tuples[0].key,
+                                 StringMetric::kJaccard));
+}
+
 TEST(BlockingInternedTest, InternedAndStringPathsAgree) {
   CanonicalRelation t1 = RandomKeyedRelation(60, 2, 11);
   CanonicalRelation t2 = RandomKeyedRelation(60, 2, 12);
