@@ -74,9 +74,9 @@ inline std::string StageTimesJson(const std::string& figure,
                                   const PipelineResult& pipe) {
   std::string out = "{\"figure\":\"" + JsonEscape(figure) + "\"";
   out += ",\"scale\":" + Fmt(Scale(), "%.3g");
-  out += ",\"stage1_seconds\":" + Fmt(pipe.stage1_seconds, "%.6f");
-  out += ",\"stage2_seconds\":" + Fmt(pipe.stage2_seconds, "%.6f");
-  out += ",\"total_seconds\":" + Fmt(pipe.total_seconds, "%.6f");
+  out += ",\"stage1_seconds\":" + Fmt(pipe.stage1_seconds(), "%.6f");
+  out += ",\"stage2_seconds\":" + Fmt(pipe.stage2_seconds(), "%.6f");
+  out += ",\"total_seconds\":" + Fmt(pipe.total_seconds(), "%.6f");
   out += "}";
   return out;
 }

@@ -22,8 +22,8 @@ std::vector<std::string> AllColumns(const Table& t) {
 size_t SummarizedSize(const PipelineResult& pipe) {
   SummarizerOptions opts;
   Result<ExplanationSummary> s = SummarizeExplanations(
-      pipe.core.explanations, pipe.t1, pipe.t2, pipe.p1.table, pipe.p2.table,
-      AllColumns(pipe.p1.table), AllColumns(pipe.p2.table), opts);
+      pipe.core().explanations, pipe.t1(), pipe.t2(), pipe.p1().table, pipe.p2().table,
+      AllColumns(pipe.p1().table), AllColumns(pipe.p2().table), opts);
   if (!s.ok()) return 0;
   return s.value().TotalSize();
 }
@@ -32,13 +32,13 @@ void AddRow(TablePrinter* table, const std::string& name, size_t n1,
             size_t n2, const PipelineResult& pipe) {
   table->AddRow({name,
                  std::to_string(n1) + "/" + std::to_string(n2),
-                 std::to_string(pipe.p1.size()) + "/" +
-                     std::to_string(pipe.p2.size()),
-                 std::to_string(pipe.t1.size()) + "/" +
-                     std::to_string(pipe.t2.size()),
-                 std::to_string(pipe.initial_mapping.size()),
-                 std::to_string(pipe.core.explanations.evidence.size()),
-                 std::to_string(pipe.core.explanations.size()) + " -> " +
+                 std::to_string(pipe.p1().size()) + "/" +
+                     std::to_string(pipe.p2().size()),
+                 std::to_string(pipe.t1().size()) + "/" +
+                     std::to_string(pipe.t2().size()),
+                 std::to_string(pipe.initial_mapping().size()),
+                 std::to_string(pipe.core().explanations.evidence.size()),
+                 std::to_string(pipe.core().explanations.size()) + " -> " +
                      std::to_string(SummarizedSize(pipe))});
 }
 

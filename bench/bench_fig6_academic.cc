@@ -32,19 +32,19 @@ void RunPair(AcademicUniversity univ) {
   Explain3DConfig config;
   PipelineResult pipe = MustRun(input, config);
 
-  std::vector<int64_t> e1 = EntitiesFromKeyMap(pipe.t1, data.entity_by_major);
+  std::vector<int64_t> e1 = EntitiesFromKeyMap(pipe.t1(), data.entity_by_major);
   std::vector<int64_t> e2 =
-      EntitiesFromKeyMap(pipe.t2, data.entity_by_program);
-  GoldStandard gold = DeriveGoldFromEntities(pipe.t1, pipe.t2, e1, e2);
+      EntitiesFromKeyMap(pipe.t2(), data.entity_by_program);
+  GoldStandard gold = DeriveGoldFromEntities(pipe.t1(), pipe.t2(), e1, e2);
 
   std::printf("\n=== NCES vs %s ===\n", data.univ_name.c_str());
   std::printf("query answers: %s = %s, NCES = %s\n",
               data.univ_name.c_str(),
-              pipe.answer1.ToDisplayString().c_str(),
-              pipe.answer2.ToDisplayString().c_str());
+              pipe.answer1().ToDisplayString().c_str(),
+              pipe.answer2().ToDisplayString().c_str());
   std::printf("|P1|=%zu |T1|=%zu  |P2|=%zu |T2|=%zu  |Mtuple|=%zu\n",
-              pipe.p1.size(), pipe.t1.size(), pipe.p2.size(),
-              pipe.t2.size(), pipe.initial_mapping.size());
+              pipe.p1().size(), pipe.t1().size(), pipe.p2().size(),
+              pipe.t2().size(), pipe.initial_mapping().size());
 
   TablePrinter acc({"method", "expl-P", "expl-R", "expl-F1", "evid-P",
                     "evid-R", "evid-F1"});
@@ -73,7 +73,7 @@ void RunPair(AcademicUniversity univ) {
   std::printf("\nFigure 6%s: total execution time "
               "(stage 1 %.3fs shared mapping generation, stage 2 %.3fs "
               "EXP-3D solve)\n",
-              umass ? "c" : "f", pipe.stage1_seconds, pipe.stage2_seconds);
+              umass ? "c" : "f", pipe.stage1_seconds(), pipe.stage2_seconds());
   time.Print();
   AppendBenchJson("fig6", acc.ToJson(umass ? "6ab-accuracy" : "6de-accuracy"));
   AppendBenchJson("fig6", time.ToJson(umass ? "6c-time" : "6f-time"));

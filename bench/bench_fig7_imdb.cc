@@ -129,7 +129,7 @@ void Figure7c() {
     if (!gold.ok()) continue;
 
     std::vector<std::string> row = {
-        std::to_string(pipe.p1.size() + pipe.p2.size())};
+        std::to_string(pipe.p1().size() + pipe.p2().size())};
     for (Algorithm alg :
          {Algorithm::kExplain3D, Algorithm::kExplain3DNoOpt,
           Algorithm::kGreedy, Algorithm::kThreshold09}) {

@@ -63,15 +63,15 @@ CellResult RunCell(const SyntheticOptions& gen, const Method& method) {
   config.decompose_components = method.decompose;
   PipelineResult pipe = MustRun(input, config);
 
-  std::vector<int64_t> e1 = CanonicalEntities(pipe.t1, data.row_entities1);
-  std::vector<int64_t> e2 = CanonicalEntities(pipe.t2, data.row_entities2);
-  GoldStandard gold = DeriveGoldFromEntities(pipe.t1, pipe.t2, e1, e2);
-  AccuracyReport acc = Evaluate(pipe.core.explanations, gold);
+  std::vector<int64_t> e1 = CanonicalEntities(pipe.t1(), data.row_entities1);
+  std::vector<int64_t> e2 = CanonicalEntities(pipe.t2(), data.row_entities2);
+  GoldStandard gold = DeriveGoldFromEntities(pipe.t1(), pipe.t2(), e1, e2);
+  AccuracyReport acc = Evaluate(pipe.core().explanations, gold);
 
   CellResult out;
-  out.solve_seconds = pipe.core.stats.solve_seconds +
-                      pipe.core.stats.partition.partition_seconds +
-                      pipe.core.stats.partition.prepartition_seconds;
+  out.solve_seconds = pipe.core().stats.solve_seconds +
+                      pipe.core().stats.partition.partition_seconds +
+                      pipe.core().stats.partition.prepartition_seconds;
   out.expl_f1 = acc.explanation.f1;
   out.evid_f1 = acc.evidence.f1;
   out.ran = true;
@@ -139,13 +139,13 @@ void Figure8aMonolithicMilp() {
     PipelineResult pipe = MustRun(input, config);
 
     SubProblem whole;
-    for (size_t i = 0; i < pipe.t1.size(); ++i) whole.t1_ids.push_back(i);
-    for (size_t j = 0; j < pipe.t2.size(); ++j) whole.t2_ids.push_back(j);
-    for (size_t k = 0; k < pipe.initial_mapping.size(); ++k) {
+    for (size_t i = 0; i < pipe.t1().size(); ++i) whole.t1_ids.push_back(i);
+    for (size_t j = 0; j < pipe.t2().size(); ++j) whole.t2_ids.push_back(j);
+    for (size_t k = 0; k < pipe.initial_mapping().size(); ++k) {
       whole.match_ids.push_back(k);
     }
     ProbabilityModel prob(config);
-    MilpEncoder encoder(pipe.t1, pipe.t2, pipe.initial_mapping,
+    MilpEncoder encoder(pipe.t1(), pipe.t2(), pipe.initial_mapping(),
                         input.attr_matches.front(), prob);
     EncodedMilp enc = encoder.Encode(whole);
     if (enc.model.num_constraints() > 2500) {
@@ -203,19 +203,19 @@ void Figure8dThreads() {
     config.batch_size = 1000;
     config.num_threads = threads;
     PipelineResult pipe = MustRun(input, config);
-    double secs = pipe.core.stats.solve_seconds;
+    double secs = pipe.core().stats.solve_seconds;
     if (threads == 1) {
       base = secs;
-      stage1_base = pipe.stage1_seconds;
+      stage1_base = pipe.stage1_seconds();
     }
     table.AddRow({std::to_string(threads), Fmt(secs),
                   Fmt(secs > 0 ? base / secs : 1.0, "%.2f"),
-                  Fmt(pipe.stage1_seconds),
-                  Fmt(pipe.stage1_seconds > 0
-                          ? stage1_base / pipe.stage1_seconds
+                  Fmt(pipe.stage1_seconds()),
+                  Fmt(pipe.stage1_seconds() > 0
+                          ? stage1_base / pipe.stage1_seconds()
                           : 1.0,
                       "%.2f"),
-                  Fmt(pipe.stage2_seconds)});
+                  Fmt(pipe.stage2_seconds())});
     AppendBenchJson(
         "fig8",
         StageTimesJson("8d-stages-t" + std::to_string(threads), pipe));

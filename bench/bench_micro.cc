@@ -321,6 +321,50 @@ BENCHMARK(BM_PipelineStage1)
     ->ArgNames({"warm"})
     ->Unit(benchmark::kMillisecond);
 
+// Warm-cache serving cost of the reference-based PipelineResult: with the
+// context primed, RunExplain3D copies nothing upstream of stage 2 — the
+// result holds an ArtifactsPtr into the cached block, so warm time is
+// scoring + calibration + stage-2 solve only. The counters report the
+// per-call stage split; stage2_frac near the non-stage-2 remainder
+// staying flat as data grows is the no-O(data)-copy signature. Compare
+// BM_PipelineStage1/warm:1 across data sizes (args: n).
+void BM_PipelineWarmRun(benchmark::State& state) {
+  SyntheticOptions gen;
+  gen.n = static_cast<size_t>(state.range(0));
+  gen.d = 0.25;
+  gen.v = 300;
+  SyntheticDataset data = GenerateSynthetic(gen).value();
+  PipelineInput input;
+  input.db1 = &data.db1;
+  input.db2 = &data.db2;
+  input.sql1 = data.sql1;
+  input.sql2 = data.sql2;
+  input.attr_matches = data.attr_matches;
+  input.mapping_options.min_probability = 1e-4;
+  input.calibration_oracle =
+      MakeRowEntityOracle(data.row_entities1, data.row_entities2);
+  Explain3DConfig config;
+  MatchingContext context;
+  input.matching_context = &context;
+  benchmark::DoNotOptimize(RunExplain3D(input, config).ok());  // prime
+  double stage1 = 0, stage2 = 0, total = 0;
+  for (auto _ : state) {
+    Result<PipelineResult> r = RunExplain3D(input, config);
+    benchmark::DoNotOptimize(r.ok());
+    stage1 += r.value().stage1_seconds();
+    stage2 += r.value().stage2_seconds();
+    total += r.value().total_seconds();
+  }
+  double iters = static_cast<double>(state.iterations());
+  state.counters["stage1_ms"] = 1e3 * stage1 / iters;
+  state.counters["stage2_ms"] = 1e3 * stage2 / iters;
+  state.counters["stage2_frac"] = total > 0 ? stage2 / total : 0;
+}
+BENCHMARK(BM_PipelineWarmRun)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
 // --- LP / MILP solver -------------------------------------------------------
 
 void BM_SimplexDense(benchmark::State& state) {

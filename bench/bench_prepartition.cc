@@ -38,11 +38,11 @@ void Run(size_t n) {
     config.batch_size = 1000;
     config.use_pre_partitioning = pre;
     PipelineResult pipe = MustRun(input, config);
-    std::vector<int64_t> e1 = CanonicalEntities(pipe.t1, data.row_entities1);
-    std::vector<int64_t> e2 = CanonicalEntities(pipe.t2, data.row_entities2);
-    GoldStandard gold = DeriveGoldFromEntities(pipe.t1, pipe.t2, e1, e2);
-    AccuracyReport acc = Evaluate(pipe.core.explanations, gold);
-    const SmartPartitionStats& st = pipe.core.stats.partition;
+    std::vector<int64_t> e1 = CanonicalEntities(pipe.t1(), data.row_entities1);
+    std::vector<int64_t> e2 = CanonicalEntities(pipe.t2(), data.row_entities2);
+    GoldStandard gold = DeriveGoldFromEntities(pipe.t1(), pipe.t2(), e1, e2);
+    AccuracyReport acc = Evaluate(pipe.core().explanations, gold);
+    const SmartPartitionStats& st = pipe.core().stats.partition;
     table.AddRow({pre ? "on (Algorithm 2)" : "off",
                   std::to_string(st.num_clusters),
                   Fmt(st.partition_seconds, "%.4f"),

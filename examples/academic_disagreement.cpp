@@ -40,22 +40,22 @@ int main() {
   const PipelineResult& r = result.value();
 
   std::printf("Q_univ: %s\n  -> %s\n", data.sql_univ.c_str(),
-              r.answer1.ToDisplayString().c_str());
+              r.answer1().ToDisplayString().c_str());
   std::printf("Q_nces: %s\n  -> %s\n\n", data.sql_nces.c_str(),
-              r.answer2.ToDisplayString().c_str());
-  std::printf("%s\n", r.core.explanations.ToString(r.t1, r.t2, 12).c_str());
+              r.answer2().ToDisplayString().c_str());
+  std::printf("%s\n", r.core().explanations.ToString(r.t1(), r.t2(), 12).c_str());
 
   // Stage 3: summarize the explanations over the provenance attributes.
   SummarizerOptions opts;
   Result<ExplanationSummary> summary = SummarizeExplanations(
-      r.core.explanations, r.t1, r.t2, r.p1.table, r.p2.table,
+      r.core().explanations, r.t1(), r.t2(), r.p1().table, r.p2().table,
       {"Degree", "School"}, {"Program"}, opts);
   if (!summary.ok()) {
     std::fprintf(stderr, "%s\n", summary.status().ToString().c_str());
     return 1;
   }
   std::printf("Stage-3 summary (|E|=%zu -> |E_S|=%zu):\n",
-              r.core.explanations.size(), summary.value().TotalSize());
+              r.core().explanations.size(), summary.value().TotalSize());
   for (const SummaryPattern& p : summary.value().side1.patterns) {
     std::printf("  [%s side] %s  (covers %zu explanation tuples, %zu "
                 "false positives)\n",

@@ -44,15 +44,15 @@ int main() {
     std::printf("  view 1: %s\n  view 2: %s\n", q.sql1.c_str(),
                 q.sql2.c_str());
     std::printf("  answers: %s vs %s\n",
-                r.answer1.ToDisplayString().c_str(),
-                r.answer2.ToDisplayString().c_str());
-    std::printf("\n%s", r.core.explanations.ToString(r.t1, r.t2).c_str());
+                r.answer1().ToDisplayString().c_str(),
+                r.answer2().ToDisplayString().c_str());
+    std::printf("\n%s", r.core().explanations.ToString(r.t1(), r.t2()).c_str());
 
     // How good are these explanations? The generator knows the truth.
     Result<GoldStandard> gold =
         GoldFromEntityColumns(r, q.entity_col1, q.entity_col2);
     if (gold.ok()) {
-      AccuracyReport acc = Evaluate(r.core.explanations, gold.value());
+      AccuracyReport acc = Evaluate(r.core().explanations, gold.value());
       std::printf("\naccuracy vs generator gold: explanations %s\n"
                   "                            evidence     %s\n",
                   acc.explanation.ToString().c_str(),

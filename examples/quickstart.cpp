@@ -68,21 +68,21 @@ int main() {
   const PipelineResult& r = result.value();
 
   std::printf("Q1(D1) = %s, Q2(D2) = %s\n",
-              r.answer1.ToDisplayString().c_str(),
-              r.answer2.ToDisplayString().c_str());
+              r.answer1().ToDisplayString().c_str(),
+              r.answer2().ToDisplayString().c_str());
   std::printf("\nCanonical relation T1 (|P1|=%zu rows consolidated to "
               "%zu tuples):\n",
-              r.p1.size(), r.t1.size());
-  for (const CanonicalTuple& t : r.t1.tuples) {
+              r.p1().size(), r.t1().size());
+  for (const CanonicalTuple& t : r.t1().tuples) {
     std::printf("  %-12s impact %g\n", t.KeyString().c_str(), t.impact);
   }
 
-  std::printf("\n%s", r.core.explanations.ToString(r.t1, r.t2).c_str());
+  std::printf("\n%s", r.core().explanations.ToString(r.t1(), r.t2()).c_str());
   std::printf("\nEvidence mapping M*:\n");
-  for (const TupleMatch& m : r.core.explanations.evidence) {
+  for (const TupleMatch& m : r.core().explanations.evidence) {
     std::printf("  %-12s <-> %-12s (p=%.2f)\n",
-                r.t1.tuples[m.t1].KeyString().c_str(),
-                r.t2.tuples[m.t2].KeyString().c_str(), m.p);
+                r.t1().tuples[m.t1].KeyString().c_str(),
+                r.t2().tuples[m.t2].KeyString().c_str(), m.p);
   }
   return 0;
 }

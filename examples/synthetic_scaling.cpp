@@ -39,24 +39,24 @@ int main() {
       return 1;
     }
     const PipelineResult& r = result.value();
-    std::vector<int64_t> e1 = CanonicalEntities(r.t1, data.row_entities1);
-    std::vector<int64_t> e2 = CanonicalEntities(r.t2, data.row_entities2);
-    GoldStandard gold = DeriveGoldFromEntities(r.t1, r.t2, e1, e2);
-    AccuracyReport acc = Evaluate(r.core.explanations, gold);
+    std::vector<int64_t> e1 = CanonicalEntities(r.t1(), data.row_entities1);
+    std::vector<int64_t> e2 = CanonicalEntities(r.t2(), data.row_entities2);
+    GoldStandard gold = DeriveGoldFromEntities(r.t1(), r.t2(), e1, e2);
+    AccuracyReport acc = Evaluate(r.core().explanations, gold);
 
     std::printf("batch=%zu (%s)\n", batch,
                 batch == 0 ? "connected components only"
                            : "smart partitioning, Algorithm 3");
     std::printf("  sub-problems: %zu  (milp: %zu, assignment B&B: %zu)\n",
-                r.core.stats.num_subproblems, r.core.stats.milp_solved,
-                r.core.stats.exact_solved);
+                r.core().stats.num_subproblems, r.core().stats.milp_solved,
+                r.core().stats.exact_solved);
     std::printf("  cut matches: %zu of %zu\n",
-                r.core.stats.partition.cut_matches,
-                r.initial_mapping.size());
+                r.core().stats.partition.cut_matches,
+                r.initial_mapping().size());
     std::printf("  stage-2 time: %.3fs (partitioning %.3fs)\n",
-                r.core.stats.solve_seconds,
-                r.core.stats.partition.partition_seconds +
-                    r.core.stats.partition.prepartition_seconds);
+                r.core().stats.solve_seconds,
+                r.core().stats.partition.partition_seconds +
+                    r.core().stats.partition.prepartition_seconds);
     std::printf("  accuracy: explanations F1=%.3f, evidence F1=%.3f\n\n",
                 acc.explanation.f1, acc.evidence.f1);
   }

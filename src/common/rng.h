@@ -72,6 +72,35 @@ class Rng {
   double spare_gaussian_ = 0.0;
 };
 
+// --- counter-based (stateless) draws ---------------------------------------
+//
+// A sequential Rng's k-th draw depends on the k-1 draws before it, which
+// forces consumers that must stay deterministic to stay serial. These
+// counter-based draws instead hash (seed, counter) directly — draw k is
+// independent of every other draw, so parallel consumers can partition
+// the counter space across threads and remain bit-identical at any
+// thread count. The mix is the splitmix64 finalizer over a golden-ratio-
+// spaced counter stream (the same construction that seeds Rng).
+
+/// Uniform 64-bit hash of (seed, counter).
+inline uint64_t CounterHash(uint64_t seed, uint64_t counter) {
+  uint64_t z = seed + (counter + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Uniform double in [0, 1) derived from CounterHash (same 53-bit
+/// mantissa construction as Rng::UniformDouble).
+inline double CounterUniform(uint64_t seed, uint64_t counter) {
+  return static_cast<double>(CounterHash(seed, counter) >> 11) * 0x1.0p-53;
+}
+
+/// Bernoulli draw with probability p of true for (seed, counter).
+inline bool CounterBernoulli(uint64_t seed, uint64_t counter, double p) {
+  return CounterUniform(seed, counter) < p;
+}
+
 }  // namespace explain3d
 
 #endif  // EXPLAIN3D_COMMON_RNG_H_

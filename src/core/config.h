@@ -1,4 +1,5 @@
-// Configuration knobs of the explain3d framework.
+// Configuration knobs of the explain3d framework. docs/API.md carries
+// the field-by-field reference table.
 
 #ifndef EXPLAIN3D_CORE_CONFIG_H_
 #define EXPLAIN3D_CORE_CONFIG_H_
@@ -8,10 +9,13 @@
 
 namespace explain3d {
 
-/// All tunables of the 3-stage pipeline and the Section-4 optimizer.
+/// \brief All tunables of the 3-stage pipeline and the Section-4
+/// optimizer.
+///
 /// Defaults follow the paper where it states values (θl=0.1, θh=0.9,
 /// R=100); α and β are the a-priori probabilities of Section 3.1,
-/// α,β ∈ (0.5, 1].
+/// α,β ∈ (0.5, 1]. The same config parameterizes every algorithm of the
+/// experiment harness, so ablations are one-field diffs.
 struct Explain3DConfig {
   // --- probability model (Section 3.1) ---
   double alpha = 0.9;  ///< prior P(tuple covered by both datasets)

@@ -38,32 +38,59 @@
 
 namespace explain3d {
 
-/// Everything stage 1 derives from (db1, db2, sql1, sql2, attr) alone.
+/// \brief Everything stage 1 derives from (db1, db2, sql1, sql2, attr)
+/// alone.
+///
 /// Built in place on the heap and never moved afterwards: i1/i2 hold
 /// references to t1/t2/dict, so the owning Stage1Artifacts object must
-/// stay put for their whole lifetime.
+/// stay put for their whole lifetime. Once published through an
+/// ArtifactsPtr the block is immutable — the cache, every in-flight
+/// pipeline call, and every returned PipelineResult read the same bytes
+/// concurrently without synchronization.
 struct Stage1Artifacts {
   Value answer1, answer2;  ///< the disagreeing query results
-  ProvenanceRelation p1, p2;
-  CanonicalRelation t1, t2;
-  TokenDictionary dict;
-  std::unique_ptr<InternedRelation> i1, i2;
+  ProvenanceRelation p1, p2;  ///< provenance of answer1/answer2 (Def. 2.3)
+  CanonicalRelation t1, t2;   ///< canonicalized provenance (Def. 3.1)
+  TokenDictionary dict;       ///< token ids shared by i1 and i2
+  std::unique_ptr<InternedRelation> i1, i2;  ///< cached token-id sets
   /// Blocking candidates over (i1, i2); all pairs when blocking is off.
   CandidatePairs candidates;
 };
 
+/// \brief Shared ownership handle of an immutable Stage1Artifacts block.
+///
+/// This is the ownership currency of the warm-cache fast path: the
+/// MatchingContext cache entry, the running pipeline, and the returned
+/// PipelineResult each hold one ArtifactsPtr to the SAME block, so a
+/// repeated RunExplain3D call copies no artifact data at all. The block
+/// is freed when the last owner releases it — a result therefore outlives
+/// Clear(), eviction, and even the destruction of the context that served
+/// it.
+using ArtifactsPtr = std::shared_ptr<const Stage1Artifacts>;
+
+/// \brief Cross-call cache of stage-1 artifacts (see file comment for the
+/// immutability and lifetime contract).
 class MatchingContext {
  public:
-  using ArtifactsPtr = std::shared_ptr<const Stage1Artifacts>;
+  using ArtifactsPtr = explain3d::ArtifactsPtr;
+  /// Miss handler: builds the artifacts for a key. Runs outside the lock.
   using Builder = std::function<Result<ArtifactsPtr>()>;
 
-  /// Returns the cached artifacts for `key`, invoking `build` on a miss.
+  /// \brief Returns the cached artifacts for `key`, invoking `build` on a
+  /// miss.
+  ///
   /// The build runs outside the lock (concurrent misses on one key may
   /// build twice; the first insert wins and every caller gets that one).
+  /// The returned pointer co-owns the block with the cache entry: it
+  /// stays valid after Clear() and after this context is destroyed.
   Result<ArtifactsPtr> GetOrBuild(const std::string& key,
                                   const Builder& build);
 
-  /// Drops every cached entry (in-flight shared_ptrs stay valid).
+  /// \brief Drops every cached entry.
+  ///
+  /// In-flight and previously returned ArtifactsPtr values stay valid —
+  /// eviction only releases the cache's own reference. Call after
+  /// mutating or before destroying a cached database (see file comment).
   void Clear();
 
   size_t size() const;

@@ -96,68 +96,51 @@ Result<PipelineResult> RunExplain3D(const PipelineInput& input,
   // the matcher here (outputs stay bit-identical across thread counts).
   size_t threads = ResolveThreads(config.num_threads);
 
-  MatchingContext::ArtifactsPtr art;
-  std::shared_ptr<Stage1Artifacts> exclusive;  // uncached: steal, don't copy
+  // Both paths end with the SAME shared block owned by the result (and,
+  // when caching, by the context's cache entry): nothing is copied out of
+  // the artifacts, warm or cold — the last O(data) per-call cost.
   if (input.matching_context != nullptr) {
     E3D_ASSIGN_OR_RETURN(
-        art, input.matching_context->GetOrBuild(
-                 Stage1CacheKey(input),
-                 [&]() -> Result<MatchingContext::ArtifactsPtr> {
-                   E3D_ASSIGN_OR_RETURN(std::shared_ptr<Stage1Artifacts> b,
-                                        BuildStage1Artifacts(input, threads));
-                   return MatchingContext::ArtifactsPtr(std::move(b));
-                 }));
+        out.artifacts_,
+        input.matching_context->GetOrBuild(
+            Stage1CacheKey(input), [&]() -> Result<ArtifactsPtr> {
+              E3D_ASSIGN_OR_RETURN(std::shared_ptr<Stage1Artifacts> b,
+                                   BuildStage1Artifacts(input, threads));
+              return ArtifactsPtr(std::move(b));
+            }));
   } else {
-    E3D_ASSIGN_OR_RETURN(exclusive, BuildStage1Artifacts(input, threads));
-    art = exclusive;
+    E3D_ASSIGN_OR_RETURN(std::shared_ptr<Stage1Artifacts> built,
+                         BuildStage1Artifacts(input, threads));
+    out.artifacts_ = std::move(built);
   }
+  const Stage1Artifacts& art = *out.artifacts_;
 
   const AttributeMatch& attr = input.attr_matches.front();
   GoldPairs calibration =
       input.calibration_oracle
-          ? input.calibration_oracle(art->t1, art->t2, art->p1.table,
-                                     art->p2.table)
+          ? input.calibration_oracle(art.t1, art.t2, art.p1.table,
+                                     art.p2.table)
           : input.calibration_gold;
   MappingGenOptions mapping_options = input.mapping_options;
   mapping_options.num_threads = threads;
   E3D_ASSIGN_OR_RETURN(
-      out.initial_mapping,
-      GenerateInitialMapping(*art->i1, *art->i2, art->candidates,
-                             calibration, mapping_options));
-
-  // Marshal the stage-1 artifacts into the result. An uncached run owns
-  // them exclusively and moves (this point is past the last i1/i2 use, so
-  // hollowing out t1/t2 is safe); a cached run copies, leaving the shared
-  // entry intact for the next call.
-  if (exclusive != nullptr) {
-    out.answer1 = std::move(exclusive->answer1);
-    out.answer2 = std::move(exclusive->answer2);
-    out.p1 = std::move(exclusive->p1);
-    out.p2 = std::move(exclusive->p2);
-    out.t1 = std::move(exclusive->t1);
-    out.t2 = std::move(exclusive->t2);
-  } else {
-    out.answer1 = art->answer1;
-    out.answer2 = art->answer2;
-    out.p1 = art->p1;
-    out.p2 = art->p2;
-    out.t1 = art->t1;
-    out.t2 = art->t2;
-  }
-  out.stage1_seconds = stage1_timer.Seconds();
+      out.initial_mapping_,
+      GenerateInitialMapping(*art.i1, *art.i2, art.candidates, calibration,
+                             mapping_options));
+  out.stage1_seconds_ = stage1_timer.Seconds();
 
   // --- Stage 2: optimal explanations -------------------------------------
   Timer stage2_timer;
   Explain3DSolver solver(config);
   Explain3DInput core_input;
-  core_input.t1 = &out.t1;
-  core_input.t2 = &out.t2;
+  core_input.t1 = &art.t1;
+  core_input.t2 = &art.t2;
   core_input.attr = attr;
-  core_input.mapping = out.initial_mapping;
-  E3D_ASSIGN_OR_RETURN(out.core, solver.Solve(core_input));
-  out.stage2_seconds = stage2_timer.Seconds();
+  core_input.mapping = out.initial_mapping_;
+  E3D_ASSIGN_OR_RETURN(out.core_, solver.Solve(core_input));
+  out.stage2_seconds_ = stage2_timer.Seconds();
 
-  out.total_seconds = total_timer.Seconds();
+  out.total_seconds_ = total_timer.Seconds();
   return out;
 }
 

@@ -8,14 +8,17 @@
 //   stage 3: summarization lives in src/summarize and is applied by the
 //            caller (it needs workload-specific pattern attributes).
 //
-// This is the API the examples and benchmarks use.
+// This is the API the examples and benchmarks use. See docs/API.md for a
+// guided tour and docs/ARCHITECTURE.md for the module map.
 
 #ifndef EXPLAIN3D_CORE_PIPELINE_H_
 #define EXPLAIN3D_CORE_PIPELINE_H_
 
 #include <functional>
 #include <string>
+#include <utility>
 
+#include "common/logging.h"
 #include "common/status.h"
 #include "core/matching_context.h"
 #include "core/solver.h"
@@ -26,16 +29,16 @@
 
 namespace explain3d {
 
-/// Everything stage 1 needs.
+/// \brief Everything stage 1 needs.
 struct PipelineInput {
-  const Database* db1 = nullptr;
-  const Database* db2 = nullptr;
-  std::string sql1;
-  std::string sql2;
+  const Database* db1 = nullptr;  ///< first database (must outlive the call)
+  const Database* db2 = nullptr;  ///< second database (must outlive the call)
+  std::string sql1;               ///< aggregate query against db1
+  std::string sql2;               ///< aggregate query against db2
   /// M_attr (Definition 2.1); input to the framework, typically from a
   /// schema matcher. Must be non-empty (Definition 2.2 comparability).
   AttributeMatches attr_matches;
-  MappingGenOptions mapping_options;
+  MappingGenOptions mapping_options;  ///< stage-1 matching knobs
   /// Optional gold evidence pairs for the similarity calibrator.
   GoldPairs calibration_gold;
   /// Alternative to calibration_gold: called with the derived canonical
@@ -51,7 +54,9 @@ struct PipelineInput {
   /// per (db1, db2, sql1, sql2, attr) and reused across RunExplain3D
   /// calls — the repeated-interactive-query fast path. The context must
   /// outlive the call; see core/matching_context.h for the immutability
-  /// contract.
+  /// contract. Results returned by warm calls hold their own shared
+  /// reference to the cached artifacts, so they stay valid even after the
+  /// context is cleared or destroyed.
   MatchingContext* matching_context = nullptr;
 };
 
@@ -61,22 +66,99 @@ using CalibrationOracle =
                             const CanonicalRelation&, const Table&,
                             const Table&)>;
 
-/// Everything the pipeline produced, kept for inspection and stage 3.
-struct PipelineResult {
-  Value answer1, answer2;  ///< the disagreeing query results
-  ProvenanceRelation p1, p2;
-  CanonicalRelation t1, t2;
-  TupleMapping initial_mapping;
-  Explain3DResult core;
+/// \brief Everything the pipeline produced, kept for inspection and
+/// stage 3.
+///
+/// Reference-based: the stage-1 artifacts (answers, provenance, canonical
+/// relations) live in one immutable, heap-allocated Stage1Artifacts block
+/// shared through an ArtifactsPtr. A warm-cache RunExplain3D call hands
+/// the SAME block to both the MatchingContext cache and the result, so
+/// repeated calls copy nothing upstream of stage 2 — accessors like t1()
+/// are views into the shared block, not per-call copies.
+///
+/// Lifetime: the result co-owns its artifacts. It remains fully usable
+/// after the MatchingContext that served it is cleared, evicted, or
+/// destroyed; the artifacts are freed when the last owner (cache entry or
+/// result) goes away. Copying a PipelineResult is cheap for the artifact
+/// part (one shared_ptr refcount bump) — only the per-call products
+/// (initial mapping, stage-2 explanations) are deep-copied.
+///
+/// Only RunExplain3D constructs populated results; a default-constructed
+/// PipelineResult has no artifacts and its artifact accessors E3D_CHECK.
+class PipelineResult {
+ public:
+  /// Shared ownership handle of the immutable stage-1 block (the
+  /// namespace-scope alias from core/matching_context.h).
+  using ArtifactsPtr = explain3d::ArtifactsPtr;
 
-  double stage1_seconds = 0;  ///< provenance + canonicalize + mapping
-  double stage2_seconds = 0;  ///< Explain3DSolver::Solve (Section 5.2
-                              ///< reports per-stage times)
-  double total_seconds = 0;
+  PipelineResult() = default;
+
+  // --- stage-1 artifact views (zero-copy, shared with the cache) --------
+
+  /// Q1(D1): the first query's (scalar aggregate) answer.
+  const Value& answer1() const { return art().answer1; }
+  /// Q2(D2): the second query's (scalar aggregate) answer.
+  const Value& answer2() const { return art().answer2; }
+  /// Both disagreeing answers as one pair (by value — the answers are
+  /// scalar aggregates, and value semantics keep the pair safe to hold
+  /// past the result's lifetime).
+  std::pair<Value, Value> answers() const {
+    return {art().answer1, art().answer2};
+  }
+  /// P1: provenance of answer1 (Definition 2.3).
+  const ProvenanceRelation& p1() const { return art().p1; }
+  /// P2: provenance of answer2.
+  const ProvenanceRelation& p2() const { return art().p2; }
+  /// T1: canonical relation of P1 (Definition 3.1).
+  const CanonicalRelation& t1() const { return art().t1; }
+  /// T2: canonical relation of P2.
+  const CanonicalRelation& t2() const { return art().t2; }
+  /// The shared stage-1 block itself (null only when default-constructed).
+  /// Holding a copy keeps every artifact accessor of this result valid.
+  const ArtifactsPtr& artifacts() const { return artifacts_; }
+
+  // --- per-call products ------------------------------------------------
+
+  /// M_tuple: the initial probabilistic tuple mapping (Section 5.1.2).
+  const TupleMapping& initial_mapping() const { return initial_mapping_; }
+  /// Stage-2 output: optimal explanations + solve diagnostics.
+  const Explain3DResult& core() const { return core_; }
+
+  // --- per-stage wall-clock times (Section 5.2 reports both) ------------
+
+  /// Provenance + canonicalize + mapping. On a warm cache this is the
+  /// scoring/calibration remainder only.
+  double stage1_seconds() const { return stage1_seconds_; }
+  /// Explain3DSolver::Solve.
+  double stage2_seconds() const { return stage2_seconds_; }
+  /// End-to-end wall clock of the RunExplain3D call.
+  double total_seconds() const { return total_seconds_; }
+
+ private:
+  friend Result<PipelineResult> RunExplain3D(const PipelineInput& input,
+                                             const Explain3DConfig& config);
+
+  const Stage1Artifacts& art() const {
+    E3D_CHECK(artifacts_ != nullptr);
+    return *artifacts_;
+  }
+
+  ArtifactsPtr artifacts_;
+  TupleMapping initial_mapping_;
+  Explain3DResult core_;
+  double stage1_seconds_ = 0;
+  double stage2_seconds_ = 0;
+  double total_seconds_ = 0;
 };
 
-/// Runs stages 1 and 2. Fails with InvalidArgument when the queries are
-/// not comparable (empty M_attr) and propagates parse/execution errors.
+/// \brief Runs stages 1 and 2.
+///
+/// Fails with InvalidArgument when the queries are not comparable (empty
+/// M_attr) and propagates parse/execution errors. With
+/// PipelineInput::matching_context set, repeated calls over the same
+/// (databases, queries, attribute match) reuse the cached stage-1
+/// artifacts and perform no O(data) copy — see docs/API.md for the
+/// warm-cache serving pattern.
 Result<PipelineResult> RunExplain3D(const PipelineInput& input,
                                     const Explain3DConfig& config);
 

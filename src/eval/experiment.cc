@@ -53,10 +53,10 @@ Result<ExperimentResult> RunAlgorithm(Algorithm algorithm,
       }
       Explain3DSolver solver(cfg);
       Explain3DInput input;
-      input.t1 = &pipe.t1;
-      input.t2 = &pipe.t2;
+      input.t1 = &pipe.t1();
+      input.t2 = &pipe.t2();
       input.attr = attr;
-      input.mapping = pipe.initial_mapping;
+      input.mapping = pipe.initial_mapping();
       E3D_ASSIGN_OR_RETURN(Explain3DResult r, solver.Solve(input));
       out.explanations = std::move(r.explanations);
       out.optimal = r.stats.all_optimal;
@@ -64,21 +64,21 @@ Result<ExperimentResult> RunAlgorithm(Algorithm algorithm,
     }
     case Algorithm::kGreedy: {
       ProbabilityModel prob(config);
-      out.explanations = GreedyBaseline(pipe.t1, pipe.t2,
-                                        pipe.initial_mapping, attr, prob);
+      out.explanations = GreedyBaseline(pipe.t1(), pipe.t2(),
+                                        pipe.initial_mapping(), attr, prob);
       break;
     }
     case Algorithm::kThreshold09:
       out.explanations =
-          ThresholdBaseline(pipe.t1, pipe.t2, pipe.initial_mapping, 0.9);
+          ThresholdBaseline(pipe.t1(), pipe.t2(), pipe.initial_mapping(), 0.9);
       break;
     case Algorithm::kRSwoosh:
-      out.explanations = RSwooshBaseline(pipe.t1, pipe.t2, 0.75);
+      out.explanations = RSwooshBaseline(pipe.t1(), pipe.t2(), 0.75);
       break;
     case Algorithm::kExactCover: {
       E3D_ASSIGN_OR_RETURN(
           out.explanations,
-          ExactCoverBaseline(pipe.t1, pipe.t2, pipe.initial_mapping));
+          ExactCoverBaseline(pipe.t1(), pipe.t2(), pipe.initial_mapping()));
       break;
     }
     case Algorithm::kFormalExpTop15: {
@@ -86,12 +86,12 @@ Result<ExperimentResult> RunAlgorithm(Algorithm algorithm,
       fopts.top_k = 15;
       E3D_ASSIGN_OR_RETURN(
           out.explanations,
-          FormalExpBaseline(pipe.t1, pipe.t2, pipe.p1, pipe.p2, fopts));
+          FormalExpBaseline(pipe.t1(), pipe.t2(), pipe.p1(), pipe.p2(), fopts));
       break;
     }
   }
   out.algorithm_seconds = timer.Seconds();
-  out.total_seconds = out.algorithm_seconds + pipe.stage1_seconds;
+  out.total_seconds = out.algorithm_seconds + pipe.stage1_seconds();
   out.accuracy = Evaluate(out.explanations, gold);
   return out;
 }
@@ -101,11 +101,11 @@ Result<GoldStandard> GoldFromEntityColumns(const PipelineResult& pipe,
                                            const std::string& entity_col2) {
   E3D_ASSIGN_OR_RETURN(
       std::vector<int64_t> e1,
-      EntitiesFromColumn(pipe.t1, pipe.p1.table, entity_col1));
+      EntitiesFromColumn(pipe.t1(), pipe.p1().table, entity_col1));
   E3D_ASSIGN_OR_RETURN(
       std::vector<int64_t> e2,
-      EntitiesFromColumn(pipe.t2, pipe.p2.table, entity_col2));
-  return DeriveGoldFromEntities(pipe.t1, pipe.t2, e1, e2);
+      EntitiesFromColumn(pipe.t2(), pipe.p2().table, entity_col2));
+  return DeriveGoldFromEntities(pipe.t1(), pipe.t2(), e1, e2);
 }
 
 }  // namespace explain3d

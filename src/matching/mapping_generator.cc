@@ -46,14 +46,24 @@ Result<TupleMapping> GenerateInitialMapping(const InternedRelation& i1,
     }
   } else {
     // Calibrate on a labeled sample, then score every candidate. The
-    // sample draw consumes Rng in pair order, so it stays serial (and
-    // identical for any thread count).
+    // sample draw hashes (seed, pair index) with the counter-based RNG,
+    // so pair k's inclusion and gold lookup are independent of every
+    // other pair: the draw parallelizes over the shared pool and stays
+    // bit-identical for any thread count. Only the cheap bucket
+    // accumulation runs serially, in pair order.
     SimilarityCalibrator calib(opts.calibration_buckets);
-    Rng rng(opts.seed);
+    // 0 = not sampled, 1 = sampled true label, 2 = sampled false label.
+    std::vector<uint8_t> label(pairs.size());
+    ParallelFor(ResolveThreads(opts.num_threads), pairs.size(),
+                [&](size_t k) {
+                  if (!CounterBernoulli(opts.seed, k, opts.label_fraction)) {
+                    label[k] = 0;
+                  } else {
+                    label[k] = gold.count(pairs[k]) > 0 ? 1 : 2;
+                  }
+                });
     for (size_t k = 0; k < pairs.size(); ++k) {
-      if (!rng.Bernoulli(opts.label_fraction)) continue;
-      bool is_true = gold.count(pairs[k]) > 0;
-      calib.AddSample(sim[k], is_true);
+      if (label[k] != 0) calib.AddSample(sim[k], label[k] == 1);
     }
     if (calib.num_samples() == 0) {
       // Degenerate sample draw; label everything instead.

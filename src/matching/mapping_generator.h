@@ -36,6 +36,9 @@ struct MappingGenOptions {
   double max_probability = 0.99;
   /// Use blocking (token/bucket index) instead of all pairs.
   bool use_blocking = true;
+  /// Seeds the calibrator's labeled-sample draw. The draw is
+  /// counter-based (CounterBernoulli over (seed, pair index)), so it is
+  /// the same for every thread count and evaluation order.
   uint64_t seed = 17;
   /// Worker threads for stage-1 interning, blocking, and candidate
   /// scoring (run on the process-wide shared pool). 0 = auto

@@ -62,6 +62,39 @@ TEST(RngTest, DeterministicAndRoughlyUniform) {
   EXPECT_NEAR(static_cast<double>(lo) / kDraws, 0.5, 0.03);
 }
 
+TEST(CounterRngTest, StatelessDeterministicAndRoughlyUniform) {
+  // Draw k depends only on (seed, k) — any evaluation order (here:
+  // reversed) gives the same stream, which is what lets parallel
+  // consumers partition the counter space.
+  for (uint64_t k = 0; k < 64; ++k) {
+    EXPECT_EQ(CounterHash(9, 63 - k), CounterHash(9, 63 - k));
+    EXPECT_NE(CounterHash(9, k), CounterHash(10, k));  // seeds separate
+  }
+  const int kDraws = 20000;
+  double sum = 0;
+  int hits = 0;
+  for (int k = 0; k < kDraws; ++k) {
+    double u = CounterUniform(7, static_cast<uint64_t>(k));
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+    if (CounterBernoulli(7, static_cast<uint64_t>(k), 0.3)) ++hits;
+  }
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.03);
+  // Consecutive counters must not produce correlated values (the mix
+  // must break the +1 stride): no long run of monotone outputs.
+  int monotone = 0, max_monotone = 0;
+  for (uint64_t k = 1; k < 1000; ++k) {
+    if (CounterHash(3, k) > CounterHash(3, k - 1)) {
+      max_monotone = std::max(max_monotone, ++monotone);
+    } else {
+      monotone = 0;
+    }
+  }
+  EXPECT_LT(max_monotone, 12);
+}
+
 TEST(RngTest, SampleWithoutReplacementIsDistinct) {
   Rng rng(3);
   std::vector<size_t> s = rng.SampleWithoutReplacement(50, 20);

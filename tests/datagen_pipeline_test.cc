@@ -27,11 +27,11 @@ TEST(SyntheticPipelineTest, NoNoiseMeansNoExplanations) {
   input.attr_matches = data.attr_matches;
   Result<PipelineResult> pipe = RunExplain3D(input, Explain3DConfig());
   ASSERT_TRUE(pipe.ok()) << pipe.status().ToString();
-  EXPECT_EQ(pipe.value().answer1.Compare(pipe.value().answer2), 0);
-  EXPECT_TRUE(pipe.value().core.explanations.delta.empty());
-  EXPECT_TRUE(pipe.value().core.explanations.value_changes.empty());
+  EXPECT_EQ(pipe.value().answer1().Compare(pipe.value().answer2()), 0);
+  EXPECT_TRUE(pipe.value().core().explanations.delta.empty());
+  EXPECT_TRUE(pipe.value().core().explanations.value_changes.empty());
   // Every entity pair should be in the evidence.
-  EXPECT_EQ(pipe.value().core.explanations.evidence.size(), gen.n);
+  EXPECT_EQ(pipe.value().core().explanations.evidence.size(), gen.n);
 }
 
 TEST(SyntheticPipelineTest, NearPerfectAccuracyWithNoise) {
@@ -54,13 +54,13 @@ TEST(SyntheticPipelineTest, NearPerfectAccuracyWithNoise) {
 
   // Gold from the generator's entity ids.
   std::vector<int64_t> e1 =
-      CanonicalEntities(pipe.value().t1, data.row_entities1);
+      CanonicalEntities(pipe.value().t1(), data.row_entities1);
   std::vector<int64_t> e2 =
-      CanonicalEntities(pipe.value().t2, data.row_entities2);
+      CanonicalEntities(pipe.value().t2(), data.row_entities2);
   GoldStandard gold =
-      DeriveGoldFromEntities(pipe.value().t1, pipe.value().t2, e1, e2);
+      DeriveGoldFromEntities(pipe.value().t1(), pipe.value().t2(), e1, e2);
 
-  AccuracyReport acc = Evaluate(pipe.value().core.explanations, gold);
+  AccuracyReport acc = Evaluate(pipe.value().core().explanations, gold);
   // Section 5.3: near-perfect accuracy on synthetic data.
   EXPECT_GT(acc.explanation.f1, 0.95) << acc.explanation.ToString();
   EXPECT_GT(acc.evidence.f1, 0.95) << acc.evidence.ToString();
@@ -82,11 +82,11 @@ TEST(SyntheticPipelineTest, GoldExplanationsAreComplete) {
   input.calibration_oracle =
       MakeRowEntityOracle(data.row_entities1, data.row_entities2);
   PipelineResult pipe = RunExplain3D(input, Explain3DConfig()).value();
-  std::vector<int64_t> e1 = CanonicalEntities(pipe.t1, data.row_entities1);
-  std::vector<int64_t> e2 = CanonicalEntities(pipe.t2, data.row_entities2);
-  GoldStandard gold = DeriveGoldFromEntities(pipe.t1, pipe.t2, e1, e2);
+  std::vector<int64_t> e1 = CanonicalEntities(pipe.t1(), data.row_entities1);
+  std::vector<int64_t> e2 = CanonicalEntities(pipe.t2(), data.row_entities2);
+  GoldStandard gold = DeriveGoldFromEntities(pipe.t1(), pipe.t2(), e1, e2);
   // The generator's own gold must satisfy Definition 3.4.
-  EXPECT_TRUE(CheckCompleteness(pipe.t1, pipe.t2,
+  EXPECT_TRUE(CheckCompleteness(pipe.t1(), pipe.t2(),
                                 data.attr_matches.front(),
                                 gold.explanations)
                   .ok());
@@ -108,12 +108,12 @@ TEST(AcademicPipelineTest, StatisticsResembleFigure4) {
 
   // Figure 4 profile: |P1| ≈ 113, |T1| ≈ 95, |P2| = |T2| ≈ 81; results
   // disagree. Generated numbers are seeded approximations.
-  EXPECT_GT(pipe.value().p1.size(), 90u);
-  EXPECT_LT(pipe.value().p1.size(), 140u);
-  EXPECT_LT(pipe.value().t1.size(), pipe.value().p1.size());
-  EXPECT_GT(pipe.value().t2.size(), 60u);
-  EXPECT_LT(pipe.value().t2.size(), 100u);
-  EXPECT_NE(pipe.value().answer1.Compare(pipe.value().answer2), 0);
+  EXPECT_GT(pipe.value().p1().size(), 90u);
+  EXPECT_LT(pipe.value().p1().size(), 140u);
+  EXPECT_LT(pipe.value().t1().size(), pipe.value().p1().size());
+  EXPECT_GT(pipe.value().t2().size(), 60u);
+  EXPECT_LT(pipe.value().t2().size(), 100u);
+  EXPECT_NE(pipe.value().answer1().Compare(pipe.value().answer2()), 0);
 }
 
 TEST(AcademicPipelineTest, Explain3DBeatsBaselines) {
@@ -129,10 +129,10 @@ TEST(AcademicPipelineTest, Explain3DBeatsBaselines) {
   PipelineResult pipe = RunExplain3D(input, Explain3DConfig()).value();
 
   std::vector<int64_t> e1 =
-      EntitiesFromKeyMap(pipe.t1, data.entity_by_major);
+      EntitiesFromKeyMap(pipe.t1(), data.entity_by_major);
   std::vector<int64_t> e2 =
-      EntitiesFromKeyMap(pipe.t2, data.entity_by_program);
-  GoldStandard gold = DeriveGoldFromEntities(pipe.t1, pipe.t2, e1, e2);
+      EntitiesFromKeyMap(pipe.t2(), data.entity_by_program);
+  GoldStandard gold = DeriveGoldFromEntities(pipe.t1(), pipe.t2(), e1, e2);
 
   Explain3DConfig config;
   double exp3d_f1 = 0, threshold_f1 = 0;
@@ -180,7 +180,7 @@ TEST(ImdbPipelineTest, TemplatesRunAndScoreReasonably) {
         pipe.value(), q->entity_col1, q->entity_col2);
     ASSERT_TRUE(gold.ok()) << gold.status().ToString();
     AccuracyReport acc =
-        Evaluate(pipe.value().core.explanations, gold.value());
+        Evaluate(pipe.value().core().explanations, gold.value());
     EXPECT_GT(acc.evidence.f1, 0.8)
         << q->name << " evidence " << acc.evidence.ToString();
     // Tiny per-year slices leave genuinely ambiguous reconciliations, so
@@ -189,9 +189,9 @@ TEST(ImdbPipelineTest, TemplatesRunAndScoreReasonably) {
     // probability model (the bench aggregates accuracy at full scale).
     ProbabilityModel prob((Explain3DConfig()));
     double gold_score =
-        prob.Score(pipe.value().t1, pipe.value().t2,
-                   pipe.value().initial_mapping, gold.value().explanations);
-    EXPECT_GE(pipe.value().core.explanations.log_probability,
+        prob.Score(pipe.value().t1(), pipe.value().t2(),
+                   pipe.value().initial_mapping(), gold.value().explanations);
+    EXPECT_GE(pipe.value().core().explanations.log_probability,
               gold_score - 1e-6)
         << q->name;
     EXPECT_GT(acc.explanation.f1, 0.3)

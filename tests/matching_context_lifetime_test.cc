@@ -1,0 +1,170 @@
+// MatchingContext eviction/lifetime tests for the reference-based
+// PipelineResult: a result co-owns its Stage1Artifacts through an
+// ArtifactsPtr, so it must stay fully usable after the context that
+// served it is cleared (evicted) or destroyed; warm runs must share one
+// artifacts block instead of copying; and two contexts over the same
+// databases must not alias any mutable state.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+#include "core/matching_context.h"
+#include "core/pipeline.h"
+#include "datagen/synthetic.h"
+#include "eval/gold.h"
+
+namespace explain3d {
+namespace {
+
+SyntheticDataset MakeData(uint64_t seed, size_t n = 100) {
+  SyntheticOptions gen;
+  gen.n = n;
+  gen.d = 0.25;
+  gen.v = 200;
+  gen.seed = seed;
+  return GenerateSynthetic(gen).value();
+}
+
+PipelineInput MakeInput(const SyntheticDataset& data) {
+  PipelineInput input;
+  input.db1 = &data.db1;
+  input.db2 = &data.db2;
+  input.sql1 = data.sql1;
+  input.sql2 = data.sql2;
+  input.attr_matches = data.attr_matches;
+  input.mapping_options.min_probability = 1e-4;
+  input.calibration_oracle =
+      MakeRowEntityOracle(data.row_entities1, data.row_entities2);
+  return input;
+}
+
+void ExpectSameArtifactContents(const PipelineResult& a,
+                                const PipelineResult& b) {
+  EXPECT_EQ(a.answer1(), b.answer1());
+  EXPECT_EQ(a.answer2(), b.answer2());
+  EXPECT_EQ(a.t1().size(), b.t1().size());
+  EXPECT_EQ(a.t2().size(), b.t2().size());
+  EXPECT_EQ(a.p1().size(), b.p1().size());
+  EXPECT_EQ(a.p2().size(), b.p2().size());
+}
+
+TEST(PipelineLifetimeTest, WarmRunsShareOneArtifactsBlockZeroCopy) {
+  SyntheticDataset data = MakeData(51);
+  PipelineInput input = MakeInput(data);
+  MatchingContext context;
+  input.matching_context = &context;
+  Explain3DConfig config;
+
+  PipelineResult warm1 = RunExplain3D(input, config).value();
+  PipelineResult warm2 = RunExplain3D(input, config).value();
+
+  // Zero-copy: both results and the cache entry reference the SAME
+  // immutable block — pointer equality, not just equal contents.
+  ASSERT_NE(warm1.artifacts(), nullptr);
+  EXPECT_EQ(warm1.artifacts().get(), warm2.artifacts().get());
+  // Accessors are views into that block, not per-result copies.
+  EXPECT_EQ(&warm1.t1(), &warm1.artifacts()->t1);
+  EXPECT_EQ(&warm1.t1(), &warm2.t1());
+  EXPECT_EQ(&warm1.p2(), &warm2.p2());
+  // Owners: warm1, warm2, and the cache entry.
+  EXPECT_GE(warm1.artifacts().use_count(), 3);
+}
+
+TEST(PipelineLifetimeTest, ResultOutlivesEvictedContextEntry) {
+  SyntheticDataset data = MakeData(52);
+  PipelineInput input = MakeInput(data);
+  MatchingContext context;
+  input.matching_context = &context;
+  Explain3DConfig config;
+
+  PipelineResult r = RunExplain3D(input, config).value();
+  const CanonicalTuple* first_tuple = &r.t1().tuples.front();
+  size_t t1_size = r.t1().size();
+
+  context.Clear();  // evicts the cache's reference
+  EXPECT_EQ(context.size(), 0u);
+
+  // The result still co-owns the block: same address, same contents.
+  EXPECT_EQ(&r.t1().tuples.front(), first_tuple);
+  EXPECT_EQ(r.t1().size(), t1_size);
+  EXPECT_FALSE(r.initial_mapping().empty());
+  // And the evicted entry really was released by the cache: the result
+  // (and anyone it shared with) is the only owner left.
+  EXPECT_EQ(r.artifacts().use_count(), 1);
+}
+
+TEST(PipelineLifetimeTest, ResultOutlivesDestroyedContext) {
+  SyntheticDataset data = MakeData(53);
+  PipelineInput input = MakeInput(data);
+  Explain3DConfig config;
+
+  PipelineResult cold = RunExplain3D(input, config).value();
+
+  PipelineResult warm;
+  {
+    MatchingContext context;
+    input.matching_context = &context;
+    warm = RunExplain3D(input, config).value();
+  }  // context destroyed here
+
+  // Every accessor still works and matches the uncached run.
+  ExpectSameArtifactContents(warm, cold);
+  ASSERT_EQ(warm.initial_mapping().size(), cold.initial_mapping().size());
+  for (size_t k = 0; k < warm.initial_mapping().size(); ++k) {
+    EXPECT_EQ(warm.initial_mapping()[k].p, cold.initial_mapping()[k].p);
+  }
+  EXPECT_EQ(warm.core().explanations.delta, cold.core().explanations.delta);
+  EXPECT_EQ(warm.core().explanations.log_probability,
+            cold.core().explanations.log_probability);
+  EXPECT_EQ(warm.artifacts().use_count(), 1);
+}
+
+TEST(PipelineLifetimeTest, HeldArtifactsPtrKeepsBlockAliveAfterResult) {
+  SyntheticDataset data = MakeData(54);
+  PipelineInput input = MakeInput(data);
+  Explain3DConfig config;
+
+  ArtifactsPtr kept;
+  {
+    PipelineResult r = RunExplain3D(input, config).value();
+    kept = r.artifacts();
+  }  // result destroyed; `kept` is now the sole owner
+
+  ASSERT_NE(kept, nullptr);
+  EXPECT_EQ(kept.use_count(), 1);
+  EXPECT_GT(kept->t1.size(), 0u);
+  EXPECT_EQ(kept->candidates.empty(), false);
+}
+
+TEST(PipelineLifetimeTest, TwoContextsOverSameDatabasesDoNotAlias) {
+  SyntheticDataset data = MakeData(55);
+  PipelineInput input = MakeInput(data);
+  Explain3DConfig config;
+
+  MatchingContext ctx_a, ctx_b;
+  input.matching_context = &ctx_a;
+  PipelineResult ra = RunExplain3D(input, config).value();
+  input.matching_context = &ctx_b;
+  PipelineResult rb = RunExplain3D(input, config).value();
+
+  // Each context built its own (deterministic, so equal-content) block;
+  // they share no state, so clearing one cannot disturb the other.
+  EXPECT_NE(ra.artifacts().get(), rb.artifacts().get());
+  ExpectSameArtifactContents(ra, rb);
+  EXPECT_EQ(ctx_a.size(), 1u);
+  EXPECT_EQ(ctx_b.size(), 1u);
+
+  ctx_a.Clear();
+  EXPECT_EQ(ctx_a.size(), 0u);
+  EXPECT_EQ(ctx_b.size(), 1u);  // untouched
+
+  // ctx_b still serves its (intact) entry: a warm run shares rb's block.
+  PipelineResult rb2 = RunExplain3D(input, config).value();
+  EXPECT_EQ(rb2.artifacts().get(), rb.artifacts().get());
+  EXPECT_EQ(ctx_b.hits(), 1u);
+}
+
+}  // namespace
+}  // namespace explain3d

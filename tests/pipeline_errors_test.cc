@@ -83,9 +83,9 @@ TEST(PipelineErrorsTest, EmptyProvenanceStillWorks) {
       AttributeMatch::Single("x", "x", SemanticRelation::kEquivalent)};
   Result<PipelineResult> r = RunExplain3D(input, Explain3DConfig());
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  EXPECT_EQ(r.value().t2.size(), 0u);
-  EXPECT_EQ(r.value().core.explanations.delta.size(), 2u);
-  EXPECT_TRUE(r.value().core.explanations.evidence.empty());
+  EXPECT_EQ(r.value().t2().size(), 0u);
+  EXPECT_EQ(r.value().core().explanations.delta.size(), 2u);
+  EXPECT_TRUE(r.value().core().explanations.evidence.empty());
 }
 
 TEST(BartTest, ErrorRateRoughlyRespected) {

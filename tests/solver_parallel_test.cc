@@ -71,7 +71,7 @@ Explain3DResult RunSynthetic(uint64_t seed, size_t num_threads,
   config.num_threads = num_threads;
   Result<PipelineResult> r = RunExplain3D(input, config);
   EXPECT_TRUE(r.ok()) << r.status().ToString();
-  return std::move(r).value().core;
+  return std::move(r).value().core();
 }
 
 void ExpectIdentical(const Explain3DResult& serial,

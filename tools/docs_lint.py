@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Docs lint: fail on broken relative links in the repo's *.md files.
+
+Scans every tracked-ish Markdown file (skipping build output and VCS
+internals), extracts inline links and images, and verifies that each
+relative target exists on disk. External schemes (http/https/mailto)
+and pure in-page anchors are ignored; a `#fragment` suffix on a
+relative link is stripped before the existence check.
+
+Usage:  python3 tools/docs_lint.py [repo_root]
+Exit status: 0 when every link resolves, 1 otherwise (one line per
+broken link: `file:line: broken link -> target`).
+"""
+
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", ".claude", "_deps", "node_modules"}
+
+# Inline [text](target) and ![alt](target); stops at the first ')' or
+# whitespace inside the URL, which is how every link in this repo is
+# written (no titles, no parenthesized URLs).
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+FENCE_RE = re.compile(r"^\s*(```|~~~)")
+
+
+def iter_md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in sorted(filenames):
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path):
+    errors = []
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in LINK_RE.findall(line):
+                if re.match(r"^[a-zA-Z][a-zA-Z0-9+.-]*:", target):
+                    continue  # http:, https:, mailto:, ...
+                if target.startswith("#"):
+                    continue  # in-page anchor
+                rel = target.split("#", 1)[0]
+                if not rel:
+                    continue
+                resolved = os.path.normpath(
+                    os.path.join(os.path.dirname(path), rel))
+                if not os.path.exists(resolved):
+                    errors.append((lineno, target))
+    return errors
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    broken = 0
+    checked = 0
+    for path in iter_md_files(root):
+        checked += 1
+        for lineno, target in check_file(path):
+            print(f"{os.path.relpath(path, root)}:{lineno}: "
+                  f"broken link -> {target}")
+            broken += 1
+    print(f"docs-lint: {checked} markdown files, {broken} broken links")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
