@@ -26,7 +26,11 @@ namespace {
 
 // --- fixtures -------------------------------------------------------------
 
-CanonicalRelation RandomRelation(size_t n, uint64_t seed) {
+// Keys hold [min_words, max_words] tokens each (equal bounds draw no
+// extra randomness, keeping the default fixtures' RNG stream unchanged).
+CanonicalRelation RandomRelation(size_t n, uint64_t seed,
+                                 size_t min_words = 5,
+                                 size_t max_words = 5) {
   Rng rng(seed);
   CanonicalRelation rel;
   rel.key_attrs = {"k"};
@@ -34,7 +38,10 @@ CanonicalRelation RandomRelation(size_t n, uint64_t seed) {
   for (size_t i = 0; i < n; ++i) {
     CanonicalTuple t;
     std::string key;
-    for (int w = 0; w < 5; ++w) {
+    size_t words = min_words == max_words
+                       ? min_words
+                       : min_words + rng.Index(max_words - min_words + 1);
+    for (size_t w = 0; w < words; ++w) {
       key += "w" + std::to_string(rng.Index(500)) + " ";
     }
     t.key = {Value(key)};
@@ -200,6 +207,38 @@ BENCHMARK(BM_CandidateScoringParallel)
     ->Args({2000, 1})
     ->Args({2000, 2})
     ->Args({2000, 4});
+
+// Levenshtein candidate scoring with and without a similarity floor
+// (args: n, floor_percent). The floor arms the length-bound early exit in
+// NormalizedLevenshtein: pairs whose length difference alone proves
+// sub-floor similarity skip the O(|a|·|b|) DP entirely. Keys here are
+// length-skewed (1–8 tokens, the shape of real entity keys — compare
+// IMDb's "CS" vs "Computer Science and Engineering"), which is exactly
+// where blocking's loose token collisions produce many length-mismatched
+// pairs for the bound to kill. floor_percent=0 is the exact baseline.
+void BM_CandidateScoringLevenshteinFloor(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  double floor = static_cast<double>(state.range(1)) / 100.0;
+  CanonicalRelation t1 = RandomRelation(n, 41, 1, 8);
+  CanonicalRelation t2 = RandomRelation(n, 42, 1, 8);
+  TokenDictionary dict;
+  InternedRelation i1(t1, &dict), i2(t2, &dict);
+  CandidatePairs pairs = GenerateCandidates(i1, i2);
+  for (auto _ : state) {
+    std::vector<double> sim = ScoreCandidates(
+        i1, i2, pairs, StringMetric::kLevenshtein, 1, floor);
+    benchmark::DoNotOptimize(sim.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(pairs.size()));
+}
+BENCHMARK(BM_CandidateScoringLevenshteinFloor)
+    ->Args({500, 0})
+    ->Args({500, 70})
+    ->Args({500, 90})
+    ->Args({2000, 0})
+    ->Args({2000, 70})
+    ->Args({2000, 90});
 
 // Parallel InternedRelation construction (args: n, threads): phase 1
 // tokenizes per tuple on the pool, phase 2 interns serially, so the

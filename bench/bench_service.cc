@@ -1,0 +1,216 @@
+// Serving throughput: Explain3DService requests/sec, warm vs cold.
+//
+// Phases (one BENCH_service.json line each, see docs/BENCHMARKS.md):
+//
+//   1. serial-warm      — the BM_PipelineWarmRun-equivalent baseline:
+//                         a loop of warm RunExplain3D calls against one
+//                         MatchingContext, no service. The rate the
+//                         service must not fall below at 1 submitter.
+//   2. service-warm     — the same warm requests through Submit/Wait at
+//                         1, 2, and 4 submitter threads. On a multicore
+//                         machine the 2/4-submitter rows should scale;
+//                         on a 1-core container they demonstrate
+//                         no-overhead (the acceptance bar).
+//   3. service-mixed    — warm traffic with a re-registration (cache
+//                         retirement → cold rebuild) every kColdEvery
+//                         requests: the generation-bump serving pattern.
+//
+// EXPLAIN3D_SCALE scales the dataset; requests count is fixed.
+//
+// Build & run:  ./build/bench_service
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/timer.h"
+#include "datagen/synthetic.h"
+#include "eval/gold.h"
+#include "service/service.h"
+
+using namespace explain3d;
+using namespace explain3d::bench;
+
+namespace {
+
+constexpr size_t kRequestsPerSubmitter = 8;
+constexpr size_t kMixedRequests = 24;
+constexpr size_t kColdEvery = 6;  // re-register cadence in phase 3
+
+SyntheticDataset MakeData() {
+  SyntheticOptions gen;
+  gen.n = Scaled(500);
+  gen.d = 0.25;
+  gen.v = 300;
+  gen.seed = 7;
+  return GenerateSynthetic(gen).value();
+}
+
+ExplanationRequest MakeRequest(const SyntheticDataset& data,
+                               DatabaseHandle h1, DatabaseHandle h2) {
+  ExplanationRequest req;
+  req.db1 = h1;
+  req.db2 = h2;
+  req.sql1 = data.sql1;
+  req.sql2 = data.sql2;
+  req.attr_matches = data.attr_matches;
+  req.mapping_options.min_probability = 1e-4;
+  req.calibration_oracle =
+      MakeRowEntityOracle(data.row_entities1, data.row_entities2);
+  // Single-threaded pipeline per request: submitter-level parallelism is
+  // what this bench measures, and it keeps the per-request cost equal to
+  // the serial baseline's.
+  req.config.num_threads = 1;
+  return req;
+}
+
+double SerialWarmRps(const SyntheticDataset& data, size_t requests) {
+  PipelineInput input;
+  input.db1 = &data.db1;
+  input.db2 = &data.db2;
+  input.sql1 = data.sql1;
+  input.sql2 = data.sql2;
+  input.attr_matches = data.attr_matches;
+  input.mapping_options.min_probability = 1e-4;
+  input.calibration_oracle =
+      MakeRowEntityOracle(data.row_entities1, data.row_entities2);
+  MatchingContext context;
+  input.matching_context = &context;
+  Explain3DConfig config;
+  config.num_threads = 1;
+  MustRun(input, config);  // cold build, excluded from timing
+  Timer timer;
+  for (size_t i = 0; i < requests; ++i) MustRun(input, config);
+  return static_cast<double>(requests) / timer.Seconds();
+}
+
+double ServiceWarmRps(const SyntheticDataset& data, size_t submitters,
+                      size_t per_submitter, ServiceStats* stats_out) {
+  ServiceOptions options;
+  options.max_concurrency = submitters;
+  Explain3DService service(options);
+  DatabaseHandle h1 = service.RegisterDatabase("db1", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("db2", data.db2);
+  // Warm the cache (cold request, excluded from timing).
+  service.Submit(MakeRequest(data, h1, h2))->Wait();
+
+  Timer timer;
+  std::vector<std::thread> threads;
+  for (size_t s = 0; s < submitters; ++s) {
+    threads.emplace_back([&] {
+      std::vector<TicketPtr> tickets;
+      for (size_t i = 0; i < per_submitter; ++i) {
+        tickets.push_back(service.Submit(MakeRequest(data, h1, h2)));
+      }
+      for (const TicketPtr& t : tickets) {
+        if (!t->Wait().ok()) {
+          std::fprintf(stderr, "request failed: %s\n",
+                       t->Wait().status().ToString().c_str());
+          std::abort();
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  double seconds = timer.Seconds();
+  if (stats_out != nullptr) *stats_out = service.Stats();
+  return static_cast<double>(submitters * per_submitter) / seconds;
+}
+
+double ServiceMixedRps(const SyntheticDataset& data, size_t requests,
+                       ServiceStats* stats_out) {
+  Explain3DService service;
+  DatabaseHandle h1 = service.RegisterDatabase("db1", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("db2", data.db2);
+  Timer timer;
+  for (size_t i = 0; i < requests; ++i) {
+    if (i % kColdEvery == 0 && i > 0) {
+      // The serving mutation pattern: new data for the same name retires
+      // the pair's cached artifacts; the next request rebuilds cold.
+      h1 = service.RegisterDatabase("db1", data.db1);
+    }
+    TicketPtr t = service.Submit(MakeRequest(data, h1, h2));
+    if (!t->Wait().ok()) {
+      std::fprintf(stderr, "request failed: %s\n",
+                   t->Wait().status().ToString().c_str());
+      std::abort();
+    }
+  }
+  double seconds = timer.Seconds();
+  if (stats_out != nullptr) *stats_out = service.Stats();
+  return static_cast<double>(requests) / seconds;
+}
+
+std::string SummaryJson(const LatencySummary& s) {
+  return "{\"count\":" + std::to_string(s.count) +
+         ",\"p50\":" + Fmt(s.p50, "%.6f") + ",\"p90\":" + Fmt(s.p90, "%.6f") +
+         ",\"p99\":" + Fmt(s.p99, "%.6f") + ",\"max\":" + Fmt(s.max, "%.6f") +
+         "}";
+}
+
+}  // namespace
+
+int main() {
+  SyntheticDataset data = MakeData();
+  std::printf("bench_service: n=%zu per side (scale %.2f)\n\n",
+              Scaled(500), Scale());
+
+  double serial_rps = SerialWarmRps(data, kRequestsPerSubmitter);
+
+  TablePrinter table({"mode", "submitters", "requests", "rps",
+                      "vs serial", "warm hits", "cold misses"});
+  table.AddRow({"serial-warm", "-", std::to_string(kRequestsPerSubmitter),
+                Fmt(serial_rps, "%.2f"), "1.00x", "-", "-"});
+
+  std::string json = "{\"figure\":\"service-throughput\"";
+  json += ",\"scale\":" + Fmt(Scale(), "%.3g");
+  json += ",\"n\":" + std::to_string(Scaled(500));
+  json += ",\"serial_warm_rps\":" + Fmt(serial_rps, "%.3f");
+  json += ",\"submitters\":[";
+
+  bool first = true;
+  ServiceStats last_stats;
+  for (size_t submitters : {size_t{1}, size_t{2}, size_t{4}}) {
+    ServiceStats stats;
+    double rps =
+        ServiceWarmRps(data, submitters, kRequestsPerSubmitter, &stats);
+    table.AddRow({"service-warm", std::to_string(submitters),
+                  std::to_string(submitters * kRequestsPerSubmitter),
+                  Fmt(rps, "%.2f"), Fmt(rps / serial_rps, "%.2fx"),
+                  std::to_string(stats.warm_hits),
+                  std::to_string(stats.cold_misses)});
+    if (!first) json += ",";
+    first = false;
+    json += "{\"s\":" + std::to_string(submitters);
+    json += ",\"rps\":" + Fmt(rps, "%.3f");
+    json += ",\"speedup_vs_serial\":" + Fmt(rps / serial_rps, "%.3f");
+    json += ",\"queue_seconds\":" + SummaryJson(stats.queue_seconds);
+    json += ",\"stage1_seconds\":" + SummaryJson(stats.stage1_seconds);
+    json += ",\"stage2_seconds\":" + SummaryJson(stats.stage2_seconds);
+    json += ",\"total_seconds\":" + SummaryJson(stats.total_seconds);
+    json += "}";
+    last_stats = stats;
+  }
+  json += "]";
+
+  ServiceStats mixed_stats;
+  double mixed_rps = ServiceMixedRps(data, kMixedRequests, &mixed_stats);
+  table.AddRow({"service-mixed", "1", std::to_string(kMixedRequests),
+                Fmt(mixed_rps, "%.2f"), Fmt(mixed_rps / serial_rps, "%.2fx"),
+                std::to_string(mixed_stats.warm_hits),
+                std::to_string(mixed_stats.cold_misses)});
+  json += ",\"mixed_rps\":" + Fmt(mixed_rps, "%.3f");
+  json += ",\"mixed_warm_hits\":" + std::to_string(mixed_stats.warm_hits);
+  json += ",\"mixed_cold_misses\":" + std::to_string(mixed_stats.cold_misses);
+  json += ",\"cold_every\":" + std::to_string(kColdEvery);
+  json += "}";
+
+  table.Print();
+  std::printf(
+      "\nwarm p50/p99 total latency at 4 submitters: %.4fs / %.4fs\n",
+      last_stats.total_seconds.p50, last_stats.total_seconds.p99);
+  AppendBenchJson("service", json);
+  return 0;
+}

@@ -1,16 +1,21 @@
-// Quickstart: the paper's running example (Figures 1 and 3).
+// Quickstart: the paper's running example (Figures 1 and 3), served
+// through Explain3DService — the recommended entry point.
 //
 // Two tiny datasets answer "how many undergraduate programs does
 // University A offer?" with different results (7 vs 6). explain3d finds
 // why: Computer Science is counted twice in D1 (B.S. and B.A.) but
 // appears once in D2.
 //
-// Build & run:  ./build/examples/quickstart
+// The service owns the registered databases and returns ticket futures;
+// for a single one-shot call over raw pointers, RunExplain3D
+// (core/pipeline.h) remains available — see examples/warm_cache.cpp.
+//
+// Build & run:  ./build/quickstart
 
 #include <cstdio>
 
-#include "core/pipeline.h"
 #include "relational/csv.h"
+#include "service/service.h"
 
 using namespace explain3d;
 
@@ -43,23 +48,28 @@ int main() {
   Database db2("state_records");
   db2.PutTable(std::move(d2));
 
-  PipelineInput input;
-  input.db1 = &db1;
-  input.db2 = &db2;
-  input.sql1 = "SELECT COUNT(Program) FROM D1";
-  input.sql2 = "SELECT COUNT(Major) FROM D2 WHERE Univ = 'A'";
+  // The service takes ownership; handles name the data from here on.
+  Explain3DService service;
+  ExplanationRequest request;
+  request.db1 = service.RegisterDatabase("university_site", std::move(db1));
+  request.db2 = service.RegisterDatabase("state_records", std::move(db2));
+  request.sql1 = "SELECT COUNT(Program) FROM D1";
+  request.sql2 = "SELECT COUNT(Major) FROM D2 WHERE Univ = 'A'";
   // M_attr: Program and Major are semantically equivalent (Def. 2.1);
   // schema matching provides this in a real deployment.
-  input.attr_matches = {
+  request.attr_matches = {
       AttributeMatch::Single("Program", "Major",
                              SemanticRelation::kEquivalent)};
   // Tiny datasets: compare all pairs with character-level Jaro similarity
   // so abbreviation pairs like CS ~ CSE surface as candidates (record
   // linkage would provide these matches in a real deployment).
-  input.mapping_options.use_blocking = false;
-  input.mapping_options.metric = StringMetric::kJaro;
+  request.mapping_options.use_blocking = false;
+  request.mapping_options.metric = StringMetric::kJaro;
 
-  Result<PipelineResult> result = RunExplain3D(input, Explain3DConfig());
+  // Hold the ticket while reading through Wait()'s reference — the
+  // result lives inside it.
+  TicketPtr ticket = service.Submit(request);
+  const Result<PipelineResult>& result = ticket->Wait();
   if (!result.ok()) {
     std::fprintf(stderr, "explain3d failed: %s\n",
                  result.status().ToString().c_str());

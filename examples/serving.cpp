@@ -1,0 +1,136 @@
+// Serving: Explain3DService end to end — the recommended way to consume
+// explain3d when more than one request is involved.
+//
+// The service owns the databases (generation-counted handles), the
+// stage-1 cache (LRU under a byte budget), and the workers (requests
+// queue onto the process-wide SharedPool). This example walks the whole
+// session-oriented surface:
+//
+//   1. RegisterDatabase → DatabaseHandle
+//   2. SubmitBatch: a fan-out of solver configurations over one pair
+//   3. tickets: Wait / TryGet, a deliberate Cancel
+//   4. re-registration: generation bump + cache retirement, with the
+//      previously returned results remaining fully usable
+//   5. ServiceStats: warm/cold traffic and latency percentiles
+//
+// This file is the compiled twin of the "Serving" section in
+// docs/API.md — CI builds and runs it, so the documented snippet cannot
+// rot.
+//
+// Build & run:  ./build/serving
+
+#include <cstdio>
+
+#include "datagen/synthetic.h"
+#include "eval/gold.h"
+#include "service/service.h"
+
+using namespace explain3d;
+
+int main() {
+  // A synthetic disagreeing pair stands in for two real deployments.
+  SyntheticOptions gen;
+  gen.n = 600;
+  gen.d = 0.25;
+  gen.v = 300;
+  SyntheticDataset data = GenerateSynthetic(gen).value();
+
+  // --- 1. the service owns the data ---------------------------------------
+  ServiceOptions options;
+  options.cache_budget_bytes = 256 << 20;  // 256 MiB stage-1 cache cap
+  Explain3DService service(options);
+  DatabaseHandle site = service.RegisterDatabase("site", data.db1);
+  DatabaseHandle records = service.RegisterDatabase("records", data.db2);
+  std::printf("registered: site=%s records=%s\n",
+              site.Identity().c_str(), records.Identity().c_str());
+
+  // --- 2. fan out one analyst question across solver configs --------------
+  auto base_request = [&] {
+    ExplanationRequest req;
+    req.db1 = site;
+    req.db2 = records;
+    req.sql1 = data.sql1;
+    req.sql2 = data.sql2;
+    req.attr_matches = data.attr_matches;
+    req.mapping_options.min_probability = 1e-4;
+    req.calibration_oracle =
+        MakeRowEntityOracle(data.row_entities1, data.row_entities2);
+    return req;
+  };
+  // Warm the pair first: with several workers, a fan-out against a cold
+  // cache would race the stage-1 build (each cold miss pays its own
+  // build; first insert wins). One completed request makes every
+  // follow-up warm.
+  std::vector<TicketPtr> tickets;
+  {
+    ExplanationRequest req = base_request();
+    req.config.batch_size = 1000;
+    tickets.push_back(service.Submit(std::move(req)));
+    tickets.back()->Wait();
+  }
+  std::vector<ExplanationRequest> fanout;
+  for (size_t batch : {size_t{500}, size_t{100}}) {
+    ExplanationRequest req = base_request();
+    req.config.batch_size = batch;
+    fanout.push_back(std::move(req));
+  }
+  for (TicketPtr& t : service.SubmitBatch(std::move(fanout))) {
+    tickets.push_back(std::move(t));
+  }
+
+  // --- 3. tickets are futures ---------------------------------------------
+  // One extra request we immediately change our mind about. (If a worker
+  // claimed it first, Cancel just returns false and it runs — both are
+  // shown below.)
+  TicketPtr regretted = service.Submit(base_request());
+  bool cancel_won = regretted->Cancel();
+
+  for (size_t i = 0; i < tickets.size(); ++i) {
+    const Result<PipelineResult>& r = tickets[i]->Wait();
+    if (!r.ok()) {
+      std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("ticket %zu: |E|=%zu  stage1 %.4fs  stage2 %.4fs  (%s)\n",
+                i, r.value().core().explanations.size(),
+                r.value().stage1_seconds(), r.value().stage2_seconds(),
+                i == 0 ? "cold" : "warm");
+  }
+  std::printf("regretted request: cancel %s, status %s\n",
+              cancel_won ? "won" : "lost (already running)",
+              regretted->Wait().status().ok()
+                  ? "OK"
+                  : StatusCodeName(regretted->Wait().status().code()));
+
+  // --- 4. re-registration retires the cache, not the results --------------
+  const Result<PipelineResult>& kept = tickets[0]->Wait();
+  ServiceStats before = service.Stats();
+  DatabaseHandle site2 = service.RegisterDatabase("site", data.db1);
+  std::printf(
+      "re-registered 'site': generation %llu -> %llu, cache %zu -> %zu "
+      "entries\n",
+      static_cast<unsigned long long>(site.generation),
+      static_cast<unsigned long long>(site2.generation),
+      before.cache_entries, service.Stats().cache_entries);
+  // Old handles are retired; the new one serves a fresh (cold) build.
+  ExplanationRequest stale = base_request();
+  TicketPtr stale_ticket = service.Submit(stale);
+  std::printf("old handle now: %s\n",
+              StatusCodeName(stale_ticket->Wait().status().code()));
+  // Results returned before the re-registration stay fully usable.
+  std::printf("pre-retirement result still readable: |T1|=%zu tuples\n",
+              kept.value().t1().size());
+
+  // --- 5. service stats ----------------------------------------------------
+  ServiceStats stats = service.Stats();
+  std::printf(
+      "\nstats: %zu submitted, %zu completed, %zu cancelled, %zu failed\n",
+      stats.submitted, stats.completed, stats.cancelled, stats.failed);
+  std::printf("cache: %zu entries, %zu bytes, %zu warm / %zu cold\n",
+              stats.cache_entries, stats.cache_bytes, stats.warm_hits,
+              stats.cold_misses);
+  std::printf("latency p50/p99: stage1 %.4fs/%.4fs  stage2 %.4fs/%.4fs\n",
+              stats.stage1_seconds.p50, stats.stage1_seconds.p99,
+              stats.stage2_seconds.p50, stats.stage2_seconds.p99);
+  return 0;
+}

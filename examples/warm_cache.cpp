@@ -1,11 +1,16 @@
-// Warm-cache serving: the repeated-interactive-query fast path.
+// Warm-cache serving: the repeated-interactive-query fast path, on the
+// LOW-LEVEL pipeline API (Explain3DService wraps all of this — see
+// examples/serving.cpp; use this path when you manage database lifetimes
+// yourself).
 //
 // An analyst exploring a disagreement asks many explanation queries over
 // the same database pair, varying only solver options. A MatchingContext
 // caches the stage-1 front end (execution, provenance, canonicalization,
 // interning, blocking); the reference-based PipelineResult then shares
 // the cached artifacts instead of copying them, so each warm call pays
-// for candidate scoring + calibration + stage 2 only.
+// for candidate scoring + calibration + stage 2 only. Entries are
+// byte-accounted and LRU-evicted under an optional budget
+// (Explain3DConfig::cache_budget_bytes).
 //
 // This file is the compiled twin of the usage example in docs/API.md —
 // CI builds and runs it, so the documented snippet cannot rot.
@@ -75,5 +80,28 @@ int main() {
               "use_count=%ld\n",
               last.t1().size(),
               static_cast<long>(last.artifacts().use_count()));
+
+  // Byte budget: entries are ApproxBytes-accounted; a budget evicts in
+  // LRU order. Serve two keys (the pair and its mirror) under a budget
+  // that fits only one block — the older entry is evicted, warm service
+  // continues for the newer one, and `last` stays valid regardless.
+  Explain3DConfig budgeted;
+  budgeted.cache_budget_bytes = 1;  // absurdly small: keeps 1 entry (LRU
+                                    // never evicts the newest block)
+  Result<PipelineResult> straight = RunExplain3D(input, budgeted);
+  PipelineInput mirrored = input;
+  std::swap(mirrored.db1, mirrored.db2);
+  std::swap(mirrored.sql1, mirrored.sql2);
+  // Every side-dependent input must flip with the databases — including
+  // the calibration oracle's row→entity vectors.
+  mirrored.calibration_oracle =
+      MakeRowEntityOracle(data.row_entities2, data.row_entities1);
+  Result<PipelineResult> mirror = RunExplain3D(mirrored, budgeted);
+  if (!straight.ok() || !mirror.ok()) {
+    std::fprintf(stderr, "budgeted runs failed\n");
+    return 1;
+  }
+  std::printf("budget=1B: %zu entry cached (%zu bytes), %zu evictions\n",
+              context.size(), context.bytes(), context.evictions());
   return 0;
 }

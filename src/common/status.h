@@ -27,6 +27,8 @@ enum class StatusCode {
   kResourceExhausted, ///< Iteration/size limit hit before completion.
   kInternal,          ///< Bug: an internal invariant failed.
   kIOError,           ///< Filesystem failure.
+  kDeadlineExceeded,  ///< Request deadline passed before the work ran.
+  kCancelled,         ///< Request cancelled by the caller before running.
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -75,6 +77,12 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

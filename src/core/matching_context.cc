@@ -4,6 +4,95 @@
 
 namespace explain3d {
 
+namespace {
+
+// Flat per-element estimate of unordered_map/list node overhead (two
+// pointers, a hash, allocator rounding). Keeping it a constant makes the
+// accounting deterministic across standard libraries.
+constexpr size_t kNodeOverhead = 64;
+
+// Small strings live inline in the object; only spilled capacity counts
+// beyond the owner's own footprint.
+size_t SpilledBytes(const std::string& s) {
+  return s.capacity() > sizeof(std::string) ? s.capacity() : 0;
+}
+
+size_t StringBytes(const std::string& s) {
+  return sizeof(std::string) + SpilledBytes(s);
+}
+
+size_t ValueBytes(const Value& v) {
+  size_t b = sizeof(Value);
+  if (v.type() == DataType::kString) b += SpilledBytes(v.AsString());
+  return b;
+}
+
+size_t RowBytes(const Row& row) {
+  size_t b = sizeof(Row);
+  for (const Value& v : row) b += ValueBytes(v);
+  return b;
+}
+
+size_t TableBytes(const Table& t) {
+  size_t b = sizeof(Table) + StringBytes(t.name());
+  for (const Column& c : t.schema().columns()) {
+    b += sizeof(Column) + StringBytes(c.name);
+  }
+  for (const Row& r : t.rows()) b += RowBytes(r);
+  return b;
+}
+
+size_t ProvenanceBytes(const ProvenanceRelation& p) {
+  return TableBytes(p.table) + p.impact.capacity() * sizeof(double) +
+         sizeof(ProvenanceRelation);
+}
+
+size_t CanonicalBytes(const CanonicalRelation& t) {
+  size_t b = sizeof(CanonicalRelation);
+  for (const std::string& a : t.key_attrs) b += StringBytes(a);
+  for (const CanonicalTuple& tup : t.tuples) {
+    b += sizeof(CanonicalTuple) + RowBytes(tup.key) +
+         tup.prov_rows.capacity() * sizeof(size_t);
+  }
+  return b;
+}
+
+size_t DictionaryBytes(const TokenDictionary& dict) {
+  size_t b = sizeof(TokenDictionary);
+  for (uint32_t id = 0; id < dict.size(); ++id) {
+    // Each token is stored twice (id map key + reverse vector) plus the
+    // map node.
+    b += 2 * StringBytes(dict.token(id)) + kNodeOverhead;
+  }
+  return b;
+}
+
+size_t InternedBytes(const InternedRelation& rel) {
+  size_t b = sizeof(InternedRelation);
+  for (size_t i = 0; i < rel.size(); ++i) {
+    const InternedKey& key = rel.key(i);
+    b += sizeof(InternedKey) + key.bag.capacity() * sizeof(uint32_t);
+    for (const TokenIdSet& toks : key.attr_tokens) {
+      b += sizeof(TokenIdSet) + toks.capacity() * sizeof(uint32_t);
+    }
+  }
+  return b;
+}
+
+}  // namespace
+
+size_t ApproxBytes(const Stage1Artifacts& art) {
+  size_t b = sizeof(Stage1Artifacts);
+  b += ValueBytes(art.answer1) + ValueBytes(art.answer2);
+  b += ProvenanceBytes(art.p1) + ProvenanceBytes(art.p2);
+  b += CanonicalBytes(art.t1) + CanonicalBytes(art.t2);
+  b += DictionaryBytes(art.dict);
+  if (art.i1 != nullptr) b += InternedBytes(*art.i1);
+  if (art.i2 != nullptr) b += InternedBytes(*art.i2);
+  b += art.candidates.capacity() * sizeof(CandidatePairs::value_type);
+  return b;
+}
+
 Result<MatchingContext::ArtifactsPtr> MatchingContext::GetOrBuild(
     const std::string& key, const Builder& build) {
   {
@@ -11,28 +100,95 @@ Result<MatchingContext::ArtifactsPtr> MatchingContext::GetOrBuild(
     auto it = cache_.find(key);
     if (it != cache_.end()) {
       ++hits_;
-      return it->second;
+      // Refresh the LRU position: this entry is now the most recent.
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.art;
     }
     ++misses_;
   }
   // Build outside the lock so a slow stage 1 never blocks lookups of
-  // other dataset pairs.
+  // other dataset pairs. The O(data) byte-accounting walk stays outside
+  // too (the block is immutable once built).
   E3D_ASSIGN_OR_RETURN(ArtifactsPtr built, build());
+  size_t built_bytes = ApproxBytes(*built);
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = cache_.emplace(key, std::move(built));
-  // When two calls raced the build, the first insert wins and both return
-  // the same artifacts (they are deterministic anyway).
-  return it->second;
+  auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    // Two calls raced the build; the first insert wins and both return
+    // the same artifacts (they are deterministic anyway).
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.art;
+  }
+  Entry entry;
+  entry.bytes = built_bytes;
+  entry.art = std::move(built);
+  lru_.push_front(key);
+  entry.lru_it = lru_.begin();
+  bytes_ += entry.bytes;
+  ArtifactsPtr result = entry.art;
+  cache_.emplace(key, std::move(entry));
+  EvictOverBudgetLocked();
+  return result;
+}
+
+void MatchingContext::EvictOverBudgetLocked() {
+  if (budget_bytes_ == 0) return;
+  // Never evict the final entry: a single block larger than the budget
+  // must still serve its warm path (evicting it would just thrash).
+  while (bytes_ > budget_bytes_ && cache_.size() > 1) {
+    const std::string& victim = lru_.back();
+    auto it = cache_.find(victim);
+    bytes_ -= it->second.bytes;
+    cache_.erase(it);
+    lru_.pop_back();
+    ++evictions_;
+  }
 }
 
 void MatchingContext::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   cache_.clear();
+  lru_.clear();
+  bytes_ = 0;
+}
+
+size_t MatchingContext::EraseIf(
+    const std::function<bool(const std::string&)>& pred) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t erased = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (pred(*it)) {
+      auto entry = cache_.find(*it);
+      bytes_ -= entry->second.bytes;
+      cache_.erase(entry);
+      it = lru_.erase(it);
+      ++erased;
+    } else {
+      ++it;
+    }
+  }
+  return erased;
+}
+
+void MatchingContext::set_budget_bytes(size_t budget_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_bytes_ = budget_bytes;
+  EvictOverBudgetLocked();
+}
+
+size_t MatchingContext::budget_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return budget_bytes_;
 }
 
 size_t MatchingContext::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return cache_.size();
+}
+
+size_t MatchingContext::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
 }
 
 size_t MatchingContext::hits() const {
@@ -43,6 +199,11 @@ size_t MatchingContext::hits() const {
 size_t MatchingContext::misses() const {
   std::lock_guard<std::mutex> lock(mu_);
   return misses_;
+}
+
+size_t MatchingContext::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
 }
 
 }  // namespace explain3d

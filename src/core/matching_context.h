@@ -25,6 +25,7 @@
 #define EXPLAIN3D_CORE_MATCHING_CONTEXT_H_
 
 #include <functional>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -68,21 +69,44 @@ struct Stage1Artifacts {
 /// it.
 using ArtifactsPtr = std::shared_ptr<const Stage1Artifacts>;
 
+/// \brief Approximate heap footprint of one artifacts block, in bytes.
+///
+/// Walks the answers, provenance tables, canonical relations, token
+/// dictionary, interned keys, and candidate pairs through their public
+/// accessors. It is an estimate (container slack and hash-map overhead
+/// are modeled with flat per-element constants), intended for cache
+/// budgeting, not allocator-exact accounting.
+size_t ApproxBytes(const Stage1Artifacts& art);
+
 /// \brief Cross-call cache of stage-1 artifacts (see file comment for the
 /// immutability and lifetime contract).
+///
+/// Entries are LRU-ordered and byte-accounted (ApproxBytes). With a
+/// nonzero byte budget, inserting past the budget evicts least-recently
+/// used entries until the cache fits again — except the most recently
+/// touched entry, which always stays so a single oversized block still
+/// serves its warm path. Eviction releases only the cache's reference:
+/// in-flight calls and returned results keep theirs.
 class MatchingContext {
  public:
   using ArtifactsPtr = explain3d::ArtifactsPtr;
   /// Miss handler: builds the artifacts for a key. Runs outside the lock.
   using Builder = std::function<Result<ArtifactsPtr>()>;
 
+  /// \brief `budget_bytes` caps the summed ApproxBytes of all entries;
+  /// 0 = unlimited (Explain3DConfig::cache_budget_bytes forwards here).
+  explicit MatchingContext(size_t budget_bytes = 0)
+      : budget_bytes_(budget_bytes) {}
+
   /// \brief Returns the cached artifacts for `key`, invoking `build` on a
   /// miss.
   ///
   /// The build runs outside the lock (concurrent misses on one key may
   /// build twice; the first insert wins and every caller gets that one).
-  /// The returned pointer co-owns the block with the cache entry: it
-  /// stays valid after Clear() and after this context is destroyed.
+  /// A hit refreshes the entry's LRU position; a miss inserts at the
+  /// most-recent end and evicts over-budget entries in LRU order. The
+  /// returned pointer co-owns the block with the cache entry: it stays
+  /// valid after Clear(), eviction, and after this context is destroyed.
   Result<ArtifactsPtr> GetOrBuild(const std::string& key,
                                   const Builder& build);
 
@@ -93,16 +117,44 @@ class MatchingContext {
   /// mutating or before destroying a cached database (see file comment).
   void Clear();
 
+  /// \brief Drops every entry whose key satisfies `pred`; returns how
+  /// many were dropped. Explain3DService retires a re-registered
+  /// database's entries this way (their keys embed its generation).
+  size_t EraseIf(const std::function<bool(const std::string&)>& pred);
+
+  /// \brief Updates the byte budget, evicting immediately if the cache
+  /// is now over it. 0 = unlimited.
+  void set_budget_bytes(size_t budget_bytes);
+  size_t budget_bytes() const;
+
   size_t size() const;
-  /// Lifetime lookup counters (diagnostics; tests assert reuse).
+  /// Summed ApproxBytes of the current entries.
+  size_t bytes() const;
+  /// Lifetime lookup/eviction counters (diagnostics; tests assert reuse).
   size_t hits() const;
   size_t misses() const;
+  size_t evictions() const;
 
  private:
+  struct Entry {
+    ArtifactsPtr art;
+    size_t bytes = 0;
+    /// Position in lru_ (front = most recently used).
+    std::list<std::string>::iterator lru_it;
+  };
+
+  /// Evicts LRU-tail entries until bytes_ fits the budget; never evicts
+  /// the last remaining entry. Caller holds mu_.
+  void EvictOverBudgetLocked();
+
   mutable std::mutex mu_;
-  std::unordered_map<std::string, ArtifactsPtr> cache_;
+  std::list<std::string> lru_;  ///< keys, most recently used first
+  std::unordered_map<std::string, Entry> cache_;
+  size_t budget_bytes_ = 0;
+  size_t bytes_ = 0;
   size_t hits_ = 0;
   size_t misses_ = 0;
+  size_t evictions_ = 0;
 };
 
 }  // namespace explain3d

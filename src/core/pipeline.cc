@@ -20,9 +20,14 @@ namespace {
 /// bit-identical for every value, so resolutions must share entries.
 std::string Stage1CacheKey(const PipelineInput& input) {
   const AttributeMatch& attr = input.attr_matches.front();
+  // Handle-based callers (Explain3DService) supply a stable identity that
+  // embeds the registration generation; the raw-pointer path falls back
+  // to the addresses (and inherits their recycled-address caveat).
   std::string key =
-      StrFormat("db1=%p|db2=%p|", static_cast<const void*>(input.db1),
-                static_cast<const void*>(input.db2));
+      input.db_identity.empty()
+          ? StrFormat("db1=%p|db2=%p|", static_cast<const void*>(input.db1),
+                      static_cast<const void*>(input.db2))
+          : input.db_identity + "|";
   // Length-prefix the free-text components: a raw '|' join would let two
   // different (sql1, sql2, attr) tuples concatenate to the same key when
   // the texts themselves contain the delimiter.
@@ -100,6 +105,9 @@ Result<PipelineResult> RunExplain3D(const PipelineInput& input,
   // when caching, by the context's cache entry): nothing is copied out of
   // the artifacts, warm or cold — the last O(data) per-call cost.
   if (input.matching_context != nullptr) {
+    if (config.cache_budget_bytes > 0) {
+      input.matching_context->set_budget_bytes(config.cache_budget_bytes);
+    }
     E3D_ASSIGN_OR_RETURN(
         out.artifacts_,
         input.matching_context->GetOrBuild(

@@ -30,6 +30,13 @@
 namespace explain3d {
 
 /// \brief Everything stage 1 needs.
+///
+/// The raw `db1`/`db2` pointers are the low-level path: the caller
+/// guarantees both databases outlive the call (and the matching context,
+/// when caching). Prefer `Explain3DService` (service/service.h) for
+/// serving workloads — it owns the databases behind generation-counted
+/// `DatabaseHandle`s, fills this struct internally (including
+/// `db_identity`), and retires stale cache entries on re-registration.
 struct PipelineInput {
   const Database* db1 = nullptr;  ///< first database (must outlive the call)
   const Database* db2 = nullptr;  ///< second database (must outlive the call)
@@ -58,6 +65,14 @@ struct PipelineInput {
   /// reference to the cached artifacts, so they stay valid even after the
   /// context is cleared or destroyed.
   MatchingContext* matching_context = nullptr;
+  /// Stable identity of the database pair for the stage-1 cache key.
+  /// When empty (the low-level default), the key binds the raw `db1`/`db2`
+  /// POINTER addresses — which is why pointer-path callers must Clear()
+  /// before destroying a cached database. Explain3DService sets it to
+  /// "h<id>:g<gen>|h<id>:g<gen>" so keys follow handle identity and
+  /// generation instead: re-registering a database bumps its generation
+  /// and naturally retires every stale entry.
+  std::string db_identity;
 };
 
 /// Signature of PipelineInput::calibration_oracle.

@@ -9,7 +9,8 @@ namespace explain3d {
 std::vector<double> ScoreCandidates(const InternedRelation& i1,
                                     const InternedRelation& i2,
                                     const CandidatePairs& pairs,
-                                    StringMetric metric, size_t num_threads) {
+                                    StringMetric metric, size_t num_threads,
+                                    double score_floor) {
   // Each pair's similarity is independent; slot k only writes sim[k], so
   // the scores are bit-identical for any thread count.
   const CanonicalRelation& t1 = i1.relation();
@@ -19,7 +20,8 @@ std::vector<double> ScoreCandidates(const InternedRelation& i1,
     const auto& [i, j] = pairs[k];
     sim[k] = metric == StringMetric::kJaccard
                  ? InternedKeySimilarity(i1, i, i2, j)
-                 : KeySimilarity(t1.tuples[i].key, t2.tuples[j].key, metric);
+                 : KeySimilarity(t1.tuples[i].key, t2.tuples[j].key, metric,
+                                 score_floor);
   });
   return sim;
 }
@@ -33,16 +35,38 @@ Result<TupleMapping> GenerateInitialMapping(const InternedRelation& i1,
   // sets of different arity, e.g. (firstname, lastname) vs (name)). The
   // Jaccard metric runs entirely on interned token ids; the character
   // metrics (Jaro, Levenshtein) still need the strings.
-  std::vector<double> sim =
-      ScoreCandidates(i1, i2, pairs, opts.metric, opts.num_threads);
+  std::vector<double> sim = ScoreCandidates(i1, i2, pairs, opts.metric,
+                                            opts.num_threads,
+                                            opts.score_floor);
+
+  // With a similarity floor, sub-floor candidates are dropped BEFORE
+  // calibration — the calibrator only ever sees (and samples from) pairs
+  // that can survive, and the early-exited upper-bound scores of dropped
+  // pairs never reach it.
+  CandidatePairs kept_pairs;
+  std::vector<double> kept_sim;
+  const CandidatePairs* use_pairs = &pairs;
+  if (opts.score_floor > 0) {
+    kept_pairs.reserve(pairs.size());
+    kept_sim.reserve(pairs.size());
+    for (size_t k = 0; k < pairs.size(); ++k) {
+      if (sim[k] >= opts.score_floor) {
+        kept_pairs.push_back(pairs[k]);
+        kept_sim.push_back(sim[k]);
+      }
+    }
+    use_pairs = &kept_pairs;
+    sim = std::move(kept_sim);
+  }
+  const CandidatePairs& cand = *use_pairs;
 
   TupleMapping mapping;
-  mapping.reserve(pairs.size());
+  mapping.reserve(cand.size());
 
   if (gold.empty()) {
     // No labels: similarity doubles as probability.
-    for (size_t k = 0; k < pairs.size(); ++k) {
-      mapping.emplace_back(pairs[k].first, pairs[k].second, sim[k]);
+    for (size_t k = 0; k < cand.size(); ++k) {
+      mapping.emplace_back(cand[k].first, cand[k].second, sim[k]);
     }
   } else {
     // Calibrate on a labeled sample, then score every candidate. The
@@ -53,27 +77,27 @@ Result<TupleMapping> GenerateInitialMapping(const InternedRelation& i1,
     // accumulation runs serially, in pair order.
     SimilarityCalibrator calib(opts.calibration_buckets);
     // 0 = not sampled, 1 = sampled true label, 2 = sampled false label.
-    std::vector<uint8_t> label(pairs.size());
-    ParallelFor(ResolveThreads(opts.num_threads), pairs.size(),
+    std::vector<uint8_t> label(cand.size());
+    ParallelFor(ResolveThreads(opts.num_threads), cand.size(),
                 [&](size_t k) {
                   if (!CounterBernoulli(opts.seed, k, opts.label_fraction)) {
                     label[k] = 0;
                   } else {
-                    label[k] = gold.count(pairs[k]) > 0 ? 1 : 2;
+                    label[k] = gold.count(cand[k]) > 0 ? 1 : 2;
                   }
                 });
-    for (size_t k = 0; k < pairs.size(); ++k) {
+    for (size_t k = 0; k < cand.size(); ++k) {
       if (label[k] != 0) calib.AddSample(sim[k], label[k] == 1);
     }
     if (calib.num_samples() == 0) {
       // Degenerate sample draw; label everything instead.
-      for (size_t k = 0; k < pairs.size(); ++k) {
-        calib.AddSample(sim[k], gold.count(pairs[k]) > 0);
+      for (size_t k = 0; k < cand.size(); ++k) {
+        calib.AddSample(sim[k], gold.count(cand[k]) > 0);
       }
     }
     E3D_RETURN_IF_ERROR(calib.Fit());
-    for (size_t k = 0; k < pairs.size(); ++k) {
-      mapping.emplace_back(pairs[k].first, pairs[k].second,
+    for (size_t k = 0; k < cand.size(); ++k) {
+      mapping.emplace_back(cand[k].first, cand[k].second,
                            calib.Probability(sim[k]));
     }
   }

@@ -32,6 +32,14 @@ struct MappingGenOptions {
   /// Matches with calibrated probability below this are dropped from the
   /// initial mapping (they carry almost no signal and bloat the MILP).
   double min_probability = 0.05;
+  /// Candidate pairs whose combined key SIMILARITY (pre-calibration)
+  /// falls below this floor are dropped before the calibrator sees them.
+  /// Passing it into scoring arms the threshold early exits (the
+  /// NormalizedLevenshtein length prune): a dropped pair's stored score
+  /// may be an upper bound instead of the exact value, which is safe
+  /// precisely because it is dropped. 0 (default) = score everything
+  /// exactly and keep all candidates, the pre-floor behavior bit for bit.
+  double score_floor = 0.0;
   /// Probabilities are clamped here so log(p), log(1-p) stay finite.
   double max_probability = 0.99;
   /// Use blocking (token/bucket index) instead of all pairs.
@@ -54,11 +62,15 @@ using GoldPairs = std::set<std::pair<size_t, size_t>>;
 /// (InternedKeySimilarity for kJaccard — no per-pair tokenization —
 /// KeySimilarity over the raw keys for the character metrics), in
 /// parallel over `num_threads`. Slot k of the result scores pairs[k];
-/// values are bit-identical for every thread count.
+/// values are bit-identical for every thread count. A nonzero
+/// `score_floor` arms the metric's early exit: slots that are provably
+/// below the floor may hold an upper bound of the true similarity (still
+/// below the floor) instead of the exact value — callers must drop them.
 std::vector<double> ScoreCandidates(const InternedRelation& i1,
                                     const InternedRelation& i2,
                                     const CandidatePairs& pairs,
-                                    StringMetric metric, size_t num_threads);
+                                    StringMetric metric, size_t num_threads,
+                                    double score_floor = 0.0);
 
 /// Generates the initial probabilistic tuple mapping between two canonical
 /// relations. `gold` supplies labels for calibration; when empty, raw

@@ -161,7 +161,8 @@ bool CoerceNumeric(const Value& v, double* out) {
   return true;
 }
 
-double ValueSimilarity(const Value& a, const Value& b, StringMetric metric) {
+double ValueSimilarity(const Value& a, const Value& b, StringMetric metric,
+                       double min_sim) {
   if (a.is_null() && b.is_null()) return 1.0;
   if (a.is_null() || b.is_null()) return 0.0;
   if (a.is_numeric() && b.is_numeric()) {
@@ -175,7 +176,7 @@ double ValueSimilarity(const Value& a, const Value& b, StringMetric metric) {
         return JaroSimilarity(ToLower(a.AsString()), ToLower(b.AsString()));
       case StringMetric::kLevenshtein:
         return NormalizedLevenshtein(ToLower(a.AsString()),
-                                     ToLower(b.AsString()));
+                                     ToLower(b.AsString()), min_sim);
     }
   }
   // Mixed numeric-vs-string: type drift between the two databases (123 in
@@ -187,14 +188,23 @@ double ValueSimilarity(const Value& a, const Value& b, StringMetric metric) {
   return 0.0;
 }
 
-double RowSimilarity(const Row& a, const Row& b, StringMetric metric) {
+double RowSimilarity(const Row& a, const Row& b, StringMetric metric,
+                     double min_sim) {
   E3D_CHECK_EQ(a.size(), b.size());
   if (a.empty()) return 0.0;
   double total = 0;
+  const double k = static_cast<double>(a.size());
   for (size_t i = 0; i < a.size(); ++i) {
-    total += ValueSimilarity(a[i], b[i], metric);
+    // Tightest per-attribute floor that could still reach mean >= min_sim
+    // when every remaining attribute scores a perfect 1. If this attribute
+    // early-exits below its floor, the final mean is below min_sim no
+    // matter what follows, so the result stays a valid upper bound.
+    double remaining = k - 1.0 - static_cast<double>(i);
+    double attr_floor =
+        min_sim > 0 ? min_sim * k - total - remaining : 0.0;
+    total += ValueSimilarity(a[i], b[i], metric, attr_floor);
   }
-  return total / static_cast<double>(a.size());
+  return total / k;
 }
 
 namespace {
@@ -211,8 +221,9 @@ std::vector<std::string> KeyTokenBag(const Row& key) {
 }
 }  // namespace
 
-double KeySimilarity(const Row& a, const Row& b, StringMetric metric) {
-  if (a.size() == b.size()) return RowSimilarity(a, b, metric);
+double KeySimilarity(const Row& a, const Row& b, StringMetric metric,
+                     double min_sim) {
+  if (a.size() == b.size()) return RowSimilarity(a, b, metric, min_sim);
   return JaccardOfTokenSets(KeyTokenBag(a), KeyTokenBag(b));
 }
 

@@ -64,20 +64,38 @@ bool CoerceNumeric(const Value& v, double* out);
 /// pairs the chosen metric, NULLs similarity 0 (unless both NULL: 1).
 /// Mixed numeric-vs-string pairs coerce the string side (CoerceNumeric)
 /// and compare numerically when it is numeric-looking; otherwise 0.
+///
+/// `min_sim` is a threshold hint for metrics with an early exit
+/// (currently kLevenshtein): when the exact similarity is provably below
+/// min_sim, an upper BOUND of it — still below min_sim — may be returned
+/// instead of the exact value. Callers that drop scores below min_sim
+/// anyway (MappingGenOptions::score_floor) see identical results; pass 0
+/// (the default) for exact values everywhere.
 double ValueSimilarity(const Value& a, const Value& b,
-                       StringMetric metric = StringMetric::kJaccard);
+                       StringMetric metric = StringMetric::kJaccard,
+                       double min_sim = 0.0);
 
 /// Mean ValueSimilarity across index-aligned key attributes (the paper's
 /// combined similarity sim(ti,tj)). Keys must have equal arity.
+///
+/// `min_sim` thresholds the MEAN: per attribute, the tightest floor that
+/// could still reach it (assuming every remaining attribute scores 1) is
+/// forwarded to ValueSimilarity, so a returned mean >= min_sim is always
+/// exact, and a mean below min_sim may be an upper bound (see
+/// ValueSimilarity).
 double RowSimilarity(const Row& a, const Row& b,
-                     StringMetric metric = StringMetric::kJaccard);
+                     StringMetric metric = StringMetric::kJaccard,
+                     double min_sim = 0.0);
 
 /// Similarity between keys of possibly different arity (e.g. IMDb's
 /// (firstname, lastname, dob) vs (name, dob)): equal-arity keys use
 /// RowSimilarity; otherwise each key is flattened into one token bag
-/// (numbers render as tokens) and compared with token Jaccard.
+/// (numbers render as tokens) and compared with token Jaccard. `min_sim`
+/// follows the RowSimilarity contract (the token-bag fallback has no
+/// early exit and always returns exact values).
 double KeySimilarity(const Row& a, const Row& b,
-                     StringMetric metric = StringMetric::kJaccard);
+                     StringMetric metric = StringMetric::kJaccard,
+                     double min_sim = 0.0);
 
 }  // namespace explain3d
 

@@ -1,0 +1,398 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+namespace explain3d {
+
+namespace {
+
+double SecondsBetween(std::chrono::steady_clock::time_point a,
+                      std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// True when `tag` is one of the two identity components of `key`.
+/// Service-path keys are "<tag1>|<tag2>|<length-prefixed sql/attr>"
+/// (Stage1CacheKey): only the first two '|'-delimited components are
+/// identities — matching deeper would hit free-form query text (which
+/// may itself contain "|h1:g1|"), and "h5:g2" must not match "h15:g2".
+bool KeyUsesIdentity(const std::string& key, const std::string& tag) {
+  auto component_at = [&](size_t start) {
+    return key.compare(start, tag.size(), tag) == 0 &&
+           key.size() > start + tag.size() && key[start + tag.size()] == '|';
+  };
+  if (component_at(0)) return true;
+  size_t bar = key.find('|');
+  return bar != std::string::npos && component_at(bar + 1);
+}
+
+LatencySummary Summarize(std::vector<double> v) {
+  LatencySummary s;
+  if (v.empty()) return s;
+  std::sort(v.begin(), v.end());
+  auto at = [&](double p) {
+    return v[static_cast<size_t>(p * static_cast<double>(v.size() - 1) +
+                                 0.5)];
+  };
+  s.count = v.size();
+  s.p50 = at(0.50);
+  s.p90 = at(0.90);
+  s.p99 = at(0.99);
+  s.max = v.back();
+  return s;
+}
+
+}  // namespace
+
+// --- DatabaseHandle ---------------------------------------------------------
+
+std::string DatabaseHandle::Identity() const {
+  return StrFormat("h%llu:g%llu", static_cast<unsigned long long>(id),
+                   static_cast<unsigned long long>(generation));
+}
+
+// --- RequestTicket ----------------------------------------------------------
+
+const Result<PipelineResult>& RequestTicket::Wait() const {
+  done_.WaitForNotification();
+  // Safe without mu_: result_ is written before done_ fires and never
+  // written again (single completion), and HasBeenNotified/Wait
+  // establish the happens-before edge.
+  return *result_;
+}
+
+const Result<PipelineResult>* RequestTicket::TryGet() const {
+  if (!done_.HasBeenNotified()) return nullptr;
+  return &*result_;
+}
+
+const Result<PipelineResult>* RequestTicket::WaitFor(double seconds) const {
+  if (!done_.WaitForNotificationWithTimeout(seconds)) return nullptr;
+  return &*result_;
+}
+
+bool RequestTicket::Cancel() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ != State::kQueued) return false;
+    state_ = State::kDone;
+    cancelled_ = true;
+    result_.emplace(Status::Cancelled("request cancelled before it ran"));
+    // The request is dead weight from here on (gold labels and oracle
+    // closures can pin O(rows) state for the ticket's whole lifetime).
+    request_ = ExplanationRequest();
+  }
+  // Count before notifying: a waiter released by this cancellation
+  // already sees it in the stats.
+  if (counters_) counters_->cancelled.fetch_add(1);
+  done_.Notify();
+  return true;
+}
+
+void RequestTicket::Complete(Result<PipelineResult> result) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    state_ = State::kDone;
+    result_.emplace(std::move(result));
+    // Only the result matters now; free the request's label/oracle state
+    // (the completing worker is done reading it).
+    request_ = ExplanationRequest();
+  }
+  done_.Notify();
+}
+
+// --- Explain3DService -------------------------------------------------------
+
+Explain3DService::Explain3DService(ServiceOptions options)
+    : options_(options),
+      max_concurrency_(ResolveThreads(options.max_concurrency)),
+      cache_(options.cache_budget_bytes) {
+  // Requests occupy pool workers for their whole run; make sure the pool
+  // can hold max_concurrency_ of them (nested ParallelFor calls remain
+  // deadlock-free regardless — batches are caller-participating).
+  SharedPool(max_concurrency_);
+}
+
+Explain3DService::~Explain3DService() {
+  std::deque<TicketPtr> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+    orphans.swap(queue_);
+  }
+  // Never-claimed requests terminate as cancelled; their tickets stay
+  // valid past the service's lifetime (callers share ownership). Cancel
+  // itself counts the ones it wins (the rest were already counted by the
+  // caller's Cancel).
+  for (const TicketPtr& t : orphans) t->Cancel();
+  // In-flight pipelines run to completion — they hold keep-alive
+  // references into this service (cache_, registry slots), so the
+  // destructor must not return before every runner exits.
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return active_runners_ == 0; });
+}
+
+DatabaseHandle Explain3DService::RegisterDatabase(const std::string& name,
+                                                 Database db) {
+  DatabaseHandle handle;
+  std::string retired_tag;
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    DbSlot& slot = registry_[name];
+    if (slot.id == 0) {
+      slot.id = next_db_id_++;
+      slot.generation = 1;
+    } else {
+      // Replacement: the previous generation's artifacts are stale the
+      // moment the new data lands.
+      retired_tag = DatabaseHandle{slot.id, slot.generation}.Identity();
+      ++slot.generation;
+    }
+    slot.db = std::make_shared<const Database>(std::move(db));
+    handle = DatabaseHandle{slot.id, slot.generation};
+  }
+  if (!retired_tag.empty()) {
+    // Retire outside the registry lock: EraseIf drops only the cache's
+    // references, so results already returned keep their artifacts, and
+    // in-flight requests resolved against the old generation keep their
+    // database through the slot's old shared_ptr.
+    cache_.EraseIf([&retired_tag](const std::string& key) {
+      return KeyUsesIdentity(key, retired_tag);
+    });
+  }
+  return handle;
+}
+
+Result<DatabaseHandle> Explain3DService::LookupDatabase(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  auto it = registry_.find(name);
+  if (it == registry_.end()) {
+    return Status::NotFound("no database registered as '" + name + "'");
+  }
+  return DatabaseHandle{it->second.id, it->second.generation};
+}
+
+Result<std::shared_ptr<const Database>> Explain3DService::ResolveHandle(
+    const DatabaseHandle& handle) const {
+  if (!handle.valid()) {
+    return Status::InvalidArgument(
+        "invalid DatabaseHandle (default-constructed or never registered)");
+  }
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const auto& [name, slot] : registry_) {
+    if (slot.id != handle.id) continue;
+    if (slot.generation != handle.generation) {
+      return Status::InvalidArgument(StrFormat(
+          "database handle retired: '%s' was re-registered (handle "
+          "generation %llu, current %llu)",
+          name.c_str(), static_cast<unsigned long long>(handle.generation),
+          static_cast<unsigned long long>(slot.generation)));
+    }
+    return slot.db;
+  }
+  return Status::NotFound(StrFormat(
+      "unknown DatabaseHandle id %llu (not issued by this service)",
+      static_cast<unsigned long long>(handle.id)));
+}
+
+TicketPtr Explain3DService::Submit(ExplanationRequest request) {
+  TicketPtr ticket(new RequestTicket());
+  ticket->request_ = std::move(request);
+  ticket->submit_time_ = std::chrono::steady_clock::now();
+  ticket->counters_ = counters_;
+  counters_->submitted.fetch_add(1);
+  bool spawn = false;
+  bool rejected = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      rejected = true;
+    } else {
+      queue_.push_back(ticket);
+      if (active_runners_ < max_concurrency_) {
+        ++active_runners_;
+        spawn = true;
+      }
+    }
+  }
+  if (rejected) {
+    ticket->Cancel();
+    return ticket;
+  }
+  if (spawn) {
+    SharedPool().Submit([this] { RunnerLoop(); });
+  }
+  return ticket;
+}
+
+std::vector<TicketPtr> Explain3DService::SubmitBatch(
+    std::vector<ExplanationRequest> requests) {
+  std::vector<TicketPtr> tickets;
+  tickets.reserve(requests.size());
+  for (ExplanationRequest& request : requests) {
+    tickets.push_back(Submit(std::move(request)));
+  }
+  return tickets;
+}
+
+void Explain3DService::RunnerLoop() {
+  for (;;) {
+    TicketPtr ticket;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (shutdown_ || queue_.empty()) {
+        --active_runners_;
+        idle_cv_.notify_all();
+        return;
+      }
+      ticket = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_requests_;
+    }
+    Process(ticket);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_requests_;
+    }
+  }
+}
+
+void Explain3DService::Process(const TicketPtr& ticket) {
+  // Claim kQueued → kRunning. Losing the claim means Cancel() completed
+  // the ticket while it sat in the queue; account for it and move on.
+  {
+    bool already_terminal = false;
+    {
+      std::lock_guard<std::mutex> lock(ticket->mu_);
+      if (ticket->state_ != RequestTicket::State::kQueued) {
+        already_terminal = true;
+      } else {
+        ticket->state_ = RequestTicket::State::kRunning;
+      }
+    }
+    // Cancelled while queued — already counted by Cancel(); just skip.
+    if (already_terminal) return;
+  }
+  // From here on only this worker touches the request: Cancel() can no
+  // longer win, and Submit stopped writing before the enqueue.
+  const ExplanationRequest& req = ticket->request_;
+  auto claimed_at = std::chrono::steady_clock::now();
+  double queue_s = SecondsBetween(ticket->submit_time_, claimed_at);
+
+  if (req.deadline_seconds > 0 && queue_s > req.deadline_seconds) {
+    counters_->deadline_exceeded.fetch_add(1);
+    ticket->Complete(Status::DeadlineExceeded(StrFormat(
+        "request spent %.6fs queued, past its %.6fs deadline", queue_s,
+        req.deadline_seconds)));
+    return;
+  }
+
+  // Resolve handles into keep-alive references: a concurrent re-register
+  // swaps the registry slot but cannot free a database this request is
+  // reading.
+  Result<std::shared_ptr<const Database>> db1 = ResolveHandle(req.db1);
+  Result<std::shared_ptr<const Database>> db2 =
+      db1.ok() ? ResolveHandle(req.db2)
+               : Result<std::shared_ptr<const Database>>(db1.status());
+  Result<PipelineResult> outcome =
+      !db1.ok() ? Result<PipelineResult>(db1.status())
+      : !db2.ok()
+          ? Result<PipelineResult>(db2.status())
+          : [&]() -> Result<PipelineResult> {
+              PipelineInput input;
+              input.db1 = db1.value().get();
+              input.db2 = db2.value().get();
+              input.sql1 = req.sql1;
+              input.sql2 = req.sql2;
+              input.attr_matches = req.attr_matches;
+              input.mapping_options = req.mapping_options;
+              input.calibration_gold = req.calibration_gold;
+              input.calibration_oracle = req.calibration_oracle;
+              input.matching_context = &cache_;
+              // Generation-aware identity: cache keys follow the handle,
+              // not the (recyclable) heap address, so a re-registered
+              // database can never be served its predecessor's artifacts.
+              input.db_identity =
+                  req.db1.Identity() + "|" + req.db2.Identity();
+              // The cache is shared by every client: its budget is the
+              // service's (ServiceOptions::cache_budget_bytes, applied
+              // at construction), never a single request's.
+              Explain3DConfig config = req.config;
+              config.cache_budget_bytes = 0;
+              return RunExplain3D(input, config);
+            }();
+
+  // Account fully before completing: a caller woken by Wait() must see
+  // its own request in the counters and latency series.
+  double total_s = SecondsBetween(ticket->submit_time_,
+                                  std::chrono::steady_clock::now());
+  bool ok = outcome.ok();
+  counters_->completed.fetch_add(1);
+  if (!ok) {
+    counters_->failed.fetch_add(1);
+  } else {
+    RecordLatencies(queue_s, outcome.value().stage1_seconds(),
+                    outcome.value().stage2_seconds(), total_s);
+  }
+  ticket->Complete(std::move(outcome));
+}
+
+void Explain3DService::RecordLatencies(double queue_s, double stage1_s,
+                                       double stage2_s, double total_s) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  if (lat_total_.size() < kLatencyWindow) {
+    lat_queue_.push_back(queue_s);
+    lat_stage1_.push_back(stage1_s);
+    lat_stage2_.push_back(stage2_s);
+    lat_total_.push_back(total_s);
+  } else {
+    // Ring: overwrite the oldest sample (all 4 series share the cursor).
+    lat_queue_[lat_next_] = queue_s;
+    lat_stage1_[lat_next_] = stage1_s;
+    lat_stage2_[lat_next_] = stage2_s;
+    lat_total_[lat_next_] = total_s;
+    lat_next_ = (lat_next_ + 1) % kLatencyWindow;
+  }
+}
+
+ServiceStats Explain3DService::Stats() const {
+  ServiceStats s;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Cancelled tickets sit in the deque until a worker pops and discards
+    // them; they are not pending work, so don't report them as backlog.
+    for (const TicketPtr& t : queue_) {
+      if (!t->done()) ++s.queue_depth;
+    }
+    s.running = running_requests_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(registry_mu_);
+    s.registered_databases = registry_.size();
+  }
+  s.submitted = counters_->submitted.load();
+  s.completed = counters_->completed.load();
+  s.cancelled = counters_->cancelled.load();
+  s.deadline_exceeded = counters_->deadline_exceeded.load();
+  s.failed = counters_->failed.load();
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    s.queue_seconds = Summarize(lat_queue_);
+    s.stage1_seconds = Summarize(lat_stage1_);
+    s.stage2_seconds = Summarize(lat_stage2_);
+    s.total_seconds = Summarize(lat_total_);
+  }
+  s.cache_entries = cache_.size();
+  s.cache_bytes = cache_.bytes();
+  s.warm_hits = cache_.hits();
+  s.cold_misses = cache_.misses();
+  s.cache_evictions = cache_.evictions();
+  return s;
+}
+
+}  // namespace explain3d

@@ -1,0 +1,305 @@
+// Explain3DService: the concurrent, session-oriented serving facade.
+//
+// RunExplain3D (core/pipeline.h) is one synchronous call over raw
+// Database pointers with a caller-managed cache — fine for scripts,
+// wrong for the interactive workload the paper targets (Sec. 5.2): an
+// analyst triangulating a disagreement issues MANY related explanation
+// requests against the same dataset pair, concurrently with other
+// analysts. The service owns everything those requests share:
+//
+//   * the databases, behind generation-counted DatabaseHandles —
+//     RegisterDatabase moves the data in, re-registering a name bumps
+//     its generation, retires every stale stage-1 cache entry, and
+//     leaves already-returned results untouched (they co-own their
+//     artifacts);
+//   * the stage-1 cache — one MatchingContext keyed on
+//     (db-pair identity+generation, query pair, attr, blocking), LRU-
+//     evicted under ServiceOptions::cache_budget_bytes;
+//   * the workers — requests queue FIFO and run on the process-wide
+//     SharedPool, at most max_concurrency at a time, each producing a
+//     result bit-identical to a serial RunExplain3D of the same request.
+//
+// Submit returns a RequestTicket future: Wait() / TryGet() / Cancel(),
+// with an optional per-request deadline that fails still-queued requests
+// with kDeadlineExceeded. ServiceStats reports queue depth, warm/cold
+// cache traffic, and per-stage latency percentiles.
+
+#ifndef EXPLAIN3D_SERVICE_SERVICE_H_
+#define EXPLAIN3D_SERVICE_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/notification.h"
+#include "common/status.h"
+#include "core/config.h"
+#include "core/matching_context.h"
+#include "core/pipeline.h"
+#include "relational/database.h"
+
+namespace explain3d {
+
+/// \brief Reference to a database registered with an Explain3DService.
+///
+/// Handles are value types: cheap to copy, meaningful only to the
+/// service that issued them. A handle pins an (id, generation) pair —
+/// re-registering the same name bumps the generation, after which old
+/// handles are *retired*: submitting with one fails with
+/// InvalidArgument, and the retired generation's cache entries are
+/// dropped.
+struct DatabaseHandle {
+  uint64_t id = 0;          ///< registry slot id; 0 = invalid
+  uint64_t generation = 0;  ///< bumped on every re-registration
+
+  bool valid() const { return id != 0; }
+  /// Stable cache-key component: "h<id>:g<generation>".
+  std::string Identity() const;
+
+  bool operator==(const DatabaseHandle& o) const {
+    return id == o.id && generation == o.generation;
+  }
+  bool operator!=(const DatabaseHandle& o) const { return !(*this == o); }
+};
+
+/// \brief One explanation request: the handle-based analogue of
+/// PipelineInput plus the per-request solver config and deadline.
+struct ExplanationRequest {
+  DatabaseHandle db1, db2;  ///< from RegisterDatabase / LookupDatabase
+  std::string sql1, sql2;   ///< aggregate query per side
+  AttributeMatches attr_matches;      ///< M_attr (Definition 2.1)
+  MappingGenOptions mapping_options;  ///< stage-1 matching knobs
+  GoldPairs calibration_gold;         ///< optional calibrator labels
+  CalibrationOracle calibration_oracle;  ///< wins over calibration_gold
+  /// Per-request pipeline/solver config. `cache_budget_bytes` is ignored
+  /// here — the stage-1 cache is shared by every client, so its budget
+  /// is ServiceOptions::cache_budget_bytes, fixed at construction.
+  Explain3DConfig config;
+  /// Seconds from Submit after which a still-queued request fails with
+  /// kDeadlineExceeded instead of running. Checked when a worker dequeues
+  /// the request; a request that started running always finishes. 0 = no
+  /// deadline.
+  double deadline_seconds = 0;
+};
+
+/// Lifecycle counters shared by the service and its tickets (tickets
+/// outlive the service, so the block is shared_ptr-owned). Atomics: each
+/// event increments exactly one counter at the moment it happens —
+/// BEFORE the ticket's completion fires, so a caller returning from
+/// Wait() always observes its own request already counted.
+struct ServiceCounters {
+  std::atomic<size_t> submitted{0};
+  std::atomic<size_t> completed{0};
+  std::atomic<size_t> cancelled{0};
+  std::atomic<size_t> deadline_exceeded{0};
+  std::atomic<size_t> failed{0};
+};
+
+/// \brief Future for one submitted request.
+///
+/// Terminal states: a pipeline result (ok or its error), kCancelled
+/// (Cancel() won before a worker claimed it), or kDeadlineExceeded (the
+/// deadline passed while queued). The ticket is created and completed by
+/// the service; callers share it via TicketPtr and may Wait from any
+/// number of threads. Tickets outlive the service (shared_ptr), and a
+/// ticket completed with a PipelineResult keeps that result valid
+/// forever — it co-owns its Stage1Artifacts block.
+class RequestTicket {
+ public:
+  /// Blocks until the request reaches a terminal state; returns it.
+  /// The reference lives inside the ticket — keep the TicketPtr alive
+  /// while reading it (don't call through a temporary:
+  /// `service.Submit(r)->Wait()` dangles at the semicolon).
+  const Result<PipelineResult>& Wait() const;
+
+  /// Non-blocking: the terminal result, or nullptr while pending.
+  const Result<PipelineResult>* TryGet() const;
+
+  /// Wait with a timeout; nullptr when the request is still pending
+  /// after `seconds`.
+  const Result<PipelineResult>* WaitFor(double seconds) const;
+
+  /// \brief Cancels the request if it has not started running.
+  ///
+  /// Returns true when this call won: the ticket completes immediately
+  /// with kCancelled and the queued work is skipped. Returns false when
+  /// the request is already running or terminal (a running pipeline is
+  /// never interrupted — its result still arrives).
+  bool Cancel();
+
+  bool done() const { return done_.HasBeenNotified(); }
+
+ private:
+  friend class Explain3DService;
+
+  enum class State { kQueued, kRunning, kDone };
+
+  RequestTicket() = default;
+
+  /// Sets the terminal result and releases waiters. Caller must hold no
+  /// lock; at most one completion ever happens (claim logic guarantees).
+  void Complete(Result<PipelineResult> result);
+
+  mutable std::mutex mu_;
+  State state_ = State::kQueued;
+  bool cancelled_ = false;  ///< terminal state was kCancelled
+  ExplanationRequest request_;
+  std::chrono::steady_clock::time_point submit_time_;
+  std::optional<Result<PipelineResult>> result_;  ///< set before done_
+  Notification done_;
+  std::shared_ptr<ServiceCounters> counters_;  ///< set by Submit
+};
+
+using TicketPtr = std::shared_ptr<RequestTicket>;
+
+/// Percentile summary of one latency series (seconds).
+struct LatencySummary {
+  size_t count = 0;
+  double p50 = 0, p90 = 0, p99 = 0, max = 0;
+};
+
+/// \brief Point-in-time service counters (all monotone except the depth
+/// gauges). Warm/cold traffic is the owned cache's hit/miss counters.
+struct ServiceStats {
+  // Request lifecycle.
+  size_t submitted = 0;
+  size_t completed = 0;  ///< ran to a pipeline result (ok or error)
+  size_t cancelled = 0;
+  size_t deadline_exceeded = 0;
+  size_t failed = 0;     ///< completed with a non-OK pipeline status
+  // Gauges.
+  /// Submitted, not yet claimed by a worker, and still pending (tickets
+  /// cancelled while queued are excluded — they are already terminal).
+  size_t queue_depth = 0;
+  size_t running = 0;      ///< claimed, pipeline in flight
+  size_t registered_databases = 0;
+  // Stage-1 cache (MatchingContext passthrough).
+  size_t cache_entries = 0;
+  size_t cache_bytes = 0;
+  size_t warm_hits = 0;
+  size_t cold_misses = 0;
+  size_t cache_evictions = 0;
+  // Latency percentiles over the most recent completions.
+  LatencySummary queue_seconds;   ///< Submit → worker claim
+  LatencySummary stage1_seconds;  ///< pipeline stage 1
+  LatencySummary stage2_seconds;  ///< pipeline stage 2
+  LatencySummary total_seconds;   ///< Submit → completion
+};
+
+/// Construction-time service knobs.
+struct ServiceOptions {
+  /// Max requests running concurrently on the SharedPool. 0 = auto
+  /// (ResolveThreads: hardware_concurrency or EXPLAIN3D_NUM_THREADS).
+  size_t max_concurrency = 0;
+  /// Stage-1 cache budget, forwarded to the owned MatchingContext
+  /// (summed ApproxBytes, LRU eviction past it). 0 = unlimited.
+  size_t cache_budget_bytes = 0;
+};
+
+/// \brief The serving facade (see file comment).
+///
+/// Thread-safe throughout: RegisterDatabase, Submit, Cancel, and Stats
+/// may race freely. Determinism carries over from the pipeline — a
+/// request's result is bit-identical to a serial RunExplain3D over the
+/// same inputs regardless of queue order, concurrency, or cache state.
+///
+/// Destruction: queued requests complete with kCancelled; in-flight ones
+/// run to completion (their tickets stay valid — callers may still Wait
+/// after the service is gone).
+class Explain3DService {
+ public:
+  explicit Explain3DService(ServiceOptions options = {});
+  ~Explain3DService();
+
+  Explain3DService(const Explain3DService&) = delete;
+  Explain3DService& operator=(const Explain3DService&) = delete;
+
+  /// \brief Moves `db` into the service and returns its handle.
+  ///
+  /// First registration of `name` allocates a fresh slot (generation 1).
+  /// Re-registering an existing name REPLACES the database: the
+  /// generation bumps, every cache entry of the previous generation is
+  /// retired immediately, old handles become invalid for new submits,
+  /// and in-flight requests resolved against the old generation finish
+  /// safely (they share ownership of the old Database until done).
+  DatabaseHandle RegisterDatabase(const std::string& name, Database db);
+
+  /// Current handle of a registered name; NotFound otherwise.
+  Result<DatabaseHandle> LookupDatabase(const std::string& name) const;
+
+  /// \brief Enqueues a request; returns its ticket immediately.
+  ///
+  /// Handle validity is checked when a worker claims the request (the
+  /// registry may legitimately change while it queues), so a bad handle
+  /// surfaces on the ticket, not here.
+  TicketPtr Submit(ExplanationRequest request);
+
+  /// Fan-out convenience: Submit each request in order. Tickets align
+  /// index-for-index with `requests`.
+  std::vector<TicketPtr> SubmitBatch(std::vector<ExplanationRequest> requests);
+
+  /// Snapshot of the counters, gauges, and latency percentiles.
+  ServiceStats Stats() const;
+
+  /// The owned stage-1 cache (diagnostics/tests: entry count, bytes,
+  /// hit/miss/eviction counters).
+  const MatchingContext& cache() const { return cache_; }
+
+ private:
+  struct DbSlot {
+    uint64_t id = 0;
+    uint64_t generation = 0;
+    std::shared_ptr<const Database> db;
+  };
+
+  /// Worker body: drain the queue until empty or shutdown.
+  void RunnerLoop();
+  /// Runs one claimed ticket end to end.
+  void Process(const TicketPtr& ticket);
+  /// Resolves a handle to a keep-alive database reference.
+  Result<std::shared_ptr<const Database>> ResolveHandle(
+      const DatabaseHandle& handle) const;
+  /// Appends one completed request's latencies to the ring buffers.
+  void RecordLatencies(double queue_s, double stage1_s, double stage2_s,
+                       double total_s);
+
+  const ServiceOptions options_;
+  const size_t max_concurrency_;
+
+  // Registry: name → slot. Slots hold shared_ptrs so replaced databases
+  // survive until their last in-flight request completes.
+  mutable std::mutex registry_mu_;
+  std::unordered_map<std::string, DbSlot> registry_;
+  uint64_t next_db_id_ = 1;
+
+  // Queue + worker accounting.
+  mutable std::mutex mu_;
+  std::deque<TicketPtr> queue_;
+  size_t active_runners_ = 0;
+  size_t running_requests_ = 0;
+  bool shutdown_ = false;
+  std::condition_variable idle_cv_;  ///< fires when a runner exits
+
+  // Lifecycle counters (shared with tickets; see ServiceCounters).
+  std::shared_ptr<ServiceCounters> counters_ =
+      std::make_shared<ServiceCounters>();
+  /// Latency rings (most recent kLatencyWindow completions).
+  mutable std::mutex stats_mu_;
+  static constexpr size_t kLatencyWindow = 4096;
+  std::vector<double> lat_queue_, lat_stage1_, lat_stage2_, lat_total_;
+  size_t lat_next_ = 0;  ///< ring write cursor (shared by the 4 series)
+
+  MatchingContext cache_;
+};
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_SERVICE_SERVICE_H_

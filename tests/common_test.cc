@@ -22,6 +22,31 @@ TEST(StatusTest, CodesAndMessages) {
   EXPECT_EQ(s.ToString(), "NotFound: thing");
 }
 
+TEST(StatusTest, ServingCodesRoundTrip) {
+  // The serving codes round-trip factory → code → name → ToString, and
+  // stay distinct from every pre-existing code (Result plumbing included).
+  Status d = Status::DeadlineExceeded("queued past the deadline");
+  EXPECT_FALSE(d.ok());
+  EXPECT_EQ(d.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_STREQ(StatusCodeName(d.code()), "DeadlineExceeded");
+  EXPECT_EQ(d.ToString(), "DeadlineExceeded: queued past the deadline");
+
+  Status c = Status::Cancelled("caller gave up");
+  EXPECT_FALSE(c.ok());
+  EXPECT_EQ(c.code(), StatusCode::kCancelled);
+  EXPECT_STREQ(StatusCodeName(c.code()), "Cancelled");
+  EXPECT_EQ(c.ToString(), "Cancelled: caller gave up");
+
+  EXPECT_NE(d.code(), c.code());
+  EXPECT_FALSE(d == c);
+  EXPECT_TRUE(d == Status::DeadlineExceeded("queued past the deadline"));
+
+  Result<int> r(Status::Cancelled("x"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(r.value_or(-5), -5);
+}
+
 TEST(ResultTest, ValueAndErrorPaths) {
   Result<int> ok(7);
   ASSERT_TRUE(ok.ok());

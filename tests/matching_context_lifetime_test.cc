@@ -138,6 +138,135 @@ TEST(PipelineLifetimeTest, HeldArtifactsPtrKeepsBlockAliveAfterResult) {
   EXPECT_EQ(kept->candidates.empty(), false);
 }
 
+// --- byte accounting + LRU eviction -----------------------------------------
+
+// Direct GetOrBuild driver: tiny synthetic blocks with known-ish sizes so
+// the budget math is easy to reason about.
+ArtifactsPtr TinyBlock(size_t n_tuples) {
+  auto art = std::make_shared<Stage1Artifacts>();
+  art->t1.key_attrs = {"k"};
+  for (size_t i = 0; i < n_tuples; ++i) {
+    CanonicalTuple t;
+    t.key = {Value(static_cast<int64_t>(i))};
+    t.impact = 1;
+    t.prov_rows = {i};
+    art->t1.tuples.push_back(std::move(t));
+  }
+  return art;
+}
+
+TEST(MatchingContextCacheTest, BytesAccountedAndClearedWithEntries) {
+  MatchingContext ctx;
+  EXPECT_EQ(ctx.bytes(), 0u);
+  EXPECT_EQ(ctx.budget_bytes(), 0u);  // unlimited by default
+
+  auto a = ctx.GetOrBuild("a", [] { return TinyBlock(4); }).value();
+  size_t after_a = ctx.bytes();
+  EXPECT_GT(after_a, 0u);
+  EXPECT_EQ(after_a, ApproxBytes(*a));
+
+  ctx.GetOrBuild("b", [] { return TinyBlock(4); }).value();
+  EXPECT_GT(ctx.bytes(), after_a);
+
+  ctx.Clear();
+  EXPECT_EQ(ctx.bytes(), 0u);
+  EXPECT_EQ(ctx.size(), 0u);
+}
+
+TEST(MatchingContextCacheTest, EvictsLeastRecentlyUsedFirst) {
+  // Budget fits two tiny blocks but not three.
+  size_t one = ApproxBytes(*TinyBlock(4));
+  MatchingContext ctx(2 * one + one / 2);
+
+  auto build = [] { return TinyBlock(4); };
+  ArtifactsPtr a = ctx.GetOrBuild("a", build).value();
+  ctx.GetOrBuild("b", build).value();
+  // Touch "a": "b" becomes the least recently used entry.
+  ctx.GetOrBuild("a", build).value();
+  EXPECT_EQ(ctx.hits(), 1u);
+
+  ctx.GetOrBuild("c", build).value();
+  EXPECT_EQ(ctx.evictions(), 1u);
+  EXPECT_EQ(ctx.size(), 2u);
+
+  // LRU order evicted "b", not "a": re-asking "a" hits, "b" misses.
+  size_t hits_before = ctx.hits();
+  ctx.GetOrBuild("a", build).value();
+  EXPECT_EQ(ctx.hits(), hits_before + 1);
+  size_t misses_before = ctx.misses();
+  ctx.GetOrBuild("b", build).value();
+  EXPECT_EQ(ctx.misses(), misses_before + 1);
+  // Evicted entries were released by the cache, but `a` (held here) was
+  // never invalidated — eviction only drops the cache's reference.
+  EXPECT_GT(a->t1.size(), 0u);
+}
+
+TEST(MatchingContextCacheTest, SingleOversizedEntrySurvives) {
+  MatchingContext ctx(1);  // absurdly small budget
+  ctx.GetOrBuild("big", [] { return TinyBlock(64); }).value();
+  // The most recent entry is never evicted: one entry, over budget.
+  EXPECT_EQ(ctx.size(), 1u);
+  EXPECT_EQ(ctx.evictions(), 0u);
+  // A second insert evicts the older one immediately.
+  ctx.GetOrBuild("big2", [] { return TinyBlock(64); }).value();
+  EXPECT_EQ(ctx.size(), 1u);
+  EXPECT_EQ(ctx.evictions(), 1u);
+  size_t misses_before = ctx.misses();
+  ctx.GetOrBuild("big", [] { return TinyBlock(64); }).value();
+  EXPECT_EQ(ctx.misses(), misses_before + 1);  // "big" was the victim
+}
+
+TEST(MatchingContextCacheTest, ShrinkingBudgetEvictsImmediately) {
+  MatchingContext ctx;  // unlimited
+  auto build = [] { return TinyBlock(4); };
+  ctx.GetOrBuild("a", build).value();
+  ctx.GetOrBuild("b", build).value();
+  ctx.GetOrBuild("c", build).value();
+  EXPECT_EQ(ctx.size(), 3u);
+  EXPECT_EQ(ctx.evictions(), 0u);
+
+  ctx.set_budget_bytes(ApproxBytes(*TinyBlock(4)) + 1);
+  EXPECT_EQ(ctx.size(), 1u);
+  EXPECT_EQ(ctx.evictions(), 2u);
+  // The survivor is the most recently used: "c".
+  size_t hits_before = ctx.hits();
+  ctx.GetOrBuild("c", build).value();
+  EXPECT_EQ(ctx.hits(), hits_before + 1);
+}
+
+TEST(MatchingContextCacheTest, EraseIfDropsMatchingKeysOnly) {
+  MatchingContext ctx;
+  auto build = [] { return TinyBlock(4); };
+  ctx.GetOrBuild("g1|q1", build).value();
+  ctx.GetOrBuild("g1|q2", build).value();
+  ctx.GetOrBuild("g2|q1", build).value();
+  size_t bytes_before = ctx.bytes();
+
+  size_t erased = ctx.EraseIf(
+      [](const std::string& key) { return key.rfind("g1|", 0) == 0; });
+  EXPECT_EQ(erased, 2u);
+  EXPECT_EQ(ctx.size(), 1u);
+  EXPECT_LT(ctx.bytes(), bytes_before);
+
+  size_t hits_before = ctx.hits();
+  ctx.GetOrBuild("g2|q1", build).value();
+  EXPECT_EQ(ctx.hits(), hits_before + 1);  // unmatched key survived
+}
+
+TEST(PipelineLifetimeTest, ConfigBudgetForwardsToContext) {
+  SyntheticDataset data = MakeData(56, 60);
+  PipelineInput input = MakeInput(data);
+  MatchingContext context;
+  input.matching_context = &context;
+  Explain3DConfig config;
+  config.cache_budget_bytes = 123456789;
+
+  ASSERT_TRUE(RunExplain3D(input, config).ok());
+  EXPECT_EQ(context.budget_bytes(), 123456789u);
+  EXPECT_GT(context.bytes(), 0u);
+  EXPECT_EQ(context.size(), 1u);
+}
+
 TEST(PipelineLifetimeTest, TwoContextsOverSameDatabasesDoNotAlias) {
   SyntheticDataset data = MakeData(55);
   PipelineInput input = MakeInput(data);

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/rng.h"
 #include "matching/blocking.h"
 #include "matching/mapping_generator.h"
@@ -178,6 +180,119 @@ TEST(MappingGeneratorTest, CalibrationSeparatesTrueFromFalse) {
     } else {
       EXPECT_LT(m.p, 0.2) << m.t1 << "," << m.t2;
     }
+  }
+}
+
+TEST(SimilarityTest, LevenshteinMinSimEarlyExit) {
+  // "aaa" vs "bbbbbb": length bound caps similarity at 1 - 3/6 = 0.5; the
+  // exact value is 0 (every character differs). Above the cap the prune
+  // fires and returns the bound; at or below it, the DP runs.
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("aaa", "bbbbbb"), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("aaa", "bbbbbb", 0.6), 0.5);
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("aaa", "bbbbbb", 0.5), 0.0);
+  // The bound is only returned when it is itself below min_sim — a caller
+  // dropping scores < min_sim never sees an inflated survivor.
+  EXPECT_LT(NormalizedLevenshtein("aaa", "bbbbbb", 0.6), 0.6);
+  // Identical strings short-circuit to 1 regardless of the threshold.
+  EXPECT_DOUBLE_EQ(NormalizedLevenshtein("same", "same", 0.99), 1.0);
+}
+
+TEST(SimilarityTest, RowSimilarityMinSimIsExactAboveFloor) {
+  // Multi-attribute rows: any mean returned at or above the floor must be
+  // exact (bit-equal to the unthresholded mean); below the floor it may
+  // be an upper bound, but never one that crosses the floor.
+  Rng rng(404);
+  auto random_word = [&](size_t len) {
+    std::string s;
+    for (size_t i = 0; i < len; ++i) {
+      s += static_cast<char>('a' + rng.Index(6));
+    }
+    return s;
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    Row a = {Value(random_word(2 + rng.Index(8))),
+             Value(random_word(2 + rng.Index(8)))};
+    Row b = {Value(random_word(2 + rng.Index(8))),
+             Value(random_word(2 + rng.Index(8)))};
+    double exact = RowSimilarity(a, b, StringMetric::kLevenshtein);
+    for (double floor : {0.3, 0.6, 0.9}) {
+      double bounded = RowSimilarity(a, b, StringMetric::kLevenshtein, floor);
+      if (exact >= floor) {
+        EXPECT_EQ(bounded, exact) << "trial " << trial;
+      } else {
+        EXPECT_LT(bounded, floor) << "trial " << trial;
+        EXPECT_GE(bounded, exact) << "trial " << trial;  // upper bound
+      }
+    }
+  }
+}
+
+TEST(MappingGeneratorTest, ScoreFloorDropsOnlySubFloorPairs) {
+  // Mixed-similarity relation pair under the Levenshtein metric: the
+  // floored mapping must equal the unfloored mapping filtered to
+  // similarity >= floor (uncalibrated, so probability == similarity).
+  std::vector<std::string> keys1, keys2;
+  for (int i = 0; i < 30; ++i) {
+    keys1.push_back("entry" + std::to_string(i));
+    // Half near-identical (1 char appended), half unrelated.
+    keys2.push_back(i % 2 == 0 ? "entry" + std::to_string(i) + "x"
+                               : "unrelated" + std::to_string(i));
+  }
+  CanonicalRelation t1 = StringRelation(keys1);
+  CanonicalRelation t2 = StringRelation(keys2);
+
+  MappingGenOptions opts;
+  opts.metric = StringMetric::kLevenshtein;
+  opts.use_blocking = false;  // all pairs: the floor does the pruning
+  opts.min_probability = 1e-6;
+
+  TupleMapping unfloored = GenerateInitialMapping(t1, t2, {}, opts).value();
+  const double kFloor = 0.7;
+  opts.score_floor = kFloor;
+  TupleMapping floored = GenerateInitialMapping(t1, t2, {}, opts).value();
+
+  TupleMapping expected;
+  for (const TupleMatch& m : unfloored) {
+    if (m.p >= kFloor) expected.push_back(m);
+  }
+  ASSERT_FALSE(expected.empty());
+  ASSERT_LT(expected.size(), unfloored.size());  // the floor really cut
+  ASSERT_EQ(floored.size(), expected.size());
+  for (size_t k = 0; k < floored.size(); ++k) {
+    EXPECT_EQ(floored[k].t1, expected[k].t1) << k;
+    EXPECT_EQ(floored[k].t2, expected[k].t2) << k;
+    EXPECT_EQ(floored[k].p, expected[k].p) << k;  // exact, not a bound
+  }
+}
+
+TEST(MappingGeneratorTest, ScoreFloorKeepingEverythingIsBitIdentical) {
+  // A floor low enough to keep every candidate must be a no-op: the
+  // filter branch runs (unlike the floor-0 default path) but drops
+  // nothing, so pair indices, calibration sampling, and probabilities
+  // all match the default path bit for bit.
+  std::vector<std::string> keys;
+  for (int i = 0; i < 40; ++i) {
+    keys.push_back("node common" + std::to_string(i % 7) + " tail" +
+                   std::to_string(i));
+  }
+  CanonicalRelation t1 = StringRelation(keys);
+  CanonicalRelation t2 = StringRelation(keys);
+  GoldPairs gold;
+  for (size_t i = 0; i < keys.size(); ++i) gold.emplace(i, i);
+  MappingGenOptions opts;
+  opts.metric = StringMetric::kLevenshtein;
+  opts.min_probability = 1e-4;
+  TupleMapping base = GenerateInitialMapping(t1, t2, gold, opts).value();
+  // Blocking only pairs keys that share a token, so every candidate has
+  // Levenshtein similarity > 0 here and denorm_min keeps them all.
+  opts.score_floor = std::numeric_limits<double>::denorm_min();
+  TupleMapping same = GenerateInitialMapping(t1, t2, gold, opts).value();
+  ASSERT_EQ(base.size(), same.size());
+  ASSERT_FALSE(base.empty());
+  for (size_t k = 0; k < base.size(); ++k) {
+    EXPECT_EQ(base[k].t1, same[k].t1) << k;
+    EXPECT_EQ(base[k].t2, same[k].t2) << k;
+    EXPECT_EQ(base[k].p, same[k].p) << k;
   }
 }
 

@@ -1,0 +1,439 @@
+// Explain3DService tests: handle registry + generations (retirement via
+// re-registration, asserted through the cache entry's use_count), ticket
+// lifecycle (cancel-before-run, cancel-mid-queue, deadline on a queued
+// request), error paths for unknown/retired handles, stats accounting,
+// and the serving determinism contract — concurrent Submit from 4
+// threads produces results bit-identical to serial RunExplain3D calls
+// over the same inputs (the stage1_parallel_test pattern, lifted to the
+// service layer).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/notification.h"
+#include "core/pipeline.h"
+#include "datagen/synthetic.h"
+#include "eval/gold.h"
+#include "service/service.h"
+
+namespace explain3d {
+namespace {
+
+SyntheticDataset MakeData(uint64_t seed, size_t n = 90) {
+  SyntheticOptions gen;
+  gen.n = n;
+  gen.d = 0.25;
+  gen.v = 180;
+  gen.seed = seed;
+  return GenerateSynthetic(gen).value();
+}
+
+// Request over a registered pair, mirroring the PipelineInput the
+// serial-baseline helper below builds.
+ExplanationRequest MakeRequest(const SyntheticDataset& data,
+                               DatabaseHandle h1, DatabaseHandle h2) {
+  ExplanationRequest req;
+  req.db1 = h1;
+  req.db2 = h2;
+  req.sql1 = data.sql1;
+  req.sql2 = data.sql2;
+  req.attr_matches = data.attr_matches;
+  req.mapping_options.min_probability = 1e-4;
+  req.calibration_oracle =
+      MakeRowEntityOracle(data.row_entities1, data.row_entities2);
+  req.config.num_threads = 1;
+  // Determinism across load levels requires no wall-clock-dependent
+  // solver path: the default per-component MILP time limit could fire
+  // under heavy slowdown (e.g. the CI ThreadSanitizer leg runs ~20x
+  // slower) and switch a component to its fallback solver.
+  req.config.milp_time_limit_seconds = 1e9;
+  return req;
+}
+
+PipelineResult SerialBaseline(const SyntheticDataset& data,
+                              const ExplanationRequest& req) {
+  PipelineInput input;
+  input.db1 = &data.db1;
+  input.db2 = &data.db2;
+  input.sql1 = req.sql1;
+  input.sql2 = req.sql2;
+  input.attr_matches = req.attr_matches;
+  input.mapping_options = req.mapping_options;
+  input.calibration_gold = req.calibration_gold;
+  input.calibration_oracle = req.calibration_oracle;
+  return RunExplain3D(input, req.config).value();
+}
+
+void ExpectResultsBitIdentical(const PipelineResult& a,
+                               const PipelineResult& b) {
+  EXPECT_EQ(a.answer1(), b.answer1());
+  EXPECT_EQ(a.answer2(), b.answer2());
+  ASSERT_EQ(a.initial_mapping().size(), b.initial_mapping().size());
+  for (size_t k = 0; k < a.initial_mapping().size(); ++k) {
+    EXPECT_EQ(a.initial_mapping()[k].t1, b.initial_mapping()[k].t1) << k;
+    EXPECT_EQ(a.initial_mapping()[k].t2, b.initial_mapping()[k].t2) << k;
+    EXPECT_EQ(a.initial_mapping()[k].p, b.initial_mapping()[k].p) << k;
+  }
+  EXPECT_EQ(a.core().explanations.delta, b.core().explanations.delta);
+  EXPECT_EQ(a.core().explanations.log_probability,
+            b.core().explanations.log_probability);
+}
+
+// Oracle that parks its pipeline on `release`, pinning the (single)
+// worker so the test can deterministically observe later requests while
+// they are still queued. Fires `entered` first so the test can wait
+// until the worker has definitely claimed the blocker.
+CalibrationOracle ParkedOracle(Notification* entered,
+                               Notification* release) {
+  return [entered, release](const CanonicalRelation&,
+                            const CanonicalRelation&, const Table&,
+                            const Table&) {
+    entered->Notify();
+    release->WaitForNotification();
+    return GoldPairs{};
+  };
+}
+
+// --- registry + handles -----------------------------------------------------
+
+TEST(ServiceRegistryTest, RegisterLookupAndGenerations) {
+  Explain3DService service;
+  SyntheticDataset data = MakeData(11);
+
+  DatabaseHandle h1 = service.RegisterDatabase("left", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("right", data.db2);
+  EXPECT_TRUE(h1.valid());
+  EXPECT_NE(h1.id, h2.id);
+  EXPECT_EQ(h1.generation, 1u);
+  EXPECT_EQ(service.LookupDatabase("left").value(), h1);
+  EXPECT_EQ(service.LookupDatabase("nope").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(service.Stats().registered_databases, 2u);
+
+  // Re-registering keeps the slot id, bumps the generation.
+  DatabaseHandle h1b = service.RegisterDatabase("left", data.db1);
+  EXPECT_EQ(h1b.id, h1.id);
+  EXPECT_EQ(h1b.generation, h1.generation + 1);
+  EXPECT_NE(h1b, h1);
+  EXPECT_EQ(service.LookupDatabase("left").value(), h1b);
+  EXPECT_EQ(service.Stats().registered_databases, 2u);  // replaced, not added
+}
+
+TEST(ServiceErrorTest, UnknownAndInvalidHandlesFailTheTicket) {
+  Explain3DService service;
+  SyntheticDataset data = MakeData(12);
+  DatabaseHandle real = service.RegisterDatabase("left", data.db1);
+
+  // Default-constructed handle: InvalidArgument.
+  TicketPtr t1 = service.Submit(MakeRequest(data, DatabaseHandle{}, real));
+  EXPECT_EQ(t1->Wait().status().code(), StatusCode::kInvalidArgument);
+
+  // Fabricated id this service never issued: NotFound.
+  TicketPtr t2 = service.Submit(MakeRequest(data, real,
+                                            DatabaseHandle{999, 1}));
+  EXPECT_EQ(t2->Wait().status().code(), StatusCode::kNotFound);
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.failed, 2u);
+  EXPECT_EQ(stats.completed, 2u);
+}
+
+TEST(ServiceErrorTest, RetiredHandleFailsButCurrentOneWorks) {
+  Explain3DService service;
+  SyntheticDataset data = MakeData(13);
+  DatabaseHandle old1 = service.RegisterDatabase("left", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("right", data.db2);
+  DatabaseHandle new1 = service.RegisterDatabase("left", data.db1);
+
+  TicketPtr stale = service.Submit(MakeRequest(data, old1, h2));
+  EXPECT_EQ(stale->Wait().status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(stale->Wait().status().message().find("retired"),
+            std::string::npos);
+
+  TicketPtr fresh = service.Submit(MakeRequest(data, new1, h2));
+  ASSERT_TRUE(fresh->Wait().ok());
+  PipelineResult baseline = SerialBaseline(data, MakeRequest(data, new1, h2));
+  ExpectResultsBitIdentical(fresh->Wait().value(), baseline);
+}
+
+// --- generation-based cache retirement --------------------------------------
+
+TEST(ServiceCacheTest, ReRegisterRetiresArtifactsWithoutInvalidatingResults) {
+  Explain3DService service;
+  SyntheticDataset data = MakeData(14);
+  DatabaseHandle h1 = service.RegisterDatabase("left", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("right", data.db2);
+
+  TicketPtr t1 = service.Submit(MakeRequest(data, h1, h2));
+  const Result<PipelineResult>& r1 = t1->Wait();
+  ASSERT_TRUE(r1.ok());
+  TicketPtr t2 = service.Submit(MakeRequest(data, h1, h2));
+  ASSERT_TRUE(t2->Wait().ok());
+
+  // Warm serving: one cache entry, second request hit it; owners are the
+  // cache entry plus both returned results.
+  EXPECT_EQ(service.cache().size(), 1u);
+  EXPECT_EQ(service.Stats().warm_hits, 1u);
+  EXPECT_EQ(service.Stats().cold_misses, 1u);
+  EXPECT_EQ(r1.value().artifacts().get(),
+            t2->TryGet()->value().artifacts().get());
+  EXPECT_EQ(r1.value().artifacts().use_count(), 3);
+
+  // Re-registering the left database bumps its generation and retires
+  // the pair's cached artifacts...
+  DatabaseHandle h1b = service.RegisterDatabase("left", data.db1);
+  EXPECT_EQ(h1b.generation, h1.generation + 1);
+  EXPECT_EQ(service.cache().size(), 0u);
+  // ...while already-returned results keep co-owning the (now
+  // cache-orphaned) block: only the two results remain as owners.
+  EXPECT_EQ(r1.value().artifacts().use_count(), 2);
+  EXPECT_GT(r1.value().t1().size(), 0u);
+
+  // The new generation builds fresh artifacts — a different block.
+  TicketPtr t3 = service.Submit(MakeRequest(data, h1b, h2));
+  const Result<PipelineResult>& r3 = t3->Wait();
+  ASSERT_TRUE(r3.ok());
+  EXPECT_NE(r3.value().artifacts().get(), r1.value().artifacts().get());
+  EXPECT_EQ(service.Stats().cold_misses, 2u);
+  ExpectResultsBitIdentical(r3.value(), r1.value());
+}
+
+// --- cancellation and deadlines ---------------------------------------------
+
+TEST(ServiceTicketTest, CancelBeforeRunCompletesWithCancelled) {
+  ServiceOptions options;
+  options.max_concurrency = 1;  // one worker: FIFO claim order
+  Explain3DService service(options);
+  SyntheticDataset data = MakeData(15, 60);
+  DatabaseHandle h1 = service.RegisterDatabase("left", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("right", data.db2);
+
+  // Pin the only worker inside the blocker's pipeline.
+  Notification entered, release;
+  ExplanationRequest blocker = MakeRequest(data, h1, h2);
+  blocker.calibration_oracle = ParkedOracle(&entered, &release);
+  TicketPtr blocked = service.Submit(blocker);
+  entered.WaitForNotification();
+
+  // The victim cannot be claimed while the blocker runs: Cancel wins.
+  TicketPtr victim = service.Submit(MakeRequest(data, h1, h2));
+  EXPECT_EQ(victim->TryGet(), nullptr);
+  EXPECT_TRUE(victim->Cancel());
+  EXPECT_FALSE(victim->Cancel());  // second cancel: already terminal
+  ASSERT_TRUE(victim->done());
+  EXPECT_EQ(victim->Wait().status().code(), StatusCode::kCancelled);
+
+  release.Notify();
+  EXPECT_TRUE(blocked->Wait().ok());
+  EXPECT_FALSE(blocked->Cancel());  // terminal: too late to cancel
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST(ServiceTicketTest, CancelMidQueueSkipsOnlyTheCancelledRequest) {
+  ServiceOptions options;
+  options.max_concurrency = 1;
+  Explain3DService service(options);
+  SyntheticDataset data = MakeData(16, 60);
+  DatabaseHandle h1 = service.RegisterDatabase("left", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("right", data.db2);
+
+  Notification entered, release;
+  ExplanationRequest blocker = MakeRequest(data, h1, h2);
+  blocker.calibration_oracle = ParkedOracle(&entered, &release);
+  TicketPtr blocked = service.Submit(blocker);
+  // The worker has claimed the blocker: everything after queues behind it.
+  entered.WaitForNotification();
+
+  // Three queued requests; cancel the middle one while all three wait.
+  TicketPtr a = service.Submit(MakeRequest(data, h1, h2));
+  TicketPtr b = service.Submit(MakeRequest(data, h1, h2));
+  TicketPtr c = service.Submit(MakeRequest(data, h1, h2));
+  EXPECT_EQ(service.Stats().queue_depth, 3u);
+  EXPECT_TRUE(b->Cancel());
+
+  release.Notify();
+  EXPECT_TRUE(blocked->Wait().ok());
+  EXPECT_TRUE(a->Wait().ok());
+  EXPECT_EQ(b->Wait().status().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(c->Wait().ok());
+  // Neighbors are unaffected — and warm: they share the blocker's block.
+  EXPECT_EQ(a->TryGet()->value().artifacts().get(),
+            c->TryGet()->value().artifacts().get());
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.completed, 3u);
+}
+
+TEST(ServiceTicketTest, DeadlineExpiresWhileQueued) {
+  ServiceOptions options;
+  options.max_concurrency = 1;
+  Explain3DService service(options);
+  SyntheticDataset data = MakeData(17, 60);
+  DatabaseHandle h1 = service.RegisterDatabase("left", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("right", data.db2);
+
+  Notification entered, release;
+  ExplanationRequest blocker = MakeRequest(data, h1, h2);
+  blocker.calibration_oracle = ParkedOracle(&entered, &release);
+  TicketPtr blocked = service.Submit(blocker);
+  entered.WaitForNotification();
+
+  // Queued behind the blocker with a deadline no queue wait can meet.
+  ExplanationRequest doomed = MakeRequest(data, h1, h2);
+  doomed.deadline_seconds = 1e-9;
+  TicketPtr t = service.Submit(doomed);
+  // And one with a generous deadline that the wait comfortably meets.
+  ExplanationRequest fine = MakeRequest(data, h1, h2);
+  fine.deadline_seconds = 3600;
+  TicketPtr ok = service.Submit(fine);
+
+  release.Notify();
+  EXPECT_EQ(t->Wait().status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(ok->Wait().ok());
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.completed, 2u);  // blocker + the generous-deadline one
+  EXPECT_EQ(stats.cancelled, 0u);
+}
+
+TEST(ServiceTicketTest, DestructionCancelsQueuedRequests) {
+  SyntheticDataset data = MakeData(18, 60);
+  Notification entered, release;
+  TicketPtr blocked, queued;
+  std::thread releaser;
+  {
+    ServiceOptions options;
+    options.max_concurrency = 1;
+    Explain3DService service(options);
+    DatabaseHandle h1 = service.RegisterDatabase("left", data.db1);
+    DatabaseHandle h2 = service.RegisterDatabase("right", data.db2);
+    ExplanationRequest blocker = MakeRequest(data, h1, h2);
+    blocker.calibration_oracle = ParkedOracle(&entered, &release);
+    blocked = service.Submit(blocker);
+    entered.WaitForNotification();  // the worker holds the blocker
+    queued = service.Submit(MakeRequest(data, h1, h2));
+    // `queued` can only terminate via the destructor's drain (the single
+    // worker is parked); once it does, let the blocker finish so the
+    // destructor's runner wait can return.
+    releaser = std::thread([&] {
+      queued->Wait();
+      release.Notify();
+    });
+  }  // ~Explain3DService: cancels `queued`, then waits for the blocker
+  releaser.join();
+  // Tickets outlive the service: the queued one was cancelled, the
+  // in-flight one ran to completion.
+  EXPECT_EQ(queued->Wait().status().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(blocked->Wait().ok());
+}
+
+// --- concurrency + determinism ----------------------------------------------
+
+TEST(ServiceDeterminismTest, ConcurrentSubmitsMatchSerialRunsBitForBit) {
+  // 4 submitter threads × 3 requests over 2 dataset pairs, against a
+  // 4-worker service. Every result must be bit-identical to a serial
+  // RunExplain3D of the same request — regardless of queue order,
+  // concurrency, or whether it was served warm or cold.
+  ServiceOptions options;
+  options.max_concurrency = 4;
+  Explain3DService service(options);
+  SyntheticDataset data_a = MakeData(19, 80);
+  SyntheticDataset data_b = MakeData(20, 70);
+  DatabaseHandle a1 = service.RegisterDatabase("a1", data_a.db1);
+  DatabaseHandle a2 = service.RegisterDatabase("a2", data_a.db2);
+  DatabaseHandle b1 = service.RegisterDatabase("b1", data_b.db1);
+  DatabaseHandle b2 = service.RegisterDatabase("b2", data_b.db2);
+
+  // Request variants: dataset pair × solver batch size.
+  struct Variant {
+    const SyntheticDataset* data;
+    DatabaseHandle h1, h2;
+    size_t batch_size;
+  };
+  std::vector<Variant> variants = {
+      {&data_a, a1, a2, 1000}, {&data_a, a1, a2, 100},
+      {&data_b, b1, b2, 1000}, {&data_b, b1, b2, 50},
+  };
+  auto make_request = [&](const Variant& v) {
+    ExplanationRequest req = MakeRequest(*v.data, v.h1, v.h2);
+    req.config.batch_size = v.batch_size;
+    return req;
+  };
+
+  constexpr size_t kThreads = 4;
+  constexpr size_t kPerThread = 3;
+  std::vector<std::vector<TicketPtr>> tickets(kThreads);
+  std::vector<std::thread> submitters;
+  for (size_t s = 0; s < kThreads; ++s) {
+    submitters.emplace_back([&, s] {
+      for (size_t k = 0; k < kPerThread; ++k) {
+        const Variant& v = variants[(s + k) % variants.size()];
+        tickets[s].push_back(service.Submit(make_request(v)));
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+
+  // Serial baselines, one per variant (cold, no service, no cache).
+  std::vector<PipelineResult> baselines;
+  for (const Variant& v : variants) {
+    baselines.push_back(SerialBaseline(*v.data, make_request(v)));
+  }
+
+  for (size_t s = 0; s < kThreads; ++s) {
+    ASSERT_EQ(tickets[s].size(), kPerThread);
+    for (size_t k = 0; k < kPerThread; ++k) {
+      const Result<PipelineResult>& r = tickets[s][k]->Wait();
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      ExpectResultsBitIdentical(r.value(),
+                                baselines[(s + k) % variants.size()]);
+    }
+  }
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.submitted, kThreads * kPerThread);
+  EXPECT_EQ(stats.completed, kThreads * kPerThread);
+  EXPECT_EQ(stats.failed, 0u);
+  // Two pairs, each (db-pair, query, attr) cached once — though racing
+  // cold misses may legitimately build an entry's block more than once.
+  EXPECT_EQ(service.cache().size(), 2u);
+  EXPECT_GE(stats.warm_hits + stats.cold_misses, kThreads * kPerThread);
+  // Latency percentiles cover every successful completion, ordered.
+  EXPECT_EQ(stats.total_seconds.count, kThreads * kPerThread);
+  EXPECT_LE(stats.total_seconds.p50, stats.total_seconds.p99);
+  EXPECT_LE(stats.total_seconds.p99, stats.total_seconds.max);
+  EXPECT_GT(stats.stage1_seconds.max, 0.0);
+}
+
+TEST(ServiceBatchTest, SubmitBatchAlignsTicketsWithRequests) {
+  Explain3DService service;
+  SyntheticDataset data = MakeData(21, 60);
+  DatabaseHandle h1 = service.RegisterDatabase("left", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("right", data.db2);
+
+  std::vector<ExplanationRequest> requests;
+  for (int i = 0; i < 4; ++i) requests.push_back(MakeRequest(data, h1, h2));
+  // One bad request in the middle keeps the alignment honest.
+  requests[2].db2 = DatabaseHandle{424242, 7};
+
+  std::vector<TicketPtr> tickets = service.SubmitBatch(std::move(requests));
+  ASSERT_EQ(tickets.size(), 4u);
+  EXPECT_TRUE(tickets[0]->Wait().ok());
+  EXPECT_TRUE(tickets[1]->Wait().ok());
+  EXPECT_EQ(tickets[2]->Wait().status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(tickets[3]->Wait().ok());
+  // All four warm off one block: the batch shares stage-1 artifacts.
+  EXPECT_EQ(tickets[0]->TryGet()->value().artifacts().get(),
+            tickets[3]->TryGet()->value().artifacts().get());
+}
+
+}  // namespace
+}  // namespace explain3d
