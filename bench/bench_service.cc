@@ -1,4 +1,4 @@
-// Serving throughput: Explain3DService requests/sec, warm vs cold.
+// Serving throughput, cancellation latency, and priority tail latency.
 //
 // Phases (one BENCH_service.json line each, see docs/BENCHMARKS.md):
 //
@@ -14,11 +14,22 @@
 //   3. service-mixed    — warm traffic with a re-registration (cache
 //                         retirement → cold rebuild) every kColdEvery
 //                         requests: the generation-bump serving pattern.
+//   4. cancel-latency   — Cancel() → ticket-resolution time of a request
+//                         cancelled deep inside a stage-2 solve whose
+//                         uninterrupted run takes seconds (the PR-5
+//                         acceptance figure: sub-50 ms), at several
+//                         problem sizes.
+//   5. priority-tail    — a burst of low-priority background work with
+//                         high-priority interactive requests landing on
+//                         top: per-band p50/p99 total latency shows the
+//                         scheduler carving the interactive tail out of
+//                         the backlog.
 //
 // EXPLAIN3D_SCALE scales the dataset; requests count is fixed.
 //
 // Build & run:  ./build/bench_service
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -150,6 +161,133 @@ std::string SummaryJson(const LatencySummary& s) {
          "}";
 }
 
+// --- phase 4: cancellation latency ------------------------------------------
+
+// A stage-2 solve that cancellation must interrupt mid-flight: one
+// monolithic dense sub-problem through the assignment branch & bound
+// (the tests/service_test.cc MakeHardSolveRequest shape). `max_nodes`
+// is the only stopper besides the token.
+ExplanationRequest MakeHardRequest(const SyntheticDataset& data,
+                                   DatabaseHandle h1, DatabaseHandle h2,
+                                   size_t max_nodes) {
+  ExplanationRequest req;
+  req.db1 = h1;
+  req.db2 = h2;
+  req.sql1 = data.sql1;
+  req.sql2 = data.sql2;
+  req.attr_matches = data.attr_matches;
+  req.mapping_options.use_blocking = false;
+  req.mapping_options.min_probability = 1e-12;
+  req.config.num_threads = 1;
+  req.config.batch_size = 0;
+  req.config.decompose_components = false;
+  req.config.milp_max_constraints = 0;
+  req.config.exact_max_nodes = max_nodes;
+  return req;
+}
+
+struct CancelLatencyRow {
+  size_t n = 0;
+  double uninterrupted_s = 0;  ///< node-capped full solve, no cancellation
+  double cancel_to_resolve_s = 0;
+  bool finished_before_cancel = false;  ///< tiny scales only
+};
+
+CancelLatencyRow MeasureCancelLatency(size_t n, uint64_t seed) {
+  SyntheticOptions gen;
+  gen.n = n;
+  gen.d = 0.25;
+  gen.v = 200;
+  gen.seed = seed;
+  SyntheticDataset data = GenerateSynthetic(gen).value();
+
+  ServiceOptions options;
+  options.max_concurrency = 1;
+  Explain3DService service(options);
+  DatabaseHandle h1 = service.RegisterDatabase("db1", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("db2", data.db2);
+
+  CancelLatencyRow row;
+  row.n = n;
+
+  // Uninterrupted reference: the same solve, stopped only by a scaled
+  // node cap — the time a worker would stay hostage without cooperative
+  // cancellation (≥1 s at the acceptance sizes).
+  {
+    TicketPtr t =
+        service.Submit(MakeHardRequest(data, h1, h2, Scaled(30000000)));
+    const Result<PipelineResult>& r = t->Wait();
+    if (r.ok()) row.uninterrupted_s = r.value().stage2_seconds();
+  }
+
+  // Cancelled run: effectively unbounded nodes; cancel once the solve is
+  // demonstrably in flight, then time Cancel() → resolution.
+  TicketPtr t =
+      service.Submit(MakeHardRequest(data, h1, h2, size_t{1} << 60));
+  while (service.Stats().running == 0 && t->TryGet() == nullptr) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  if (t->TryGet() != nullptr) {
+    row.finished_before_cancel = true;  // sub-scale instance: no measure
+    return row;
+  }
+  auto cancelled_at = std::chrono::steady_clock::now();
+  t->Cancel();
+  t->Wait();
+  row.cancel_to_resolve_s = std::chrono::duration<double>(
+                                std::chrono::steady_clock::now() -
+                                cancelled_at)
+                                .count();
+  return row;
+}
+
+// --- phase 5: priority tail latency under mixed load ------------------------
+
+struct PriorityTailResult {
+  LatencySummary low, high;
+  size_t requests = 0;
+};
+
+PriorityTailResult MeasurePriorityTail(const SyntheticDataset& data) {
+  constexpr size_t kBackground = 30;
+  constexpr size_t kInteractive = 6;
+  constexpr int kHighPriority = 5;
+
+  ServiceOptions options;
+  options.max_concurrency = 2;
+  Explain3DService service(options);
+  DatabaseHandle h1 = service.RegisterDatabase("db1", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("db2", data.db2);
+  // Warm the cache at a band of its own so neither measured band's
+  // stats include this setup request.
+  service.Submit(MakeRequest(data, h1, h2), SubmitOptions{-1})->Wait();
+
+  // A burst of background work lands first; interactive requests arrive
+  // while the backlog drains and must cut the line.
+  std::vector<TicketPtr> tickets;
+  for (size_t i = 0; i < kBackground; ++i) {
+    tickets.push_back(service.Submit(MakeRequest(data, h1, h2)));
+  }
+  for (size_t i = 0; i < kInteractive; ++i) {
+    tickets.push_back(service.Submit(MakeRequest(data, h1, h2),
+                                     SubmitOptions{kHighPriority}));
+  }
+  for (const TicketPtr& t : tickets) {
+    if (!t->Wait().ok()) {
+      std::fprintf(stderr, "request failed: %s\n",
+                   t->Wait().status().ToString().c_str());
+      std::abort();
+    }
+  }
+  ServiceStats stats = service.Stats();
+  PriorityTailResult result;
+  result.low = stats.priority_bands.at(0).total_seconds;
+  result.high = stats.priority_bands.at(kHighPriority).total_seconds;
+  result.requests = kBackground + kInteractive;
+  return result;
+}
+
 }  // namespace
 
 int main() {
@@ -212,5 +350,58 @@ int main() {
       "\nwarm p50/p99 total latency at 4 submitters: %.4fs / %.4fs\n",
       last_stats.total_seconds.p50, last_stats.total_seconds.p99);
   AppendBenchJson("service", json);
+
+  // --- phase 4: cancellation latency ---------------------------------------
+  std::printf("\ncancellation latency (Cancel() -> ticket resolved):\n");
+  TablePrinter cancel_table(
+      {"n", "uninterrupted solve", "cancel->resolve", "note"});
+  std::string cancel_json = "{\"figure\":\"service-cancel-latency\"";
+  cancel_json += ",\"scale\":" + Fmt(Scale(), "%.3g");
+  cancel_json += ",\"rows\":[";
+  bool first_cancel = true;
+  for (size_t base : {size_t{150}, size_t{300}, size_t{600}}) {
+    CancelLatencyRow row = MeasureCancelLatency(Scaled(base), 40 + base);
+    cancel_table.AddRow(
+        {std::to_string(row.n), Fmt(row.uninterrupted_s, "%.3fs"),
+         row.finished_before_cancel ? "-"
+                                    : Fmt(row.cancel_to_resolve_s * 1e3,
+                                          "%.2fms"),
+         row.finished_before_cancel ? "solve finished before cancel" : ""});
+    if (!first_cancel) cancel_json += ",";
+    first_cancel = false;
+    cancel_json += "{\"n\":" + std::to_string(row.n);
+    cancel_json +=
+        ",\"uninterrupted_s\":" + Fmt(row.uninterrupted_s, "%.6f");
+    cancel_json += ",\"cancel_to_resolve_s\":" +
+                   Fmt(row.cancel_to_resolve_s, "%.6f");
+    cancel_json += ",\"finished_before_cancel\":";
+    cancel_json += row.finished_before_cancel ? "true" : "false";
+    cancel_json += "}";
+  }
+  cancel_json += "]}";
+  cancel_table.Print();
+  AppendBenchJson("service", cancel_json);
+
+  // --- phase 5: priority tail latency --------------------------------------
+  PriorityTailResult tail = MeasurePriorityTail(data);
+  std::printf("\npriority tail latency under mixed load (%zu requests, "
+              "%zu high-priority):\n",
+              tail.requests, tail.high.count);
+  TablePrinter tail_table({"band", "count", "p50", "p99", "max"});
+  tail_table.AddRow({"background (prio 0)", std::to_string(tail.low.count),
+                     Fmt(tail.low.p50, "%.4fs"), Fmt(tail.low.p99, "%.4fs"),
+                     Fmt(tail.low.max, "%.4fs")});
+  tail_table.AddRow({"interactive (prio 5)",
+                     std::to_string(tail.high.count),
+                     Fmt(tail.high.p50, "%.4fs"), Fmt(tail.high.p99, "%.4fs"),
+                     Fmt(tail.high.max, "%.4fs")});
+  tail_table.Print();
+  std::string tail_json = "{\"figure\":\"service-priority-tail\"";
+  tail_json += ",\"scale\":" + Fmt(Scale(), "%.3g");
+  tail_json += ",\"n\":" + std::to_string(Scaled(500));
+  tail_json += ",\"low\":" + SummaryJson(tail.low);
+  tail_json += ",\"high\":" + SummaryJson(tail.high);
+  tail_json += "}";
+  AppendBenchJson("service", tail_json);
   return 0;
 }

@@ -79,11 +79,13 @@ int main() {
   }
 
   // --- 3. tickets are futures ---------------------------------------------
-  // One extra request we immediately change our mind about. (If a worker
-  // claimed it first, Cancel just returns false and it runs — both are
-  // shown below.)
+  // One extra request we immediately change our mind about. Cancel()
+  // returns true when delivered before the ticket was terminal: a
+  // queued request dies instantly, a RUNNING one is interrupted
+  // cooperatively (see examples/deadlines.cpp) — either way it resolves
+  // kCancelled unless it finished inside the race window.
   TicketPtr regretted = service.Submit(base_request());
-  bool cancel_won = regretted->Cancel();
+  bool cancel_delivered = regretted->Cancel();
 
   for (size_t i = 0; i < tickets.size(); ++i) {
     const Result<PipelineResult>& r = tickets[i]->Wait();
@@ -97,7 +99,7 @@ int main() {
                 i == 0 ? "cold" : "warm");
   }
   std::printf("regretted request: cancel %s, status %s\n",
-              cancel_won ? "won" : "lost (already running)",
+              cancel_delivered ? "delivered" : "too late (already terminal)",
               regretted->Wait().status().ok()
                   ? "OK"
                   : StatusCodeName(regretted->Wait().status().code()));

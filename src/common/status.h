@@ -27,8 +27,9 @@ enum class StatusCode {
   kResourceExhausted, ///< Iteration/size limit hit before completion.
   kInternal,          ///< Bug: an internal invariant failed.
   kIOError,           ///< Filesystem failure.
-  kDeadlineExceeded,  ///< Request deadline passed before the work ran.
-  kCancelled,         ///< Request cancelled by the caller before running.
+  kDeadlineExceeded,  ///< Request deadline passed before the work finished.
+  kCancelled,         ///< Request cancelled by the caller.
+  kUnavailable,       ///< Service cannot take the request (admission control).
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -83,6 +84,9 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

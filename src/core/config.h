@@ -45,7 +45,16 @@ struct Explain3DConfig {
   /// components fall back to the structure-exploiting exact branch &
   /// bound (see DESIGN.md substitutions — both are exact).
   size_t milp_max_constraints = 250;
-  double milp_time_limit_seconds = 1.0;
+  /// Wall-clock budget of the WHOLE stage-2 solve, enforced through a
+  /// deadline CancelToken (common/cancel.h) linked under the caller's
+  /// request token. 0 (the default) = unlimited. When the budget fires,
+  /// Solve fails with kDeadlineExceeded instead of returning a
+  /// time-truncated incumbent — results are therefore bit-identical
+  /// however slowly the machine runs (the old per-component wall-clock
+  /// fallback path, which silently switched solvers under load, is
+  /// gone). Prefer per-request deadlines (ExplanationRequest::
+  /// deadline_seconds) on the serving path.
+  double milp_time_limit_seconds = 0;
   size_t milp_max_nodes = 50000;
   /// Node limit of the specialized component solver.
   size_t exact_max_nodes = 4000000;

@@ -35,8 +35,8 @@ struct Instance {
 class AssignmentBnb {
  public:
   AssignmentBnb(const Instance& inst, const ProbabilityModel& prob,
-                size_t max_nodes)
-      : inst_(inst), prob_(prob), max_nodes_(max_nodes) {}
+                size_t max_nodes, const CancelToken* cancel)
+      : inst_(inst), prob_(prob), max_nodes_(max_nodes), cancel_(cancel) {}
 
   void Run() {
     size_t na = inst_.a_global.size();
@@ -76,7 +76,8 @@ class AssignmentBnb {
   const std::vector<const Option*>& best_choice() const {
     return best_choice_;
   }
-  bool proven_optimal() const { return nodes_ < max_nodes_; }
+  bool proven_optimal() const { return nodes_ < max_nodes_ && !aborted_; }
+  bool aborted() const { return aborted_; }
   size_t nodes() const { return nodes_; }
 
  private:
@@ -87,6 +88,16 @@ class AssignmentBnb {
   }
 
   void Dfs(size_t k, double score) {
+    if (aborted_) return;
+    // Cancellation point: every kCancelStride-th node. DFS nodes are
+    // orders of magnitude cheaper than the MILP solver's (no LP solve),
+    // so the clock read is amortized over a stride; the stride still
+    // bounds cancel→return latency to microseconds.
+    if (cancel_ != nullptr && nodes_ % kCancelStride == 0 &&
+        !cancel_->Check().ok()) {
+      aborted_ = true;
+      return;
+    }
     if (nodes_ >= max_nodes_ && best_score_ > kNegInf) return;
     if (k == inst_.a_global.size()) {
       if (score > best_score_ + 1e-12) {
@@ -130,14 +141,20 @@ class AssignmentBnb {
         b_sum_[o.b_local] -= inst_.a_impact[k];
         --b_count_[o.b_local];
       }
+      if (aborted_) return;
       if (nodes_ >= max_nodes_ && best_score_ > kNegInf) return;
     }
   }
 
+  /// Cancellation poll stride (power of two; see Dfs).
+  static constexpr size_t kCancelStride = 64;
+
   const Instance& inst_;
   const ProbabilityModel& prob_;
   size_t max_nodes_;
+  const CancelToken* cancel_;
   size_t nodes_ = 0;
+  bool aborted_ = false;  ///< cancel token fired mid-search
 
   std::vector<double> b_sum_;
   std::vector<size_t> b_count_;
@@ -154,7 +171,8 @@ class AssignmentBnb {
 Result<ExactSolveResult> SolveComponentExact(
     const CanonicalRelation& t1, const CanonicalRelation& t2,
     const TupleMapping& mapping, const AttributeMatch& attr,
-    const ProbabilityModel& prob, const SubProblem& sub, size_t max_nodes) {
+    const ProbabilityModel& prob, const SubProblem& sub, size_t max_nodes,
+    const CancelToken* cancel) {
   auto strict = [](AggFunc f) {
     return f == AggFunc::kAvg || f == AggFunc::kMax || f == AggFunc::kMin;
   };
@@ -221,8 +239,14 @@ Result<ExactSolveResult> SolveComponentExact(
     neigh.erase(std::unique(neigh.begin(), neigh.end()), neigh.end());
   }
 
-  AssignmentBnb bnb(inst, prob, max_nodes);
+  AssignmentBnb bnb(inst, prob, max_nodes, cancel);
   bnb.Run();
+  if (bnb.aborted()) {
+    // The incumbent (if any) depends on where the clock interrupted the
+    // search; discard it and surface the token's status instead.
+    Status s = CheckCancel(cancel);
+    return s.ok() ? Status::Cancelled("component solve interrupted") : s;
+  }
 
   ExactSolveResult result;
   result.nodes = bnb.nodes();

@@ -20,6 +20,7 @@
 #ifndef EXPLAIN3D_CORE_EXACT_SOLVER_H_
 #define EXPLAIN3D_CORE_EXACT_SOLVER_H_
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "core/explanation.h"
 #include "core/probability_model.h"
@@ -41,12 +42,16 @@ struct ExactSolveResult {
 /// Solves one sub-problem exactly by assignment branch & bound.
 ///
 /// `max_nodes` bounds the search; on hitting it the best incumbent is
-/// returned with proven_optimal = false.
+/// returned with proven_optimal = false. `cancel` (nullptr = never) is
+/// polled at node-expansion granularity; when it fires mid-search the
+/// call abandons its state and returns the token's Status — never a
+/// time-truncated incumbent, so interrupted calls cannot perturb
+/// determinism.
 Result<ExactSolveResult> SolveComponentExact(
     const CanonicalRelation& t1, const CanonicalRelation& t2,
     const TupleMapping& mapping, const AttributeMatch& attr,
     const ProbabilityModel& prob, const SubProblem& sub,
-    size_t max_nodes = 4000000);
+    size_t max_nodes = 4000000, const CancelToken* cancel = nullptr);
 
 }  // namespace explain3d
 

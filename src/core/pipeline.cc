@@ -48,6 +48,10 @@ Result<std::shared_ptr<Stage1Artifacts>> BuildStage1Artifacts(
   // same heap object (see Stage1Artifacts).
   auto art = std::make_shared<Stage1Artifacts>();
 
+  // Cancellation points bracket every O(data) step: a token that fires
+  // mid-build fails the builder, so a PARTIAL block can never be
+  // inserted into the MatchingContext cache.
+  E3D_RETURN_IF_ERROR(CheckCancel(input.cancel));
   E3D_ASSIGN_OR_RETURN(SelectStmtPtr stmt1, ParseSql(input.sql1));
   E3D_ASSIGN_OR_RETURN(SelectStmtPtr stmt2, ParseSql(input.sql2));
 
@@ -56,6 +60,7 @@ Result<std::shared_ptr<Stage1Artifacts>> BuildStage1Artifacts(
   E3D_ASSIGN_OR_RETURN(art->answer1, exec1.ExecuteScalar(*stmt1));
   E3D_ASSIGN_OR_RETURN(art->answer2, exec2.ExecuteScalar(*stmt2));
 
+  E3D_RETURN_IF_ERROR(CheckCancel(input.cancel));
   E3D_ASSIGN_OR_RETURN(art->p1, DeriveProvenance(*input.db1, *stmt1));
   E3D_ASSIGN_OR_RETURN(art->p2, DeriveProvenance(*input.db2, *stmt2));
 
@@ -66,12 +71,14 @@ Result<std::shared_ptr<Stage1Artifacts>> BuildStage1Artifacts(
   E3D_ASSIGN_OR_RETURN(art->t1, Canonicalize(art->p1, attr.attrs1));
   E3D_ASSIGN_OR_RETURN(art->t2, Canonicalize(art->p2, attr.attrs2));
 
+  E3D_RETURN_IF_ERROR(CheckCancel(input.cancel));
   bool need_bags = NeedsKeyBags(art->t1, art->t2);
   art->i1 = std::make_unique<InternedRelation>(art->t1, &art->dict,
                                                need_bags, num_threads);
   art->i2 = std::make_unique<InternedRelation>(art->t2, &art->dict,
                                                need_bags, num_threads);
 
+  E3D_RETURN_IF_ERROR(CheckCancel(input.cancel));
   art->candidates =
       input.mapping_options.use_blocking
           ? GenerateCandidates(*art->i1, *art->i2, num_threads)
@@ -129,6 +136,10 @@ Result<PipelineResult> RunExplain3D(const PipelineInput& input,
           ? input.calibration_oracle(art.t1, art.t2, art.p1.table,
                                      art.p2.table)
           : input.calibration_gold;
+  // Post-cache cancellation point: the artifacts above are COMPLETE (and
+  // legitimately cached — an identical retry warms off them); only the
+  // per-call remainder is abandoned here.
+  E3D_RETURN_IF_ERROR(CheckCancel(input.cancel));
   MappingGenOptions mapping_options = input.mapping_options;
   mapping_options.num_threads = threads;
   E3D_ASSIGN_OR_RETURN(
@@ -138,6 +149,7 @@ Result<PipelineResult> RunExplain3D(const PipelineInput& input,
   out.stage1_seconds_ = stage1_timer.Seconds();
 
   // --- Stage 2: optimal explanations -------------------------------------
+  E3D_RETURN_IF_ERROR(CheckCancel(input.cancel));
   Timer stage2_timer;
   Explain3DSolver solver(config);
   Explain3DInput core_input;
@@ -145,6 +157,7 @@ Result<PipelineResult> RunExplain3D(const PipelineInput& input,
   core_input.t2 = &art.t2;
   core_input.attr = attr;
   core_input.mapping = out.initial_mapping_;
+  core_input.cancel = input.cancel;
   E3D_ASSIGN_OR_RETURN(out.core_, solver.Solve(core_input));
   out.stage2_seconds_ = stage2_timer.Seconds();
 

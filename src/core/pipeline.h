@@ -18,6 +18,7 @@
 #include <string>
 #include <utility>
 
+#include "common/cancel.h"
 #include "common/logging.h"
 #include "common/status.h"
 #include "core/matching_context.h"
@@ -73,6 +74,20 @@ struct PipelineInput {
   /// generation instead: re-registering a database bumps its generation
   /// and naturally retires every stale entry.
   std::string db_identity;
+  /// Optional cooperative cancellation (common/cancel.h; must outlive
+  /// the call — Explain3DService wires the ticket's token here). Polled
+  /// between the stage-1 build steps, at the stage boundary, and inside
+  /// stage 2 down to branch-and-bound node granularity. A fired token
+  /// fails the call with its Status (kCancelled / kDeadlineExceeded);
+  /// the resolution latency is milliseconds once stage 2 is running
+  /// (node-granularity polls — the case that matters, since stage 2 is
+  /// where solves run long), but during stage 1 it is bounded by the
+  /// current O(data) build step. Cancellation semantics for the cache:
+  /// a build interrupted mid-stage-1 returns an error, so PARTIAL
+  /// artifacts are never inserted; a request cancelled during stage 2
+  /// leaves its COMPLETE stage-1 artifacts cached, so an identical
+  /// retry still gets a warm hit.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Signature of PipelineInput::calibration_oracle.

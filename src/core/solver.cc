@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -78,12 +79,17 @@ void AppendExplanations(ExplanationSet* into, const ExplanationSet& from) {
 
 /// Solves one unit (a connected component or an undecomposed part).
 /// Thread-safe: only reads the shared inputs and writes its own outcome.
+/// `cancel` is polled on entry (the between-sub-problems cancellation
+/// point) and handed to both solvers for node-granularity polling.
 UnitOutcome SolveUnit(const SubProblem& unit, const CanonicalRelation& t1,
                       const CanonicalRelation& t2,
                       const Explain3DInput& input, const MilpEncoder& encoder,
                       const ProbabilityModel& prob,
-                      const Explain3DConfig& config) {
+                      const Explain3DConfig& config,
+                      const CancelToken* cancel) {
   UnitOutcome out;
+  out.status = CheckCancel(cancel);
+  if (!out.status.ok()) return out;
   if (unit.match_ids.empty()) {
     // No candidate matches: every tuple is a provenance explanation.
     for (size_t g : unit.t1_ids) {
@@ -100,11 +106,24 @@ UnitOutcome SolveUnit(const SubProblem& unit, const CanonicalRelation& t1,
   if (est <= config.milp_max_constraints) {
     EncodedMilp enc = encoder.Encode(unit);
     milp::MilpOptions mopts;
-    mopts.time_limit_seconds = config.milp_time_limit_seconds;
+    // The wall-clock budget is the cancel token's job now (Solve links
+    // config.milp_time_limit_seconds into it): a blown budget FAILS the
+    // call instead of truncating the search, so results never depend on
+    // machine speed. The node limit stays — it fires at the same node
+    // count everywhere, so its fallback is deterministic.
+    mopts.time_limit_seconds = milp::kInfinity;
     mopts.max_nodes = config.milp_max_nodes;
+    mopts.cancel = cancel;
     milp::MilpSolver milp_solver(enc.model, mopts);
     milp::Solution sol = milp_solver.Solve();
     out.total_nodes += milp_solver.stats().nodes;
+    if (sol.status == milp::SolveStatus::kInterrupted) {
+      out.status = CheckCancel(cancel);
+      if (out.status.ok()) {  // token raced back to live? impossible; belt
+        out.status = Status::Cancelled("MILP sub-problem interrupted");
+      }
+      return out;
+    }
     if (sol.status == milp::SolveStatus::kOptimal) {
       AppendExplanations(&out.explanations,
                          encoder.Decode(unit, enc, sol.values));
@@ -118,7 +137,7 @@ UnitOutcome SolveUnit(const SubProblem& unit, const CanonicalRelation& t1,
 
   Result<ExactSolveResult> exact =
       SolveComponentExact(t1, t2, input.mapping, input.attr, prob, unit,
-                          config.exact_max_nodes);
+                          config.exact_max_nodes, cancel);
   if (!exact.ok()) {
     out.status = exact.status();
     return out;
@@ -178,6 +197,20 @@ Result<Explain3DResult> Explain3DSolver::Solve(
   }
   result.stats.num_subproblems = units.size();
 
+  // Cancellation scope of this solve: the caller's token, optionally
+  // tightened by the config's stage-2 wall-clock budget. Routing the
+  // budget through a deadline token (instead of the old per-component
+  // time_limit_seconds cutoff) means a blown budget FAILS the call with
+  // kDeadlineExceeded — it can never switch a component to a different
+  // solver mid-run, so surviving results stay bit-identical under any
+  // slowdown (TSan, load, cold caches).
+  const CancelToken* cancel = input.cancel;
+  std::optional<CancelToken> budget_token;
+  if (config_.milp_time_limit_seconds > 0) {
+    budget_token.emplace(config_.milp_time_limit_seconds, input.cancel);
+    cancel = &*budget_token;
+  }
+
   // Solve every unit independently — concurrently when configured — into
   // an outcome slot per unit, then merge in unit order. The merged result
   // is bit-identical for any thread count.
@@ -187,9 +220,11 @@ Result<Explain3DResult> Explain3DSolver::Solve(
   ParallelFor(threads, units.size(), [&](size_t i) {
     // Once any unit fails the whole Solve returns its error, so skip the
     // remaining units instead of burning minutes on a doomed call (the
-    // serial loop bailed out on the first error too).
+    // serial loop bailed out on the first error too). SolveUnit's entry
+    // poll is the per-sub-problem cancellation point.
     if (failed.load(std::memory_order_relaxed)) return;
-    outcomes[i] = SolveUnit(units[i], t1, t2, input, encoder, prob_, config_);
+    outcomes[i] =
+        SolveUnit(units[i], t1, t2, input, encoder, prob_, config_, cancel);
     if (!outcomes[i].status.ok()) {
       failed.store(true, std::memory_order_relaxed);
     }

@@ -15,6 +15,7 @@
 #ifndef EXPLAIN3D_CORE_SOLVER_H_
 #define EXPLAIN3D_CORE_SOLVER_H_
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "core/config.h"
 #include "core/explanation.h"
@@ -32,6 +33,12 @@ struct Explain3DInput {
   const CanonicalRelation* t2 = nullptr;
   AttributeMatch attr;
   TupleMapping mapping;  ///< initial probabilistic tuple mapping
+  /// Optional cooperative cancellation (must outlive Solve). Polled
+  /// between sub-problems and, inside each solver, at node-expansion
+  /// granularity; a fired token makes Solve return its Status
+  /// (kCancelled / kDeadlineExceeded) within milliseconds. A solve that
+  /// DOES return a result is bit-identical to an uninterrupted one.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Solve diagnostics (Figure 7c / Figure 8 report solve_seconds).

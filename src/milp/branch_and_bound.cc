@@ -74,6 +74,15 @@ Solution MilpSolver::Run(const std::vector<double>* warm_start) {
   bool root_node = true;
 
   while (!open.empty()) {
+    // Cancellation beats the limits: limits return a (deterministic, for
+    // max_nodes) incumbent, a fired token abandons the search outright.
+    if (opts_.cancel != nullptr && !opts_.cancel->Check().ok()) {
+      best.status = SolveStatus::kInterrupted;
+      best.values.clear();
+      best.objective = -kInfinity;
+      stats_.seconds = timer.Seconds();
+      return best;
+    }
     if (stats_.nodes >= opts_.max_nodes ||
         timer.Seconds() > opts_.time_limit_seconds) {
       any_limit_hit = true;

@@ -1,15 +1,18 @@
 // Branch & bound MILP solver on top of the bounded-variable simplex.
 //
 // Best-bound search with most-fractional branching, a root rounding
-// heuristic, optional warm starts, and node/time limits. Small models
-// solve to proven optimality; limit hits return the best incumbent with
-// kFeasible status.
+// heuristic, optional warm starts, node/time limits, and cooperative
+// cancellation polled at node-expansion granularity. Small models solve
+// to proven optimality; limit hits return the best incumbent with
+// kFeasible status; a fired cancel token returns kInterrupted with no
+// usable incumbent (see SolveStatus::kInterrupted).
 
 #ifndef EXPLAIN3D_MILP_BRANCH_AND_BOUND_H_
 #define EXPLAIN3D_MILP_BRANCH_AND_BOUND_H_
 
 #include <vector>
 
+#include "common/cancel.h"
 #include "milp/model.h"
 #include "milp/simplex.h"
 
@@ -24,6 +27,12 @@ struct MilpOptions {
   double int_tol = 1e-6;           ///< integrality tolerance
   /// Prune nodes whose LP bound improves the incumbent by less than this.
   double absolute_gap = 1e-9;
+  /// Optional cooperative cancellation, polled before every node
+  /// expansion. When it fires the solve returns kInterrupted
+  /// immediately — unlike the node/time limits it yields NO incumbent,
+  /// so interruption can never silently degrade a result (must outlive
+  /// the solve; nullptr = never cancelled).
+  const CancelToken* cancel = nullptr;
 };
 
 /// Statistics of one MILP solve.

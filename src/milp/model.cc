@@ -141,6 +141,8 @@ const char* SolveStatusName(SolveStatus s) {
       return "unbounded";
     case SolveStatus::kLimit:
       return "limit";
+    case SolveStatus::kInterrupted:
+      return "interrupted";
   }
   return "?";
 }

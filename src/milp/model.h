@@ -135,6 +135,11 @@ enum class SolveStatus {
   kInfeasible,     ///< no feasible solution exists
   kUnbounded,      ///< objective unbounded above
   kLimit,          ///< limit hit with no incumbent
+  /// The MilpOptions::cancel token fired mid-search. The solution state
+  /// is abandoned, not degraded: callers must propagate the token's
+  /// status instead of consuming any incumbent (which would depend on
+  /// wall-clock timing and break determinism).
+  kInterrupted,
 };
 
 const char* SolveStatusName(SolveStatus s);

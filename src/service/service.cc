@@ -78,14 +78,25 @@ const Result<PipelineResult>* RequestTicket::WaitFor(double seconds) const {
 bool RequestTicket::Cancel() {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (state_ != State::kQueued) return false;
+    if (state_ == State::kDone) return false;
+    if (state_ == State::kRunning) {
+      // Delivered cooperatively: the worker owns completion. The token
+      // fires here; the pipeline observes it at its next cancellation
+      // point (node granularity in stage 2) and the worker completes the
+      // ticket with kCancelled — unless the run finished inside the race
+      // window, in which case its real result stands.
+      if (token_ != nullptr) token_->Cancel();
+      return true;
+    }
+    // Still queued: this call wins the claim race outright.
     state_ = State::kDone;
-    cancelled_ = true;
     result_.emplace(Status::Cancelled("request cancelled before it ran"));
     // The request is dead weight from here on (gold labels and oracle
     // closures can pin O(rows) state for the ticket's whole lifetime).
     request_ = ExplanationRequest();
   }
+  // Keep the token consistent for anything still polling it.
+  if (token_ != nullptr) token_->Cancel();
   // Count before notifying: a waiter released by this cancellation
   // already sees it in the stats.
   if (counters_) counters_->cancelled.fetch_add(1);
@@ -119,19 +130,30 @@ Explain3DService::Explain3DService(ServiceOptions options)
 
 Explain3DService::~Explain3DService() {
   std::deque<TicketPtr> orphans;
+  std::vector<TicketPtr> running;
   {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
-    orphans.swap(queue_);
+    for (auto& [priority, band] : bands_) {
+      for (TicketPtr& t : band) orphans.push_back(std::move(t));
+    }
+    bands_.clear();
+    queued_tickets_ = 0;
+    if (options_.cancel_running_on_destruction) {
+      running = running_tickets_;
+    }
   }
   // Never-claimed requests terminate as cancelled; their tickets stay
   // valid past the service's lifetime (callers share ownership). Cancel
   // itself counts the ones it wins (the rest were already counted by the
   // caller's Cancel).
   for (const TicketPtr& t : orphans) t->Cancel();
-  // In-flight pipelines run to completion — they hold keep-alive
-  // references into this service (cache_, registry slots), so the
-  // destructor must not return before every runner exits.
+  // In-flight pipelines hold keep-alive references into this service
+  // (cache_, registry slots), so the destructor must not return before
+  // every runner exits. By default they drain to completion; under
+  // cancel_running_on_destruction their tokens fire first, bounding the
+  // wait to the cooperative cancellation latency.
+  for (const TicketPtr& t : running) t->Cancel();
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return active_runners_ == 0; });
 }
@@ -200,28 +222,83 @@ Result<std::shared_ptr<const Database>> Explain3DService::ResolveHandle(
       static_cast<unsigned long long>(handle.id)));
 }
 
-TicketPtr Explain3DService::Submit(ExplanationRequest request) {
+TicketPtr Explain3DService::Submit(ExplanationRequest request,
+                                   SubmitOptions options) {
   TicketPtr ticket(new RequestTicket());
+  double deadline = request.deadline_seconds;
+  // Arm the token with the END-TO-END deadline now, at submit: queue
+  // wait, stage 1, and stage 2 all burn the same budget.
+  ticket->token_ = std::make_shared<CancelToken>(deadline);
+  ticket->priority_ = options.priority;
   ticket->request_ = std::move(request);
   ticket->submit_time_ = std::chrono::steady_clock::now();
   ticket->counters_ = counters_;
   counters_->submitted.fetch_add(1);
+
   bool spawn = false;
-  bool rejected = false;
+  bool shutdown_reject = false;
+  double est_wait = 0, p50_run = 0;
+  size_t ahead = 0;
+  bool admission_reject = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (shutdown_) {
-      rejected = true;
+      shutdown_reject = true;
     } else {
-      queue_.push_back(ticket);
-      if (active_runners_ < max_concurrency_) {
-        ++active_runners_;
-        spawn = true;
+      if (options_.admission_control && deadline > 0) {
+        // Cost model: everyone this request must wait behind (running
+        // requests plus tickets queued at its priority or above) at the
+        // observed p50 run time, spread over the worker slots. Band
+        // sizes are used as-is — O(bands), no per-ticket walk under
+        // mu_; cancelled dead weight still in a band overcounts, which
+        // only errs toward rejecting sooner. No estimate before the
+        // first completion → admit.
+        p50_run = run_p50_.load(std::memory_order_relaxed);
+        if (p50_run > 0) {
+          ahead = running_requests_;
+          for (const auto& [priority, band] : bands_) {
+            if (priority < options.priority) break;  // bands_ sorts high→low
+            ahead += band.size();
+          }
+          // Rejection applies only to requests that would QUEUE: with a
+          // free worker slot the request is admitted unconditionally as
+          // a probe — it starts immediately, the deadline token bounds
+          // any waste to deadline_seconds, and its completion refreshes
+          // the p50 estimate (rejecting idle-service traffic on a stale
+          // slow p50 would lock the estimator at that value forever,
+          // since rejected work never runs). For the queued case the
+          // request's OWN run is charged at p50 on top of the overflow
+          // wait: a deadline shorter than wait + run can only expire.
+          if (ahead >= max_concurrency_) {
+            est_wait = static_cast<double>(ahead - max_concurrency_ + 1) *
+                       p50_run / static_cast<double>(max_concurrency_);
+            admission_reject = est_wait + p50_run > deadline;
+          }
+        }
+      }
+      if (!shutdown_reject && !admission_reject) {
+        ticket->seq_ = next_seq_++;
+        bands_[options.priority].push_back(ticket);
+        ++queued_tickets_;
+        if (active_runners_ < max_concurrency_) {
+          ++active_runners_;
+          spawn = true;
+        }
       }
     }
   }
-  if (rejected) {
+  if (shutdown_reject) {
     ticket->Cancel();
+    return ticket;
+  }
+  if (admission_reject) {
+    // Rejected work never ran: it must not touch the cache or the
+    // latency rings. Count before completing (see ServiceCounters).
+    counters_->rejected.fetch_add(1);
+    ticket->Complete(Status::Unavailable(StrFormat(
+        "admission control: estimated wait %.3fs + run %.3fs (%zu ahead "
+        "of %zu workers) exceeds the %.3fs deadline",
+        est_wait, p50_run, ahead, max_concurrency_, deadline)));
     return ticket;
   }
   if (spawn) {
@@ -231,13 +308,32 @@ TicketPtr Explain3DService::Submit(ExplanationRequest request) {
 }
 
 std::vector<TicketPtr> Explain3DService::SubmitBatch(
-    std::vector<ExplanationRequest> requests) {
+    std::vector<ExplanationRequest> requests, SubmitOptions options) {
   std::vector<TicketPtr> tickets;
   tickets.reserve(requests.size());
   for (ExplanationRequest& request : requests) {
-    tickets.push_back(Submit(std::move(request)));
+    tickets.push_back(Submit(std::move(request), options));
   }
   return tickets;
+}
+
+TicketPtr Explain3DService::PopLocked() {
+  ++claims_;
+  auto band = bands_.begin();
+  if (options_.starvation_every > 0 &&
+      claims_ % options_.starvation_every == 0) {
+    // Anti-starvation claim: take the globally oldest request. Band
+    // fronts are their bands' oldest (FIFO), so the minimum seq_ across
+    // fronts is the global minimum.
+    for (auto it = std::next(bands_.begin()); it != bands_.end(); ++it) {
+      if (it->second.front()->seq_ < band->second.front()->seq_) band = it;
+    }
+  }
+  TicketPtr ticket = std::move(band->second.front());
+  band->second.pop_front();
+  if (band->second.empty()) bands_.erase(band);
+  --queued_tickets_;
+  return ticket;
 }
 
 void Explain3DService::RunnerLoop() {
@@ -245,19 +341,26 @@ void Explain3DService::RunnerLoop() {
     TicketPtr ticket;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (shutdown_ || queue_.empty()) {
+      if (shutdown_ || queued_tickets_ == 0) {
         --active_runners_;
         idle_cv_.notify_all();
         return;
       }
-      ticket = std::move(queue_.front());
-      queue_.pop_front();
+      ticket = PopLocked();
       ++running_requests_;
+      running_tickets_.push_back(ticket);
     }
     Process(ticket);
     {
       std::lock_guard<std::mutex> lock(mu_);
       --running_requests_;
+      for (size_t i = 0; i < running_tickets_.size(); ++i) {
+        if (running_tickets_[i].get() == ticket.get()) {
+          running_tickets_[i] = std::move(running_tickets_.back());
+          running_tickets_.pop_back();
+          break;
+        }
+      }
     }
   }
 }
@@ -278,17 +381,26 @@ void Explain3DService::Process(const TicketPtr& ticket) {
     // Cancelled while queued — already counted by Cancel(); just skip.
     if (already_terminal) return;
   }
-  // From here on only this worker touches the request: Cancel() can no
-  // longer win, and Submit stopped writing before the enqueue.
+  // From here on only this worker completes the ticket; Cancel() can
+  // only fire the token, and Submit stopped writing before the enqueue.
   const ExplanationRequest& req = ticket->request_;
+  const CancelToken* cancel = ticket->token_.get();
   auto claimed_at = std::chrono::steady_clock::now();
   double queue_s = SecondsBetween(ticket->submit_time_, claimed_at);
 
-  if (req.deadline_seconds > 0 && queue_s > req.deadline_seconds) {
-    counters_->deadline_exceeded.fetch_add(1);
-    ticket->Complete(Status::DeadlineExceeded(StrFormat(
-        "request spent %.6fs queued, past its %.6fs deadline", queue_s,
-        req.deadline_seconds)));
+  // Claim-time poll: a deadline that expired while the request queued
+  // (or a cancel that lost the claim race by a hair) fails it before any
+  // work happens.
+  if (Status claimed = CheckCancel(cancel); !claimed.ok()) {
+    if (claimed.code() == StatusCode::kCancelled) {
+      counters_->cancelled.fetch_add(1);
+      ticket->Complete(std::move(claimed));
+    } else {
+      counters_->deadline_exceeded.fetch_add(1);
+      ticket->Complete(Status::DeadlineExceeded(StrFormat(
+          "request spent %.6fs queued, past its %.6fs deadline", queue_s,
+          req.deadline_seconds)));
+    }
     return;
   }
 
@@ -314,6 +426,11 @@ void Explain3DService::Process(const TicketPtr& ticket) {
               input.calibration_gold = req.calibration_gold;
               input.calibration_oracle = req.calibration_oracle;
               input.matching_context = &cache_;
+              // Cooperative cancellation: the ticket's token reaches
+              // every pipeline cancellation point, down to solver node
+              // granularity, so Cancel() and the deadline interrupt this
+              // run within milliseconds.
+              input.cancel = cancel;
               // Generation-aware identity: cache keys follow the handle,
               // not the (recyclable) heap address, so a re-registered
               // database can never be served its predecessor's artifacts.
@@ -328,46 +445,122 @@ void Explain3DService::Process(const TicketPtr& ticket) {
             }();
 
   // Account fully before completing: a caller woken by Wait() must see
-  // its own request in the counters and latency series.
-  double total_s = SecondsBetween(ticket->submit_time_,
-                                  std::chrono::steady_clock::now());
-  bool ok = outcome.ok();
-  counters_->completed.fetch_add(1);
-  if (!ok) {
-    counters_->failed.fetch_add(1);
+  // its own request in the counters and latency series. Interrupted runs
+  // land in their own terminal buckets — they are not "completed" work.
+  // The bucket test is "did THIS ticket's token fire", not the status
+  // code alone: a kDeadlineExceeded produced by the request's config
+  // (milp_time_limit_seconds, a child token) with no request deadline is
+  // an ordinary failed completion, not scheduler deadline pressure.
+  auto finished_at = std::chrono::steady_clock::now();
+  double total_s = SecondsBetween(ticket->submit_time_, finished_at);
+  double run_s = SecondsBetween(claimed_at, finished_at);
+  StatusCode code = outcome.ok() ? StatusCode::kOk : outcome.status().code();
+  bool ticket_fired = !CheckCancel(cancel).ok();
+  // Only runs that reached the pipeline inform the admission cost
+  // estimator: a stale-handle rejection resolves in microseconds and
+  // says nothing about what the WORK costs — flooding the p50 window
+  // with those would collapse the estimate toward zero and silently
+  // disable admission control.
+  bool ran_pipeline = db1.ok() && db2.ok();
+  if (code == StatusCode::kCancelled && ticket_fired) {
+    counters_->cancelled.fetch_add(1);
+    if (ran_pipeline) RecordRunSeconds(run_s);
+  } else if (code == StatusCode::kDeadlineExceeded && ticket_fired) {
+    counters_->deadline_exceeded.fetch_add(1);
+    if (ran_pipeline) RecordRunSeconds(run_s);
   } else {
-    RecordLatencies(queue_s, outcome.value().stage1_seconds(),
-                    outcome.value().stage2_seconds(), total_s);
+    counters_->completed.fetch_add(1);
+    if (!outcome.ok()) {
+      counters_->failed.fetch_add(1);
+      if (ran_pipeline) RecordRunSeconds(run_s);
+    } else {
+      RecordLatencies(ticket->priority_, queue_s,
+                      outcome.value().stage1_seconds(),
+                      outcome.value().stage2_seconds(), total_s, run_s);
+    }
   }
   ticket->Complete(std::move(outcome));
 }
 
-void Explain3DService::RecordLatencies(double queue_s, double stage1_s,
-                                       double stage2_s, double total_s) {
-  std::lock_guard<std::mutex> lock(stats_mu_);
-  if (lat_total_.size() < kLatencyWindow) {
-    lat_queue_.push_back(queue_s);
-    lat_stage1_.push_back(stage1_s);
-    lat_stage2_.push_back(stage2_s);
-    lat_total_.push_back(total_s);
+void Explain3DService::LatencyRing::Add(double v, size_t window) {
+  if (samples.size() < window) {
+    samples.push_back(v);
   } else {
-    // Ring: overwrite the oldest sample (all 4 series share the cursor).
-    lat_queue_[lat_next_] = queue_s;
-    lat_stage1_[lat_next_] = stage1_s;
-    lat_stage2_[lat_next_] = stage2_s;
-    lat_total_[lat_next_] = total_s;
-    lat_next_ = (lat_next_ + 1) % kLatencyWindow;
+    samples[next] = v;
+    next = (next + 1) % window;
   }
+}
+
+void Explain3DService::RefreshRunP50Locked() {
+  // The estimate only needs to be approximate: recompute on every
+  // sample while the window is small (so the first estimate appears at
+  // the first completion), then amortize the copy + nth_element over
+  // kRefreshStride completions to keep stats_mu_ hold times flat at
+  // high request rates.
+  constexpr size_t kRefreshStride = 16;
+  if (lat_run_.samples.size() >= 2 * kRefreshStride &&
+      ++run_samples_since_refresh_ < kRefreshStride) {
+    return;
+  }
+  run_samples_since_refresh_ = 0;
+  std::vector<double> runs = lat_run_.samples;
+  auto mid = runs.begin() + static_cast<long>(runs.size() / 2);
+  std::nth_element(runs.begin(), mid, runs.end());
+  run_p50_.store(*mid, std::memory_order_relaxed);
+}
+
+void Explain3DService::RecordRunSeconds(double run_s) {
+  // Interrupted and failed runs feed the estimator too — their run time
+  // is a LOWER bound on the work's true cost, which is exactly the
+  // direction admission control must learn from. Skipping them would
+  // fail open forever: a workload of deadline-doomed 60s solves would
+  // never move a stale fast p50, and every one of them would keep being
+  // admitted (the success-only rings below stay success-only — their
+  // job is reporting healthy latency, not cost estimation).
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  lat_run_.Add(run_s, kLatencyWindow);
+  RefreshRunP50Locked();
+}
+
+void Explain3DService::RecordLatencies(int priority, double queue_s,
+                                       double stage1_s, double stage2_s,
+                                       double total_s, double run_s) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  lat_queue_.Add(queue_s, kLatencyWindow);
+  lat_stage1_.Add(stage1_s, kLatencyWindow);
+  lat_stage2_.Add(stage2_s, kLatencyWindow);
+  lat_total_.Add(total_s, kLatencyWindow);
+  lat_run_.Add(run_s, kLatencyWindow);
+  // Per-band rings are bounded: priorities are meant to be a handful of
+  // service levels, and a caller feeding arbitrary ints (a counter, a
+  // timestamp) must not grow the service's footprint forever. Bands
+  // past the cap keep full accounting in the global rings above; only
+  // the per-band latency slice is dropped.
+  auto band = lat_priority_.find(priority);
+  if (band != lat_priority_.end()) {
+    band->second.Add(total_s, kLatencyWindow);
+  } else if (lat_priority_.size() < kMaxTrackedBands) {
+    lat_priority_[priority].Add(total_s, kLatencyWindow);
+  }
+  // Refresh the admission controller's run-time estimate (median of the
+  // current window; the window is small, nth_element is microseconds).
+  RefreshRunP50Locked();
 }
 
 ServiceStats Explain3DService::Stats() const {
   ServiceStats s;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    // Cancelled tickets sit in the deque until a worker pops and discards
-    // them; they are not pending work, so don't report them as backlog.
-    for (const TicketPtr& t : queue_) {
-      if (!t->done()) ++s.queue_depth;
+    // Cancelled tickets sit in the bands until a worker pops and
+    // discards them; they are not pending work, so don't report them as
+    // backlog.
+    for (const auto& [priority, band] : bands_) {
+      size_t depth = 0;
+      for (const TicketPtr& t : band) {
+        if (!t->done()) ++depth;
+      }
+      s.priority_bands[priority].queue_depth = depth;
+      s.queue_depth += depth;
     }
     s.running = running_requests_;
   }
@@ -379,13 +572,18 @@ ServiceStats Explain3DService::Stats() const {
   s.completed = counters_->completed.load();
   s.cancelled = counters_->cancelled.load();
   s.deadline_exceeded = counters_->deadline_exceeded.load();
+  s.rejected = counters_->rejected.load();
   s.failed = counters_->failed.load();
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
-    s.queue_seconds = Summarize(lat_queue_);
-    s.stage1_seconds = Summarize(lat_stage1_);
-    s.stage2_seconds = Summarize(lat_stage2_);
-    s.total_seconds = Summarize(lat_total_);
+    s.queue_seconds = Summarize(lat_queue_.samples);
+    s.stage1_seconds = Summarize(lat_stage1_.samples);
+    s.stage2_seconds = Summarize(lat_stage2_.samples);
+    s.total_seconds = Summarize(lat_total_.samples);
+    s.run_seconds = Summarize(lat_run_.samples);
+    for (const auto& [priority, ring] : lat_priority_) {
+      s.priority_bands[priority].total_seconds = Summarize(ring.samples);
+    }
   }
   s.cache_entries = cache_.size();
   s.cache_bytes = cache_.bytes();

@@ -15,14 +15,23 @@
 //   * the stage-1 cache — one MatchingContext keyed on
 //     (db-pair identity+generation, query pair, attr, blocking), LRU-
 //     evicted under ServiceOptions::cache_budget_bytes;
-//   * the workers — requests queue FIFO and run on the process-wide
+//   * the workers — requests queue by priority (FIFO within a band,
+//     with an anti-starvation escape hatch) and run on the process-wide
 //     SharedPool, at most max_concurrency at a time, each producing a
 //     result bit-identical to a serial RunExplain3D of the same request.
 //
-// Submit returns a RequestTicket future: Wait() / TryGet() / Cancel(),
-// with an optional per-request deadline that fails still-queued requests
-// with kDeadlineExceeded. ServiceStats reports queue depth, warm/cold
-// cache traffic, and per-stage latency percentiles.
+// Submit returns a RequestTicket future: Wait() / TryGet() / Cancel().
+// Every request carries a CancelToken (common/cancel.h) threaded down to
+// branch-and-bound node granularity, so Cancel() and deadlines interrupt
+// RUNNING requests — within milliseconds during a stage-2 solve (the
+// long-running case), or at the next stage-1 step boundary otherwise.
+// A cancelled request resolves kCancelled, a blown deadline
+// kDeadlineExceeded, and neither ever perturbs the results of surviving
+// requests. Admission control rejects
+// a request at Submit with kUnavailable when the queue is predictably
+// too deep for its deadline. ServiceStats reports queue depth (overall
+// and per priority band), warm/cold cache traffic, and latency
+// percentiles.
 
 #ifndef EXPLAIN3D_SERVICE_SERVICE_H_
 #define EXPLAIN3D_SERVICE_SERVICE_H_
@@ -32,6 +41,8 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -39,6 +50,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/cancel.h"
 #include "common/notification.h"
 #include "common/status.h"
 #include "core/config.h"
@@ -59,7 +71,6 @@ namespace explain3d {
 struct DatabaseHandle {
   uint64_t id = 0;          ///< registry slot id; 0 = invalid
   uint64_t generation = 0;  ///< bumped on every re-registration
-
   bool valid() const { return id != 0; }
   /// Stable cache-key component: "h<id>:g<generation>".
   std::string Identity() const;
@@ -83,35 +94,56 @@ struct ExplanationRequest {
   /// here — the stage-1 cache is shared by every client, so its budget
   /// is ServiceOptions::cache_budget_bytes, fixed at construction.
   Explain3DConfig config;
-  /// Seconds from Submit after which a still-queued request fails with
-  /// kDeadlineExceeded instead of running. Checked when a worker dequeues
-  /// the request; a request that started running always finishes. 0 = no
-  /// deadline.
+  /// End-to-end deadline, in seconds from Submit; 0 = none. Enforced
+  /// everywhere along the request's life: admission control may reject a
+  /// predictably-doomed request at Submit (kUnavailable), a worker
+  /// claiming it past the deadline fails it without running
+  /// (kDeadlineExceeded), and a RUNNING request is interrupted at the
+  /// pipeline's cancellation points — down to solver node granularity —
+  /// resolving kDeadlineExceeded within milliseconds of expiry.
   double deadline_seconds = 0;
+};
+
+/// \brief Per-submit scheduling knobs — how to run a request, as opposed
+/// to ExplanationRequest, which says what to run.
+struct SubmitOptions {
+  /// Scheduling priority: higher claims first; FIFO within equal
+  /// priorities. Scheduling never affects results (determinism holds per
+  /// request), only latency. Starvation of low bands is bounded by
+  /// ServiceOptions::starvation_every. Meant to be a small set of
+  /// service levels (interactive / batch / background …), not a
+  /// per-request value: per-band latency stats track at most the first
+  /// 64 distinct values (global stats always cover everything).
+  int priority = 0;
 };
 
 /// Lifecycle counters shared by the service and its tickets (tickets
 /// outlive the service, so the block is shared_ptr-owned). Atomics: each
 /// event increments exactly one counter at the moment it happens —
 /// BEFORE the ticket's completion fires, so a caller returning from
-/// Wait() always observes its own request already counted.
+/// Wait() always observes its own request already counted. Every
+/// submitted request lands in exactly one terminal bucket:
+///   submitted == completed + cancelled + deadline_exceeded + rejected
+/// once all tickets are terminal (the stress suite asserts this).
 struct ServiceCounters {
   std::atomic<size_t> submitted{0};
   std::atomic<size_t> completed{0};
   std::atomic<size_t> cancelled{0};
   std::atomic<size_t> deadline_exceeded{0};
-  std::atomic<size_t> failed{0};
+  std::atomic<size_t> rejected{0};  ///< refused at admission (kUnavailable)
+  std::atomic<size_t> failed{0};    ///< subset of completed (non-OK result)
 };
 
 /// \brief Future for one submitted request.
 ///
 /// Terminal states: a pipeline result (ok or its error), kCancelled
-/// (Cancel() won before a worker claimed it), or kDeadlineExceeded (the
-/// deadline passed while queued). The ticket is created and completed by
-/// the service; callers share it via TicketPtr and may Wait from any
-/// number of threads. Tickets outlive the service (shared_ptr), and a
-/// ticket completed with a PipelineResult keeps that result valid
-/// forever — it co-owns its Stage1Artifacts block.
+/// (Cancel() before or during the run), kDeadlineExceeded (the deadline
+/// passed while queued or mid-run), or kUnavailable (rejected at
+/// admission). The ticket is created and completed by the service;
+/// callers share it via TicketPtr and may Wait from any number of
+/// threads. Tickets outlive the service (shared_ptr), and a ticket
+/// completed with a PipelineResult keeps that result valid forever — it
+/// co-owns its Stage1Artifacts block.
 class RequestTicket {
  public:
   /// Blocks until the request reaches a terminal state; returns it.
@@ -127,12 +159,21 @@ class RequestTicket {
   /// after `seconds`.
   const Result<PipelineResult>* WaitFor(double seconds) const;
 
-  /// \brief Cancels the request if it has not started running.
+  /// \brief Requests cancellation; returns true when delivered before
+  /// the ticket was terminal.
   ///
-  /// Returns true when this call won: the ticket completes immediately
-  /// with kCancelled and the queued work is skipped. Returns false when
-  /// the request is already running or terminal (a running pipeline is
-  /// never interrupted — its result still arrives).
+  /// A still-QUEUED request completes immediately with kCancelled and
+  /// its work is skipped. A RUNNING request is cancelled cooperatively:
+  /// its CancelToken fires and the pipeline abandons the run at its next
+  /// cancellation point — milliseconds when a stage-2 solve is in
+  /// flight (node-granularity polls), the current build step's bound
+  /// during stage 1. The interrupted ticket normally resolves
+  /// kCancelled, but "delivered" (true) does not pin the terminal
+  /// status: the run may still finish with its real result in the race
+  /// window (counted completed), and if the request's own deadline
+  /// fired first the token's first firing is sticky, so it resolves
+  /// kDeadlineExceeded. Branch on Wait()'s status, not on this return
+  /// value. Returns false once the ticket is terminal.
   bool Cancel();
 
   bool done() const { return done_.HasBeenNotified(); }
@@ -150,12 +191,17 @@ class RequestTicket {
 
   mutable std::mutex mu_;
   State state_ = State::kQueued;
-  bool cancelled_ = false;  ///< terminal state was kCancelled
   ExplanationRequest request_;
+  int priority_ = 0;      ///< SubmitOptions::priority
+  uint64_t seq_ = 0;      ///< global FIFO order (anti-starvation key)
   std::chrono::steady_clock::time_point submit_time_;
   std::optional<Result<PipelineResult>> result_;  ///< set before done_
   Notification done_;
   std::shared_ptr<ServiceCounters> counters_;  ///< set by Submit
+  /// The request's cooperative cancellation signal: deadline-armed at
+  /// Submit, fired by Cancel(), polled by the pipeline down to solver
+  /// node granularity. Shared so it outlives both service and ticket.
+  std::shared_ptr<CancelToken> token_;
 };
 
 using TicketPtr = std::shared_ptr<RequestTicket>;
@@ -166,14 +212,26 @@ struct LatencySummary {
   double p50 = 0, p90 = 0, p99 = 0, max = 0;
 };
 
+/// Per-priority-band gauge + latency slice of ServiceStats.
+struct PriorityBandStats {
+  size_t queue_depth = 0;  ///< pending tickets submitted at this priority
+  /// Submit → completion latency of this band's successful requests.
+  LatencySummary total_seconds;
+};
+
 /// \brief Point-in-time service counters (all monotone except the depth
 /// gauges). Warm/cold traffic is the owned cache's hit/miss counters.
 struct ServiceStats {
-  // Request lifecycle.
+  // Request lifecycle (see ServiceCounters for the balance invariant).
   size_t submitted = 0;
   size_t completed = 0;  ///< ran to a pipeline result (ok or error)
-  size_t cancelled = 0;
+  size_t cancelled = 0;  ///< before OR during the run
+  /// The REQUEST's deadline fired, while queued or mid-run. A
+  /// kDeadlineExceeded caused only by the request's own config budget
+  /// (milp_time_limit_seconds) counts as completed + failed instead —
+  /// it is a property of the work, not of scheduling.
   size_t deadline_exceeded = 0;
+  size_t rejected = 0;   ///< refused at admission, never queued or run
   size_t failed = 0;     ///< completed with a non-OK pipeline status
   // Gauges.
   /// Submitted, not yet claimed by a worker, and still pending (tickets
@@ -181,17 +239,26 @@ struct ServiceStats {
   size_t queue_depth = 0;
   size_t running = 0;      ///< claimed, pipeline in flight
   size_t registered_databases = 0;
+  /// Queue depth and completion latency sliced by SubmitOptions::priority
+  /// (bands appear once a request was submitted at that priority).
+  std::map<int, PriorityBandStats> priority_bands;
   // Stage-1 cache (MatchingContext passthrough).
   size_t cache_entries = 0;
   size_t cache_bytes = 0;
   size_t warm_hits = 0;
   size_t cold_misses = 0;
   size_t cache_evictions = 0;
-  // Latency percentiles over the most recent completions.
+  // Latency percentiles over the most recent SUCCESSFUL completions.
   LatencySummary queue_seconds;   ///< Submit → worker claim
   LatencySummary stage1_seconds;  ///< pipeline stage 1
   LatencySummary stage2_seconds;  ///< pipeline stage 2
   LatencySummary total_seconds;   ///< Submit → completion
+  /// Worker claim → completion of EVERY claimed run — including
+  /// cancelled/deadline-killed/failed ones, whose truncated time is a
+  /// lower bound on the work's cost. This series feeds the admission
+  /// controller's p50, which must learn that a workload got expensive
+  /// even when every instance dies at its deadline.
+  LatencySummary run_seconds;
 };
 
 /// Construction-time service knobs.
@@ -202,6 +269,42 @@ struct ServiceOptions {
   /// Stage-1 cache budget, forwarded to the owned MatchingContext
   /// (summed ApproxBytes, LRU eviction past it). 0 = unlimited.
   size_t cache_budget_bytes = 0;
+  /// Anti-starvation escape hatch of the priority scheduler: every k-th
+  /// claim takes the globally OLDEST queued request instead of the
+  /// highest-priority one, so a low-priority request stuck behind a
+  /// steady high-priority stream still runs after at most
+  /// (requests ahead of it in submit order) × k claims. 0 = strict
+  /// priority (starvation possible under sustained high-priority load).
+  size_t starvation_every = 8;
+  /// Destruction policy for IN-FLIGHT requests. false (default):
+  /// running pipelines drain to completion — their real results arrive,
+  /// but with unbounded solves (milp_time_limit_seconds 0 and no
+  /// request deadline) the destructor can block arbitrarily long. true:
+  /// the destructor fires every running request's CancelToken first, so
+  /// shutdown is bounded by the cooperative cancellation latency
+  /// (milliseconds mid-solve) and interrupted tickets resolve
+  /// kCancelled. Queued-but-unclaimed requests are cancelled either
+  /// way; tickets always outlive the service.
+  bool cancel_running_on_destruction = false;
+  /// Reject predictably-doomed requests at Submit — but only ones that
+  /// would QUEUE. The backlog ahead of a request is
+  ///   ahead = running + queued-at-same-or-higher-priority;
+  /// with a free worker slot (ahead < max_concurrency) the request is
+  /// always admitted: it starts immediately, the deadline token bounds
+  /// any waste, and its completion keeps the run-time estimate fresh
+  /// (rejecting idle traffic on a stale estimate would lock the
+  /// estimator forever — rejected work never runs). Otherwise the
+  /// estimated wait of the overflow past the slots —
+  ///   (ahead − max_concurrency + 1) × observed p50 run time
+  ///     ÷ max_concurrency
+  /// — plus the request's own run (charged at p50) is compared against
+  /// the deadline; past it, the ticket resolves kUnavailable
+  /// immediately. The p50 is fleet-wide, so an atypically fast request
+  /// may be rejected conservatively under backlog. Rejected requests
+  /// never touch the cache or the latency histograms. No estimate is
+  /// available until a first request completes (such requests are
+  /// admitted). false = always queue.
+  bool admission_control = true;
 };
 
 /// \brief The serving facade (see file comment).
@@ -209,11 +312,14 @@ struct ServiceOptions {
 /// Thread-safe throughout: RegisterDatabase, Submit, Cancel, and Stats
 /// may race freely. Determinism carries over from the pipeline — a
 /// request's result is bit-identical to a serial RunExplain3D over the
-/// same inputs regardless of queue order, concurrency, or cache state.
+/// same inputs regardless of queue order, concurrency, cache state, or
+/// any other request being cancelled, rejected, or expiring around it.
 ///
 /// Destruction: queued requests complete with kCancelled; in-flight ones
-/// run to completion (their tickets stay valid — callers may still Wait
-/// after the service is gone).
+/// run to completion by default, or are cooperatively cancelled under
+/// ServiceOptions::cancel_running_on_destruction (either way their
+/// tickets stay valid — callers may still Wait after the service is
+/// gone).
 class Explain3DService {
  public:
   explicit Explain3DService(ServiceOptions options = {});
@@ -239,12 +345,15 @@ class Explain3DService {
   ///
   /// Handle validity is checked when a worker claims the request (the
   /// registry may legitimately change while it queues), so a bad handle
-  /// surfaces on the ticket, not here.
-  TicketPtr Submit(ExplanationRequest request);
+  /// surfaces on the ticket, not here. Admission control (see
+  /// ServiceOptions) may complete the ticket with kUnavailable before it
+  /// ever queues.
+  TicketPtr Submit(ExplanationRequest request, SubmitOptions options = {});
 
-  /// Fan-out convenience: Submit each request in order. Tickets align
-  /// index-for-index with `requests`.
-  std::vector<TicketPtr> SubmitBatch(std::vector<ExplanationRequest> requests);
+  /// Fan-out convenience: Submit each request in order with the same
+  /// options. Tickets align index-for-index with `requests`.
+  std::vector<TicketPtr> SubmitBatch(std::vector<ExplanationRequest> requests,
+                                     SubmitOptions options = {});
 
   /// Snapshot of the counters, gauges, and latency percentiles.
   ServiceStats Stats() const;
@@ -260,16 +369,33 @@ class Explain3DService {
     std::shared_ptr<const Database> db;
   };
 
+  /// Fixed-capacity latency ring (most recent kLatencyWindow samples).
+  struct LatencyRing {
+    std::vector<double> samples;
+    size_t next = 0;
+    void Add(double v, size_t window);
+  };
+
   /// Worker body: drain the queue until empty or shutdown.
   void RunnerLoop();
   /// Runs one claimed ticket end to end.
   void Process(const TicketPtr& ticket);
+  /// Pops the next ticket per the scheduling policy (highest band FIFO,
+  /// anti-starvation every k-th claim). Caller holds mu_; queue must be
+  /// non-empty.
+  TicketPtr PopLocked();
   /// Resolves a handle to a keep-alive database reference.
   Result<std::shared_ptr<const Database>> ResolveHandle(
       const DatabaseHandle& handle) const;
-  /// Appends one completed request's latencies to the ring buffers.
-  void RecordLatencies(double queue_s, double stage1_s, double stage2_s,
-                       double total_s);
+  /// Appends one successful request's latencies to the rings and
+  /// refreshes the cached p50 run time the admission controller reads.
+  void RecordLatencies(int priority, double queue_s, double stage1_s,
+                       double stage2_s, double total_s, double run_s);
+  /// Feeds ONLY the run-time series (interrupted/failed runs: their
+  /// truncated run is a lower bound the admission estimator must see).
+  void RecordRunSeconds(double run_s);
+  /// Recomputes run_p50_ from lat_run_. Caller holds stats_mu_.
+  void RefreshRunP50Locked();
 
   const ServiceOptions options_;
   const size_t max_concurrency_;
@@ -280,11 +406,19 @@ class Explain3DService {
   std::unordered_map<std::string, DbSlot> registry_;
   uint64_t next_db_id_ = 1;
 
-  // Queue + worker accounting.
+  // Scheduler + worker accounting. Bands are keyed highest-priority
+  // first; each deque is FIFO (front = oldest). Cancelled tickets stay
+  // in place as dead weight until popped and skipped.
   mutable std::mutex mu_;
-  std::deque<TicketPtr> queue_;
+  std::map<int, std::deque<TicketPtr>, std::greater<int>> bands_;
+  size_t queued_tickets_ = 0;  ///< total tickets across bands_
+  uint64_t next_seq_ = 1;      ///< global submit order (ticket seq_)
+  uint64_t claims_ = 0;        ///< pops so far (anti-starvation cadence)
   size_t active_runners_ = 0;
   size_t running_requests_ = 0;
+  /// Tickets currently inside Process (claimed, not yet finished) — what
+  /// the destructor cancels under cancel_running_on_destruction.
+  std::vector<TicketPtr> running_tickets_;
   bool shutdown_ = false;
   std::condition_variable idle_cv_;  ///< fires when a runner exits
 
@@ -294,8 +428,17 @@ class Explain3DService {
   /// Latency rings (most recent kLatencyWindow completions).
   mutable std::mutex stats_mu_;
   static constexpr size_t kLatencyWindow = 4096;
-  std::vector<double> lat_queue_, lat_stage1_, lat_stage2_, lat_total_;
-  size_t lat_next_ = 0;  ///< ring write cursor (shared by the 4 series)
+  /// Cap on DISTINCT priority values with their own latency ring —
+  /// priorities are service levels, not per-request ids; bands past the
+  /// cap are still fully counted in the global rings.
+  static constexpr size_t kMaxTrackedBands = 64;
+  LatencyRing lat_queue_, lat_stage1_, lat_stage2_, lat_total_, lat_run_;
+  std::map<int, LatencyRing> lat_priority_;  ///< total_seconds per band
+  /// Cached p50 of run_seconds — the admission controller's cost model
+  /// (read lock-free on the Submit path; 0 until a first completion).
+  /// Refreshed every kRefreshStride samples once the window is warm.
+  std::atomic<double> run_p50_{0};
+  size_t run_samples_since_refresh_ = 0;  ///< guarded by stats_mu_
 
   MatchingContext cache_;
 };

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/cancel.h"
 #include "common/rng.h"
 #include "milp/brute_force.h"
 #include "milp/model.h"
@@ -84,9 +85,39 @@ TEST(BranchAndBoundTest, WarmStartAccepted) {
   EXPECT_NEAR(s.objective, 1.0, 1e-6);
 }
 
+TEST(BranchAndBoundTest, FiredCancelTokenInterruptsWithNoIncumbent) {
+  // Same knapsack as above, but the token fired before the first node:
+  // the solve returns kInterrupted with NO usable solution — callers
+  // must propagate the token's status, never consume a timing-dependent
+  // incumbent.
+  Model m;
+  VarId a = m.AddBinary("a", 10);
+  VarId b = m.AddBinary("b", 13);
+  VarId c = m.AddBinary("c", 7);
+  m.AddConstraint(LinExpr().Add(a, 3).Add(b, 4).Add(c, 2), Relation::kLe, 6);
+
+  CancelToken token;
+  token.Cancel();
+  MilpOptions opts;
+  opts.cancel = &token;
+  Solution s = MilpSolver(m, opts).Solve();
+  EXPECT_EQ(s.status, SolveStatus::kInterrupted);
+  EXPECT_FALSE(s.has_solution());
+  EXPECT_TRUE(s.values.empty());
+  EXPECT_STREQ(SolveStatusName(s.status), "interrupted");
+
+  // A live token changes nothing: same optimum as the uncancelled run.
+  CancelToken live;
+  MilpOptions live_opts;
+  live_opts.cancel = &live;
+  Solution ok = MilpSolver(m, live_opts).Solve();
+  ASSERT_EQ(ok.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(ok.objective, 20.0, 1e-6);
+}
+
 TEST(BranchAndBoundTest, ObjectiveConstantCarried) {
   Model m;
-  VarId a = m.AddBinary("a", 5);
+  m.AddBinary("a", 5);
   m.AddObjectiveConstant(-3.5);
   Solution s = MilpSolver(m).Solve();
   ASSERT_EQ(s.status, SolveStatus::kOptimal);

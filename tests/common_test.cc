@@ -1,10 +1,14 @@
-// Common-runtime tests: Status/Result, string utilities, RNG statistics,
-// metrics, and gold derivation.
+// Common-runtime tests: Status/Result, the CancelToken primitive,
+// string utilities, RNG statistics, metrics, and gold derivation.
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
+#include <optional>
+#include <thread>
 
+#include "common/cancel.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/string_util.h"
@@ -45,6 +49,62 @@ TEST(StatusTest, ServingCodesRoundTrip) {
   EXPECT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
   EXPECT_EQ(r.value_or(-5), -5);
+}
+
+TEST(CancelTokenTest, ManualCancelIsStickyAndFiresTheEvent) {
+  CancelToken token;
+  EXPECT_TRUE(token.Check().ok());
+  EXPECT_FALSE(token.fired_event().HasBeenNotified());
+
+  token.Cancel();
+  EXPECT_EQ(token.Check().code(), StatusCode::kCancelled);
+  EXPECT_TRUE(token.fired_event().HasBeenNotified());
+  token.Cancel();  // idempotent: no double-notify, same status
+  EXPECT_EQ(token.Check().code(), StatusCode::kCancelled);
+
+  // A waiter blocked on the composed event is released by Cancel().
+  CancelToken waited_on;
+  std::thread waiter(
+      [&] { waited_on.fired_event().WaitForNotification(); });
+  waited_on.Cancel();
+  waiter.join();
+}
+
+TEST(CancelTokenTest, DeadlineFiresLazilyOnPoll) {
+  CancelToken token(0.02);  // 20 ms
+  EXPECT_TRUE(token.Check().ok());  // not expired yet
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  // Expiry is discovered BY the poll; the winning poll fires the event.
+  EXPECT_EQ(token.Check().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(token.fired_event().HasBeenNotified());
+  // Sticky: a later Cancel() cannot re-label the firing.
+  token.Cancel();
+  EXPECT_EQ(token.Check().code(), StatusCode::kDeadlineExceeded);
+
+  CancelToken no_deadline(0);  // <= 0 means none
+  EXPECT_TRUE(no_deadline.Check().ok());
+}
+
+TEST(CancelTokenTest, ParentLinkTightensButNeverWidens) {
+  CancelToken parent;
+  // A child budget under a live parent: its own (long) deadline is the
+  // only constraint until the parent fires.
+  std::optional<CancelToken> child;
+  child.emplace(3600.0, &parent);
+  EXPECT_TRUE(child->Check().ok());
+  parent.Cancel();
+  // The parent's firing wins through the link (the child's own event
+  // stays un-notified — linking is poll-through).
+  EXPECT_EQ(child->Check().code(), StatusCode::kCancelled);
+  EXPECT_FALSE(child->fired_event().HasBeenNotified());
+
+  // And the child cannot widen a fired parent's budget.
+  std::optional<CancelToken> late;
+  late.emplace(3600.0, &parent);
+  EXPECT_EQ(late->Check().code(), StatusCode::kCancelled);
+
+  EXPECT_TRUE(CheckCancel(nullptr).ok());
+  EXPECT_FALSE(CheckCancel(&parent).ok());
 }
 
 TEST(ResultTest, ValueAndErrorPaths) {

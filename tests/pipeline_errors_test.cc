@@ -1,11 +1,18 @@
 // Failure-path and edge-case tests: non-comparable queries (the paper's
-// Q1-vs-Q4 case), malformed pipeline inputs, empty relations, and the
-// BART error injector's statistics.
+// Q1-vs-Q4 case), malformed pipeline inputs, empty relations, the BART
+// error injector's statistics, and the pipeline-level cooperative
+// cancellation contract — what a fired CancelToken leaves behind in a
+// MatchingContext (complete artifacts: cached; partial: never) and how
+// deadlines interrupt a running stage-2 solve.
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
+#include "common/cancel.h"
 #include "core/pipeline.h"
 #include "datagen/bart.h"
+#include "datagen/synthetic.h"
 #include "relational/csv.h"
 
 namespace explain3d {
@@ -86,6 +93,167 @@ TEST(PipelineErrorsTest, EmptyProvenanceStillWorks) {
   EXPECT_EQ(r.value().t2().size(), 0u);
   EXPECT_EQ(r.value().core().explanations.delta.size(), 2u);
   EXPECT_TRUE(r.value().core().explanations.evidence.empty());
+}
+
+// --- cooperative cancellation at the pipeline level -------------------------
+
+SyntheticDataset CancelTestData(uint64_t seed) {
+  SyntheticOptions gen;
+  gen.n = 90;
+  gen.d = 0.25;
+  gen.v = 180;
+  gen.seed = seed;
+  return GenerateSynthetic(gen).value();
+}
+
+PipelineInput CancelTestInput(const SyntheticDataset& data,
+                              MatchingContext* context) {
+  PipelineInput input;
+  input.db1 = &data.db1;
+  input.db2 = &data.db2;
+  input.sql1 = data.sql1;
+  input.sql2 = data.sql2;
+  input.attr_matches = data.attr_matches;
+  input.mapping_options.min_probability = 1e-4;
+  input.matching_context = context;
+  return input;
+}
+
+// The service_test "hard solve" shape, at the pipeline level: one
+// monolithic sub-problem through the assignment branch & bound with an
+// effectively unbounded node limit — only a deadline/cancel ends it.
+Explain3DConfig HardSolveConfig() {
+  Explain3DConfig config;
+  config.num_threads = 1;
+  config.batch_size = 0;
+  config.decompose_components = false;
+  config.milp_max_constraints = 0;
+  config.exact_max_nodes = size_t{1} << 60;
+  return config;
+}
+
+TEST(PipelineCancelTest, PreCancelledTokenNeverCachesPartialArtifacts) {
+  SyntheticDataset data = CancelTestData(41);
+  MatchingContext context;
+  PipelineInput input = CancelTestInput(data, &context);
+  Explain3DConfig config;
+  config.num_threads = 1;
+
+  // Token fires before (and therefore during) the stage-1 build: the
+  // builder fails at its first cancellation point and the cache must not
+  // inherit a partial block.
+  CancelToken token;
+  token.Cancel();
+  input.cancel = &token;
+  Result<PipelineResult> r = RunExplain3D(input, config);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(context.size(), 0u);
+  EXPECT_EQ(context.bytes(), 0u);
+  EXPECT_EQ(context.misses(), 1u);  // the attempt counted as a miss
+  EXPECT_EQ(context.hits(), 0u);
+
+  // The identical request without the token rebuilds cold and succeeds.
+  input.cancel = nullptr;
+  Result<PipelineResult> retry = RunExplain3D(input, config);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_EQ(context.size(), 1u);
+  EXPECT_GT(context.bytes(), 0u);
+  EXPECT_EQ(context.misses(), 2u);
+  EXPECT_EQ(context.evictions(), 0u);
+}
+
+TEST(PipelineCancelTest, CancelDuringSolveKeepsCompleteStage1Warm) {
+  SyntheticDataset data = CancelTestData(42);
+  MatchingContext context;
+  PipelineInput input = CancelTestInput(data, &context);
+  Explain3DConfig config;
+  config.num_threads = 1;
+
+  // The oracle runs after the artifacts are built and cached and before
+  // the mapping/solve, so firing the token from inside it is exactly
+  // "cancelled mid-request, stage 1 complete".
+  CancelToken token;
+  input.cancel = &token;
+  input.calibration_oracle = [&token](const CanonicalRelation&,
+                                      const CanonicalRelation&, const Table&,
+                                      const Table&) {
+    token.Cancel();
+    return GoldPairs{};
+  };
+  Result<PipelineResult> r = RunExplain3D(input, config);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCancelled);
+
+  // The COMPLETE artifacts stayed cached, byte accounting intact.
+  EXPECT_EQ(context.size(), 1u);
+  size_t bytes_after_cancel = context.bytes();
+  EXPECT_GT(bytes_after_cancel, 0u);
+  EXPECT_EQ(context.evictions(), 0u);
+  EXPECT_EQ(context.misses(), 1u);
+
+  // An identical retry (no cancellation) warms off them: no second
+  // build, no byte growth, and a real result.
+  input.cancel = nullptr;
+  input.calibration_oracle = nullptr;
+  Result<PipelineResult> retry = RunExplain3D(input, config);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_EQ(context.hits(), 1u);
+  EXPECT_EQ(context.misses(), 1u);
+  EXPECT_EQ(context.size(), 1u);
+  EXPECT_EQ(context.bytes(), bytes_after_cancel);
+
+  // Cache counters stay consistent through an explicit drop.
+  context.Clear();
+  EXPECT_EQ(context.bytes(), 0u);
+  EXPECT_EQ(context.size(), 0u);
+}
+
+TEST(PipelineCancelTest, DeadlineDuringSolveInterruptsWithoutDegradedResult) {
+  SyntheticDataset data = CancelTestData(43);
+  MatchingContext context;
+  PipelineInput input = CancelTestInput(data, &context);
+  // Dense uncalibrated instance: the uninterrupted solve takes far
+  // longer than this test's whole budget.
+  input.mapping_options.use_blocking = false;
+  input.mapping_options.min_probability = 1e-12;
+
+  CancelToken deadline(0.3);
+  input.cancel = &deadline;
+  auto start = std::chrono::steady_clock::now();
+  Result<PipelineResult> r = RunExplain3D(input, HardSolveConfig());
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  // Deadline + node-granularity poll latency + heavy sanitizer slack —
+  // nowhere near the uninterrupted solve time.
+  EXPECT_LT(elapsed, 10.0);
+  // Stage 1 completed before the deadline: cached for a warm retry.
+  EXPECT_EQ(context.size(), 1u);
+}
+
+TEST(PipelineCancelTest, MilpTimeLimitRoutesThroughTheDeadlineToken) {
+  // The former wall-clock solver path (hit the limit → silently switch
+  // to a time-truncated incumbent) is gone: a blown
+  // milp_time_limit_seconds now FAILS the call with kDeadlineExceeded,
+  // with no token required from the caller.
+  SyntheticDataset data = CancelTestData(44);
+  PipelineInput input = CancelTestInput(data, /*context=*/nullptr);
+  input.mapping_options.use_blocking = false;
+  input.mapping_options.min_probability = 1e-12;
+
+  Explain3DConfig config = HardSolveConfig();
+  config.milp_time_limit_seconds = 0.3;
+  auto start = std::chrono::steady_clock::now();
+  Result<PipelineResult> r = RunExplain3D(input, config);
+  double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(elapsed, 10.0);
 }
 
 TEST(BartTest, ErrorRateRoughlyRespected) {

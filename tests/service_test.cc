@@ -9,6 +9,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <chrono>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -45,11 +48,11 @@ ExplanationRequest MakeRequest(const SyntheticDataset& data,
   req.calibration_oracle =
       MakeRowEntityOracle(data.row_entities1, data.row_entities2);
   req.config.num_threads = 1;
-  // Determinism across load levels requires no wall-clock-dependent
-  // solver path: the default per-component MILP time limit could fire
-  // under heavy slowdown (e.g. the CI ThreadSanitizer leg runs ~20x
-  // slower) and switch a component to its fallback solver.
-  req.config.milp_time_limit_seconds = 1e9;
+  // No milp_time_limit_seconds pin anymore: the default is 0 (unlimited)
+  // and a nonzero limit now fails the call via the deadline token
+  // instead of silently switching solvers — there is no wall-clock-
+  // dependent RESULT path left for load (or TSan's ~20x slowdown) to
+  // perturb.
   return req;
 }
 
@@ -95,6 +98,40 @@ CalibrationOracle ParkedOracle(Notification* entered,
     release->WaitForNotification();
     return GoldPairs{};
   };
+}
+
+// Oracle that records which request ran (and in what order) — the
+// scheduler-order probe of the priority tests. The oracle runs once per
+// execution, warm or cold, so the recorded sequence is the claim order.
+CalibrationOracle TaggingOracle(std::mutex* mu, std::vector<int>* order,
+                                int tag) {
+  return [mu, order, tag](const CanonicalRelation&, const CanonicalRelation&,
+                          const Table&, const Table&) {
+    std::lock_guard<std::mutex> lock(*mu);
+    order->push_back(tag);
+    return GoldPairs{};
+  };
+}
+
+// A request whose uninterrupted stage-2 solve takes far longer than any
+// test budget: one monolithic sub-problem (partitioning and component
+// decomposition off), dense uncalibrated candidates (blocking off, tiny
+// probability floor), the assignment branch & bound forced
+// (milp_max_constraints = 0) with an astronomically high node limit.
+// Only cooperative cancellation or a deadline can end it in test time —
+// which is exactly what these tests measure.
+ExplanationRequest MakeHardSolveRequest(const SyntheticDataset& data,
+                                        DatabaseHandle h1,
+                                        DatabaseHandle h2) {
+  ExplanationRequest req = MakeRequest(data, h1, h2);
+  req.calibration_oracle = nullptr;  // raw similarities: ambiguous probs
+  req.mapping_options.use_blocking = false;
+  req.mapping_options.min_probability = 1e-12;
+  req.config.batch_size = 0;
+  req.config.decompose_components = false;
+  req.config.milp_max_constraints = 0;
+  req.config.exact_max_nodes = size_t{1} << 60;
+  return req;
 }
 
 // --- registry + handles -----------------------------------------------------
@@ -335,6 +372,36 @@ TEST(ServiceTicketTest, DestructionCancelsQueuedRequests) {
   EXPECT_TRUE(blocked->Wait().ok());
 }
 
+TEST(ServiceTicketTest, DestructionCanCancelRunningRequestsWhenOptedIn) {
+  // Default destruction drains in-flight runs to completion — which,
+  // now that solves can be unbounded, may take arbitrarily long. The
+  // opt-in policy fires running tickets' tokens instead, bounding
+  // shutdown to the cooperative cancellation latency.
+  SyntheticDataset data = MakeData(38);
+  TicketPtr endless;
+  std::chrono::steady_clock::time_point teardown_start;
+  {
+    ServiceOptions options;
+    options.max_concurrency = 1;
+    options.cancel_running_on_destruction = true;
+    Explain3DService service(options);
+    DatabaseHandle h1 = service.RegisterDatabase("left", data.db1);
+    DatabaseHandle h2 = service.RegisterDatabase("right", data.db2);
+    endless = service.Submit(MakeHardSolveRequest(data, h1, h2));
+    // Make sure the worker is genuinely inside the run before dying.
+    while (service.Stats().running == 0 && endless->TryGet() == nullptr) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    teardown_start = std::chrono::steady_clock::now();
+  }  // ~Explain3DService fires the endless solve's token
+  double shutdown_s = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - teardown_start)
+                          .count();
+  EXPECT_LT(shutdown_s, 30.0);  // vs effectively-infinite drain
+  ASSERT_TRUE(endless->done());
+  EXPECT_EQ(endless->Wait().status().code(), StatusCode::kCancelled);
+}
+
 // --- concurrency + determinism ----------------------------------------------
 
 TEST(ServiceDeterminismTest, ConcurrentSubmitsMatchSerialRunsBitForBit) {
@@ -411,6 +478,296 @@ TEST(ServiceDeterminismTest, ConcurrentSubmitsMatchSerialRunsBitForBit) {
   EXPECT_LE(stats.total_seconds.p50, stats.total_seconds.p99);
   EXPECT_LE(stats.total_seconds.p99, stats.total_seconds.max);
   EXPECT_GT(stats.stage1_seconds.max, 0.0);
+}
+
+// --- cooperative cancellation of RUNNING requests ---------------------------
+
+TEST(ServiceCancelTest, CancelMidSolveResolvesQuickly) {
+  // The acceptance bar of this PR: a request cancelled mid-stage-2 on a
+  // problem whose uninterrupted solve takes ≥1 s (here: effectively
+  // unbounded) resolves kCancelled within milliseconds. The assertion
+  // bound carries heavy slack for sanitizer/CI slowdown; bench_service
+  // measures the actual figure (sub-50 ms).
+  ServiceOptions options;
+  options.max_concurrency = 1;
+  Explain3DService service(options);
+  SyntheticDataset data = MakeData(31);
+  DatabaseHandle h1 = service.RegisterDatabase("left", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("right", data.db2);
+
+  TicketPtr t = service.Submit(MakeHardSolveRequest(data, h1, h2));
+  // Give the worker time to get deep into the solve (stage 1 on this
+  // dataset is a few ms; the solve alone would run far past any test
+  // budget). Even if the machine is slow enough that the cancel lands in
+  // stage 1, the resolution path is the same cooperative poll.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_EQ(t->TryGet(), nullptr) << "hard solve finished before cancel — "
+                                     "the instance is not hard enough";
+  auto cancelled_at = std::chrono::steady_clock::now();
+  EXPECT_TRUE(t->Cancel());  // running: delivered cooperatively
+  const Result<PipelineResult>* r = t->WaitFor(30.0);
+  double latency = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - cancelled_at)
+                       .count();
+  ASSERT_NE(r, nullptr) << "cancelled request never resolved";
+  EXPECT_EQ(r->status().code(), StatusCode::kCancelled);
+  EXPECT_LT(latency, 2.0);  // bench target: <0.05s; slack for TSan/CI
+  EXPECT_FALSE(t->Cancel());  // terminal now
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.completed, 0u);
+  // The interrupted run recorded no success-latency sample, but its
+  // truncated run time DID feed the admission cost series (a lower
+  // bound the estimator must learn from).
+  EXPECT_EQ(stats.total_seconds.count, 0u);
+  EXPECT_EQ(stats.run_seconds.count, 1u);
+  EXPECT_GT(stats.run_seconds.p50, 0.0);
+}
+
+TEST(ServiceCancelTest, DeadlineMidSolveResolvesWithDeadlineExceeded) {
+  ServiceOptions options;
+  options.max_concurrency = 1;
+  Explain3DService service(options);
+  SyntheticDataset data = MakeData(32);
+  DatabaseHandle h1 = service.RegisterDatabase("left", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("right", data.db2);
+
+  ExplanationRequest req = MakeHardSolveRequest(data, h1, h2);
+  req.deadline_seconds = 2.0;  // generous enough that stage 1 finishes
+                               // even under TSan; the endless solve
+                               // guarantees it still fires mid-stage-2
+  auto submitted_at = std::chrono::steady_clock::now();
+  TicketPtr t = service.Submit(req);
+  const Result<PipelineResult>* r = t->WaitFor(60.0);
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - submitted_at)
+                       .count();
+  ASSERT_NE(r, nullptr) << "deadline request never resolved";
+  EXPECT_EQ(r->status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_LT(elapsed, 20.0);  // deadline 2s + poll latency + TSan slack
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.deadline_exceeded, 1u);
+  EXPECT_EQ(stats.completed, 0u);
+  // Normally stage 1 finishes well inside the deadline, so its COMPLETE
+  // artifacts get cached for an identical retry (== 1). If an extreme
+  // sanitizer slowdown fires the token during stage 1 instead, the
+  // contract is that NOTHING (partial) is cached — never more than the
+  // one complete block either way.
+  EXPECT_LE(service.cache().size(), 1u);
+}
+
+TEST(ServiceCancelTest, ConfigBudgetBlowoutCountsAsFailedNotDeadline) {
+  // milp_time_limit_seconds is a property of the WORK (the request's
+  // own config), not of scheduling: blowing it fails the completion,
+  // it must not inflate the scheduler's deadline_exceeded counter —
+  // that bucket is reserved for the request deadline.
+  ServiceOptions options;
+  options.max_concurrency = 1;
+  Explain3DService service(options);
+  SyntheticDataset data = MakeData(36);
+  DatabaseHandle h1 = service.RegisterDatabase("left", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("right", data.db2);
+
+  ExplanationRequest req = MakeHardSolveRequest(data, h1, h2);
+  req.config.milp_time_limit_seconds = 0.3;  // stage-2 budget, no deadline
+  TicketPtr t = service.Submit(req);
+  const Result<PipelineResult>* r = t->WaitFor(60.0);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->status().code(), StatusCode::kDeadlineExceeded);
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.deadline_exceeded, 0u);
+}
+
+// --- priority scheduling ----------------------------------------------------
+
+TEST(ServicePriorityTest, HigherBandsFirstFifoWithinBand) {
+  ServiceOptions options;
+  options.max_concurrency = 1;
+  options.starvation_every = 0;  // strict priority for exact order
+  Explain3DService service(options);
+  SyntheticDataset data = MakeData(33, 60);
+  DatabaseHandle h1 = service.RegisterDatabase("left", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("right", data.db2);
+
+  Notification entered, release;
+  ExplanationRequest blocker = MakeRequest(data, h1, h2);
+  blocker.calibration_oracle = ParkedOracle(&entered, &release);
+  TicketPtr blocked = service.Submit(blocker);
+  entered.WaitForNotification();
+
+  std::mutex order_mu;
+  std::vector<int> order;
+  auto tagged = [&](int tag) {
+    ExplanationRequest req = MakeRequest(data, h1, h2);
+    req.calibration_oracle = TaggingOracle(&order_mu, &order, tag);
+    return req;
+  };
+  std::vector<TicketPtr> tickets;
+  tickets.push_back(service.Submit(tagged(0), SubmitOptions{0}));
+  tickets.push_back(service.Submit(tagged(1), SubmitOptions{0}));
+  tickets.push_back(service.Submit(tagged(2), SubmitOptions{2}));
+  tickets.push_back(service.Submit(tagged(3), SubmitOptions{2}));
+  EXPECT_EQ(service.Stats().queue_depth, 4u);
+  EXPECT_EQ(service.Stats().priority_bands.at(2).queue_depth, 2u);
+  EXPECT_EQ(service.Stats().priority_bands.at(0).queue_depth, 2u);
+
+  release.Notify();
+  for (const TicketPtr& t : tickets) ASSERT_TRUE(t->Wait().ok());
+  // Band 2 drains first (in submit order), then band 0 (in submit order).
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 0, 1}));
+  // Per-band completion latencies were recorded.
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.priority_bands.at(2).total_seconds.count, 2u);
+  EXPECT_EQ(stats.priority_bands.at(0).total_seconds.count, 3u);  // +blocker
+}
+
+TEST(ServicePriorityTest, StarvationEscapeRunsTheOldestRequest) {
+  ServiceOptions options;
+  options.max_concurrency = 1;
+  options.starvation_every = 3;  // every 3rd claim takes the oldest
+  Explain3DService service(options);
+  SyntheticDataset data = MakeData(34, 60);
+  DatabaseHandle h1 = service.RegisterDatabase("left", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("right", data.db2);
+
+  Notification entered, release;
+  ExplanationRequest blocker = MakeRequest(data, h1, h2);
+  blocker.calibration_oracle = ParkedOracle(&entered, &release);
+  TicketPtr blocked = service.Submit(blocker);
+  entered.WaitForNotification();
+
+  std::mutex order_mu;
+  std::vector<int> order;
+  auto tagged = [&](int tag) {
+    ExplanationRequest req = MakeRequest(data, h1, h2);
+    req.calibration_oracle = TaggingOracle(&order_mu, &order, tag);
+    return req;
+  };
+  // The low-priority victim queues FIRST, then a deep stack of
+  // high-priority work lands on top of it.
+  std::vector<TicketPtr> tickets;
+  tickets.push_back(service.Submit(tagged(99), SubmitOptions{0}));
+  for (int i = 0; i < 8; ++i) {
+    tickets.push_back(service.Submit(tagged(i), SubmitOptions{5}));
+  }
+
+  release.Notify();
+  for (const TicketPtr& t : tickets) ASSERT_TRUE(t->Wait().ok());
+  // Under strict priority the victim would run dead last; the escape
+  // hatch bounds its wait to one anti-starvation cycle.
+  auto pos = std::find(order.begin(), order.end(), 99) - order.begin();
+  EXPECT_LT(static_cast<size_t>(pos), options.starvation_every)
+      << "low-priority request starved past the escape-hatch bound";
+}
+
+// --- admission control ------------------------------------------------------
+
+TEST(ServiceAdmissionTest, PredictablyDoomedDeadlineRejectedAtSubmit) {
+  ServiceOptions options;
+  options.max_concurrency = 1;
+  Explain3DService service(options);
+  SyntheticDataset data = MakeData(35, 60);
+  DatabaseHandle h1 = service.RegisterDatabase("left", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("right", data.db2);
+
+  // Establish a run-time estimate (no estimate → everything admits).
+  ASSERT_TRUE(service.Submit(MakeRequest(data, h1, h2))->Wait().ok());
+  ASSERT_TRUE(service.Submit(MakeRequest(data, h1, h2))->Wait().ok());
+  ServiceStats warm = service.Stats();
+  ASSERT_EQ(warm.completed, 2u);
+  ASSERT_GT(warm.run_seconds.p50, 0.0);
+
+  // Park the worker and stack up a backlog.
+  Notification entered, release;
+  ExplanationRequest blocker = MakeRequest(data, h1, h2);
+  blocker.calibration_oracle = ParkedOracle(&entered, &release);
+  TicketPtr blocked = service.Submit(blocker);
+  entered.WaitForNotification();
+  std::vector<TicketPtr> backlog;
+  for (int i = 0; i < 3; ++i) {
+    backlog.push_back(service.Submit(MakeRequest(data, h1, h2)));
+  }
+  // Cache-traffic snapshot AFTER the blocker's own warm hit: anything
+  // that moves from here on would be the rejected request's doing.
+  ServiceStats before = service.Stats();
+
+  // A deadline no possible schedule can meet: rejected synchronously,
+  // before it ever queues.
+  ExplanationRequest doomed = MakeRequest(data, h1, h2);
+  doomed.deadline_seconds = 1e-6;
+  TicketPtr rejected = service.Submit(doomed);
+  const Result<PipelineResult>* r = rejected->TryGet();
+  ASSERT_NE(r, nullptr) << "admission rejection must be synchronous";
+  EXPECT_EQ(r->status().code(), StatusCode::kUnavailable);
+  EXPECT_FALSE(rejected->Cancel());  // already terminal
+
+  // Rejected work left no trace: no cache traffic, no latency samples,
+  // no queue presence.
+  ServiceStats after = service.Stats();
+  EXPECT_EQ(after.rejected, 1u);
+  EXPECT_EQ(after.queue_depth, 3u);
+  EXPECT_EQ(after.total_seconds.count, warm.total_seconds.count);
+  EXPECT_EQ(after.warm_hits, before.warm_hits);
+  EXPECT_EQ(after.cold_misses, before.cold_misses);
+
+  // A generous deadline admits even against the same backlog.
+  ExplanationRequest fine = MakeRequest(data, h1, h2);
+  fine.deadline_seconds = 3600;
+  TicketPtr admitted = service.Submit(fine);
+  EXPECT_EQ(admitted->TryGet(), nullptr);  // queued, not rejected
+
+  release.Notify();
+  EXPECT_TRUE(blocked->Wait().ok());
+  for (const TicketPtr& t : backlog) EXPECT_TRUE(t->Wait().ok());
+  EXPECT_TRUE(admitted->Wait().ok());
+
+  // Terminal balance: every submit landed in exactly one bucket.
+  ServiceStats done_stats = service.Stats();
+  EXPECT_EQ(done_stats.submitted, 8u);
+  EXPECT_EQ(done_stats.completed, 7u);
+  EXPECT_EQ(done_stats.rejected, 1u);
+  EXPECT_EQ(done_stats.cancelled + done_stats.deadline_exceeded, 0u);
+}
+
+TEST(ServiceAdmissionTest, IdleServiceAdmitsDeadlinesShorterThanP50) {
+  // Rejection-lockout regression: run_p50_ only refreshes when admitted
+  // work completes, so an idle service must ADMIT a deadline shorter
+  // than the (possibly stale, possibly irrelevant) p50 — the probe
+  // starts immediately, its waste is bounded by the deadline token, and
+  // its outcome keeps the estimator honest. Only backlogged requests
+  // are rejected up front.
+  ServiceOptions options;
+  options.max_concurrency = 1;
+  Explain3DService service(options);
+  SyntheticDataset data = MakeData(37, 60);
+  DatabaseHandle h1 = service.RegisterDatabase("left", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("right", data.db2);
+
+  ASSERT_TRUE(service.Submit(MakeRequest(data, h1, h2))->Wait().ok());
+  ASSERT_TRUE(service.Submit(MakeRequest(data, h1, h2))->Wait().ok());
+  ASSERT_GT(service.Stats().run_seconds.p50, 1e-5);
+  // Wait() returns from inside the worker's Process call; the runner
+  // decrements the `running` gauge just after. Let it settle so the
+  // service is observably idle before the probe.
+  while (service.Stats().running > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Idle service, free slot, deadline far below p50: admitted anyway.
+  ExplanationRequest probe = MakeRequest(data, h1, h2);
+  probe.deadline_seconds = 1e-5;
+  TicketPtr t = service.Submit(probe);
+  const Result<PipelineResult>* r = t->WaitFor(30.0);
+  ASSERT_NE(r, nullptr);
+  EXPECT_NE(r->status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(r->status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(service.Stats().rejected, 0u);
+  EXPECT_EQ(service.Stats().deadline_exceeded, 1u);
 }
 
 TEST(ServiceBatchTest, SubmitBatchAlignsTicketsWithRequests) {
