@@ -24,11 +24,20 @@
 //                         top: per-band p50/p99 total latency shows the
 //                         scheduler carving the interactive tail out of
 //                         the backlog.
+//   6. degradation-tail — the same hard solve under a deadline the
+//                         exact solver cannot meet, strict vs anytime
+//                         fallback: strict answers nothing (every
+//                         request expires at the deadline), fallback
+//                         answers every request with a marked degraded
+//                         result INSIDE the deadline — same tail, full
+//                         answer rate (the graceful-degradation
+//                         acceptance figure).
 //
 // EXPLAIN3D_SCALE scales the dataset; requests count is fixed.
 //
 // Build & run:  ./build/bench_service
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -288,6 +297,80 @@ PriorityTailResult MeasurePriorityTail(const SyntheticDataset& data) {
   return result;
 }
 
+// --- phase 6: degraded-vs-strict tail latency under tight deadlines ---------
+
+struct ModeTail {
+  size_t requests = 0;
+  size_t answered = 0;           ///< OK results returned
+  size_t degraded = 0;           ///< answered AND marked degraded()
+  size_t deadline_exceeded = 0;  ///< expired empty-handed
+  double p50 = 0, p99 = 0, max = 0;  ///< submit → resolution, seconds
+};
+
+double Percentile(std::vector<double> v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(q * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+// One mode's run: the MakeHardRequest solve (uninterrupted: seconds to
+// minutes) under a deadline it cannot meet. Strict requests expire at
+// the deadline with nothing; fallback requests resolve a marked
+// degraded result inside it. Both tails sit at ~deadline — the figure
+// is the answer rate at the same latency.
+ModeTail MeasureDegradationTail(const SyntheticDataset& data,
+                                DegradationMode mode, double deadline_s,
+                                size_t requests) {
+  ServiceOptions options;
+  options.max_concurrency = 1;
+  options.auto_fallback_on_overload = false;  // measure the MODE, not health
+  // The strict leg's expiring runs poison the admission p50 with
+  // ~deadline-long samples; admission would then reject the very
+  // requests this phase measures. Off — every request must run.
+  options.admission_control = false;
+  Explain3DService service(options);
+  DatabaseHandle h1 = service.RegisterDatabase("db1", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("db2", data.db2);
+
+  ModeTail tail;
+  tail.requests = requests;
+  std::vector<double> latencies;
+  for (size_t i = 0; i < requests; ++i) {
+    ExplanationRequest req = MakeHardRequest(data, h1, h2, size_t{1} << 60);
+    req.deadline_seconds = deadline_s;
+    req.config.degradation_mode = mode;
+    Timer timer;
+    TicketPtr t = service.Submit(req);
+    const Result<PipelineResult>& r = t->Wait();
+    latencies.push_back(timer.Seconds());
+    if (r.ok()) {
+      ++tail.answered;
+      if (r.value().degraded()) ++tail.degraded;
+    } else if (r.status().code() == StatusCode::kDeadlineExceeded) {
+      ++tail.deadline_exceeded;
+    }
+  }
+  tail.p50 = Percentile(latencies, 0.5);
+  tail.p99 = Percentile(latencies, 0.99);
+  tail.max = Percentile(latencies, 1.0);
+  return tail;
+}
+
+std::string ModeTailJson(const char* mode, const ModeTail& t) {
+  std::string out = "{\"mode\":\"";
+  out += mode;
+  out += "\",\"requests\":" + std::to_string(t.requests);
+  out += ",\"answered\":" + std::to_string(t.answered);
+  out += ",\"degraded\":" + std::to_string(t.degraded);
+  out += ",\"deadline_exceeded\":" + std::to_string(t.deadline_exceeded);
+  out += ",\"p50\":" + Fmt(t.p50, "%.6f");
+  out += ",\"p99\":" + Fmt(t.p99, "%.6f");
+  out += ",\"max\":" + Fmt(t.max, "%.6f");
+  out += "}";
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -403,5 +486,50 @@ int main() {
   tail_json += ",\"high\":" + SummaryJson(tail.high);
   tail_json += "}";
   AppendBenchJson("service", tail_json);
+
+  // --- phase 6: degraded-vs-strict tail latency ----------------------------
+  {
+    SyntheticOptions gen;
+    gen.n = Scaled(150);
+    gen.d = 0.25;
+    gen.v = 200;
+    gen.seed = 93;
+    SyntheticDataset hard_data = GenerateSynthetic(gen).value();
+    constexpr double kDeadline = 0.6;
+    constexpr size_t kHardRequests = 6;
+
+    ModeTail strict = MeasureDegradationTail(
+        hard_data, DegradationMode::kStrict, kDeadline, kHardRequests);
+    ModeTail fallback = MeasureDegradationTail(
+        hard_data, DegradationMode::kFallbackGreedy, kDeadline,
+        kHardRequests);
+
+    std::printf("\ndegraded-vs-strict under a %.1fs deadline the exact "
+                "solve cannot meet (n=%zu, %zu requests/mode):\n",
+                kDeadline, gen.n, kHardRequests);
+    TablePrinter deg_table({"mode", "answered", "degraded",
+                            "deadline exceeded", "p50", "p99", "max"});
+    for (const auto& entry :
+         {std::pair<const char*, const ModeTail*>{"strict", &strict},
+          std::pair<const char*, const ModeTail*>{"fallback-greedy",
+                                                  &fallback}}) {
+      const ModeTail& t = *entry.second;
+      deg_table.AddRow(
+          {entry.first,
+           std::to_string(t.answered) + "/" + std::to_string(t.requests),
+           std::to_string(t.degraded),
+           std::to_string(t.deadline_exceeded), Fmt(t.p50, "%.4fs"),
+           Fmt(t.p99, "%.4fs"), Fmt(t.max, "%.4fs")});
+    }
+    deg_table.Print();
+
+    std::string deg_json = "{\"figure\":\"service-degradation-tail\"";
+    deg_json += ",\"scale\":" + Fmt(Scale(), "%.3g");
+    deg_json += ",\"n\":" + std::to_string(gen.n);
+    deg_json += ",\"deadline_s\":" + Fmt(kDeadline, "%.3f");
+    deg_json += ",\"modes\":[" + ModeTailJson("strict", strict) + "," +
+                ModeTailJson("fallback-greedy", fallback) + "]}";
+    AppendBenchJson("service", deg_json);
+  }
   return 0;
 }

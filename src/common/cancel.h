@@ -33,6 +33,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <limits>
 
 #include "common/notification.h"
 #include "common/status.h"
@@ -127,6 +128,22 @@ class CancelToken {
   /// first poll that observes deadline expiry (lazy — an unpolled
   /// deadline token never notifies). Parent firings do not propagate.
   const Notification& fired_event() const { return fired_event_; }
+
+  /// \brief Seconds until the earliest deadline along the parent chain,
+  /// +infinity when no link has a deadline. Negative once a deadline has
+  /// passed. Does NOT fire the token (pure clock read); a manual Cancel()
+  /// is not reflected here — poll Check() for liveness.
+  double RemainingSeconds() const {
+    double remaining = std::numeric_limits<double>::infinity();
+    if (parent_ != nullptr) remaining = parent_->RemainingSeconds();
+    if (has_deadline_) {
+      double own = std::chrono::duration<double>(
+                       deadline_ - std::chrono::steady_clock::now())
+                       .count();
+      if (own < remaining) remaining = own;
+    }
+    return remaining;
+  }
 
  private:
   static constexpr int kLive = 0;

@@ -1,0 +1,218 @@
+#include "common/fault.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace explain3d {
+namespace {
+
+// Strips all whitespace (the grammar ignores it everywhere).
+std::string StripSpace(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (!std::isspace(static_cast<unsigned char>(c))) out.push_back(c);
+  }
+  return out;
+}
+
+std::vector<std::string> SplitClauses(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : s) {
+    if (c == ';' || c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+bool ParseProbability(const std::string& s, double* out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  double v = std::strtod(s.c_str(), &end);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  if (!(v >= 0.0 && v <= 1.0)) return false;
+  *out = v;
+  return true;
+}
+
+// Per-site schedule stream: decorrelates sites armed under one seed so
+// e.g. cache.insert and milp.node with the same p do not fire in
+// lockstep. FNV-1a over the PATTERN string, mixed into the spec seed.
+uint64_t SiteSeed(uint64_t seed, const std::string& pattern) {
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : pattern) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return seed ^ h;
+}
+
+bool PatternMatches(const std::string& pattern, const char* site) {
+  if (!pattern.empty() && pattern.back() == '*') {
+    return std::string(site).compare(0, pattern.size() - 1, pattern, 0,
+                                     pattern.size() - 1) == 0;
+  }
+  return pattern == site;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector() {
+  const char* env = std::getenv("EXPLAIN3D_FAULT_SPEC");
+  if (env != nullptr && env[0] != '\0') {
+    // A malformed env spec must not be silently ignored mid-run; fail
+    // loudly at first use instead.
+    Status s = Configure(env);
+    E3D_CHECK(s.ok()) << "EXPLAIN3D_FAULT_SPEC: " << s.ToString();
+  }
+}
+
+FaultInjector& FaultInjector::Instance() {
+  static FaultInjector* instance = new FaultInjector();
+  return *instance;
+}
+
+Status FaultInjector::Parse(const std::string& spec, Schedule* out) {
+  for (const std::string& clause : SplitClauses(StripSpace(spec))) {
+    size_t eq = clause.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= clause.size()) {
+      return Status::InvalidArgument("fault spec clause '" + clause +
+                                     "' is not <site>=<mode> or seed=<n>");
+    }
+    std::string key = clause.substr(0, eq);
+    std::string val = clause.substr(eq + 1);
+    if (key == "seed") {
+      if (!ParseU64(val, &out->seed)) {
+        return Status::InvalidArgument("fault spec seed '" + val +
+                                       "' is not a uint64");
+      }
+      continue;
+    }
+    Rule rule;
+    rule.pattern = key;
+    if (val.compare(0, 4, "once") == 0) {
+      rule.mode = Mode::kOnce;
+      if (!ParseU64(val.substr(4), &rule.n)) {
+        return Status::InvalidArgument("fault spec mode '" + val +
+                                       "' — expected once<hit-index>");
+      }
+    } else if (val[0] == 'p') {
+      rule.mode = Mode::kProbability;
+      if (!ParseProbability(val.substr(1), &rule.p)) {
+        return Status::InvalidArgument("fault spec mode '" + val +
+                                       "' — expected p<prob in [0,1]>");
+      }
+    } else if (val[0] == 'n') {
+      rule.mode = Mode::kEveryNth;
+      if (!ParseU64(val.substr(1), &rule.n) || rule.n == 0) {
+        return Status::InvalidArgument("fault spec mode '" + val +
+                                       "' — expected n<positive period>");
+      }
+    } else {
+      return Status::InvalidArgument("fault spec mode '" + val +
+                                     "' — expected p<f>, n<k>, or once<k>");
+    }
+    out->rules.push_back(std::move(rule));
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::Configure(const std::string& spec) {
+  auto schedule = std::make_unique<Schedule>();
+  E3D_RETURN_IF_ERROR(Parse(spec, schedule.get()));
+  bool arm = !schedule->rules.empty();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    schedule_ = arm ? std::move(schedule) : nullptr;
+    total_fires_.store(0, std::memory_order_relaxed);
+    armed_.store(arm, std::memory_order_relaxed);
+  }
+  return Status::OK();
+}
+
+void FaultInjector::Disable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  schedule_ = nullptr;
+  total_fires_.store(0, std::memory_order_relaxed);
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+bool FaultInjector::ShouldFire(const char* site) {
+  if (!armed_.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (schedule_ == nullptr) return false;  // raced with Disable
+  for (const Rule& rule : schedule_->rules) {
+    if (!PatternMatches(rule.pattern, site)) continue;
+    // First matching rule wins; its hit counter is the schedule counter.
+    uint64_t hit = rule.hits.fetch_add(1, std::memory_order_relaxed);
+    bool fire = false;
+    switch (rule.mode) {
+      case Mode::kProbability:
+        fire = CounterBernoulli(SiteSeed(schedule_->seed, rule.pattern), hit,
+                                rule.p);
+        break;
+      case Mode::kEveryNth:
+        fire = (hit + 1) % rule.n == 0;
+        break;
+      case Mode::kOnce:
+        fire = hit == rule.n;
+        break;
+    }
+    if (fire) {
+      rule.fires.fetch_add(1, std::memory_order_relaxed);
+      total_fires_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return fire;
+  }
+  return false;
+}
+
+std::vector<FaultSiteStats> FaultInjector::SiteStats() const {
+  std::vector<FaultSiteStats> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (schedule_ == nullptr) return out;
+  out.reserve(schedule_->rules.size());
+  for (const Rule& rule : schedule_->rules) {
+    FaultSiteStats s;
+    s.site = rule.pattern;
+    s.hits = rule.hits.load(std::memory_order_relaxed);
+    s.fires = rule.fires.load(std::memory_order_relaxed);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+Status FaultCheck(const char* site) {
+  if (FaultInjector::Instance().ShouldFire(site)) {
+    return Status::Unavailable(std::string("injected fault at ") + site);
+  }
+  return Status::OK();
+}
+
+bool FaultFired(const char* site) {
+  return FaultInjector::Instance().ShouldFire(site);
+}
+
+}  // namespace explain3d

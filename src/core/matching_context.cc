@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "common/fault.h"
+
 namespace explain3d {
 
 namespace {
@@ -111,6 +113,10 @@ Result<MatchingContext::ArtifactsPtr> MatchingContext::GetOrBuild(
   // too (the block is immutable once built).
   E3D_ASSIGN_OR_RETURN(ArtifactsPtr built, build());
   size_t built_bytes = ApproxBytes(*built);
+  // Fault probe (common/fault.h): a fired cache.insert drops the freshly
+  // built block and fails the call — the transient-failure shape of an
+  // insert race or allocation failure. A retry simply rebuilds.
+  E3D_RETURN_IF_ERROR(FAULT_POINT("cache.insert"));
   std::lock_guard<std::mutex> lock(mu_);
   auto it = cache_.find(key);
   if (it != cache_.end()) {
@@ -133,6 +139,11 @@ Result<MatchingContext::ArtifactsPtr> MatchingContext::GetOrBuild(
 
 void MatchingContext::EvictOverBudgetLocked() {
   if (budget_bytes_ == 0) return;
+  // Fault probe: abandons this eviction round. Benign by design — the
+  // cache stays over budget until the next insert retries the walk; the
+  // stress suite uses it to prove the byte accounting survives skipped
+  // maintenance.
+  if (FAULT_FIRED("cache.evict")) return;
   // Never evict the final entry: a single block larger than the budget
   // must still serve its warm path (evicting it would just thrash).
   while (bytes_ > budget_bytes_ && cache_.size() > 1) {

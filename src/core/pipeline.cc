@@ -1,11 +1,17 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <memory>
 #include <utility>
 
+#include "baselines/greedy.h"
+#include "common/fault.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "core/probability_model.h"
 #include "provenance/canonical.h"
 #include "relational/executor.h"
 #include "relational/parser.h"
@@ -50,8 +56,11 @@ Result<std::shared_ptr<Stage1Artifacts>> BuildStage1Artifacts(
 
   // Cancellation points bracket every O(data) step: a token that fires
   // mid-build fails the builder, so a PARTIAL block can never be
-  // inserted into the MatchingContext cache.
+  // inserted into the MatchingContext cache. The FAULT_POINTs are the
+  // deterministic fault-injection probes (common/fault.h) — unarmed in
+  // production, they let the stress suite exercise these failure paths.
   E3D_RETURN_IF_ERROR(CheckCancel(input.cancel));
+  E3D_RETURN_IF_ERROR(FAULT_POINT("stage1.execute"));
   E3D_ASSIGN_OR_RETURN(SelectStmtPtr stmt1, ParseSql(input.sql1));
   E3D_ASSIGN_OR_RETURN(SelectStmtPtr stmt2, ParseSql(input.sql2));
 
@@ -61,6 +70,7 @@ Result<std::shared_ptr<Stage1Artifacts>> BuildStage1Artifacts(
   E3D_ASSIGN_OR_RETURN(art->answer2, exec2.ExecuteScalar(*stmt2));
 
   E3D_RETURN_IF_ERROR(CheckCancel(input.cancel));
+  E3D_RETURN_IF_ERROR(FAULT_POINT("stage1.provenance"));
   E3D_ASSIGN_OR_RETURN(art->p1, DeriveProvenance(*input.db1, *stmt1));
   E3D_ASSIGN_OR_RETURN(art->p2, DeriveProvenance(*input.db2, *stmt2));
 
@@ -72,6 +82,7 @@ Result<std::shared_ptr<Stage1Artifacts>> BuildStage1Artifacts(
   E3D_ASSIGN_OR_RETURN(art->t2, Canonicalize(art->p2, attr.attrs2));
 
   E3D_RETURN_IF_ERROR(CheckCancel(input.cancel));
+  E3D_RETURN_IF_ERROR(FAULT_POINT("stage1.intern"));
   bool need_bags = NeedsKeyBags(art->t1, art->t2);
   art->i1 = std::make_unique<InternedRelation>(art->t1, &art->dict,
                                                need_bags, num_threads);
@@ -79,10 +90,16 @@ Result<std::shared_ptr<Stage1Artifacts>> BuildStage1Artifacts(
                                                need_bags, num_threads);
 
   E3D_RETURN_IF_ERROR(CheckCancel(input.cancel));
+  E3D_RETURN_IF_ERROR(FAULT_POINT("stage1.block"));
   art->candidates =
       input.mapping_options.use_blocking
-          ? GenerateCandidates(*art->i1, *art->i2, num_threads)
+          ? GenerateCandidates(*art->i1, *art->i2, num_threads,
+                               input.cancel)
           : AllPairs(art->t1.size(), art->t2.size());
+  // Final point: the blocking loops above bail early on a fired token
+  // and hand back a truncated candidate list — this check turns that
+  // into a builder failure so the partial list is never cached.
+  E3D_RETURN_IF_ERROR(CheckCancel(input.cancel));
   return art;
 }
 
@@ -142,6 +159,10 @@ Result<PipelineResult> RunExplain3D(const PipelineInput& input,
   E3D_RETURN_IF_ERROR(CheckCancel(input.cancel));
   MappingGenOptions mapping_options = input.mapping_options;
   mapping_options.num_threads = threads;
+  // Push the token into the scoring/calibration inner loops too — the
+  // per-pair strided polls bound stage-1 cancel latency by a loop stride
+  // instead of a whole O(candidates) build step.
+  mapping_options.cancel = input.cancel;
   E3D_ASSIGN_OR_RETURN(
       out.initial_mapping_,
       GenerateInitialMapping(*art.i1, *art.i2, art.candidates, calibration,
@@ -151,14 +172,90 @@ Result<PipelineResult> RunExplain3D(const PipelineInput& input,
   // --- Stage 2: optimal explanations -------------------------------------
   E3D_RETURN_IF_ERROR(CheckCancel(input.cancel));
   Timer stage2_timer;
-  Explain3DSolver solver(config);
   Explain3DInput core_input;
   core_input.t1 = &art.t1;
   core_input.t2 = &art.t2;
   core_input.attr = attr;
   core_input.mapping = out.initial_mapping_;
   core_input.cancel = input.cancel;
-  E3D_ASSIGN_OR_RETURN(out.core_, solver.Solve(core_input));
+
+  // The stage-2 budget: the tighter of the caller's token deadline chain
+  // and the config time limit. Finite only when one of them is set.
+  double budget = std::numeric_limits<double>::infinity();
+  if (input.cancel != nullptr) {
+    budget = input.cancel->RemainingSeconds();
+  }
+  if (config.milp_time_limit_seconds > 0) {
+    budget = std::min(budget, config.milp_time_limit_seconds);
+  }
+
+  if (config.degradation_mode == DegradationMode::kStrict ||
+      !std::isfinite(budget)) {
+    // Strict (or unbounded) semantics: an interrupted solve fails the
+    // call with the token's Status — bit-identical to pre-degradation
+    // behavior.
+    Explain3DSolver solver(config);
+    E3D_ASSIGN_OR_RETURN(out.core_, solver.Solve(core_input));
+  } else {
+    // Anytime fallback (kFallbackGreedy, finite budget): withhold a
+    // slice for the greedy fallback and run the exact solve under the
+    // remainder via a child token — a child can only TIGHTEN its
+    // parent's budget, and a fired parent still wins every poll.
+    double reserved =
+        std::max(0.0, budget * config.fallback_budget_fraction);
+    double exact_budget = budget - reserved;
+    Result<Explain3DResult> exact = Status::DeadlineExceeded(
+        "stage-2 budget consumed before the exact solve started");
+    Timer exact_timer;
+    if (exact_budget > 0) {
+      // The budget (which already folded the config limit in) moves
+      // into the child token; zero the config limit so the solver does
+      // not stack a second, un-sliced deadline on top.
+      Explain3DConfig exact_config = config;
+      exact_config.milp_time_limit_seconds = 0;
+      CancelToken exact_token(exact_budget, input.cancel);
+      Explain3DInput exact_input = core_input;
+      exact_input.cancel = &exact_token;
+      exact = Explain3DSolver(exact_config).Solve(exact_input);
+    }
+    double exact_seconds = exact_timer.Seconds();
+
+    if (exact.ok()) {
+      out.core_ = std::move(exact).value();
+    } else {
+      // Degrade ONLY on an interrupted-by-budget solve. A fired parent
+      // token means the USER's cancel or end-to-end deadline — fail the
+      // call with its status (never hand back a degraded result the
+      // caller no longer wants or can no longer use in time); any other
+      // code is a real failure and propagates.
+      E3D_RETURN_IF_ERROR(CheckCancel(input.cancel));
+      if (exact.status().code() != StatusCode::kDeadlineExceeded) {
+        return exact.status();
+      }
+      // The reserved slice's turn: greedy baseline (Section 5.1.3) over
+      // the complete stage-1 artifacts and initial mapping. Explicitly
+      // marked — a degraded answer is never a silent substitute.
+      Timer fallback_timer;
+      ProbabilityModel prob(config);
+      ExplanationSet greedy =
+          GreedyBaseline(art.t1, art.t2, out.initial_mapping_, attr, prob);
+      greedy.log_probability =
+          prob.Score(art.t1, art.t2, out.initial_mapping_, greedy);
+      out.core_ = Explain3DResult();
+      out.core_.explanations = std::move(greedy);
+      out.core_.stats.all_optimal = false;
+      out.core_.stats.solve_seconds = stage2_timer.Seconds();
+      DegradationInfo& deg = out.degradation_;
+      deg.degraded = true;
+      deg.solver = DegradationInfo::Solver::kGreedyFallback;
+      deg.interrupt_code = exact.status().code();
+      deg.budget_seconds = budget;
+      deg.reserved_seconds = reserved;
+      deg.exact_seconds = exact_seconds;
+      deg.fallback_seconds = fallback_timer.Seconds();
+      deg.objective = out.core_.explanations.log_probability;
+    }
+  }
   out.stage2_seconds_ = stage2_timer.Seconds();
 
   out.total_seconds_ = total_timer.Seconds();

@@ -15,6 +15,7 @@
 #define EXPLAIN3D_CORE_PIPELINE_H_
 
 #include <functional>
+#include <limits>
 #include <string>
 #include <utility>
 
@@ -96,6 +97,42 @@ using CalibrationOracle =
                             const CanonicalRelation&, const Table&,
                             const Table&)>;
 
+/// \brief Quality metadata of a degraded result (see
+/// Explain3DConfig::degradation_mode). Default state = not degraded;
+/// only a kFallbackGreedy run whose exact solve was interrupted by its
+/// budget populates the rest.
+struct DegradationInfo {
+  /// Which solver produced PipelineResult::core().explanations.
+  enum class Solver {
+    kExact,           ///< the optimal Section-3.2/4 solver ran to completion
+    kGreedyFallback,  ///< the Section-5.1.3 greedy baseline (anytime path)
+  };
+
+  bool degraded = false;
+  Solver solver = Solver::kExact;
+  /// Why the exact attempt stopped (kDeadlineExceeded for a fired
+  /// deadline/budget — the only code that degrades; user cancels always
+  /// fail the call instead).
+  StatusCode interrupt_code = StatusCode::kOk;
+
+  // --- budget-slice accounting (seconds) ---
+  double budget_seconds = 0;    ///< stage-2 budget observed at solve start
+  double reserved_seconds = 0;  ///< slice withheld for the fallback
+  double exact_seconds = 0;     ///< spent in the abandoned exact attempt
+  double fallback_seconds = 0;  ///< spent in the greedy fallback itself
+
+  /// Objective (Eq. 6 log-probability) of the returned fallback
+  /// explanations — equals core().explanations.log_probability.
+  double objective = 0;
+  /// Best known bound on the exact optimum, for an objective gap when
+  /// available; NaN when unknown. The current exact solvers deliberately
+  /// DISCARD incumbents on interruption (that is what keeps strict-mode
+  /// results bit-identical across machine speeds), so this is NaN today;
+  /// the field exists so a future bound-publishing solver can fill it
+  /// without an API break.
+  double incumbent_bound = std::numeric_limits<double>::quiet_NaN();
+};
+
 /// \brief Everything the pipeline produced, kept for inspection and
 /// stage 3.
 ///
@@ -151,8 +188,19 @@ class PipelineResult {
 
   /// M_tuple: the initial probabilistic tuple mapping (Section 5.1.2).
   const TupleMapping& initial_mapping() const { return initial_mapping_; }
-  /// Stage-2 output: optimal explanations + solve diagnostics.
+  /// Stage-2 output: explanations + solve diagnostics. Exact and optimal
+  /// unless degraded() — ALWAYS check degraded() before treating the
+  /// explanations as the optimum.
   const Explain3DResult& core() const { return core_; }
+
+  /// True when the explanations came from the anytime greedy fallback
+  /// instead of the exact solver (kFallbackGreedy only; see
+  /// Explain3DConfig::degradation_mode). Never silently true: strict
+  /// mode and in-budget fallback-mode runs report false.
+  bool degraded() const { return degradation_.degraded; }
+  /// Quality metadata of a degraded result (budget-slice accounting,
+  /// fallback solver, interrupt reason).
+  const DegradationInfo& degradation() const { return degradation_; }
 
   // --- per-stage wall-clock times (Section 5.2 reports both) ------------
 
@@ -176,6 +224,7 @@ class PipelineResult {
   ArtifactsPtr artifacts_;
   TupleMapping initial_mapping_;
   Explain3DResult core_;
+  DegradationInfo degradation_;
   double stage1_seconds_ = 0;
   double stage2_seconds_ = 0;
   double total_seconds_ = 0;

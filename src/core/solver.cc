@@ -119,8 +119,12 @@ UnitOutcome SolveUnit(const SubProblem& unit, const CanonicalRelation& t1,
     out.total_nodes += milp_solver.stats().nodes;
     if (sol.status == milp::SolveStatus::kInterrupted) {
       out.status = CheckCancel(cancel);
-      if (out.status.ok()) {  // token raced back to live? impossible; belt
-        out.status = Status::Cancelled("MILP sub-problem interrupted");
+      if (out.status.ok()) {
+        // Interrupted with a live token: the milp.node fault probe fired
+        // (common/fault.h) — the only other trigger of kInterrupted.
+        // Surface the transient, retryable code.
+        out.status =
+            Status::Unavailable("injected fault interrupted the MILP solve");
       }
       return out;
     }

@@ -1,6 +1,7 @@
 #include "matching/blocking.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <string>
 #include <unordered_map>
@@ -42,14 +43,34 @@ TokenIdSet KeyTokenIds(const InternedKey& ik) {
   return ids;
 }
 
+/// Cooperative bail-out inside ParallelFor bodies: polls the token once
+/// per kCancelStride indices and flips the shared stop flag so EVERY
+/// worker skips its remaining iterations (one poller suffices — the
+/// clock read is amortized, the flag is one relaxed load for the rest).
+/// The loop's output is truncated when this returns true; callers must
+/// poll the token after the loop and discard the partial result.
+constexpr size_t kLoopCancelStride = 512;
+inline bool LoopCancelled(const CancelToken* cancel, size_t index,
+                          std::atomic<bool>* stop) {
+  if (stop->load(std::memory_order_relaxed)) return true;
+  if (cancel != nullptr && index % kLoopCancelStride == 0 &&
+      !cancel->Check().ok()) {
+    stop->store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 CandidatePairs GenerateCandidates(const InternedRelation& t1,
                                   const InternedRelation& t2,
-                                  size_t num_threads) {
+                                  size_t num_threads,
+                                  const CancelToken* cancel) {
   // Ids only align within one dictionary; a mismatch would index the
   // postings vector out of bounds.
   E3D_CHECK(&t1.dict() == &t2.dict());
+  std::atomic<bool> stop{false};
 
   // Token-id and numeric-bucket inverted indexes over ALL key attributes
   // of T2 (keys may have different arity on the two sides). Postings are
@@ -58,8 +79,11 @@ CandidatePairs GenerateCandidates(const InternedRelation& t1,
   // postings stays serial in j order so every posting list is ascending
   // and identical for any thread count.
   std::vector<TokenIdSet> key_ids2(t2.size());
-  ParallelFor(num_threads, t2.size(),
-              [&](size_t j) { key_ids2[j] = KeyTokenIds(t2.key(j)); });
+  ParallelFor(num_threads, t2.size(), [&](size_t j) {
+    if (LoopCancelled(cancel, j, &stop)) return;
+    key_ids2[j] = KeyTokenIds(t2.key(j));
+  });
+  if (stop.load(std::memory_order_relaxed)) return {};
   std::vector<std::vector<size_t>> postings(t1.dict().size());
   std::unordered_map<int64_t, std::vector<size_t>> bucket_index;
   for (size_t j = 0; j < t2.size(); ++j) {
@@ -88,6 +112,7 @@ CandidatePairs GenerateCandidates(const InternedRelation& t1,
   // the same sorted, deduplicated output as a serial probe loop.
   std::vector<std::vector<size_t>> cand(t1.size());
   ParallelFor(num_threads, t1.size(), [&](size_t i) {
+    if (LoopCancelled(cancel, i, &stop)) return;
     std::vector<size_t>& hits = cand[i];
     for (const Value& v : t1.relation().tuples[i].key) {
       double num;
@@ -133,6 +158,8 @@ CandidatePairs GenerateCandidates(const InternedRelation& t1,
     hits.erase(std::unique(hits.begin(), hits.end()), hits.end());
   });
 
+  if (stop.load(std::memory_order_relaxed)) return {};
+
   size_t total = 0;
   for (const std::vector<size_t>& hits : cand) total += hits.size();
   CandidatePairs out;
@@ -145,12 +172,13 @@ CandidatePairs GenerateCandidates(const InternedRelation& t1,
 
 CandidatePairs GenerateCandidates(const CanonicalRelation& t1,
                                   const CanonicalRelation& t2,
-                                  size_t num_threads) {
+                                  size_t num_threads,
+                                  const CancelToken* cancel) {
   TokenDictionary dict;
   // Blocking never reads the whole-key bags.
   InternedRelation i1(t1, &dict, /*with_bags=*/false, num_threads);
   InternedRelation i2(t2, &dict, /*with_bags=*/false, num_threads);
-  return GenerateCandidates(i1, i2, num_threads);
+  return GenerateCandidates(i1, i2, num_threads, cancel);
 }
 
 }  // namespace explain3d

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancel.h"
 #include "matching/token_interning.h"
 #include "provenance/canonical.h"
 
@@ -44,12 +45,21 @@ using CandidatePairs = std::vector<std::pair<size_t, size_t>>;
 ///
 /// `num_threads` parallelizes index construction and probing on the
 /// shared pool; the candidate set is bit-identical for any thread count.
+///
+/// `cancel` (optional) is polled INSIDE the parallel loops at a fixed
+/// index stride, so a fired deadline interrupts blocking within
+/// microseconds instead of after the full O(candidates) pass. On a fired
+/// token the function bails early and returns a TRUNCATED pair list —
+/// the caller must poll the token after the call and discard the output
+/// (BuildStage1Artifacts does; partial candidate sets are never cached).
 CandidatePairs GenerateCandidates(const InternedRelation& t1,
                                   const InternedRelation& t2,
-                                  size_t num_threads = 1);
+                                  size_t num_threads = 1,
+                                  const CancelToken* cancel = nullptr);
 CandidatePairs GenerateCandidates(const CanonicalRelation& t1,
                                   const CanonicalRelation& t2,
-                                  size_t num_threads = 1);
+                                  size_t num_threads = 1,
+                                  const CancelToken* cancel = nullptr);
 
 /// All n*m pairs. Quadratic by construction — meant for tests and small
 /// inputs only; the up-front reserve is capped so absurd n1*n2 requests

@@ -1,22 +1,47 @@
 #include "matching/mapping_generator.h"
 
+#include <atomic>
+
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "matching/token_interning.h"
 
 namespace explain3d {
 
+namespace {
+
+/// Cooperative bail-out inside ParallelFor bodies (the twin of the
+/// blocking.cc helper): one worker per stride polls the clock, the rest
+/// read a relaxed flag. Truncated output must be discarded by the caller
+/// after polling the token.
+constexpr size_t kLoopCancelStride = 512;
+inline bool LoopCancelled(const CancelToken* cancel, size_t index,
+                          std::atomic<bool>* stop) {
+  if (stop->load(std::memory_order_relaxed)) return true;
+  if (cancel != nullptr && index % kLoopCancelStride == 0 &&
+      !cancel->Check().ok()) {
+    stop->store(true, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 std::vector<double> ScoreCandidates(const InternedRelation& i1,
                                     const InternedRelation& i2,
                                     const CandidatePairs& pairs,
                                     StringMetric metric, size_t num_threads,
-                                    double score_floor) {
+                                    double score_floor,
+                                    const CancelToken* cancel) {
   // Each pair's similarity is independent; slot k only writes sim[k], so
   // the scores are bit-identical for any thread count.
   const CanonicalRelation& t1 = i1.relation();
   const CanonicalRelation& t2 = i2.relation();
   std::vector<double> sim(pairs.size());
+  std::atomic<bool> stop{false};
   ParallelFor(ResolveThreads(num_threads), pairs.size(), [&](size_t k) {
+    if (LoopCancelled(cancel, k, &stop)) return;
     const auto& [i, j] = pairs[k];
     sim[k] = metric == StringMetric::kJaccard
                  ? InternedKeySimilarity(i1, i, i2, j)
@@ -37,7 +62,10 @@ Result<TupleMapping> GenerateInitialMapping(const InternedRelation& i1,
   // metrics (Jaro, Levenshtein) still need the strings.
   std::vector<double> sim = ScoreCandidates(i1, i2, pairs, opts.metric,
                                             opts.num_threads,
-                                            opts.score_floor);
+                                            opts.score_floor, opts.cancel);
+  // A fired token truncates the scoring loop; fail here before any of
+  // the partial scores can reach the calibrator or the mapping.
+  E3D_RETURN_IF_ERROR(CheckCancel(opts.cancel));
 
   // With a similarity floor, sub-floor candidates are dropped BEFORE
   // calibration — the calibrator only ever sees (and samples from) pairs
@@ -78,14 +106,17 @@ Result<TupleMapping> GenerateInitialMapping(const InternedRelation& i1,
     SimilarityCalibrator calib(opts.calibration_buckets);
     // 0 = not sampled, 1 = sampled true label, 2 = sampled false label.
     std::vector<uint8_t> label(cand.size());
+    std::atomic<bool> stop{false};
     ParallelFor(ResolveThreads(opts.num_threads), cand.size(),
                 [&](size_t k) {
+                  if (LoopCancelled(opts.cancel, k, &stop)) return;
                   if (!CounterBernoulli(opts.seed, k, opts.label_fraction)) {
                     label[k] = 0;
                   } else {
                     label[k] = gold.count(cand[k]) > 0 ? 1 : 2;
                   }
                 });
+    E3D_RETURN_IF_ERROR(CheckCancel(opts.cancel));
     for (size_t k = 0; k < cand.size(); ++k) {
       if (label[k] != 0) calib.AddSample(sim[k], label[k] == 1);
     }
@@ -123,8 +154,10 @@ Result<TupleMapping> GenerateInitialMapping(const CanonicalRelation& t1,
   InternedRelation interned2(t2, &dict, need_bags, threads);
 
   CandidatePairs pairs =
-      opts.use_blocking ? GenerateCandidates(interned1, interned2, threads)
-                        : AllPairs(t1.size(), t2.size());
+      opts.use_blocking
+          ? GenerateCandidates(interned1, interned2, threads, opts.cancel)
+          : AllPairs(t1.size(), t2.size());
+  E3D_RETURN_IF_ERROR(CheckCancel(opts.cancel));
 
   return GenerateInitialMapping(interned1, interned2, pairs, gold, opts);
 }

@@ -13,6 +13,7 @@
 #include <set>
 #include <utility>
 
+#include "common/cancel.h"
 #include "common/status.h"
 #include "matching/blocking.h"
 #include "matching/similarity.h"
@@ -53,6 +54,13 @@ struct MappingGenOptions {
   /// (hardware_concurrency, or the EXPLAIN3D_NUM_THREADS override),
   /// 1 = serial. The mapping is bit-identical for every value.
   size_t num_threads = 0;
+  /// Optional cooperative cancellation (must outlive the call; the
+  /// pipeline wires PipelineInput::cancel here). Polled INSIDE the
+  /// scoring / calibration-labeling parallel loops at a fixed index
+  /// stride and between phases, so a fired deadline interrupts mapping
+  /// generation within microseconds — GenerateInitialMapping then fails
+  /// with the token's Status and no partial mapping escapes.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Gold evidence pairs, as (index into T1, index into T2).
@@ -66,11 +74,15 @@ using GoldPairs = std::set<std::pair<size_t, size_t>>;
 /// `score_floor` arms the metric's early exit: slots that are provably
 /// below the floor may hold an upper bound of the true similarity (still
 /// below the floor) instead of the exact value — callers must drop them.
+/// A fired `cancel` token bails the loop early and leaves the remaining
+/// slots zero — callers must poll the token after the call and discard
+/// the output (GenerateInitialMapping does).
 std::vector<double> ScoreCandidates(const InternedRelation& i1,
                                     const InternedRelation& i2,
                                     const CandidatePairs& pairs,
                                     StringMetric metric, size_t num_threads,
-                                    double score_floor = 0.0);
+                                    double score_floor = 0.0,
+                                    const CancelToken* cancel = nullptr);
 
 /// Generates the initial probabilistic tuple mapping between two canonical
 /// relations. `gold` supplies labels for calibration; when empty, raw

@@ -5,6 +5,7 @@
 #include <memory>
 #include <queue>
 
+#include "common/fault.h"
 #include "common/timer.h"
 
 namespace explain3d {
@@ -76,7 +77,12 @@ Solution MilpSolver::Run(const std::vector<double>* warm_start) {
   while (!open.empty()) {
     // Cancellation beats the limits: limits return a (deterministic, for
     // max_nodes) incumbent, a fired token abandons the search outright.
-    if (opts_.cancel != nullptr && !opts_.cancel->Check().ok()) {
+    // The milp.node fault probe (common/fault.h) shares the abandon path:
+    // an injected fault interrupts the search exactly like a fired token,
+    // and the solver maps a kInterrupted with a LIVE token to
+    // kUnavailable — the transient, retryable failure shape.
+    if ((opts_.cancel != nullptr && !opts_.cancel->Check().ok()) ||
+        FAULT_FIRED("milp.node")) {
       best.status = SolveStatus::kInterrupted;
       best.values.clear();
       best.objective = -kInfinity;

@@ -1,8 +1,11 @@
 #include "service/service.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
+#include "common/fault.h"
+#include "common/rng.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 
@@ -47,6 +50,18 @@ LatencySummary Summarize(std::vector<double> v) {
 }
 
 }  // namespace
+
+const char* ServiceHealthName(ServiceHealth health) {
+  switch (health) {
+    case ServiceHealth::kHealthy:
+      return "healthy";
+    case ServiceHealth::kDegraded:
+      return "degraded";
+    case ServiceHealth::kOverloaded:
+      return "overloaded";
+  }
+  return "unknown";
+}
 
 // --- DatabaseHandle ---------------------------------------------------------
 
@@ -126,6 +141,9 @@ Explain3DService::Explain3DService(ServiceOptions options)
   // can hold max_concurrency_ of them (nested ParallelFor calls remain
   // deadlock-free regardless — batches are caller-participating).
   SharedPool(max_concurrency_);
+  if (options_.watchdog_interval_seconds > 0) {
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
+  }
 }
 
 Explain3DService::~Explain3DService() {
@@ -154,8 +172,16 @@ Explain3DService::~Explain3DService() {
   // cancel_running_on_destruction their tokens fire first, bounding the
   // wait to the cooperative cancellation latency.
   for (const TicketPtr& t : running) t->Cancel();
-  std::unique_lock<std::mutex> lock(mu_);
-  idle_cv_.wait(lock, [this] { return active_runners_ == 0; });
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return active_runners_ == 0; });
+  }
+  // Stop the watchdog only after the drain: draining runs still carry
+  // live deadlines that deserve firing.
+  if (watchdog_.joinable()) {
+    watchdog_stop_.Notify();
+    watchdog_.join();
+  }
 }
 
 DatabaseHandle Explain3DService::RegisterDatabase(const std::string& name,
@@ -178,6 +204,12 @@ DatabaseHandle Explain3DService::RegisterDatabase(const std::string& name,
     handle = DatabaseHandle{slot.id, slot.generation};
   }
   if (!retired_tag.empty()) {
+    // Fault probe: a fired registry.retire SKIPS the eager retirement.
+    // Benign by design — cache keys embed the generation, so the stale
+    // entries can never serve a new-handle request; they just linger
+    // until LRU pressure reclaims them. The stress suite arms this to
+    // prove correctness never depended on the eager sweep.
+    if (FAULT_FIRED("registry.retire")) return handle;
     // Retire outside the registry lock: EraseIf drops only the cache's
     // references, so results already returned keep their artifacts, and
     // in-flight requests resolved against the old generation keep their
@@ -276,7 +308,21 @@ TicketPtr Explain3DService::Submit(ExplanationRequest request,
           }
         }
       }
-      if (!shutdown_reject && !admission_reject) {
+      NoteAdmissionLocked(admission_reject);
+      if (!admission_reject) {
+        // Overload relief valve: when the service is kOverloaded, flip an
+        // incoming deadline-carrying kStrict request to the greedy
+        // fallback BEFORE it queues, so it can still answer inside its
+        // deadline instead of expiring empty-handed in the backlog. The
+        // result stays explicitly marked degraded().
+        if (options_.auto_fallback_on_overload && deadline > 0 &&
+            ticket->request_.config.degradation_mode ==
+                DegradationMode::kStrict &&
+            EvaluateHealthLocked() == ServiceHealth::kOverloaded) {
+          ticket->request_.config.degradation_mode =
+              DegradationMode::kFallbackGreedy;
+          auto_degraded_.fetch_add(1);
+        }
         ticket->seq_ = next_seq_++;
         bands_[options.priority].push_back(ticket);
         ++queued_tickets_;
@@ -411,6 +457,7 @@ void Explain3DService::Process(const TicketPtr& ticket) {
   Result<std::shared_ptr<const Database>> db2 =
       db1.ok() ? ResolveHandle(req.db2)
                : Result<std::shared_ptr<const Database>>(db1.status());
+  bool transient_seen = false;
   Result<PipelineResult> outcome =
       !db1.ok() ? Result<PipelineResult>(db1.status())
       : !db2.ok()
@@ -441,7 +488,53 @@ void Explain3DService::Process(const TicketPtr& ticket) {
               // at construction), never a single request's.
               Explain3DConfig config = req.config;
               config.cache_budget_bytes = 0;
-              return RunExplain3D(input, config);
+              // Retry loop (see RetryPolicy): re-run TRANSIENT failures
+              // (kUnavailable only — injected faults, dropped cache
+              // inserts) up to max_attempts times with interruptible,
+              // deterministically-jittered exponential backoff. Retried
+              // reruns rebuild from the same inputs, so a success on any
+              // attempt is bit-identical to a first-attempt success.
+              const size_t max_attempts =
+                  std::max<size_t>(size_t{1}, req.retry.max_attempts);
+              for (size_t attempt = 0;; ++attempt) {
+                // The claim probe models a worker dying between claiming
+                // a request and finishing it — the classic
+                // at-least-once-delivery transient.
+                Status claim_fault = FAULT_POINT("service.claim");
+                Result<PipelineResult> r =
+                    claim_fault.ok()
+                        ? RunExplain3D(input, config)
+                        : Result<PipelineResult>(std::move(claim_fault));
+                if (r.ok() ||
+                    r.status().code() != StatusCode::kUnavailable) {
+                  return r;
+                }
+                transient_seen = true;
+                // Never retry past the policy, and NEVER once the
+                // ticket's token fired: a user cancel or an expired
+                // deadline wins immediately.
+                if (attempt + 1 >= max_attempts ||
+                    !CheckCancel(cancel).ok()) {
+                  return r;
+                }
+                double backoff = std::min(
+                    req.retry.initial_backoff_seconds *
+                        std::pow(req.retry.backoff_multiplier,
+                                 static_cast<double>(attempt)),
+                    req.retry.max_backoff_seconds);
+                // Deterministic jitter in [1-j, 1+j], hashed from
+                // (ticket seq, attempt): replayed schedules back off
+                // identically.
+                backoff *= 1.0 + req.retry.jitter_fraction *
+                                     (2.0 * CounterUniform(ticket->seq_,
+                                                           attempt) -
+                                      1.0);
+                counters_->retries.fetch_add(1);
+                // Sleep on the token's event, not the clock: a cancel or
+                // deadline mid-backoff aborts the wait immediately.
+                cancel->fired_event().WaitForNotificationWithTimeout(
+                    std::max(0.0, backoff));
+              }
             }();
 
   // Account fully before completing: a caller woken by Wait() must see
@@ -462,6 +555,10 @@ void Explain3DService::Process(const TicketPtr& ticket) {
   // with those would collapse the estimate toward zero and silently
   // disable admission control.
   bool ran_pipeline = db1.ok() && db2.ok();
+  // Health signal: did this claimed run observe any transient failure
+  // (injected fault, retried attempt)? Fed for pipeline runs only —
+  // stale-handle rejections say nothing about service pressure.
+  if (ran_pipeline) NoteRunTransient(transient_seen);
   if (code == StatusCode::kCancelled && ticket_fired) {
     counters_->cancelled.fetch_add(1);
     if (ran_pipeline) RecordRunSeconds(run_s);
@@ -470,6 +567,14 @@ void Explain3DService::Process(const TicketPtr& ticket) {
     if (ran_pipeline) RecordRunSeconds(run_s);
   } else {
     counters_->completed.fetch_add(1);
+    // Solver split (completed == exact + degraded): OK results marked
+    // degraded() came from the greedy fallback; everything else —
+    // including failed completions — counts as the exact path.
+    if (outcome.ok() && outcome.value().degraded()) {
+      counters_->degraded.fetch_add(1);
+    } else {
+      counters_->exact.fetch_add(1);
+    }
     if (!outcome.ok()) {
       counters_->failed.fetch_add(1);
       if (ran_pipeline) RecordRunSeconds(run_s);
@@ -480,6 +585,69 @@ void Explain3DService::Process(const TicketPtr& ticket) {
     }
   }
   ticket->Complete(std::move(outcome));
+}
+
+void Explain3DService::WatchdogLoop() {
+  while (!watchdog_stop_.WaitForNotificationWithTimeout(
+      options_.watchdog_interval_seconds)) {
+    // Snapshot the running tickets' tokens under mu_, then Check()
+    // outside it — Check can take the token's own lock on first deadline
+    // discovery, and this thread must never nest that under mu_.
+    std::vector<std::shared_ptr<CancelToken>> tokens;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      tokens.reserve(running_tickets_.size());
+      for (const TicketPtr& t : running_tickets_) {
+        tokens.push_back(t->token_);
+      }
+    }
+    for (const std::shared_ptr<CancelToken>& token : tokens) {
+      if (token == nullptr) continue;
+      // Check() FIRES a token whose deadline lapsed between the
+      // pipeline's cooperative polls: waiters on fired_event wake now
+      // instead of at the next natural poll. Count only the transitions
+      // this thread caused.
+      bool was_fired = token->fired_event().HasBeenNotified();
+      if (!token->Check().ok() && !was_fired) {
+        watchdog_fires_.fetch_add(1);
+      }
+    }
+  }
+}
+
+ServiceHealth Explain3DService::EvaluateHealthLocked() const {
+  // See the ServiceHealth comment for the exact thresholds. Memoryless:
+  // recomputed from the windows on every read, so recovery is automatic.
+  double width = static_cast<double>(max_concurrency_);
+  double depth = static_cast<double>(queued_tickets_);
+  size_t rejections = 0;
+  for (uint8_t r : recent_admissions_) rejections += r;
+  if (depth >= options_.overload_queue_factor * width ||
+      (recent_admissions_.size() >= 8 &&
+       2 * rejections >= recent_admissions_.size())) {
+    return ServiceHealth::kOverloaded;
+  }
+  bool any_transient = false;
+  for (uint8_t t : recent_transients_) any_transient |= (t != 0);
+  if (depth >= options_.degrade_queue_factor * width || any_transient) {
+    return ServiceHealth::kDegraded;
+  }
+  return ServiceHealth::kHealthy;
+}
+
+void Explain3DService::NoteAdmissionLocked(bool rejected) {
+  recent_admissions_.push_back(rejected ? 1 : 0);
+  if (recent_admissions_.size() > kHealthWindow) {
+    recent_admissions_.pop_front();
+  }
+}
+
+void Explain3DService::NoteRunTransient(bool transient) {
+  std::lock_guard<std::mutex> lock(mu_);
+  recent_transients_.push_back(transient ? 1 : 0);
+  if (recent_transients_.size() > kHealthWindow) {
+    recent_transients_.pop_front();
+  }
 }
 
 void Explain3DService::LatencyRing::Add(double v, size_t window) {
@@ -563,6 +731,7 @@ ServiceStats Explain3DService::Stats() const {
       s.queue_depth += depth;
     }
     s.running = running_requests_;
+    s.health = EvaluateHealthLocked();
   }
   {
     std::lock_guard<std::mutex> lock(registry_mu_);
@@ -574,6 +743,12 @@ ServiceStats Explain3DService::Stats() const {
   s.deadline_exceeded = counters_->deadline_exceeded.load();
   s.rejected = counters_->rejected.load();
   s.failed = counters_->failed.load();
+  s.completed_exact = counters_->exact.load();
+  s.completed_degraded = counters_->degraded.load();
+  s.retries = counters_->retries.load();
+  s.watchdog_fires = watchdog_fires_.load();
+  s.auto_degraded = auto_degraded_.load();
+  s.fault_fires = FaultInjector::Instance().TotalFires();
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     s.queue_seconds = Summarize(lat_queue_.samples);

@@ -47,6 +47,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -81,6 +82,28 @@ struct DatabaseHandle {
   bool operator!=(const DatabaseHandle& o) const { return !(*this == o); }
 };
 
+/// \brief Bounded, jittered-exponential-backoff retry of TRANSIENT
+/// failures, per request.
+///
+/// A worker re-runs the pipeline only when the attempt failed with
+/// kUnavailable — the code reserved for transient conditions (injected
+/// faults from common/fault.h, dropped cache inserts, interrupted-by-
+/// fault solves). Permanent failures (parse errors, invalid handles) are
+/// never retried, and NEITHER is any attempt after the ticket's token
+/// fired: a user cancel or an expired deadline always wins immediately.
+/// Backoff sleeps are interruptible by the token's fired event. Jitter
+/// is deterministic — hashed from (ticket sequence, attempt) with the
+/// counter RNG — so a replayed schedule backs off identically.
+struct RetryPolicy {
+  /// Total attempts, including the first; 1 (default) disables retry.
+  size_t max_attempts = 1;
+  double initial_backoff_seconds = 0.01;  ///< before the first retry
+  double backoff_multiplier = 2.0;        ///< per additional retry
+  double max_backoff_seconds = 0.5;       ///< cap on a single backoff
+  /// Each backoff is scaled by a factor uniform in [1-j, 1+j].
+  double jitter_fraction = 0.2;
+};
+
 /// \brief One explanation request: the handle-based analogue of
 /// PipelineInput plus the per-request solver config and deadline.
 struct ExplanationRequest {
@@ -102,6 +125,9 @@ struct ExplanationRequest {
   /// pipeline's cancellation points — down to solver node granularity —
   /// resolving kDeadlineExceeded within milliseconds of expiry.
   double deadline_seconds = 0;
+  /// Transient-failure retry policy (default: no retry). See RetryPolicy
+  /// for what qualifies as transient.
+  RetryPolicy retry;
 };
 
 /// \brief Per-submit scheduling knobs — how to run a request, as opposed
@@ -124,7 +150,12 @@ struct SubmitOptions {
 /// Wait() always observes its own request already counted. Every
 /// submitted request lands in exactly one terminal bucket:
 ///   submitted == completed + cancelled + deadline_exceeded + rejected
-/// once all tickets are terminal (the stress suite asserts this).
+/// once all tickets are terminal, and every completion is classified by
+/// which solver produced it:
+///   completed == exact + degraded
+/// (degraded = OK results marked PipelineResult::degraded(); everything
+/// else, including failed completions, counts as exact). The stress
+/// suite asserts both balances.
 struct ServiceCounters {
   std::atomic<size_t> submitted{0};
   std::atomic<size_t> completed{0};
@@ -132,6 +163,9 @@ struct ServiceCounters {
   std::atomic<size_t> deadline_exceeded{0};
   std::atomic<size_t> rejected{0};  ///< refused at admission (kUnavailable)
   std::atomic<size_t> failed{0};    ///< subset of completed (non-OK result)
+  std::atomic<size_t> exact{0};     ///< completed via the exact solver
+  std::atomic<size_t> degraded{0};  ///< completed OK via the greedy fallback
+  std::atomic<size_t> retries{0};   ///< transient-failure re-attempts run
 };
 
 /// \brief Future for one submitted request.
@@ -206,6 +240,28 @@ class RequestTicket {
 
 using TicketPtr = std::shared_ptr<RequestTicket>;
 
+/// \brief Coarse service condition, computed from queue depth, recent
+/// admission rejections, and recent transient failures (injected faults
+/// / retries). Exposed through ServiceStats::health and consulted by
+/// Submit under ServiceOptions::auto_fallback_on_overload.
+///
+/// With W = max_concurrency and the factors from ServiceOptions:
+///   kOverloaded: queue depth >= overload_queue_factor × W, or at least
+///                half of the last kHealthWindow admission decisions
+///                were rejections (once >= 8 decisions are in the
+///                window);
+///   kDegraded:   queue depth >= degrade_queue_factor × W, or any of
+///                the last kHealthWindow claimed runs hit a transient
+///                failure (injected fault, retried attempt);
+///   kHealthy:    everything else.
+/// The machine is memoryless by design — states are recomputed from the
+/// sliding windows on every read, so recovery is automatic when the
+/// pressure signal leaves the window.
+enum class ServiceHealth { kHealthy = 0, kDegraded = 1, kOverloaded = 2 };
+
+/// Human-readable name ("healthy" / "degraded" / "overloaded").
+const char* ServiceHealthName(ServiceHealth health);
+
 /// Percentile summary of one latency series (seconds).
 struct LatencySummary {
   size_t count = 0;
@@ -233,6 +289,23 @@ struct ServiceStats {
   size_t deadline_exceeded = 0;
   size_t rejected = 0;   ///< refused at admission, never queued or run
   size_t failed = 0;     ///< completed with a non-OK pipeline status
+  /// Completion split by solver: completed == completed_exact +
+  /// completed_degraded (see ServiceCounters).
+  size_t completed_exact = 0;
+  size_t completed_degraded = 0;  ///< OK results marked degraded()
+  // Resilience.
+  size_t retries = 0;         ///< transient-failure re-attempts run
+  size_t watchdog_fires = 0;  ///< tokens the watchdog fired (stalled polls)
+  /// Requests whose config was auto-switched to kFallbackGreedy at
+  /// Submit because the service was kOverloaded (see
+  /// ServiceOptions::auto_fallback_on_overload).
+  size_t auto_degraded = 0;
+  /// Injected-fault fires observed process-wide (FaultInjector counter;
+  /// 0 unless a fault spec is armed).
+  uint64_t fault_fires = 0;
+  /// Current health state (recomputed from the sliding windows at every
+  /// Stats call; see ServiceHealth).
+  ServiceHealth health = ServiceHealth::kHealthy;
   // Gauges.
   /// Submitted, not yet claimed by a worker, and still pending (tickets
   /// cancelled while queued are excluded — they are already terminal).
@@ -305,6 +378,30 @@ struct ServiceOptions {
   /// available until a first request completes (such requests are
   /// admitted). false = always queue.
   bool admission_control = true;
+  /// Poll cadence of the wall-clock watchdog thread, which walks the
+  /// RUNNING tickets' tokens and Check()s them — a deadline that expired
+  /// while the pipeline sat between cooperative polls (a long O(data)
+  /// build step) is thereby FIRED by the watchdog: waiters on the
+  /// token's fired_event wake immediately and every subsequent poll
+  /// fails fast, instead of the expiry going unnoticed until the next
+  /// natural poll. Fires are counted in ServiceStats::watchdog_fires.
+  /// <= 0 disables the thread.
+  double watchdog_interval_seconds = 0.05;
+  /// When the service is kOverloaded at Submit, flip an incoming
+  /// deadline-carrying kStrict request to
+  /// DegradationMode::kFallbackGreedy, so it can still answer inside its
+  /// deadline with the greedy fallback instead of joining the backlog
+  /// and expiring empty-handed. Counted in ServiceStats::auto_degraded;
+  /// results stay explicitly marked degraded(). Requests that carry no
+  /// deadline, or whose config already left kStrict, are never touched.
+  /// false = never override a request's config.
+  bool auto_fallback_on_overload = true;
+  /// Queue-depth multiples of max_concurrency at which health leaves
+  /// kHealthy (see ServiceHealth): depth >= degrade_queue_factor × W is
+  /// at least kDegraded, depth >= overload_queue_factor × W is
+  /// kOverloaded.
+  double degrade_queue_factor = 2.0;
+  double overload_queue_factor = 4.0;
 };
 
 /// \brief The serving facade (see file comment).
@@ -378,8 +475,20 @@ class Explain3DService {
 
   /// Worker body: drain the queue until empty or shutdown.
   void RunnerLoop();
-  /// Runs one claimed ticket end to end.
+  /// Runs one claimed ticket end to end (including its retry loop).
   void Process(const TicketPtr& ticket);
+  /// Watchdog body: periodically Check() the running tickets' tokens so
+  /// expired deadlines fire even when cooperative polls stall.
+  void WatchdogLoop();
+  /// Health state from the queue gauge and sliding windows. Caller
+  /// holds mu_.
+  ServiceHealth EvaluateHealthLocked() const;
+  /// Slides one admission decision into the health window. Caller
+  /// holds mu_.
+  void NoteAdmissionLocked(bool rejected);
+  /// Slides one claimed run's transient-failure flag into the health
+  /// window (takes mu_).
+  void NoteRunTransient(bool transient);
   /// Pops the next ticket per the scheduling policy (highest band FIFO,
   /// anti-starvation every k-th claim). Caller holds mu_; queue must be
   /// non-empty.
@@ -421,6 +530,19 @@ class Explain3DService {
   std::vector<TicketPtr> running_tickets_;
   bool shutdown_ = false;
   std::condition_variable idle_cv_;  ///< fires when a runner exits
+
+  // Health windows (guarded by mu_): the most recent kHealthWindow
+  // admission decisions (1 = rejected) and claimed-run transient flags
+  // (1 = the run hit at least one kUnavailable attempt).
+  static constexpr size_t kHealthWindow = 32;
+  std::deque<uint8_t> recent_admissions_;
+  std::deque<uint8_t> recent_transients_;
+
+  // Watchdog (started by the constructor when the interval is > 0).
+  std::thread watchdog_;
+  Notification watchdog_stop_;
+  std::atomic<size_t> watchdog_fires_{0};
+  std::atomic<size_t> auto_degraded_{0};
 
   // Lifecycle counters (shared with tickets; see ServiceCounters).
   std::shared_ptr<ServiceCounters> counters_ =
