@@ -1,0 +1,152 @@
+// Per-tier kernel microbenchmarks: the same input through every compiled
+// ISA tier, so the dispatch win (and any regression in one tier) is
+// visible in isolation from the stage-1 pipeline around it. Unsupported
+// tiers skip themselves, so one binary reports whatever the host can run.
+//
+//   ./bench_simd --benchmark_format=json > BENCH_simd.json
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "simd/dispatch.h"
+#include "simd/intersect.h"
+#include "simd/levenshtein.h"
+
+namespace explain3d {
+namespace {
+
+using simd::IsaTier;
+
+bool SkipUnsupported(benchmark::State& state, IsaTier tier) {
+  if (simd::TierSupported(tier)) return false;
+  state.SkipWithError("tier not supported on this host");
+  return true;
+}
+
+std::vector<uint32_t> RandomSet(Rng* rng, size_t n, uint32_t universe) {
+  std::vector<uint32_t> v;
+  for (size_t i = 0; i < n; ++i) {
+    v.push_back(static_cast<uint32_t>(rng->Index(universe)));
+  }
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+// Args: {tier, set size}. Many distinct set pairs defeat the branch
+// predictor the way real candidate streams do.
+void BM_IntersectTier(benchmark::State& state) {
+  IsaTier tier = static_cast<IsaTier>(state.range(0));
+  if (SkipUnsupported(state, tier)) return;
+  size_t n = static_cast<size_t>(state.range(1));
+  Rng rng(1234);
+  constexpr size_t kPairs = 512;
+  std::vector<std::vector<uint32_t>> a, b;
+  for (size_t k = 0; k < kPairs; ++k) {
+    a.push_back(RandomSet(&rng, n, static_cast<uint32_t>(4 * n + 8)));
+    b.push_back(RandomSet(&rng, n, static_cast<uint32_t>(4 * n + 8)));
+  }
+  size_t k = 0;
+  for (auto _ : state) {
+    size_t c = simd::IntersectCountTier(
+        tier, Span<const uint32_t>(a[k].data(), a[k].size()),
+        Span<const uint32_t>(b[k].data(), b[k].size()));
+    benchmark::DoNotOptimize(c);
+    k = (k + 1) % kPairs;
+  }
+}
+BENCHMARK(BM_IntersectTier)
+    ->Args({0, 8})
+    ->Args({1, 8})
+    ->Args({0, 64})
+    ->Args({1, 64})
+    ->Args({2, 64})
+    ->Args({0, 1024})
+    ->Args({1, 1024})
+    ->Args({2, 1024});
+
+// Skewed sizes: the galloping path (identical algorithm at every tier).
+void BM_IntersectGallop(benchmark::State& state) {
+  size_t big = static_cast<size_t>(state.range(0));
+  Rng rng(77);
+  std::vector<uint32_t> a = RandomSet(&rng, 8, 1u << 20);
+  std::vector<uint32_t> b = RandomSet(&rng, big, 1u << 20);
+  for (auto _ : state) {
+    size_t c = simd::IntersectCountTier(
+        IsaTier::kScalar, Span<const uint32_t>(a.data(), a.size()),
+        Span<const uint32_t>(b.data(), b.size()));
+    benchmark::DoNotOptimize(c);
+  }
+}
+BENCHMARK(BM_IntersectGallop)->Arg(1024)->Arg(16384);
+
+// The dispatched entry point the scoring loop actually calls, at the
+// typical key-cell shape (a handful of tokens — the all-pairs path).
+void BM_IntersectDispatchedSmall(benchmark::State& state) {
+  Rng rng(9);
+  constexpr size_t kPairs = 512;
+  std::vector<std::vector<uint32_t>> a, b;
+  for (size_t k = 0; k < kPairs; ++k) {
+    a.push_back(RandomSet(&rng, 5, 40));
+    b.push_back(RandomSet(&rng, 5, 40));
+  }
+  size_t k = 0;
+  for (auto _ : state) {
+    size_t c = simd::IntersectCount(
+        Span<const uint32_t>(a[k].data(), a[k].size()),
+        Span<const uint32_t>(b[k].data(), b[k].size()));
+    benchmark::DoNotOptimize(c);
+    k = (k + 1) % kPairs;
+  }
+}
+BENCHMARK(BM_IntersectDispatchedSmall);
+
+// Args: {tier, batch size}. One query row against a batch of candidate
+// strings — the stage-1 Levenshtein scoring shape.
+void BM_LevenshteinTier(benchmark::State& state) {
+  IsaTier tier = static_cast<IsaTier>(state.range(0));
+  if (SkipUnsupported(state, tier)) return;
+  size_t n = static_cast<size_t>(state.range(1));
+  Rng rng(55);
+  auto random_string = [&](size_t len) {
+    std::string s;
+    for (size_t i = 0; i < len; ++i) {
+      s += static_cast<char>('a' + rng.Index(26));
+    }
+    return s;
+  };
+  std::string query = random_string(32);
+  std::vector<std::string> cands;
+  for (size_t i = 0; i < n; ++i) cands.push_back(random_string(32));
+  std::vector<const char*> ptrs;
+  std::vector<size_t> lens;
+  for (const std::string& c : cands) {
+    ptrs.push_back(c.data());
+    lens.push_back(c.size());
+  }
+  std::vector<uint32_t> out(n);
+  for (auto _ : state) {
+    simd::LevenshteinBatchTier(tier, query.data(), query.size(), ptrs.data(),
+                               lens.data(), n, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_LevenshteinTier)
+    ->Args({0, 16})
+    ->Args({1, 16})
+    ->Args({2, 16})
+    ->Args({0, 256})
+    ->Args({1, 256})
+    ->Args({2, 256});
+
+}  // namespace
+}  // namespace explain3d
+
+BENCHMARK_MAIN();

@@ -1,0 +1,31 @@
+// Prints the SIMD kernel dispatch decision — which ISA tiers this build
+// compiled in, what CPUID detected, and which tier the kernels will run.
+// CI uses it as the dispatch-logging smoke: one line per tier plus the
+// active selection, parseable with grep. Exit code 0 always (dispatch
+// cannot fail; the scalar tier is unconditional).
+//
+//   $ ./simd_info
+//   tier scalar supported=yes
+//   tier avx2 supported=yes
+//   tier avx512 supported=no
+//   detected=avx2 active=avx2
+//
+// EXPLAIN3D_SIMD_TIER=scalar|avx2|avx512 clamps the selection down;
+// building with -DEXPLAIN3D_SIMD=OFF pins everything to scalar.
+
+#include <cstdio>
+#include <initializer_list>
+
+#include "simd/dispatch.h"
+
+int main() {
+  using explain3d::simd::IsaTier;
+  for (IsaTier t : {IsaTier::kScalar, IsaTier::kAvx2, IsaTier::kAvx512}) {
+    std::printf("tier %s supported=%s\n", explain3d::simd::TierName(t),
+                explain3d::simd::TierSupported(t) ? "yes" : "no");
+  }
+  std::printf("detected=%s active=%s\n",
+              explain3d::simd::TierName(explain3d::simd::DetectedTier()),
+              explain3d::simd::TierName(explain3d::simd::ActiveTier()));
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Minimal non-owning view over a contiguous array (C++17 stand-in for
+// std::span). The columnar stage-1 layout (matching/token_interning.h)
+// hands out Span<const uint32_t> views into its flat CSR arrays; the SIMD
+// kernels (src/simd/) consume them directly.
+//
+// A Span never owns memory: the viewed array must outlive the view.
+
+#ifndef EXPLAIN3D_COMMON_SPAN_H_
+#define EXPLAIN3D_COMMON_SPAN_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace explain3d {
+
+template <typename T>
+class Span {
+ public:
+  constexpr Span() = default;
+  constexpr Span(T* data, size_t size) : data_(data), size_(size) {}
+  /// Views a whole vector (non-const vectors convert to Span<const T>
+  /// through the element pointer).
+  template <typename U>
+  Span(const std::vector<U>& v) : data_(v.data()), size_(v.size()) {}
+
+  constexpr T* data() const { return data_; }
+  constexpr size_t size() const { return size_; }
+  constexpr bool empty() const { return size_ == 0; }
+  constexpr T& operator[](size_t i) const { return data_[i]; }
+  constexpr T* begin() const { return data_; }
+  constexpr T* end() const { return data_ + size_; }
+  constexpr T& front() const { return data_[0]; }
+  constexpr T& back() const { return data_[size_ - 1]; }
+
+ private:
+  T* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_COMMON_SPAN_H_

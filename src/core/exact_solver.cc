@@ -38,7 +38,9 @@ class AssignmentBnb {
                 size_t max_nodes, const CancelToken* cancel)
       : inst_(inst), prob_(prob), max_nodes_(max_nodes), cancel_(cancel) {}
 
-  void Run() {
+  /// Builds the root search state and the admissible root bound; no
+  /// search. Cheap — O(tuples + options).
+  void Prepare() {
     size_t na = inst_.a_global.size();
     size_t nb = inst_.b_global.size();
     b_sum_.assign(nb, 0.0);
@@ -48,11 +50,11 @@ class AssignmentBnb {
       for (size_t j : neigh) ++remaining_adj_[j];
     }
     // B tuples with no incident edges are finalized (removed) up front.
-    double score = 0;
+    root_score_ = 0;
     unfinalized_ = 0;
     for (size_t j = 0; j < nb; ++j) {
       if (remaining_adj_[j] == 0) {
-        score += prob_.a;
+        root_score_ += prob_.a;
       } else {
         ++unfinalized_;
       }
@@ -66,13 +68,24 @@ class AssignmentBnb {
       }
       suffix_opt_[k] = suffix_opt_[k + 1] + best;
     }
+    // Same formula as the per-node pruning bound, evaluated at the root:
+    // an upper bound on anything the search could ever find.
+    root_bound_ = root_score_ + suffix_opt_[0] +
+                  prob_.c * static_cast<double>(unfinalized_);
     choice_.assign(na, nullptr);
     best_choice_.assign(na, nullptr);
     best_score_ = kNegInf;
-    Dfs(0, score);
+  }
+
+  void Run() {
+    Prepare();
+    Dfs(0, root_score_);
   }
 
   double best_score() const { return best_score_; }
+  /// Valid after Prepare()/Run(): admissible upper bound on the optimum
+  /// (excludes inst_.const_edges, like best_score).
+  double root_bound() const { return root_bound_; }
   const std::vector<const Option*>& best_choice() const {
     return best_choice_;
   }
@@ -163,16 +176,19 @@ class AssignmentBnb {
   std::vector<const Option*> choice_;
   std::vector<const Option*> best_choice_;
   size_t unfinalized_ = 0;
+  double root_score_ = 0;
+  double root_bound_ = kNegInf;
   double best_score_ = kNegInf;
 };
 
-}  // namespace
-
-Result<ExactSolveResult> SolveComponentExact(
-    const CanonicalRelation& t1, const CanonicalRelation& t2,
-    const TupleMapping& mapping, const AttributeMatch& attr,
-    const ProbabilityModel& prob, const SubProblem& sub, size_t max_nodes,
-    const CancelToken* cancel) {
+/// Builds the assignment instance shared by the search and the search-free
+/// bound. Fails when no side is degree-capped or a match dangles.
+Result<Instance> BuildInstance(const CanonicalRelation& t1,
+                               const CanonicalRelation& t2,
+                               const TupleMapping& mapping,
+                               const AttributeMatch& attr,
+                               const ProbabilityModel& prob,
+                               const SubProblem& sub) {
   auto strict = [](AggFunc f) {
     return f == AggFunc::kAvg || f == AggFunc::kMax || f == AggFunc::kMin;
   };
@@ -238,12 +254,30 @@ Result<ExactSolveResult> SolveComponentExact(
     std::sort(neigh.begin(), neigh.end());
     neigh.erase(std::unique(neigh.begin(), neigh.end()), neigh.end());
   }
+  return inst;
+}
+
+}  // namespace
+
+Result<ExactSolveResult> SolveComponentExact(
+    const CanonicalRelation& t1, const CanonicalRelation& t2,
+    const TupleMapping& mapping, const AttributeMatch& attr,
+    const ProbabilityModel& prob, const SubProblem& sub, size_t max_nodes,
+    const CancelToken* cancel, double* interrupted_bound) {
+  Result<Instance> built = BuildInstance(t1, t2, mapping, attr, prob, sub);
+  E3D_RETURN_IF_ERROR(built.status());
+  const Instance& inst = built.value();
 
   AssignmentBnb bnb(inst, prob, max_nodes, cancel);
   bnb.Run();
   if (bnb.aborted()) {
     // The incumbent (if any) depends on where the clock interrupted the
-    // search; discard it and surface the token's status instead.
+    // search; discard it and surface the token's status instead. The root
+    // bound is deterministic (no search state involved), so it is safe to
+    // publish for degradation reporting.
+    if (interrupted_bound != nullptr) {
+      *interrupted_bound = bnb.root_bound() + inst.const_edges;
+    }
     Status s = CheckCancel(cancel);
     return s.ok() ? Status::Cancelled("component solve interrupted") : s;
   }
@@ -252,34 +286,48 @@ Result<ExactSolveResult> SolveComponentExact(
   result.nodes = bnb.nodes();
   result.proven_optimal = bnb.proven_optimal();
   result.objective = bnb.best_score() + inst.const_edges;
+  result.bound = result.proven_optimal ? result.objective
+                                       : bnb.root_bound() + inst.const_edges;
 
   Side a_side = inst.swapped ? Side::kRight : Side::kLeft;
   Side b_side = inst.swapped ? Side::kLeft : Side::kRight;
 
-  std::vector<double> b_sum(b_ids.size(), 0.0);
-  std::vector<size_t> b_count(b_ids.size(), 0);
+  std::vector<double> b_sum(inst.b_global.size(), 0.0);
+  std::vector<size_t> b_count(inst.b_global.size(), 0);
   const auto& choice = bnb.best_choice();
-  for (size_t k = 0; k < a_ids.size(); ++k) {
+  for (size_t k = 0; k < inst.a_global.size(); ++k) {
     const Option* o = choice[k];
     E3D_CHECK(o != nullptr) << "branch & bound left an unassigned tuple";
     if (o->remove) {
-      result.explanations.delta.push_back({a_side, a_ids[k]});
+      result.explanations.delta.push_back({a_side, inst.a_global[k]});
     } else {
       b_sum[o->b_local] += inst.a_impact[k];
       ++b_count[o->b_local];
       result.explanations.evidence.push_back(mapping[o->match_id]);
     }
   }
-  for (size_t j = 0; j < b_ids.size(); ++j) {
+  for (size_t j = 0; j < inst.b_global.size(); ++j) {
     if (b_count[j] == 0) {
-      result.explanations.delta.push_back({b_side, b_ids[j]});
+      result.explanations.delta.push_back({b_side, inst.b_global[j]});
     } else if (ImpactsDiffer(b_sum[j], inst.b_impact[j])) {
       result.explanations.value_changes.push_back(
-          {b_side, b_ids[j], inst.b_impact[j], b_sum[j]});
+          {b_side, inst.b_global[j], inst.b_impact[j], b_sum[j]});
     }
   }
   result.explanations.Normalize();
   return result;
+}
+
+Result<double> ComponentOptimisticBound(
+    const CanonicalRelation& t1, const CanonicalRelation& t2,
+    const TupleMapping& mapping, const AttributeMatch& attr,
+    const ProbabilityModel& prob, const SubProblem& sub) {
+  Result<Instance> built = BuildInstance(t1, t2, mapping, attr, prob, sub);
+  E3D_RETURN_IF_ERROR(built.status());
+  const Instance& inst = built.value();
+  AssignmentBnb bnb(inst, prob, /*max_nodes=*/0, /*cancel=*/nullptr);
+  bnb.Prepare();  // root state only — no Dfs
+  return bnb.root_bound() + inst.const_edges;
 }
 
 }  // namespace explain3d

@@ -35,6 +35,10 @@ struct ExactSolveResult {
   /// Objective value restricted to this sub-problem (tuple terms plus the
   /// log-probability terms of its matches).
   double objective = 0;
+  /// Admissible upper bound on the sub-problem's exact optimum: equal to
+  /// `objective` when proven_optimal, the root optimistic bound when the
+  /// node limit truncated the search.
+  double bound = 0;
   bool proven_optimal = true;  ///< false when the node limit was hit
   size_t nodes = 0;
 };
@@ -46,12 +50,26 @@ struct ExactSolveResult {
 /// polled at node-expansion granularity; when it fires mid-search the
 /// call abandons its state and returns the token's Status — never a
 /// time-truncated incumbent, so interrupted calls cannot perturb
-/// determinism.
+/// determinism. An interrupted call still proves an optimistic bound on
+/// the component's objective (the admissible root bound); when
+/// `interrupted_bound` is non-null it receives that bound, letting
+/// degradation reporting quantify "best possible ≤ X" without touching
+/// the discarded incumbent.
 Result<ExactSolveResult> SolveComponentExact(
     const CanonicalRelation& t1, const CanonicalRelation& t2,
     const TupleMapping& mapping, const AttributeMatch& attr,
     const ProbabilityModel& prob, const SubProblem& sub,
-    size_t max_nodes = 4000000, const CancelToken* cancel = nullptr);
+    size_t max_nodes = 4000000, const CancelToken* cancel = nullptr,
+    double* interrupted_bound = nullptr);
+
+/// The admissible root bound of the assignment branch & bound WITHOUT
+/// running the search — an upper bound on the sub-problem's exact
+/// objective, O(tuples + matches). Used to bound components a degraded
+/// run never got to start.
+Result<double> ComponentOptimisticBound(
+    const CanonicalRelation& t1, const CanonicalRelation& t2,
+    const TupleMapping& mapping, const AttributeMatch& attr,
+    const ProbabilityModel& prob, const SubProblem& sub);
 
 }  // namespace explain3d
 

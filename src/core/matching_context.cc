@@ -70,15 +70,10 @@ size_t DictionaryBytes(const TokenDictionary& dict) {
 }
 
 size_t InternedBytes(const InternedRelation& rel) {
-  size_t b = sizeof(InternedRelation);
-  for (size_t i = 0; i < rel.size(); ++i) {
-    const InternedKey& key = rel.key(i);
-    b += sizeof(InternedKey) + key.bag.capacity() * sizeof(uint32_t);
-    for (const TokenIdSet& toks : key.attr_tokens) {
-      b += sizeof(TokenIdSet) + toks.capacity() * sizeof(uint32_t);
-    }
-  }
-  return b;
+  // The columnar layout keeps everything in a handful of flat arrays
+  // (token ids + offsets + per-cell classification columns); the relation
+  // reports their heap footprint itself — O(1), no per-tuple walk.
+  return sizeof(InternedRelation) + rel.flat_bytes();
 }
 
 }  // namespace

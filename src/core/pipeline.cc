@@ -206,6 +206,7 @@ Result<PipelineResult> RunExplain3D(const PipelineInput& input,
     double exact_budget = budget - reserved;
     Result<Explain3DResult> exact = Status::DeadlineExceeded(
         "stage-2 budget consumed before the exact solve started");
+    double incumbent_bound = std::numeric_limits<double>::quiet_NaN();
     Timer exact_timer;
     if (exact_budget > 0) {
       // The budget (which already folded the config limit in) moves
@@ -216,6 +217,7 @@ Result<PipelineResult> RunExplain3D(const PipelineInput& input,
       CancelToken exact_token(exact_budget, input.cancel);
       Explain3DInput exact_input = core_input;
       exact_input.cancel = &exact_token;
+      exact_input.incumbent_bound_out = &incumbent_bound;
       exact = Explain3DSolver(exact_config).Solve(exact_input);
     }
     double exact_seconds = exact_timer.Seconds();
@@ -254,6 +256,7 @@ Result<PipelineResult> RunExplain3D(const PipelineInput& input,
       deg.exact_seconds = exact_seconds;
       deg.fallback_seconds = fallback_timer.Seconds();
       deg.objective = out.core_.explanations.log_probability;
+      deg.incumbent_bound = incumbent_bound;
     }
   }
   out.stage2_seconds_ = stage2_timer.Seconds();

@@ -124,12 +124,14 @@ struct DegradationInfo {
   /// Objective (Eq. 6 log-probability) of the returned fallback
   /// explanations — equals core().explanations.log_probability.
   double objective = 0;
-  /// Best known bound on the exact optimum, for an objective gap when
-  /// available; NaN when unknown. The current exact solvers deliberately
-  /// DISCARD incumbents on interruption (that is what keeps strict-mode
-  /// results bit-identical across machine speeds), so this is NaN today;
-  /// the field exists so a future bound-publishing solver can fill it
-  /// without an API break.
+  /// Admissible upper bound on the exact optimum, so `bound - objective`
+  /// caps how far the fallback is from optimal. The interrupted solvers
+  /// still discard their INCUMBENTS (that is what keeps strict-mode
+  /// results bit-identical across machine speeds) but publish the
+  /// deterministic optimistic bound their search state proves — open-node
+  /// bounds for the MILP, root bounds for the assignment solver, with
+  /// never-started sub-problems contributing their search-free root
+  /// bound. NaN only when no bound could be established.
   double incumbent_bound = std::numeric_limits<double>::quiet_NaN();
 };
 

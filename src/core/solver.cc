@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
+#include <limits>
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -66,6 +68,12 @@ struct UnitOutcome {
   size_t milp_solved = 0;
   size_t exact_solved = 0;
   bool all_optimal = true;
+  /// Admissible upper bound on this unit's optimal objective. Equal to
+  /// the objective when the unit solved to optimality; an optimistic
+  /// bound when a solver was interrupted mid-search; NaN when the unit
+  /// never ran (entry cancel / skip) — the collection pass fills those
+  /// with the search-free root bound.
+  double bound = std::numeric_limits<double>::quiet_NaN();
 };
 
 void AppendExplanations(ExplanationSet* into, const ExplanationSet& from) {
@@ -98,6 +106,9 @@ UnitOutcome SolveUnit(const SubProblem& unit, const CanonicalRelation& t1,
     for (size_t g : unit.t2_ids) {
       out.explanations.delta.push_back({Side::kRight, g});
     }
+    // The all-delta solution IS this unit's optimum: its bound.
+    out.bound = prob.a *
+                static_cast<double>(unit.t1_ids.size() + unit.t2_ids.size());
     return out;
   }
 
@@ -118,6 +129,11 @@ UnitOutcome SolveUnit(const SubProblem& unit, const CanonicalRelation& t1,
     milp::Solution sol = milp_solver.Solve();
     out.total_nodes += milp_solver.stats().nodes;
     if (sol.status == milp::SolveStatus::kInterrupted) {
+      // The abandoned search still proves an optimistic bound (recorded
+      // before the incumbent was wiped). +inf means the interrupt landed
+      // before the root LP solved — the collection pass substitutes the
+      // assignment solver's root bound then.
+      out.bound = milp_solver.stats().best_bound;
       out.status = CheckCancel(cancel);
       if (out.status.ok()) {
         // Interrupted with a live token: the milp.node fault probe fired
@@ -132,6 +148,7 @@ UnitOutcome SolveUnit(const SubProblem& unit, const CanonicalRelation& t1,
       AppendExplanations(&out.explanations,
                          encoder.Decode(unit, enc, sol.values));
       ++out.milp_solved;
+      out.bound = sol.objective;
       return out;
     }
     E3D_LOG(kWarn) << "MILP sub-problem returned "
@@ -139,15 +156,18 @@ UnitOutcome SolveUnit(const SubProblem& unit, const CanonicalRelation& t1,
                    << "; falling back to the assignment solver";
   }
 
+  // An interrupted exact solve writes its root bound straight into
+  // out.bound (and leaves it NaN on a non-cancellation failure).
   Result<ExactSolveResult> exact =
       SolveComponentExact(t1, t2, input.mapping, input.attr, prob, unit,
-                          config.exact_max_nodes, cancel);
+                          config.exact_max_nodes, cancel, &out.bound);
   if (!exact.ok()) {
     out.status = exact.status();
     return out;
   }
   out.total_nodes += exact.value().nodes;
   out.all_optimal = exact.value().proven_optimal;
+  out.bound = exact.value().bound;
   AppendExplanations(&out.explanations, exact.value().explanations);
   ++out.exact_solved;
   return out;
@@ -233,6 +253,29 @@ Result<Explain3DResult> Explain3DSolver::Solve(
       failed.store(true, std::memory_order_relaxed);
     }
   });
+
+  if (input.incumbent_bound_out != nullptr) {
+    // Units partition the tuples and matches, so the per-unit objectives
+    // (and hence their admissible bounds) sum to a bound on the full
+    // log-probability score. Units that never ran — entry cancel, or
+    // skipped after another unit failed — get the search-free root bound;
+    // if even that fails the total stays NaN.
+    double total = 0;
+    for (size_t i = 0; i < units.size(); ++i) {
+      double b = outcomes[i].bound;
+      if (!std::isfinite(b)) {
+        Result<double> root = ComponentOptimisticBound(
+            t1, t2, input.mapping, input.attr, prob_, units[i]);
+        if (!root.ok()) {
+          total = std::numeric_limits<double>::quiet_NaN();
+          break;
+        }
+        b = root.value();
+      }
+      total += b;
+    }
+    *input.incumbent_bound_out = total;
+  }
 
   for (const UnitOutcome& out : outcomes) {
     if (!out.status.ok()) return out.status;

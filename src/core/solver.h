@@ -39,6 +39,14 @@ struct Explain3DInput {
   /// (kCancelled / kDeadlineExceeded) within milliseconds. A solve that
   /// DOES return a result is bit-identical to an uninterrupted one.
   const CancelToken* cancel = nullptr;
+  /// Optional out-param: when non-null, Solve writes an admissible upper
+  /// bound on the optimal log-probability score here — even when it
+  /// returns a cancellation Status (interrupted solvers still prove a
+  /// bound; units that never started contribute their search-free root
+  /// bound). Stays NaN when no bound could be established. Degradation
+  /// reporting (pipeline.h) uses this to quantify how far the greedy
+  /// fallback can be from optimal.
+  double* incumbent_bound_out = nullptr;
 };
 
 /// Solve diagnostics (Figure 7c / Figure 8 report solve_seconds).

@@ -31,18 +31,6 @@ CandidatePairs AllPairs(size_t n1, size_t n2) {
 
 namespace {
 
-/// Sorted-unique union of a tuple's per-attribute token-id sets (a token
-/// appearing in several attributes of one key must post once).
-TokenIdSet KeyTokenIds(const InternedKey& ik) {
-  TokenIdSet ids;
-  for (const TokenIdSet& attr : ik.attr_tokens) {
-    ids.insert(ids.end(), attr.begin(), attr.end());
-  }
-  std::sort(ids.begin(), ids.end());
-  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
-  return ids;
-}
-
 /// Cooperative bail-out inside ParallelFor bodies: polls the token once
 /// per kCancelStride indices and flips the shared stop flag so EVERY
 /// worker skips its remaining iterations (one poller suffices — the
@@ -68,40 +56,54 @@ CandidatePairs GenerateCandidates(const InternedRelation& t1,
                                   size_t num_threads,
                                   const CancelToken* cancel) {
   // Ids only align within one dictionary; a mismatch would index the
-  // postings vector out of bounds.
+  // postings array out of bounds.
   E3D_CHECK(&t1.dict() == &t2.dict());
   std::atomic<bool> stop{false};
 
-  // Token-id and numeric-bucket inverted indexes over ALL key attributes
-  // of T2 (keys may have different arity on the two sides). Postings are
-  // indexed by dense token id — no string hashing on lookups. The
-  // per-tuple token-set unions are computed in parallel; the scatter into
-  // postings stays serial in j order so every posting list is ascending
-  // and identical for any thread count.
-  std::vector<TokenIdSet> key_ids2(t2.size());
-  ParallelFor(num_threads, t2.size(), [&](size_t j) {
-    if (LoopCancelled(cancel, j, &stop)) return;
-    key_ids2[j] = KeyTokenIds(t2.key(j));
-  });
-  if (stop.load(std::memory_order_relaxed)) return {};
-  std::vector<std::vector<size_t>> postings(t1.dict().size());
-  std::unordered_map<int64_t, std::vector<size_t>> bucket_index;
+  // CSR postings over T2's per-tuple key-union token ids (cached at
+  // intern time — no per-call tokenset unions left): count per token,
+  // prefix-sum, then fill in ascending j order, so every posting slice is
+  // ascending and identical to the per-token vectors the old layout
+  // built. The numeric-bucket index keys on the CACHED CoerceNumeric
+  // verdict and double: a numeric-looking string ("123") must land in the
+  // same bucket as the number 123, or type drift between the databases
+  // hides the pair from blocking entirely and the ValueSimilarity
+  // coercion never gets to score it. Such strings still post their
+  // tokens too.
+  const size_t dict_size = t1.dict().size();
+  std::vector<uint32_t> posting_starts(dict_size + 1, 0);
+  std::unordered_map<int64_t, std::vector<uint32_t>> bucket_index;
   for (size_t j = 0; j < t2.size(); ++j) {
-    for (const Value& v : t2.relation().tuples[j].key) {
-      // CoerceNumeric, not is_numeric: a numeric-looking string ("123")
-      // must land in the same bucket as the number 123, or type drift
-      // between the databases hides the pair from blocking entirely and
-      // the ValueSimilarity coercion never gets to score it. Such
-      // strings still post their tokens too.
-      double num;
-      if (CoerceNumeric(v, &num)) {
-        bucket_index[static_cast<int64_t>(std::floor(num))].push_back(j);
+    if (cancel != nullptr && j % kLoopCancelStride == 0 &&
+        !cancel->Check().ok()) {
+      return {};
+    }
+    size_t cell = t2.cell_index(j, 0);
+    for (size_t a = 0; a < t2.arity(j); ++a, ++cell) {
+      if (t2.cell_coercible(cell)) {
+        int64_t b = static_cast<int64_t>(std::floor(t2.cell_numeric(cell)));
+        bucket_index[b].push_back(static_cast<uint32_t>(j));
       }
     }
-    for (uint32_t id : key_ids2[j]) {
-      postings[id].push_back(j);
+    for (uint32_t id : t2.key_ids(j)) ++posting_starts[id + 1];
+  }
+  for (size_t id = 0; id < dict_size; ++id) {
+    posting_starts[id + 1] += posting_starts[id];
+  }
+  std::vector<uint32_t> posting_tuples(posting_starts[dict_size]);
+  {
+    std::vector<uint32_t> cursor(posting_starts.begin(),
+                                 posting_starts.end() - 1);
+    for (size_t j = 0; j < t2.size(); ++j) {
+      for (uint32_t id : t2.key_ids(j)) {
+        posting_tuples[cursor[id]++] = static_cast<uint32_t>(j);
+      }
     }
   }
+  auto posting = [&](uint32_t id) {
+    return Span<const uint32_t>(posting_tuples.data() + posting_starts[id],
+                                posting_starts[id + 1] - posting_starts[id]);
+  };
 
   // Stop-token cutoff: tokens hitting a large fraction of T2 (genders,
   // degree types, the word "of") would create quadratic candidate sets
@@ -114,10 +116,10 @@ CandidatePairs GenerateCandidates(const InternedRelation& t1,
   ParallelFor(num_threads, t1.size(), [&](size_t i) {
     if (LoopCancelled(cancel, i, &stop)) return;
     std::vector<size_t>& hits = cand[i];
-    for (const Value& v : t1.relation().tuples[i].key) {
-      double num;
-      if (CoerceNumeric(v, &num)) {
-        int64_t b = static_cast<int64_t>(std::floor(num));
+    size_t cell = t1.cell_index(i, 0);
+    for (size_t a = 0; a < t1.arity(i); ++a, ++cell) {
+      if (t1.cell_coercible(cell)) {
+        int64_t b = static_cast<int64_t>(std::floor(t1.cell_numeric(cell)));
         for (int64_t nb = b - 1; nb <= b + 1; ++nb) {
           auto it = bucket_index.find(nb);
           if (it == bucket_index.end()) continue;
@@ -125,12 +127,12 @@ CandidatePairs GenerateCandidates(const InternedRelation& t1,
         }
       }
     }
-    TokenIdSet ids = KeyTokenIds(t1.key(i));
+    Span<const uint32_t> ids = t1.key_ids(i);
     for (uint32_t id : ids) {
-      const std::vector<size_t>& posting = postings[id];
-      if (posting.empty()) continue;
-      if (posting.size() > df_cutoff) continue;  // stop token
-      hits.insert(hits.end(), posting.begin(), posting.end());
+      Span<const uint32_t> post = posting(id);
+      if (post.empty()) continue;
+      if (post.size() > df_cutoff) continue;  // stop token
+      hits.insert(hits.end(), post.begin(), post.end());
     }
     if (hits.empty()) {
       // Every token was a stop token (or absent from T2) and no numeric
@@ -143,15 +145,15 @@ CandidatePairs GenerateCandidates(const InternedRelation& t1,
       // df_cutoff entries: a constant placeholder key ("unknown" on both
       // sides) would otherwise hand every such tuple a ~|T2| posting and
       // reintroduce the quadratic blowup the cutoff exists to prevent.
-      const std::vector<size_t>* best = nullptr;
+      Span<const uint32_t> best;
       for (uint32_t id : ids) {
-        const std::vector<size_t>& posting = postings[id];
-        if (posting.empty()) continue;
-        if (best == nullptr || posting.size() < best->size()) best = &posting;
+        Span<const uint32_t> post = posting(id);
+        if (post.empty()) continue;
+        if (best.empty() || post.size() < best.size()) best = post;
       }
-      if (best != nullptr) {
-        size_t take = std::min(best->size(), df_cutoff);
-        hits.assign(best->begin(), best->begin() + take);
+      if (!best.empty()) {
+        size_t take = std::min(best.size(), df_cutoff);
+        hits.assign(best.begin(), best.begin() + take);
       }
     }
     std::sort(hits.begin(), hits.end());

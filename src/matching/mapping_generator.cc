@@ -1,10 +1,14 @@
 #include "matching/mapping_generator.h"
 
+#include <algorithm>
 #include <atomic>
 
 #include "common/rng.h"
+#include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "matching/token_interning.h"
+#include "simd/dispatch.h"
+#include "simd/levenshtein.h"
 
 namespace explain3d {
 
@@ -26,6 +30,150 @@ inline bool LoopCancelled(const CancelToken* cancel, size_t index,
   return false;
 }
 
+/// ToLower of every string cell, indexed by flat cell id — the
+/// Levenshtein metric compares lowered text, and the batched path lowers
+/// each T2 cell once per call instead of once per pair.
+std::vector<std::string> LowerStringCells(const InternedRelation& r,
+                                          size_t num_threads) {
+  std::vector<std::string> low(r.num_cells());
+  ParallelFor(num_threads, r.size(), [&](size_t i) {
+    const Row& key = r.relation().tuples[i].key;
+    size_t cell = r.cell_index(i, 0);
+    for (size_t a = 0; a < key.size(); ++a, ++cell) {
+      if (r.cell_kind(cell) == InternedRelation::CellKind::kString) {
+        low[cell] = ToLower(key[a].AsString());
+      }
+    }
+  });
+  return low;
+}
+
+/// Levenshtein scoring over the columnar layout with the batched DP
+/// kernel (src/simd/levenshtein.h). Candidate pairs arrive i-major from
+/// blocking, so each contiguous run shares its T1 tuple: within a run,
+/// attribute a compares ONE lowered query cell against many lowered T2
+/// cells — exactly the kernel's lane shape. Every short-circuit of the
+/// scalar path is replayed per pair in the same order (NULL/numeric/mixed
+/// branches from the cell caches, the a==b and length-cap exits, the
+/// running per-attribute floor of RowSimilarity), and the batched DP
+/// returns the same exact integers the scalar DP does, so the scores are
+/// bit-identical to the per-pair KeySimilarity loop.
+std::vector<double> ScoreLevenshteinBatched(
+    const InternedRelation& i1, const InternedRelation& i2,
+    const CandidatePairs& pairs, size_t num_threads, double min_sim,
+    const CancelToken* cancel, simd::IsaTier tier) {
+  using CellKind = InternedRelation::CellKind;
+  const CanonicalRelation& t1 = i1.relation();
+  const CanonicalRelation& t2 = i2.relation();
+  std::vector<double> sim(pairs.size());
+
+  // Contiguous same-i runs (a non-i-major pair list still scores
+  // correctly, just in smaller batches).
+  std::vector<std::pair<size_t, size_t>> groups;
+  for (size_t k = 0; k < pairs.size();) {
+    size_t e = k + 1;
+    while (e < pairs.size() && pairs[e].first == pairs[k].first) ++e;
+    groups.emplace_back(k, e);
+    k = e;
+  }
+  std::vector<std::string> low2 = LowerStringCells(i2, num_threads);
+
+  std::atomic<bool> stop{false};
+  ParallelFor(num_threads, groups.size(), [&](size_t g) {
+    if (LoopCancelled(cancel, g, &stop)) return;
+    const size_t s = groups[g].first;
+    const size_t e = groups[g].second;
+    const size_t i = pairs[s].first;
+    const size_t arity = i1.arity(i);
+    std::vector<std::string> qlow(arity);
+    for (size_t a = 0; a < arity; ++a) {
+      if (i1.cell_kind(i1.cell_index(i, a)) == CellKind::kString) {
+        qlow[a] = ToLower(t1.tuples[i].key[a].AsString());
+      }
+    }
+    const size_t m = e - s;
+    std::vector<double> totals(m, 0.0);
+    std::vector<uint8_t> handled(m, 0);
+    for (size_t p = 0; p < m; ++p) {
+      size_t j = pairs[s + p].second;
+      if (i2.arity(j) != arity) {
+        // Different-arity keys take KeySimilarity's token-bag fallback —
+        // no DP in that path, nothing to batch.
+        sim[s + p] = KeySimilarity(t1.tuples[i].key, t2.tuples[j].key,
+                                   StringMetric::kLevenshtein, min_sim);
+        handled[p] = 1;
+      } else if (arity == 0) {
+        sim[s + p] = 0.0;  // RowSimilarity of empty keys
+        handled[p] = 1;
+      }
+    }
+    const double kd = static_cast<double>(arity);
+    std::vector<const char*> ptrs;
+    std::vector<size_t> lens, slots;
+    std::vector<uint32_t> dists;
+    for (size_t a = 0; a < arity; ++a) {
+      ptrs.clear();
+      lens.clear();
+      slots.clear();
+      const size_t qcell = i1.cell_index(i, a);
+      const CellKind qk = i1.cell_kind(qcell);
+      const std::string& q = qlow[a];
+      const double remaining = kd - 1.0 - static_cast<double>(a);
+      for (size_t p = 0; p < m; ++p) {
+        if (handled[p]) continue;
+        const size_t j = pairs[s + p].second;
+        const size_t ccell = i2.cell_index(j, a);
+        const CellKind ck = i2.cell_kind(ccell);
+        const double attr_floor =
+            min_sim > 0 ? min_sim * kd - totals[p] - remaining : 0.0;
+        if (qk == CellKind::kNull && ck == CellKind::kNull) {
+          totals[p] += 1.0;
+        } else if (qk == CellKind::kNull || ck == CellKind::kNull) {
+          // similarity 0
+        } else if (qk == CellKind::kNumeric && ck == CellKind::kNumeric) {
+          totals[p] += NumericSimilarity(i1.cell_numeric(qcell),
+                                         i2.cell_numeric(ccell));
+        } else if (qk == CellKind::kString && ck == CellKind::kString) {
+          const std::string& c = low2[ccell];
+          if (q == c) {
+            totals[p] += 1.0;
+            continue;
+          }
+          size_t la = q.size(), lb = c.size();
+          size_t len_diff = la > lb ? la - lb : lb - la;
+          double sim_cap = 1.0 - static_cast<double>(len_diff) /
+                                     static_cast<double>(std::max(la, lb));
+          if (sim_cap < attr_floor) {
+            totals[p] += sim_cap;  // provably below the floor; dropped later
+          } else {
+            ptrs.push_back(c.data());
+            lens.push_back(c.size());
+            slots.push_back(p);
+          }
+        } else if (i1.cell_coercible(qcell) && i2.cell_coercible(ccell)) {
+          // Mixed numeric-vs-string type drift, from the cached verdicts.
+          totals[p] += NumericSimilarity(i1.cell_numeric(qcell),
+                                         i2.cell_numeric(ccell));
+        }
+      }
+      if (!ptrs.empty()) {
+        dists.resize(ptrs.size());
+        simd::LevenshteinBatchTier(tier, q.data(), q.size(), ptrs.data(),
+                                   lens.data(), ptrs.size(), dists.data());
+        for (size_t b = 0; b < slots.size(); ++b) {
+          size_t la = q.size(), lb = lens[b];
+          totals[slots[b]] += 1.0 - static_cast<double>(dists[b]) /
+                                        static_cast<double>(std::max(la, lb));
+        }
+      }
+    }
+    for (size_t p = 0; p < m; ++p) {
+      if (!handled[p]) sim[s + p] = totals[p] / kd;
+    }
+  });
+  return sim;
+}
+
 }  // namespace
 
 std::vector<double> ScoreCandidates(const InternedRelation& i1,
@@ -38,15 +186,37 @@ std::vector<double> ScoreCandidates(const InternedRelation& i1,
   // the scores are bit-identical for any thread count.
   const CanonicalRelation& t1 = i1.relation();
   const CanonicalRelation& t2 = i2.relation();
+  size_t threads = ResolveThreads(num_threads);
+  if (metric == StringMetric::kLevenshtein &&
+      simd::ActiveTier() != simd::IsaTier::kScalar) {
+    return ScoreLevenshteinBatched(i1, i2, pairs, threads, score_floor,
+                                   cancel, simd::ActiveTier());
+  }
   std::vector<double> sim(pairs.size());
   std::atomic<bool> stop{false};
-  ParallelFor(ResolveThreads(num_threads), pairs.size(), [&](size_t k) {
-    if (LoopCancelled(cancel, k, &stop)) return;
-    const auto& [i, j] = pairs[k];
-    sim[k] = metric == StringMetric::kJaccard
-                 ? InternedKeySimilarity(i1, i, i2, j)
-                 : KeySimilarity(t1.tuples[i].key, t2.tuples[j].key, metric,
-                                 score_floor);
+  // Score in blocks of kLoopCancelStride pairs: the per-pair work on the
+  // interned path is a few dozen nanoseconds, so the per-index dispatch of
+  // ParallelFor (a std::function call) and the cancel poll are amortized
+  // over the block. Slot k still only writes sim[k] — scores stay
+  // bit-identical for any thread count.
+  const size_t n_blocks =
+      (pairs.size() + kLoopCancelStride - 1) / kLoopCancelStride;
+  ParallelFor(threads, n_blocks, [&](size_t blk) {
+    size_t begin = blk * kLoopCancelStride;
+    size_t end = std::min(begin + kLoopCancelStride, pairs.size());
+    if (LoopCancelled(cancel, begin, &stop)) return;
+    if (metric == StringMetric::kJaccard) {
+      for (size_t k = begin; k < end; ++k) {
+        const auto& [i, j] = pairs[k];
+        sim[k] = InternedKeySimilarity(i1, i, i2, j);
+      }
+    } else {
+      for (size_t k = begin; k < end; ++k) {
+        const auto& [i, j] = pairs[k];
+        sim[k] = KeySimilarity(t1.tuples[i].key, t2.tuples[j].key, metric,
+                               score_floor);
+      }
+    }
   });
   return sim;
 }
@@ -144,8 +314,8 @@ Result<TupleMapping> GenerateInitialMapping(const CanonicalRelation& t1,
                                             const GoldPairs& gold,
                                             const MappingGenOptions& opts) {
   // Tokenize every tuple key exactly once; blocking and candidate scoring
-  // both run over the cached sorted token-id sets. Whole-key token bags
-  // are only needed when some pair can hit KeySimilarity's
+  // both run over the cached columnar token-id arrays. Whole-key token
+  // bags are only needed when some pair can hit KeySimilarity's
   // different-arity fallback.
   size_t threads = ResolveThreads(opts.num_threads);
   bool need_bags = NeedsKeyBags(t1, t2);

@@ -47,30 +47,6 @@ double JaccardOfTokenSets(const std::vector<std::string>& a,
   return static_cast<double>(inter) / static_cast<double>(uni);
 }
 
-double JaccardOfTokenIds(const TokenIdSet& a, const TokenIdSet& b) {
-  if (a.empty() && b.empty()) return 1.0;
-  if (a.empty() || b.empty()) return 0.0;
-  size_t i = 0, j = 0, inter = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] == b[j]) {
-      ++inter;
-      ++i;
-      ++j;
-    } else if (a[i] < b[j]) {
-      ++i;
-    } else {
-      ++j;
-    }
-  }
-  size_t uni = a.size() + b.size() - inter;
-  return static_cast<double>(inter) / static_cast<double>(uni);
-}
-
-double NumericSimilarity(double a, double b) {
-  double d = a - b;
-  return 1.0 / (1.0 + d * d);
-}
-
 double JaroSimilarity(const std::string& a, const std::string& b) {
   if (a.empty() && b.empty()) return 1.0;
   if (a.empty() || b.empty()) return 0.0;

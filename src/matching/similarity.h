@@ -15,8 +15,10 @@
 #include <string>
 #include <vector>
 
+#include "common/span.h"
 #include "common/value.h"
 #include "relational/schema.h"
+#include "simd/intersect.h"
 
 namespace explain3d {
 
@@ -34,10 +36,32 @@ using TokenIdSet = std::vector<uint32_t>;
 /// Jaccard over interned sorted-unique token-id sets: a uint32
 /// merge-intersection, the hot path of blocking-based mapping generation.
 /// Equals JaccardOfTokenSets on the corresponding string sets exactly.
-double JaccardOfTokenIds(const TokenIdSet& a, const TokenIdSet& b);
+/// The Span overload views the columnar storage of
+/// matching/token_interning.h and runs the intersection on the
+/// runtime-dispatched kernel (src/simd/intersect.h) — the count is an
+/// exact integer at every ISA tier, so the quotient is bit-identical to
+/// the scalar merge. The vector overload forwards to it.
+/// Defined inline: candidate scoring calls this once per (pair, attr),
+/// and the sets are typically a handful of ids — the call itself would
+/// out-cost the merge.
+inline double JaccardOfTokenIds(Span<const uint32_t> a,
+                                Span<const uint32_t> b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  size_t inter = simd::IntersectCount(a, b);
+  size_t uni = a.size() + b.size() - inter;
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+inline double JaccardOfTokenIds(const TokenIdSet& a, const TokenIdSet& b) {
+  return JaccardOfTokenIds(Span<const uint32_t>(a), Span<const uint32_t>(b));
+}
 
 /// 1 / (1 + (a-b)^2), the paper's normalized Euclidean similarity.
-double NumericSimilarity(double a, double b);
+inline double NumericSimilarity(double a, double b) {
+  double d = a - b;
+  return 1.0 / (1.0 + d * d);
+}
 
 /// Jaro similarity in [0,1].
 double JaroSimilarity(const std::string& a, const std::string& b);

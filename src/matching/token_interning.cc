@@ -29,46 +29,123 @@ void SortUnique(TokenIdSet* ids) {
   ids->erase(std::unique(ids->begin(), ids->end()), ids->end());
 }
 
+struct CellClass {
+  uint8_t kind;
+  uint8_t coercible;
+  double num;
+};
+
+// DataType only has NULL / int64 / double / string, so three kinds cover
+// every branch the similarity code distinguishes. The coerced double is
+// AsDouble for numerics and the CoerceNumeric parse for numeric-looking
+// strings — exactly the values the old per-pair branches recomputed.
+CellClass Classify(const Value& v) {
+  CellClass c{static_cast<uint8_t>(InternedRelation::CellKind::kString), 0,
+              0.0};
+  if (v.is_null()) {
+    c.kind = static_cast<uint8_t>(InternedRelation::CellKind::kNull);
+  } else if (v.is_numeric()) {
+    c.kind = static_cast<uint8_t>(InternedRelation::CellKind::kNumeric);
+  }
+  double num = 0.0;
+  if (CoerceNumeric(v, &num)) {
+    c.coercible = 1;
+    c.num = num;
+  }
+  return c;
+}
+
+void AppendSorted(const TokenIdSet& src, std::vector<uint32_t>* ids,
+                  std::vector<uint32_t>* starts) {
+  ids->insert(ids->end(), src.begin(), src.end());
+  starts->push_back(static_cast<uint32_t>(ids->size()));
+}
+
 }  // namespace
 
 InternedRelation::InternedRelation(const CanonicalRelation& rel,
                                    TokenDictionary* dict, bool with_bags,
                                    size_t num_threads)
     : rel_(&rel), dict_(dict), with_bags_(with_bags) {
-  size_t n = rel.tuples.size();
-  keys_.resize(n);
+  const size_t n = rel.tuples.size();
+
+  // Cell prefix first: key arities are known without tokenizing, so the
+  // per-cell columns can be sized (and, on the parallel path, written
+  // into disjoint slots) up front.
+  tuple_cell_starts_.resize(n + 1);
+  tuple_cell_starts_[0] = 0;
+  for (size_t i = 0; i < n; ++i) {
+    tuple_cell_starts_[i + 1] =
+        tuple_cell_starts_[i] +
+        static_cast<uint32_t>(rel.tuples[i].key.size());
+  }
+  const size_t total_cells = tuple_cell_starts_[n];
+  cell_kinds_.resize(total_cells);
+  cell_coercible_.resize(total_cells);
+  cell_numeric_.resize(total_cells);
+  cell_starts_.reserve(total_cells + 1);
+  cell_starts_.push_back(0);
+  key_union_starts_.reserve(n + 1);
+  key_union_starts_.push_back(0);
+  bag_starts_.reserve(n + 1);
+  bag_starts_.push_back(0);
+
+  TokenIdSet scratch, union_scratch, bag_scratch;
 
   if (num_threads <= 1 || n <= 1) {
-    // Serial: tokenize and intern in one streaming pass — the two-phase
-    // scheme below produces the identical dictionary but materializes
-    // every token string for the whole relation at once, a transient
-    // memory cost only worth paying when the tokenize phase actually
-    // fans out.
+    // Serial: tokenize, classify, and intern in one streaming pass — the
+    // two-phase scheme below produces the identical arrays but
+    // materializes every token string for the whole relation at once, a
+    // transient memory cost only worth paying when the tokenize phase
+    // actually fans out.
     for (size_t i = 0; i < n; ++i) {
       const Row& key = rel.tuples[i].key;
-      InternedKey& ik = keys_[i];
-      ik.attr_tokens.resize(key.size());
-      for (size_t a = 0; a < key.size(); ++a) {
+      union_scratch.clear();
+      bag_scratch.clear();
+      size_t cell = tuple_cell_starts_[i];
+      for (size_t a = 0; a < key.size(); ++a, ++cell) {
         const Value& v = key[a];
+        CellClass c = Classify(v);
+        cell_kinds_[cell] = c.kind;
+        cell_coercible_[cell] = c.coercible;
+        cell_numeric_[cell] = c.num;
         if (v.type() == DataType::kString) {
+          scratch.clear();
           for (const std::string& tok : TokenizeWords(v.AsString())) {
-            ik.attr_tokens[a].push_back(dict->Intern(tok));
+            scratch.push_back(dict->Intern(tok));
           }
-          SortUnique(&ik.attr_tokens[a]);
+          SortUnique(&scratch);
+          token_ids_.insert(token_ids_.end(), scratch.begin(), scratch.end());
+          union_scratch.insert(union_scratch.end(), scratch.begin(),
+                               scratch.end());
+          // A string cell's display text IS its raw text, so the bag
+          // tokens are exactly the attr tokens just interned (the bag is
+          // sort-uniqued below anyway) — reuse the ids instead of
+          // tokenizing and re-interning the same text.
+          if (with_bags) {
+            bag_scratch.insert(bag_scratch.end(), scratch.begin(),
+                               scratch.end());
+          }
         }
-        if (with_bags && !v.is_null()) {
+        cell_starts_.push_back(static_cast<uint32_t>(token_ids_.size()));
+        if (with_bags && !v.is_null() && v.type() != DataType::kString) {
           for (const std::string& tok : TokenizeWords(v.ToDisplayString())) {
-            ik.bag.push_back(dict->Intern(tok));
+            bag_scratch.push_back(dict->Intern(tok));
           }
         }
       }
-      SortUnique(&ik.bag);
+      SortUnique(&union_scratch);
+      AppendSorted(union_scratch, &key_union_ids_, &key_union_starts_);
+      SortUnique(&bag_scratch);
+      AppendSorted(bag_scratch, &bag_ids_, &bag_starts_);
     }
     return;
   }
 
-  // Phase 1 (parallel): tokenize every tuple key — the per-value scans and
-  // string splits are the expensive part and are independent per tuple.
+  // Phase 1 (parallel): tokenize and classify every tuple key — the
+  // per-value scans, string splits, and CoerceNumeric parses are the
+  // expensive part and are independent per tuple. Classification writes
+  // straight into the pre-sized cell columns (disjoint slots).
   struct RawTokens {
     std::vector<std::vector<std::string>> attr;  // string attributes
     std::vector<std::vector<std::string>> bag;   // display-text tokens
@@ -79,12 +156,18 @@ InternedRelation::InternedRelation(const CanonicalRelation& rel,
     RawTokens& r = raw[i];
     r.attr.resize(key.size());
     if (with_bags) r.bag.resize(key.size());
-    for (size_t a = 0; a < key.size(); ++a) {
+    size_t cell = tuple_cell_starts_[i];
+    for (size_t a = 0; a < key.size(); ++a, ++cell) {
       const Value& v = key[a];
+      CellClass c = Classify(v);
+      cell_kinds_[cell] = c.kind;
+      cell_coercible_[cell] = c.coercible;
+      cell_numeric_[cell] = c.num;
       if (v.type() == DataType::kString) {
+        // Bag tokens for a string cell are its attr tokens (display text
+        // == raw text); phase 2 reuses the interned ids directly.
         r.attr[a] = TokenizeWords(v.AsString());
-      }
-      if (with_bags && !v.is_null()) {
+      } else if (with_bags && !v.is_null()) {
         r.bag[a] = TokenizeWords(v.ToDisplayString());
       }
     }
@@ -95,58 +178,43 @@ InternedRelation::InternedRelation(const CanonicalRelation& rel,
   // dictionary is bit-identical for any thread count.
   for (size_t i = 0; i < n; ++i) {
     const RawTokens& r = raw[i];
-    InternedKey& ik = keys_[i];
-    ik.attr_tokens.resize(r.attr.size());
+    union_scratch.clear();
+    bag_scratch.clear();
     for (size_t a = 0; a < r.attr.size(); ++a) {
+      scratch.clear();
       for (const std::string& tok : r.attr[a]) {
-        ik.attr_tokens[a].push_back(dict->Intern(tok));
+        scratch.push_back(dict->Intern(tok));
       }
-      SortUnique(&ik.attr_tokens[a]);
+      SortUnique(&scratch);
+      token_ids_.insert(token_ids_.end(), scratch.begin(), scratch.end());
+      union_scratch.insert(union_scratch.end(), scratch.begin(),
+                           scratch.end());
+      cell_starts_.push_back(static_cast<uint32_t>(token_ids_.size()));
       if (with_bags) {
+        if (!r.attr[a].empty()) {
+          bag_scratch.insert(bag_scratch.end(), scratch.begin(),
+                             scratch.end());
+        }
         for (const std::string& tok : r.bag[a]) {
-          ik.bag.push_back(dict->Intern(tok));
+          bag_scratch.push_back(dict->Intern(tok));
         }
       }
     }
-    SortUnique(&ik.bag);
+    SortUnique(&union_scratch);
+    AppendSorted(union_scratch, &key_union_ids_, &key_union_starts_);
+    SortUnique(&bag_scratch);
+    AppendSorted(bag_scratch, &bag_ids_, &bag_starts_);
   }
 }
 
-double InternedKeySimilarity(const InternedRelation& r1, size_t i,
-                             const InternedRelation& r2, size_t j) {
-  E3D_CHECK(&r1.dict() == &r2.dict());
-  const Row& a = r1.relation().tuples[i].key;
-  const Row& b = r2.relation().tuples[j].key;
-  if (a.size() != b.size()) {
-    E3D_CHECK(r1.has_bags() && r2.has_bags())
-        << "different-arity keys need InternedRelation(with_bags=true)";
-    return JaccardOfTokenIds(r1.key(i).bag, r2.key(j).bag);
-  }
-  if (a.empty()) return 0.0;
-  double total = 0;
-  for (size_t k = 0; k < a.size(); ++k) {
-    const Value& va = a[k];
-    const Value& vb = b[k];
-    if (va.is_null() && vb.is_null()) {
-      total += 1.0;
-    } else if (va.is_null() || vb.is_null()) {
-      // similarity 0
-    } else if (va.is_numeric() && vb.is_numeric()) {
-      total += NumericSimilarity(va.AsDouble(), vb.AsDouble());
-    } else if (va.type() == DataType::kString &&
-               vb.type() == DataType::kString) {
-      total += JaccardOfTokenIds(r1.key(i).attr_tokens[k],
-                                 r2.key(j).attr_tokens[k]);
-    } else {
-      // Mixed numeric-vs-string: mirror ValueSimilarity's type-drift
-      // coercion (123 vs "123" must not zero out).
-      double x, y;
-      if (CoerceNumeric(va, &x) && CoerceNumeric(vb, &y)) {
-        total += NumericSimilarity(x, y);
-      }
-    }
-  }
-  return total / static_cast<double>(a.size());
+size_t InternedRelation::flat_bytes() const {
+  return (token_ids_.capacity() + cell_starts_.capacity() +
+          tuple_cell_starts_.capacity() + key_union_ids_.capacity() +
+          key_union_starts_.capacity() + bag_ids_.capacity() +
+          bag_starts_.capacity()) *
+             sizeof(uint32_t) +
+         cell_kinds_.capacity() + cell_coercible_.capacity() +
+         cell_numeric_.capacity() * sizeof(double);
 }
 
 bool NeedsKeyBags(const CanonicalRelation& t1, const CanonicalRelation& t2) {

@@ -1,12 +1,22 @@
-// Token interning for the matching pipeline.
+// Token interning for the matching pipeline — columnar layout.
 //
 // Blocking and candidate scoring both operate on the word tokens of the
 // canonical keys. Tokenizing, sorting, and string-comparing per candidate
 // pair makes the matching stage O(candidates × tokenization). Interning
 // maps every distinct token to a dense uint32 id ONCE per relation; each
-// tuple caches its sorted-unique token-id sets, so pair scoring becomes a
+// tuple's sorted-unique token-id sets are cached so pair scoring becomes a
 // uint32 merge-intersection (JaccardOfTokenIds, similarity.h) and blocking
 // posts token ids instead of strings.
+//
+// The cached sets live in CSR-style flat arrays, not per-tuple vectors:
+// one contiguous token-id array per relation plus offset arrays
+// (per-cell, per-tuple-bag, per-tuple-key-union). Consumers read
+// Span<const uint32_t> views straight into the flat storage — no pointer
+// chasing, and the SIMD intersection kernels (src/simd/) get dense
+// aligned-friendly input. Alongside the token ids, every key cell caches
+// its classification (NULL / numeric / string), its CoerceNumeric
+// verdict, and the coerced double, so the per-pair similarity loop never
+// touches a Value again.
 //
 // Both relations of a comparison must intern into the SAME TokenDictionary
 // or ids do not align. Jaccard over id sets equals Jaccard over the string
@@ -22,6 +32,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/logging.h"
+#include "common/span.h"
 #include "matching/similarity.h"
 #include "provenance/canonical.h"
 
@@ -50,19 +62,16 @@ class TokenDictionary {
   std::vector<std::string> tokens_;
 };
 
-/// Cached tokenization of one canonical tuple's key.
-struct InternedKey {
-  /// Per key attribute: sorted-unique ids of TokenizeWords(value) for
-  /// string attributes; empty for numeric/NULL attributes.
-  std::vector<TokenIdSet> attr_tokens;
-  /// Whole-key token bag (every non-NULL value rendered to display text,
-  /// tokenized, interned, sorted-unique) — the different-arity fallback of
-  /// KeySimilarity.
-  TokenIdSet bag;
-};
-
-/// A canonical relation plus its per-tuple interned keys, computed once.
+/// A canonical relation plus its interned key columns, computed once.
 /// Holds a reference to the relation — keep the relation alive.
+///
+/// Storage is CSR: `attr_tokens(i, a)` is a slice of one flat uint32
+/// array addressed through two offset arrays (tuple → first cell, cell →
+/// first token). The per-tuple whole-key token union (`key_ids`, what
+/// blocking posts and probes) and the display-text bag (`bag`, the
+/// different-arity Jaccard fallback) are separate CSR pairs. All views
+/// stay valid for the relation's lifetime; the arrays never move after
+/// construction.
 ///
 /// `with_bags` controls whether the whole-key token bags are built. Only
 /// the different-arity fallback of InternedKeySimilarity reads them;
@@ -71,34 +80,141 @@ struct InternedKey {
 /// out of the dictionary).
 ///
 /// `num_threads` parallelizes the construction in two phases: per-tuple
-/// tokenization runs on the shared pool, then the tokens are interned
-/// serially in tuple order — TokenDictionary ids keep the exact
-/// first-seen order of a serial build, so the dictionary (and every
-/// downstream posting list) is bit-identical for any thread count.
+/// tokenization and cell classification run on the shared pool, then the
+/// tokens are interned serially in tuple order — TokenDictionary ids keep
+/// the exact first-seen order of a serial build, so the dictionary (and
+/// every downstream posting list) is bit-identical for any thread count.
 class InternedRelation {
  public:
+  /// Cached classification of one key cell (DataType folded to what the
+  /// similarity branches actually distinguish).
+  enum class CellKind : uint8_t { kNull = 0, kNumeric = 1, kString = 2 };
+
   InternedRelation(const CanonicalRelation& rel, TokenDictionary* dict,
                    bool with_bags = true, size_t num_threads = 1);
 
   const CanonicalRelation& relation() const { return *rel_; }
   const TokenDictionary& dict() const { return *dict_; }
   bool has_bags() const { return with_bags_; }
-  size_t size() const { return keys_.size(); }
-  const InternedKey& key(size_t i) const { return keys_[i]; }
+  size_t size() const { return tuple_cell_starts_.size() - 1; }
+
+  /// Key arity of tuple i (tuples may differ).
+  size_t arity(size_t i) const {
+    return tuple_cell_starts_[i + 1] - tuple_cell_starts_[i];
+  }
+  /// Flat cell index of (tuple i, key attribute a); the cell_* accessors
+  /// below take this. Cells of one tuple are consecutive.
+  size_t cell_index(size_t i, size_t a) const {
+    return tuple_cell_starts_[i] + a;
+  }
+  /// Total number of key cells across the relation.
+  size_t num_cells() const { return cell_kinds_.size(); }
+
+  /// Sorted-unique ids of TokenizeWords(value) for string cells; empty
+  /// for numeric/NULL cells.
+  Span<const uint32_t> attr_tokens(size_t i, size_t a) const {
+    return CsrSlice(token_ids_, cell_starts_, cell_index(i, a));
+  }
+  /// Sorted-unique union of tuple i's attr_tokens across all key
+  /// attributes — what blocking posts once per tuple.
+  Span<const uint32_t> key_ids(size_t i) const {
+    return CsrSlice(key_union_ids_, key_union_starts_, i);
+  }
+  /// Whole-key display-text token bag (empty unless with_bags).
+  Span<const uint32_t> bag(size_t i) const {
+    return CsrSlice(bag_ids_, bag_starts_, i);
+  }
+
+  CellKind cell_kind(size_t cell) const {
+    return static_cast<CellKind>(cell_kinds_[cell]);
+  }
+  /// CoerceNumeric verdict for the cell's value, cached at build time.
+  bool cell_coercible(size_t cell) const { return cell_coercible_[cell] != 0; }
+  /// The coerced double when cell_coercible (AsDouble for numeric cells,
+  /// the parsed value for numeric-looking strings); 0 otherwise.
+  double cell_numeric(size_t cell) const { return cell_numeric_[cell]; }
+
+  /// Heap bytes of the flat columnar arrays (cache accounting,
+  /// core/matching_context.cc ApproxBytes).
+  size_t flat_bytes() const;
 
  private:
+  static Span<const uint32_t> CsrSlice(const std::vector<uint32_t>& ids,
+                                       const std::vector<uint32_t>& starts,
+                                       size_t slot) {
+    uint32_t lo = starts[slot];
+    return Span<const uint32_t>(ids.data() + lo, starts[slot + 1] - lo);
+  }
+
   const CanonicalRelation* rel_;
   const TokenDictionary* dict_;
   bool with_bags_;
-  std::vector<InternedKey> keys_;
+
+  /// CSR: flat per-cell token ids. Cell c holds
+  /// token_ids_[cell_starts_[c], cell_starts_[c+1]).
+  std::vector<uint32_t> token_ids_;
+  std::vector<uint32_t> cell_starts_;       ///< num_cells()+1 offsets
+  std::vector<uint32_t> tuple_cell_starts_; ///< size()+1, tuple → first cell
+
+  /// CSR: per-tuple key-union token ids (sorted unique across cells).
+  std::vector<uint32_t> key_union_ids_;
+  std::vector<uint32_t> key_union_starts_;  ///< size()+1
+
+  /// CSR: per-tuple display-text bags (empty arrays when !with_bags).
+  std::vector<uint32_t> bag_ids_;
+  std::vector<uint32_t> bag_starts_;        ///< size()+1
+
+  /// Per-cell classification columns (indexed by cell_index).
+  std::vector<uint8_t> cell_kinds_;
+  std::vector<uint8_t> cell_coercible_;
+  std::vector<double> cell_numeric_;
 };
 
 /// KeySimilarity(t1.key, t2.key, StringMetric::kJaccard) computed over the
-/// cached token-id sets — same value, no per-pair tokenization. Numeric /
-/// NULL / mixed attributes follow ValueSimilarity exactly (including the
-/// CoerceNumeric handling of numeric-vs-string type drift).
-double InternedKeySimilarity(const InternedRelation& r1, size_t i,
-                             const InternedRelation& r2, size_t j);
+/// cached token-id columns — same value, no per-pair tokenization and no
+/// Value access. Numeric / NULL / mixed attributes follow ValueSimilarity
+/// exactly (including the CoerceNumeric handling of numeric-vs-string
+/// type drift), read from the per-cell caches.
+///
+/// Defined inline: candidate scoring calls this once per pair, and the
+/// whole chain down to the token-id merge is branchy-but-tiny — keeping
+/// it visible to the caller's loop removes a call per pair.
+inline double InternedKeySimilarity(const InternedRelation& r1, size_t i,
+                                    const InternedRelation& r2, size_t j) {
+  E3D_CHECK(&r1.dict() == &r2.dict());
+  const size_t arity = r1.arity(i);
+  if (arity != r2.arity(j)) {
+    E3D_CHECK(r1.has_bags() && r2.has_bags())
+        << "different-arity keys need InternedRelation(with_bags=true)";
+    return JaccardOfTokenIds(r1.bag(i), r2.bag(j));
+  }
+  if (arity == 0) return 0.0;
+  using CellKind = InternedRelation::CellKind;
+  size_t ca = r1.cell_index(i, 0);
+  size_t cb = r2.cell_index(j, 0);
+  double total = 0;
+  for (size_t k = 0; k < arity; ++k, ++ca, ++cb) {
+    CellKind ka = r1.cell_kind(ca);
+    CellKind kb = r2.cell_kind(cb);
+    if (ka == CellKind::kNull && kb == CellKind::kNull) {
+      total += 1.0;
+    } else if (ka == CellKind::kNull || kb == CellKind::kNull) {
+      // similarity 0
+    } else if (ka == CellKind::kNumeric && kb == CellKind::kNumeric) {
+      total += NumericSimilarity(r1.cell_numeric(ca), r2.cell_numeric(cb));
+    } else if (ka == CellKind::kString && kb == CellKind::kString) {
+      total += JaccardOfTokenIds(r1.attr_tokens(i, k), r2.attr_tokens(j, k));
+    } else {
+      // Mixed numeric-vs-string: mirror ValueSimilarity's type-drift
+      // coercion (123 vs "123" must not zero out). The verdict and the
+      // parsed double were cached at intern time.
+      if (r1.cell_coercible(ca) && r2.cell_coercible(cb)) {
+        total += NumericSimilarity(r1.cell_numeric(ca), r2.cell_numeric(cb));
+      }
+    }
+  }
+  return total / static_cast<double>(arity);
+}
 
 /// True when some pair of tuples from the two relations could hit
 /// KeySimilarity's different-arity token-bag fallback, i.e. the key

@@ -83,6 +83,14 @@ Solution MilpSolver::Run(const std::vector<double>* warm_start) {
     // kUnavailable — the transient, retryable failure shape.
     if ((opts_.cancel != nullptr && !opts_.cancel->Check().ok()) ||
         FAULT_FIRED("milp.node")) {
+      // No usable incumbent leaves the interrupted solve, but the search
+      // state still proves an optimistic bound: nothing in the tree can
+      // beat the best open node (or the incumbent found so far). Recorded
+      // BEFORE the incumbent is wiped, so degradation reporting can show
+      // "best possible ≤ X" even for an abandoned solve.
+      stats_.best_bound = open.empty()
+                              ? best.objective
+                              : std::max(best.objective, open.top()->bound);
       best.status = SolveStatus::kInterrupted;
       best.values.clear();
       best.objective = -kInfinity;

@@ -1,0 +1,101 @@
+#include "simd/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace explain3d {
+namespace simd {
+
+namespace {
+
+// Vector kernels exist only on x86-64 builds without the compile gate;
+// everywhere else every tier above scalar is "not compiled in".
+#if defined(__x86_64__) && !defined(EXPLAIN3D_NO_SIMD)
+constexpr bool kSimdCompiled = true;
+#else
+constexpr bool kSimdCompiled = false;
+#endif
+
+bool CpuHasTier(IsaTier tier) {
+  if (tier == IsaTier::kScalar) return true;
+  if (!kSimdCompiled) return false;
+#if defined(__x86_64__)
+  switch (tier) {
+    case IsaTier::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case IsaTier::kAvx512:
+      // The uint16 Levenshtein lanes need BW; F alone (Knights-era
+      // hardware) gets the AVX2 kernels instead.
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512bw") != 0;
+    default:
+      return true;
+  }
+#else
+  return false;
+#endif
+}
+
+IsaTier ParseTierName(const char* name, IsaTier fallback) {
+  if (name == nullptr) return fallback;
+  if (std::strcmp(name, "scalar") == 0) return IsaTier::kScalar;
+  if (std::strcmp(name, "avx2") == 0) return IsaTier::kAvx2;
+  if (std::strcmp(name, "avx512") == 0) return IsaTier::kAvx512;
+  return fallback;  // unknown spelling: ignore the override
+}
+
+IsaTier Detect() {
+  IsaTier best = IsaTier::kScalar;
+  if (CpuHasTier(IsaTier::kAvx512)) {
+    best = IsaTier::kAvx512;
+  } else if (CpuHasTier(IsaTier::kAvx2)) {
+    best = IsaTier::kAvx2;
+  }
+  // Env override can only clamp DOWN to a supported tier: requesting
+  // avx512 on an avx2-only CPU keeps the detected avx2.
+  IsaTier wanted = ParseTierName(std::getenv("EXPLAIN3D_SIMD_TIER"), best);
+  return static_cast<int>(wanted) < static_cast<int>(best) ? wanted : best;
+}
+
+// -1 = no test override. Relaxed is enough: tests flip it between
+// single-threaded kernel calls.
+std::atomic<int> g_test_override{-1};
+
+}  // namespace
+
+IsaTier DetectedTier() {
+  static const IsaTier tier = Detect();  // once per process
+  return tier;
+}
+
+IsaTier ActiveTier() {
+  int forced = g_test_override.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<IsaTier>(forced);
+  return DetectedTier();
+}
+
+bool TierSupported(IsaTier tier) { return CpuHasTier(tier); }
+
+const char* TierName(IsaTier tier) {
+  switch (tier) {
+    case IsaTier::kScalar:
+      return "scalar";
+    case IsaTier::kAvx2:
+      return "avx2";
+    case IsaTier::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+void SetActiveTierForTest(IsaTier tier) {
+  g_test_override.store(static_cast<int>(tier), std::memory_order_relaxed);
+}
+
+void ClearActiveTierForTest() {
+  g_test_override.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace simd
+}  // namespace explain3d

@@ -1,0 +1,57 @@
+// Runtime ISA dispatch for the stage-1 SIMD kernels.
+//
+// The kernel layer (simd/intersect.h, simd/levenshtein.h) compiles up to
+// three implementations of each kernel — scalar, AVX2, AVX-512 — and
+// selects one at runtime from CPUID. The SCALAR path is the bit-identical
+// oracle: every vector path must produce exactly the same counts,
+// distances, candidate sets, and scores at any input (enforced by
+// tests/simd_kernels_test.cc and the stage-1 equivalence suites), so tier
+// selection can never change a result, only its latency.
+//
+// Selection order:
+//   1. compile gate: -DEXPLAIN3D_NO_SIMD (CMake EXPLAIN3D_SIMD=OFF) or a
+//      non-x86 target compiles the vector kernels out entirely;
+//   2. env override: EXPLAIN3D_SIMD_TIER=scalar|avx2|avx512 clamps the
+//      tier (requests above hardware support clamp down);
+//   3. CPUID: the highest tier the CPU supports (AVX-512 needs F+BW).
+
+#ifndef EXPLAIN3D_SIMD_DISPATCH_H_
+#define EXPLAIN3D_SIMD_DISPATCH_H_
+
+namespace explain3d {
+namespace simd {
+
+/// Kernel implementation tiers, ordered weakest to strongest.
+enum class IsaTier : int {
+  kScalar = 0,  ///< portable C++ — the bit-identical oracle
+  kAvx2 = 1,    ///< 256-bit integer kernels
+  kAvx512 = 2,  ///< 512-bit integer kernels (requires AVX-512 F + BW)
+};
+
+/// The tier every dispatched kernel call uses right now (detection ∧ env
+/// override ∧ test override). Cheap: one relaxed atomic load.
+IsaTier ActiveTier();
+
+/// The tier CPUID detection picked, before any test override (but after
+/// the EXPLAIN3D_SIMD_TIER env clamp). Stable for the process lifetime.
+IsaTier DetectedTier();
+
+/// True when `tier`'s kernels are compiled in AND the CPU can run them.
+/// kScalar is always supported.
+bool TierSupported(IsaTier tier);
+
+/// "scalar" / "avx2" / "avx512".
+const char* TierName(IsaTier tier);
+
+/// Test hook: forces ActiveTier() to `tier` (must be supported) so the
+/// equivalence suites can drive every tier in one process. NOT thread
+/// safe with respect to concurrent kernel calls — tests only.
+void SetActiveTierForTest(IsaTier tier);
+
+/// Test hook: drops the SetActiveTierForTest override.
+void ClearActiveTierForTest();
+
+}  // namespace simd
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_SIMD_DISPATCH_H_

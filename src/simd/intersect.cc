@@ -1,0 +1,135 @@
+#include "simd/intersect.h"
+
+#include <algorithm>
+
+#if defined(__x86_64__) && !defined(EXPLAIN3D_NO_SIMD)
+#include <immintrin.h>
+#define EXPLAIN3D_SIMD_X86 1
+#endif
+
+namespace explain3d {
+namespace simd {
+
+namespace {
+
+// Branch-light scalar merge: every step advances at least one cursor, the
+// comparisons compile to flag-setting adds. This is the oracle the vector
+// tiers must match count-for-count.
+size_t MergeCountScalar(const uint32_t* a, size_t na, const uint32_t* b,
+                        size_t nb) {
+  size_t i = 0, j = 0, count = 0;
+  while (i < na && j < nb) {
+    uint32_t x = a[i];
+    uint32_t y = b[j];
+    count += (x == y);
+    i += (x <= y);
+    j += (y <= x);
+  }
+  return count;
+}
+
+// Galloping intersection for skewed sizes: each element of the small side
+// exponential-searches forward in the large side. Used at EVERY tier when
+// the ratio passes kGallopRatio — the win is skipping runs of the large
+// array, which lane width does not help with — so the skewed path is
+// trivially tier-identical.
+size_t GallopCount(const uint32_t* a, size_t na, const uint32_t* b,
+                   size_t nb) {
+  size_t j = 0, count = 0;
+  for (size_t i = 0; i < na && j < nb; ++i) {
+    uint32_t x = a[i];
+    // Exponential bound: after the loop, x can only occur in
+    // b[j, min(nb, j+bound+1)).
+    size_t bound = 1;
+    while (j + bound < nb && b[j + bound] < x) bound <<= 1;
+    const uint32_t* lo = b + j;
+    const uint32_t* hi = b + std::min(nb, j + bound + 1);
+    const uint32_t* pos = std::lower_bound(lo, hi, x);
+    j = static_cast<size_t>(pos - b);
+    if (j < nb && b[j] == x) {
+      ++count;
+      ++j;
+    }
+  }
+  return count;
+}
+
+#if defined(EXPLAIN3D_SIMD_X86)
+
+// Block-compare merge: broadcast each element of the (smaller) a against
+// an 8-lane block of b; the block advances only when a[i] has passed its
+// maximum, so every equal pair meets exactly once. Inputs are unique, so
+// "any lane equal" contributes exactly one to the count.
+__attribute__((target("avx2"))) size_t MergeCountAvx2(const uint32_t* a,
+                                                      size_t na,
+                                                      const uint32_t* b,
+                                                      size_t nb) {
+  size_t i = 0, j = 0, count = 0;
+  while (i < na && j + 8 <= nb) {
+    __m256i va = _mm256_set1_epi32(static_cast<int>(a[i]));
+    __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    __m256i eq = _mm256_cmpeq_epi32(va, vb);
+    count += _mm256_testz_si256(eq, eq) == 0;
+    if (a[i] <= b[j + 7]) {
+      ++i;
+    } else {
+      j += 8;
+    }
+  }
+  return count + MergeCountScalar(a + i, na - i, b + j, nb - j);
+}
+
+// Same shape, 16 lanes, compare-to-mask.
+__attribute__((target("avx512f"))) size_t MergeCountAvx512(
+    const uint32_t* a, size_t na, const uint32_t* b, size_t nb) {
+  size_t i = 0, j = 0, count = 0;
+  while (i < na && j + 16 <= nb) {
+    __m512i va = _mm512_set1_epi32(static_cast<int>(a[i]));
+    __m512i vb = _mm512_loadu_si512(b + j);
+    __mmask16 eq = _mm512_cmpeq_epi32_mask(va, vb);
+    count += eq != 0;
+    if (a[i] <= b[j + 15]) {
+      ++i;
+    } else {
+      j += 16;
+    }
+  }
+  return count + MergeCountScalar(a + i, na - i, b + j, nb - j);
+}
+
+#endif  // EXPLAIN3D_SIMD_X86
+
+}  // namespace
+
+size_t IntersectCountTier(IsaTier tier, Span<const uint32_t> a,
+                          Span<const uint32_t> b) {
+  // Put the smaller set on the a side: both the block merge and the
+  // gallop want to iterate the small one.
+  const uint32_t* sa = a.data();
+  size_t na = a.size();
+  const uint32_t* sb = b.data();
+  size_t nb = b.size();
+  if (na > nb) {
+    std::swap(sa, sb);
+    std::swap(na, nb);
+  }
+  if (na == 0) return 0;
+  if (nb > na * kGallopRatio) return GallopCount(sa, na, sb, nb);
+#if defined(EXPLAIN3D_SIMD_X86)
+  switch (tier) {
+    case IsaTier::kAvx2:
+      return MergeCountAvx2(sa, na, sb, nb);
+    case IsaTier::kAvx512:
+      return MergeCountAvx512(sa, na, sb, nb);
+    case IsaTier::kScalar:
+      break;
+  }
+#else
+  (void)tier;
+#endif
+  return MergeCountScalar(sa, na, sb, nb);
+}
+
+}  // namespace simd
+}  // namespace explain3d

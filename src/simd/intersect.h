@@ -1,0 +1,152 @@
+// Sorted-set intersection kernels over interned token ids.
+//
+// Counts |a ∩ b| for two ascending, duplicate-free uint32 arrays — the
+// inner loop of token Jaccard (similarity.cc) and the only arithmetic in
+// blocking's candidate overlap. The count is an exact integer at every
+// tier, so a Jaccard computed from it is bit-identical to the scalar
+// merge the repo has always used.
+//
+// Kernel shapes:
+//   * balanced sizes — linear merge; the vector tiers compare each
+//     element of the smaller array against an 8-wide (AVX2) / 16-wide
+//     (AVX-512) block of the larger and advance the block monotonically:
+//     O(|a| + |b|/W) comparisons instead of O(|a| + |b|).
+//   * skewed sizes (ratio > kGallopRatio) — galloping: each element of
+//     the small side exponential-searches forward in the large side,
+//     O(|a| log |b|). Same count, and the same path at every tier (the
+//     win is the search, not the width).
+
+#ifndef EXPLAIN3D_SIMD_INTERSECT_H_
+#define EXPLAIN3D_SIMD_INTERSECT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/span.h"
+#include "simd/dispatch.h"
+
+#if defined(__x86_64__) && !defined(EXPLAIN3D_NO_SIMD)
+#include <immintrin.h>
+#define EXPLAIN3D_SIMD_INTERSECT_X86 1
+#endif
+
+namespace explain3d {
+namespace simd {
+
+/// Small/large size ratio beyond which the merge switches to galloping.
+constexpr size_t kGallopRatio = 32;
+
+/// Below this size on BOTH sides, IntersectCount stays on an inlined
+/// scalar merge: sets this small never fill a vector block, so the
+/// dispatch hop would cost more than the merge itself. (Typical key
+/// cells hold a handful of tokens — this IS the common case.)
+constexpr size_t kSmallSetCutoff = 16;
+
+/// At or below this size on both sides, IntersectCount counts pairwise
+/// equalities instead of merging. The merge is latency-bound — every
+/// iteration's loads depend on the previous cursor advance, and the
+/// data-dependent exit branch mispredicts on random inputs — while the
+/// O(na·nb) compares are independent and branch-free, several times
+/// faster up to ~8×8.
+constexpr size_t kAllPairsCutoff = 8;
+
+/// Same, forcing a specific tier — the fuzz suite compares every
+/// supported tier against kScalar. `tier` must satisfy TierSupported.
+/// No small-set shortcut: the requested tier's kernel always runs.
+size_t IntersectCountTier(IsaTier tier, Span<const uint32_t> a,
+                          Span<const uint32_t> b);
+
+/// |a ∩ b| via the ActiveTier() kernel (inlined scalar merge below
+/// kSmallSetCutoff — identical count either way). Inputs must be
+/// ascending and duplicate-free (TokenIdSet invariant); empty spans are
+/// fine.
+namespace internal {
+
+#if defined(EXPLAIN3D_SIMD_INTERSECT_X86)
+/// Lane masks for the ≤8-lane maskload: row n enables the first n lanes.
+alignas(32) inline constexpr int32_t kLaneMask[9][8] = {
+    {0, 0, 0, 0, 0, 0, 0, 0},
+    {-1, 0, 0, 0, 0, 0, 0, 0},
+    {-1, -1, 0, 0, 0, 0, 0, 0},
+    {-1, -1, -1, 0, 0, 0, 0, 0},
+    {-1, -1, -1, -1, 0, 0, 0, 0},
+    {-1, -1, -1, -1, -1, 0, 0, 0},
+    {-1, -1, -1, -1, -1, -1, 0, 0},
+    {-1, -1, -1, -1, -1, -1, -1, 0},
+    {-1, -1, -1, -1, -1, -1, -1, -1},
+};
+
+/// All-pairs count for na, nb ≤ 8: b sits in one 8-lane register, each
+/// a element broadcast-compares against it, and matches OR into a lane
+/// accumulator — each b lane matches at most one a (unique sets), so the
+/// popcount of hit lanes IS the intersection size. ~12 cycles with no
+/// serial cursor chain and no data-dependent branches.
+__attribute__((target("avx2"))) inline size_t AllPairsCountAvx2(
+    const uint32_t* a, size_t na, const uint32_t* b, size_t nb) {
+  __m256i mask =
+      _mm256_load_si256(reinterpret_cast<const __m256i*>(kLaneMask[nb]));
+  __m256i vb = _mm256_maskload_epi32(reinterpret_cast<const int*>(b), mask);
+  // Masked-off lanes read as 0, and 0 is a real token id — flip them to
+  // 0xFFFFFFFF, the dictionary's kMissing sentinel, which no set holds.
+  vb = _mm256_or_si256(vb, _mm256_andnot_si256(mask, _mm256_set1_epi32(-1)));
+  __m256i acc = _mm256_setzero_si256();
+  for (size_t i = 0; i < na; ++i) {
+    __m256i va = _mm256_set1_epi32(static_cast<int>(a[i]));
+    acc = _mm256_or_si256(acc, _mm256_cmpeq_epi32(va, vb));
+  }
+  int hit = _mm256_movemask_ps(_mm256_castsi256_ps(acc));
+  return static_cast<size_t>(__builtin_popcount(static_cast<unsigned>(hit)));
+}
+#endif  // EXPLAIN3D_SIMD_INTERSECT_X86
+
+}  // namespace internal
+
+inline size_t IntersectCount(Span<const uint32_t> a, Span<const uint32_t> b) {
+  if (a.size() <= kAllPairsCutoff && b.size() <= kAllPairsCutoff) {
+#if defined(EXPLAIN3D_SIMD_INTERSECT_X86)
+    // Latched at first use: the vector path is pure ISA availability (the
+    // count is identical either way), so later test-only tier overrides
+    // need not flip it. AVX-512 hardware takes this path too — 8 lanes
+    // already cover the cutoff.
+    static const bool use_avx2 = TierSupported(IsaTier::kAvx2) &&
+                                 ActiveTier() != IsaTier::kScalar;
+    if (use_avx2) {
+      return internal::AllPairsCountAvx2(a.data(), a.size(), b.data(),
+                                         b.size());
+    }
+#endif
+    // Sorted unique sets: each element matches at most once, so the
+    // pairwise-equality count IS |a ∩ b| — same integer as the merge.
+    // The per-row accumulator keeps the add chains of different rows
+    // independent (one shared counter would serialize every compare).
+    size_t count = 0;
+    for (size_t i = 0; i < a.size(); ++i) {
+      uint32_t x = a[i];
+      size_t row = 0;
+      for (size_t j = 0; j < b.size(); ++j) row += (x == b[j]);
+      count += row;
+    }
+    return count;
+  }
+  if (a.size() < kSmallSetCutoff && b.size() < kSmallSetCutoff) {
+    const uint32_t* pa = a.begin();
+    const uint32_t* pb = b.begin();
+    const uint32_t* ea = a.end();
+    const uint32_t* eb = b.end();
+    size_t count = 0;
+    while (pa != ea && pb != eb) {
+      uint32_t x = *pa;
+      uint32_t y = *pb;
+      count += (x == y);
+      pa += (x <= y);
+      pb += (y <= x);
+    }
+    return count;
+  }
+  return IntersectCountTier(ActiveTier(), a, b);
+}
+
+}  // namespace simd
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_SIMD_INTERSECT_H_

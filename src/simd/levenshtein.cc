@@ -1,0 +1,198 @@
+#include "simd/levenshtein.h"
+
+#include <algorithm>
+#include <vector>
+
+#if defined(__x86_64__) && !defined(EXPLAIN3D_NO_SIMD)
+#include <immintrin.h>
+#define EXPLAIN3D_SIMD_X86 1
+#endif
+
+namespace explain3d {
+namespace simd {
+
+uint32_t LevenshteinDistance(const char* a, size_t la, const char* b,
+                             size_t lb) {
+  if (la == 0) return static_cast<uint32_t>(lb);
+  if (lb == 0) return static_cast<uint32_t>(la);
+  // Two-row DP; thread-local scratch keeps the hot loop allocation-free.
+  static thread_local std::vector<uint32_t> prev_s, cur_s;
+  prev_s.resize(lb + 1);
+  cur_s.resize(lb + 1);
+  uint32_t* prev = prev_s.data();
+  uint32_t* cur = cur_s.data();
+  for (size_t j = 0; j <= lb; ++j) prev[j] = static_cast<uint32_t>(j);
+  for (size_t i = 1; i <= la; ++i) {
+    cur[0] = static_cast<uint32_t>(i);
+    for (size_t j = 1; j <= lb; ++j) {
+      uint32_t cost = a[i - 1] == b[j - 1] ? 0 : 1;
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + cost});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[lb];
+}
+
+#if defined(EXPLAIN3D_SIMD_X86)
+
+namespace {
+
+// 16 candidate pairs per DP sweep in uint16 lanes. The query is shared
+// (broadcast per row); candidate characters sit in a transposed buffer so
+// column j of every lane loads as one vector. Lane l's answer is the
+// final row at ITS column lens[l]; columns past a lane's length hold
+// junk the answer column never depends on (the recurrence reads only
+// columns <= j). All values stay <= kLevMaxBatchLen + 1, far below the
+// uint16 range, so plain wrapping adds are exact.
+__attribute__((target("avx2"))) void LevBatchAvx2(
+    const char* q, size_t qlen, const char* const* cands, const size_t* lens,
+    size_t n, uint32_t* out) {
+  constexpr size_t kW = 16;
+  size_t maxlb = 0;
+  for (size_t l = 0; l < n; ++l) maxlb = std::max(maxlb, lens[l]);
+  alignas(32) uint16_t tchars[kLevMaxBatchLen * kW];
+  for (size_t j = 0; j < maxlb; ++j) {
+    for (size_t l = 0; l < kW; ++l) {
+      tchars[j * kW + l] =
+          (l < n && j < lens[l])
+              ? static_cast<uint16_t>(static_cast<unsigned char>(cands[l][j]))
+              : 0;
+    }
+  }
+  alignas(32) uint16_t rows[2][(kLevMaxBatchLen + 1) * kW];
+  uint16_t* prev = rows[0];
+  uint16_t* cur = rows[1];
+  for (size_t j = 0; j <= maxlb; ++j) {
+    _mm256_store_si256(reinterpret_cast<__m256i*>(prev + j * kW),
+                       _mm256_set1_epi16(static_cast<short>(j)));
+  }
+  const __m256i ones = _mm256_set1_epi16(1);
+  for (size_t i = 1; i <= qlen; ++i) {
+    __m256i qc = _mm256_set1_epi16(
+        static_cast<short>(static_cast<unsigned char>(q[i - 1])));
+    __m256i left = _mm256_set1_epi16(static_cast<short>(i));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(cur), left);
+    for (size_t j = 1; j <= maxlb; ++j) {
+      __m256i cj = _mm256_load_si256(
+          reinterpret_cast<const __m256i*>(tchars + (j - 1) * kW));
+      // cmpeq yields -1 on equal lanes; 1 + (-1) = substitution cost 0.
+      __m256i cost = _mm256_add_epi16(ones, _mm256_cmpeq_epi16(qc, cj));
+      __m256i diag = _mm256_load_si256(
+          reinterpret_cast<const __m256i*>(prev + (j - 1) * kW));
+      __m256i up =
+          _mm256_load_si256(reinterpret_cast<const __m256i*>(prev + j * kW));
+      __m256i val = _mm256_min_epu16(
+          _mm256_add_epi16(_mm256_min_epu16(up, left), ones),
+          _mm256_add_epi16(diag, cost));
+      _mm256_store_si256(reinterpret_cast<__m256i*>(cur + j * kW), val);
+      left = val;
+    }
+    std::swap(prev, cur);
+  }
+  for (size_t l = 0; l < n; ++l) out[l] = prev[lens[l] * kW + l];
+}
+
+// Same sweep, 32 lanes (needs AVX-512BW for the epi16 compare/min).
+__attribute__((target("avx512f,avx512bw"))) void LevBatchAvx512(
+    const char* q, size_t qlen, const char* const* cands, const size_t* lens,
+    size_t n, uint32_t* out) {
+  constexpr size_t kW = 32;
+  size_t maxlb = 0;
+  for (size_t l = 0; l < n; ++l) maxlb = std::max(maxlb, lens[l]);
+  alignas(64) uint16_t tchars[kLevMaxBatchLen * kW];
+  for (size_t j = 0; j < maxlb; ++j) {
+    for (size_t l = 0; l < kW; ++l) {
+      tchars[j * kW + l] =
+          (l < n && j < lens[l])
+              ? static_cast<uint16_t>(static_cast<unsigned char>(cands[l][j]))
+              : 0;
+    }
+  }
+  alignas(64) uint16_t rows[2][(kLevMaxBatchLen + 1) * kW];
+  uint16_t* prev = rows[0];
+  uint16_t* cur = rows[1];
+  for (size_t j = 0; j <= maxlb; ++j) {
+    _mm512_store_si512(prev + j * kW,
+                       _mm512_set1_epi16(static_cast<short>(j)));
+  }
+  const __m512i ones = _mm512_set1_epi16(1);
+  for (size_t i = 1; i <= qlen; ++i) {
+    __m512i qc = _mm512_set1_epi16(
+        static_cast<short>(static_cast<unsigned char>(q[i - 1])));
+    __m512i left = _mm512_set1_epi16(static_cast<short>(i));
+    _mm512_store_si512(cur, left);
+    for (size_t j = 1; j <= maxlb; ++j) {
+      __m512i cj = _mm512_load_si512(tchars + (j - 1) * kW);
+      __m512i cost = _mm512_add_epi16(
+          ones, _mm512_movm_epi16(_mm512_cmpeq_epi16_mask(qc, cj)));
+      __m512i diag = _mm512_load_si512(prev + (j - 1) * kW);
+      __m512i up = _mm512_load_si512(prev + j * kW);
+      __m512i val = _mm512_min_epu16(
+          _mm512_add_epi16(_mm512_min_epu16(up, left), ones),
+          _mm512_add_epi16(diag, cost));
+      _mm512_store_si512(cur + j * kW, val);
+      left = val;
+    }
+    std::swap(prev, cur);
+  }
+  for (size_t l = 0; l < n; ++l) out[l] = prev[lens[l] * kW + l];
+}
+
+}  // namespace
+
+#endif  // EXPLAIN3D_SIMD_X86
+
+void LevenshteinBatchTier(IsaTier tier, const char* query, size_t qlen,
+                          const char* const* cands, const size_t* cand_lens,
+                          size_t n, uint32_t* out) {
+#if defined(EXPLAIN3D_SIMD_X86)
+  if (tier != IsaTier::kScalar && qlen <= kLevMaxBatchLen) {
+    const size_t width = tier == IsaTier::kAvx512 ? 32 : 16;
+    for (size_t start = 0; start < n; start += width) {
+      size_t chunk = std::min(width, n - start);
+      // Compact over-cap candidates out of the lane set; they take the
+      // scalar DP (identical integers) so a single long string cannot
+      // force the whole batch off the vector path.
+      const char* ptrs[32];
+      size_t lens[32];
+      size_t lane_idx[32];
+      uint32_t dist[32];
+      size_t m = 0;
+      for (size_t k = 0; k < chunk; ++k) {
+        size_t idx = start + k;
+        if (cand_lens[idx] > kLevMaxBatchLen) {
+          out[idx] =
+              LevenshteinDistance(query, qlen, cands[idx], cand_lens[idx]);
+        } else {
+          ptrs[m] = cands[idx];
+          lens[m] = cand_lens[idx];
+          lane_idx[m] = idx;
+          ++m;
+        }
+      }
+      if (m == 0) continue;
+      if (tier == IsaTier::kAvx512) {
+        LevBatchAvx512(query, qlen, ptrs, lens, m, dist);
+      } else {
+        LevBatchAvx2(query, qlen, ptrs, lens, m, dist);
+      }
+      for (size_t l = 0; l < m; ++l) out[lane_idx[l]] = dist[l];
+    }
+    return;
+  }
+#else
+  (void)tier;
+#endif
+  for (size_t k = 0; k < n; ++k) {
+    out[k] = LevenshteinDistance(query, qlen, cands[k], cand_lens[k]);
+  }
+}
+
+void LevenshteinBatch(const char* query, size_t qlen,
+                      const char* const* cands, const size_t* cand_lens,
+                      size_t n, uint32_t* out) {
+  LevenshteinBatchTier(ActiveTier(), query, qlen, cands, cand_lens, n, out);
+}
+
+}  // namespace simd
+}  // namespace explain3d

@@ -1,0 +1,55 @@
+// Batched Levenshtein distance kernels.
+//
+// The Levenshtein scoring path compares ONE query string (a T1 key cell)
+// against MANY candidate strings (the T2 cells of that tuple's candidate
+// pairs). The vector tiers exploit that shape: one DP sweep advances 16
+// (AVX2) / 32 (AVX-512) independent candidate pairs in uint16 lanes —
+// the query row is broadcast, the candidate characters live in a
+// transposed column buffer, and each lane reads its answer at its own
+// final column. Cells past a lane's length are computed but harmless
+// (the DP recurrence only flows left-to-right, and the answer column
+// never reads them).
+//
+// Distances are exact small integers at every tier, so similarities
+// normalized from them (similarity.cc's 1 - dist/max(len)) are
+// bit-identical to the scalar DP.
+
+#ifndef EXPLAIN3D_SIMD_LEVENSHTEIN_H_
+#define EXPLAIN3D_SIMD_LEVENSHTEIN_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/dispatch.h"
+
+namespace explain3d {
+namespace simd {
+
+/// Longest string the lane-parallel DP accepts. Pairs where either side
+/// exceeds it are scored with the scalar row DP instead (still exact);
+/// the cap bounds the kernel's stack buffers and keeps every uint16 lane
+/// value far from overflow.
+constexpr size_t kLevMaxBatchLen = 256;
+
+/// Exact edit distance of (a, b) — the scalar single-pair oracle (same
+/// integer the similarity.cc DP produces).
+uint32_t LevenshteinDistance(const char* a, size_t la, const char* b,
+                             size_t lb);
+
+/// out[k] = exact edit distance of (query, cands[k]) for k < n.
+/// `cand_lens[k]` is the byte length of cands[k]. Over-cap pairs fall
+/// back to the scalar DP inside the call; results are identical at every
+/// tier. `tier` must satisfy TierSupported.
+void LevenshteinBatchTier(IsaTier tier, const char* query, size_t qlen,
+                          const char* const* cands, const size_t* cand_lens,
+                          size_t n, uint32_t* out);
+
+/// Same, via ActiveTier().
+void LevenshteinBatch(const char* query, size_t qlen,
+                      const char* const* cands, const size_t* cand_lens,
+                      size_t n, uint32_t* out);
+
+}  // namespace simd
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_SIMD_LEVENSHTEIN_H_

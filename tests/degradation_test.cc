@@ -11,6 +11,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <chrono>
 #include <thread>
 
@@ -198,6 +199,11 @@ TEST(DegradationTest, FallbackReturnsMarkedDegradedResultWithinBudget) {
   EXPECT_GT(deg.exact_seconds, 0.0);
   EXPECT_GT(deg.fallback_seconds, 0.0);
   EXPECT_EQ(deg.objective, r.value().core().explanations.log_probability);
+  // The interrupted solve still proves an admissible optimistic bound, so
+  // the caller can cap the fallback's optimality gap. Admissibility: the
+  // bound can never sit below the achieved greedy objective.
+  EXPECT_TRUE(std::isfinite(deg.incumbent_bound));
+  EXPECT_GE(deg.incumbent_bound, deg.objective - 1e-6);
   // A degraded answer is never optimal by construction.
   EXPECT_FALSE(r.value().core().stats.all_optimal);
   // Poll latency + sanitizer slack — nowhere near the exact solve time.

@@ -1,0 +1,276 @@
+// SIMD kernel equivalence suite: every vector tier must be a bit-exact
+// drop-in for the scalar oracle (the dispatch contract in
+// simd/dispatch.h). Seeded fuzzing sweeps the kernel-shape boundaries —
+// the all-pairs cutoff, the small-set merge cutoff, the gallop ratio,
+// the Levenshtein batch-length cap — plus full stage-1 scoring and
+// blocking runs under forced tiers. Any mismatch is a hard failure: tier
+// selection may change latency, never a count, a distance, or a score.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "matching/blocking.h"
+#include "matching/mapping_generator.h"
+#include "matching/token_interning.h"
+#include "simd/dispatch.h"
+#include "simd/intersect.h"
+#include "simd/levenshtein.h"
+
+namespace explain3d {
+namespace {
+
+using simd::IsaTier;
+
+// Restores normal dispatch even when an assertion aborts the test body.
+struct TierGuard {
+  explicit TierGuard(IsaTier tier) { simd::SetActiveTierForTest(tier); }
+  ~TierGuard() { simd::ClearActiveTierForTest(); }
+};
+
+std::vector<IsaTier> SupportedVectorTiers() {
+  std::vector<IsaTier> tiers;
+  for (IsaTier t : {IsaTier::kAvx2, IsaTier::kAvx512}) {
+    if (simd::TierSupported(t)) tiers.push_back(t);
+  }
+  return tiers;
+}
+
+// Ascending duplicate-free token ids drawn from [0, universe). A small
+// universe forces collisions (non-empty intersections); a large one
+// exercises the mostly-disjoint shape.
+std::vector<uint32_t> RandomSet(Rng* rng, size_t n, uint32_t universe) {
+  std::vector<uint32_t> v;
+  v.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    v.push_back(static_cast<uint32_t>(rng->Index(universe)));
+  }
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+// The reference the kernels must reproduce exactly.
+size_t ReferenceIntersect(const std::vector<uint32_t>& a,
+                          const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out.size();
+}
+
+TEST(SimdIntersectTest, TierKernelsMatchScalarOnFuzzedSets) {
+  Rng rng(20250807);
+  std::vector<IsaTier> tiers = SupportedVectorTiers();
+  // Sizes straddle every kernel boundary: the all-pairs cutoff (8), the
+  // small-set merge cutoff (16), vector-block widths (8/16), and sizes
+  // big enough for multi-block merges.
+  const size_t sizes[] = {0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 33, 64, 200};
+  for (uint32_t universe : {8u, 64u, 4096u, 1u << 20}) {
+    for (size_t na : sizes) {
+      for (size_t nb : sizes) {
+        std::vector<uint32_t> a = RandomSet(&rng, na, universe);
+        std::vector<uint32_t> b = RandomSet(&rng, nb, universe);
+        Span<const uint32_t> sa(a.data(), a.size());
+        Span<const uint32_t> sb(b.data(), b.size());
+        size_t want = ReferenceIntersect(a, b);
+        ASSERT_EQ(simd::IntersectCountTier(IsaTier::kScalar, sa, sb), want)
+            << "scalar tier na=" << na << " nb=" << nb << " u=" << universe;
+        ASSERT_EQ(simd::IntersectCount(sa, sb), want)
+            << "dispatched na=" << na << " nb=" << nb << " u=" << universe;
+        for (IsaTier t : tiers) {
+          ASSERT_EQ(simd::IntersectCountTier(t, sa, sb), want)
+              << simd::TierName(t) << " na=" << na << " nb=" << nb
+              << " u=" << universe;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdIntersectTest, GallopPathMatchesScalarOnSkewedSets) {
+  Rng rng(77);
+  std::vector<IsaTier> tiers = SupportedVectorTiers();
+  // Small-vs-huge ratios beyond kGallopRatio take the galloping path;
+  // ratios just below it stay on the merge. Both sides of the threshold,
+  // both argument orders.
+  for (size_t small : {1, 2, 5, 16}) {
+    for (size_t big : {small * simd::kGallopRatio - 1,
+                       small * simd::kGallopRatio + 1, small * 200}) {
+      std::vector<uint32_t> a = RandomSet(&rng, small, 1u << 16);
+      std::vector<uint32_t> b = RandomSet(&rng, big, 1u << 16);
+      // Force some guaranteed hits: splice a few of b's values into a.
+      for (size_t i = 0; i < a.size() && i < b.size(); i += 2) {
+        a[i] = b[rng.Index(b.size())];
+      }
+      std::sort(a.begin(), a.end());
+      a.erase(std::unique(a.begin(), a.end()), a.end());
+      Span<const uint32_t> sa(a.data(), a.size());
+      Span<const uint32_t> sb(b.data(), b.size());
+      size_t want = ReferenceIntersect(a, b);
+      for (IsaTier t : tiers) {
+        ASSERT_EQ(simd::IntersectCountTier(t, sa, sb), want)
+            << simd::TierName(t) << " small=" << a.size() << " big=" << big;
+        ASSERT_EQ(simd::IntersectCountTier(t, sb, sa), want)
+            << simd::TierName(t) << " swapped";
+      }
+    }
+  }
+}
+
+#if defined(EXPLAIN3D_SIMD_INTERSECT_X86)
+TEST(SimdIntersectTest, AllPairsAvx2KernelMatchesReferenceUpToCutoff) {
+  if (!simd::TierSupported(IsaTier::kAvx2)) {
+    GTEST_SKIP() << "AVX2 unavailable";
+  }
+  Rng rng(990);
+  for (size_t na = 0; na <= simd::kAllPairsCutoff; ++na) {
+    for (size_t nb = 0; nb <= simd::kAllPairsCutoff; ++nb) {
+      for (int rep = 0; rep < 50; ++rep) {
+        std::vector<uint32_t> a = RandomSet(&rng, na, 24);
+        std::vector<uint32_t> b = RandomSet(&rng, nb, 24);
+        ASSERT_EQ(simd::internal::AllPairsCountAvx2(a.data(), a.size(),
+                                                    b.data(), b.size()),
+                  ReferenceIntersect(a, b))
+            << "na=" << a.size() << " nb=" << b.size() << " rep=" << rep;
+      }
+    }
+  }
+  // Token id 0 in live lanes must count as a real id, not a mask hole.
+  std::vector<uint32_t> za = {0, 3};
+  std::vector<uint32_t> zb = {0, 1, 2, 3};
+  EXPECT_EQ(simd::internal::AllPairsCountAvx2(za.data(), 2, zb.data(), 4),
+            2u);
+}
+#endif  // EXPLAIN3D_SIMD_INTERSECT_X86
+
+TEST(SimdLevenshteinTest, BatchTiersMatchScalarOnFuzzedStrings) {
+  Rng rng(4242);
+  std::vector<IsaTier> tiers = SupportedVectorTiers();
+  const char alphabet[] = "abcdefgh ";
+  auto random_string = [&](size_t len) {
+    std::string s;
+    for (size_t i = 0; i < len; ++i) {
+      s += alphabet[rng.Index(sizeof(alphabet) - 1)];
+    }
+    return s;
+  };
+  // Batch sizes straddle the lane widths (16 / 32); lengths straddle the
+  // batch cap so over-cap lanes exercise the in-call scalar fallback.
+  for (size_t n : {1, 2, 15, 16, 17, 32, 40}) {
+    for (size_t qlen : {size_t{0}, size_t{1}, size_t{9}, size_t{40},
+                        simd::kLevMaxBatchLen + 10}) {
+      std::string query = random_string(qlen);
+      std::vector<std::string> cands;
+      for (size_t k = 0; k < n; ++k) {
+        size_t len = rng.Index(3) == 0 ? simd::kLevMaxBatchLen + rng.Index(40)
+                                       : rng.Index(60);
+        cands.push_back(random_string(len));
+      }
+      std::vector<const char*> ptrs;
+      std::vector<size_t> lens;
+      for (const std::string& c : cands) {
+        ptrs.push_back(c.data());
+        lens.push_back(c.size());
+      }
+      std::vector<uint32_t> want(n), got(n);
+      simd::LevenshteinBatchTier(IsaTier::kScalar, query.data(), query.size(),
+                                 ptrs.data(), lens.data(), n, want.data());
+      // Cross-check lane 0 against the single-pair oracle.
+      ASSERT_EQ(want[0], simd::LevenshteinDistance(query.data(), query.size(),
+                                                   ptrs[0], lens[0]));
+      for (IsaTier t : tiers) {
+        std::fill(got.begin(), got.end(), 0xdeadbeef);
+        simd::LevenshteinBatchTier(t, query.data(), query.size(), ptrs.data(),
+                                   lens.data(), n, got.data());
+        ASSERT_EQ(got, want) << simd::TierName(t) << " n=" << n
+                             << " qlen=" << qlen;
+      }
+    }
+  }
+}
+
+// --- stage-1 end-to-end under forced tiers ----------------------------------
+
+CanonicalRelation FuzzRelation(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  CanonicalRelation rel;
+  rel.key_attrs = {"k"};
+  rel.agg = AggFunc::kSum;
+  for (size_t i = 0; i < n; ++i) {
+    CanonicalTuple t;
+    std::string key;
+    size_t words = 1 + rng.Index(6);
+    for (size_t w = 0; w < words; ++w) {
+      key += "w" + std::to_string(rng.Index(120)) + " ";
+    }
+    t.key = {Value(key)};
+    t.impact = static_cast<double>(rng.UniformInt(1, 10));
+    t.prov_rows = {i};
+    rel.tuples.push_back(std::move(t));
+  }
+  return rel;
+}
+
+TEST(SimdStage1Test, ForcedTiersProduceIdenticalCandidatesAndScores) {
+  CanonicalRelation t1 = FuzzRelation(300, 8801);
+  CanonicalRelation t2 = FuzzRelation(300, 8802);
+
+  struct Baseline {
+    CandidatePairs pairs;
+    std::vector<double> jaccard;
+    std::vector<double> lev;
+    std::vector<double> lev_floored;
+  };
+  auto run = [&](IsaTier tier) {
+    TierGuard guard(tier);
+    TokenDictionary dict;
+    InternedRelation i1(t1, &dict);
+    InternedRelation i2(t2, &dict);
+    Baseline out;
+    out.pairs = GenerateCandidates(i1, i2);
+    out.jaccard =
+        ScoreCandidates(i1, i2, out.pairs, StringMetric::kJaccard, 1);
+    out.lev =
+        ScoreCandidates(i1, i2, out.pairs, StringMetric::kLevenshtein, 1);
+    // The floor arms the prune: kept slots must still be exact.
+    out.lev_floored = ScoreCandidates(i1, i2, out.pairs,
+                                      StringMetric::kLevenshtein, 1, 0.6);
+    return out;
+  };
+
+  Baseline want = run(IsaTier::kScalar);
+  ASSERT_FALSE(want.pairs.empty());
+  for (IsaTier t : SupportedVectorTiers()) {
+    Baseline got = run(t);
+    EXPECT_EQ(got.pairs, want.pairs) << simd::TierName(t);
+    EXPECT_EQ(got.jaccard, want.jaccard) << simd::TierName(t);
+    EXPECT_EQ(got.lev, want.lev) << simd::TierName(t);
+    // Floored runs may store upper bounds in dropped slots, but the
+    // prune decision is scalar (length arithmetic), so even those agree.
+    EXPECT_EQ(got.lev_floored, want.lev_floored) << simd::TierName(t);
+  }
+}
+
+TEST(SimdDispatchTest, TierLadderIsConsistent) {
+  // kScalar is unconditionally supported, and support is monotone: a
+  // supported tier implies every weaker tier is supported too.
+  EXPECT_TRUE(simd::TierSupported(IsaTier::kScalar));
+  if (simd::TierSupported(IsaTier::kAvx512)) {
+    EXPECT_TRUE(simd::TierSupported(IsaTier::kAvx2));
+  }
+  EXPECT_TRUE(simd::TierSupported(simd::DetectedTier()));
+  EXPECT_TRUE(simd::TierSupported(simd::ActiveTier()));
+  {
+    TierGuard guard(IsaTier::kScalar);
+    EXPECT_EQ(simd::ActiveTier(), IsaTier::kScalar);
+  }
+  EXPECT_EQ(simd::ActiveTier(), simd::DetectedTier());
+}
+
+}  // namespace
+}  // namespace explain3d

@@ -117,6 +117,72 @@ CanonicalRelation RandomKeyedRelation(size_t n, size_t arity, uint64_t seed) {
   return rel;
 }
 
+TEST(InternedRelationTest, ColumnarViewsMatchPerTupleRecomputation) {
+  CanonicalRelation rel = RandomKeyedRelation(120, 3, 404);
+  TokenDictionary dict;
+  InternedRelation interned(rel, &dict);
+  ASSERT_EQ(interned.size(), rel.size());
+  EXPECT_GT(interned.flat_bytes(), 0u);
+  for (size_t i = 0; i < rel.size(); ++i) {
+    ASSERT_EQ(interned.arity(i), rel.tuples[i].key.size());
+    std::vector<uint32_t> key_union;
+    for (size_t a = 0; a < interned.arity(i); ++a) {
+      const Value& v = rel.tuples[i].key[a];
+      size_t cell = interned.cell_index(i, a);
+      Span<const uint32_t> toks = interned.attr_tokens(i, a);
+      // The span must be exactly the cell's sorted-unique interned ids
+      // (empty for non-string cells), sliced out of the flat array.
+      if (v.is_null()) {
+        EXPECT_EQ(interned.cell_kind(cell), InternedRelation::CellKind::kNull);
+        EXPECT_TRUE(toks.empty());
+      } else if (v.type() == DataType::kString) {
+        EXPECT_EQ(interned.cell_kind(cell),
+                  InternedRelation::CellKind::kString);
+        TokenIdSet want = InternTokens(v.AsString(), &dict);
+        ASSERT_EQ(toks.size(), want.size());
+        for (size_t k = 0; k < want.size(); ++k) EXPECT_EQ(toks[k], want[k]);
+        EXPECT_TRUE(std::is_sorted(toks.begin(), toks.end()));
+      } else {
+        EXPECT_EQ(interned.cell_kind(cell),
+                  InternedRelation::CellKind::kNumeric);
+        EXPECT_TRUE(toks.empty());
+        EXPECT_TRUE(interned.cell_coercible(cell));
+        EXPECT_DOUBLE_EQ(interned.cell_numeric(cell), v.AsDouble());
+      }
+      key_union.insert(key_union.end(), toks.begin(), toks.end());
+    }
+    // key_ids is the sorted-unique union of the tuple's cell sets.
+    std::sort(key_union.begin(), key_union.end());
+    key_union.erase(std::unique(key_union.begin(), key_union.end()),
+                    key_union.end());
+    Span<const uint32_t> ku = interned.key_ids(i);
+    ASSERT_EQ(ku.size(), key_union.size()) << "tuple " << i;
+    for (size_t k = 0; k < key_union.size(); ++k) {
+      EXPECT_EQ(ku[k], key_union[k]);
+    }
+  }
+}
+
+TEST(InternedRelationTest, BaglessBuildSkipsBagsButKeepsCells) {
+  CanonicalRelation rel = RandomKeyedRelation(40, 2, 405);
+  TokenDictionary bagged_dict, bagless_dict;
+  InternedRelation bagged(rel, &bagged_dict);
+  InternedRelation bagless(rel, &bagless_dict, /*with_bags=*/false);
+  EXPECT_TRUE(bagged.has_bags());
+  EXPECT_FALSE(bagless.has_bags());
+  // Bags hold the whole-key display text; without them every bag view is
+  // empty but the attribute/cell columns are identical.
+  for (size_t i = 0; i < rel.size(); ++i) {
+    EXPECT_TRUE(bagless.bag(i).empty());
+    for (size_t a = 0; a < bagless.arity(i); ++a) {
+      Span<const uint32_t> lhs = bagless.attr_tokens(i, a);
+      Span<const uint32_t> rhs = bagged.attr_tokens(i, a);
+      ASSERT_EQ(lhs.size(), rhs.size());
+    }
+  }
+  EXPECT_LT(bagless.flat_bytes(), bagged.flat_bytes());
+}
+
 TEST(InternedKeySimilarityTest, MatchesKeySimilarityEqualArity) {
   CanonicalRelation t1 = RandomKeyedRelation(40, 3, 7);
   CanonicalRelation t2 = RandomKeyedRelation(40, 3, 8);
