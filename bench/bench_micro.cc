@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "core/exact_solver.h"
@@ -366,7 +368,16 @@ BENCHMARK(BM_PipelineStage1)
 // scoring + calibration + stage-2 solve only. The counters report the
 // per-call stage split; stage2_frac near the non-stage-2 remainder
 // staying flat as data grows is the no-O(data)-copy signature. Compare
-// BM_PipelineStage1/warm:1 across data sizes (args: n).
+// BM_PipelineStage1/warm:1 across data sizes.
+//
+// The batch arg picks Explain3DConfig::batch_size, ws toggles
+// Explain3DConfig::warm_start. At the default batch (1000) the biggest
+// sub-problem hits the exact node cap, so the run is not fully optimal
+// and the warm-start incumbent store never engages (warm_start_hits
+// stays 0 — the no-cold-regression row). batch:60 partitions into
+// fully-optimal sub-problems, so the prime run stores incumbents and
+// every timed ws:1 iteration solves with per-unit pruning floors — the
+// repeated-request serving shape; ws:0 is its cold reference.
 void BM_PipelineWarmRun(benchmark::State& state) {
   SyntheticOptions gen;
   gen.n = static_cast<size_t>(state.range(0));
@@ -383,25 +394,33 @@ void BM_PipelineWarmRun(benchmark::State& state) {
   input.calibration_oracle =
       MakeRowEntityOracle(data.row_entities1, data.row_entities2);
   Explain3DConfig config;
+  config.batch_size = static_cast<size_t>(state.range(1));
+  config.warm_start = state.range(2) != 0;
   MatchingContext context;
   input.matching_context = &context;
   benchmark::DoNotOptimize(RunExplain3D(input, config).ok());  // prime
   double stage1 = 0, stage2 = 0, total = 0;
+  size_t warm_hits = 0;
   for (auto _ : state) {
     Result<PipelineResult> r = RunExplain3D(input, config);
     benchmark::DoNotOptimize(r.ok());
     stage1 += r.value().stage1_seconds();
     stage2 += r.value().stage2_seconds();
     total += r.value().total_seconds();
+    warm_hits = r.value().core().stats.warm_start_hits;
   }
   double iters = static_cast<double>(state.iterations());
   state.counters["stage1_ms"] = 1e3 * stage1 / iters;
   state.counters["stage2_ms"] = 1e3 * stage2 / iters;
   state.counters["stage2_frac"] = total > 0 ? stage2 / total : 0;
+  state.counters["warm_start_hits"] = static_cast<double>(warm_hits);
 }
 BENCHMARK(BM_PipelineWarmRun)
-    ->Arg(500)
-    ->Arg(2000)
+    ->Args({500, 1000, 1})
+    ->Args({2000, 1000, 1})
+    ->Args({500, 60, 0})
+    ->Args({500, 60, 1})
+    ->ArgNames({"n", "batch", "ws"})
     ->Unit(benchmark::kMillisecond);
 
 // --- LP / MILP solver -------------------------------------------------------
@@ -497,6 +516,65 @@ void BM_AssignmentBnb(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AssignmentBnb)->Arg(20)->Arg(100)->Arg(400);
+
+// Warm starts (ROADMAP 2): the same solve re-run with the previous run's
+// incumbent record seeding every unit's search as a prune-only floor.
+// warm:0 is the cold baseline; warm:1 should show the node-count drop in
+// the nodes counter (warm_hits confirms every engine unit was seeded).
+void BM_SolverWarmStart(benchmark::State& state) {
+  bool warm = state.range(1) != 0;
+  size_t n = static_cast<size_t>(state.range(0));
+  Exp3dInstance inst = MakeInstance(n, n * 2);
+  Explain3DConfig config;
+  Explain3DSolver solver(config);
+  SolverIncumbents rec;
+  Explain3DInput record_input{&inst.t1, &inst.t2, inst.attr, inst.mapping};
+  record_input.incumbents_out = &rec;
+  benchmark::DoNotOptimize(solver.Solve(record_input).ok());
+  Explain3DInput input{&inst.t1, &inst.t2, inst.attr, inst.mapping};
+  if (warm) input.warm_start = &rec;
+  size_t nodes = 0, hits = 0;
+  for (auto _ : state) {
+    Result<Explain3DResult> r = solver.Solve(input);
+    nodes += r.value().stats.total_nodes;
+    hits += r.value().stats.warm_start_hits;
+  }
+  double iters = static_cast<double>(state.iterations());
+  state.counters["nodes"] = static_cast<double>(nodes) / iters;
+  state.counters["warm_hits"] = static_cast<double>(hits) / iters;
+  state.counters["record_complete"] = rec.complete ? 1 : 0;
+}
+BENCHMARK(BM_SolverWarmStart)
+    ->Args({20, 0})
+    ->Args({20, 1})
+    ->Args({24, 0})
+    ->Args({24, 1})
+    ->ArgNames({"n", "warm"});
+
+// Parallel branch & bound (ROADMAP 2): the B&B expands nodes in
+// deterministic waves and fans the wave's LP relaxations across the
+// shared pool. The Section-3.2 encoding is the shape wave parallelism
+// targets — each node's LP carries the full constraint system, so the
+// per-node work is large enough to amortize the fan-out. The solution is
+// bit-identical for every thread count; only wall-clock may move.
+void BM_SolverParallelBnb(benchmark::State& state) {
+  size_t threads = static_cast<size_t>(state.range(0));
+  Exp3dInstance inst = MakeInstance(7, 14);
+  ProbabilityModel prob((Explain3DConfig()));
+  MilpEncoder encoder(inst.t1, inst.t2, inst.mapping, inst.attr, prob);
+  EncodedMilp enc = encoder.Encode(inst.whole);
+  milp::MilpOptions opts;
+  opts.num_threads = threads;
+  size_t nodes = 0;
+  for (auto _ : state) {
+    milp::MilpSolver solver(enc.model, opts);
+    benchmark::DoNotOptimize(solver.Solve());
+    nodes += solver.stats().nodes;
+  }
+  state.counters["nodes"] =
+      static_cast<double>(nodes) / static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_SolverParallelBnb)->Arg(1)->Arg(2)->Arg(4);
 
 // --- partitioning ------------------------------------------------------------
 

@@ -32,6 +32,14 @@
 //                         result INSIDE the deadline — same tail, full
 //                         answer rate (the graceful-degradation
 //                         acceptance figure).
+//   7. portfolio-tail   — the same deadline, strict vs portfolio
+//                         (Explain3DConfig::portfolio): the portfolio
+//                         runs greedy FIRST, seeds the exact attempt
+//                         with its objective as a pruning floor, and
+//                         returns the greedy answer (marked
+//                         kGreedyPortfolio, with an admissible
+//                         incumbent_bound certificate) when the budget
+//                         fires — full answer rate at the strict p99.
 //
 // EXPLAIN3D_SCALE scales the dataset; requests count is fixed.
 //
@@ -39,6 +47,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -303,8 +312,13 @@ struct ModeTail {
   size_t requests = 0;
   size_t answered = 0;           ///< OK results returned
   size_t degraded = 0;           ///< answered AND marked degraded()
+  size_t portfolio_greedy = 0;   ///< degraded via the portfolio greedy leg
   size_t deadline_exceeded = 0;  ///< expired empty-handed
   double p50 = 0, p99 = 0, max = 0;  ///< submit → resolution, seconds
+  /// Worst optimality-gap certificate across degraded answers:
+  /// max(incumbent_bound - objective). 0 when nothing degraded (or no
+  /// finite bound was published).
+  double gap_max = 0;
 };
 
 double Percentile(std::vector<double> v, double q) {
@@ -321,7 +335,7 @@ double Percentile(std::vector<double> v, double q) {
 // is the answer rate at the same latency.
 ModeTail MeasureDegradationTail(const SyntheticDataset& data,
                                 DegradationMode mode, double deadline_s,
-                                size_t requests) {
+                                size_t requests, bool portfolio = false) {
   ServiceOptions options;
   options.max_concurrency = 1;
   options.auto_fallback_on_overload = false;  // measure the MODE, not health
@@ -340,13 +354,24 @@ ModeTail MeasureDegradationTail(const SyntheticDataset& data,
     ExplanationRequest req = MakeHardRequest(data, h1, h2, size_t{1} << 60);
     req.deadline_seconds = deadline_s;
     req.config.degradation_mode = mode;
+    req.config.portfolio = portfolio;
     Timer timer;
     TicketPtr t = service.Submit(req);
     const Result<PipelineResult>& r = t->Wait();
     latencies.push_back(timer.Seconds());
     if (r.ok()) {
       ++tail.answered;
-      if (r.value().degraded()) ++tail.degraded;
+      if (r.value().degraded()) {
+        ++tail.degraded;
+        const DegradationInfo& info = r.value().degradation();
+        if (info.solver == DegradationInfo::Solver::kGreedyPortfolio) {
+          ++tail.portfolio_greedy;
+        }
+        if (std::isfinite(info.incumbent_bound)) {
+          tail.gap_max =
+              std::max(tail.gap_max, info.incumbent_bound - info.objective);
+        }
+      }
     } else if (r.status().code() == StatusCode::kDeadlineExceeded) {
       ++tail.deadline_exceeded;
     }
@@ -363,7 +388,9 @@ std::string ModeTailJson(const char* mode, const ModeTail& t) {
   out += "\",\"requests\":" + std::to_string(t.requests);
   out += ",\"answered\":" + std::to_string(t.answered);
   out += ",\"degraded\":" + std::to_string(t.degraded);
+  out += ",\"portfolio_greedy\":" + std::to_string(t.portfolio_greedy);
   out += ",\"deadline_exceeded\":" + std::to_string(t.deadline_exceeded);
+  out += ",\"gap_max\":" + Fmt(t.gap_max, "%.6f");
   out += ",\"p50\":" + Fmt(t.p50, "%.6f");
   out += ",\"p99\":" + Fmt(t.p99, "%.6f");
   out += ",\"max\":" + Fmt(t.max, "%.6f");
@@ -530,6 +557,45 @@ int main() {
     deg_json += ",\"modes\":[" + ModeTailJson("strict", strict) + "," +
                 ModeTailJson("fallback-greedy", fallback) + "]}";
     AppendBenchJson("service", deg_json);
+
+    // --- phase 7: portfolio-vs-strict tail latency -------------------------
+    // Same hard solve, same deadline, strict vs portfolio. The strict
+    // rows above double as this figure's baseline: both tails sit at
+    // ~deadline, but the portfolio answers every request with the
+    // greedy leg it computed up front, plus a bound certificate on how
+    // far that answer can be from the exact optimum.
+    ModeTail portfolio =
+        MeasureDegradationTail(hard_data, DegradationMode::kStrict, kDeadline,
+                               kHardRequests, /*portfolio=*/true);
+
+    std::printf("\nportfolio-vs-strict under the same %.1fs deadline "
+                "(answer rate at the strict p99):\n",
+                kDeadline);
+    TablePrinter pf_table({"mode", "answered", "portfolio greedy",
+                           "deadline exceeded", "p99", "max", "bound gap"});
+    pf_table.AddRow(
+        {"strict",
+         std::to_string(strict.answered) + "/" +
+             std::to_string(strict.requests),
+         "-", std::to_string(strict.deadline_exceeded),
+         Fmt(strict.p99, "%.4fs"), Fmt(strict.max, "%.4fs"), "-"});
+    pf_table.AddRow(
+        {"portfolio",
+         std::to_string(portfolio.answered) + "/" +
+             std::to_string(portfolio.requests),
+         std::to_string(portfolio.portfolio_greedy),
+         std::to_string(portfolio.deadline_exceeded),
+         Fmt(portfolio.p99, "%.4fs"), Fmt(portfolio.max, "%.4fs"),
+         Fmt(portfolio.gap_max, "%.4f")});
+    pf_table.Print();
+
+    std::string pf_json = "{\"figure\":\"service-portfolio-tail\"";
+    pf_json += ",\"scale\":" + Fmt(Scale(), "%.3g");
+    pf_json += ",\"n\":" + std::to_string(gen.n);
+    pf_json += ",\"deadline_s\":" + Fmt(kDeadline, "%.3f");
+    pf_json += ",\"modes\":[" + ModeTailJson("strict", strict) + "," +
+               ModeTailJson("portfolio", portfolio) + "]}";
+    AppendBenchJson("service", pf_json);
   }
   return 0;
 }

@@ -93,6 +93,27 @@ struct Explain3DConfig {
   /// so a thin slice suffices.
   double fallback_budget_fraction = 0.15;
 
+  // --- stage-2 solver program (warm starts + portfolio, ROADMAP 2) ---
+  /// Consult and maintain the MatchingContext's warm-start incumbent
+  /// store: a completed fully-optimal solve records its per-unit optima
+  /// (fingerprinted — see core/incumbents.h), and a repeated request over
+  /// the same cache key seeds both exact engines with the recorded
+  /// objective as a prune-only floor. Warm results are bit-identical to
+  /// cold ones; a stale or mismatched record is skipped, never trusted.
+  /// No effect without a MatchingContext in PipelineInput.
+  bool warm_start = true;
+  /// Portfolio mode: run the greedy baseline FIRST (milliseconds), use
+  /// its per-unit objectives as live incumbent floors for the exact
+  /// solve, and — when the stage-2 budget interrupts the exact attempt —
+  /// return the greedy answer marked degraded
+  /// (DegradationInfo::Solver::kGreedyPortfolio) with the interrupted
+  /// search's admissible incumbent_bound. Subsumes kFallbackGreedy
+  /// (no reserved budget slice needed: the fallback answer already
+  /// exists when the exact solve starts) and takes precedence over
+  /// degradation_mode when set. Exact solves that finish in budget
+  /// return bit-identical results to a strict run.
+  bool portfolio = false;
+
   // --- parallelism ---
   /// Worker threads for BOTH pipeline stages, run on the process-wide
   /// shared pool: stage 1's interning / blocking / candidate scoring

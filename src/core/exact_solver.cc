@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <optional>
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "core/incumbents.h"
 
 namespace explain3d {
 
@@ -77,12 +79,25 @@ class AssignmentBnb {
     best_score_ = kNegInf;
   }
 
-  void Run() {
+  /// Runs the search. `seed_score` (same scale as best_score — excludes
+  /// const_edges) is an optional warm-start floor strictly below the
+  /// optimum: it primes best_score_ for PRUNING only, never best_choice_.
+  /// Because the DFS visit order is static (fixed option order), pruning
+  /// can only skip subtrees, never reorder them — so a seeded run accepts
+  /// a subsequence of the cold run's incumbent chain ending at the same
+  /// final leaf, and decodes the identical solution.
+  void Run(double seed_score = kNegInf) {
     Prepare();
+    if (seed_score > kNegInf) best_score_ = seed_score;
     Dfs(0, root_score_);
   }
 
   double best_score() const { return best_score_; }
+  /// True once a leaf was actually accepted. A seeded run that never
+  /// accepts one (a stale floor above every leaf, or a node limit hit
+  /// before the first acceptance) has no decodable best_choice_ — the
+  /// caller must fall back to a cold run.
+  bool found_leaf() const { return found_leaf_; }
   /// Valid after Prepare()/Run(): admissible upper bound on the optimum
   /// (excludes inst_.const_edges, like best_score).
   double root_bound() const { return root_bound_; }
@@ -116,6 +131,7 @@ class AssignmentBnb {
       if (score > best_score_ + 1e-12) {
         best_score_ = score;
         best_choice_ = choice_;
+        found_leaf_ = true;
       }
       return;
     }
@@ -167,7 +183,8 @@ class AssignmentBnb {
   size_t max_nodes_;
   const CancelToken* cancel_;
   size_t nodes_ = 0;
-  bool aborted_ = false;  ///< cancel token fired mid-search
+  bool aborted_ = false;     ///< cancel token fired mid-search
+  bool found_leaf_ = false;  ///< at least one leaf accepted
 
   std::vector<double> b_sum_;
   std::vector<size_t> b_count_;
@@ -263,38 +280,60 @@ Result<ExactSolveResult> SolveComponentExact(
     const CanonicalRelation& t1, const CanonicalRelation& t2,
     const TupleMapping& mapping, const AttributeMatch& attr,
     const ProbabilityModel& prob, const SubProblem& sub, size_t max_nodes,
-    const CancelToken* cancel, double* interrupted_bound) {
+    const CancelToken* cancel, double* interrupted_bound,
+    double warm_objective) {
   Result<Instance> built = BuildInstance(t1, t2, mapping, attr, prob, sub);
   E3D_RETURN_IF_ERROR(built.status());
   const Instance& inst = built.value();
 
-  AssignmentBnb bnb(inst, prob, max_nodes, cancel);
-  bnb.Run();
-  if (bnb.aborted()) {
+  // Warm-start floor: the recorded objective includes const_edges, the
+  // search score does not; the margin keeps the floor strictly below the
+  // optimum so the optimal leaf still clears the acceptance test.
+  double seed = kNegInf;
+  if (std::isfinite(warm_objective)) {
+    seed = warm_objective - inst.const_edges - kWarmStartMargin;
+  }
+
+  AssignmentBnb warm_bnb(inst, prob, max_nodes, cancel);
+  warm_bnb.Run(seed);
+  AssignmentBnb* bnb = &warm_bnb;
+  std::optional<AssignmentBnb> cold_bnb;
+  if (!warm_bnb.aborted() && seed > kNegInf &&
+      !(warm_bnb.found_leaf() && warm_bnb.proven_optimal())) {
+    // A floored search must end with a decodable, proven-optimal
+    // incumbent — anything else (stale floor above every leaf, node
+    // limit) reruns cold so the floor can never change the result.
+    cold_bnb.emplace(inst, prob, max_nodes, cancel);
+    cold_bnb->Run();
+    bnb = &*cold_bnb;
+  }
+  if (bnb->aborted()) {
     // The incumbent (if any) depends on where the clock interrupted the
     // search; discard it and surface the token's status instead. The root
-    // bound is deterministic (no search state involved), so it is safe to
-    // publish for degradation reporting.
+    // bound is deterministic (no search state involved — in particular it
+    // never reflects a seeded floor), so it is safe to publish for
+    // degradation reporting.
     if (interrupted_bound != nullptr) {
-      *interrupted_bound = bnb.root_bound() + inst.const_edges;
+      *interrupted_bound = bnb->root_bound() + inst.const_edges;
     }
     Status s = CheckCancel(cancel);
     return s.ok() ? Status::Cancelled("component solve interrupted") : s;
   }
 
   ExactSolveResult result;
-  result.nodes = bnb.nodes();
-  result.proven_optimal = bnb.proven_optimal();
-  result.objective = bnb.best_score() + inst.const_edges;
-  result.bound = result.proven_optimal ? result.objective
-                                       : bnb.root_bound() + inst.const_edges;
+  result.nodes = bnb->nodes();
+  result.proven_optimal = bnb->proven_optimal();
+  result.objective = bnb->best_score() + inst.const_edges;
+  result.bound = result.proven_optimal
+                     ? result.objective
+                     : bnb->root_bound() + inst.const_edges;
 
   Side a_side = inst.swapped ? Side::kRight : Side::kLeft;
   Side b_side = inst.swapped ? Side::kLeft : Side::kRight;
 
   std::vector<double> b_sum(inst.b_global.size(), 0.0);
   std::vector<size_t> b_count(inst.b_global.size(), 0);
-  const auto& choice = bnb.best_choice();
+  const auto& choice = bnb->best_choice();
   for (size_t k = 0; k < inst.a_global.size(); ++k) {
     const Option* o = choice[k];
     E3D_CHECK(o != nullptr) << "branch & bound left an unassigned tuple";
@@ -316,6 +355,57 @@ Result<ExactSolveResult> SolveComponentExact(
   }
   result.explanations.Normalize();
   return result;
+}
+
+Result<double> ScoreUnitSelection(
+    const CanonicalRelation& t1, const CanonicalRelation& t2,
+    const TupleMapping& mapping, const AttributeMatch& attr,
+    const ProbabilityModel& prob, const SubProblem& sub,
+    const std::vector<size_t>& selected_match_ids) {
+  Result<Instance> built = BuildInstance(t1, t2, mapping, attr, prob, sub);
+  E3D_RETURN_IF_ERROR(built.status());
+  const Instance& inst = built.value();
+
+  auto selected = [&](size_t mid) {
+    return std::binary_search(selected_match_ids.begin(),
+                              selected_match_ids.end(), mid);
+  };
+
+  // The leaf-score formula of AssignmentBnb, evaluated on the canonical
+  // decode of the selection: per-A option deltas plus per-group terms.
+  double score = 0;
+  std::vector<double> b_sum(inst.b_global.size(), 0.0);
+  std::vector<size_t> b_count(inst.b_global.size(), 0);
+  for (size_t k = 0; k < inst.a_global.size(); ++k) {
+    const Option* pick = nullptr;
+    for (const Option& o : inst.options[k]) {
+      if (o.remove || !selected(o.match_id)) continue;
+      if (pick != nullptr) {
+        return Status::InvalidArgument(
+            "selection assigns a degree-capped tuple twice");
+      }
+      pick = &o;
+    }
+    if (pick == nullptr) {
+      score += prob.a;
+    } else {
+      score += pick->delta;
+      b_sum[pick->b_local] += inst.a_impact[k];
+      ++b_count[pick->b_local];
+    }
+  }
+  for (size_t j = 0; j < inst.b_global.size(); ++j) {
+    if (inst.in_cap && b_count[j] > 1) {
+      return Status::InvalidArgument(
+          "selection violates the group-side degree cap");
+    }
+    if (b_count[j] == 0) {
+      score += prob.a;
+    } else {
+      score += ImpactsDiffer(b_sum[j], inst.b_impact[j]) ? prob.b : prob.c;
+    }
+  }
+  return score + inst.const_edges;
 }
 
 Result<double> ComponentOptimisticBound(

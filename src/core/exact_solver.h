@@ -20,6 +20,9 @@
 #ifndef EXPLAIN3D_CORE_EXACT_SOLVER_H_
 #define EXPLAIN3D_CORE_EXACT_SOLVER_H_
 
+#include <limits>
+#include <vector>
+
 #include "common/cancel.h"
 #include "common/status.h"
 #include "core/explanation.h"
@@ -55,12 +58,37 @@ struct ExactSolveResult {
 /// `interrupted_bound` is non-null it receives that bound, letting
 /// degradation reporting quantify "best possible ≤ X" without touching
 /// the discarded incumbent.
+///
+/// `warm_objective` (NaN = none) is an optional warm-start incumbent
+/// objective — a previously PROVEN optimum of this exact sub-problem, or
+/// any feasible selection's score (e.g. the greedy baseline's). It is
+/// lowered by kWarmStartMargin and used as a prune-only floor, so the
+/// search visits a subset of the cold run's nodes yet accepts the same
+/// final leaf: warm and cold solves return bit-identical explanations.
+/// A floored search that fails to prove optimality (stale floor, node
+/// limit) is rerun cold internally — a bad floor can cost time, never
+/// correctness.
 Result<ExactSolveResult> SolveComponentExact(
     const CanonicalRelation& t1, const CanonicalRelation& t2,
     const TupleMapping& mapping, const AttributeMatch& attr,
     const ProbabilityModel& prob, const SubProblem& sub,
     size_t max_nodes = 4000000, const CancelToken* cancel = nullptr,
-    double* interrupted_bound = nullptr);
+    double* interrupted_bound = nullptr,
+    double warm_objective = std::numeric_limits<double>::quiet_NaN());
+
+/// Scores the canonical decode of a feasible match-id selection on one
+/// sub-problem: each selected match assigns its degree-capped-side tuple,
+/// unassigned tuples are removed, and group terms are implied — exactly
+/// the objective SolveComponentExact would report for that assignment
+/// (const edge terms included). `selected_match_ids` must be sorted;
+/// match ids outside the sub-problem are ignored. Fails when the
+/// selection violates a degree cap — the portfolio path then simply
+/// skips the greedy floor for the unit.
+Result<double> ScoreUnitSelection(
+    const CanonicalRelation& t1, const CanonicalRelation& t2,
+    const TupleMapping& mapping, const AttributeMatch& attr,
+    const ProbabilityModel& prob, const SubProblem& sub,
+    const std::vector<size_t>& selected_match_ids);
 
 /// The admissible root bound of the assignment branch & bound WITHOUT
 /// running the search — an upper bound on the sub-problem's exact

@@ -156,6 +156,8 @@ void MatchingContext::Clear() {
   cache_.clear();
   lru_.clear();
   bytes_ = 0;
+  incumbents_.clear();
+  inc_lru_.clear();
 }
 
 size_t MatchingContext::EraseIf(
@@ -173,7 +175,69 @@ size_t MatchingContext::EraseIf(
       ++it;
     }
   }
+  // Incumbent keys extend their stage-1 key, so the same predicate (e.g.
+  // the service's identity-prefix match) retires both stores in one pass.
+  for (auto it = inc_lru_.begin(); it != inc_lru_.end();) {
+    if (pred(*it)) {
+      incumbents_.erase(*it);
+      it = inc_lru_.erase(it);
+      ++erased;
+    } else {
+      ++it;
+    }
+  }
   return erased;
+}
+
+MatchingContext::IncumbentsPtr MatchingContext::GetIncumbents(
+    const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = incumbents_.find(key);
+  if (it == incumbents_.end()) {
+    ++incumbent_misses_;
+    return nullptr;
+  }
+  ++incumbent_hits_;
+  inc_lru_.splice(inc_lru_.begin(), inc_lru_, it->second.lru_it);
+  return it->second.inc;
+}
+
+void MatchingContext::PutIncumbents(const std::string& key,
+                                    SolverIncumbents inc) {
+  if (!inc.complete) return;
+  auto shared =
+      std::make_shared<const SolverIncumbents>(std::move(inc));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = incumbents_.find(key);
+  if (it != incumbents_.end()) {
+    it->second.inc = std::move(shared);
+    inc_lru_.splice(inc_lru_.begin(), inc_lru_, it->second.lru_it);
+    return;
+  }
+  IncumbentEntry entry;
+  entry.inc = std::move(shared);
+  inc_lru_.push_front(key);
+  entry.lru_it = inc_lru_.begin();
+  incumbents_.emplace(key, std::move(entry));
+  while (incumbents_.size() > kMaxIncumbentEntries) {
+    incumbents_.erase(inc_lru_.back());
+    inc_lru_.pop_back();
+  }
+}
+
+size_t MatchingContext::incumbent_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return incumbents_.size();
+}
+
+size_t MatchingContext::incumbent_hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return incumbent_hits_;
+}
+
+size_t MatchingContext::incumbent_misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return incumbent_misses_;
 }
 
 void MatchingContext::set_budget_bytes(size_t budget_bytes) {

@@ -33,6 +33,7 @@
 
 #include "common/status.h"
 #include "common/value.h"
+#include "core/incumbents.h"
 #include "matching/blocking.h"
 #include "matching/token_interning.h"
 #include "provenance/provenance.h"
@@ -90,6 +91,7 @@ size_t ApproxBytes(const Stage1Artifacts& art);
 class MatchingContext {
  public:
   using ArtifactsPtr = explain3d::ArtifactsPtr;
+  using IncumbentsPtr = explain3d::IncumbentsPtr;
   /// Miss handler: builds the artifacts for a key. Runs outside the lock.
   using Builder = std::function<Result<ArtifactsPtr>()>;
 
@@ -110,7 +112,8 @@ class MatchingContext {
   Result<ArtifactsPtr> GetOrBuild(const std::string& key,
                                   const Builder& build);
 
-  /// \brief Drops every cached entry.
+  /// \brief Drops every cached entry (stage-1 artifacts AND solver
+  /// incumbents).
   ///
   /// In-flight and previously returned ArtifactsPtr values stay valid —
   /// eviction only releases the cache's own reference. Call after
@@ -119,8 +122,33 @@ class MatchingContext {
 
   /// \brief Drops every entry whose key satisfies `pred`; returns how
   /// many were dropped. Explain3DService retires a re-registered
-  /// database's entries this way (their keys embed its generation).
+  /// database's entries this way (their keys embed its generation). The
+  /// predicate is applied to the incumbent store too — incumbent keys
+  /// are the stage-1 key plus a stage-2 suffix, so identity-prefix
+  /// predicates retire both in one pass.
   size_t EraseIf(const std::function<bool(const std::string&)>& pred);
+
+  // --- stage-2 warm-start incumbent store (core/incumbents.h) -----------
+  //
+  // A small LRU keyed by the stage-1 cache key plus a stage-2 config
+  // tag. Entries are immutable shared_ptrs, like the artifacts; the
+  // per-unit fingerprints inside make a stale hit harmless (the solver
+  // skips seeding on any mismatch), so the store needs no generation
+  // machinery beyond the key itself.
+
+  /// \brief Returns the recorded incumbents for `key`, or nullptr.
+  /// Counts toward incumbent_hits()/incumbent_misses().
+  IncumbentsPtr GetIncumbents(const std::string& key);
+
+  /// \brief Records the incumbents of a completed, fully-optimal solve.
+  /// Ignored unless `inc.complete`. Overwrites an existing entry (the
+  /// optima are deterministic, so re-recording is refresh-only).
+  void PutIncumbents(const std::string& key, SolverIncumbents inc);
+
+  /// Current incumbent-store entry count and lifetime counters.
+  size_t incumbent_entries() const;
+  size_t incumbent_hits() const;
+  size_t incumbent_misses() const;
 
   /// \brief Updates the byte budget, evicting immediately if the cache
   /// is now over it. 0 = unlimited.
@@ -143,6 +171,16 @@ class MatchingContext {
     std::list<std::string>::iterator lru_it;
   };
 
+  struct IncumbentEntry {
+    IncumbentsPtr inc;
+    /// Position in inc_lru_ (front = most recently used).
+    std::list<std::string>::iterator lru_it;
+  };
+
+  /// Entry cap of the incumbent store. Incumbent records are tiny (a few
+  /// doubles per unit), so a flat entry cap replaces byte accounting.
+  static constexpr size_t kMaxIncumbentEntries = 4096;
+
   /// Evicts LRU-tail entries until bytes_ fits the budget; never evicts
   /// the last remaining entry. Caller holds mu_.
   void EvictOverBudgetLocked();
@@ -155,6 +193,11 @@ class MatchingContext {
   size_t hits_ = 0;
   size_t misses_ = 0;
   size_t evictions_ = 0;
+
+  std::list<std::string> inc_lru_;  ///< incumbent keys, MRU first
+  std::unordered_map<std::string, IncumbentEntry> incumbents_;
+  size_t incumbent_hits_ = 0;
+  size_t incumbent_misses_ = 0;
 };
 
 }  // namespace explain3d

@@ -2,9 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "baselines/greedy.h"
 #include "common/fault.h"
@@ -43,6 +48,44 @@ std::string Stage1CacheKey(const PipelineInput& input) {
   }
   key += input.mapping_options.use_blocking ? "blocking" : "allpairs";
   return key;
+}
+
+/// Stage-2 suffix of the warm-start incumbent key: every config field
+/// that shapes the unit decomposition or the per-unit optima. Thread
+/// count and the warm_start/portfolio switches are deliberately excluded
+/// (results are bit-identical across them, so they must share records);
+/// the key EXTENDS the stage-1 key so identity-prefix retirement
+/// (MatchingContext::EraseIf) covers both stores.
+std::string IncumbentKey(const PipelineInput& input,
+                         const Explain3DConfig& c) {
+  return Stage1CacheKey(input) +
+         StrFormat("|s2:a%.17g|b%.17g|bs%zu|tl%.17g|th%.17g|r%.17g|pp%d|"
+                   "dc%d|mc%zu|mn%zu|en%zu",
+                   c.alpha, c.beta, c.batch_size, c.theta_low, c.theta_high,
+                   c.reward, c.use_pre_partitioning ? 1 : 0,
+                   c.decompose_components ? 1 : 0, c.milp_max_constraints,
+                   c.milp_max_nodes, c.exact_max_nodes);
+}
+
+/// Maps the greedy baseline's evidence (tuple-index pairs) back to the
+/// GLOBAL match ids of the initial mapping, sorted ascending — the shape
+/// Explain3DInput::greedy_selection requires.
+std::vector<size_t> SelectionFromEvidence(const TupleMapping& mapping,
+                                          const TupleMapping& evidence) {
+  std::unordered_map<uint64_t, size_t> id_of;
+  id_of.reserve(mapping.size());
+  auto pack = [](const TupleMatch& m) {
+    return (static_cast<uint64_t>(m.t1) << 32) | static_cast<uint64_t>(m.t2);
+  };
+  for (size_t i = 0; i < mapping.size(); ++i) id_of[pack(mapping[i])] = i;
+  std::vector<size_t> selection;
+  selection.reserve(evidence.size());
+  for (const TupleMatch& ev : evidence) {
+    auto it = id_of.find(pack(ev));
+    if (it != id_of.end()) selection.push_back(it->second);
+  }
+  std::sort(selection.begin(), selection.end());
+  return selection;
 }
 
 /// Runs the cacheable stage-1 front end: execute, derive provenance,
@@ -179,6 +222,22 @@ Result<PipelineResult> RunExplain3D(const PipelineInput& input,
   core_input.mapping = out.initial_mapping_;
   core_input.cancel = input.cancel;
 
+  // Warm-start incumbent store (ROADMAP 2): consult the context's record
+  // of a previous identical solve, and collect this solve's optima for
+  // recording. The shared_ptr keeps a concurrently-evicted record alive
+  // for the whole call.
+  std::string incumbent_key;
+  IncumbentsPtr warm_record;
+  SolverIncumbents collected;
+  const bool use_store =
+      input.matching_context != nullptr && config.warm_start;
+  if (use_store) {
+    incumbent_key = IncumbentKey(input, config);
+    warm_record = input.matching_context->GetIncumbents(incumbent_key);
+    if (warm_record != nullptr) core_input.warm_start = warm_record.get();
+    core_input.incumbents_out = &collected;
+  }
+
   // The stage-2 budget: the tighter of the caller's token deadline chain
   // and the config time limit. Finite only when one of them is set.
   double budget = std::numeric_limits<double>::infinity();
@@ -189,8 +248,79 @@ Result<PipelineResult> RunExplain3D(const PipelineInput& input,
     budget = std::min(budget, config.milp_time_limit_seconds);
   }
 
-  if (config.degradation_mode == DegradationMode::kStrict ||
-      !std::isfinite(budget)) {
+  if (config.portfolio) {
+    // Portfolio race, greedy leg FIRST (deterministically — never
+    // concurrently with the exact leg, so the race cannot perturb
+    // results): the fallback answer already exists when the exact solve
+    // starts, and its per-unit scores seed the exact search as live
+    // prune-only floors. Subsumes kFallbackGreedy without a reserved
+    // budget slice.
+    Timer fallback_timer;
+    ProbabilityModel prob(config);
+    ExplanationSet greedy =
+        GreedyBaseline(art.t1, art.t2, out.initial_mapping_, attr, prob);
+    greedy.log_probability =
+        prob.Score(art.t1, art.t2, out.initial_mapping_, greedy);
+    double fallback_seconds = fallback_timer.Seconds();
+    std::vector<size_t> selection =
+        SelectionFromEvidence(out.initial_mapping_, greedy.evidence);
+
+    // The exact leg gets nearly the whole budget — only a thin reserve
+    // is shaved off so its child deadline fires strictly BEFORE the
+    // caller's, keeping "budget blown" (degrade to the ready greedy
+    // answer) distinguishable from "caller gone" (fail the call).
+    Result<Explain3DResult> exact = Status::DeadlineExceeded(
+        "stage-2 budget consumed before the exact solve started");
+    double incumbent_bound = std::numeric_limits<double>::quiet_NaN();
+    double reserved = std::isfinite(budget) ? budget * 0.02 : 0;
+    Explain3DConfig exact_config = config;
+    exact_config.milp_time_limit_seconds = 0;
+    Explain3DInput exact_input = core_input;
+    exact_input.greedy_selection = &selection;
+    exact_input.incumbent_bound_out = &incumbent_bound;
+    std::optional<CancelToken> exact_token;
+    Timer exact_timer;
+    if (std::isfinite(budget)) {
+      double exact_budget = budget - reserved;
+      if (exact_budget > 0) {
+        exact_token.emplace(exact_budget, input.cancel);
+        exact_input.cancel = &*exact_token;
+        exact = Explain3DSolver(exact_config).Solve(exact_input);
+      }
+    } else {
+      exact = Explain3DSolver(exact_config).Solve(exact_input);
+    }
+    double exact_seconds = exact_timer.Seconds();
+
+    if (exact.ok()) {
+      // In-budget exact finish: bit-identical to a strict run (the
+      // greedy floor sits provably below the optimum).
+      out.core_ = std::move(exact).value();
+    } else {
+      // Same policy as kFallbackGreedy: degrade ONLY on the child
+      // budget's kDeadlineExceeded with a live parent; a fired parent or
+      // any other failure propagates.
+      E3D_RETURN_IF_ERROR(CheckCancel(input.cancel));
+      if (exact.status().code() != StatusCode::kDeadlineExceeded) {
+        return exact.status();
+      }
+      out.core_ = Explain3DResult();
+      out.core_.explanations = std::move(greedy);
+      out.core_.stats.all_optimal = false;
+      out.core_.stats.solve_seconds = stage2_timer.Seconds();
+      DegradationInfo& deg = out.degradation_;
+      deg.degraded = true;
+      deg.solver = DegradationInfo::Solver::kGreedyPortfolio;
+      deg.interrupt_code = exact.status().code();
+      deg.budget_seconds = budget;
+      deg.reserved_seconds = reserved;
+      deg.exact_seconds = exact_seconds;
+      deg.fallback_seconds = fallback_seconds;
+      deg.objective = out.core_.explanations.log_probability;
+      deg.incumbent_bound = incumbent_bound;
+    }
+  } else if (config.degradation_mode == DegradationMode::kStrict ||
+             !std::isfinite(budget)) {
     // Strict (or unbounded) semantics: an interrupted solve fails the
     // call with the token's Status — bit-identical to pre-degradation
     // behavior.
@@ -260,6 +390,15 @@ Result<PipelineResult> RunExplain3D(const PipelineInput& input,
     }
   }
   out.stage2_seconds_ = stage2_timer.Seconds();
+
+  // Record this solve's incumbents for the next identical request. Only
+  // a fully-optimal, non-degraded run produced a complete record (the
+  // solver leaves `complete` false otherwise), and PutIncumbents ignores
+  // incomplete ones — belt and suspenders.
+  if (use_store && collected.complete && !out.degradation_.degraded) {
+    input.matching_context->PutIncumbents(incumbent_key,
+                                          std::move(collected));
+  }
 
   out.total_seconds_ = total_timer.Seconds();
   return out;

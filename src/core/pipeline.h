@@ -98,14 +98,19 @@ using CalibrationOracle =
                             const Table&)>;
 
 /// \brief Quality metadata of a degraded result (see
-/// Explain3DConfig::degradation_mode). Default state = not degraded;
-/// only a kFallbackGreedy run whose exact solve was interrupted by its
-/// budget populates the rest.
+/// Explain3DConfig::degradation_mode and Explain3DConfig::portfolio).
+/// Default state = not degraded; only a kFallbackGreedy or portfolio run
+/// whose exact solve was interrupted by its budget populates the rest.
 struct DegradationInfo {
   /// Which solver produced PipelineResult::core().explanations.
   enum class Solver {
     kExact,           ///< the optimal Section-3.2/4 solver ran to completion
     kGreedyFallback,  ///< the Section-5.1.3 greedy baseline (anytime path)
+    /// The portfolio race's greedy leg (Explain3DConfig::portfolio): the
+    /// greedy answer was computed BEFORE the exact attempt (whose search
+    /// it seeded as a pruning floor) and is returned because the budget
+    /// interrupted that attempt.
+    kGreedyPortfolio,
   };
 
   bool degraded = false;
@@ -196,9 +201,9 @@ class PipelineResult {
   const Explain3DResult& core() const { return core_; }
 
   /// True when the explanations came from the anytime greedy fallback
-  /// instead of the exact solver (kFallbackGreedy only; see
-  /// Explain3DConfig::degradation_mode). Never silently true: strict
-  /// mode and in-budget fallback-mode runs report false.
+  /// instead of the exact solver (kFallbackGreedy or portfolio mode; see
+  /// Explain3DConfig::degradation_mode / ::portfolio). Never silently
+  /// true: strict mode and in-budget runs report false.
   bool degraded() const { return degradation_.degraded; }
   /// Quality metadata of a degraded result (budget-slice accounting,
   /// fallback solver, interrupt reason).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <optional>
 #include <unordered_map>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/rng.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/exact_solver.h"
@@ -74,7 +76,58 @@ struct UnitOutcome {
   /// never ran (entry cancel / skip) — the collection pass fills those
   /// with the search-free root bound.
   double bound = std::numeric_limits<double>::quiet_NaN();
+  /// The unit's achieved objective (const edge terms included) — only
+  /// meaningful when status is OK. Recorded into the warm-start
+  /// incumbents together with the fingerprint and decode engine.
+  double objective = 0;
+  uint64_t fingerprint = 0;    ///< UnitFingerprint of the solved unit
+  bool via_assignment = false;  ///< decoded by the assignment solver
+  bool warm_hit = false;  ///< seeded from a fingerprint-matched incumbent
 };
+
+/// Feeds a double's bit pattern into the CounterHash chain — exact-match
+/// semantics, so any drift in an impact or probability (even below every
+/// comparison tolerance) invalidates the fingerprint.
+uint64_t HashDouble(uint64_t h, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return CounterHash(h, bits);
+}
+
+/// Fingerprint of everything that determines one unit's optimum: the
+/// probability-model constants, aggregate functions, degree caps, the
+/// unit's tuple ids and impacts, and its matches (endpoints +
+/// probability bits). A warm-start incumbent is seeded only on an exact
+/// fingerprint match — the guard that makes stale records harmless.
+uint64_t UnitFingerprint(const SubProblem& unit, const CanonicalRelation& t1,
+                         const CanonicalRelation& t2,
+                         const TupleMapping& mapping,
+                         const ProbabilityModel& prob, bool side1_capped,
+                         bool side2_capped) {
+  uint64_t h = 0x9e3779b97f4a7c15ull;
+  h = HashDouble(h, prob.a);
+  h = HashDouble(h, prob.b);
+  h = HashDouble(h, prob.c);
+  h = CounterHash(h, static_cast<uint64_t>(t1.agg));
+  h = CounterHash(h, static_cast<uint64_t>(t2.agg));
+  h = CounterHash(h, (side1_capped ? 1u : 0u) | (side2_capped ? 2u : 0u));
+  for (size_t g : unit.t1_ids) {
+    h = CounterHash(h, g);
+    h = HashDouble(h, t1.tuples[g].impact);
+  }
+  for (size_t g : unit.t2_ids) {
+    h = CounterHash(h, g);
+    h = HashDouble(h, t2.tuples[g].impact);
+  }
+  for (size_t mid : unit.match_ids) {
+    const TupleMatch& m = mapping[mid];
+    h = CounterHash(h, mid);
+    h = CounterHash(h, m.t1);
+    h = CounterHash(h, m.t2);
+    h = HashDouble(h, m.p);
+  }
+  return h;
+}
 
 void AppendExplanations(ExplanationSet* into, const ExplanationSet& from) {
   into->delta.insert(into->delta.end(), from.delta.begin(), from.delta.end());
@@ -89,15 +142,22 @@ void AppendExplanations(ExplanationSet* into, const ExplanationSet& from) {
 /// Thread-safe: only reads the shared inputs and writes its own outcome.
 /// `cancel` is polled on entry (the between-sub-problems cancellation
 /// point) and handed to both solvers for node-granularity polling.
+/// `warm` (nullable) is the unit's warm-start record; it is consulted
+/// only when its fingerprint matches. `threads` sizes the MILP's
+/// wave-parallel LP solves (bit-identical for every value).
 UnitOutcome SolveUnit(const SubProblem& unit, const CanonicalRelation& t1,
                       const CanonicalRelation& t2,
                       const Explain3DInput& input, const MilpEncoder& encoder,
                       const ProbabilityModel& prob,
                       const Explain3DConfig& config,
-                      const CancelToken* cancel) {
+                      const CancelToken* cancel, const UnitIncumbent* warm,
+                      size_t threads) {
   UnitOutcome out;
   out.status = CheckCancel(cancel);
   if (!out.status.ok()) return out;
+  out.fingerprint = UnitFingerprint(unit, t1, t2, input.mapping, prob,
+                                    encoder.side1_capped(),
+                                    encoder.side2_capped());
   if (unit.match_ids.empty()) {
     // No candidate matches: every tuple is a provenance explanation.
     for (size_t g : unit.t1_ids) {
@@ -109,58 +169,99 @@ UnitOutcome SolveUnit(const SubProblem& unit, const CanonicalRelation& t1,
     // The all-delta solution IS this unit's optimum: its bound.
     out.bound = prob.a *
                 static_cast<double>(unit.t1_ids.size() + unit.t2_ids.size());
+    out.objective = out.bound;
     return out;
+  }
+
+  // Assemble the unit's prune-only floor: the warm-start incumbent (only
+  // on an exact fingerprint match) and/or the greedy selection's score
+  // restricted to this unit. Both sit provably below the optimum after
+  // the kWarmStartMargin haircut, so they cut search without ever
+  // changing the accepted solution.
+  double floor_obj = std::numeric_limits<double>::quiet_NaN();
+  bool skip_milp_attempt = false;
+  if (warm != nullptr && warm->fingerprint == out.fingerprint) {
+    out.warm_hit = true;
+    floor_obj = warm->objective;
+    // The recording run decoded this unit via the assignment solver —
+    // the MILP attempt would deterministically hit its node limit and
+    // fall back anyway (or, floored, could finish and switch the decode
+    // engine). Skipping it keeps warm ≡ cold and saves the wasted nodes.
+    skip_milp_attempt = warm->via_assignment;
+  }
+  if (input.greedy_selection != nullptr) {
+    Result<double> g =
+        ScoreUnitSelection(t1, t2, input.mapping, input.attr, prob, unit,
+                           *input.greedy_selection);
+    if (g.ok() && (!std::isfinite(floor_obj) || g.value() > floor_obj)) {
+      floor_obj = g.value();
+    }
   }
 
   size_t est = EstimateMilpConstraints(unit, encoder.side1_capped(),
                                        encoder.side2_capped());
-  if (est <= config.milp_max_constraints) {
+  if (est <= config.milp_max_constraints && !skip_milp_attempt) {
     EncodedMilp enc = encoder.Encode(unit);
-    milp::MilpOptions mopts;
-    // The wall-clock budget is the cancel token's job now (Solve links
-    // config.milp_time_limit_seconds into it): a blown budget FAILS the
-    // call instead of truncating the search, so results never depend on
-    // machine speed. The node limit stays — it fires at the same node
-    // count everywhere, so its fallback is deterministic.
-    mopts.time_limit_seconds = milp::kInfinity;
-    mopts.max_nodes = config.milp_max_nodes;
-    mopts.cancel = cancel;
-    milp::MilpSolver milp_solver(enc.model, mopts);
-    milp::Solution sol = milp_solver.Solve();
-    out.total_nodes += milp_solver.stats().nodes;
-    if (sol.status == milp::SolveStatus::kInterrupted) {
-      // The abandoned search still proves an optimistic bound (recorded
-      // before the incumbent was wiped). +inf means the interrupt landed
-      // before the root LP solved — the collection pass substitutes the
-      // assignment solver's root bound then.
-      out.bound = milp_solver.stats().best_bound;
-      out.status = CheckCancel(cancel);
-      if (out.status.ok()) {
-        // Interrupted with a live token: the milp.node fault probe fired
-        // (common/fault.h) — the only other trigger of kInterrupted.
-        // Surface the transient, retryable code.
-        out.status =
-            Status::Unavailable("injected fault interrupted the MILP solve");
+    // First attempt is floored when a floor exists; a floored run that
+    // fails to prove optimality (node limit, infeasible floor artifact)
+    // is rerun fully cold so the fallback decision below never depends
+    // on the floor — a bad floor costs time, never determinism.
+    for (bool floored : {std::isfinite(floor_obj), false}) {
+      milp::MilpOptions mopts;
+      // The wall-clock budget is the cancel token's job now (Solve links
+      // config.milp_time_limit_seconds into it): a blown budget FAILS the
+      // call instead of truncating the search, so results never depend on
+      // machine speed. The node limit stays — it fires at the same node
+      // count everywhere, so its fallback is deterministic.
+      mopts.time_limit_seconds = milp::kInfinity;
+      mopts.max_nodes = config.milp_max_nodes;
+      mopts.cancel = cancel;
+      mopts.num_threads = threads;
+      if (floored) mopts.incumbent_floor = floor_obj - kWarmStartMargin;
+      milp::MilpSolver milp_solver(enc.model, mopts);
+      milp::Solution sol = milp_solver.Solve();
+      out.total_nodes += milp_solver.stats().nodes;
+      if (sol.status == milp::SolveStatus::kInterrupted) {
+        // The abandoned search still proves an optimistic bound (recorded
+        // before the incumbent was wiped; never tightened by the floor).
+        // +inf means the interrupt landed before the root LP solved — the
+        // collection pass substitutes the assignment solver's root bound
+        // then.
+        out.bound = milp_solver.stats().best_bound;
+        out.status = CheckCancel(cancel);
+        if (out.status.ok()) {
+          // Interrupted with a live token: the milp.node fault probe fired
+          // (common/fault.h) — the only other trigger of kInterrupted.
+          // Surface the transient, retryable code.
+          out.status =
+              Status::Unavailable("injected fault interrupted the MILP solve");
+        }
+        return out;
       }
-      return out;
+      if (sol.status == milp::SolveStatus::kOptimal) {
+        AppendExplanations(&out.explanations,
+                           encoder.Decode(unit, enc, sol.values));
+        ++out.milp_solved;
+        out.bound = sol.objective;
+        out.objective = sol.objective;
+        return out;
+      }
+      if (floored) continue;  // defensive cold rerun
+      E3D_LOG(kWarn) << "MILP sub-problem returned "
+                     << milp::SolveStatusName(sol.status)
+                     << "; falling back to the assignment solver";
+      break;
     }
-    if (sol.status == milp::SolveStatus::kOptimal) {
-      AppendExplanations(&out.explanations,
-                         encoder.Decode(unit, enc, sol.values));
-      ++out.milp_solved;
-      out.bound = sol.objective;
-      return out;
-    }
-    E3D_LOG(kWarn) << "MILP sub-problem returned "
-                   << milp::SolveStatusName(sol.status)
-                   << "; falling back to the assignment solver";
   }
 
   // An interrupted exact solve writes its root bound straight into
-  // out.bound (and leaves it NaN on a non-cancellation failure).
+  // out.bound (and leaves it NaN on a non-cancellation failure). The
+  // floor rides along as the solver's warm objective (it applies the
+  // margin and its own cold-rerun defense internally).
   Result<ExactSolveResult> exact =
       SolveComponentExact(t1, t2, input.mapping, input.attr, prob, unit,
-                          config.exact_max_nodes, cancel, &out.bound);
+                          config.exact_max_nodes, cancel, &out.bound,
+                          floor_obj);
   if (!exact.ok()) {
     out.status = exact.status();
     return out;
@@ -168,6 +269,8 @@ UnitOutcome SolveUnit(const SubProblem& unit, const CanonicalRelation& t1,
   out.total_nodes += exact.value().nodes;
   out.all_optimal = exact.value().proven_optimal;
   out.bound = exact.value().bound;
+  out.objective = exact.value().objective;
+  out.via_assignment = true;
   AppendExplanations(&out.explanations, exact.value().explanations);
   ++out.exact_solved;
   return out;
@@ -239,6 +342,13 @@ Result<Explain3DResult> Explain3DSolver::Solve(
   // an outcome slot per unit, then merge in unit order. The merged result
   // is bit-identical for any thread count.
   size_t threads = ResolveThreads(config_.num_threads);
+  // The warm-start record is consulted only when it covers exactly this
+  // unit decomposition; per-unit fingerprints then guard every seed.
+  const SolverIncumbents* warm = input.warm_start;
+  if (warm != nullptr &&
+      (!warm->complete || warm->units.size() != units.size())) {
+    warm = nullptr;
+  }
   std::vector<UnitOutcome> outcomes(units.size());
   std::atomic<bool> failed{false};
   ParallelFor(threads, units.size(), [&](size_t i) {
@@ -248,7 +358,8 @@ Result<Explain3DResult> Explain3DSolver::Solve(
     // poll is the per-sub-problem cancellation point.
     if (failed.load(std::memory_order_relaxed)) return;
     outcomes[i] =
-        SolveUnit(units[i], t1, t2, input, encoder, prob_, config_, cancel);
+        SolveUnit(units[i], t1, t2, input, encoder, prob_, config_, cancel,
+                  warm != nullptr ? &warm->units[i] : nullptr, threads);
     if (!outcomes[i].status.ok()) {
       failed.store(true, std::memory_order_relaxed);
     }
@@ -284,12 +395,29 @@ Result<Explain3DResult> Explain3DSolver::Solve(
     result.stats.milp_solved += out.milp_solved;
     result.stats.exact_solved += out.exact_solved;
     result.stats.all_optimal &= out.all_optimal;
+    result.stats.warm_start_hits += out.warm_hit ? 1 : 0;
   }
   result.stats.solve_seconds = solve_timer.Seconds();
 
   result.explanations.Normalize();
   result.explanations.log_probability =
       prob_.Score(t1, t2, input.mapping, result.explanations);
+
+  if (input.incumbents_out != nullptr) {
+    // Record what this solve proved, in unit order. Only a fully-optimal
+    // run is marked complete (storable): a truncated unit's incumbent is
+    // feasible but unproven, and seeding from it could legitimize a
+    // different truncation point on the next run.
+    SolverIncumbents rec;
+    rec.units.reserve(outcomes.size());
+    for (const UnitOutcome& out : outcomes) {
+      rec.units.push_back({out.fingerprint, out.objective,
+                           out.via_assignment});
+    }
+    rec.objective = result.explanations.log_probability;
+    rec.complete = result.stats.all_optimal;
+    *input.incumbents_out = std::move(rec);
+  }
   return result;
 }
 

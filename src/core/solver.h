@@ -15,10 +15,13 @@
 #ifndef EXPLAIN3D_CORE_SOLVER_H_
 #define EXPLAIN3D_CORE_SOLVER_H_
 
+#include <vector>
+
 #include "common/cancel.h"
 #include "common/status.h"
 #include "core/config.h"
 #include "core/explanation.h"
+#include "core/incumbents.h"
 #include "core/partitioning.h"
 #include "core/probability_model.h"
 #include "matching/attribute_match.h"
@@ -47,6 +50,28 @@ struct Explain3DInput {
   /// reporting (pipeline.h) uses this to quantify how far the greedy
   /// fallback can be from optimal.
   double* incumbent_bound_out = nullptr;
+
+  // --- stage-2 solver program (warm starts + portfolio, ROADMAP 2) ---
+
+  /// Optional warm-start record of a previous solve over the SAME inputs
+  /// (the pipeline keys it by stage-1 cache key + stage-2 config tag).
+  /// Each unit whose fingerprint matches seeds its branch & bound with
+  /// the recorded optimum as a prune-only floor; mismatched or
+  /// incomplete records are ignored per unit. Never changes the result:
+  /// warm solves are bit-identical to cold ones (core/incumbents.h).
+  const SolverIncumbents* warm_start = nullptr;
+  /// Optional feasible selection of GLOBAL match ids (sorted ascending),
+  /// e.g. the greedy baseline's evidence. Each unit scores the selection
+  /// restricted to itself (ScoreUnitSelection) and uses that objective as
+  /// a live prune-only floor — the portfolio path's "greedy first" seed.
+  /// Units where the selection violates a degree cap simply skip the
+  /// floor. Same bit-identity contract as warm_start.
+  const std::vector<size_t>* greedy_selection = nullptr;
+  /// Optional out-param: when non-null, a successful Solve records its
+  /// per-unit fingerprints and objectives here. `complete` is set only
+  /// when every unit solved to proven optimality — the condition under
+  /// which the record may be stored and later seeded from.
+  SolverIncumbents* incumbents_out = nullptr;
 };
 
 /// Solve diagnostics (Figure 7c / Figure 8 report solve_seconds).
@@ -58,6 +83,9 @@ struct Explain3DStats {
   size_t total_nodes = 0;   ///< branch & bound nodes across sub-problems
   double solve_seconds = 0;  ///< stage-2 optimization time
   bool all_optimal = true;   ///< false if any sub-problem hit a limit
+  /// Units whose branch & bound was seeded from a matching warm-start
+  /// incumbent (Explain3DInput::warm_start, fingerprint verified).
+  size_t warm_start_hits = 0;
 };
 
 /// Stage-2 output.

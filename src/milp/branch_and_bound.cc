@@ -6,6 +6,7 @@
 #include <queue>
 
 #include "common/fault.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 
 namespace explain3d {
@@ -13,19 +14,29 @@ namespace milp {
 
 namespace {
 
+// Wave width cap. A function of nothing but this constant and the open
+// set's size, so the search trajectory is independent of the thread
+// count (threads only split a wave's LP solves).
+constexpr size_t kMaxWave = 8;
+
 struct Node {
   std::vector<double> lower;
   std::vector<double> upper;
   double bound = kInfinity;  // LP bound of the parent (optimistic)
   size_t depth = 0;
+  uint64_t seq = 0;  // monotone creation counter (total-order tie-break)
 };
 
 struct NodeOrder {
-  // Best-bound first; deeper nodes win ties (dives to incumbents faster).
+  // Best-bound first; deeper nodes win ties (dives to incumbents
+  // faster); creation order (earlier first) makes the order TOTAL, so
+  // the pop sequence cannot depend on priority-queue internals or on
+  // how warm-start pruning reshaped the insertion history.
   bool operator()(const std::shared_ptr<Node>& a,
                   const std::shared_ptr<Node>& b) const {
     if (a->bound != b->bound) return a->bound < b->bound;
-    return a->depth < b->depth;
+    if (a->depth != b->depth) return a->depth < b->depth;
+    return a->seq > b->seq;
   }
 };
 
@@ -57,6 +68,15 @@ Solution MilpSolver::Run(const std::vector<double>* warm_start) {
   SimplexSolver lp(model_, opts_.lp);
   size_t n = model_.num_variables();
 
+  // Effective pruning level: the incumbent, raised to the caller's
+  // admissible floor. Pruning only — acceptance below stays a strict
+  // comparison against best.objective, and the returned best_bound is
+  // computed from best.objective / open-node bounds, never the floor.
+  auto prune_level = [&]() {
+    return std::max(best.objective, opts_.incumbent_floor);
+  };
+
+  uint64_t next_seq = 0;
   auto root = std::make_shared<Node>();
   root->lower.resize(n);
   root->upper.resize(n);
@@ -65,6 +85,7 @@ Solution MilpSolver::Run(const std::vector<double>* warm_start) {
     root->upper[j] = model_.variable(j).upper;
   }
   root->bound = kInfinity;
+  root->seq = next_seq++;
 
   std::priority_queue<std::shared_ptr<Node>,
                       std::vector<std::shared_ptr<Node>>, NodeOrder>
@@ -73,6 +94,9 @@ Solution MilpSolver::Run(const std::vector<double>* warm_start) {
 
   bool any_limit_hit = false;
   bool root_node = true;
+  std::vector<std::shared_ptr<Node>> wave;
+  std::vector<LpResult> relaxes(kMaxWave);
+  wave.reserve(kMaxWave);
 
   while (!open.empty()) {
     // Cancellation beats the limits: limits return a (deterministic, for
@@ -87,7 +111,9 @@ Solution MilpSolver::Run(const std::vector<double>* warm_start) {
       // state still proves an optimistic bound: nothing in the tree can
       // beat the best open node (or the incumbent found so far). Recorded
       // BEFORE the incumbent is wiped, so degradation reporting can show
-      // "best possible ≤ X" even for an abandoned solve.
+      // "best possible ≤ X" even for an abandoned solve. The warm-start
+      // floor is NOT consulted here: it prunes only subtrees that cannot
+      // contain the optimum, so the open-node bound stays admissible.
       stats_.best_bound = open.empty()
                               ? best.objective
                               : std::max(best.objective, open.top()->bound);
@@ -102,113 +128,140 @@ Solution MilpSolver::Run(const std::vector<double>* warm_start) {
       any_limit_hit = true;
       break;
     }
-    std::shared_ptr<Node> node = open.top();
-    open.pop();
-    if (node->bound <= best.objective + opts_.absolute_gap) {
-      continue;  // cannot beat the incumbent
-    }
-    ++stats_.nodes;
 
-    LpResult relax = lp.Solve(&node->lower, &node->upper);
-    stats_.lp_iterations += relax.iterations;
-
-    if (relax.status == SolveStatus::kInfeasible) {
-      root_node = false;
-      continue;
-    }
-    if (relax.status == SolveStatus::kUnbounded) {
-      if (root_node) {
-        best.status = SolveStatus::kUnbounded;
-        stats_.seconds = timer.Seconds();
-        return best;
+    // Assemble the wave: pop up to kMaxWave un-prunable nodes in the
+    // queue's (total) order, capped by the remaining node budget.
+    wave.clear();
+    size_t cap = std::min(kMaxWave, opts_.max_nodes - stats_.nodes);
+    while (!open.empty() && wave.size() < cap) {
+      std::shared_ptr<Node> node = open.top();
+      open.pop();
+      if (node->bound <= prune_level() + opts_.absolute_gap) {
+        continue;  // cannot beat the incumbent (or the floor)
       }
-      // A bounded parent cannot spawn an unbounded child on a restricted
-      // box unless numerics failed; treat as a limit hit.
-      any_limit_hit = true;
-      root_node = false;
-      continue;
+      wave.push_back(std::move(node));
     }
-    if (relax.status == SolveStatus::kLimit) {
-      any_limit_hit = true;
-      root_node = false;
-      continue;
-    }
+    if (wave.empty()) continue;  // everything popped was prunable
+    stats_.nodes += wave.size();
 
-    if (relax.objective <= best.objective + opts_.absolute_gap) {
-      root_node = false;
-      continue;
-    }
+    // The wave's LP relaxations, fanned out on the shared pool. The
+    // simplex solver is stateless per call, so the slots share one
+    // instance; per-slot results land in private slots.
+    ParallelFor(opts_.num_threads, wave.size(),
+                [&](size_t i) {
+                  relaxes[i] = lp.Solve(&wave[i]->lower, &wave[i]->upper);
+                });
 
-    // Find the most fractional integer variable.
-    size_t branch_var = n;
-    double best_frac = opts_.int_tol;
-    for (size_t j = 0; j < n; ++j) {
-      if (!model_.variable(j).is_integer) continue;
-      double v = relax.values[j];
-      double frac = std::abs(v - std::round(v));
-      if (frac > best_frac) {
-        best_frac = frac;
-        branch_var = j;
+    // Sequential merge in slot order — the serial solver's incumbent
+    // logic verbatim, so the incumbent evolution (and therefore the
+    // tie-broken solution) does not depend on the thread count.
+    for (size_t i = 0; i < wave.size(); ++i) {
+      const std::shared_ptr<Node>& node = wave[i];
+      const LpResult& relax = relaxes[i];
+      stats_.lp_iterations += relax.iterations;
+
+      if (relax.status == SolveStatus::kInfeasible) {
+        root_node = false;
+        continue;
       }
-    }
+      if (relax.status == SolveStatus::kUnbounded) {
+        if (root_node) {
+          best.status = SolveStatus::kUnbounded;
+          stats_.seconds = timer.Seconds();
+          return best;
+        }
+        // A bounded parent cannot spawn an unbounded child on a
+        // restricted box unless numerics failed; treat as a limit hit.
+        any_limit_hit = true;
+        root_node = false;
+        continue;
+      }
+      if (relax.status == SolveStatus::kLimit) {
+        any_limit_hit = true;
+        root_node = false;
+        continue;
+      }
 
-    if (branch_var == n) {
-      // Integral (continuous vars free): candidate incumbent.
-      std::vector<double> candidate = relax.values;
+      // Subsumes the re-check against incumbents accepted by earlier
+      // slots of this wave: relax.objective <= node->bound.
+      if (relax.objective <= prune_level() + opts_.absolute_gap) {
+        root_node = false;
+        continue;
+      }
+
+      // Find the most fractional integer variable.
+      size_t branch_var = n;
+      double best_frac = opts_.int_tol;
       for (size_t j = 0; j < n; ++j) {
-        if (model_.variable(j).is_integer) {
-          candidate[j] = std::round(candidate[j]);
+        if (!model_.variable(j).is_integer) continue;
+        double v = relax.values[j];
+        double frac = std::abs(v - std::round(v));
+        if (frac > best_frac) {
+          best_frac = frac;
+          branch_var = j;
         }
       }
-      if (relax.objective > best.objective &&
-          model_.IsFeasible(candidate, 1e-5)) {
-        best.values = candidate;
-        best.objective = model_.ObjectiveValue(candidate);
-        best.status = SolveStatus::kFeasible;
-      }
-      root_node = false;
-      continue;
-    }
 
-    if (root_node) {
-      // Rounding heuristic for an initial incumbent.
-      std::vector<double> rounded = relax.values;
-      for (size_t j = 0; j < n; ++j) {
-        if (model_.variable(j).is_integer) {
-          rounded[j] = std::clamp(std::round(rounded[j]),
-                                  node->lower[j], node->upper[j]);
+      if (branch_var == n) {
+        // Integral (continuous vars free): candidate incumbent.
+        std::vector<double> candidate = relax.values;
+        for (size_t j = 0; j < n; ++j) {
+          if (model_.variable(j).is_integer) {
+            candidate[j] = std::round(candidate[j]);
+          }
         }
-      }
-      if (model_.IsFeasible(rounded, 1e-6)) {
-        double obj = model_.ObjectiveValue(rounded);
-        if (obj > best.objective) {
-          best.values = rounded;
-          best.objective = obj;
+        if (relax.objective > best.objective &&
+            model_.IsFeasible(candidate, 1e-5)) {
+          best.values = candidate;
+          best.objective = model_.ObjectiveValue(candidate);
           best.status = SolveStatus::kFeasible;
         }
+        root_node = false;
+        continue;
       }
-      root_node = false;
-    }
 
-    double v = relax.values[branch_var];
-    auto down = std::make_shared<Node>();
-    down->lower = node->lower;
-    down->upper = node->upper;
-    down->upper[branch_var] = std::floor(v);
-    down->bound = relax.objective;
-    down->depth = node->depth + 1;
-    if (down->lower[branch_var] <= down->upper[branch_var]) {
-      open.push(std::move(down));
-    }
+      if (root_node) {
+        // Rounding heuristic for an initial incumbent.
+        std::vector<double> rounded = relax.values;
+        for (size_t j = 0; j < n; ++j) {
+          if (model_.variable(j).is_integer) {
+            rounded[j] = std::clamp(std::round(rounded[j]),
+                                    node->lower[j], node->upper[j]);
+          }
+        }
+        if (model_.IsFeasible(rounded, 1e-6)) {
+          double obj = model_.ObjectiveValue(rounded);
+          if (obj > best.objective) {
+            best.values = rounded;
+            best.objective = obj;
+            best.status = SolveStatus::kFeasible;
+          }
+        }
+        root_node = false;
+      }
 
-    auto up = std::make_shared<Node>();
-    up->lower = node->lower;
-    up->upper = node->upper;
-    up->lower[branch_var] = std::ceil(v);
-    up->bound = relax.objective;
-    up->depth = node->depth + 1;
-    if (up->lower[branch_var] <= up->upper[branch_var]) {
-      open.push(std::move(up));
+      double v = relax.values[branch_var];
+      auto down = std::make_shared<Node>();
+      down->lower = node->lower;
+      down->upper = node->upper;
+      down->upper[branch_var] = std::floor(v);
+      down->bound = relax.objective;
+      down->depth = node->depth + 1;
+      down->seq = next_seq++;
+      if (down->lower[branch_var] <= down->upper[branch_var]) {
+        open.push(std::move(down));
+      }
+
+      auto up = std::make_shared<Node>();
+      up->lower = node->lower;
+      up->upper = node->upper;
+      up->lower[branch_var] = std::ceil(v);
+      up->bound = relax.objective;
+      up->depth = node->depth + 1;
+      up->seq = next_seq++;
+      if (up->lower[branch_var] <= up->upper[branch_var]) {
+        open.push(std::move(up));
+      }
     }
   }
 

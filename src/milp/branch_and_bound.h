@@ -2,10 +2,19 @@
 //
 // Best-bound search with most-fractional branching, a root rounding
 // heuristic, optional warm starts, node/time limits, and cooperative
-// cancellation polled at node-expansion granularity. Small models solve
-// to proven optimality; limit hits return the best incumbent with
-// kFeasible status; a fired cancel token returns kInterrupted with no
-// usable incumbent (see SolveStatus::kInterrupted).
+// cancellation polled at wave granularity. Small models solve to proven
+// optimality; limit hits return the best incumbent with kFeasible
+// status; a fired cancel token returns kInterrupted with no usable
+// incumbent (see SolveStatus::kInterrupted).
+//
+// The search proceeds in deterministic WAVES: each iteration pops up to
+// kMaxWave un-prunable nodes in best-bound order (total order — ties
+// broken by depth, then by a monotone creation sequence number), solves
+// their LP relaxations — in parallel on the shared pool when
+// MilpOptions::num_threads > 1 — and merges the results sequentially in
+// slot order with exactly the serial incumbent logic. The wave width is
+// a function of the search state only, never of the thread count, so
+// solutions, stats, and bounds are bit-identical at any thread count.
 
 #ifndef EXPLAIN3D_MILP_BRANCH_AND_BOUND_H_
 #define EXPLAIN3D_MILP_BRANCH_AND_BOUND_H_
@@ -27,8 +36,18 @@ struct MilpOptions {
   double int_tol = 1e-6;           ///< integrality tolerance
   /// Prune nodes whose LP bound improves the incumbent by less than this.
   double absolute_gap = 1e-9;
-  /// Optional cooperative cancellation, polled before every node
-  /// expansion. When it fires the solve returns kInterrupted
+  /// Known lower bound on the optimum (a warm-start incumbent objective,
+  /// already margin-adjusted by the caller). Used for PRUNING ONLY: it
+  /// never becomes a returned solution, never loosens the strict `>`
+  /// acceptance test, and never leaks into MilpStats::best_bound — so an
+  /// admissible floor (strictly below the true optimum) cannot change
+  /// which solution is found, only how fast. Default −inf = no floor.
+  double incumbent_floor = -kInfinity;
+  /// Threads for the wave LP solves (see the header comment). Results
+  /// are bit-identical for every value; 1 = fully serial.
+  size_t num_threads = 1;
+  /// Optional cooperative cancellation, polled before every wave of node
+  /// expansions. When it fires the solve returns kInterrupted
   /// immediately — unlike the node/time limits it yields NO incumbent,
   /// so interruption can never silently degrade a result (must outlive
   /// the solve; nullptr = never cancelled).

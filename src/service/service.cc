@@ -575,6 +575,10 @@ void Explain3DService::Process(const TicketPtr& ticket) {
     } else {
       counters_->exact.fetch_add(1);
     }
+    if (outcome.ok()) {
+      counters_->warm_start_hits.fetch_add(
+          outcome.value().core().stats.warm_start_hits);
+    }
     if (!outcome.ok()) {
       counters_->failed.fetch_add(1);
       if (ran_pipeline) RecordRunSeconds(run_s);
@@ -765,6 +769,10 @@ ServiceStats Explain3DService::Stats() const {
   s.warm_hits = cache_.hits();
   s.cold_misses = cache_.misses();
   s.cache_evictions = cache_.evictions();
+  s.warm_start_hits = counters_->warm_start_hits.load();
+  s.incumbent_entries = cache_.incumbent_entries();
+  s.incumbent_hits = cache_.incumbent_hits();
+  s.incumbent_misses = cache_.incumbent_misses();
   return s;
 }
 

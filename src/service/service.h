@@ -166,6 +166,11 @@ struct ServiceCounters {
   std::atomic<size_t> exact{0};     ///< completed via the exact solver
   std::atomic<size_t> degraded{0};  ///< completed OK via the greedy fallback
   std::atomic<size_t> retries{0};   ///< transient-failure re-attempts run
+  /// Solve units seeded from a fingerprint-matched warm-start incumbent
+  /// (summed Explain3DStats::warm_start_hits of OK completions). Not part
+  /// of the request-balance invariants — a single request can contribute
+  /// zero or many.
+  std::atomic<size_t> warm_start_hits{0};
 };
 
 /// \brief Future for one submitted request.
@@ -321,6 +326,13 @@ struct ServiceStats {
   size_t warm_hits = 0;
   size_t cold_misses = 0;
   size_t cache_evictions = 0;
+  // Stage-2 warm-start incumbent store (ROADMAP 2): solve units seeded
+  // from a recorded optimum, plus the store's own lookup traffic
+  // (MatchingContext passthrough).
+  size_t warm_start_hits = 0;      ///< units seeded (ServiceCounters)
+  size_t incumbent_entries = 0;    ///< records currently stored
+  size_t incumbent_hits = 0;       ///< store lookups that found a record
+  size_t incumbent_misses = 0;     ///< store lookups that found none
   // Latency percentiles over the most recent SUCCESSFUL completions.
   LatencySummary queue_seconds;   ///< Submit → worker claim
   LatencySummary stage1_seconds;  ///< pipeline stage 1

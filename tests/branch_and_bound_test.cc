@@ -6,7 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "common/cancel.h"
+#include "common/fault.h"
 #include "common/rng.h"
 #include "milp/brute_force.h"
 #include "milp/model.h"
@@ -113,6 +116,88 @@ TEST(BranchAndBoundTest, FiredCancelTokenInterruptsWithNoIncumbent) {
   Solution ok = MilpSolver(m, live_opts).Solve();
   ASSERT_EQ(ok.status, SolveStatus::kOptimal);
   EXPECT_NEAR(ok.objective, 20.0, 1e-6);
+}
+
+// ---------------------------------------------------------------------------
+// Interruption-bound regressions (ROADMAP 2): an interrupted solve that
+// was seeded with a warm-start floor must still publish an ADMISSIBLE
+// best_bound — an open-node bound ≥ the true optimum, never the seeded
+// (below-optimum) floor mistaken for one.
+// ---------------------------------------------------------------------------
+
+TEST(BranchAndBoundTest, FlooredInterruptedSolvePublishesAdmissibleBound) {
+  if (!kFaultInjectionEnabled) {
+    GTEST_SKIP() << "fault probes compiled out";
+  }
+  // A knapsack with a real multi-wave search tree.
+  Rng rng(12345);
+  Model m;
+  LinExpr e;
+  for (size_t j = 0; j < 10; ++j) {
+    m.AddBinary("b" + std::to_string(j),
+                static_cast<double>(rng.UniformInt(1, 9)));
+    e.Add(j, static_cast<double>(rng.UniformInt(1, 5)));
+  }
+  m.AddConstraint(e, Relation::kLe, 12);
+
+  Result<Solution> reference = BruteForceSolve(m);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  ASSERT_EQ(reference.value().status, SolveStatus::kOptimal);
+  double opt = reference.value().objective;
+
+  Solution cold = MilpSolver(m).Solve();
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(cold.objective, opt, 1e-6);
+
+  // Interrupt the floored solve at every early wave via the milp.node
+  // fault probe (deterministic, replayable — common/fault.h).
+  for (uint64_t k = 0; k < 6; ++k) {
+    SCOPED_TRACE("interrupt at probe hit " + std::to_string(k));
+    ASSERT_TRUE(FaultInjector::Instance()
+                    .Configure("milp.node=once" + std::to_string(k))
+                    .ok());
+    MilpOptions opts;
+    opts.incumbent_floor = opt - 1e-7;  // a seeded warm-start floor
+    MilpSolver solver(m, opts);
+    Solution s = solver.Solve();
+    if (s.status == SolveStatus::kInterrupted) {
+      // No incumbent may escape, and the published bound must dominate
+      // the true optimum — the floor (strictly BELOW the optimum) can
+      // never masquerade as an open-node bound.
+      EXPECT_TRUE(s.values.empty());
+      EXPECT_FALSE(s.has_solution());
+      EXPECT_GE(solver.stats().best_bound, opt - 1e-9);
+    } else {
+      // The search finished before probe hit k: the floored solve must
+      // match the cold one bit for bit.
+      ASSERT_EQ(s.status, SolveStatus::kOptimal);
+      EXPECT_EQ(s.values, cold.values);
+      EXPECT_EQ(s.objective, cold.objective);
+    }
+  }
+  FaultInjector::Instance().Disable();
+}
+
+TEST(BranchAndBoundTest, FlooredCancelInterruptKeepsBoundAdmissible) {
+  // Same contract through the cancel-token interrupt path: a fired token
+  // plus a seeded floor yields kInterrupted with an admissible bound and
+  // no incumbent (the pre-root interrupt publishes +inf).
+  Model m;
+  VarId a = m.AddBinary("a", 10);
+  VarId b = m.AddBinary("b", 13);
+  VarId c = m.AddBinary("c", 7);
+  m.AddConstraint(LinExpr().Add(a, 3).Add(b, 4).Add(c, 2), Relation::kLe, 6);
+
+  CancelToken token;
+  token.Cancel();
+  MilpOptions opts;
+  opts.cancel = &token;
+  opts.incumbent_floor = 19.0;  // below the optimum of 20
+  MilpSolver solver(m, opts);
+  Solution s = solver.Solve();
+  EXPECT_EQ(s.status, SolveStatus::kInterrupted);
+  EXPECT_TRUE(s.values.empty());
+  EXPECT_GE(solver.stats().best_bound, 20.0 - 1e-9);
 }
 
 TEST(BranchAndBoundTest, ObjectiveConstantCarried) {

@@ -266,5 +266,121 @@ TEST_P(EngineAgreement, MilpAndAssignmentBnbMatch) {
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineAgreement,
                          ::testing::Range(uint64_t{100}, uint64_t{160}));
 
+// ---------------------------------------------------------------------------
+// Warm starts (ROADMAP 2): seeding the solver with a prior run's
+// incumbent record is a pure accelerator — results stay bit-identical.
+// ---------------------------------------------------------------------------
+
+void ExpectSameExplanations(const ExplanationSet& a, const ExplanationSet& b) {
+  ASSERT_EQ(a.delta.size(), b.delta.size());
+  for (size_t i = 0; i < a.delta.size(); ++i) {
+    EXPECT_EQ(a.delta[i].side, b.delta[i].side);
+    EXPECT_EQ(a.delta[i].tuple, b.delta[i].tuple);
+  }
+  ASSERT_EQ(a.value_changes.size(), b.value_changes.size());
+  for (size_t i = 0; i < a.value_changes.size(); ++i) {
+    EXPECT_EQ(a.value_changes[i].side, b.value_changes[i].side);
+    EXPECT_EQ(a.value_changes[i].tuple, b.value_changes[i].tuple);
+    EXPECT_EQ(a.value_changes[i].old_impact, b.value_changes[i].old_impact);
+    EXPECT_EQ(a.value_changes[i].new_impact, b.value_changes[i].new_impact);
+  }
+  ASSERT_EQ(a.evidence.size(), b.evidence.size());
+  for (size_t i = 0; i < a.evidence.size(); ++i) {
+    EXPECT_EQ(a.evidence[i].t1, b.evidence[i].t1);
+    EXPECT_EQ(a.evidence[i].t2, b.evidence[i].t2);
+    EXPECT_EQ(a.evidence[i].p, b.evidence[i].p);
+  }
+  EXPECT_EQ(a.log_probability, b.log_probability);  // bitwise
+}
+
+TEST(Explain3DSolverTest, WarmResubmitBitIdenticalToCold) {
+  for (uint64_t seed = 300; seed < 312; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    RandomInstance inst = MakeRandomInstance(seed);
+    Explain3DSolver solver;
+    Explain3DInput cold_input{&inst.t1, &inst.t2, inst.attr, inst.mapping};
+    SolverIncumbents rec;
+    cold_input.incumbents_out = &rec;
+    Result<Explain3DResult> cold = solver.Solve(cold_input);
+    ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+    EXPECT_EQ(cold.value().stats.warm_start_hits, 0u);
+    if (!rec.complete) continue;  // limit-truncated: record not reusable
+
+    Explain3DInput warm_input{&inst.t1, &inst.t2, inst.attr, inst.mapping};
+    warm_input.warm_start = &rec;
+    Result<Explain3DResult> warm = solver.Solve(warm_input);
+    ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+    ExpectSameExplanations(warm.value().explanations,
+                           cold.value().explanations);
+    // Every unit that runs a search engine gets its floor from the record.
+    EXPECT_EQ(warm.value().stats.warm_start_hits,
+              cold.value().stats.milp_solved + cold.value().stats.exact_solved);
+    if (::testing::Test::HasFatalFailure()) break;
+  }
+}
+
+TEST(Explain3DSolverTest, MalformedWarmRecordIsIgnored) {
+  RandomInstance inst = MakeRandomInstance(305);
+  Explain3DSolver solver;
+  Explain3DInput cold_input{&inst.t1, &inst.t2, inst.attr, inst.mapping};
+  SolverIncumbents rec;
+  cold_input.incumbents_out = &rec;
+  Result<Explain3DResult> cold = solver.Solve(cold_input);
+  ASSERT_TRUE(cold.ok());
+  ASSERT_TRUE(rec.complete);
+  ASSERT_FALSE(rec.units.empty());
+
+  // Wrong unit count: the record cannot line up with this problem, so
+  // the solver must discard it outright.
+  SolverIncumbents truncated = rec;
+  truncated.units.pop_back();
+  Explain3DInput in1{&inst.t1, &inst.t2, inst.attr, inst.mapping};
+  in1.warm_start = &truncated;
+  Result<Explain3DResult> r1 = solver.Solve(in1);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1.value().stats.warm_start_hits, 0u);
+  ExpectSameExplanations(r1.value().explanations, cold.value().explanations);
+
+  // Stale fingerprints (unit-by-unit mismatch): every lookup must miss.
+  SolverIncumbents stale = rec;
+  for (UnitIncumbent& u : stale.units) u.fingerprint ^= 1;
+  Explain3DInput in2{&inst.t1, &inst.t2, inst.attr, inst.mapping};
+  in2.warm_start = &stale;
+  Result<Explain3DResult> r2 = solver.Solve(in2);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2.value().stats.warm_start_hits, 0u);
+  ExpectSameExplanations(r2.value().explanations, cold.value().explanations);
+}
+
+TEST(Explain3DSolverTest, GreedySeedDoesNotChangeExactAnswer) {
+  // The portfolio path seeds the exact solve with the greedy selection as
+  // an objective floor; the floor must never change the answer.
+  for (uint64_t seed = 320; seed < 328; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    RandomInstance inst = MakeRandomInstance(seed);
+    Explain3DSolver solver;
+    Result<Explain3DResult> cold =
+        solver.Solve({&inst.t1, &inst.t2, inst.attr, inst.mapping});
+    ASSERT_TRUE(cold.ok());
+
+    // Seed with the cold run's own evidence — the tightest possible floor.
+    std::vector<size_t> selection;
+    for (size_t k = 0; k < inst.mapping.size(); ++k) {
+      for (const TupleMatch& m : cold.value().explanations.evidence) {
+        if (inst.mapping[k].t1 == m.t1 && inst.mapping[k].t2 == m.t2) {
+          selection.push_back(k);
+          break;
+        }
+      }
+    }
+    Explain3DInput seeded{&inst.t1, &inst.t2, inst.attr, inst.mapping};
+    seeded.greedy_selection = &selection;
+    Result<Explain3DResult> r = solver.Solve(seeded);
+    ASSERT_TRUE(r.ok());
+    ExpectSameExplanations(r.value().explanations, cold.value().explanations);
+    if (::testing::Test::HasFatalFailure()) break;
+  }
+}
+
 }  // namespace
 }  // namespace explain3d

@@ -140,9 +140,21 @@ struct StressWorld {
       {&data_b, "b1", "b2", 40},
   };
   std::vector<PipelineResult> baselines;
+  // Warm-start leg variants (ROADMAP 2): batch sizes small enough that
+  // every unit solves to proven optimality — the precondition for the
+  // solver to record a COMPLETE (storable) incumbent entry — while still
+  // mixing MILP-decoded and assignment-decoded units.
+  std::vector<Variant> warm_variants = {
+      {&data_a, "a1", "a2", 20},
+      {&data_b, "b1", "b2", 20},
+  };
+  std::vector<PipelineResult> warm_baselines;
 
   StressWorld() {
     for (const Variant& v : variants) baselines.push_back(SerialBaseline(v));
+    for (const Variant& v : warm_variants) {
+      warm_baselines.push_back(SerialBaseline(v));
+    }
   }
 };
 
@@ -350,6 +362,174 @@ TEST(ServiceStressTest, RandomizedInterleavingsHoldEveryInvariant) {
   for (size_t seed = seed_base; seed < seed_base + seeds; ++seed) {
     SCOPED_TRACE("seed " + std::to_string(seed));
     RunStressRound(seed, ops);
+    if (HasFatalFailure()) break;
+  }
+}
+
+// --- warm-start + portfolio leg (ROADMAP 2) ---------------------------------
+// The same hammer pointed at the stage-2 solver program: concurrent
+// identical submits racing the incumbent store (Get while another thread
+// Puts), portfolio requests racing strict ones over shared records, and
+// re-registrations retiring records mid-flight. Every survivor must stay
+// bit-identical to the serial baseline — warm, seeded, raced, or not.
+
+void RunWarmStartRound(uint64_t seed, size_t ops_per_thread) {
+  StressWorld& world = World();
+  ServiceOptions options;
+  options.max_concurrency = size_t{1} << (seed % 3);  // 1, 2, 4
+  options.starvation_every = 4;
+  Explain3DService service(options);
+
+  std::mutex handles_mu;
+  DatabaseHandle live_a1 = service.RegisterDatabase("a1", world.data_a.db1);
+  DatabaseHandle live_a2 = service.RegisterDatabase("a2", world.data_a.db2);
+  DatabaseHandle live_b1 = service.RegisterDatabase("b1", world.data_b.db1);
+  DatabaseHandle live_b2 = service.RegisterDatabase("b2", world.data_b.db2);
+  size_t reregisters = 0;
+
+  std::vector<std::vector<TrackedTicket>> tracked(kThreads);
+  std::vector<std::thread> submitters;
+  for (size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (size_t k = 0; k < ops_per_thread; ++k) {
+        uint64_t base = (t + 1) * 100000 + k * 16;
+        auto draw = [&](uint64_t salt) {
+          return CounterHash(seed * 6151, base + salt);
+        };
+        auto submit_one = [&](bool portfolio) {
+          size_t vi = draw(1) % world.warm_variants.size();
+          const Variant& v = world.warm_variants[vi];
+          DatabaseHandle h1, h2;
+          {
+            std::lock_guard<std::mutex> lock(handles_mu);
+            std::tie(h1, h2) = v.db1_name == "a1"
+                                   ? std::make_pair(live_a1, live_a2)
+                                   : std::make_pair(live_b1, live_b2);
+          }
+          ExplanationRequest req = MakeRequest(v, h1, h2);
+          if (portfolio) {
+            // Unmissable budget: the exact leg always finishes, so the
+            // portfolio answer must equal strict mode — never degraded.
+            req.config.portfolio = true;
+            req.deadline_seconds = 3600.0;
+          }
+          tracked[t].push_back(
+              {service.Submit(std::move(req)), vi, portfolio, false});
+        };
+
+        uint64_t pct = draw(0) % 100;
+        if (pct < 55) {
+          submit_one(/*portfolio=*/false);
+        } else if (pct < 75) {
+          submit_one(/*portfolio=*/true);
+        } else if (pct < 85) {
+          if (tracked[t].empty()) {
+            submit_one(false);
+          } else {
+            tracked[t][draw(7) % tracked[t].size()].ticket->Cancel();
+          }
+        } else {
+          DatabaseHandle fresh =
+              service.RegisterDatabase("a1", world.data_a.db1);
+          std::lock_guard<std::mutex> lock(handles_mu);
+          live_a1 = fresh;
+          ++reregisters;
+        }
+      }
+    });
+  }
+  for (std::thread& th : submitters) th.join();
+
+  size_t total_tracked = 0;
+  size_t ok_results = 0, cancelled = 0, rejected = 0, stale_failures = 0;
+  for (size_t t = 0; t < kThreads; ++t) {
+    total_tracked += tracked[t].size();
+    for (const TrackedTicket& tt : tracked[t]) {
+      const Result<PipelineResult>* r = tt.ticket->WaitFor(120.0);
+      ASSERT_NE(r, nullptr) << "lost ticket at warm seed " << seed;
+      switch (r->status().code()) {
+        case StatusCode::kOk:
+          ++ok_results;
+          // Warm-seeded, greedy-seeded, raced, or cold: bit-identical to
+          // the serial baseline, and never silently degraded (the only
+          // budget in play is an unmissable 3600 s).
+          EXPECT_FALSE(r->value().degraded()) << "warm seed " << seed;
+          ExpectResultsBitIdentical(r->value(),
+                                    world.warm_baselines[tt.variant], seed);
+          break;
+        case StatusCode::kCancelled:
+          ++cancelled;
+          break;
+        case StatusCode::kUnavailable:
+          // Admission may reject deadline-carrying (here: portfolio)
+          // requests against a deep backlog estimate, never others.
+          ++rejected;
+          EXPECT_TRUE(tt.has_deadline)
+              << "admission rejected a deadline-free request, warm seed "
+              << seed;
+          break;
+        case StatusCode::kInvalidArgument:
+          ++stale_failures;
+          EXPECT_NE(r->status().message().find("retired"), std::string::npos)
+              << r->status().ToString() << " warm seed " << seed;
+          EXPECT_GT(reregisters, 0u) << "warm seed " << seed;
+          break;
+        default:
+          ADD_FAILURE() << "unexpected terminal status "
+                        << r->status().ToString() << " at warm seed " << seed;
+      }
+    }
+  }
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.submitted, total_tracked) << "warm seed " << seed;
+  EXPECT_EQ(stats.submitted, stats.completed + stats.cancelled +
+                                 stats.deadline_exceeded + stats.rejected)
+      << "warm seed " << seed;
+  EXPECT_EQ(stats.completed, ok_results + stale_failures)
+      << "warm seed " << seed;
+  EXPECT_EQ(stats.failed, stale_failures) << "warm seed " << seed;
+  EXPECT_EQ(stats.cancelled, cancelled) << "warm seed " << seed;
+  EXPECT_EQ(stats.rejected, rejected) << "warm seed " << seed;
+  EXPECT_EQ(stats.completed,
+            stats.completed_exact + stats.completed_degraded)
+      << "warm seed " << seed;
+  EXPECT_EQ(stats.completed_degraded, 0u) << "warm seed " << seed;
+  // Incumbent-store books: units are seeded only through store hits, and
+  // every pipeline run that got as far as stage 2 did exactly one lookup.
+  if (stats.warm_start_hits > 0) {
+    EXPECT_GT(stats.incumbent_hits, 0u) << "warm seed " << seed;
+  }
+  EXPECT_GE(stats.incumbent_hits + stats.incumbent_misses, ok_results)
+      << "warm seed " << seed;
+
+  // Serial epilogue on the never-re-registered b pair: by now its record
+  // provably exists (the submit below re-records if the round somehow
+  // never completed one), so a repeat MUST serve warm — and still match
+  // the baseline bit for bit.
+  const Variant& v = world.warm_variants[1];
+  TicketPtr first = service.Submit(MakeRequest(v, live_b1, live_b2));
+  ASSERT_TRUE(first->Wait().ok()) << first->Wait().status().ToString();
+  ASSERT_TRUE(first->Wait().value().core().stats.all_optimal)
+      << "warm seed " << seed << ": epilogue run not storable";
+  size_t hits_before = service.Stats().warm_start_hits;
+  TicketPtr second = service.Submit(MakeRequest(v, live_b1, live_b2));
+  ASSERT_TRUE(second->Wait().ok()) << second->Wait().status().ToString();
+  EXPECT_GT(service.Stats().warm_start_hits, hits_before)
+      << "warm seed " << seed << ": repeat request was not warm-seeded";
+  ExpectResultsBitIdentical(first->Wait().value(), world.warm_baselines[1],
+                            seed);
+  ExpectResultsBitIdentical(second->Wait().value(), world.warm_baselines[1],
+                            seed);
+}
+
+TEST(ServiceStressTest, WarmStartAndPortfolioSweepStaysBitIdentical) {
+  size_t seeds = EnvSize("EXPLAIN3D_STRESS_SEEDS", kDefaultSeeds);
+  size_t seed_base = EnvSize("EXPLAIN3D_STRESS_SEED_BASE", 1);
+  size_t ops = EnvSize("EXPLAIN3D_STRESS_OPS", kDefaultOpsPerThread);
+  for (size_t seed = seed_base; seed < seed_base + seeds; ++seed) {
+    SCOPED_TRACE("warm seed " + std::to_string(seed));
+    RunWarmStartRound(seed, ops);
     if (HasFatalFailure()) break;
   }
 }

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -768,6 +769,133 @@ TEST(ServiceAdmissionTest, IdleServiceAdmitsDeadlinesShorterThanP50) {
   EXPECT_EQ(r->status().code(), StatusCode::kDeadlineExceeded);
   EXPECT_EQ(service.Stats().rejected, 0u);
   EXPECT_EQ(service.Stats().deadline_exceeded, 1u);
+}
+
+// --- stage-2 warm starts + portfolio (ROADMAP 2) ----------------------------
+
+// Only a fully-optimal run records a (complete) incumbent entry; the
+// default batch size leaves these datasets one big node-limit-truncated
+// unit, so the warm-start tests shrink the batches until every unit
+// solves to proven optimality (a mix of MILP and assignment units).
+ExplanationRequest MakeOptimalRequest(const SyntheticDataset& data,
+                                      DatabaseHandle h1, DatabaseHandle h2) {
+  ExplanationRequest req = MakeRequest(data, h1, h2);
+  req.config.batch_size = 25;
+  return req;
+}
+
+TEST(ServiceWarmStartTest, ResubmitServesWarmAndStaysBitIdentical) {
+  Explain3DService service;
+  SyntheticDataset data = MakeData(41);
+  DatabaseHandle h1 = service.RegisterDatabase("left", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("right", data.db2);
+
+  // Cold: nothing recorded yet — the incumbent lookup must miss, and no
+  // solve unit may claim a warm seed.
+  TicketPtr t1 = service.Submit(MakeOptimalRequest(data, h1, h2));
+  ASSERT_TRUE(t1->Wait().ok());
+  ServiceStats cold = service.Stats();
+  EXPECT_EQ(cold.warm_start_hits, 0u);
+  EXPECT_EQ(cold.incumbent_hits, 0u);
+  EXPECT_EQ(cold.incumbent_misses, 1u);
+  EXPECT_EQ(cold.incumbent_entries, 1u);  // the cold run recorded its optimum
+
+  // Warm: the identical request finds the record, seeds its engines, and
+  // must still return the bit-identical answer.
+  TicketPtr t2 = service.Submit(MakeOptimalRequest(data, h1, h2));
+  ASSERT_TRUE(t2->Wait().ok());
+  ServiceStats warm = service.Stats();
+  EXPECT_EQ(warm.incumbent_hits, 1u);
+  EXPECT_GT(warm.warm_start_hits, 0u);
+  EXPECT_EQ(warm.incumbent_entries, 1u);  // re-recorded, not duplicated
+  ExpectResultsBitIdentical(t2->Wait().value(), t1->Wait().value());
+  ExpectResultsBitIdentical(
+      t2->Wait().value(),
+      SerialBaseline(data, MakeOptimalRequest(data, h1, h2)));
+}
+
+TEST(ServiceWarmStartTest, ReRegistrationRetiresIncumbentRecords) {
+  Explain3DService service;
+  SyntheticDataset data = MakeData(42);
+  DatabaseHandle h1 = service.RegisterDatabase("left", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("right", data.db2);
+
+  TicketPtr t1 = service.Submit(MakeOptimalRequest(data, h1, h2));
+  ASSERT_TRUE(t1->Wait().ok());
+  ASSERT_EQ(service.Stats().incumbent_entries, 1u);
+
+  // Re-registering the left database retires the pair's incumbent record
+  // together with its stage-1 artifacts: the stale optimum (recorded
+  // against the OLD generation's data) must never seed the new one.
+  DatabaseHandle h1b = service.RegisterDatabase("left", data.db1);
+  EXPECT_EQ(service.Stats().incumbent_entries, 0u);
+
+  TicketPtr t2 = service.Submit(MakeOptimalRequest(data, h1b, h2));
+  ASSERT_TRUE(t2->Wait().ok());
+  ServiceStats after = service.Stats();
+  EXPECT_EQ(after.warm_start_hits, 0u);   // no stale record was consulted
+  EXPECT_EQ(after.incumbent_hits, 0u);
+  EXPECT_EQ(after.incumbent_misses, 2u);  // both runs were genuine misses
+  EXPECT_EQ(after.incumbent_entries, 1u);
+  ExpectResultsBitIdentical(t2->Wait().value(), t1->Wait().value());
+}
+
+TEST(ServicePortfolioTest, PortfolioEqualsStrictWhenExactFinishesInBudget) {
+  Explain3DService service;
+  SyntheticDataset data = MakeData(43);
+  DatabaseHandle h1 = service.RegisterDatabase("left", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("right", data.db2);
+
+  TicketPtr strict = service.Submit(MakeRequest(data, h1, h2));
+  ASSERT_TRUE(strict->Wait().ok());
+  EXPECT_FALSE(strict->Wait().value().degraded());
+
+  // A portfolio run whose exact attempt finishes comfortably inside the
+  // (generous) budget returns the exact answer — bit-identical to
+  // strict mode, not flagged degraded.
+  ExplanationRequest req = MakeRequest(data, h1, h2);
+  req.config.portfolio = true;
+  req.deadline_seconds = 3600;
+  TicketPtr portfolio = service.Submit(req);
+  ASSERT_TRUE(portfolio->Wait().ok()) << portfolio->Wait().status().ToString();
+  EXPECT_FALSE(portfolio->Wait().value().degraded());
+  ExpectResultsBitIdentical(portfolio->Wait().value(), strict->Wait().value());
+  EXPECT_EQ(service.Stats().completed_degraded, 0u);
+}
+
+TEST(ServicePortfolioTest, PortfolioReturnsGreedyWhenBudgetFires) {
+  // The PR-6 hard-solve request under a deadline: strict mode fails with
+  // kDeadlineExceeded, portfolio mode COMPLETES with the greedy leg's
+  // answer, marked degraded and carrying an admissible optimality bound.
+  ServiceOptions options;
+  options.max_concurrency = 1;
+  Explain3DService service(options);
+  SyntheticDataset data = MakeData(44);
+  DatabaseHandle h1 = service.RegisterDatabase("left", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("right", data.db2);
+
+  ExplanationRequest req = MakeHardSolveRequest(data, h1, h2);
+  req.config.portfolio = true;
+  req.deadline_seconds = 2.0;
+  TicketPtr t = service.Submit(req);
+  const Result<PipelineResult>* r = t->WaitFor(60.0);
+  ASSERT_NE(r, nullptr) << "portfolio request never resolved";
+  ASSERT_TRUE(r->ok()) << r->status().ToString();
+
+  const DegradationInfo& deg = r->value().degradation();
+  EXPECT_TRUE(r->value().degraded());
+  EXPECT_EQ(deg.solver, DegradationInfo::Solver::kGreedyPortfolio);
+  EXPECT_EQ(deg.interrupt_code, StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deg.objective, r->value().core().explanations.log_probability);
+  // The abandoned exact attempt (seeded by this very greedy answer)
+  // published its open-node bound: finite, and at least the greedy score.
+  EXPECT_TRUE(std::isfinite(deg.incumbent_bound));
+  EXPECT_GE(deg.incumbent_bound, deg.objective - 1e-6);
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.completed_degraded, 1u);
+  EXPECT_EQ(stats.deadline_exceeded, 0u);
 }
 
 TEST(ServiceBatchTest, SubmitBatchAlignsTicketsWithRequests) {
