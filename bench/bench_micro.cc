@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cmath>
+#include <filesystem>
 
 #include "common/rng.h"
 #include "common/string_util.h"
@@ -22,6 +23,8 @@
 #include "milp/branch_and_bound.h"
 #include "partition/partitioner.h"
 #include "provenance/canonical.h"
+#include "storage/io.h"
+#include "storage/snapshot.h"
 
 namespace explain3d {
 namespace {
@@ -600,6 +603,84 @@ void BM_PrePartition(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PrePartition)->Arg(2000)->Arg(8000);
+
+// --- persistence tier --------------------------------------------------------
+
+// One pipeline-built stage-1 block at the benchmark's data size, via the
+// same harvest the service's write-behind uses.
+std::pair<std::string, ArtifactsPtr> SnapshotFixture(size_t n) {
+  SyntheticOptions gen;
+  gen.n = n;
+  gen.d = 0.25;
+  gen.v = 300;
+  SyntheticDataset data = GenerateSynthetic(gen).value();
+  PipelineInput input;
+  input.db1 = &data.db1;
+  input.db2 = &data.db2;
+  input.sql1 = data.sql1;
+  input.sql2 = data.sql2;
+  input.attr_matches = data.attr_matches;
+  input.mapping_options.min_probability = 1e-4;
+  input.calibration_oracle =
+      MakeRowEntityOracle(data.row_entities1, data.row_entities2);
+  MatchingContext context;
+  input.matching_context = &context;
+  benchmark::DoNotOptimize(RunExplain3D(input, Explain3DConfig()).ok());
+  return context.Entries().front();
+}
+
+// Full snapshot write: encode (checksummed segment layout) + atomic
+// write + fsync. This is the per-block cost of a write-behind pass.
+void BM_SnapshotSave(benchmark::State& state) {
+  auto [key, art] = SnapshotFixture(static_cast<size_t>(state.range(0)));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "bench-snapshot.e3ds")
+          .string();
+  size_t bytes = 0;
+  for (auto _ : state) {
+    std::vector<uint8_t> enc = storage::EncodeArtifacts(key, *art);
+    bytes = enc.size();
+    benchmark::DoNotOptimize(
+        storage::WriteFileAtomic(path, enc.data(), enc.size()).ok());
+  }
+  state.counters["file_bytes"] = static_cast<double>(bytes);
+  state.SetBytesProcessed(static_cast<int64_t>(bytes) * state.iterations());
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_SnapshotSave)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+// Warm-restart load: mmap + checksum verification + zero-copy wrap of
+// the columnar arrays into an ArtifactsPtr. The CSR columns are
+// borrowed from the mapping, so this cost stays flat in the column
+// payload — compare against BM_SnapshotSave, which streams every byte.
+void BM_SnapshotMmapLoad(benchmark::State& state) {
+  auto [key, art] = SnapshotFixture(static_cast<size_t>(state.range(0)));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "bench-snapshot-load.e3ds")
+          .string();
+  std::vector<uint8_t> enc = storage::EncodeArtifacts(key, *art);
+  if (!storage::WriteFileAtomic(path, enc.data(), enc.size()).ok()) {
+    state.SkipWithError("snapshot write failed");
+    return;
+  }
+  for (auto _ : state) {
+    Result<storage::MmapFile> file = storage::MmapFile::Open(path);
+    Result<storage::DecodedArtifacts> decoded = storage::DecodeArtifacts(
+        std::make_shared<storage::MmapFile>(std::move(file).value()));
+    benchmark::DoNotOptimize(decoded.ok());
+  }
+  state.counters["file_bytes"] = static_cast<double>(enc.size());
+  state.SetBytesProcessed(static_cast<int64_t>(enc.size()) *
+                          state.iterations());
+  std::filesystem::remove(path);
+}
+BENCHMARK(BM_SnapshotMmapLoad)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace explain3d

@@ -28,6 +28,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kIOError:
       return "IOError";
+    case StatusCode::kCorruption:
+      return "Corruption";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
     case StatusCode::kCancelled:

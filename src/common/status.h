@@ -27,6 +27,7 @@ enum class StatusCode {
   kResourceExhausted, ///< Iteration/size limit hit before completion.
   kInternal,          ///< Bug: an internal invariant failed.
   kIOError,           ///< Filesystem failure.
+  kCorruption,        ///< On-disk data failed a checksum or format check.
   kDeadlineExceeded,  ///< Request deadline passed before the work finished.
   kCancelled,         ///< Request cancelled by the caller.
   kUnavailable,       ///< Service cannot take the request (admission control).
@@ -78,6 +79,9 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));

@@ -76,6 +76,19 @@ size_t InternedBytes(const InternedRelation& rel) {
   return sizeof(InternedRelation) + rel.flat_bytes();
 }
 
+// Full charge of one artifact cache entry: the block itself plus the key
+// string (stored twice — map key and LRU list node) plus node overhead.
+size_t EntryCharge(const std::string& key, size_t art_bytes) {
+  return art_bytes + 2 * StringBytes(key) + kNodeOverhead;
+}
+
+// Charge of one incumbent record under the same model.
+size_t IncumbentCharge(const std::string& key, const SolverIncumbents& inc) {
+  return sizeof(SolverIncumbents) +
+         inc.units.capacity() * sizeof(UnitIncumbent) + 2 * StringBytes(key) +
+         kNodeOverhead;
+}
+
 }  // namespace
 
 size_t ApproxBytes(const Stage1Artifacts& art) {
@@ -120,16 +133,77 @@ Result<MatchingContext::ArtifactsPtr> MatchingContext::GetOrBuild(
     lru_.splice(lru_.begin(), lru_, it->second.lru_it);
     return it->second.art;
   }
+  return InsertLocked(key, std::move(built), built_bytes, /*dirty=*/true);
+}
+
+MatchingContext::ArtifactsPtr MatchingContext::InsertLocked(
+    const std::string& key, ArtifactsPtr art, size_t art_bytes, bool dirty) {
   Entry entry;
-  entry.bytes = built_bytes;
-  entry.art = std::move(built);
+  entry.bytes = EntryCharge(key, art_bytes);
+  entry.art = std::move(art);
   lru_.push_front(key);
   entry.lru_it = lru_.begin();
   bytes_ += entry.bytes;
   ArtifactsPtr result = entry.art;
   cache_.emplace(key, std::move(entry));
+  if (dirty) dirty_artifacts_.insert(key);
   EvictOverBudgetLocked();
   return result;
+}
+
+bool MatchingContext::Put(const std::string& key, ArtifactsPtr art) {
+  if (art == nullptr) return false;
+  size_t art_bytes = ApproxBytes(*art);  // O(data); outside the lock
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cache_.count(key) > 0) return false;
+  InsertLocked(key, std::move(art), art_bytes, /*dirty=*/false);
+  return true;
+}
+
+std::vector<std::pair<std::string, MatchingContext::ArtifactsPtr>>
+MatchingContext::Entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, ArtifactsPtr>> out;
+  out.reserve(cache_.size());
+  for (const std::string& key : lru_) {
+    out.emplace_back(key, cache_.at(key).art);
+  }
+  return out;
+}
+
+std::vector<std::pair<std::string, MatchingContext::IncumbentsPtr>>
+MatchingContext::IncumbentEntries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, IncumbentsPtr>> out;
+  out.reserve(incumbents_.size());
+  for (const std::string& key : inc_lru_) {
+    out.emplace_back(key, incumbents_.at(key).inc);
+  }
+  return out;
+}
+
+MatchingContext::DirtyKeys MatchingContext::TakeDirtyKeys() {
+  std::lock_guard<std::mutex> lock(mu_);
+  DirtyKeys out;
+  out.artifacts.assign(dirty_artifacts_.begin(), dirty_artifacts_.end());
+  out.incumbents.assign(dirty_incumbents_.begin(), dirty_incumbents_.end());
+  dirty_artifacts_.clear();
+  dirty_incumbents_.clear();
+  return out;
+}
+
+MatchingContext::ArtifactsPtr MatchingContext::Peek(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cache_.find(key);
+  return it == cache_.end() ? nullptr : it->second.art;
+}
+
+MatchingContext::IncumbentsPtr MatchingContext::PeekIncumbents(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = incumbents_.find(key);
+  return it == incumbents_.end() ? nullptr : it->second.inc;
 }
 
 void MatchingContext::EvictOverBudgetLocked() {
@@ -149,6 +223,15 @@ void MatchingContext::EvictOverBudgetLocked() {
     lru_.pop_back();
     ++evictions_;
   }
+  // Incumbent records are byte-accounted too; if the artifact side alone
+  // cannot fit the budget, drop LRU incumbents (cheap to rebuild — one
+  // warm exact solve re-records them).
+  while (bytes_ > budget_bytes_ && !incumbents_.empty()) {
+    auto it = incumbents_.find(inc_lru_.back());
+    bytes_ -= it->second.bytes;
+    incumbents_.erase(it);
+    inc_lru_.pop_back();
+  }
 }
 
 void MatchingContext::Clear() {
@@ -158,6 +241,8 @@ void MatchingContext::Clear() {
   bytes_ = 0;
   incumbents_.clear();
   inc_lru_.clear();
+  dirty_artifacts_.clear();
+  dirty_incumbents_.clear();
 }
 
 size_t MatchingContext::EraseIf(
@@ -179,7 +264,9 @@ size_t MatchingContext::EraseIf(
   // the service's identity-prefix match) retires both stores in one pass.
   for (auto it = inc_lru_.begin(); it != inc_lru_.end();) {
     if (pred(*it)) {
-      incumbents_.erase(*it);
+      auto entry = incumbents_.find(*it);
+      bytes_ -= entry->second.bytes;
+      incumbents_.erase(entry);
       it = inc_lru_.erase(it);
       ++erased;
     } else {
@@ -203,26 +290,37 @@ MatchingContext::IncumbentsPtr MatchingContext::GetIncumbents(
 }
 
 void MatchingContext::PutIncumbents(const std::string& key,
-                                    SolverIncumbents inc) {
+                                    SolverIncumbents inc, bool dirty) {
   if (!inc.complete) return;
+  size_t charge = IncumbentCharge(key, inc);
   auto shared =
       std::make_shared<const SolverIncumbents>(std::move(inc));
   std::lock_guard<std::mutex> lock(mu_);
   auto it = incumbents_.find(key);
   if (it != incumbents_.end()) {
+    bytes_ -= it->second.bytes;
+    bytes_ += charge;
+    it->second.bytes = charge;
     it->second.inc = std::move(shared);
     inc_lru_.splice(inc_lru_.begin(), inc_lru_, it->second.lru_it);
+    if (dirty) dirty_incumbents_.insert(key);
     return;
   }
   IncumbentEntry entry;
   entry.inc = std::move(shared);
+  entry.bytes = charge;
   inc_lru_.push_front(key);
   entry.lru_it = inc_lru_.begin();
+  bytes_ += charge;
   incumbents_.emplace(key, std::move(entry));
+  if (dirty) dirty_incumbents_.insert(key);
   while (incumbents_.size() > kMaxIncumbentEntries) {
-    incumbents_.erase(inc_lru_.back());
+    auto victim = incumbents_.find(inc_lru_.back());
+    bytes_ -= victim->second.bytes;
+    incumbents_.erase(victim);
     inc_lru_.pop_back();
   }
+  EvictOverBudgetLocked();
 }
 
 size_t MatchingContext::incumbent_entries() const {

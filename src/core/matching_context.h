@@ -9,13 +9,13 @@
 // when the caller passes a context in PipelineInput, leaving only
 // candidate scoring + calibration (and stage 2) as per-call work.
 //
-// The cache key uses the Database POINTERS plus the query/attribute text,
-// not a content digest: it assumes every cached database stays ALIVE and
-// UNMODIFIED for the context's lifetime. Call Clear() after mutating a
-// database — and before destroying one, since a new Database allocated at
-// a recycled address would otherwise collide with the dead entry's key
-// and be served stale artifacts. When lifetimes are not under your
-// control, use one context per database pair instead.
+// Cache keys are opaque strings chosen by the caller. The pipeline keys
+// entries by a CONTENT HASH of the two databases (storage/content_hash.h)
+// whenever a context is attached, so equal data — in this process or
+// across a service restart — shares entries and edited data can never be
+// served stale artifacts. (Callers who bypass the pipeline and key by
+// pointer inherit the old caveat: Clear() before mutating or destroying
+// a keyed database.)
 //
 // Thread-safe: concurrent pipelines may share one context. Entries are
 // immutable once built and handed out as shared_ptrs, so a Clear() or
@@ -30,6 +30,9 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "common/status.h"
 #include "common/value.h"
@@ -57,6 +60,11 @@ struct Stage1Artifacts {
   std::unique_ptr<InternedRelation> i1, i2;  ///< cached token-id sets
   /// Blocking candidates over (i1, i2); all pairs when blocking is off.
   CandidatePairs candidates;
+  /// Keeps external backing storage alive for blocks whose i1/i2 borrow
+  /// their columnar arrays instead of owning them — snapshot loads park
+  /// the mmapped file (storage::MmapFile) here, so the mapping lives
+  /// exactly as long as the last ArtifactsPtr. Null for built blocks.
+  std::shared_ptr<const void> storage_owner;
 };
 
 /// \brief Shared ownership handle of an immutable Stage1Artifacts block.
@@ -82,12 +90,17 @@ size_t ApproxBytes(const Stage1Artifacts& art);
 /// \brief Cross-call cache of stage-1 artifacts (see file comment for the
 /// immutability and lifetime contract).
 ///
-/// Entries are LRU-ordered and byte-accounted (ApproxBytes). With a
-/// nonzero byte budget, inserting past the budget evicts least-recently
-/// used entries until the cache fits again — except the most recently
-/// touched entry, which always stays so a single oversized block still
-/// serves its warm path. Eviction releases only the cache's reference:
-/// in-flight calls and returned results keep theirs.
+/// Entries are LRU-ordered and byte-accounted: each artifact entry is
+/// charged ApproxBytes plus its key string (stored twice: map + LRU
+/// list) plus a flat node overhead, and each solver-incumbent record is
+/// charged its units plus the same key overhead, so the budget prices
+/// everything the cache actually holds. With a nonzero byte budget,
+/// inserting past the budget evicts least-recently used artifact entries
+/// until the cache fits again — except the most recently touched entry,
+/// which always stays so a single oversized block still serves its warm
+/// path — then LRU incumbent records if still over. Eviction releases
+/// only the cache's reference: in-flight calls and returned results keep
+/// theirs.
 class MatchingContext {
  public:
   using ArtifactsPtr = explain3d::ArtifactsPtr;
@@ -111,6 +124,38 @@ class MatchingContext {
   /// valid after Clear(), eviction, and after this context is destroyed.
   Result<ArtifactsPtr> GetOrBuild(const std::string& key,
                                   const Builder& build);
+
+  /// \brief Inserts a pre-built artifacts block (the snapshot-restore
+  /// path). Returns false (and keeps the live entry) when `key` is
+  /// already present — a block built this process is never displaced by
+  /// a restored one. Does not mark the key dirty, so a restore is never
+  /// re-persisted. Evicts over budget like GetOrBuild.
+  bool Put(const std::string& key, ArtifactsPtr art);
+
+  /// \brief Snapshot of every cached (key, artifacts) pair, MRU first.
+  /// The shared_ptrs keep the blocks valid after the lock is released —
+  /// the persistence tier serializes from this snapshot outside the lock.
+  std::vector<std::pair<std::string, ArtifactsPtr>> Entries() const;
+
+  /// Snapshot of every recorded (key, incumbents) pair, MRU first.
+  std::vector<std::pair<std::string, IncumbentsPtr>> IncumbentEntries() const;
+
+  /// \brief Keys inserted or refreshed by real builds since the last
+  /// call, split by store. Write-behind persistence drains this; restore
+  /// inserts (Put / PutIncumbents(..., dirty=false)) never appear.
+  struct DirtyKeys {
+    std::vector<std::string> artifacts;
+    std::vector<std::string> incumbents;
+    bool empty() const { return artifacts.empty() && incumbents.empty(); }
+  };
+  DirtyKeys TakeDirtyKeys();
+
+  /// \brief Lock-only lookups that do NOT touch LRU order or hit/miss
+  /// counters — the persistence thread reads entries to serialize without
+  /// distorting cache behavior. Null when absent (e.g. evicted since the
+  /// dirty mark).
+  ArtifactsPtr Peek(const std::string& key) const;
+  IncumbentsPtr PeekIncumbents(const std::string& key) const;
 
   /// \brief Drops every cached entry (stage-1 artifacts AND solver
   /// incumbents).
@@ -143,7 +188,9 @@ class MatchingContext {
   /// \brief Records the incumbents of a completed, fully-optimal solve.
   /// Ignored unless `inc.complete`. Overwrites an existing entry (the
   /// optima are deterministic, so re-recording is refresh-only).
-  void PutIncumbents(const std::string& key, SolverIncumbents inc);
+  /// `dirty=false` (the restore path) skips the write-behind dirty mark.
+  void PutIncumbents(const std::string& key, SolverIncumbents inc,
+                     bool dirty = true);
 
   /// Current incumbent-store entry count and lifetime counters.
   size_t incumbent_entries() const;
@@ -173,6 +220,7 @@ class MatchingContext {
 
   struct IncumbentEntry {
     IncumbentsPtr inc;
+    size_t bytes = 0;  ///< record + key charge, included in bytes_
     /// Position in inc_lru_ (front = most recently used).
     std::list<std::string>::iterator lru_it;
   };
@@ -181,9 +229,16 @@ class MatchingContext {
   /// doubles per unit), so a flat entry cap replaces byte accounting.
   static constexpr size_t kMaxIncumbentEntries = 4096;
 
-  /// Evicts LRU-tail entries until bytes_ fits the budget; never evicts
-  /// the last remaining entry. Caller holds mu_.
+  /// Evicts LRU-tail entries until bytes_ fits the budget: artifact
+  /// entries first (never the last remaining one), then incumbent
+  /// records if still over. Caller holds mu_.
   void EvictOverBudgetLocked();
+
+  /// Inserts an artifact entry; caller holds mu_, has verified the key
+  /// is absent, and precomputed ApproxBytes outside the lock. Marks the
+  /// key dirty when `dirty`.
+  ArtifactsPtr InsertLocked(const std::string& key, ArtifactsPtr art,
+                            size_t art_bytes, bool dirty);
 
   mutable std::mutex mu_;
   std::list<std::string> lru_;  ///< keys, most recently used first
@@ -198,6 +253,11 @@ class MatchingContext {
   std::unordered_map<std::string, IncumbentEntry> incumbents_;
   size_t incumbent_hits_ = 0;
   size_t incumbent_misses_ = 0;
+
+  /// Keys touched by real builds since the last TakeDirtyKeys (sets, so
+  /// a rebuilt key persists once per drain).
+  std::unordered_set<std::string> dirty_artifacts_;
+  std::unordered_set<std::string> dirty_incumbents_;
 };
 
 }  // namespace explain3d

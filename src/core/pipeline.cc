@@ -20,25 +20,33 @@
 #include "provenance/canonical.h"
 #include "relational/executor.h"
 #include "relational/parser.h"
+#include "storage/content_hash.h"
 
 namespace explain3d {
 
 namespace {
 
-/// Cache key of the stage-1 front end: database identities plus every
-/// input the artifacts depend on (queries, attribute match, blocking
-/// on/off). Thread count is deliberately excluded — artifacts are
-/// bit-identical for every value, so resolutions must share entries.
-std::string Stage1CacheKey(const PipelineInput& input) {
+/// The database-pair identity that prefixes the stage-1 cache key.
+/// Callers that registered through Explain3DService supply a precomputed
+/// content identity in `db_identity`; the low-level pointer path hashes
+/// the database CONTENTS here (storage/content_hash.h), so a cache key
+/// can never alias a different dataset through a recycled address — and
+/// snapshot files restored into a fresh process keep matching. The hash
+/// is one O(data) scan per call; warm-serving callers avoid it by
+/// passing `db_identity` themselves.
+std::string EffectiveDbIdentity(const PipelineInput& input) {
+  if (!input.db_identity.empty()) return input.db_identity;
+  return storage::ContentIdentity(*input.db1, *input.db2);
+}
+
+/// Cache key of the stage-1 front end: the database-pair identity plus
+/// every input the artifacts depend on (queries, attribute match,
+/// blocking on/off). Thread count is deliberately excluded — artifacts
+/// are bit-identical for every value, so resolutions must share entries.
+std::string Stage1CacheKey(const PipelineInput& input,
+                           const std::string& identity) {
   const AttributeMatch& attr = input.attr_matches.front();
-  // Handle-based callers (Explain3DService) supply a stable identity that
-  // embeds the registration generation; the raw-pointer path falls back
-  // to the addresses (and inherits their recycled-address caveat).
-  std::string key =
-      input.db_identity.empty()
-          ? StrFormat("db1=%p|db2=%p|", static_cast<const void*>(input.db1),
-                      static_cast<const void*>(input.db2))
-          : input.db_identity + "|";
+  std::string key = identity + "|";
   // Length-prefix the free-text components: a raw '|' join would let two
   // different (sql1, sql2, attr) tuples concatenate to the same key when
   // the texts themselves contain the delimiter.
@@ -56,9 +64,9 @@ std::string Stage1CacheKey(const PipelineInput& input) {
 /// (results are bit-identical across them, so they must share records);
 /// the key EXTENDS the stage-1 key so identity-prefix retirement
 /// (MatchingContext::EraseIf) covers both stores.
-std::string IncumbentKey(const PipelineInput& input,
+std::string IncumbentKey(const std::string& stage1_key,
                          const Explain3DConfig& c) {
-  return Stage1CacheKey(input) +
+  return stage1_key +
          StrFormat("|s2:a%.17g|b%.17g|bs%zu|tl%.17g|th%.17g|r%.17g|pp%d|"
                    "dc%d|mc%zu|mn%zu|en%zu",
                    c.alpha, c.beta, c.batch_size, c.theta_low, c.theta_high,
@@ -171,14 +179,18 @@ Result<PipelineResult> RunExplain3D(const PipelineInput& input,
   // Both paths end with the SAME shared block owned by the result (and,
   // when caching, by the context's cache entry): nothing is copied out of
   // the artifacts, warm or cold — the last O(data) per-call cost.
+  // Computed once per call (the identity hash may scan the data) and
+  // shared between the artifact lookup and the incumbent key below.
+  std::string stage1_key;
   if (input.matching_context != nullptr) {
+    stage1_key = Stage1CacheKey(input, EffectiveDbIdentity(input));
     if (config.cache_budget_bytes > 0) {
       input.matching_context->set_budget_bytes(config.cache_budget_bytes);
     }
     E3D_ASSIGN_OR_RETURN(
         out.artifacts_,
         input.matching_context->GetOrBuild(
-            Stage1CacheKey(input), [&]() -> Result<ArtifactsPtr> {
+            stage1_key, [&]() -> Result<ArtifactsPtr> {
               E3D_ASSIGN_OR_RETURN(std::shared_ptr<Stage1Artifacts> b,
                                    BuildStage1Artifacts(input, threads));
               return ArtifactsPtr(std::move(b));
@@ -232,7 +244,7 @@ Result<PipelineResult> RunExplain3D(const PipelineInput& input,
   const bool use_store =
       input.matching_context != nullptr && config.warm_start;
   if (use_store) {
-    incumbent_key = IncumbentKey(input, config);
+    incumbent_key = IncumbentKey(stage1_key, config);
     warm_record = input.matching_context->GetIncumbents(incumbent_key);
     if (warm_record != nullptr) core_input.warm_start = warm_record.get();
     core_input.incumbents_out = &collected;

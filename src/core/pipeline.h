@@ -68,12 +68,15 @@ struct PipelineInput {
   /// context is cleared or destroyed.
   MatchingContext* matching_context = nullptr;
   /// Stable identity of the database pair for the stage-1 cache key.
-  /// When empty (the low-level default), the key binds the raw `db1`/`db2`
-  /// POINTER addresses — which is why pointer-path callers must Clear()
-  /// before destroying a cached database. Explain3DService sets it to
-  /// "h<id>:g<gen>|h<id>:g<gen>" so keys follow handle identity and
-  /// generation instead: re-registering a database bumps its generation
-  /// and naturally retires every stale entry.
+  /// When empty (the low-level default), RunExplain3D derives it by
+  /// hashing the database CONTENTS (storage/content_hash.h) — one
+  /// O(data) scan per call, but the key can never alias a different
+  /// dataset through a recycled pointer, and entries stay valid across
+  /// snapshot/restore into a fresh process. Explain3DService precomputes
+  /// the same content identity once per registration and passes it here,
+  /// so served requests skip the per-call scan; re-registering a handle
+  /// with CHANGED contents yields a new identity and retires every stale
+  /// entry, while re-registering identical contents keeps the cache warm.
   std::string db_identity;
   /// Optional cooperative cancellation (common/cancel.h; must outlive
   /// the call — Explain3DService wires the ticket's token here). Polled

@@ -72,23 +72,23 @@ InternedRelation::InternedRelation(const CanonicalRelation& rel,
   // Cell prefix first: key arities are known without tokenizing, so the
   // per-cell columns can be sized (and, on the parallel path, written
   // into disjoint slots) up front.
-  tuple_cell_starts_.resize(n + 1);
-  tuple_cell_starts_[0] = 0;
+  own_tuple_cell_starts_.resize(n + 1);
+  own_tuple_cell_starts_[0] = 0;
   for (size_t i = 0; i < n; ++i) {
-    tuple_cell_starts_[i + 1] =
-        tuple_cell_starts_[i] +
+    own_tuple_cell_starts_[i + 1] =
+        own_tuple_cell_starts_[i] +
         static_cast<uint32_t>(rel.tuples[i].key.size());
   }
-  const size_t total_cells = tuple_cell_starts_[n];
-  cell_kinds_.resize(total_cells);
-  cell_coercible_.resize(total_cells);
-  cell_numeric_.resize(total_cells);
-  cell_starts_.reserve(total_cells + 1);
-  cell_starts_.push_back(0);
-  key_union_starts_.reserve(n + 1);
-  key_union_starts_.push_back(0);
-  bag_starts_.reserve(n + 1);
-  bag_starts_.push_back(0);
+  const size_t total_cells = own_tuple_cell_starts_[n];
+  own_cell_kinds_.resize(total_cells);
+  own_cell_coercible_.resize(total_cells);
+  own_cell_numeric_.resize(total_cells);
+  own_cell_starts_.reserve(total_cells + 1);
+  own_cell_starts_.push_back(0);
+  own_key_union_starts_.reserve(n + 1);
+  own_key_union_starts_.push_back(0);
+  own_bag_starts_.reserve(n + 1);
+  own_bag_starts_.push_back(0);
 
   TokenIdSet scratch, union_scratch, bag_scratch;
 
@@ -102,20 +102,20 @@ InternedRelation::InternedRelation(const CanonicalRelation& rel,
       const Row& key = rel.tuples[i].key;
       union_scratch.clear();
       bag_scratch.clear();
-      size_t cell = tuple_cell_starts_[i];
+      size_t cell = own_tuple_cell_starts_[i];
       for (size_t a = 0; a < key.size(); ++a, ++cell) {
         const Value& v = key[a];
         CellClass c = Classify(v);
-        cell_kinds_[cell] = c.kind;
-        cell_coercible_[cell] = c.coercible;
-        cell_numeric_[cell] = c.num;
+        own_cell_kinds_[cell] = c.kind;
+        own_cell_coercible_[cell] = c.coercible;
+        own_cell_numeric_[cell] = c.num;
         if (v.type() == DataType::kString) {
           scratch.clear();
           for (const std::string& tok : TokenizeWords(v.AsString())) {
             scratch.push_back(dict->Intern(tok));
           }
           SortUnique(&scratch);
-          token_ids_.insert(token_ids_.end(), scratch.begin(), scratch.end());
+          own_token_ids_.insert(own_token_ids_.end(), scratch.begin(), scratch.end());
           union_scratch.insert(union_scratch.end(), scratch.begin(),
                                scratch.end());
           // A string cell's display text IS its raw text, so the bag
@@ -127,7 +127,7 @@ InternedRelation::InternedRelation(const CanonicalRelation& rel,
                                scratch.end());
           }
         }
-        cell_starts_.push_back(static_cast<uint32_t>(token_ids_.size()));
+        own_cell_starts_.push_back(static_cast<uint32_t>(own_token_ids_.size()));
         if (with_bags && !v.is_null() && v.type() != DataType::kString) {
           for (const std::string& tok : TokenizeWords(v.ToDisplayString())) {
             bag_scratch.push_back(dict->Intern(tok));
@@ -135,10 +135,11 @@ InternedRelation::InternedRelation(const CanonicalRelation& rel,
         }
       }
       SortUnique(&union_scratch);
-      AppendSorted(union_scratch, &key_union_ids_, &key_union_starts_);
+      AppendSorted(union_scratch, &own_key_union_ids_, &own_key_union_starts_);
       SortUnique(&bag_scratch);
-      AppendSorted(bag_scratch, &bag_ids_, &bag_starts_);
+      AppendSorted(bag_scratch, &own_bag_ids_, &own_bag_starts_);
     }
+    SealOwned();
     return;
   }
 
@@ -156,13 +157,13 @@ InternedRelation::InternedRelation(const CanonicalRelation& rel,
     RawTokens& r = raw[i];
     r.attr.resize(key.size());
     if (with_bags) r.bag.resize(key.size());
-    size_t cell = tuple_cell_starts_[i];
+    size_t cell = own_tuple_cell_starts_[i];
     for (size_t a = 0; a < key.size(); ++a, ++cell) {
       const Value& v = key[a];
       CellClass c = Classify(v);
-      cell_kinds_[cell] = c.kind;
-      cell_coercible_[cell] = c.coercible;
-      cell_numeric_[cell] = c.num;
+      own_cell_kinds_[cell] = c.kind;
+      own_cell_coercible_[cell] = c.coercible;
+      own_cell_numeric_[cell] = c.num;
       if (v.type() == DataType::kString) {
         // Bag tokens for a string cell are its attr tokens (display text
         // == raw text); phase 2 reuses the interned ids directly.
@@ -186,10 +187,10 @@ InternedRelation::InternedRelation(const CanonicalRelation& rel,
         scratch.push_back(dict->Intern(tok));
       }
       SortUnique(&scratch);
-      token_ids_.insert(token_ids_.end(), scratch.begin(), scratch.end());
+      own_token_ids_.insert(own_token_ids_.end(), scratch.begin(), scratch.end());
       union_scratch.insert(union_scratch.end(), scratch.begin(),
                            scratch.end());
-      cell_starts_.push_back(static_cast<uint32_t>(token_ids_.size()));
+      own_cell_starts_.push_back(static_cast<uint32_t>(own_token_ids_.size()));
       if (with_bags) {
         if (!r.attr[a].empty()) {
           bag_scratch.insert(bag_scratch.end(), scratch.begin(),
@@ -201,20 +202,67 @@ InternedRelation::InternedRelation(const CanonicalRelation& rel,
       }
     }
     SortUnique(&union_scratch);
-    AppendSorted(union_scratch, &key_union_ids_, &key_union_starts_);
+    AppendSorted(union_scratch, &own_key_union_ids_, &own_key_union_starts_);
     SortUnique(&bag_scratch);
-    AppendSorted(bag_scratch, &bag_ids_, &bag_starts_);
+    AppendSorted(bag_scratch, &own_bag_ids_, &own_bag_starts_);
   }
+  SealOwned();
+}
+
+InternedRelation::InternedRelation(const CanonicalRelation& rel,
+                                   const TokenDictionary* dict, bool with_bags,
+                                   const InternedColumns& cols)
+    : rel_(&rel), dict_(dict), with_bags_(with_bags), borrowed_(true) {
+  token_ids_ = cols.token_ids;
+  cell_starts_ = cols.cell_starts;
+  tuple_cell_starts_ = cols.tuple_cell_starts;
+  key_union_ids_ = cols.key_union_ids;
+  key_union_starts_ = cols.key_union_starts;
+  bag_ids_ = cols.bag_ids;
+  bag_starts_ = cols.bag_starts;
+  cell_kinds_ = cols.cell_kinds;
+  cell_coercible_ = cols.cell_coercible;
+  cell_numeric_ = cols.cell_numeric;
+  // The starts arrays must carry at least the leading 0 even for an empty
+  // relation; the storage layer validates this before constructing us.
+  E3D_CHECK_GE(tuple_cell_starts_.size(), 1u);
+  E3D_CHECK_GE(cell_starts_.size(), 1u);
+  E3D_CHECK_GE(key_union_starts_.size(), 1u);
+  E3D_CHECK_GE(bag_starts_.size(), 1u);
+}
+
+void InternedRelation::SealOwned() {
+  token_ids_ = own_token_ids_;
+  cell_starts_ = own_cell_starts_;
+  tuple_cell_starts_ = own_tuple_cell_starts_;
+  key_union_ids_ = own_key_union_ids_;
+  key_union_starts_ = own_key_union_starts_;
+  bag_ids_ = own_bag_ids_;
+  bag_starts_ = own_bag_starts_;
+  cell_kinds_ = own_cell_kinds_;
+  cell_coercible_ = own_cell_coercible_;
+  cell_numeric_ = own_cell_numeric_;
 }
 
 size_t InternedRelation::flat_bytes() const {
-  return (token_ids_.capacity() + cell_starts_.capacity() +
-          tuple_cell_starts_.capacity() + key_union_ids_.capacity() +
-          key_union_starts_.capacity() + bag_ids_.capacity() +
-          bag_starts_.capacity()) *
+  if (borrowed_) {
+    // Mapped footprint of the views: pages are shared with the snapshot
+    // file, but they still occupy address space / page cache, so the LRU
+    // budget prices them like resident bytes.
+    return (token_ids_.size() + cell_starts_.size() +
+            tuple_cell_starts_.size() + key_union_ids_.size() +
+            key_union_starts_.size() + bag_ids_.size() + bag_starts_.size()) *
+               sizeof(uint32_t) +
+           cell_kinds_.size() + cell_coercible_.size() +
+           cell_numeric_.size() * sizeof(double);
+  }
+  return (own_token_ids_.capacity() + own_cell_starts_.capacity() +
+          own_tuple_cell_starts_.capacity() + own_key_union_ids_.capacity() +
+          own_key_union_starts_.capacity() + own_bag_ids_.capacity() +
+          own_bag_starts_.capacity()) *
              sizeof(uint32_t) +
-         cell_kinds_.capacity() + cell_coercible_.capacity() +
-         cell_numeric_.capacity() * sizeof(double);
+         own_cell_kinds_.capacity() + own_cell_coercible_.capacity() +
+         own_cell_numeric_.capacity() * sizeof(double);
 }
 
 bool NeedsKeyBags(const CanonicalRelation& t1, const CanonicalRelation& t2) {

@@ -62,6 +62,23 @@ class TokenDictionary {
   std::vector<std::string> tokens_;
 };
 
+/// The ten flat columnar arrays of an InternedRelation, as views. The
+/// persistence tier (src/storage/) serializes these verbatim as aligned
+/// raw segments and reconstructs a relation around views into the mapped
+/// file — see the borrowing InternedRelation constructor.
+struct InternedColumns {
+  Span<const uint32_t> token_ids;
+  Span<const uint32_t> cell_starts;
+  Span<const uint32_t> tuple_cell_starts;
+  Span<const uint32_t> key_union_ids;
+  Span<const uint32_t> key_union_starts;
+  Span<const uint32_t> bag_ids;
+  Span<const uint32_t> bag_starts;
+  Span<const uint8_t> cell_kinds;
+  Span<const uint8_t> cell_coercible;
+  Span<const double> cell_numeric;
+};
+
 /// A canonical relation plus its interned key columns, computed once.
 /// Holds a reference to the relation — keep the relation alive.
 ///
@@ -93,9 +110,27 @@ class InternedRelation {
   InternedRelation(const CanonicalRelation& rel, TokenDictionary* dict,
                    bool with_bags = true, size_t num_threads = 1);
 
+  /// Borrowing constructor: wraps externally-owned columnar arrays (a
+  /// snapshot's mmapped segments) instead of building them. The caller
+  /// guarantees `cols` points at structurally valid CSR arrays produced
+  /// by a prior build with the same relation/dictionary/with_bags (the
+  /// storage layer checksums and validates before calling) and that the
+  /// backing memory outlives this object — snapshot loads park the
+  /// mapping in Stage1Artifacts::storage_owner. No token array is copied.
+  InternedRelation(const CanonicalRelation& rel, const TokenDictionary* dict,
+                   bool with_bags, const InternedColumns& cols);
+
+  // Non-copyable/movable: the view members alias the own_* vectors, so a
+  // moved-to object would read the moved-from storage. Consumers hold
+  // InternedRelations by unique_ptr or build them in place.
+  InternedRelation(const InternedRelation&) = delete;
+  InternedRelation& operator=(const InternedRelation&) = delete;
+
   const CanonicalRelation& relation() const { return *rel_; }
   const TokenDictionary& dict() const { return *dict_; }
   bool has_bags() const { return with_bags_; }
+  /// True when the columns are views into external (mmapped) memory.
+  bool borrowed() const { return borrowed_; }
   size_t size() const { return tuple_cell_starts_.size() - 1; }
 
   /// Key arity of tuple i (tuples may differ).
@@ -134,40 +169,71 @@ class InternedRelation {
   /// the parsed value for numeric-looking strings); 0 otherwise.
   double cell_numeric(size_t cell) const { return cell_numeric_[cell]; }
 
-  /// Heap bytes of the flat columnar arrays (cache accounting,
-  /// core/matching_context.cc ApproxBytes).
+  /// Heap/resident bytes of the flat columnar arrays (cache accounting,
+  /// core/matching_context.cc ApproxBytes). For a borrowed relation this
+  /// is the mapped footprint of the views, not owned heap.
   size_t flat_bytes() const;
 
+  /// Views over all ten columns (what the persistence tier serializes).
+  /// Valid for this object's lifetime, whether owned or borrowed.
+  InternedColumns columns() const {
+    return InternedColumns{token_ids_,      cell_starts_, tuple_cell_starts_,
+                           key_union_ids_,  key_union_starts_,
+                           bag_ids_,        bag_starts_,  cell_kinds_,
+                           cell_coercible_, cell_numeric_};
+  }
+
  private:
-  static Span<const uint32_t> CsrSlice(const std::vector<uint32_t>& ids,
-                                       const std::vector<uint32_t>& starts,
+  static Span<const uint32_t> CsrSlice(Span<const uint32_t> ids,
+                                       Span<const uint32_t> starts,
                                        size_t slot) {
     uint32_t lo = starts[slot];
     return Span<const uint32_t>(ids.data() + lo, starts[slot + 1] - lo);
   }
 
+  /// Points every view at the owned vectors (end of a building ctor; the
+  /// owned vectors never move afterwards).
+  void SealOwned();
+
   const CanonicalRelation* rel_;
   const TokenDictionary* dict_;
   bool with_bags_;
+  bool borrowed_ = false;
+
+  // The accessors above read these views. A building constructor points
+  // them at the own_* vectors below; the borrowing constructor points
+  // them at the caller's (mmapped) memory and leaves own_* empty.
 
   /// CSR: flat per-cell token ids. Cell c holds
   /// token_ids_[cell_starts_[c], cell_starts_[c+1]).
-  std::vector<uint32_t> token_ids_;
-  std::vector<uint32_t> cell_starts_;       ///< num_cells()+1 offsets
-  std::vector<uint32_t> tuple_cell_starts_; ///< size()+1, tuple → first cell
+  Span<const uint32_t> token_ids_;
+  Span<const uint32_t> cell_starts_;        ///< num_cells()+1 offsets
+  Span<const uint32_t> tuple_cell_starts_;  ///< size()+1, tuple → first cell
 
   /// CSR: per-tuple key-union token ids (sorted unique across cells).
-  std::vector<uint32_t> key_union_ids_;
-  std::vector<uint32_t> key_union_starts_;  ///< size()+1
+  Span<const uint32_t> key_union_ids_;
+  Span<const uint32_t> key_union_starts_;   ///< size()+1
 
   /// CSR: per-tuple display-text bags (empty arrays when !with_bags).
-  std::vector<uint32_t> bag_ids_;
-  std::vector<uint32_t> bag_starts_;        ///< size()+1
+  Span<const uint32_t> bag_ids_;
+  Span<const uint32_t> bag_starts_;         ///< size()+1
 
   /// Per-cell classification columns (indexed by cell_index).
-  std::vector<uint8_t> cell_kinds_;
-  std::vector<uint8_t> cell_coercible_;
-  std::vector<double> cell_numeric_;
+  Span<const uint8_t> cell_kinds_;
+  Span<const uint8_t> cell_coercible_;
+  Span<const double> cell_numeric_;
+
+  /// Owned backing storage (empty when borrowed()).
+  std::vector<uint32_t> own_token_ids_;
+  std::vector<uint32_t> own_cell_starts_;
+  std::vector<uint32_t> own_tuple_cell_starts_;
+  std::vector<uint32_t> own_key_union_ids_;
+  std::vector<uint32_t> own_key_union_starts_;
+  std::vector<uint32_t> own_bag_ids_;
+  std::vector<uint32_t> own_bag_starts_;
+  std::vector<uint8_t> own_cell_kinds_;
+  std::vector<uint8_t> own_cell_coercible_;
+  std::vector<double> own_cell_numeric_;
 };
 
 /// KeySimilarity(t1.key, t2.key, StringMetric::kJaccard) computed over the

@@ -152,6 +152,11 @@ Result<Table> LoadCsvFile(const std::string& name, const std::string& path) {
   if (!in) return Status::IOError("cannot open " + path);
   std::ostringstream ss;
   ss << in.rdbuf();
+  // A failed stream here means the read stopped early — parsing the
+  // partial text could silently produce a truncated table.
+  if (in.bad() || ss.fail()) {
+    return Status::IOError("read failed for " + path);
+  }
   return ParseCsv(name, ss.str());
 }
 

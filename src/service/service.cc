@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "storage/content_hash.h"
 
 namespace explain3d {
 
@@ -20,9 +21,9 @@ double SecondsBetween(std::chrono::steady_clock::time_point a,
 
 /// True when `tag` is one of the two identity components of `key`.
 /// Service-path keys are "<tag1>|<tag2>|<length-prefixed sql/attr>"
-/// (Stage1CacheKey): only the first two '|'-delimited components are
-/// identities — matching deeper would hit free-form query text (which
-/// may itself contain "|h1:g1|"), and "h5:g2" must not match "h15:g2".
+/// (Stage1CacheKey), with content tags "c<hex16>" as the identities:
+/// only the first two '|'-delimited components are matched — deeper
+/// would hit free-form query text, which may itself contain "|c...|".
 bool KeyUsesIdentity(const std::string& key, const std::string& tag) {
   auto component_at = [&](size_t start) {
     return key.compare(start, tag.size(), tag) == 0 &&
@@ -144,6 +145,29 @@ Explain3DService::Explain3DService(ServiceOptions options)
   if (options_.watchdog_interval_seconds > 0) {
     watchdog_ = std::thread([this] { WatchdogLoop(); });
   }
+  if (!options_.persist_dir.empty()) {
+    // Persistence must never take serving down with it: a store that
+    // fails to open (bad directory, corrupt manifest) just disables the
+    // tier, counted as a persist error.
+    Result<storage::ArtifactStore> store =
+        storage::ArtifactStore::Open(options_.persist_dir);
+    if (!store.ok()) {
+      persist_errors_.fetch_add(1);
+    } else {
+      persist_store_.emplace(std::move(store).value());
+      if (options_.restore_on_start) {
+        // Warm restart: committed snapshots land in the cache before the
+        // first Submit can race them. A damaged file aborts the load
+        // (whatever restored before it stays — entries are atomic).
+        if (!LoadStoreIntoCache(*persist_store_).ok()) {
+          persist_errors_.fetch_add(1);
+        }
+      }
+      if (options_.persist_interval_seconds > 0) {
+        persister_ = std::thread([this] { PersisterLoop(); });
+      }
+    }
+  }
 }
 
 Explain3DService::~Explain3DService() {
@@ -182,10 +206,27 @@ Explain3DService::~Explain3DService() {
     watchdog_stop_.Notify();
     watchdog_.join();
   }
+  // Stop the persister last — after the runner drain, so the final pass
+  // (PersisterLoop drains once more on its way out) catches artifacts
+  // the last requests produced.
+  if (persister_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(persist_mu_);
+      persist_stop_ = true;
+    }
+    persist_cv_.notify_all();
+    persister_.join();
+  }
 }
 
 DatabaseHandle Explain3DService::RegisterDatabase(const std::string& name,
                                                  Database db) {
+  // One content-hash scan per registration, outside every lock: this tag
+  // is the cache-key identity, so entries follow the DATA — identical
+  // re-registrations (reloads, restarts) keep the cache warm, and a
+  // recycled slot or heap address can never alias a different dataset.
+  const std::string content_tag =
+      storage::ContentTag(storage::DatabaseContentHash(db));
   DatabaseHandle handle;
   std::string retired_tag;
   {
@@ -195,13 +236,23 @@ DatabaseHandle Explain3DService::RegisterDatabase(const std::string& name,
       slot.id = next_db_id_++;
       slot.generation = 1;
     } else {
-      // Replacement: the previous generation's artifacts are stale the
-      // moment the new data lands.
-      retired_tag = DatabaseHandle{slot.id, slot.generation}.Identity();
+      // Replacement: the previous artifacts go stale only when the data
+      // actually CHANGED — and even then only if no other registered
+      // database still carries the old contents.
+      if (slot.content_tag != content_tag) retired_tag = slot.content_tag;
       ++slot.generation;
     }
     slot.db = std::make_shared<const Database>(std::move(db));
+    slot.content_tag = content_tag;
     handle = DatabaseHandle{slot.id, slot.generation};
+    if (!retired_tag.empty()) {
+      for (const auto& [other_name, other] : registry_) {
+        if (other.content_tag == retired_tag) {
+          retired_tag.clear();  // contents still live under another name
+          break;
+        }
+      }
+    }
   }
   if (!retired_tag.empty()) {
     // Fault probe: a fired registry.retire SKIPS the eager retirement.
@@ -231,7 +282,7 @@ Result<DatabaseHandle> Explain3DService::LookupDatabase(
   return DatabaseHandle{it->second.id, it->second.generation};
 }
 
-Result<std::shared_ptr<const Database>> Explain3DService::ResolveHandle(
+Result<Explain3DService::ResolvedDb> Explain3DService::ResolveHandle(
     const DatabaseHandle& handle) const {
   if (!handle.valid()) {
     return Status::InvalidArgument(
@@ -247,7 +298,7 @@ Result<std::shared_ptr<const Database>> Explain3DService::ResolveHandle(
           name.c_str(), static_cast<unsigned long long>(handle.generation),
           static_cast<unsigned long long>(slot.generation)));
     }
-    return slot.db;
+    return ResolvedDb{slot.db, slot.content_tag};
   }
   return Status::NotFound(StrFormat(
       "unknown DatabaseHandle id %llu (not issued by this service)",
@@ -453,10 +504,9 @@ void Explain3DService::Process(const TicketPtr& ticket) {
   // Resolve handles into keep-alive references: a concurrent re-register
   // swaps the registry slot but cannot free a database this request is
   // reading.
-  Result<std::shared_ptr<const Database>> db1 = ResolveHandle(req.db1);
-  Result<std::shared_ptr<const Database>> db2 =
-      db1.ok() ? ResolveHandle(req.db2)
-               : Result<std::shared_ptr<const Database>>(db1.status());
+  Result<ResolvedDb> db1 = ResolveHandle(req.db1);
+  Result<ResolvedDb> db2 = db1.ok() ? ResolveHandle(req.db2)
+                                    : Result<ResolvedDb>(db1.status());
   bool transient_seen = false;
   Result<PipelineResult> outcome =
       !db1.ok() ? Result<PipelineResult>(db1.status())
@@ -464,8 +514,8 @@ void Explain3DService::Process(const TicketPtr& ticket) {
           ? Result<PipelineResult>(db2.status())
           : [&]() -> Result<PipelineResult> {
               PipelineInput input;
-              input.db1 = db1.value().get();
-              input.db2 = db2.value().get();
+              input.db1 = db1.value().db.get();
+              input.db2 = db2.value().db.get();
               input.sql1 = req.sql1;
               input.sql2 = req.sql2;
               input.attr_matches = req.attr_matches;
@@ -478,11 +528,13 @@ void Explain3DService::Process(const TicketPtr& ticket) {
               // granularity, so Cancel() and the deadline interrupt this
               // run within milliseconds.
               input.cancel = cancel;
-              // Generation-aware identity: cache keys follow the handle,
-              // not the (recyclable) heap address, so a re-registered
-              // database can never be served its predecessor's artifacts.
-              input.db_identity =
-                  req.db1.Identity() + "|" + req.db2.Identity();
+              // Content identity, precomputed at registration: cache
+              // keys follow the DATA, so a re-registered database can
+              // never be served a different dataset's artifacts — and a
+              // restart restoring persisted snapshots keys straight into
+              // them.
+              input.db_identity = db1.value().content_tag + "|" +
+                                  db2.value().content_tag;
               // The cache is shared by every client: its budget is the
               // service's (ServiceOptions::cache_budget_bytes, applied
               // at construction), never a single request's.
@@ -719,6 +771,123 @@ void Explain3DService::RecordLatencies(int priority, double queue_s,
   RefreshRunP50Locked();
 }
 
+// --- persistence tier -------------------------------------------------------
+
+Status Explain3DService::SnapshotTo(const std::string& dir) {
+  // Entries are immutable shared blocks, so snapshotting never pauses
+  // serving: Entries() copies the key/pointer pairs under the cache lock
+  // and the (slow) encoding walks them lock-free.
+  std::vector<std::pair<std::string, ArtifactsPtr>> entries =
+      cache_.Entries();
+  std::vector<std::pair<std::string, IncumbentsPtr>> incumbents =
+      cache_.IncumbentEntries();
+  std::lock_guard<std::mutex> lock(persist_mu_);
+  storage::ArtifactStore* store = nullptr;
+  std::optional<storage::ArtifactStore> scratch;
+  if (persist_store_.has_value() && persist_store_->dir() == dir) {
+    store = &*persist_store_;  // share the open store, serialized here
+  } else {
+    E3D_ASSIGN_OR_RETURN(scratch, storage::ArtifactStore::Open(dir));
+    store = &*scratch;
+  }
+  size_t written = 0;
+  for (const auto& [key, art] : entries) {
+    E3D_RETURN_IF_ERROR(store->PutArtifacts(key, *art));
+    ++written;
+  }
+  for (const auto& [key, inc] : incumbents) {
+    store->PutIncumbents(key, *inc);
+  }
+  E3D_RETURN_IF_ERROR(store->Commit());
+  persisted_entries_.fetch_add(written);
+  return Status::OK();
+}
+
+Status Explain3DService::RestoreFrom(const std::string& dir) {
+  E3D_ASSIGN_OR_RETURN(storage::ArtifactStore store,
+                       storage::ArtifactStore::Open(dir));
+  return LoadStoreIntoCache(store);
+}
+
+Status Explain3DService::FlushPersistence() {
+  {
+    std::lock_guard<std::mutex> lock(persist_mu_);
+    if (!persist_store_.has_value()) {
+      return Status::InvalidArgument(
+          "no persistence store open (ServiceOptions::persist_dir unset, "
+          "or the store failed to open)");
+    }
+  }
+  return DrainDirtyToStore();
+}
+
+Status Explain3DService::LoadStoreIntoCache(
+    const storage::ArtifactStore& store) {
+  E3D_ASSIGN_OR_RETURN(std::vector<storage::DecodedArtifacts> decoded,
+                       store.LoadAllArtifacts());
+  size_t entries = 0;
+  for (storage::DecodedArtifacts& d : decoded) {
+    // A live entry wins over the disk image (it is at least as fresh);
+    // restored inserts are clean — they only re-persist if rebuilt.
+    if (cache_.Put(d.key, std::move(d.artifacts))) ++entries;
+  }
+  E3D_ASSIGN_OR_RETURN(auto incumbents, store.LoadIncumbents());
+  for (auto& [key, inc] : incumbents) {
+    cache_.PutIncumbents(key, std::move(inc), /*dirty=*/false);
+  }
+  restored_entries_.fetch_add(entries);
+  restored_incumbents_.fetch_add(incumbents.size());
+  return Status::OK();
+}
+
+Status Explain3DService::DrainDirtyToStore() {
+  // Taking the dirty set claims those keys for this pass; a failure
+  // below loses their dirtiness (counted in persist_errors — the next
+  // SnapshotTo or rebuild re-covers them) but never corrupts the store:
+  // the previous commit stays intact under every failure mode.
+  MatchingContext::DirtyKeys dirty = cache_.TakeDirtyKeys();
+  if (dirty.empty()) return Status::OK();
+  std::lock_guard<std::mutex> lock(persist_mu_);
+  if (!persist_store_.has_value()) return Status::OK();
+  Status first_error = Status::OK();
+  size_t written = 0;
+  for (const std::string& key : dirty.artifacts) {
+    ArtifactsPtr art = cache_.Peek(key);
+    if (art == nullptr) continue;  // evicted since it dirtied
+    Status s = persist_store_->PutArtifacts(key, *art);
+    if (!s.ok()) {
+      if (first_error.ok()) first_error = s;
+      continue;
+    }
+    ++written;
+  }
+  for (const std::string& key : dirty.incumbents) {
+    IncumbentsPtr inc = cache_.PeekIncumbents(key);
+    if (inc != nullptr) persist_store_->PutIncumbents(key, *inc);
+  }
+  Status commit = persist_store_->Commit();
+  if (!commit.ok()) return commit;
+  persisted_entries_.fetch_add(written);
+  return first_error;
+}
+
+void Explain3DService::PersisterLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(persist_mu_);
+      persist_cv_.wait_for(
+          lock,
+          std::chrono::duration<double>(options_.persist_interval_seconds),
+          [this] { return persist_stop_; });
+      if (persist_stop_) break;
+    }
+    if (!DrainDirtyToStore().ok()) persist_errors_.fetch_add(1);
+  }
+  // Final pass: the destructor drains the runners before stopping this
+  // thread, so everything the last requests built reaches disk.
+  if (!DrainDirtyToStore().ok()) persist_errors_.fetch_add(1);
+}
+
 ServiceStats Explain3DService::Stats() const {
   ServiceStats s;
   {
@@ -773,6 +942,10 @@ ServiceStats Explain3DService::Stats() const {
   s.incumbent_entries = cache_.incumbent_entries();
   s.incumbent_hits = cache_.incumbent_hits();
   s.incumbent_misses = cache_.incumbent_misses();
+  s.restored_entries = restored_entries_.load();
+  s.restored_incumbents = restored_incumbents_.load();
+  s.persisted_entries = persisted_entries_.load();
+  s.persist_errors = persist_errors_.load();
   return s;
 }
 

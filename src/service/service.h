@@ -8,17 +8,24 @@
 // analysts. The service owns everything those requests share:
 //
 //   * the databases, behind generation-counted DatabaseHandles —
-//     RegisterDatabase moves the data in, re-registering a name bumps
-//     its generation, retires every stale stage-1 cache entry, and
-//     leaves already-returned results untouched (they co-own their
-//     artifacts);
+//     RegisterDatabase moves the data in and hashes its CONTENTS once;
+//     re-registering a name bumps its generation, retires stage-1 cache
+//     entries only when the data actually changed, and leaves
+//     already-returned results untouched (they co-own their artifacts);
 //   * the stage-1 cache — one MatchingContext keyed on
-//     (db-pair identity+generation, query pair, attr, blocking), LRU-
+//     (db-pair content identity, query pair, attr, blocking), LRU-
 //     evicted under ServiceOptions::cache_budget_bytes;
 //   * the workers — requests queue by priority (FIFO within a band,
 //     with an anti-starvation escape hatch) and run on the process-wide
 //     SharedPool, at most max_concurrency at a time, each producing a
-//     result bit-identical to a serial RunExplain3D of the same request.
+//     result bit-identical to a serial RunExplain3D of the same request;
+//   * optionally, the persistence tier (storage/artifact_store.h) —
+//     with ServiceOptions::persist_dir set, artifacts and incumbents are
+//     written behind the serving path into a crash-consistent on-disk
+//     store and restored at construction, so a service RESTART keeps the
+//     warm cache: the first repeated request after a restart is a warm
+//     hit with warm-started solves, bit-identical to the pre-restart
+//     answer. SnapshotTo/RestoreFrom expose the same image explicitly.
 //
 // Submit returns a RequestTicket future: Wait() / TryGet() / Cancel().
 // Every request carries a CancelToken (common/cancel.h) threaded down to
@@ -58,6 +65,7 @@
 #include "core/matching_context.h"
 #include "core/pipeline.h"
 #include "relational/database.h"
+#include "storage/artifact_store.h"
 
 namespace explain3d {
 
@@ -67,13 +75,15 @@ namespace explain3d {
 /// service that issued them. A handle pins an (id, generation) pair —
 /// re-registering the same name bumps the generation, after which old
 /// handles are *retired*: submitting with one fails with
-/// InvalidArgument, and the retired generation's cache entries are
-/// dropped.
+/// InvalidArgument. Cache entries are keyed by the data's CONTENT
+/// identity, not the handle, so a replacement retires them only when it
+/// actually changed the data (see RegisterDatabase).
 struct DatabaseHandle {
   uint64_t id = 0;          ///< registry slot id; 0 = invalid
   uint64_t generation = 0;  ///< bumped on every re-registration
   bool valid() const { return id != 0; }
-  /// Stable cache-key component: "h<id>:g<generation>".
+  /// Human-readable handle identity "h<id>:g<generation>" (diagnostics;
+  /// cache keys use the content identity instead).
   std::string Identity() const;
 
   bool operator==(const DatabaseHandle& o) const {
@@ -333,6 +343,11 @@ struct ServiceStats {
   size_t incumbent_entries = 0;    ///< records currently stored
   size_t incumbent_hits = 0;       ///< store lookups that found a record
   size_t incumbent_misses = 0;     ///< store lookups that found none
+  // Persistence tier (storage/artifact_store.h; all zero without it).
+  size_t restored_entries = 0;     ///< artifacts loaded from disk at start
+  size_t restored_incumbents = 0;  ///< incumbent records loaded at start
+  size_t persisted_entries = 0;    ///< artifact snapshots written so far
+  size_t persist_errors = 0;       ///< failed persistence passes
   // Latency percentiles over the most recent SUCCESSFUL completions.
   LatencySummary queue_seconds;   ///< Submit → worker claim
   LatencySummary stage1_seconds;  ///< pipeline stage 1
@@ -414,6 +429,26 @@ struct ServiceOptions {
   /// kOverloaded.
   double degrade_queue_factor = 2.0;
   double overload_queue_factor = 4.0;
+  /// Directory of the persistence tier (storage/artifact_store.h). When
+  /// non-empty the service opens (creating if needed) an ArtifactStore
+  /// there at construction and persists stage-1 artifacts and solver
+  /// incumbents behind the serving path — a restarted service pointed at
+  /// the same directory answers its first repeated request from the warm
+  /// cache, bit-identically. A store that fails to open disables
+  /// persistence for the service's lifetime (counted in
+  /// ServiceStats::persist_errors); serving is never blocked on disk.
+  /// Empty (default) = in-memory only; SnapshotTo/RestoreFrom still work.
+  std::string persist_dir;
+  /// With persist_dir set: load the store's committed snapshots into the
+  /// cache at construction (the warm-restart path). Restored entries are
+  /// not re-persisted until they change.
+  bool restore_on_start = true;
+  /// Write-behind cadence: the persistence thread wakes at this interval
+  /// and drains entries that became dirty since the last pass to the
+  /// store (atomic snapshot files + one manifest commit). <= 0 disables
+  /// the thread — with persist_dir set, FlushPersistence() is then the
+  /// only writer. Ignored without persist_dir.
+  double persist_interval_seconds = 1.0;
 };
 
 /// \brief The serving facade (see file comment).
@@ -441,10 +476,15 @@ class Explain3DService {
   ///
   /// First registration of `name` allocates a fresh slot (generation 1).
   /// Re-registering an existing name REPLACES the database: the
-  /// generation bumps, every cache entry of the previous generation is
-  /// retired immediately, old handles become invalid for new submits,
-  /// and in-flight requests resolved against the old generation finish
+  /// generation bumps and old handles become invalid for new submits,
+  /// while in-flight requests resolved against the old generation finish
   /// safely (they share ownership of the old Database until done).
+  /// Cache entries are keyed by CONTENT identity (one hash scan of the
+  /// data happens here), so they are retired only when the replacement
+  /// actually changed the data — re-registering identical contents (a
+  /// reload from the same file, a service restart) keeps every entry
+  /// warm — and never when another registered database still shares the
+  /// retired contents.
   DatabaseHandle RegisterDatabase(const std::string& name, Database db);
 
   /// Current handle of a registered name; NotFound otherwise.
@@ -467,6 +507,39 @@ class Explain3DService {
   /// Snapshot of the counters, gauges, and latency percentiles.
   ServiceStats Stats() const;
 
+  /// \brief Writes EVERY current cache entry (stage-1 artifacts and
+  /// complete incumbent records) to an ArtifactStore at `dir` and commits
+  /// — one crash-consistent on-disk image of the warm state.
+  ///
+  /// Independent of ServiceOptions::persist_dir (any directory works; an
+  /// existing store is updated in place). Entries are keyed by content
+  /// identity, so a different process restoring the snapshot serves the
+  /// same registered data bit-identically. Concurrent requests keep
+  /// running — entries are immutable, so the image is consistent without
+  /// pausing anything.
+  Status SnapshotTo(const std::string& dir);
+
+  /// \brief Loads every committed snapshot from the store at `dir` into
+  /// the cache (mmap-backed, zero-copy for the columnar arrays).
+  ///
+  /// Keys already present in the cache are kept (the live entry wins);
+  /// restored entries are not re-persisted until they change. Fails with
+  /// kCorruption when any file is damaged — the cache is left with
+  /// whatever loaded before the damage was hit, never a torn entry.
+  /// Databases must be re-registered separately (the store persists
+  /// derived artifacts, not the raw relations); a re-registered database
+  /// with identical contents maps to the same content identity and warms
+  /// straight off the restored entries.
+  Status RestoreFrom(const std::string& dir);
+
+  /// \brief Synchronously drains dirty cache entries to the
+  /// ServiceOptions::persist_dir store and commits.
+  ///
+  /// InvalidArgument without an open persistence store. The same drain
+  /// the write-behind thread runs — call it before a planned shutdown to
+  /// guarantee the last results are on disk.
+  Status FlushPersistence();
+
   /// The owned stage-1 cache (diagnostics/tests: entry count, bytes,
   /// hit/miss/eviction counters).
   const MatchingContext& cache() const { return cache_; }
@@ -476,6 +549,16 @@ class Explain3DService {
     uint64_t id = 0;
     uint64_t generation = 0;
     std::shared_ptr<const Database> db;
+    /// Content identity ("c<hex16>", storage/content_hash.h) of db —
+    /// computed once per registration, the cache-key component.
+    std::string content_tag;
+  };
+
+  /// ResolveHandle's product: the keep-alive reference plus the slot's
+  /// content tag (the cache-identity component of this database).
+  struct ResolvedDb {
+    std::shared_ptr<const Database> db;
+    std::string content_tag;
   };
 
   /// Fixed-capacity latency ring (most recent kLatencyWindow samples).
@@ -505,9 +588,18 @@ class Explain3DService {
   /// anti-starvation every k-th claim). Caller holds mu_; queue must be
   /// non-empty.
   TicketPtr PopLocked();
-  /// Resolves a handle to a keep-alive database reference.
-  Result<std::shared_ptr<const Database>> ResolveHandle(
-      const DatabaseHandle& handle) const;
+  /// Resolves a handle to a keep-alive database reference + content tag.
+  Result<ResolvedDb> ResolveHandle(const DatabaseHandle& handle) const;
+  /// Persistence-thread body: drain dirty entries every
+  /// persist_interval_seconds (and on FlushPersistence wakeups) until
+  /// shutdown, with one final drain on the way out.
+  void PersisterLoop();
+  /// Writes the cache's dirty entries to `store` and commits. Takes
+  /// persist_mu_; the shared body of the thread and FlushPersistence.
+  Status DrainDirtyToStore();
+  /// Inserts a store's committed contents into the cache (dirty=false).
+  /// Counts into restored_*; shared by the constructor and RestoreFrom.
+  Status LoadStoreIntoCache(const storage::ArtifactStore& store);
   /// Appends one successful request's latencies to the rings and
   /// refreshes the cached p50 run time the admission controller reads.
   void RecordLatencies(int priority, double queue_s, double stage1_s,
@@ -555,6 +647,20 @@ class Explain3DService {
   Notification watchdog_stop_;
   std::atomic<size_t> watchdog_fires_{0};
   std::atomic<size_t> auto_degraded_{0};
+
+  // Persistence tier (only with ServiceOptions::persist_dir). The store
+  // is not thread-safe: every access — the write-behind thread,
+  // FlushPersistence, and a SnapshotTo aimed at the same directory —
+  // serializes on persist_mu_.
+  mutable std::mutex persist_mu_;
+  std::optional<storage::ArtifactStore> persist_store_;
+  std::thread persister_;
+  std::condition_variable persist_cv_;  ///< wakes the thread (flush/stop)
+  bool persist_stop_ = false;           ///< guarded by persist_mu_
+  std::atomic<size_t> restored_entries_{0};
+  std::atomic<size_t> restored_incumbents_{0};
+  std::atomic<size_t> persisted_entries_{0};
+  std::atomic<size_t> persist_errors_{0};
 
   // Lifecycle counters (shared with tickets; see ServiceCounters).
   std::shared_ptr<ServiceCounters> counters_ =

@@ -1,0 +1,113 @@
+// Bounds-checked little-endian byte encoding for snapshot metadata.
+//
+// The META segment of a snapshot (answers, provenance, canonical tuples,
+// dictionary, candidates) is a sequential stream written by ByteWriter and
+// read back by ByteReader. The reader is the trust boundary for corrupt
+// or adversarial files: every Read* checks the remaining length and every
+// length prefix is validated against the bytes actually present, so a
+// truncated or bit-flipped stream surfaces as Status::Corruption — never
+// as an out-of-bounds read or a multi-gigabyte allocation.
+//
+// Encoding: fixed-width little-endian integers (uint32/uint64/double via
+// bit pattern), strings as u32 length + raw bytes. No varints — the
+// segments that dominate snapshot size are the raw CSR arrays, which
+// bypass this codec entirely and are mmapped in place.
+
+#ifndef EXPLAIN3D_STORAGE_BYTES_H_
+#define EXPLAIN3D_STORAGE_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace explain3d {
+namespace storage {
+
+/// Appends fixed-width little-endian values to an owned byte buffer.
+class ByteWriter {
+ public:
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutDouble(double v) { PutRaw(&v, sizeof(v)); }
+  void PutString(const std::string& s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    PutRaw(s.data(), s.size());
+  }
+
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> Take() { return std::move(buf_); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  void PutRaw(const void* p, size_t n) {
+    const uint8_t* b = static_cast<const uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  std::vector<uint8_t> buf_;
+};
+
+/// Reads a ByteWriter stream back; every access is bounds-checked.
+class ByteReader {
+ public:
+  ByteReader(const void* data, size_t len)
+      : p_(static_cast<const uint8_t*>(data)), len_(len) {}
+
+  Status ReadU8(uint8_t* out) { return ReadRaw(out, sizeof(*out)); }
+  Status ReadU32(uint32_t* out) { return ReadRaw(out, sizeof(*out)); }
+  Status ReadU64(uint64_t* out) { return ReadRaw(out, sizeof(*out)); }
+  Status ReadI64(int64_t* out) { return ReadRaw(out, sizeof(*out)); }
+  Status ReadDouble(double* out) { return ReadRaw(out, sizeof(*out)); }
+
+  Status ReadString(std::string* out) {
+    uint32_t n = 0;
+    E3D_RETURN_IF_ERROR(ReadU32(&n));
+    if (n > remaining()) return Truncated("string body");
+    out->assign(reinterpret_cast<const char*>(p_ + pos_), n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  /// Validates a u32 element count against the bytes remaining, assuming
+  /// each element needs at least `min_elem_bytes`. Rejects counts a
+  /// truncated stream cannot possibly satisfy before any allocation.
+  Status ReadCount(size_t min_elem_bytes, size_t* out) {
+    uint32_t n = 0;
+    E3D_RETURN_IF_ERROR(ReadU32(&n));
+    if (min_elem_bytes > 0 && n > remaining() / min_elem_bytes) {
+      return Truncated("element count");
+    }
+    *out = n;
+    return Status::OK();
+  }
+
+  size_t remaining() const { return len_ - pos_; }
+  bool exhausted() const { return pos_ == len_; }
+
+ private:
+  Status ReadRaw(void* out, size_t n) {
+    if (n > remaining()) return Truncated("fixed-width value");
+    std::memcpy(out, p_ + pos_, n);
+    pos_ += n;
+    return Status::OK();
+  }
+
+  Status Truncated(const char* what) const {
+    return Status::Corruption(std::string("byte stream truncated reading ") +
+                              what);
+  }
+
+  const uint8_t* p_;
+  size_t len_;
+  size_t pos_ = 0;
+};
+
+}  // namespace storage
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_STORAGE_BYTES_H_

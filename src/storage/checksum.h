@@ -1,0 +1,57 @@
+// Stable 64-bit content checksum for on-disk segments.
+//
+// The persistence tier needs a checksum that is (a) identical across
+// processes, builds, and platforms of the same endianness, and (b) cheap
+// enough to run over every segment on both write and load. std::hash
+// satisfies neither (it is explicitly process-local), so Checksum64 chains
+// the splitmix64 finalizer from common/rng.h over the payload, 8 bytes at
+// a time, seeding with the length so that prefixes of a buffer never
+// collide with the buffer itself.
+//
+// This is an integrity check against torn writes and bit rot, not a
+// cryptographic MAC.
+
+#ifndef EXPLAIN3D_STORAGE_CHECKSUM_H_
+#define EXPLAIN3D_STORAGE_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "common/rng.h"
+
+namespace explain3d {
+namespace storage {
+
+/// Chains one 64-bit word into a running checksum state.
+inline uint64_t ChecksumMix(uint64_t state, uint64_t word) {
+  return CounterHash(state, word);
+}
+
+/// Checksum of `len` bytes at `data`. Independent of alignment; the tail
+/// (< 8 bytes) is zero-padded into a final word that also encodes the
+/// tail length, so "abc" and "abc\0" differ.
+inline uint64_t Checksum64(const void* data, size_t len) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t state = CounterHash(0x45334453ULL /* "E3DS" */, len);
+  size_t n = len;
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    state = ChecksumMix(state, word);
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    uint64_t word = 0;
+    std::memcpy(&word, p, n);
+    state = ChecksumMix(state, word);
+    state = ChecksumMix(state, n);
+  }
+  return state;
+}
+
+}  // namespace storage
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_STORAGE_CHECKSUM_H_

@@ -1,0 +1,87 @@
+#include "storage/content_hash.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "storage/checksum.h"
+
+namespace explain3d {
+namespace storage {
+
+namespace {
+
+uint64_t MixBytes(uint64_t state, const void* data, size_t len) {
+  return ChecksumMix(state, Checksum64(data, len));
+}
+
+uint64_t MixString(uint64_t state, const std::string& s) {
+  state = ChecksumMix(state, s.size());
+  return MixBytes(state, s.data(), s.size());
+}
+
+// Canonical cell encoding: type tag, then a payload chosen so that
+// equality under Value::Compare implies equal digests is NOT required —
+// int64(2) and double(2.0) hash differently, which is fine: content
+// identity is byte-level (same stored data), not SQL-equality.
+uint64_t MixValue(uint64_t state, const Value& v) {
+  switch (v.type()) {
+    case DataType::kNull:
+      return ChecksumMix(state, 0);
+    case DataType::kInt64:
+      state = ChecksumMix(state, 1);
+      return ChecksumMix(state, static_cast<uint64_t>(v.AsInt64()));
+    case DataType::kDouble: {
+      state = ChecksumMix(state, 2);
+      double d = v.AsDouble();
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      return ChecksumMix(state, bits);
+    }
+    case DataType::kString:
+      state = ChecksumMix(state, 3);
+      return MixString(state, v.AsString());
+  }
+  return ChecksumMix(state, 0xdeadULL);  // unreachable
+}
+
+}  // namespace
+
+uint64_t DatabaseContentHash(const Database& db) {
+  uint64_t state = ChecksumMix(0x433d4844ULL /* "C=HD" */, 1);
+  // Deliberately excludes db.name(): two registrations of the same data
+  // under different registry names are the same content.
+  std::vector<std::string> names = db.TableNames();  // sorted by map key
+  state = ChecksumMix(state, names.size());
+  for (const std::string& tname : names) {
+    const Table* t = db.GetTable(tname).value();
+    state = MixString(state, t->name());
+    const Schema& schema = t->schema();
+    state = ChecksumMix(state, schema.num_columns());
+    for (const Column& c : schema.columns()) {
+      state = MixString(state, c.name);
+      state = ChecksumMix(state, static_cast<uint64_t>(c.type));
+    }
+    state = ChecksumMix(state, t->num_rows());
+    for (const Row& row : t->rows()) {
+      for (const Value& cell : row) {
+        state = MixValue(state, cell);
+      }
+    }
+  }
+  return state;
+}
+
+std::string ContentTag(uint64_t hash) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "c%016llx",
+                static_cast<unsigned long long>(hash));
+  return std::string(buf);
+}
+
+std::string ContentIdentity(const Database& db1, const Database& db2) {
+  return ContentTag(DatabaseContentHash(db1)) + "|" +
+         ContentTag(DatabaseContentHash(db2));
+}
+
+}  // namespace storage
+}  // namespace explain3d

@@ -1,0 +1,47 @@
+// Content-hash identity for registered databases.
+//
+// Snapshot cache keys must survive a process restart, so they cannot be
+// built from pointers or registry generations: the same data registered
+// in a fresh service has a different address and the same generation
+// counter as unrelated data. DatabaseContentHash instead folds every
+// table name, column, and cell value into a 64-bit digest through a
+// canonical byte encoding (type tag + little-endian payload), so two
+// Database objects with equal contents — in the same process or across a
+// restart — hash identically, and any cell edit changes the digest.
+//
+// ContentIdentity renders a database pair as "c<hex16>|c<hex16>", the
+// string the pipeline embeds as the first two '|'-components of its cache
+// keys. The "c" prefix keeps content tags disjoint from the legacy
+// "h<id>:g<gen>" handle tags and the "db1=%p" pointer fallback, so
+// `Explain3DService::EraseIf` retirement-by-tag continues to work
+// unchanged.
+//
+// Cost: one pass over every cell, paid once per RegisterDatabase (and
+// once per raw RunExplain3D call that opts into caching) — registration
+// is rare and already O(data).
+
+#ifndef EXPLAIN3D_STORAGE_CONTENT_HASH_H_
+#define EXPLAIN3D_STORAGE_CONTENT_HASH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "relational/database.h"
+
+namespace explain3d {
+namespace storage {
+
+/// Order- and content-sensitive 64-bit digest of every table (by sorted
+/// name), schema column, and row cell in `db`. Stable across processes.
+uint64_t DatabaseContentHash(const Database& db);
+
+/// "c<hex16>" rendering of a content hash (a cache-key identity tag).
+std::string ContentTag(uint64_t hash);
+
+/// "c<hex16>|c<hex16>" — the db_identity string for a database pair.
+std::string ContentIdentity(const Database& db1, const Database& db2);
+
+}  // namespace storage
+}  // namespace explain3d
+
+#endif  // EXPLAIN3D_STORAGE_CONTENT_HASH_H_

@@ -199,7 +199,7 @@ TEST(ServiceErrorTest, RetiredHandleFailsButCurrentOneWorks) {
 
 // --- generation-based cache retirement --------------------------------------
 
-TEST(ServiceCacheTest, ReRegisterRetiresArtifactsWithoutInvalidatingResults) {
+TEST(ServiceCacheTest, ReRegisterRetiresArtifactsOnlyWhenContentChanges) {
   Explain3DService service;
   SyntheticDataset data = MakeData(14);
   DatabaseHandle h1 = service.RegisterDatabase("left", data.db1);
@@ -220,23 +220,36 @@ TEST(ServiceCacheTest, ReRegisterRetiresArtifactsWithoutInvalidatingResults) {
             t2->TryGet()->value().artifacts().get());
   EXPECT_EQ(r1.value().artifacts().use_count(), 3);
 
-  // Re-registering the left database bumps its generation and retires
-  // the pair's cached artifacts...
+  // Re-registering IDENTICAL contents bumps the generation (the old
+  // handle retires) but keeps the cache warm: keys follow the DATA, so
+  // the new handle's first request is a warm hit on the same block.
   DatabaseHandle h1b = service.RegisterDatabase("left", data.db1);
   EXPECT_EQ(h1b.generation, h1.generation + 1);
-  EXPECT_EQ(service.cache().size(), 0u);
-  // ...while already-returned results keep co-owning the (now
-  // cache-orphaned) block: only the two results remain as owners.
-  EXPECT_EQ(r1.value().artifacts().use_count(), 2);
-  EXPECT_GT(r1.value().t1().size(), 0u);
-
-  // The new generation builds fresh artifacts — a different block.
+  EXPECT_EQ(service.cache().size(), 1u);
   TicketPtr t3 = service.Submit(MakeRequest(data, h1b, h2));
   const Result<PipelineResult>& r3 = t3->Wait();
   ASSERT_TRUE(r3.ok());
-  EXPECT_NE(r3.value().artifacts().get(), r1.value().artifacts().get());
+  EXPECT_EQ(r3.value().artifacts().get(), r1.value().artifacts().get());
+  EXPECT_EQ(service.Stats().warm_hits, 2u);
+  EXPECT_EQ(service.Stats().cold_misses, 1u);
+
+  // Re-registering CHANGED contents retires the pair's cached
+  // artifacts...
+  SyntheticDataset changed = MakeData(15);
+  DatabaseHandle h1c = service.RegisterDatabase("left", changed.db1);
+  EXPECT_EQ(h1c.generation, h1b.generation + 1);
+  EXPECT_EQ(service.cache().size(), 0u);
+  // ...while already-returned results keep co-owning the (now
+  // cache-orphaned) block: the three results remain as owners.
+  EXPECT_EQ(r1.value().artifacts().use_count(), 3);
+  EXPECT_GT(r1.value().t1().size(), 0u);
+
+  // The new contents build fresh artifacts — a different block.
+  TicketPtr t4 = service.Submit(MakeRequest(data, h1c, h2));
+  const Result<PipelineResult>& r4 = t4->Wait();
+  ASSERT_TRUE(r4.ok());
+  EXPECT_NE(r4.value().artifacts().get(), r1.value().artifacts().get());
   EXPECT_EQ(service.Stats().cold_misses, 2u);
-  ExpectResultsBitIdentical(r3.value(), r1.value());
 }
 
 // --- cancellation and deadlines ---------------------------------------------
@@ -814,7 +827,7 @@ TEST(ServiceWarmStartTest, ResubmitServesWarmAndStaysBitIdentical) {
       SerialBaseline(data, MakeOptimalRequest(data, h1, h2)));
 }
 
-TEST(ServiceWarmStartTest, ReRegistrationRetiresIncumbentRecords) {
+TEST(ServiceWarmStartTest, ContentChangeRetiresIncumbentRecords) {
   Explain3DService service;
   SyntheticDataset data = MakeData(42);
   DatabaseHandle h1 = service.RegisterDatabase("left", data.db1);
@@ -824,20 +837,32 @@ TEST(ServiceWarmStartTest, ReRegistrationRetiresIncumbentRecords) {
   ASSERT_TRUE(t1->Wait().ok());
   ASSERT_EQ(service.Stats().incumbent_entries, 1u);
 
-  // Re-registering the left database retires the pair's incumbent record
-  // together with its stage-1 artifacts: the stale optimum (recorded
-  // against the OLD generation's data) must never seed the new one.
+  // Re-registering IDENTICAL contents keeps the incumbent record — the
+  // optimum was recorded against this exact data, so the new handle's
+  // resubmit warm-starts straight off it.
   DatabaseHandle h1b = service.RegisterDatabase("left", data.db1);
-  EXPECT_EQ(service.Stats().incumbent_entries, 0u);
-
+  ASSERT_EQ(service.Stats().incumbent_entries, 1u);
   TicketPtr t2 = service.Submit(MakeOptimalRequest(data, h1b, h2));
   ASSERT_TRUE(t2->Wait().ok());
-  ServiceStats after = service.Stats();
-  EXPECT_EQ(after.warm_start_hits, 0u);   // no stale record was consulted
-  EXPECT_EQ(after.incumbent_hits, 0u);
-  EXPECT_EQ(after.incumbent_misses, 2u);  // both runs were genuine misses
-  EXPECT_EQ(after.incumbent_entries, 1u);
+  EXPECT_EQ(service.Stats().incumbent_hits, 1u);
+  EXPECT_GT(service.Stats().warm_start_hits, 0u);
   ExpectResultsBitIdentical(t2->Wait().value(), t1->Wait().value());
+
+  // Re-registering CHANGED contents retires the pair's incumbent record
+  // together with its stage-1 artifacts: the stale optimum (recorded
+  // against the OLD data) must never seed the new one.
+  SyntheticDataset changed = MakeData(43);
+  DatabaseHandle h1c = service.RegisterDatabase("left", changed.db1);
+  EXPECT_EQ(service.Stats().incumbent_entries, 0u);
+
+  size_t warm_before = service.Stats().warm_start_hits;
+  TicketPtr t3 = service.Submit(MakeOptimalRequest(data, h1c, h2));
+  ASSERT_TRUE(t3->Wait().ok());
+  ServiceStats after = service.Stats();
+  EXPECT_EQ(after.warm_start_hits, warm_before);  // no stale seed consulted
+  EXPECT_EQ(after.incumbent_hits, 1u);            // unchanged by this run
+  EXPECT_EQ(after.incumbent_misses, 2u);  // the cold run and this one
+  EXPECT_EQ(after.incumbent_entries, 1u);
 }
 
 TEST(ServicePortfolioTest, PortfolioEqualsStrictWhenExactFinishesInBudget) {
