@@ -46,6 +46,13 @@
 //                         the cold first request against the restored
 //                         service's first request — a warm hit straight
 //                         off the mmapped snapshot, no rebuild.
+//   9. service-multi-client — four tenants flooding IDENTICAL oracle-free
+//                         requests through one service, coalescing off vs
+//                         on: off pays one pipeline run per ticket, on
+//                         shares one run per key (coalesced_hits) at the
+//                         same bit-exact results. The fairness spread
+//                         (max/min per-client makespan under DRR) rides
+//                         along in both rows.
 //
 // EXPLAIN3D_SCALE scales the dataset; requests count is fixed.
 //
@@ -286,7 +293,7 @@ PriorityTailResult MeasurePriorityTail(const SyntheticDataset& data) {
   DatabaseHandle h2 = service.RegisterDatabase("db2", data.db2);
   // Warm the cache at a band of its own so neither measured band's
   // stats include this setup request.
-  service.Submit(MakeRequest(data, h1, h2), SubmitOptions{-1})->Wait();
+  service.Submit(MakeRequest(data, h1, h2), SubmitOptions{-1, ""})->Wait();
 
   // A burst of background work lands first; interactive requests arrive
   // while the backlog drains and must cut the line.
@@ -296,7 +303,7 @@ PriorityTailResult MeasurePriorityTail(const SyntheticDataset& data) {
   }
   for (size_t i = 0; i < kInteractive; ++i) {
     tickets.push_back(service.Submit(MakeRequest(data, h1, h2),
-                                     SubmitOptions{kHighPriority}));
+                                     SubmitOptions{kHighPriority, ""}));
   }
   for (const TicketPtr& t : tickets) {
     if (!t->Wait().ok()) {
@@ -387,6 +394,86 @@ ModeTail MeasureDegradationTail(const SyntheticDataset& data,
   tail.p99 = Percentile(latencies, 0.99);
   tail.max = Percentile(latencies, 1.0);
   return tail;
+}
+
+// --- phase 9: multi-client coalescing + fairness ----------------------------
+
+struct MultiClientRow {
+  double rps = 0;
+  double makespan_min = 0, makespan_max = 0;  ///< per-client, seconds
+  ServiceStats stats;
+};
+
+// Four closed-loop tenants, each flooding the SAME oracle-free request.
+// With coalescing off every ticket pays a pipeline run; with it on, all
+// tickets in flight at the same time share one run and resolve off the
+// leader's result — same answers, a fraction of the work.
+MultiClientRow MeasureMultiClient(const SyntheticDataset& data,
+                                  bool coalesce) {
+  constexpr size_t kClients = 4;
+  ServiceOptions options;
+  options.max_concurrency = 2;
+  options.enable_coalescing = coalesce;
+  Explain3DService service(options);
+  DatabaseHandle h1 = service.RegisterDatabase("db1", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("db2", data.db2);
+
+  auto coalescible = [&] {
+    ExplanationRequest req = MakeRequest(data, h1, h2);
+    req.calibration_oracle = nullptr;  // closures have no identity to share
+    return req;
+  };
+  service.Submit(coalescible())->Wait();  // warm the cache, untimed
+
+  std::vector<double> makespan(kClients, 0);
+  Timer timer;
+  std::vector<std::thread> threads;
+  for (size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      SubmitOptions sopts;
+      sopts.client_id = "client-" + std::to_string(c);
+      Timer own;
+      std::vector<TicketPtr> tickets;
+      for (size_t i = 0; i < kRequestsPerSubmitter; ++i) {
+        tickets.push_back(service.Submit(coalescible(), sopts));
+      }
+      for (const TicketPtr& t : tickets) {
+        if (!t->Wait().ok()) {
+          std::fprintf(stderr, "request failed: %s\n",
+                       t->Wait().status().ToString().c_str());
+          std::abort();
+        }
+      }
+      makespan[c] = own.Seconds();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  double seconds = timer.Seconds();
+
+  MultiClientRow row;
+  row.rps = static_cast<double>(kClients * kRequestsPerSubmitter) / seconds;
+  row.makespan_min = *std::min_element(makespan.begin(), makespan.end());
+  row.makespan_max = *std::max_element(makespan.begin(), makespan.end());
+  row.stats = service.Stats();
+  return row;
+}
+
+std::string MultiClientJson(const char* mode, const MultiClientRow& r) {
+  std::string out = "{\"mode\":\"";
+  out += mode;
+  out += "\",\"rps\":" + Fmt(r.rps, "%.3f");
+  out += ",\"coalesced_hits\":" + std::to_string(r.stats.coalesced_hits);
+  out += ",\"warm_hits\":" + std::to_string(r.stats.warm_hits);
+  out += ",\"cold_misses\":" + std::to_string(r.stats.cold_misses);
+  out += ",\"completed\":" + std::to_string(r.stats.completed);
+  out += ",\"quota_rejected\":" + std::to_string(r.stats.quota_rejected);
+  out += ",\"makespan_min_s\":" + Fmt(r.makespan_min, "%.6f");
+  out += ",\"makespan_max_s\":" + Fmt(r.makespan_max, "%.6f");
+  out += ",\"fairness_spread\":" +
+         Fmt(r.makespan_min > 0 ? r.makespan_max / r.makespan_min : 0.0,
+             "%.3f");
+  out += "}";
+  return out;
 }
 
 std::string ModeTailJson(const char* mode, const ModeTail& t) {
@@ -683,6 +770,46 @@ int main() {
     restart_json += "}";
     AppendBenchJson("service", restart_json);
     std::filesystem::remove_all(dir);
+  }
+
+  // --- phase 9: multi-client coalescing + fairness --------------------------
+  {
+    MultiClientRow off = MeasureMultiClient(data, /*coalesce=*/false);
+    MultiClientRow on = MeasureMultiClient(data, /*coalesce=*/true);
+
+    std::printf("\nmulti-client serving: 4 tenants x %zu identical "
+                "requests, coalescing off vs on:\n",
+                kRequestsPerSubmitter);
+    TablePrinter mc_table({"coalescing", "rps", "coalesced hits",
+                           "pipeline runs", "fairness spread"});
+    for (const auto& entry :
+         {std::pair<const char*, const MultiClientRow*>{"off", &off},
+          std::pair<const char*, const MultiClientRow*>{"on", &on}}) {
+      const MultiClientRow& r = *entry.second;
+      mc_table.AddRow(
+          {entry.first, Fmt(r.rps, "%.2f"),
+           std::to_string(r.stats.coalesced_hits),
+           std::to_string(r.stats.completed - r.stats.coalesced_hits),
+           Fmt(r.makespan_min > 0 ? r.makespan_max / r.makespan_min : 0.0,
+               "%.2fx")});
+    }
+    mc_table.Print();
+    std::printf("coalescing speedup: %.2fx (%zu of %zu tickets shared a "
+                "leader's run)\n",
+                off.rps > 0 ? on.rps / off.rps : 0.0,
+                on.stats.coalesced_hits, on.stats.completed);
+
+    std::string mc_json = "{\"figure\":\"service-multi-client\"";
+    mc_json += ",\"scale\":" + Fmt(Scale(), "%.3g");
+    mc_json += ",\"n\":" + std::to_string(Scaled(500));
+    mc_json += ",\"clients\":4";
+    mc_json +=
+        ",\"requests_per_client\":" + std::to_string(kRequestsPerSubmitter);
+    mc_json += ",\"speedup\":" +
+               Fmt(off.rps > 0 ? on.rps / off.rps : 0.0, "%.3f");
+    mc_json += ",\"modes\":[" + MultiClientJson("off", off) + "," +
+               MultiClientJson("on", on) + "]}";
+    AppendBenchJson("service", mc_json);
   }
   return 0;
 }

@@ -20,6 +20,7 @@
 #include "provenance/canonical.h"
 #include "relational/executor.h"
 #include "relational/parser.h"
+#include "storage/checksum.h"
 #include "storage/content_hash.h"
 
 namespace explain3d {
@@ -58,21 +59,14 @@ std::string Stage1CacheKey(const PipelineInput& input,
   return key;
 }
 
-/// Stage-2 suffix of the warm-start incumbent key: every config field
-/// that shapes the unit decomposition or the per-unit optima. Thread
-/// count and the warm_start/portfolio switches are deliberately excluded
-/// (results are bit-identical across them, so they must share records);
-/// the key EXTENDS the stage-1 key so identity-prefix retirement
-/// (MatchingContext::EraseIf) covers both stores.
+/// Warm-start incumbent key: the stage-1 key plus the stage-2 config tag
+/// (Stage2ConfigTag — thread count and the warm_start/portfolio switches
+/// are deliberately excluded there, so bit-identical runs share
+/// records). The key EXTENDS the stage-1 key so identity-prefix
+/// retirement (MatchingContext::EraseIf) covers both stores.
 std::string IncumbentKey(const std::string& stage1_key,
                          const Explain3DConfig& c) {
-  return stage1_key +
-         StrFormat("|s2:a%.17g|b%.17g|bs%zu|tl%.17g|th%.17g|r%.17g|pp%d|"
-                   "dc%d|mc%zu|mn%zu|en%zu",
-                   c.alpha, c.beta, c.batch_size, c.theta_low, c.theta_high,
-                   c.reward, c.use_pre_partitioning ? 1 : 0,
-                   c.decompose_components ? 1 : 0, c.milp_max_constraints,
-                   c.milp_max_nodes, c.exact_max_nodes);
+  return stage1_key + Stage2ConfigTag(c);
 }
 
 /// Maps the greedy baseline's evidence (tuple-index pairs) back to the
@@ -414,6 +408,65 @@ Result<PipelineResult> RunExplain3D(const PipelineInput& input,
 
   out.total_seconds_ = total_timer.Seconds();
   return out;
+}
+
+std::string Stage2ConfigTag(const Explain3DConfig& c) {
+  return StrFormat("|s2:a%.17g|b%.17g|bs%zu|tl%.17g|th%.17g|r%.17g|pp%d|"
+                   "dc%d|mc%zu|mn%zu|en%zu",
+                   c.alpha, c.beta, c.batch_size, c.theta_low, c.theta_high,
+                   c.reward, c.use_pre_partitioning ? 1 : 0,
+                   c.decompose_components ? 1 : 0, c.milp_max_constraints,
+                   c.milp_max_nodes, c.exact_max_nodes);
+}
+
+std::string RequestResultKey(const std::string& db_identity,
+                             const std::string& sql1, const std::string& sql2,
+                             const AttributeMatches& attr_matches,
+                             const MappingGenOptions& mapping,
+                             const GoldPairs& gold,
+                             const Explain3DConfig& config) {
+  // Same shape as Stage1CacheKey (identity + length-prefixed free text +
+  // blocking switch) so the identity-prefix convention carries over, then
+  // every remaining result-affecting knob. An empty attribute match is
+  // keyed as empty text: such requests fail identically (InvalidArgument
+  // at comparability), so sharing that failure is correct.
+  const std::string attr_text =
+      attr_matches.empty() ? std::string() : attr_matches.front().ToString();
+  std::string key = db_identity + "|";
+  for (const std::string& part : {sql1, sql2, attr_text}) {
+    key += std::to_string(part.size()) + ":" + part + "|";
+  }
+  key += mapping.use_blocking ? "blocking" : "allpairs";
+  key += StrFormat(
+      "|m:e%d|cb%zu|lf%.17g|mp%.17g|sf%.17g|xp%.17g|sd%llu",
+      static_cast<int>(mapping.metric), mapping.calibration_buckets,
+      mapping.label_fraction, mapping.min_probability, mapping.score_floor,
+      mapping.max_probability,
+      static_cast<unsigned long long>(mapping.seed));
+  // Gold labels participate hashed: the sets can be O(rows) large, and
+  // the key only has to separate different label sets, not list them.
+  std::vector<uint64_t> packed;
+  packed.reserve(gold.size() * 2);
+  for (const auto& [a, b] : gold) {
+    packed.push_back(static_cast<uint64_t>(a));
+    packed.push_back(static_cast<uint64_t>(b));
+  }
+  key += StrFormat(
+      "|g:%zu:%016llx", gold.size(),
+      static_cast<unsigned long long>(storage::Checksum64(
+          packed.data(), packed.size() * sizeof(uint64_t))));
+  key += Stage2ConfigTag(config);
+  // Degradation/budget knobs (excluded from the incumbent tag because
+  // incumbents only record fully-optimal runs) DO shape what a budgeted
+  // run returns — and so does the config seed and the portfolio switch.
+  // Coalescing errs conservative: a knob that could matter splits keys.
+  key += StrFormat(
+      "|d:m%d|fb%.17g|tl%.17g|ws%d|pf%d|sd%llu",
+      static_cast<int>(config.degradation_mode),
+      config.fallback_budget_fraction, config.milp_time_limit_seconds,
+      config.warm_start ? 1 : 0, config.portfolio ? 1 : 0,
+      static_cast<unsigned long long>(config.seed));
+  return key;
 }
 
 }  // namespace explain3d

@@ -251,6 +251,36 @@ class PipelineResult {
 Result<PipelineResult> RunExplain3D(const PipelineInput& input,
                                     const Explain3DConfig& config);
 
+/// \brief Result-affecting stage-2 config tag ("|s2:..."), the incumbent
+/// key's config suffix.
+///
+/// Covers every solver field that shapes the unit decomposition or the
+/// per-unit optima; thread count and the warm_start/portfolio switches
+/// are excluded (results are bit-identical across them). Exposed so
+/// Explain3DService can key its admission-latency estimates by
+/// (db-identity, config-tag) — requests sharing a tag over the same data
+/// have comparable cost.
+std::string Stage2ConfigTag(const Explain3DConfig& config);
+
+/// \brief Canonical result identity of one explanation request: the
+/// request-coalescing key.
+///
+/// The stage-1 cache key (database-pair content identity + queries +
+/// attribute match + blocking) extended with EVERY remaining
+/// result-affecting input — the full mapping options, the calibration
+/// gold labels (hashed), and the stage-2/degradation config. Equal keys
+/// guarantee bit-identical PipelineResults, which is what lets
+/// Explain3DService resolve concurrent identical requests from ONE
+/// computation. Thread counts are excluded (bit-identical across them).
+/// A calibration ORACLE is a closure with no serializable identity, so
+/// oracle-carrying requests take no key and must never coalesce.
+std::string RequestResultKey(const std::string& db_identity,
+                             const std::string& sql1, const std::string& sql2,
+                             const AttributeMatches& attr_matches,
+                             const MappingGenOptions& mapping,
+                             const GoldPairs& gold,
+                             const Explain3DConfig& config);
+
 }  // namespace explain3d
 
 #endif  // EXPLAIN3D_CORE_PIPELINE_H_

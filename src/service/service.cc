@@ -132,6 +132,23 @@ void RequestTicket::Complete(Result<PipelineResult> result) {
   done_.Notify();
 }
 
+bool RequestTicket::CompleteIfQueued(Result<PipelineResult> result,
+                                     const std::function<void()>& on_win) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (state_ != State::kQueued) return false;
+    state_ = State::kDone;
+    result_.emplace(std::move(result));
+    request_ = ExplanationRequest();
+    // The winner's counters bump inside the claim, before waiters
+    // release: a caller woken by Wait() below must already see its own
+    // request counted.
+    if (on_win) on_win();
+  }
+  done_.Notify();
+  return true;
+}
+
 // --- Explain3DService -------------------------------------------------------
 
 Explain3DService::Explain3DService(ServiceOptions options)
@@ -177,10 +194,20 @@ Explain3DService::~Explain3DService() {
     std::lock_guard<std::mutex> lock(mu_);
     shutdown_ = true;
     for (auto& [priority, band] : bands_) {
-      for (TicketPtr& t : band) orphans.push_back(std::move(t));
+      for (auto& [client, queue] : band.clients) {
+        for (TicketPtr& t : queue) orphans.push_back(std::move(t));
+      }
     }
     bands_.clear();
+    client_queued_.clear();
     queued_tickets_ = 0;
+    // Followers awaiting a leader terminate as cancelled too. A RUNNING
+    // leader's fan-out then finds its group gone and shares with no one
+    // — its own real result still stands.
+    for (auto& [key, group] : coalesce_groups_) {
+      for (TicketPtr& f : group.followers) orphans.push_back(std::move(f));
+    }
+    coalesce_groups_.clear();
     if (options_.cancel_running_on_destruction) {
       running = running_tickets_;
     }
@@ -313,56 +340,119 @@ TicketPtr Explain3DService::Submit(ExplanationRequest request,
   // wait, stage 1, and stage 2 all burn the same budget.
   ticket->token_ = std::make_shared<CancelToken>(deadline);
   ticket->priority_ = options.priority;
+  ticket->client_id_ = options.client_id;
   ticket->request_ = std::move(request);
   ticket->submit_time_ = std::chrono::steady_clock::now();
   ticket->counters_ = counters_;
   counters_->submitted.fetch_add(1);
 
+  const ExplanationRequest& req = ticket->request_;
+  // Resolve the handles up front, outside mu_, when any identity-keyed
+  // path needs them: the keyed admission estimate and the coalescing key
+  // are both built on the databases' CONTENT identity. A failure here is
+  // NOT the submit's failure — the registry may legitimately change
+  // while the request queues, so stale handles still surface at claim
+  // time, on the ticket; the request merely prices at the fleet-wide
+  // estimate and never coalesces.
+  std::string admission_key, coalesce_key;
+  const bool want_coalesce =
+      options_.enable_coalescing && req.calibration_oracle == nullptr;
+  if (options_.admission_control || want_coalesce) {
+    Result<ResolvedDb> db1 = ResolveHandle(req.db1);
+    Result<ResolvedDb> db2 = db1.ok() ? ResolveHandle(req.db2)
+                                      : Result<ResolvedDb>(db1.status());
+    if (db1.ok() && db2.ok()) {
+      const std::string identity =
+          db1.value().content_tag + "|" + db2.value().content_tag;
+      admission_key = identity + Stage2ConfigTag(req.config);
+      if (want_coalesce) {
+        coalesce_key = RequestResultKey(identity, req.sql1, req.sql2,
+                                        req.attr_matches, req.mapping_options,
+                                        req.calibration_gold, req.config);
+      }
+    }
+  }
+  ticket->admission_key_ = admission_key;
+  // Prefetch the keyed estimate BEFORE taking mu_ — stats_mu_ never
+  // nests under mu_.
+  double keyed_p50 = 0;
+  if (options_.admission_control && deadline > 0) {
+    keyed_p50 = KeyedRunP50(admission_key);
+  }
+
   bool spawn = false;
   bool shutdown_reject = false;
+  bool quota_reject = false;
+  bool coalesced = false;
+  size_t client_queued = 0;
   double est_wait = 0, p50_run = 0;
   size_t ahead = 0;
   bool admission_reject = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    auto group_it = coalesce_key.empty() ? coalesce_groups_.end()
+                                         : coalesce_groups_.find(coalesce_key);
     if (shutdown_) {
       shutdown_reject = true;
+    } else if (group_it != coalesce_groups_.end()) {
+      // An identical request is already queued or running: attach as a
+      // FOLLOWER. No queue slot, no quota charge, no admission test —
+      // the ticket consumes nothing until the leader's completion (or
+      // its own deadline/cancel) resolves it.
+      ticket->seq_ = next_seq_++;
+      ticket->coalesce_key_ = coalesce_key;
+      group_it->second.followers.push_back(ticket);
+      coalesced = true;
     } else {
-      if (options_.admission_control && deadline > 0) {
-        // Cost model: everyone this request must wait behind (running
-        // requests plus tickets queued at its priority or above) at the
-        // observed p50 run time, spread over the worker slots. Band
-        // sizes are used as-is — O(bands), no per-ticket walk under
-        // mu_; cancelled dead weight still in a band overcounts, which
-        // only errs toward rejecting sooner. No estimate before the
-        // first completion → admit.
-        p50_run = run_p50_.load(std::memory_order_relaxed);
-        if (p50_run > 0) {
-          ahead = running_requests_;
-          for (const auto& [priority, band] : bands_) {
-            if (priority < options.priority) break;  // bands_ sorts high→low
-            ahead += band.size();
-          }
-          // Rejection applies only to requests that would QUEUE: with a
-          // free worker slot the request is admitted unconditionally as
-          // a probe — it starts immediately, the deadline token bounds
-          // any waste to deadline_seconds, and its completion refreshes
-          // the p50 estimate (rejecting idle-service traffic on a stale
-          // slow p50 would lock the estimator at that value forever,
-          // since rejected work never runs). For the queued case the
-          // request's OWN run is charged at p50 on top of the overflow
-          // wait: a deadline shorter than wait + run can only expire.
-          if (ahead >= max_concurrency_) {
-            est_wait = static_cast<double>(ahead - max_concurrency_ + 1) *
-                       p50_run / static_cast<double>(max_concurrency_);
-            admission_reject = est_wait + p50_run > deadline;
+      if (options_.per_client_max_queued > 0) {
+        auto it = client_queued_.find(options.client_id);
+        client_queued = it == client_queued_.end() ? 0 : it->second;
+        quota_reject = client_queued >= options_.per_client_max_queued;
+      }
+      if (!quota_reject) {
+        if (options_.admission_control && deadline > 0) {
+          // Cost model: everyone this request must wait behind (running
+          // requests plus tickets queued at its priority or above) at
+          // the observed p50 run time, spread over the worker slots.
+          // The p50 is the request's KEYED estimate when its
+          // (db-identity, config-tag) ring is warm, else the fleet-wide
+          // median. Band sizes are used as-is — O(bands), no per-ticket
+          // walk under mu_; cancelled dead weight still in a band
+          // overcounts, which only errs toward rejecting sooner. No
+          // estimate before the first completion → admit.
+          p50_run = keyed_p50 > 0
+                        ? keyed_p50
+                        : run_p50_.load(std::memory_order_relaxed);
+          if (p50_run > 0) {
+            ahead = running_requests_;
+            for (const auto& [priority, band] : bands_) {
+              if (priority < options.priority) break;  // bands_: high→low
+              ahead += band.size;
+            }
+            // Rejection applies only to requests that would QUEUE: with
+            // a free worker slot the request is admitted unconditionally
+            // as a probe — it starts immediately, the deadline token
+            // bounds any waste to deadline_seconds, and its completion
+            // refreshes the p50 estimate (rejecting idle-service traffic
+            // on a stale slow p50 would lock the estimator at that value
+            // forever, since rejected work never runs). For the queued
+            // case the request's OWN run is charged at p50 on top of the
+            // overflow wait: a deadline shorter than wait + run can only
+            // expire.
+            if (ahead >= max_concurrency_) {
+              est_wait = static_cast<double>(ahead - max_concurrency_ + 1) *
+                         p50_run / static_cast<double>(max_concurrency_);
+              admission_reject = est_wait + p50_run > deadline;
+            }
           }
         }
+        // Quota rejects stay out of the health window: they say one
+        // CLIENT is over its share, not that the service is slow.
+        NoteAdmissionLocked(admission_reject);
       }
-      NoteAdmissionLocked(admission_reject);
-      if (!admission_reject) {
-        // Overload relief valve: when the service is kOverloaded, flip an
-        // incoming deadline-carrying kStrict request to the greedy
+      if (!quota_reject && !admission_reject) {
+        // Overload relief valve: when the service is kOverloaded, flip
+        // an incoming deadline-carrying kStrict request to the greedy
         // fallback BEFORE it queues, so it can still answer inside its
         // deadline instead of expiring empty-handed in the backlog. The
         // result stays explicitly marked degraded().
@@ -375,8 +465,13 @@ TicketPtr Explain3DService::Submit(ExplanationRequest request,
           auto_degraded_.fetch_add(1);
         }
         ticket->seq_ = next_seq_++;
-        bands_[options.priority].push_back(ticket);
-        ++queued_tickets_;
+        if (!coalesce_key.empty()) {
+          // First request under this key: it LEADS. Identical submits
+          // while it is queued or running attach above.
+          ticket->coalesce_key_ = coalesce_key;
+          coalesce_groups_[coalesce_key].leader = ticket;
+        }
+        EnqueueLocked(ticket);
         if (active_runners_ < max_concurrency_) {
           ++active_runners_;
           spawn = true;
@@ -388,6 +483,18 @@ TicketPtr Explain3DService::Submit(ExplanationRequest request,
     ticket->Cancel();
     return ticket;
   }
+  if (quota_reject) {
+    // Count before completing (see ServiceCounters) — and separately
+    // from admission rejects: the flooding client is told to back off
+    // while everyone else's traffic is untouched.
+    counters_->quota_rejected.fetch_add(1);
+    ticket->Complete(Status::ResourceExhausted(StrFormat(
+        "per-client quota: client '%s' already has %zu requests queued "
+        "(per_client_max_queued = %zu)",
+        options.client_id.c_str(), client_queued,
+        options_.per_client_max_queued)));
+    return ticket;
+  }
   if (admission_reject) {
     // Rejected work never ran: it must not touch the cache or the
     // latency rings. Count before completing (see ServiceCounters).
@@ -396,6 +503,11 @@ TicketPtr Explain3DService::Submit(ExplanationRequest request,
         "admission control: estimated wait %.3fs + run %.3fs (%zu ahead "
         "of %zu workers) exceeds the %.3fs deadline",
         est_wait, p50_run, ahead, max_concurrency_, deadline)));
+    return ticket;
+  }
+  if (coalesced) {
+    // Followers share the leader's computation; the attach itself is
+    // the whole submit path.
     return ticket;
   }
   if (spawn) {
@@ -414,23 +526,82 @@ std::vector<TicketPtr> Explain3DService::SubmitBatch(
   return tickets;
 }
 
+void Explain3DService::EnqueueLocked(const TicketPtr& ticket) {
+  Band& band = bands_[ticket->priority_];
+  band.clients[ticket->client_id_].push_back(ticket);
+  ++band.size;
+  ++queued_tickets_;
+  ++client_queued_[ticket->client_id_];
+}
+
 TicketPtr Explain3DService::PopLocked() {
-  ++claims_;
-  auto band = bands_.begin();
+  // A client at its inflight cap is invisible to the scheduler — unless
+  // its front ticket is already terminal dead weight (cancelled while
+  // queued), which never runs and is always safe to reap.
+  auto eligible = [&](const std::string& client, const TicketPtr& front) {
+    if (front->done()) return true;
+    if (options_.per_client_max_inflight == 0) return true;
+    auto it = client_inflight_.find(client);
+    return it == client_inflight_.end() ||
+           it->second < options_.per_client_max_inflight;
+  };
+  using BandIt = std::map<int, Band, std::greater<int>>::iterator;
+  using ClientIt = std::map<std::string, std::deque<TicketPtr>>::iterator;
+  auto pop_from = [&](BandIt band_it, ClientIt client_it) {
+    Band& band = band_it->second;
+    const std::string client = client_it->first;
+    TicketPtr ticket = std::move(client_it->second.front());
+    client_it->second.pop_front();
+    if (client_it->second.empty()) band.clients.erase(client_it);
+    --band.size;
+    // The round-robin cursor: the next claim in this band starts
+    // strictly after the client just served.
+    band.last_client = client;
+    if (band.size == 0) bands_.erase(band_it);
+    --queued_tickets_;
+    auto q = client_queued_.find(client);
+    if (q != client_queued_.end() && --q->second == 0) {
+      client_queued_.erase(q);
+    }
+    ++claims_;
+    return ticket;
+  };
   if (options_.starvation_every > 0 &&
-      claims_ % options_.starvation_every == 0) {
-    // Anti-starvation claim: take the globally oldest request. Band
-    // fronts are their bands' oldest (FIFO), so the minimum seq_ across
-    // fronts is the global minimum.
-    for (auto it = std::next(bands_.begin()); it != bands_.end(); ++it) {
-      if (it->second.front()->seq_ < band->second.front()->seq_) band = it;
+      (claims_ + 1) % options_.starvation_every == 0) {
+    // Anti-starvation claim: take the globally oldest eligible request.
+    // Client fronts are their queues' oldest (FIFO per client), so the
+    // minimum seq_ across eligible fronts is the global minimum.
+    BandIt best_band = bands_.end();
+    ClientIt best_client;
+    for (auto b = bands_.begin(); b != bands_.end(); ++b) {
+      for (auto c = b->second.clients.begin(); c != b->second.clients.end();
+           ++c) {
+        if (!eligible(c->first, c->second.front())) continue;
+        if (best_band == bands_.end() ||
+            c->second.front()->seq_ < best_client->second.front()->seq_) {
+          best_band = b;
+          best_client = c;
+        }
+      }
+    }
+    if (best_band != bands_.end()) return pop_from(best_band, best_client);
+    return nullptr;
+  }
+  // Normal claim: highest band first; within it, round-robin across the
+  // clients starting strictly after the one served last (wrapping), so
+  // every client takes turns regardless of how deep anyone's queue is.
+  for (auto b = bands_.begin(); b != bands_.end(); ++b) {
+    Band& band = b->second;
+    auto c = band.clients.upper_bound(band.last_client);
+    for (size_t i = 0, n = band.clients.size(); i < n; ++i) {
+      if (c == band.clients.end()) c = band.clients.begin();
+      if (eligible(c->first, c->second.front())) return pop_from(b, c);
+      ++c;
     }
   }
-  TicketPtr ticket = std::move(band->second.front());
-  band->second.pop_front();
-  if (band->second.empty()) bands_.erase(band);
-  --queued_tickets_;
-  return ticket;
+  // Every queued ticket's owner is at its inflight cap: the caller
+  // parks; a finishing run of a capped client re-pops.
+  return nullptr;
 }
 
 void Explain3DService::RunnerLoop() {
@@ -444,13 +615,28 @@ void Explain3DService::RunnerLoop() {
         return;
       }
       ticket = PopLocked();
+      if (ticket == nullptr) {
+        // Everything queued belongs to clients at their inflight cap.
+        // Park this runner: each capped client still has a worker whose
+        // finishing run loops back here and re-pops (and re-spawns
+        // siblings below), so progress is guaranteed.
+        --active_runners_;
+        idle_cv_.notify_all();
+        return;
+      }
       ++running_requests_;
+      ++client_inflight_[ticket->client_id_];
       running_tickets_.push_back(ticket);
     }
     Process(ticket);
+    bool respawn = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
       --running_requests_;
+      auto inflight = client_inflight_.find(ticket->client_id_);
+      if (inflight != client_inflight_.end() && --inflight->second == 0) {
+        client_inflight_.erase(inflight);
+      }
       for (size_t i = 0; i < running_tickets_.size(); ++i) {
         if (running_tickets_[i].get() == ticket.get()) {
           running_tickets_[i] = std::move(running_tickets_.back());
@@ -458,7 +644,16 @@ void Explain3DService::RunnerLoop() {
           break;
         }
       }
+      // This client's inflight count just dropped: work that parked a
+      // sibling runner (quota-blocked pops) may be claimable again, so
+      // restore the runner population to match the backlog.
+      if (!shutdown_ && queued_tickets_ > 0 &&
+          active_runners_ < max_concurrency_) {
+        ++active_runners_;
+        respawn = true;
+      }
     }
+    if (respawn) SharedPool().Submit([this] { RunnerLoop(); });
   }
 }
 
@@ -476,7 +671,12 @@ void Explain3DService::Process(const TicketPtr& ticket) {
       }
     }
     // Cancelled while queued — already counted by Cancel(); just skip.
-    if (already_terminal) return;
+    // A cancelled coalescing LEADER leaves its group headless, though:
+    // promote the oldest live follower before dropping the claim.
+    if (already_terminal) {
+      if (!ticket->coalesce_key_.empty()) ResolveOrPromoteFollowers(ticket);
+      return;
+    }
   }
   // From here on only this worker completes the ticket; Cancel() can
   // only fire the token, and Submit stopped writing before the enqueue.
@@ -498,6 +698,9 @@ void Explain3DService::Process(const TicketPtr& ticket) {
           "request spent %.6fs queued, past its %.6fs deadline", queue_s,
           req.deadline_seconds)));
     }
+    // A leader dead at claim time has nothing shareable — its followers
+    // carry their own tokens; promote the oldest live one.
+    if (!ticket->coalesce_key_.empty()) ResolveOrPromoteFollowers(ticket);
     return;
   }
 
@@ -581,6 +784,19 @@ void Explain3DService::Process(const TicketPtr& ticket) {
                                      (2.0 * CounterUniform(ticket->seq_,
                                                            attempt) -
                                       1.0);
+                // Never start a backoff the deadline cannot absorb: when
+                // the sleep plus the estimated re-run exceed what's left
+                // of the request's budget, the retry is predictably
+                // doomed — fail fast with the transient status instead
+                // of sleeping straight into kDeadlineExceeded (the
+                // caller can tell retryable kUnavailable apart from a
+                // blown deadline). RemainingSeconds is +inf without a
+                // deadline, and the estimate is 0 before any completion,
+                // so the clamp only ever tightens.
+                if (backoff + EstimateRunSeconds(ticket->admission_key_) >
+                    cancel->RemainingSeconds()) {
+                  return r;
+                }
                 counters_->retries.fetch_add(1);
                 // Sleep on the token's event, not the clock: a cancel or
                 // deadline mid-backoff aborts the wait immediately.
@@ -611,12 +827,17 @@ void Explain3DService::Process(const TicketPtr& ticket) {
   // (injected fault, retried attempt)? Fed for pipeline runs only —
   // stale-handle rejections say nothing about service pressure.
   if (ran_pipeline) NoteRunTransient(transient_seen);
+  // Terminal-by-own-token runs share nothing downstream; everything
+  // else — including deterministic failures, which identical requests
+  // would reproduce identically — fans out to coalesced followers.
+  bool interrupted = ticket_fired && (code == StatusCode::kCancelled ||
+                                      code == StatusCode::kDeadlineExceeded);
   if (code == StatusCode::kCancelled && ticket_fired) {
     counters_->cancelled.fetch_add(1);
-    if (ran_pipeline) RecordRunSeconds(run_s);
+    if (ran_pipeline) RecordRunSeconds(ticket->admission_key_, run_s);
   } else if (code == StatusCode::kDeadlineExceeded && ticket_fired) {
     counters_->deadline_exceeded.fetch_add(1);
-    if (ran_pipeline) RecordRunSeconds(run_s);
+    if (ran_pipeline) RecordRunSeconds(ticket->admission_key_, run_s);
   } else {
     counters_->completed.fetch_add(1);
     // Solver split (completed == exact + degraded): OK results marked
@@ -633,14 +854,138 @@ void Explain3DService::Process(const TicketPtr& ticket) {
     }
     if (!outcome.ok()) {
       counters_->failed.fetch_add(1);
-      if (ran_pipeline) RecordRunSeconds(run_s);
+      if (ran_pipeline) RecordRunSeconds(ticket->admission_key_, run_s);
     } else {
-      RecordLatencies(ticket->priority_, queue_s,
+      RecordLatencies(ticket->admission_key_, ticket->priority_, queue_s,
                       outcome.value().stage1_seconds(),
                       outcome.value().stage2_seconds(), total_s, run_s);
     }
   }
-  ticket->Complete(std::move(outcome));
+  if (!ticket->coalesce_key_.empty()) {
+    bool share = ran_pipeline && !interrupted;
+    // Fan out before completing the leader (the shared outcome is moved
+    // into the leader's ticket below); followers copy the Result shell,
+    // not the artifacts — PipelineResult shares its blocks by pointer.
+    if (share) FanOutShared(ticket, outcome);
+    ticket->Complete(std::move(outcome));
+    if (!share) ResolveOrPromoteFollowers(ticket);
+  } else {
+    ticket->Complete(std::move(outcome));
+  }
+}
+
+void Explain3DService::FanOutShared(const TicketPtr& leader,
+                                    const Result<PipelineResult>& outcome) {
+  std::vector<TicketPtr> followers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = coalesce_groups_.find(leader->coalesce_key_);
+    if (it == coalesce_groups_.end() ||
+        it->second.leader.get() != leader.get()) {
+      return;  // the group is gone (shutdown drained it)
+    }
+    followers = std::move(it->second.followers);
+    coalesce_groups_.erase(it);
+  }
+  for (const TicketPtr& f : followers) {
+    if (f->done()) continue;
+    // Per-ticket independence: a follower whose OWN token fired resolves
+    // its own terminal status, never the shared result.
+    if (Status fired = CheckCancel(f->token_.get()); !fired.ok()) {
+      ResolveFollowerTerminal(f, fired);
+      continue;
+    }
+    f->CompleteIfQueued(outcome, [this, &outcome] {
+      // A whole stage-1 build + solve that never ran. Classified by the
+      // SHARED result, in the same buckets a solo run would use.
+      counters_->coalesced_hits.fetch_add(1);
+      counters_->completed.fetch_add(1);
+      if (outcome.ok() && outcome.value().degraded()) {
+        counters_->degraded.fetch_add(1);
+      } else {
+        counters_->exact.fetch_add(1);
+      }
+      if (!outcome.ok()) counters_->failed.fetch_add(1);
+    });
+  }
+}
+
+void Explain3DService::ResolveOrPromoteFollowers(const TicketPtr& leader) {
+  std::vector<TicketPtr> followers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = coalesce_groups_.find(leader->coalesce_key_);
+    if (it == coalesce_groups_.end() ||
+        it->second.leader.get() != leader.get()) {
+      return;
+    }
+    followers = std::move(it->second.followers);
+    coalesce_groups_.erase(it);
+  }
+  // The leader died with nothing shareable (its own cancel/deadline, or
+  // a stale handle). Fired followers resolve their own status; the
+  // oldest live one becomes a fresh leader, re-enqueued into its band
+  // with the rest carried over as its followers.
+  TicketPtr promoted;
+  std::vector<TicketPtr> rest;
+  for (const TicketPtr& f : followers) {
+    if (f->done()) continue;
+    if (Status fired = CheckCancel(f->token_.get()); !fired.ok()) {
+      ResolveFollowerTerminal(f, fired);
+      continue;
+    }
+    if (promoted == nullptr) {
+      promoted = f;
+    } else {
+      rest.push_back(f);
+    }
+  }
+  if (promoted == nullptr) return;
+  bool spawn = false;
+  std::vector<TicketPtr> orphans;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      orphans.push_back(promoted);
+      orphans.insert(orphans.end(), rest.begin(), rest.end());
+    } else {
+      CoalesceGroup& group = coalesce_groups_[promoted->coalesce_key_];
+      if (group.leader != nullptr) {
+        // A brand-new identical Submit claimed the key between the old
+        // leader's death and this promotion: attach everyone to it
+        // instead of running the work twice.
+        group.followers.push_back(promoted);
+        group.followers.insert(group.followers.end(), rest.begin(),
+                               rest.end());
+      } else {
+        group.leader = promoted;
+        group.followers = std::move(rest);
+        // Re-enqueue outside any quota test: promotion is not a new
+        // submit — the follower was admitted when it attached.
+        EnqueueLocked(promoted);
+        if (active_runners_ < max_concurrency_) {
+          ++active_runners_;
+          spawn = true;
+        }
+      }
+    }
+  }
+  for (const TicketPtr& t : orphans) t->Cancel();
+  if (spawn) SharedPool().Submit([this] { RunnerLoop(); });
+}
+
+void Explain3DService::ResolveFollowerTerminal(const TicketPtr& follower,
+                                               const Status& fired) {
+  if (fired.code() == StatusCode::kCancelled) {
+    follower->CompleteIfQueued(
+        Result<PipelineResult>(fired),
+        [this] { counters_->cancelled.fetch_add(1); });
+  } else {
+    follower->CompleteIfQueued(
+        Result<PipelineResult>(Status::DeadlineExceeded(
+            "deadline expired while awaiting a coalesced result")),
+        [this] { counters_->deadline_exceeded.fetch_add(1); });
+  }
 }
 
 void Explain3DService::WatchdogLoop() {
@@ -650,11 +995,15 @@ void Explain3DService::WatchdogLoop() {
     // outside it — Check can take the token's own lock on first deadline
     // discovery, and this thread must never nest that under mu_.
     std::vector<std::shared_ptr<CancelToken>> tokens;
+    std::vector<TicketPtr> followers;
     {
       std::lock_guard<std::mutex> lock(mu_);
       tokens.reserve(running_tickets_.size());
       for (const TicketPtr& t : running_tickets_) {
         tokens.push_back(t->token_);
+      }
+      for (const auto& [key, group] : coalesce_groups_) {
+        for (const TicketPtr& f : group.followers) followers.push_back(f);
       }
     }
     for (const std::shared_ptr<CancelToken>& token : tokens) {
@@ -667,6 +1016,17 @@ void Explain3DService::WatchdogLoop() {
       if (!token->Check().ok() && !was_fired) {
         watchdog_fires_.fetch_add(1);
       }
+    }
+    // Coalesced followers have no worker polling their token: this
+    // sweep is what turns an expired follower deadline into a terminal
+    // ticket while the shared run is still in flight.
+    for (const TicketPtr& f : followers) {
+      if (f->done() || f->token_ == nullptr) continue;
+      bool was_fired = f->token_->fired_event().HasBeenNotified();
+      Status fired = f->token_->Check();
+      if (fired.ok()) continue;
+      if (!was_fired) watchdog_fires_.fetch_add(1);
+      ResolveFollowerTerminal(f, fired);
     }
   }
 }
@@ -733,7 +1093,8 @@ void Explain3DService::RefreshRunP50Locked() {
   run_p50_.store(*mid, std::memory_order_relaxed);
 }
 
-void Explain3DService::RecordRunSeconds(double run_s) {
+void Explain3DService::RecordRunSeconds(const std::string& admission_key,
+                                        double run_s) {
   // Interrupted and failed runs feed the estimator too — their run time
   // is a LOWER bound on the work's true cost, which is exactly the
   // direction admission control must learn from. Skipping them would
@@ -743,10 +1104,12 @@ void Explain3DService::RecordRunSeconds(double run_s) {
   // job is reporting healthy latency, not cost estimation).
   std::lock_guard<std::mutex> lock(stats_mu_);
   lat_run_.Add(run_s, kLatencyWindow);
+  AddKeyedRunLocked(admission_key, run_s);
   RefreshRunP50Locked();
 }
 
-void Explain3DService::RecordLatencies(int priority, double queue_s,
+void Explain3DService::RecordLatencies(const std::string& admission_key,
+                                       int priority, double queue_s,
                                        double stage1_s, double stage2_s,
                                        double total_s, double run_s) {
   std::lock_guard<std::mutex> lock(stats_mu_);
@@ -758,17 +1121,68 @@ void Explain3DService::RecordLatencies(int priority, double queue_s,
   // Per-band rings are bounded: priorities are meant to be a handful of
   // service levels, and a caller feeding arbitrary ints (a counter, a
   // timestamp) must not grow the service's footprint forever. Bands
-  // past the cap keep full accounting in the global rings above; only
-  // the per-band latency slice is dropped.
+  // past the cap aggregate into one overflow ring — surfaced as the
+  // kOverflowBand slice with bands_truncated raised — instead of being
+  // silently dropped; global accounting above stays exact either way.
   auto band = lat_priority_.find(priority);
   if (band != lat_priority_.end()) {
     band->second.Add(total_s, kLatencyWindow);
   } else if (lat_priority_.size() < kMaxTrackedBands) {
     lat_priority_[priority].Add(total_s, kLatencyWindow);
+  } else {
+    bands_truncated_ = true;
+    lat_overflow_.Add(total_s, kLatencyWindow);
   }
+  AddKeyedRunLocked(admission_key, run_s);
   // Refresh the admission controller's run-time estimate (median of the
   // current window; the window is small, nth_element is microseconds).
   RefreshRunP50Locked();
+}
+
+double Explain3DService::KeyedRunP50(const std::string& key) {
+  if (key.empty()) return 0;
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  auto it = keyed_runs_.find(key);
+  if (it == keyed_runs_.end()) return 0;
+  // A lookup is a use: keys under active admission pressure stay
+  // resident even while their completions are still rare.
+  it->second.last_use = ++keyed_clock_;
+  if (it->second.ring.samples.size() < kKeyedMinSamples) return 0;
+  return it->second.p50;
+}
+
+void Explain3DService::AddKeyedRunLocked(const std::string& key,
+                                         double run_s) {
+  if (key.empty()) return;
+  auto it = keyed_runs_.find(key);
+  if (it == keyed_runs_.end()) {
+    if (keyed_runs_.size() >= kKeyedCapacity) {
+      // Evict the least-recently-used key. The capacity is small and
+      // insertions past it are rare (a workload's key set is bounded by
+      // its distinct (db-pair, config) combinations), so a linear scan
+      // beats maintaining a second index.
+      auto lru = keyed_runs_.begin();
+      for (auto i = keyed_runs_.begin(); i != keyed_runs_.end(); ++i) {
+        if (i->second.last_use < lru->second.last_use) lru = i;
+      }
+      keyed_runs_.erase(lru);
+    }
+    it = keyed_runs_.emplace(key, KeyedRuns{}).first;
+  }
+  KeyedRuns& runs = it->second;
+  runs.ring.Add(run_s, kKeyedWindow);
+  // The keyed window is tiny (kKeyedWindow samples): recompute the p50
+  // on every add so the estimate tracks the workload immediately.
+  std::vector<double> sorted = runs.ring.samples;
+  auto mid = sorted.begin() + static_cast<long>(sorted.size() / 2);
+  std::nth_element(sorted.begin(), mid, sorted.end());
+  runs.p50 = *mid;
+  runs.last_use = ++keyed_clock_;
+}
+
+double Explain3DService::EstimateRunSeconds(const std::string& admission_key) {
+  double keyed = KeyedRunP50(admission_key);
+  return keyed > 0 ? keyed : run_p50_.load(std::memory_order_relaxed);
 }
 
 // --- persistence tier -------------------------------------------------------
@@ -897,8 +1311,10 @@ ServiceStats Explain3DService::Stats() const {
     // backlog.
     for (const auto& [priority, band] : bands_) {
       size_t depth = 0;
-      for (const TicketPtr& t : band) {
-        if (!t->done()) ++depth;
+      for (const auto& [client, queue] : band.clients) {
+        for (const TicketPtr& t : queue) {
+          if (!t->done()) ++depth;
+        }
       }
       s.priority_bands[priority].queue_depth = depth;
       s.queue_depth += depth;
@@ -915,6 +1331,8 @@ ServiceStats Explain3DService::Stats() const {
   s.cancelled = counters_->cancelled.load();
   s.deadline_exceeded = counters_->deadline_exceeded.load();
   s.rejected = counters_->rejected.load();
+  s.quota_rejected = counters_->quota_rejected.load();
+  s.coalesced_hits = counters_->coalesced_hits.load();
   s.failed = counters_->failed.load();
   s.completed_exact = counters_->exact.load();
   s.completed_degraded = counters_->degraded.load();
@@ -931,6 +1349,11 @@ ServiceStats Explain3DService::Stats() const {
     s.run_seconds = Summarize(lat_run_.samples);
     for (const auto& [priority, ring] : lat_priority_) {
       s.priority_bands[priority].total_seconds = Summarize(ring.samples);
+    }
+    s.bands_truncated = bands_truncated_;
+    if (bands_truncated_) {
+      s.priority_bands[ServiceStats::kOverflowBand].total_seconds =
+          Summarize(lat_overflow_.samples);
     }
   }
   s.cache_entries = cache_.size();

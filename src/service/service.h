@@ -15,10 +15,18 @@
 //   * the stage-1 cache — one MatchingContext keyed on
 //     (db-pair content identity, query pair, attr, blocking), LRU-
 //     evicted under ServiceOptions::cache_budget_bytes;
-//   * the workers — requests queue by priority (FIFO within a band,
-//     with an anti-starvation escape hatch) and run on the process-wide
-//     SharedPool, at most max_concurrency at a time, each producing a
-//     result bit-identical to a serial RunExplain3D of the same request;
+//   * the workers — requests queue by priority and run on the
+//     process-wide SharedPool, at most max_concurrency at a time, each
+//     producing a result bit-identical to a serial RunExplain3D of the
+//     same request. Within a band, clients (SubmitOptions::client_id)
+//     are drained round-robin with optional per-client quotas, so one
+//     flooding tenant cannot starve the rest, and an anti-starvation
+//     escape hatch bounds cross-band starvation;
+//   * the request-coalescing layer — concurrent IDENTICAL requests
+//     (same data contents, queries, labels, and result-affecting
+//     config; see RequestResultKey) share one computation, and every
+//     ticket resolves from the shared PipelineResult zero-copy
+//     (ServiceOptions::enable_coalescing);
 //   * optionally, the persistence tier (storage/artifact_store.h) —
 //     with ServiceOptions::persist_dir set, artifacts and incumbents are
 //     written behind the serving path into a crash-consistent on-disk
@@ -49,6 +57,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -149,8 +158,18 @@ struct SubmitOptions {
   /// ServiceOptions::starvation_every. Meant to be a small set of
   /// service levels (interactive / batch / background …), not a
   /// per-request value: per-band latency stats track at most the first
-  /// 64 distinct values (global stats always cover everything).
+  /// 64 distinct values (global stats aggregate the overflow into the
+  /// ServiceStats::kOverflowBand sentinel).
   int priority = 0;
+  /// Identity of the submitting tenant; "" (default) is itself one
+  /// client. Within a priority band clients are drained round-robin
+  /// (unit-quantum DRR — every request weighs one), so a flooding tenant
+  /// delays another client's next request by at most one in-flight run;
+  /// ServiceOptions::per_client_max_inflight / per_client_max_queued
+  /// bound a single client's footprint (exceeding the queue quota
+  /// resolves the ticket kResourceExhausted). Scheduling only — never
+  /// affects results.
+  std::string client_id;
 };
 
 /// Lifecycle counters shared by the service and its tickets (tickets
@@ -160,18 +179,29 @@ struct SubmitOptions {
 /// Wait() always observes its own request already counted. Every
 /// submitted request lands in exactly one terminal bucket:
 ///   submitted == completed + cancelled + deadline_exceeded + rejected
+///                + quota_rejected
 /// once all tickets are terminal, and every completion is classified by
 /// which solver produced it:
 ///   completed == exact + degraded
 /// (degraded = OK results marked PipelineResult::degraded(); everything
-/// else, including failed completions, counts as exact). The stress
-/// suite asserts both balances.
+/// else, including failed completions, counts as exact — coalesced
+/// followers classify by the shared result). The stress suite asserts
+/// both balances.
 struct ServiceCounters {
   std::atomic<size_t> submitted{0};
   std::atomic<size_t> completed{0};
   std::atomic<size_t> cancelled{0};
   std::atomic<size_t> deadline_exceeded{0};
   std::atomic<size_t> rejected{0};  ///< refused at admission (kUnavailable)
+  /// Refused at a per-client quota (kResourceExhausted) — deliberately
+  /// NOT part of `rejected`: admission rejects mean the SERVICE is
+  /// predictably too slow for the deadline, quota rejects mean one
+  /// CLIENT is over its share; operators react to them differently.
+  std::atomic<size_t> quota_rejected{0};
+  /// Tickets resolved from another identical request's shared
+  /// computation (request coalescing). A subset of the terminal buckets
+  /// above (usually completed), never an extra bucket.
+  std::atomic<size_t> coalesced_hits{0};
   std::atomic<size_t> failed{0};    ///< subset of completed (non-OK result)
   std::atomic<size_t> exact{0};     ///< completed via the exact solver
   std::atomic<size_t> degraded{0};  ///< completed OK via the greedy fallback
@@ -238,10 +268,28 @@ class RequestTicket {
   /// lock; at most one completion ever happens (claim logic guarantees).
   void Complete(Result<PipelineResult> result);
 
+  /// Conditional completion for coalesced followers, which have no
+  /// single completing owner: the leader's fan-out, the watchdog's
+  /// deadline sweep, and a user Cancel() all race, and whoever finds the
+  /// ticket still kQueued wins. Runs `on_win` (the winner's counter
+  /// bumps) after the state transition but BEFORE waiters release, so a
+  /// caller woken by Wait() always sees its request already counted.
+  /// Returns whether this call won.
+  bool CompleteIfQueued(Result<PipelineResult> result,
+                        const std::function<void()>& on_win);
+
   mutable std::mutex mu_;
   State state_ = State::kQueued;
   ExplanationRequest request_;
   int priority_ = 0;      ///< SubmitOptions::priority
+  std::string client_id_;  ///< SubmitOptions::client_id (quota/DRR key)
+  /// RequestResultKey of an oracle-free request under coalescing; empty
+  /// = never coalesces. Non-empty means this ticket is (or was) a
+  /// coalescing leader or follower under that key.
+  std::string coalesce_key_;
+  /// (db-identity, stage-2 config tag) — the keyed admission estimate's
+  /// bucket; empty when the handles did not resolve at Submit.
+  std::string admission_key_;
   uint64_t seq_ = 0;      ///< global FIFO order (anti-starvation key)
   std::chrono::steady_clock::time_point submit_time_;
   std::optional<Result<PipelineResult>> result_;  ///< set before done_
@@ -303,6 +351,12 @@ struct ServiceStats {
   /// it is a property of the work, not of scheduling.
   size_t deadline_exceeded = 0;
   size_t rejected = 0;   ///< refused at admission, never queued or run
+  /// Refused at a per-client quota (kResourceExhausted), accounted
+  /// separately from admission rejects (see ServiceCounters).
+  size_t quota_rejected = 0;
+  /// Tickets resolved from a coalesced leader's shared computation —
+  /// each hit is a whole stage-1 build + solve that never ran.
+  size_t coalesced_hits = 0;
   size_t failed = 0;     ///< completed with a non-OK pipeline status
   /// Completion split by solver: completed == completed_exact +
   /// completed_degraded (see ServiceCounters).
@@ -328,8 +382,19 @@ struct ServiceStats {
   size_t running = 0;      ///< claimed, pipeline in flight
   size_t registered_databases = 0;
   /// Queue depth and completion latency sliced by SubmitOptions::priority
-  /// (bands appear once a request was submitted at that priority).
+  /// (bands appear once a request was submitted at that priority). At
+  /// most the first 64 distinct priorities get their own slice;
+  /// completions of every band past the cap aggregate under the
+  /// kOverflowBand sentinel key instead of being dropped, with
+  /// bands_truncated raised.
   std::map<int, PriorityBandStats> priority_bands;
+  /// Sentinel priority_bands key of the overflow aggregate (INT_MIN —
+  /// reserved; submitting AT this priority folds into the same slice).
+  static constexpr int kOverflowBand = std::numeric_limits<int>::min();
+  /// True once any completion landed in a band past the tracked-band
+  /// cap — the priority_bands map is lossy from then on (the overflow
+  /// slice aggregates, global stats stay exact).
+  bool bands_truncated = false;
   // Stage-1 cache (MatchingContext passthrough).
   size_t cache_entries = 0;
   size_t cache_bytes = 0;
@@ -376,6 +441,36 @@ struct ServiceOptions {
   /// (requests ahead of it in submit order) × k claims. 0 = strict
   /// priority (starvation possible under sustained high-priority load).
   size_t starvation_every = 8;
+  /// Per-client cap on requests RUNNING concurrently (by
+  /// SubmitOptions::client_id); 0 = unlimited. A client at its cap is
+  /// skipped by the scheduler — its queued work waits while other
+  /// clients' requests claim the free workers — never rejected for it.
+  size_t per_client_max_inflight = 0;
+  /// Per-client cap on requests sitting QUEUED (claimed and coalesced
+  /// ones don't count); 0 = unlimited. A submit past the cap resolves
+  /// kResourceExhausted immediately (ServiceStats::quota_rejected) —
+  /// the flooding client is told to back off while everyone else's
+  /// traffic is untouched. Tickets cancelled while queued count against
+  /// their client until a worker reaps them (errs toward rejecting the
+  /// flooder sooner).
+  size_t per_client_max_queued = 0;
+  /// Coalesce concurrent identical requests onto one computation: a
+  /// Submit whose RequestResultKey (pipeline.h — database contents,
+  /// queries, attribute match, labels, and every result-affecting config
+  /// knob) matches a request currently queued or running attaches as a
+  /// FOLLOWER: it occupies no queue slot, no worker, and no quota, and
+  /// resolves from the leader's PipelineResult (a zero-copy artifact
+  /// share — bit-identical to running it alone, counted in
+  /// ServiceStats::coalesced_hits). Per-ticket independence is kept: a
+  /// follower's own deadline/cancel resolves just that follower, and a
+  /// leader terminated by ITS deadline/cancel (or a stale handle)
+  /// promotes the oldest live follower to a fresh leader instead of
+  /// failing the group. Requests with a calibration_oracle never
+  /// coalesce (a closure has no comparable identity). One caveat: a
+  /// follower shares the leader's DEGRADED result when budgets
+  /// interrupt the shared run — acceptable for the anytime contract,
+  /// set false where that matters.
+  bool enable_coalescing = true;
   /// Destruction policy for IN-FLIGHT requests. false (default):
   /// running pipelines drain to completion — their real results arrive,
   /// but with unbounded solves (milp_time_limit_seconds 0 and no
@@ -399,11 +494,14 @@ struct ServiceOptions {
   ///     ÷ max_concurrency
   /// — plus the request's own run (charged at p50) is compared against
   /// the deadline; past it, the ticket resolves kUnavailable
-  /// immediately. The p50 is fleet-wide, so an atypically fast request
-  /// may be rejected conservatively under backlog. Rejected requests
-  /// never touch the cache or the latency histograms. No estimate is
-  /// available until a first request completes (such requests are
-  /// admitted). false = always queue.
+  /// immediately. The p50 is KEYED: a small LRU of per-(db-identity,
+  /// stage-2-config-tag) latency rings prices the request actually
+  /// submitted, so one slow cold-build pair can no longer poison
+  /// admission for every fast warm tenant; while a key is cold (< 3
+  /// completions) or the handles don't resolve, the fleet-wide ring is
+  /// the fallback. Rejected requests never touch the cache or the
+  /// latency histograms. No estimate is available until a first request
+  /// completes (such requests are admitted). false = always queue.
   bool admission_control = true;
   /// Poll cadence of the wall-clock watchdog thread, which walks the
   /// RUNNING tickets' tokens and Check()s them — a deadline that expired
@@ -568,10 +666,36 @@ class Explain3DService {
     void Add(double v, size_t window);
   };
 
+  /// One coalescing group: the leader computation plus the followers
+  /// awaiting its result. Lives in coalesce_groups_ (guarded by mu_)
+  /// from the leader's enqueue until its terminal fan-out/promotion.
+  struct CoalesceGroup {
+    TicketPtr leader;
+    std::vector<TicketPtr> followers;  ///< attach order = promotion order
+  };
+
   /// Worker body: drain the queue until empty or shutdown.
   void RunnerLoop();
   /// Runs one claimed ticket end to end (including its retry loop).
   void Process(const TicketPtr& ticket);
+  /// Pushes an admitted ticket into its band's per-client queue and
+  /// bumps the queue accounting. Caller holds mu_.
+  void EnqueueLocked(const TicketPtr& ticket);
+  /// Completes every follower of `leader`'s group from the shared
+  /// `outcome` (fired followers resolve their own cancel/deadline
+  /// instead) and retires the group. Called by the completing worker.
+  void FanOutShared(const TicketPtr& leader,
+                    const Result<PipelineResult>& outcome);
+  /// Leader terminated with nothing shareable (its own cancel/deadline,
+  /// or a stale handle): resolve fired followers, promote the oldest
+  /// live one to a fresh leader (re-enqueued into its band), and carry
+  /// the rest over as its followers.
+  void ResolveOrPromoteFollowers(const TicketPtr& leader);
+  /// Completes one follower whose OWN token fired (`fired` is the
+  /// token's status) with the matching terminal status, if it still
+  /// pends; counts the winning bucket.
+  void ResolveFollowerTerminal(const TicketPtr& follower,
+                               const Status& fired);
   /// Watchdog body: periodically Check() the running tickets' tokens so
   /// expired deadlines fire even when cooperative polls stall.
   void WatchdogLoop();
@@ -584,9 +708,12 @@ class Explain3DService {
   /// Slides one claimed run's transient-failure flag into the health
   /// window (takes mu_).
   void NoteRunTransient(bool transient);
-  /// Pops the next ticket per the scheduling policy (highest band FIFO,
-  /// anti-starvation every k-th claim). Caller holds mu_; queue must be
-  /// non-empty.
+  /// Pops the next ticket per the scheduling policy: highest band
+  /// first, round-robin across that band's clients (unit-quantum DRR),
+  /// FIFO within a client, anti-starvation every k-th claim, skipping
+  /// clients at their inflight quota. Returns nullptr when every queued
+  /// ticket's owner is at quota (the caller parks; a finishing run of a
+  /// capped client re-pops). Caller holds mu_; queue must be non-empty.
   TicketPtr PopLocked();
   /// Resolves a handle to a keep-alive database reference + content tag.
   Result<ResolvedDb> ResolveHandle(const DatabaseHandle& handle) const;
@@ -600,15 +727,28 @@ class Explain3DService {
   /// Inserts a store's committed contents into the cache (dirty=false).
   /// Counts into restored_*; shared by the constructor and RestoreFrom.
   Status LoadStoreIntoCache(const storage::ArtifactStore& store);
-  /// Appends one successful request's latencies to the rings and
+  /// Appends one successful request's latencies to the rings (global,
+  /// per-band, and the keyed admission ring of `admission_key`) and
   /// refreshes the cached p50 run time the admission controller reads.
-  void RecordLatencies(int priority, double queue_s, double stage1_s,
-                       double stage2_s, double total_s, double run_s);
-  /// Feeds ONLY the run-time series (interrupted/failed runs: their
-  /// truncated run is a lower bound the admission estimator must see).
-  void RecordRunSeconds(double run_s);
+  void RecordLatencies(const std::string& admission_key, int priority,
+                       double queue_s, double stage1_s, double stage2_s,
+                       double total_s, double run_s);
+  /// Feeds ONLY the run-time series, global + keyed (interrupted/failed
+  /// runs: their truncated run is a lower bound the estimator must see).
+  void RecordRunSeconds(const std::string& admission_key, double run_s);
   /// Recomputes run_p50_ from lat_run_. Caller holds stats_mu_.
   void RefreshRunP50Locked();
+  /// The keyed run-p50 of `key`, or 0 while that key is cold (fewer
+  /// than kKeyedMinSamples completions) — callers fall back to the
+  /// global run_p50_. Takes stats_mu_; never call under mu_.
+  double KeyedRunP50(const std::string& key);
+  /// Feeds one run sample into `key`'s ring, LRU-evicting past
+  /// kKeyedCapacity. Caller holds stats_mu_; empty keys are ignored.
+  void AddKeyedRunLocked(const std::string& key, double run_s);
+  /// The admission run-time estimate for a request: its keyed p50 when
+  /// warm, else the fleet-wide p50 (0 before any completion). Takes
+  /// stats_mu_ via KeyedRunP50 — never call under mu_.
+  double EstimateRunSeconds(const std::string& admission_key);
 
   const ServiceOptions options_;
   const size_t max_concurrency_;
@@ -619,12 +759,35 @@ class Explain3DService {
   std::unordered_map<std::string, DbSlot> registry_;
   uint64_t next_db_id_ = 1;
 
+  /// One priority band: per-client FIFO queues drained round-robin
+  /// (deficit round robin with a unit quantum — every request weighs
+  /// one, so the deficit counters degenerate away; one client
+  /// degenerates further to the old global FIFO). Cancelled tickets
+  /// stay in place as dead weight until popped and skipped.
+  struct Band {
+    std::map<std::string, std::deque<TicketPtr>> clients;
+    /// Client served last; the next claim starts strictly after it
+    /// (wrapping), so clients take turns regardless of queue depths.
+    std::string last_client;
+    size_t size = 0;  ///< total tickets across clients
+  };
+
   // Scheduler + worker accounting. Bands are keyed highest-priority
-  // first; each deque is FIFO (front = oldest). Cancelled tickets stay
-  // in place as dead weight until popped and skipped.
+  // first.
   mutable std::mutex mu_;
-  std::map<int, std::deque<TicketPtr>, std::greater<int>> bands_;
+  std::map<int, Band, std::greater<int>> bands_;
   size_t queued_tickets_ = 0;  ///< total tickets across bands_
+  /// Per-client gauges behind the quotas: tickets queued (decremented
+  /// at pop — cancelled dead weight counts until reaped) and claimed
+  /// runs in flight. Entries erased at zero.
+  std::unordered_map<std::string, size_t> client_queued_;
+  std::unordered_map<std::string, size_t> client_inflight_;
+  /// Live coalescing groups by RequestResultKey (guarded by mu_): a
+  /// group exists exactly while its leader is queued or running, so an
+  /// identical oracle-free Submit in that window attaches as a
+  /// follower. Erased at the leader's terminal fan-out/promotion and at
+  /// destruction.
+  std::unordered_map<std::string, CoalesceGroup> coalesce_groups_;
   uint64_t next_seq_ = 1;      ///< global submit order (ticket seq_)
   uint64_t claims_ = 0;        ///< pops so far (anti-starvation cadence)
   size_t active_runners_ = 0;
@@ -674,6 +837,25 @@ class Explain3DService {
   static constexpr size_t kMaxTrackedBands = 64;
   LatencyRing lat_queue_, lat_stage1_, lat_stage2_, lat_total_, lat_run_;
   std::map<int, LatencyRing> lat_priority_;  ///< total_seconds per band
+  /// Aggregate ring of every completion whose band is past the
+  /// kMaxTrackedBands cap — surfaced as the ServiceStats::kOverflowBand
+  /// slice instead of silently dropping the counts.
+  LatencyRing lat_overflow_;
+  bool bands_truncated_ = false;  ///< any overflow-band completion yet
+  /// Keyed admission estimates (guarded by stats_mu_): per-(db-identity,
+  /// stage-2-config-tag) run-time rings behind an LRU cap. The keyed p50
+  /// prices the request actually submitted; the global run_p50_ is the
+  /// cold-key fallback.
+  struct KeyedRuns {
+    LatencyRing ring;
+    double p50 = 0;         ///< refreshed on every Add (window is small)
+    uint64_t last_use = 0;  ///< LRU clock value (keyed_clock_)
+  };
+  static constexpr size_t kKeyedWindow = 64;
+  static constexpr size_t kKeyedCapacity = 256;
+  static constexpr size_t kKeyedMinSamples = 3;
+  std::unordered_map<std::string, KeyedRuns> keyed_runs_;
+  uint64_t keyed_clock_ = 0;
   /// Cached p50 of run_seconds — the admission controller's cost model
   /// (read lock-free on the Submit path; 0 until a first completion).
   /// Refreshed every kRefreshStride samples once the window is warm.

@@ -121,25 +121,40 @@ Status ArtifactStore::LoadManifest() {
 
 Status ArtifactStore::RecoverCommitLog() {
   const std::string path = PathOf(kCommitLogName);
-  if (!FileExists(path)) return Status::OK();
-  E3D_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(path));
-  // Records: {u32 length, u64 checksum, payload}. Scan forward; the
-  // first record that does not parse or verify is a torn tail from a
-  // crashed append — truncate the log back to the last good record.
-  size_t good = 0;
-  size_t pos = 0;
-  while (bytes.size() - pos >= 12) {
-    uint32_t len = 0;
-    uint64_t checksum = 0;
-    std::memcpy(&len, bytes.data() + pos, 4);
-    std::memcpy(&checksum, bytes.data() + pos + 4, 8);
-    if (len > bytes.size() - pos - 12) break;
-    if (Checksum64(bytes.data() + pos + 12, len) != checksum) break;
-    pos += 12 + len;
-    good = pos;
+  if (FileExists(path)) {
+    E3D_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes, ReadFileBytes(path));
+    // Records: {u32 length, u64 checksum, payload}. Scan forward; the
+    // first record that does not parse or verify is a torn tail from a
+    // crashed append — truncate the log back to the last good record.
+    size_t good = 0;
+    size_t pos = 0;
+    while (bytes.size() - pos >= 12) {
+      uint32_t len = 0;
+      uint64_t checksum = 0;
+      std::memcpy(&len, bytes.data() + pos, 4);
+      std::memcpy(&checksum, bytes.data() + pos + 4, 8);
+      if (len > bytes.size() - pos - 12) break;
+      if (Checksum64(bytes.data() + pos + 12, len) != checksum) break;
+      if (len >= 8) {
+        std::memcpy(&log_seq_, bytes.data() + pos + 12, 8);
+      }
+      pos += 12 + len;
+      good = pos;
+    }
+    if (good != bytes.size()) {
+      E3D_RETURN_IF_ERROR(WriteFileAtomic(path, bytes.data(), good));
+    }
   }
-  if (good == bytes.size()) return Status::OK();
-  return WriteFileAtomic(path, bytes.data(), good);
+  // Reconcile the audit trail with the source of truth: the record is
+  // appended AFTER the manifest rename, so a crash in that window (or a
+  // lost brand-new log file) leaves the log one commit behind — or gone
+  // entirely — for a commit that WAS acked. Re-synthesize the missing
+  // record from the manifest; intermediate lost history is gone for
+  // good, but the log's tail always names the committed state.
+  if (commit_seq_ > 0 && log_seq_ < commit_seq_) {
+    return AppendCommitRecord();
+  }
+  return Status::OK();
 }
 
 Status ArtifactStore::PutArtifacts(const std::string& key,
@@ -191,8 +206,14 @@ Status ArtifactStore::Commit() {
   commit_seq_ = next_seq;
   staged_.clear();
 
-  // Audit record; appended after the commit point, so a failure here
-  // (crash or injected fault) loses only log history, never state.
+  // Audit record; appended (durably — file and directory entry are both
+  // fsynced) after the commit point, so a failure here loses only log
+  // history, never state — and the next Open re-synthesizes the record
+  // from the manifest (RecoverCommitLog).
+  return AppendCommitRecord();
+}
+
+Status ArtifactStore::AppendCommitRecord() {
   ByteWriter w;
   w.PutU64(commit_seq_);
   w.PutU32(static_cast<uint32_t>(manifest_.size()));
@@ -206,7 +227,10 @@ Status ArtifactStore::Commit() {
   if (!payload.empty()) {
     std::memcpy(record.data() + 12, payload.data(), payload.size());
   }
-  return AppendToFile(PathOf(kCommitLogName), record.data(), record.size());
+  E3D_RETURN_IF_ERROR(AppendToFile(PathOf(kCommitLogName), record.data(),
+                                   record.size()));
+  log_seq_ = commit_seq_;
+  return Status::OK();
 }
 
 Result<std::vector<DecodedArtifacts>> ArtifactStore::LoadAllArtifacts()
@@ -281,6 +305,7 @@ Result<size_t> ArtifactStore::GarbageCollect() {
 Result<StoreInfo> ArtifactStore::Info() const {
   StoreInfo info;
   info.commit_seq = commit_seq_;
+  info.log_seq = log_seq_;
   for (const auto& [name, e] : manifest_) info.files.push_back(e);
   E3D_ASSIGN_OR_RETURN(std::vector<std::string> names,
                        ListDirectoryFiles(dir_));

@@ -6,8 +6,14 @@
 //                   replaced only by atomic rename — the commit point.
 //   commit.log      append-only history of commits (checksummed records;
 //                   a torn tail from a crash mid-append is detected and
-//                   truncated on open). Diagnostic/audit trail; the
-//                   manifest is the source of truth.
+//                   truncated on open). Audit trail; the manifest is the
+//                   source of truth. Appends are fsynced (file AND
+//                   directory entry), and open reconciles the log with
+//                   the manifest: when a crash lost the record of an
+//                   acked commit (the append lands after the rename
+//                   commit point), the missing record is re-synthesized
+//                   from the manifest, so a reopened store always has
+//                   last_log_seq() == commit_seq().
 //   art-<hex>.e3ds  one Stage1Artifacts snapshot (storage/snapshot.h),
 //                   named by the checksum of its cache key.
 //   incumbents.e3di the solver-incumbent records, rewritten per commit.
@@ -55,6 +61,7 @@ struct ManifestEntry {
 /// Inspection summary (the CLI `inspect` path).
 struct StoreInfo {
   uint64_t commit_seq = 0;              ///< last committed sequence number
+  uint64_t log_seq = 0;                 ///< last commit-log record's sequence
   std::vector<ManifestEntry> files;     ///< committed files, manifest order
   size_t orphan_files = 0;              ///< on-disk files not in the manifest
 };
@@ -104,16 +111,25 @@ class ArtifactStore {
 
   const std::string& dir() const { return dir_; }
   uint64_t commit_seq() const { return commit_seq_; }
+  /// Sequence number of the last commit-log record (0 with no log).
+  /// Open() reconciles the log against the manifest, so on a freshly
+  /// opened store this always equals commit_seq() — the crash-sweep
+  /// test's log/manifest-agreement assertion.
+  uint64_t last_log_seq() const { return log_seq_; }
 
  private:
   explicit ArtifactStore(std::string dir) : dir_(std::move(dir)) {}
 
   Status LoadManifest();
   Status RecoverCommitLog();
+  /// Encodes + appends the audit record of the CURRENT committed state
+  /// (commit_seq_, manifest_ file list); advances log_seq_ on success.
+  Status AppendCommitRecord();
   std::string PathOf(const std::string& file) const;
 
   std::string dir_;
   uint64_t commit_seq_ = 0;
+  uint64_t log_seq_ = 0;  ///< seq of the last good commit-log record
   /// Committed state: file name -> {size, checksum}.
   std::map<std::string, ManifestEntry> manifest_;
   /// Staged but uncommitted artifact files (already on disk, unnamed by

@@ -162,7 +162,13 @@ Status AppendToFile(const std::string& path, const void* data, size_t len) {
     }
   }
   ::close(fd);
-  return st;
+  E3D_RETURN_IF_ERROR(st);
+  // The fd fsync above makes the BYTES durable, but when O_CREAT just
+  // created the file its directory entry is not: a crash could drop the
+  // whole file even though the append was acked. Pinning the directory
+  // on every append (not only the creating one — telling them apart
+  // races other writers) keeps acked appends durable.
+  return FsyncDirectoryOf(path);
 }
 
 Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {

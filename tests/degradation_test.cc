@@ -416,6 +416,43 @@ TEST(ServiceResilienceTest, ExhaustedRetriesFailWithTheTransientStatus) {
             stats.completed_exact + stats.completed_degraded);
 }
 
+TEST(ServiceResilienceTest, BackoffNeverSleepsPastTheDeadline) {
+  if (!kFaultInjectionEnabled) {
+    GTEST_SKIP() << "fault probes compiled out";
+  }
+  // Regression: a backoff longer than the remaining deadline used to be
+  // slept anyway — the ticket burned its whole deadline parked in the
+  // retry loop and resolved kDeadlineExceeded instead of surfacing the
+  // transient failure. The clamp fails fast: when backoff + estimated
+  // rerun cannot fit before the deadline, the attempt's transient
+  // status is returned at once.
+  SyntheticDataset data = DegradeTestData(63, 24);
+  Explain3DService service;
+  DatabaseHandle h1 = service.RegisterDatabase("d1", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("d2", data.db2);
+  FaultGuard guard("service.claim=p1.0");  // every attempt dies transiently
+  ExplanationRequest req = ServiceRequest(data, h1, h2);
+  req.retry.max_attempts = 3;
+  req.retry.initial_backoff_seconds = 30.0;  // far past the deadline
+  req.retry.max_backoff_seconds = 30.0;      // the 0.5 default would mask it
+  req.retry.jitter_fraction = 0.0;
+  req.deadline_seconds = 5.0;
+  auto start = std::chrono::steady_clock::now();
+  TicketPtr ticket = service.Submit(std::move(req));
+  const Result<PipelineResult>* r = ticket->WaitFor(20.0);
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+  ASSERT_NE(r, nullptr) << "clamped retry never resolved";
+  EXPECT_EQ(r->status().code(), StatusCode::kUnavailable);
+  EXPECT_LT(elapsed, 3.0);  // no 30 s park, no 5 s deadline burn
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.retries, 0u);  // the clamp fired before any re-attempt
+  EXPECT_EQ(stats.deadline_exceeded, 0u);
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+}
+
 TEST(ServiceResilienceTest, DefaultPolicyNeverRetries) {
   if (!kFaultInjectionEnabled) {
     GTEST_SKIP() << "fault probes compiled out";
@@ -438,6 +475,7 @@ TEST(ServiceResilienceTest, OverloadFlipsStrictRequestsToFallback) {
   ServiceOptions options;
   options.max_concurrency = 1;
   options.admission_control = false;  // flood must QUEUE, not reject
+  options.enable_coalescing = false;  // ...and not share one computation
   options.cancel_running_on_destruction = true;
   Explain3DService service(options);
   DatabaseHandle b1 = service.RegisterDatabase("b1", blocker_data.db1);

@@ -14,8 +14,9 @@
 // Invariants asserted per seed:
 //   * no lost tickets — every submitted ticket reaches a terminal state;
 //   * no stat-counter drift — submitted == completed + cancelled +
-//     deadline_exceeded + rejected, failed ⊆ completed, and the only
-//     legitimate failures are stale-handle races from re-registration;
+//     deadline_exceeded + rejected + quota_rejected, failed ⊆ completed,
+//     and the only legitimate failures are stale-handle races from
+//     re-registration;
 //   * determinism — every successful result is bit-identical to a serial
 //     RunExplain3D baseline of the same request, no matter what was
 //     cancelled, rejected, re-registered, or expiring around it.
@@ -119,6 +120,29 @@ void ExpectResultsBitIdentical(const PipelineResult& a,
       << "seed " << seed;
 }
 
+// Oracle-free twin of MakeRequest — the coalescible unit (closures have
+// no comparable identity, so oracle-carrying requests never share).
+ExplanationRequest MakeCoalescibleRequest(const Variant& v, DatabaseHandle h1,
+                                          DatabaseHandle h2) {
+  ExplanationRequest req = MakeRequest(v, h1, h2);
+  req.calibration_oracle = nullptr;
+  return req;
+}
+
+PipelineResult SerialCoalescibleBaseline(const Variant& v) {
+  PipelineInput input;
+  input.db1 = &v.data->db1;
+  input.db2 = &v.data->db2;
+  input.sql1 = v.data->sql1;
+  input.sql2 = v.data->sql2;
+  input.attr_matches = v.data->attr_matches;
+  input.mapping_options.min_probability = 1e-4;
+  Explain3DConfig config;
+  config.num_threads = 1;
+  config.batch_size = v.batch_size;
+  return RunExplain3D(input, config).value();
+}
+
 // Everything one submitted ticket needs for post-hoc verification.
 struct TrackedTicket {
   TicketPtr ticket;
@@ -149,11 +173,21 @@ struct StressWorld {
       {&data_b, "b1", "b2", 20},
   };
   std::vector<PipelineResult> warm_baselines;
+  // Coalescing-leg variants: oracle-free, so identical submits share one
+  // computation — two keys keep per-client queues forming anyway.
+  std::vector<Variant> coalesce_variants = {
+      {&data_a, "a1", "a2", 1000},
+      {&data_b, "b1", "b2", 1000},
+  };
+  std::vector<PipelineResult> coalesce_baselines;
 
   StressWorld() {
     for (const Variant& v : variants) baselines.push_back(SerialBaseline(v));
     for (const Variant& v : warm_variants) {
       warm_baselines.push_back(SerialBaseline(v));
+    }
+    for (const Variant& v : coalesce_variants) {
+      coalesce_baselines.push_back(SerialCoalescibleBaseline(v));
     }
   }
 };
@@ -686,6 +720,170 @@ TEST(ServiceStressTest, InjectedFaultSweepKeepsEveryInvariant) {
   // probability schedules above make that astronomically unlikely
   // (every request hits service.claim at p=0.05 at least once).
   EXPECT_GT(total_fires, 0u);
+}
+
+// --- coalescing + quota leg (multi-tenant serving) ---------------------------
+// The hammer pointed at the request-coalescing layer and the per-client
+// quotas: four tenants flood IDENTICAL oracle-free requests over two
+// dataset pairs, racing cancels, doomed and generous deadlines, tight
+// per-client queue quotas, and the inflight cap. Shared results must
+// stay bit-identical to the serial baseline, per-ticket terminal
+// independence must hold (a follower's cancel/deadline resolves just
+// that follower), and the EXTENDED counter balance — including
+// quota_rejected — must stay exact.
+
+void RunCoalesceQuotaRound(uint64_t seed, size_t ops_per_thread,
+                           size_t* coalesced_out) {
+  StressWorld& world = World();
+  ServiceOptions options;
+  options.max_concurrency = size_t{1} << (seed % 3);  // 1, 2, 4
+  options.starvation_every = 4;
+  options.per_client_max_queued = 2;
+  options.per_client_max_inflight = 1;
+  // Determinism leg: results are checked against strict baselines, so
+  // never auto-flip a backlogged request to the greedy fallback.
+  options.auto_fallback_on_overload = false;
+  Explain3DService service(options);
+
+  DatabaseHandle a1 = service.RegisterDatabase("a1", world.data_a.db1);
+  DatabaseHandle a2 = service.RegisterDatabase("a2", world.data_a.db2);
+  DatabaseHandle b1 = service.RegisterDatabase("b1", world.data_b.db1);
+  DatabaseHandle b2 = service.RegisterDatabase("b2", world.data_b.db2);
+
+  std::vector<std::vector<TrackedTicket>> tracked(kThreads);
+  std::vector<std::thread> submitters;
+  for (size_t t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      const std::string client = "tenant-" + std::to_string(t);
+      for (size_t k = 0; k < ops_per_thread; ++k) {
+        uint64_t base = (t + 1) * 100000 + k * 16;
+        auto draw = [&](uint64_t salt) {
+          return CounterHash(seed * 9973, base + salt);
+        };
+        auto submit_one = [&](bool with_deadline) {
+          size_t vi = draw(1) % world.coalesce_variants.size();
+          const Variant& v = world.coalesce_variants[vi];
+          auto [h1, h2] = v.db1_name == "a1" ? std::make_pair(a1, a2)
+                                             : std::make_pair(b1, b2);
+          ExplanationRequest req = MakeCoalescibleRequest(v, h1, h2);
+          bool doomed = false;
+          if (with_deadline) {
+            doomed = draw(2) % 2 == 0;
+            req.deadline_seconds = doomed ? 1e-9 : 3600.0;
+          }
+          SubmitOptions sopts;
+          sopts.priority = static_cast<int>(draw(3) % 2);
+          sopts.client_id = client;
+          tracked[t].push_back({service.Submit(std::move(req), sopts), vi,
+                                with_deadline, doomed});
+        };
+
+        uint64_t pct = draw(0) % 100;
+        if (pct < 60) {
+          submit_one(/*with_deadline=*/false);
+        } else if (pct < 80) {
+          submit_one(/*with_deadline=*/true);
+        } else {
+          // Cancel one of our own — leader (promotes its followers),
+          // follower (resolves just it), or terminal (no-op).
+          if (tracked[t].empty()) {
+            submit_one(false);
+          } else {
+            tracked[t][draw(7) % tracked[t].size()].ticket->Cancel();
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : submitters) th.join();
+
+  size_t total_tracked = 0;
+  size_t ok_results = 0, cancelled = 0, deadline = 0, rejected = 0,
+         quota_rejects = 0;
+  for (size_t t = 0; t < kThreads; ++t) {
+    total_tracked += tracked[t].size();
+    for (const TrackedTicket& tt : tracked[t]) {
+      const Result<PipelineResult>* r = tt.ticket->WaitFor(120.0);
+      ASSERT_NE(r, nullptr) << "lost ticket at coalesce seed " << seed;
+      switch (r->status().code()) {
+        case StatusCode::kOk:
+          ++ok_results;
+          EXPECT_FALSE(tt.doomed_deadline)
+              << "unmeetable deadline produced a result, coalesce seed "
+              << seed;
+          // Leader-run or follower-shared: bit-identical either way.
+          ExpectResultsBitIdentical(
+              r->value(), world.coalesce_baselines[tt.variant], seed);
+          break;
+        case StatusCode::kCancelled:
+          ++cancelled;
+          break;
+        case StatusCode::kDeadlineExceeded:
+          ++deadline;
+          EXPECT_TRUE(tt.doomed_deadline)
+              << "generous deadline expired, coalesce seed " << seed;
+          break;
+        case StatusCode::kUnavailable:
+          ++rejected;
+          EXPECT_TRUE(tt.has_deadline)
+              << "admission rejected a deadline-free request, coalesce seed "
+              << seed;
+          break;
+        case StatusCode::kResourceExhausted:
+          // The per-client queue quota — the only source of this code.
+          ++quota_rejects;
+          EXPECT_NE(r->status().message().find("quota"), std::string::npos)
+              << r->status().ToString() << " coalesce seed " << seed;
+          break;
+        default:
+          ADD_FAILURE() << "unexpected terminal status "
+                        << r->status().ToString() << " at coalesce seed "
+                        << seed;
+      }
+    }
+  }
+
+  // The EXTENDED balance: every ticket in exactly one terminal bucket,
+  // quota rejects accounted apart from admission rejects.
+  ServiceStats stats = service.Stats();
+  *coalesced_out += stats.coalesced_hits;
+  EXPECT_EQ(stats.submitted, total_tracked) << "coalesce seed " << seed;
+  EXPECT_EQ(stats.submitted, stats.completed + stats.cancelled +
+                                 stats.deadline_exceeded + stats.rejected +
+                                 stats.quota_rejected)
+      << "coalesce seed " << seed;
+  EXPECT_EQ(stats.completed, ok_results) << "coalesce seed " << seed;
+  EXPECT_EQ(stats.failed, 0u) << "coalesce seed " << seed;
+  EXPECT_EQ(stats.cancelled, cancelled) << "coalesce seed " << seed;
+  EXPECT_EQ(stats.deadline_exceeded, deadline) << "coalesce seed " << seed;
+  EXPECT_EQ(stats.rejected, rejected) << "coalesce seed " << seed;
+  EXPECT_EQ(stats.quota_rejected, quota_rejects) << "coalesce seed " << seed;
+  // Coalesced hits are a subset marker over completions, never a bucket.
+  EXPECT_LE(stats.coalesced_hits, stats.completed) << "coalesce seed " << seed;
+  EXPECT_EQ(stats.completed, stats.completed_exact + stats.completed_degraded)
+      << "coalesce seed " << seed;
+  EXPECT_EQ(stats.completed_degraded, 0u) << "coalesce seed " << seed;
+  EXPECT_EQ(stats.queue_depth, 0u) << "coalesce seed " << seed;
+  // Every coalesced hit is a stage-1 build + solve that never ran: the
+  // cache can only have been touched by the runs that DID happen.
+  EXPECT_GE(stats.warm_hits + stats.cold_misses + stats.coalesced_hits,
+            ok_results)
+      << "coalesce seed " << seed;
+}
+
+TEST(ServiceStressTest, CoalescingAndQuotaSweepHoldsEveryInvariant) {
+  size_t seeds = EnvSize("EXPLAIN3D_STRESS_SEEDS", kDefaultSeeds);
+  size_t seed_base = EnvSize("EXPLAIN3D_STRESS_SEED_BASE", 1);
+  size_t ops = EnvSize("EXPLAIN3D_STRESS_OPS", kDefaultOpsPerThread);
+  size_t total_coalesced = 0;
+  for (size_t seed = seed_base; seed < seed_base + seeds; ++seed) {
+    SCOPED_TRACE("coalesce seed " + std::to_string(seed));
+    RunCoalesceQuotaRound(seed, ops, &total_coalesced);
+    if (HasFatalFailure()) break;
+  }
+  // 80% of the stream is identical submits over two keys: a sweep that
+  // never coalesced a single ticket exercised nothing.
+  EXPECT_GT(total_coalesced, 0u);
 }
 
 }  // namespace

@@ -622,10 +622,10 @@ TEST(ServicePriorityTest, HigherBandsFirstFifoWithinBand) {
     return req;
   };
   std::vector<TicketPtr> tickets;
-  tickets.push_back(service.Submit(tagged(0), SubmitOptions{0}));
-  tickets.push_back(service.Submit(tagged(1), SubmitOptions{0}));
-  tickets.push_back(service.Submit(tagged(2), SubmitOptions{2}));
-  tickets.push_back(service.Submit(tagged(3), SubmitOptions{2}));
+  tickets.push_back(service.Submit(tagged(0), SubmitOptions{0, ""}));
+  tickets.push_back(service.Submit(tagged(1), SubmitOptions{0, ""}));
+  tickets.push_back(service.Submit(tagged(2), SubmitOptions{2, ""}));
+  tickets.push_back(service.Submit(tagged(3), SubmitOptions{2, ""}));
   EXPECT_EQ(service.Stats().queue_depth, 4u);
   EXPECT_EQ(service.Stats().priority_bands.at(2).queue_depth, 2u);
   EXPECT_EQ(service.Stats().priority_bands.at(0).queue_depth, 2u);
@@ -665,9 +665,9 @@ TEST(ServicePriorityTest, StarvationEscapeRunsTheOldestRequest) {
   // The low-priority victim queues FIRST, then a deep stack of
   // high-priority work lands on top of it.
   std::vector<TicketPtr> tickets;
-  tickets.push_back(service.Submit(tagged(99), SubmitOptions{0}));
+  tickets.push_back(service.Submit(tagged(99), SubmitOptions{0, ""}));
   for (int i = 0; i < 8; ++i) {
-    tickets.push_back(service.Submit(tagged(i), SubmitOptions{5}));
+    tickets.push_back(service.Submit(tagged(i), SubmitOptions{5, ""}));
   }
 
   release.Notify();
@@ -943,6 +943,534 @@ TEST(ServiceBatchTest, SubmitBatchAlignsTicketsWithRequests) {
   // All four warm off one block: the batch shares stage-1 artifacts.
   EXPECT_EQ(tickets[0]->TryGet()->value().artifacts().get(),
             tickets[3]->TryGet()->value().artifacts().get());
+}
+
+// --- multi-tenant serving: request coalescing --------------------------------
+
+// Identical ORACLE-FREE requests are the coalescible unit: a closure has
+// no comparable identity, so MakeRequest's row-entity oracle (and the
+// parked/tagging probes above) all opt out of sharing automatically.
+ExplanationRequest MakeCoalescibleRequest(const SyntheticDataset& data,
+                                          DatabaseHandle h1,
+                                          DatabaseHandle h2) {
+  ExplanationRequest req = MakeRequest(data, h1, h2);
+  req.calibration_oracle = nullptr;
+  return req;
+}
+
+// Oracle whose pass dominates the run time — the "expensive pair" of the
+// keyed-admission test. Runs on every execution, warm or cold, like the
+// tagging oracle above, so repeated submits stay uniformly slow.
+CalibrationOracle SleepOracle(double seconds) {
+  return [seconds](const CanonicalRelation&, const CanonicalRelation&,
+                   const Table&, const Table&) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    return GoldPairs{};
+  };
+}
+
+TEST(ServiceCoalesceTest, EightIdenticalSubmitsShareOneComputation) {
+  // The acceptance bar of this PR: 8 concurrent identical submits cost
+  // exactly one stage-1 build and one solve, and every ticket resolves
+  // from the SAME PipelineResult — bit-identical to a serial run.
+  ServiceOptions options;
+  options.max_concurrency = 1;
+  Explain3DService service(options);
+  SyntheticDataset data = MakeData(51);
+  SyntheticDataset other = MakeData(52, 60);
+  DatabaseHandle h1 = service.RegisterDatabase("left", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("right", data.db2);
+  DatabaseHandle o1 = service.RegisterDatabase("oleft", other.db1);
+  DatabaseHandle o2 = service.RegisterDatabase("oright", other.db2);
+
+  // Pin the only worker inside an UNRELATED pair so all 8 submits land
+  // while nothing runs — the pure queued-coalescing path.
+  Notification entered, release;
+  ExplanationRequest blocker = MakeRequest(other, o1, o2);
+  blocker.calibration_oracle = ParkedOracle(&entered, &release);
+  TicketPtr blocked = service.Submit(blocker);
+  entered.WaitForNotification();
+
+  std::vector<TicketPtr> tickets;
+  for (int i = 0; i < 8; ++i) {
+    tickets.push_back(service.Submit(MakeCoalescibleRequest(data, h1, h2)));
+  }
+  // One leader holds one queue slot; the 7 followers hold none.
+  EXPECT_EQ(service.Stats().queue_depth, 1u);
+
+  // A request differing in a result-affecting config knob must NOT join
+  // the group: different RequestResultKey, own queue slot.
+  ExplanationRequest off_key = MakeCoalescibleRequest(data, h1, h2);
+  off_key.config.batch_size = 50;
+  TicketPtr separate = service.Submit(off_key);
+  EXPECT_EQ(service.Stats().queue_depth, 2u);
+
+  release.Notify();
+  EXPECT_TRUE(blocked->Wait().ok());
+  for (const TicketPtr& t : tickets) {
+    ASSERT_TRUE(t->Wait().ok()) << t->Wait().status().ToString();
+  }
+  ASSERT_TRUE(separate->Wait().ok());
+
+  // Zero-copy share: all 8 results hold the SAME artifacts block...
+  const PipelineResult& first = tickets[0]->TryGet()->value();
+  for (const TicketPtr& t : tickets) {
+    EXPECT_EQ(t->TryGet()->value().artifacts().get(), first.artifacts().get());
+  }
+  // ...bit-identical to a serial RunExplain3D of the same request.
+  PipelineResult baseline =
+      SerialBaseline(data, MakeCoalescibleRequest(data, h1, h2));
+  for (const TicketPtr& t : tickets) {
+    ExpectResultsBitIdentical(t->TryGet()->value(), baseline);
+  }
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.coalesced_hits, 7u);
+  EXPECT_EQ(stats.submitted, 10u);
+  EXPECT_EQ(stats.completed, 10u);
+  // One stage-1 build for the coalesced pair (the blocker's pair built
+  // its own; the off-key request warmed off the leader's block)...
+  EXPECT_EQ(stats.cold_misses, 2u);
+  EXPECT_EQ(stats.warm_hits, 1u);
+  // ...and one solve: only blocker + leader + off-key ever ran, so the
+  // incumbent store saw exactly 3 lookups for 10 submits.
+  EXPECT_EQ(stats.incumbent_hits + stats.incumbent_misses, 3u);
+}
+
+TEST(ServiceCoalesceTest, FollowerAttachesWhileLeaderRuns) {
+  ServiceOptions options;
+  options.max_concurrency = 1;
+  Explain3DService service(options);
+  SyntheticDataset data = MakeData(53);
+  DatabaseHandle h1 = service.RegisterDatabase("left", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("right", data.db2);
+
+  // An oracle-free hard solve in portfolio mode under a deadline: it
+  // runs the full 2 s and then COMPLETES with the greedy leg's answer
+  // (the PortfolioReturnsGreedyWhenBudgetFires shape) — a wide-open
+  // window for a second submit to attach while the leader is mid-run.
+  ExplanationRequest leader_req = MakeHardSolveRequest(data, h1, h2);
+  leader_req.config.portfolio = true;
+  leader_req.deadline_seconds = 2.0;
+  TicketPtr leader = service.Submit(leader_req);
+  while (service.Stats().running == 0 && leader->TryGet() == nullptr) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(leader->TryGet(), nullptr) << "leader finished before attach";
+
+  // Identical computation (the deadline is not part of the result key,
+  // only result-affecting inputs are): attaches to the RUNNING leader.
+  ExplanationRequest follower_req = MakeHardSolveRequest(data, h1, h2);
+  follower_req.config.portfolio = true;
+  follower_req.deadline_seconds = 30.0;  // its own, much later
+  TicketPtr follower = service.Submit(follower_req);
+  EXPECT_EQ(service.Stats().queue_depth, 0u);  // no slot: it's a follower
+
+  const Result<PipelineResult>* lr = leader->WaitFor(60.0);
+  const Result<PipelineResult>* fr = follower->WaitFor(60.0);
+  ASSERT_NE(lr, nullptr);
+  ASSERT_NE(fr, nullptr);
+  ASSERT_TRUE(lr->ok()) << lr->status().ToString();
+  ASSERT_TRUE(fr->ok()) << fr->status().ToString();
+  // The follower shares the leader's (degraded) result zero-copy — the
+  // documented coalescing caveat, asserted here as the contract.
+  EXPECT_TRUE(lr->value().degraded());
+  EXPECT_TRUE(fr->value().degraded());
+  EXPECT_EQ(fr->value().artifacts().get(), lr->value().artifacts().get());
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.coalesced_hits, 1u);
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.completed_degraded, 2u);
+}
+
+TEST(ServiceCoalesceTest, CancelledQueuedLeaderPromotesFollower) {
+  ServiceOptions options;
+  options.max_concurrency = 1;
+  Explain3DService service(options);
+  SyntheticDataset data = MakeData(54);
+  SyntheticDataset other = MakeData(55, 60);
+  DatabaseHandle h1 = service.RegisterDatabase("left", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("right", data.db2);
+  DatabaseHandle o1 = service.RegisterDatabase("oleft", other.db1);
+  DatabaseHandle o2 = service.RegisterDatabase("oright", other.db2);
+
+  Notification entered, release;
+  ExplanationRequest blocker = MakeRequest(other, o1, o2);
+  blocker.calibration_oracle = ParkedOracle(&entered, &release);
+  TicketPtr blocked = service.Submit(blocker);
+  entered.WaitForNotification();
+
+  TicketPtr leader = service.Submit(MakeCoalescibleRequest(data, h1, h2));
+  TicketPtr follower = service.Submit(MakeCoalescibleRequest(data, h1, h2));
+  EXPECT_EQ(service.Stats().queue_depth, 1u);
+
+  // Cancelling the leader kills ONLY the leader: its terminal state is
+  // its own, while the follower is promoted to a fresh leader when the
+  // worker reaps the dead one.
+  EXPECT_TRUE(leader->Cancel());
+  EXPECT_EQ(leader->Wait().status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(follower->TryGet(), nullptr);  // survives the cancel
+
+  release.Notify();
+  EXPECT_TRUE(blocked->Wait().ok());
+  ASSERT_TRUE(follower->Wait().ok()) << follower->Wait().status().ToString();
+  ExpectResultsBitIdentical(
+      follower->TryGet()->value(),
+      SerialBaseline(data, MakeCoalescibleRequest(data, h1, h2)));
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.cancelled, 1u);
+  EXPECT_EQ(stats.completed, 2u);       // blocker + promoted follower
+  EXPECT_EQ(stats.coalesced_hits, 0u);  // the follower ran for itself
+}
+
+TEST(ServiceCoalesceTest, CancelledRunningLeaderPromotesFollower) {
+  ServiceOptions options;
+  options.max_concurrency = 1;
+  options.cancel_running_on_destruction = true;  // unbounded solves below
+  Explain3DService service(options);
+  SyntheticDataset data = MakeData(56);
+  DatabaseHandle h1 = service.RegisterDatabase("left", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("right", data.db2);
+
+  TicketPtr leader = service.Submit(MakeHardSolveRequest(data, h1, h2));
+  while (service.Stats().running == 0 && leader->TryGet() == nullptr) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(leader->TryGet(), nullptr);
+  TicketPtr follower = service.Submit(MakeHardSolveRequest(data, h1, h2));
+  EXPECT_EQ(service.Stats().queue_depth, 0u);
+
+  // A mid-run cancel resolves the leader cooperatively — and must not
+  // take the follower down with it: an interrupted result is never
+  // shared, the follower is re-enqueued as its own (endless) leader.
+  EXPECT_TRUE(leader->Cancel());
+  const Result<PipelineResult>* lr = leader->WaitFor(30.0);
+  ASSERT_NE(lr, nullptr) << "cancelled leader never resolved";
+  EXPECT_EQ(lr->status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(follower->TryGet(), nullptr);
+
+  EXPECT_TRUE(follower->Cancel());
+  const Result<PipelineResult>* fr = follower->WaitFor(30.0);
+  ASSERT_NE(fr, nullptr) << "promoted follower never resolved";
+  EXPECT_EQ(fr->status().code(), StatusCode::kCancelled);
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.cancelled, 2u);
+  EXPECT_EQ(stats.coalesced_hits, 0u);
+  EXPECT_EQ(stats.completed, 0u);
+}
+
+TEST(ServiceCoalesceTest, StaleLeaderAfterReRegistrationPromotesFollower) {
+  // Re-registration between the leader's submit and its claim: the key
+  // follows the data CONTENT, so an identical re-registration keeps the
+  // group shared — and when the stale-handle leader fails at claim, the
+  // fresh-handle follower is promoted and serves the group's answer.
+  ServiceOptions options;
+  options.max_concurrency = 1;
+  Explain3DService service(options);
+  SyntheticDataset data = MakeData(57);
+  SyntheticDataset other = MakeData(58, 60);
+  DatabaseHandle h1 = service.RegisterDatabase("left", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("right", data.db2);
+  DatabaseHandle o1 = service.RegisterDatabase("oleft", other.db1);
+  DatabaseHandle o2 = service.RegisterDatabase("oright", other.db2);
+
+  Notification entered, release;
+  ExplanationRequest blocker = MakeRequest(other, o1, o2);
+  blocker.calibration_oracle = ParkedOracle(&entered, &release);
+  TicketPtr blocked = service.Submit(blocker);
+  entered.WaitForNotification();
+
+  TicketPtr leader = service.Submit(MakeCoalescibleRequest(data, h1, h2));
+  // IDENTICAL contents, new generation: h1 retires, the key stays.
+  DatabaseHandle h1b = service.RegisterDatabase("left", data.db1);
+  TicketPtr follower = service.Submit(MakeCoalescibleRequest(data, h1b, h2));
+  EXPECT_EQ(service.Stats().queue_depth, 1u);  // same content → attached
+
+  release.Notify();
+  EXPECT_TRUE(blocked->Wait().ok());
+  // The leader's retired handle fails at claim — its own failure only.
+  EXPECT_EQ(leader->Wait().status().code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(follower->Wait().ok()) << follower->Wait().status().ToString();
+  ExpectResultsBitIdentical(
+      follower->TryGet()->value(),
+      SerialBaseline(data, MakeCoalescibleRequest(data, h1b, h2)));
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.coalesced_hits, 0u);
+  EXPECT_EQ(stats.completed, 3u);  // blocker + failed leader + follower
+  EXPECT_EQ(stats.failed, 1u);
+}
+
+TEST(ServiceCoalesceTest, ChangedContentNeverJoinsTheOldGroup) {
+  ServiceOptions options;
+  options.max_concurrency = 1;
+  Explain3DService service(options);
+  SyntheticDataset data = MakeData(59);
+  SyntheticDataset changed = MakeData(60);
+  SyntheticDataset other = MakeData(61, 60);
+  DatabaseHandle h1 = service.RegisterDatabase("left", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("right", data.db2);
+  DatabaseHandle o1 = service.RegisterDatabase("oleft", other.db1);
+  DatabaseHandle o2 = service.RegisterDatabase("oright", other.db2);
+
+  Notification entered, release;
+  ExplanationRequest blocker = MakeRequest(other, o1, o2);
+  blocker.calibration_oracle = ParkedOracle(&entered, &release);
+  TicketPtr blocked = service.Submit(blocker);
+  entered.WaitForNotification();
+
+  TicketPtr old_gen = service.Submit(MakeCoalescibleRequest(data, h1, h2));
+  EXPECT_EQ(service.Stats().queue_depth, 1u);
+  // CHANGED contents: the new generation's identity differs, so an
+  // otherwise-identical submit must NOT share the old generation's
+  // computation — cross-generation coalescing would serve stale data.
+  DatabaseHandle h1c = service.RegisterDatabase("left", changed.db1);
+  TicketPtr new_gen = service.Submit(MakeCoalescibleRequest(data, h1c, h2));
+  EXPECT_EQ(service.Stats().queue_depth, 2u);  // its own leader slot
+
+  release.Notify();
+  EXPECT_TRUE(blocked->Wait().ok());
+  EXPECT_EQ(old_gen->Wait().status().code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(new_gen->Wait().ok()) << new_gen->Wait().status().ToString();
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.coalesced_hits, 0u);
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.failed, 1u);  // the retired-handle leader
+}
+
+// --- multi-tenant serving: fairness + quotas --------------------------------
+
+TEST(ServiceFairnessTest, ClientsTakeTurnsWithinABand) {
+  ServiceOptions options;
+  options.max_concurrency = 1;
+  options.starvation_every = 0;  // isolate the round-robin order
+  Explain3DService service(options);
+  SyntheticDataset data = MakeData(62, 60);
+  DatabaseHandle h1 = service.RegisterDatabase("left", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("right", data.db2);
+
+  Notification entered, release;
+  ExplanationRequest blocker = MakeRequest(data, h1, h2);
+  blocker.calibration_oracle = ParkedOracle(&entered, &release);
+  TicketPtr blocked = service.Submit(blocker);
+  entered.WaitForNotification();
+
+  std::mutex order_mu;
+  std::vector<int> order;
+  auto tagged = [&](int tag) {
+    ExplanationRequest req = MakeRequest(data, h1, h2);
+    req.calibration_oracle = TaggingOracle(&order_mu, &order, tag);
+    return req;
+  };
+  // Client "a" floods 4 deep BEFORE client "b"'s single request lands —
+  // all in the same priority band.
+  std::vector<TicketPtr> tickets;
+  tickets.push_back(service.Submit(tagged(1), SubmitOptions{0, "a"}));
+  tickets.push_back(service.Submit(tagged(2), SubmitOptions{0, "a"}));
+  tickets.push_back(service.Submit(tagged(3), SubmitOptions{0, "a"}));
+  tickets.push_back(service.Submit(tagged(4), SubmitOptions{0, "a"}));
+  tickets.push_back(service.Submit(tagged(100), SubmitOptions{0, "b"}));
+
+  release.Notify();
+  EXPECT_TRUE(blocked->Wait().ok());
+  for (const TicketPtr& t : tickets) ASSERT_TRUE(t->Wait().ok());
+  // Round-robin across clients, FIFO within one: b's request runs right
+  // after a's FIRST — the flood delays it by exactly one run, not four.
+  EXPECT_EQ(order, (std::vector<int>{1, 100, 2, 3, 4}));
+}
+
+TEST(ServiceQuotaTest, FloodingClientIsRejectedOthersUntouched) {
+  ServiceOptions options;
+  options.max_concurrency = 1;
+  options.per_client_max_queued = 2;
+  Explain3DService service(options);
+  SyntheticDataset data = MakeData(63, 60);
+  DatabaseHandle h1 = service.RegisterDatabase("left", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("right", data.db2);
+
+  // The blocker is CLAIMED, not queued: it must not count against its
+  // client's queue quota.
+  Notification entered, release;
+  ExplanationRequest blocker = MakeRequest(data, h1, h2);
+  blocker.calibration_oracle = ParkedOracle(&entered, &release);
+  TicketPtr blocked = service.Submit(blocker, SubmitOptions{0, "flood"});
+  entered.WaitForNotification();
+
+  TicketPtr f1 = service.Submit(MakeRequest(data, h1, h2),
+                                SubmitOptions{0, "flood"});
+  TicketPtr f2 = service.Submit(MakeRequest(data, h1, h2),
+                                SubmitOptions{0, "flood"});
+  EXPECT_EQ(f1->TryGet(), nullptr);
+  EXPECT_EQ(f2->TryGet(), nullptr);
+  // The third queued request breaches the quota: synchronous
+  // kResourceExhausted, never queued, never run.
+  TicketPtr f3 = service.Submit(MakeRequest(data, h1, h2),
+                                SubmitOptions{0, "flood"});
+  const Result<PipelineResult>* r = f3->TryGet();
+  ASSERT_NE(r, nullptr) << "quota rejection must be synchronous";
+  EXPECT_EQ(r->status().code(), StatusCode::kResourceExhausted);
+  // Another tenant's traffic is untouched by the flood.
+  TicketPtr calm = service.Submit(MakeRequest(data, h1, h2),
+                                  SubmitOptions{0, "calm"});
+  EXPECT_EQ(calm->TryGet(), nullptr);
+
+  ServiceStats mid = service.Stats();
+  EXPECT_EQ(mid.quota_rejected, 1u);
+  EXPECT_EQ(mid.rejected, 0u);  // quota ≠ admission: separate buckets
+  EXPECT_EQ(mid.queue_depth, 3u);
+
+  release.Notify();
+  EXPECT_TRUE(blocked->Wait().ok());
+  EXPECT_TRUE(f1->Wait().ok());
+  EXPECT_TRUE(f2->Wait().ok());
+  EXPECT_TRUE(calm->Wait().ok());
+
+  ServiceStats stats = service.Stats();
+  EXPECT_EQ(stats.submitted, 5u);
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.quota_rejected, 1u);
+}
+
+TEST(ServiceQuotaTest, InflightCapSkipsTheCappedClientNotTheQueue) {
+  ServiceOptions options;
+  options.max_concurrency = 2;
+  options.per_client_max_inflight = 1;
+  Explain3DService service(options);
+  SyntheticDataset data = MakeData(64, 60);
+  DatabaseHandle h1 = service.RegisterDatabase("left", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("right", data.db2);
+
+  Notification e1, r1, e2, r2, e3, r3;
+  auto parked = [&](Notification* e, Notification* r) {
+    ExplanationRequest req = MakeRequest(data, h1, h2);
+    req.calibration_oracle = ParkedOracle(e, r);
+    return req;
+  };
+  TicketPtr a1 = service.Submit(parked(&e1, &r1), SubmitOptions{0, "a"});
+  e1.WaitForNotification();  // client a: 1 in flight — at its cap
+  TicketPtr a2 = service.Submit(parked(&e2, &r2), SubmitOptions{0, "a"});
+  TicketPtr b1 = service.Submit(parked(&e3, &r3), SubmitOptions{0, "b"});
+  // The free worker slot goes to b: a is at its inflight cap, so a2
+  // waits even though it queued first — skipped, not rejected.
+  e3.WaitForNotification();
+  EXPECT_FALSE(e2.HasBeenNotified());
+  EXPECT_EQ(service.Stats().running, 2u);
+  EXPECT_EQ(service.Stats().queue_depth, 1u);
+
+  // a's finishing run releases the cap: a2 is claimed next.
+  r1.Notify();
+  e2.WaitForNotification();
+  r2.Notify();
+  r3.Notify();
+  EXPECT_TRUE(a1->Wait().ok());
+  EXPECT_TRUE(a2->Wait().ok());
+  EXPECT_TRUE(b1->Wait().ok());
+  EXPECT_EQ(service.Stats().quota_rejected, 0u);
+}
+
+// --- multi-tenant serving: keyed admission estimates -------------------------
+
+TEST(ServiceAdmissionTest, KeyedEstimateAdmitsWarmPairDespiteSlowGlobal) {
+  // p50-poisoning regression: one slow pair used to drag the single
+  // global run-time estimate up and bounce every fast tenant's
+  // deadline. The keyed rings price each (db-identity, config) pair by
+  // its own history.
+  ServiceOptions options;
+  options.max_concurrency = 1;
+  Explain3DService service(options);
+  SyntheticDataset slow = MakeData(65, 60);
+  SyntheticDataset fast = MakeData(66, 48);
+  DatabaseHandle s1 = service.RegisterDatabase("sleft", slow.db1);
+  DatabaseHandle s2 = service.RegisterDatabase("sright", slow.db2);
+  DatabaseHandle f1 = service.RegisterDatabase("fleft", fast.db1);
+  DatabaseHandle f2 = service.RegisterDatabase("fright", fast.db2);
+
+  // Warm both keyed rings: 3 completions each. The slow pair's oracle
+  // sleeps 1.5 s per run (oracles run every execution, warm or cold),
+  // so half the global window is ~1.5 s samples.
+  auto slow_req = [&] {
+    ExplanationRequest req = MakeRequest(slow, s1, s2);
+    req.calibration_oracle = SleepOracle(1.5);
+    return req;
+  };
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(service.Submit(slow_req())->Wait().ok());
+    ASSERT_TRUE(service.Submit(MakeRequest(fast, f1, f2))->Wait().ok());
+  }
+  ServiceStats warm = service.Stats();
+  ASSERT_EQ(warm.completed, 6u);
+  ASSERT_GT(warm.run_seconds.p50, 0.7);  // the global estimate IS poisoned
+
+  // Park the only worker so probes face ahead == max_concurrency (the
+  // estimate branch, not the free-slot always-admit path).
+  Notification entered, release;
+  ExplanationRequest blocker = MakeRequest(slow, s1, s2);
+  blocker.calibration_oracle = ParkedOracle(&entered, &release);
+  TicketPtr blocked = service.Submit(blocker);
+  entered.WaitForNotification();
+
+  // A deadline feasible for the fast pair but not the slow one. Under
+  // the old global estimate BOTH would bounce (~2 × 1.5 s > 1.8 s); the
+  // keyed estimate admits the fast pair...
+  ExplanationRequest fast_probe = MakeRequest(fast, f1, f2);
+  fast_probe.deadline_seconds = 1.8;
+  TicketPtr admitted = service.Submit(fast_probe);
+  EXPECT_EQ(admitted->TryGet(), nullptr)
+      << "fast pair must admit on its own (warm) keyed estimate";
+  // ...and still rejects the slow pair on ITS keyed history.
+  ExplanationRequest slow_probe = slow_req();
+  slow_probe.deadline_seconds = 1.8;
+  TicketPtr rejected = service.Submit(slow_probe);
+  const Result<PipelineResult>* r = rejected->TryGet();
+  ASSERT_NE(r, nullptr) << "slow-pair probe must reject synchronously";
+  EXPECT_EQ(r->status().code(), StatusCode::kUnavailable);
+
+  release.Notify();
+  EXPECT_TRUE(blocked->Wait().ok());
+  const Result<PipelineResult>* ar = admitted->WaitFor(60.0);
+  ASSERT_NE(ar, nullptr);
+  EXPECT_NE(ar->status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(service.Stats().rejected, 1u);
+}
+
+// --- priority-band overflow aggregation --------------------------------------
+
+TEST(ServiceStatsTest, PrioritiesPastTheBandCapAggregateNotDrop) {
+  // Regression: the 64-band tracking cap used to silently DROP the
+  // latency samples of every completion past it. They now aggregate
+  // under the kOverflowBand sentinel, with the truncation flagged.
+  Explain3DService service;
+  SyntheticDataset data = MakeData(67, 40);
+  DatabaseHandle h1 = service.RegisterDatabase("left", data.db1);
+  DatabaseHandle h2 = service.RegisterDatabase("right", data.db2);
+
+  for (int p = 0; p < 100; ++p) {
+    ASSERT_TRUE(
+        service.Submit(MakeRequest(data, h1, h2), SubmitOptions{p, ""})->Wait().ok())
+        << "priority " << p;
+  }
+
+  ServiceStats stats = service.Stats();
+  EXPECT_TRUE(stats.bands_truncated);
+  // The first 64 distinct priorities keep their own slice...
+  ASSERT_EQ(stats.priority_bands.count(0), 1u);
+  ASSERT_EQ(stats.priority_bands.count(63), 1u);
+  EXPECT_EQ(stats.priority_bands.count(64), 0u);
+  EXPECT_EQ(stats.priority_bands.count(99), 0u);
+  // ...and completions past the cap aggregate under the sentinel
+  // instead of disappearing: 36 of the 100 land there.
+  ASSERT_EQ(stats.priority_bands.count(ServiceStats::kOverflowBand), 1u);
+  EXPECT_EQ(
+      stats.priority_bands.at(ServiceStats::kOverflowBand).total_seconds.count,
+      36u);
+  EXPECT_EQ(stats.priority_bands.size(), 65u);
+  // Global accounting stays exact throughout.
+  EXPECT_EQ(stats.completed, 100u);
+  EXPECT_EQ(stats.total_seconds.count, 100u);
 }
 
 }  // namespace
